@@ -1,0 +1,36 @@
+//! Criterion benches of the gate-level simulator: events per second on the
+//! free-running MOUSETRAP pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use asynoc_gates::mousetrap::{Pipeline, StageDelays};
+use asynoc_gates::GateSim;
+use asynoc_kernel::{Duration, Time};
+
+fn bench_pipeline_depths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mousetrap_free_run_20ns");
+    group.sample_size(20);
+    for stages in [2usize, 4, 8, 16] {
+        let pipeline = Pipeline::self_timed(
+            stages,
+            StageDelays::default(),
+            Duration::from_ps(60),
+            Duration::from_ps(60),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &pipeline,
+            |b, pipeline| {
+                b.iter(|| {
+                    let mut sim = GateSim::new(pipeline.netlist());
+                    sim.run_until(Time::from_ns(20));
+                    sim.events_processed()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_depths);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the §5.2(d) addressing-scheme comparison: address-field
+//! sizes per packet header for 8×8 and 16×16 MoT networks.
+//!
+//! Usage: `cargo run -p asynoc-bench --bin addressing`
+
+use asynoc::harness::addressing_rows;
+
+fn main() {
+    let rows = addressing_rows(&[8, 16]).expect("sizes are valid");
+    println!("Addressing scheme comparison (paper section 5.2(d))");
+    println!();
+    println!(
+        "{:<8} {:>16} {:>18} {:>10} {:>22}",
+        "Size", "Baseline (bits)", "Non-spec (bits)", "Hybrid", "Almost-fully-spec"
+    );
+    println!("{}", "-".repeat(78));
+    for row in rows {
+        println!(
+            "{:<8} {:>16} {:>18} {:>10} {:>22}",
+            row.size.to_string(),
+            row.baseline_bits,
+            row.non_speculative_bits,
+            row.hybrid_bits,
+            row.all_speculative_bits
+        );
+    }
+    println!();
+    println!("(paper: 8x8 -> 3/14/12/8, 16x16 -> 4/30/20/16)");
+}

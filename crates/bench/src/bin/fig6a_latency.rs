@@ -1,0 +1,58 @@
+//! Regenerates Figure 6(a): average network latency at 25 % of each
+//! network's saturation load, contribution trajectory (Baseline,
+//! BasicNonSpeculative, BasicHybridSpeculative, OptHybridSpeculative).
+//!
+//! Usage: `cargo run --release -p asynoc-bench --bin fig6a_latency
+//! [--quick|--paper] [--seed N]`
+
+use asynoc::harness::{fig6a, LatencyCell};
+use asynoc::{Architecture, Benchmark};
+use asynoc_bench::{arch_label, print_benchmark_header, quality_from_args};
+
+fn print_latency_grid(cells: &[LatencyCell], architectures: &[Architecture]) {
+    print_benchmark_header("Scheme (ns)", &Benchmark::ALL);
+    for &arch in architectures {
+        print!("{}", arch_label(arch));
+        for benchmark in Benchmark::ALL {
+            let cell = cells
+                .iter()
+                .find(|c| c.architecture == arch && c.benchmark == benchmark)
+                .expect("every cell computed");
+            print!(" {:>16.2}", cell.mean_latency_ps as f64 / 1_000.0);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let quality = quality_from_args();
+    let cells = fig6a(&quality).expect("harness run failed");
+
+    println!("Figure 6(a): average network latency at 25% saturation load");
+    println!();
+    print_latency_grid(&cells, &Architecture::CONTRIBUTION_TRAJECTORY);
+    println!();
+
+    // The paper reports relative improvements; print the same ratios.
+    for benchmark in Benchmark::MULTICAST {
+        let get = |arch: Architecture| -> f64 {
+            cells
+                .iter()
+                .find(|c| c.architecture == arch && c.benchmark == benchmark)
+                .expect("cell computed")
+                .mean_latency_ps as f64
+        };
+        let baseline = get(Architecture::Baseline);
+        let nonspec = get(Architecture::BasicNonSpeculative);
+        let hybrid = get(Architecture::BasicHybridSpeculative);
+        let opt = get(Architecture::OptHybridSpeculative);
+        println!(
+            "{benchmark}: BasicNonSpec -{:.1}% vs Baseline (paper 39.1-74.1), \
+             BasicHybrid -{:.1}% vs BasicNonSpec (paper 10.5-14.9), \
+             OptHybrid -{:.1}% vs BasicNonSpec (paper 17.8-21.4)",
+            100.0 * (1.0 - nonspec / baseline),
+            100.0 * (1.0 - hybrid / nonspec),
+            100.0 * (1.0 - opt / nonspec),
+        );
+    }
+}

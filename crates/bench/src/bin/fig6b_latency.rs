@@ -1,0 +1,50 @@
+//! Regenerates Figure 6(b): average network latency at 25 % of each
+//! network's saturation load, design-space exploration (OptNonSpeculative,
+//! OptHybridSpeculative, OptAllSpeculative).
+//!
+//! Usage: `cargo run --release -p asynoc-bench --bin fig6b_latency
+//! [--quick|--paper] [--seed N]`
+
+use asynoc::harness::fig6b;
+use asynoc::{Architecture, Benchmark};
+use asynoc_bench::{arch_label, print_benchmark_header, quality_from_args};
+
+fn main() {
+    let quality = quality_from_args();
+    let cells = fig6b(&quality).expect("harness run failed");
+
+    println!("Figure 6(b): average network latency at 25% saturation load");
+    println!();
+    print_benchmark_header("Scheme (ns)", &Benchmark::ALL);
+    for &arch in &Architecture::DESIGN_SPACE {
+        print!("{}", arch_label(arch));
+        for benchmark in Benchmark::ALL {
+            let cell = cells
+                .iter()
+                .find(|c| c.architecture == arch && c.benchmark == benchmark)
+                .expect("every cell computed");
+            print!(" {:>16.2}", cell.mean_latency_ps as f64 / 1_000.0);
+        }
+        println!();
+    }
+    println!();
+
+    for benchmark in Benchmark::ALL {
+        let get = |arch: Architecture| -> f64 {
+            cells
+                .iter()
+                .find(|c| c.architecture == arch && c.benchmark == benchmark)
+                .expect("cell computed")
+                .mean_latency_ps as f64
+        };
+        let nonspec = get(Architecture::OptNonSpeculative);
+        let hybrid = get(Architecture::OptHybridSpeculative);
+        let allspec = get(Architecture::OptAllSpeculative);
+        println!(
+            "{benchmark}: OptHybrid -{:.1}% vs OptNonSpec (paper 9.7-11.9), \
+             OptAllSpec -{:.1}% vs OptHybrid (paper 8.7-12.0)",
+            100.0 * (1.0 - hybrid / nonspec),
+            100.0 * (1.0 - allspec / hybrid),
+        );
+    }
+}

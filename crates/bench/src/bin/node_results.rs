@@ -1,0 +1,23 @@
+//! Regenerates the §5.2(a) node-level results: area and forward latency of
+//! the five fanout node designs.
+//!
+//! Usage: `cargo run -p asynoc-bench --bin node_results`
+
+use asynoc::harness::node_cost_rows;
+
+fn main() {
+    println!("Node-level results (paper section 5.2(a))");
+    println!();
+    println!("{:<30} {:>12} {:>14}", "Node", "Area (um^2)", "Latency (ps)");
+    println!("{}", "-".repeat(58));
+    for row in node_cost_rows() {
+        println!(
+            "{:<30} {:>12.0} {:>14}",
+            row.name,
+            row.area_um2,
+            row.latency.as_ps()
+        );
+    }
+    println!();
+    println!("(paper: Baseline 342/263, UnoptSpec 247/52, UnoptNonSpec 406/299, OptSpec 373/120, OptNonSpec 366/279)");
+}

@@ -1,0 +1,71 @@
+//! Dynamic Figure 4: traces an *actual simulated* multicast packet through
+//! the hybrid network, showing the speculative broadcast, the throttling of
+//! the redundant copy, and the deliveries — with real timestamps.
+//!
+//! Usage: `cargo run --release -p asynoc-bench --bin packet_trace [--seed N]`
+
+use asynoc::{
+    Architecture, Benchmark, Network, NetworkConfig, RunConfig, TraceAction,
+};
+
+fn main() {
+    let seed = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42u64);
+
+    let network = Network::new(
+        NetworkConfig::eight_by_eight(Architecture::OptHybridSpeculative).with_seed(seed),
+    )
+    .expect("valid config");
+    let run = RunConfig::quick(Benchmark::Multicast10, 0.2).with_trace(40_000);
+    let report = network.run(&run).expect("run succeeds");
+
+    // Prefer a multicast packet whose journey also shows a throttled
+    // redundant copy (one whose destinations all sit in one half, so the
+    // speculative root's broadcast creates waste); fall back to any
+    // multicast packet.
+    let deliveries = |packet| {
+        report
+            .trace
+            .iter()
+            .filter(|e| e.packet == packet && matches!(e.action, TraceAction::Delivered))
+            .count()
+    };
+    let throttles = |packet| {
+        report
+            .trace
+            .iter()
+            .filter(|e| e.packet == packet && matches!(e.action, TraceAction::Throttled))
+            .count()
+    };
+    let mut candidates: Vec<_> = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e.action, TraceAction::Delivered))
+        .map(|e| e.packet)
+        .filter(|&p| deliveries(p) > 5) // 5-flit packet, >1 destination
+        .collect();
+    candidates.dedup();
+    let Some(&packet) = candidates
+        .iter()
+        .find(|&&p| throttles(p) > 0)
+        .or_else(|| candidates.first())
+    else {
+        println!("no multicast packet found in the trace window; try another --seed");
+        return;
+    };
+
+    println!("Journey of multicast packet {packet} through OptHybridSpeculative (8x8):");
+    println!();
+    for event in report.trace.iter().filter(|e| e.packet == packet) {
+        println!("  {event}");
+    }
+    println!();
+    println!(
+        "Read the header's (flit 0) path: the speculative root forwards [both] \
+         unconditionally; the non-speculative node off the multicast tree reports \
+         THROTTLED; every destination in the set reports one delivery."
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates Table 1 (right half): total network power in mW for all six
+//! networks across the four power benchmarks, at 25 % of the Baseline
+//! network's saturation load.
+//!
+//! Usage: `cargo run --release -p asynoc-bench --bin table1_power
+//! [--quick|--paper] [--seed N]`
+
+use asynoc::harness::table1_power;
+use asynoc::{Architecture, Benchmark};
+use asynoc_bench::{arch_label, print_benchmark_header, quality_from_args};
+
+fn main() {
+    let quality = quality_from_args();
+    let cells = table1_power(&quality).expect("harness run failed");
+
+    println!("Table 1: Total network power (mW) at 25% of Baseline saturation");
+    println!();
+    print_benchmark_header("Scheme", &Benchmark::POWER_SET);
+    for group in [
+        &Architecture::CONTRIBUTION_TRAJECTORY[..],
+        &Architecture::DESIGN_SPACE[..],
+    ] {
+        for &arch in group {
+            print!("{}", arch_label(arch));
+            for benchmark in Benchmark::POWER_SET {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.architecture == arch && c.benchmark == benchmark)
+                    .expect("every cell computed");
+                print!(" {:>16.1}", cell.total_mw);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("(paper reference: Baseline 12.6/3.8/14.7/17.1; OptHybrid 13.9/4.1/15.7/17.6; OptAllSpec 16.1/4.6/17.8/19.5)");
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table 1 (left half): saturation throughput in GF/s per
+//! source for all six networks across all six benchmarks.
+//!
+//! Usage: `cargo run --release -p asynoc-bench --bin table1_throughput
+//! [--quick|--paper] [--seed N]`
+
+use asynoc::harness::table1_throughput;
+use asynoc::{Architecture, Benchmark};
+use asynoc_bench::{arch_label, print_benchmark_header, quality_from_args};
+
+fn main() {
+    let quality = quality_from_args();
+    let rows = table1_throughput(&quality).expect("harness run failed");
+
+    println!("Table 1: Saturation throughput (GF/s per source, delivered flits)");
+    println!();
+    print_benchmark_header("Scheme", &Benchmark::ALL);
+    for group in [
+        &Architecture::CONTRIBUTION_TRAJECTORY[..],
+        &Architecture::DESIGN_SPACE[..],
+    ] {
+        for &arch in group {
+            print!("{}", arch_label(arch));
+            for benchmark in Benchmark::ALL {
+                let cell = rows
+                    .iter()
+                    .find(|(a, b, _)| *a == arch && *b == benchmark)
+                    .expect("every cell computed");
+                print!(" {:>16.2}", cell.2.delivered_gfs);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("(paper reference: Baseline 1.26/1.48/0.29/1.28/1.28/1.29; OptHybrid 1.60/1.62/0.29/1.76/1.84/1.96)");
+}

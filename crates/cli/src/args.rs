@@ -1,0 +1,483 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use asynoc::{Architecture, Benchmark};
+
+/// The usage text printed by `asynoc help` and on parse errors.
+pub const USAGE: &str = "\
+asynoc — asynchronous Mesh-of-Trees NoC simulator (DAC'16 local-speculation multicast)
+
+USAGE:
+  asynoc run      --arch <A> --benchmark <B> --rate <flits/ns> [common options]
+  asynoc saturate --arch <A> --benchmark <B> [--quick] [common options]
+  asynoc sweep    --arch <A> --benchmark <B> --from <R0> --to <R1> --steps <K> [common options]
+  asynoc mesh     --benchmark <B> --rate <flits/ns> [--cols <C>] [--rows <R>] [common options]
+  asynoc info     [--arch <A>] [--size <N>]
+  asynoc help
+
+COMMON OPTIONS:
+  --size <N>        network size (power of two, 2..=64; default 8)
+  --seed <S>        RNG seed (default 42)
+  --flits <F>       flits per packet (default 5)
+  --warmup-ns <W>   warmup window in ns (default: paper standard)
+  --measure-ns <M>  measurement window in ns (default: paper standard)
+
+ARCHITECTURES:
+  Baseline, BasicNonSpeculative, BasicHybridSpeculative,
+  OptHybridSpeculative, OptNonSpeculative, OptAllSpeculative
+
+BENCHMARKS:
+  Uniform-random, Shuffle, Hotspot, Multicast5, Multicast10, Multicast-static,
+  Bit-complement, Bit-reverse, Transpose, Tornado, Nearest-neighbor
+";
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// One measurement run.
+    Run {
+        /// Network architecture.
+        arch: Architecture,
+        /// Traffic benchmark.
+        benchmark: Benchmark,
+        /// Offered load, flits/ns per source.
+        rate: f64,
+        /// Shared options.
+        common: CommonOptions,
+    },
+    /// Saturation search.
+    Saturate {
+        /// Network architecture.
+        arch: Architecture,
+        /// Traffic benchmark.
+        benchmark: Benchmark,
+        /// Use the fast low-precision preset.
+        quick: bool,
+        /// Shared options.
+        common: CommonOptions,
+    },
+    /// Latency-vs-load sweep.
+    Sweep {
+        /// Network architecture.
+        arch: Architecture,
+        /// Traffic benchmark.
+        benchmark: Benchmark,
+        /// First offered load.
+        from: f64,
+        /// Last offered load.
+        to: f64,
+        /// Number of points (≥ 2).
+        steps: usize,
+        /// Shared options.
+        common: CommonOptions,
+    },
+    /// One measurement run on the 2D-mesh comparison fabric.
+    Mesh {
+        /// Traffic benchmark.
+        benchmark: Benchmark,
+        /// Offered load, flits/ns per endpoint.
+        rate: f64,
+        /// Mesh columns.
+        cols: usize,
+        /// Mesh rows.
+        rows: usize,
+        /// Shared options (size is ignored; cols x rows defines the mesh).
+        common: CommonOptions,
+    },
+    /// Static information: node table, address bits, area/leakage.
+    Info {
+        /// Architecture to describe (default: all).
+        arch: Option<Architecture>,
+        /// Network size (default 8).
+        size: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by the simulation commands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommonOptions {
+    /// Network size.
+    pub size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Flits per packet.
+    pub flits: u8,
+    /// Warmup override, ns.
+    pub warmup_ns: Option<u64>,
+    /// Measurement override, ns.
+    pub measure_ns: Option<u64>,
+}
+
+impl Default for CommonOptions {
+    fn default() -> Self {
+        CommonOptions {
+            size: 8,
+            seed: 42,
+            flits: 5,
+            warmup_ns: None,
+            measure_ns: None,
+        }
+    }
+}
+
+/// A CLI parse failure, carrying a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseCliError {
+    message: String,
+}
+
+impl ParseCliError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseCliError {
+            message: message.into(),
+        }
+    }
+
+    /// The user-facing message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ParseCliError {}
+
+/// Splits `--key value` pairs into a map, rejecting unknown keys.
+fn collect_flags(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<BTreeMap<String, String>, ParseCliError> {
+    let mut flags = BTreeMap::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(ParseCliError::new(format!(
+                "unexpected positional argument {arg:?}"
+            )));
+        };
+        if !allowed.contains(&key) {
+            return Err(ParseCliError::new(format!("unknown option --{key}")));
+        }
+        // `--quick` is a bare flag; everything else takes a value.
+        let value = if key == "quick" {
+            "true".to_string()
+        } else {
+            iter.next()
+                .ok_or_else(|| ParseCliError::new(format!("--{key} requires a value")))?
+                .clone()
+        };
+        if flags.insert(key.to_string(), value).is_some() {
+            return Err(ParseCliError::new(format!("--{key} given twice")));
+        }
+    }
+    Ok(flags)
+}
+
+fn required<'a>(
+    flags: &'a BTreeMap<String, String>,
+    key: &str,
+) -> Result<&'a str, ParseCliError> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| ParseCliError::new(format!("missing required option --{key}")))
+}
+
+fn parse_value<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, ParseCliError>
+where
+    T::Err: fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| ParseCliError::new(format!("--{key}: {e}")))
+}
+
+fn common_options(flags: &BTreeMap<String, String>) -> Result<CommonOptions, ParseCliError> {
+    let mut options = CommonOptions::default();
+    if let Some(raw) = flags.get("size") {
+        options.size = parse_value("size", raw)?;
+    }
+    if let Some(raw) = flags.get("seed") {
+        options.seed = parse_value("seed", raw)?;
+    }
+    if let Some(raw) = flags.get("flits") {
+        options.flits = parse_value("flits", raw)?;
+    }
+    if let Some(raw) = flags.get("warmup-ns") {
+        options.warmup_ns = Some(parse_value("warmup-ns", raw)?);
+    }
+    if let Some(raw) = flags.get("measure-ns") {
+        options.measure_ns = Some(parse_value("measure-ns", raw)?);
+    }
+    Ok(options)
+}
+
+const COMMON_KEYS: [&str; 5] = ["size", "seed", "flits", "warmup-ns", "measure-ns"];
+
+fn with_common(extra: &[&str]) -> Vec<&'static str> {
+    // Leaking tiny strings once per parse is fine for a CLI; avoid by
+    // matching statically instead.
+    let mut keys: Vec<&'static str> = COMMON_KEYS.to_vec();
+    for &key in extra {
+        keys.push(match key {
+            "arch" => "arch",
+            "benchmark" => "benchmark",
+            "rate" => "rate",
+            "quick" => "quick",
+            "from" => "from",
+            "to" => "to",
+            "steps" => "steps",
+            other => unreachable!("unknown static key {other}"),
+        });
+    }
+    keys
+}
+
+/// Parses a full argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseCliError`] with a user-facing message for any malformed
+/// invocation.
+pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => {
+            let flags = collect_flags(rest, &with_common(&["arch", "benchmark", "rate"]))?;
+            Ok(Command::Run {
+                arch: parse_value("arch", required(&flags, "arch")?)?,
+                benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
+                rate: parse_value("rate", required(&flags, "rate")?)?,
+                common: common_options(&flags)?,
+            })
+        }
+        "saturate" => {
+            let flags = collect_flags(rest, &with_common(&["arch", "benchmark", "quick"]))?;
+            Ok(Command::Saturate {
+                arch: parse_value("arch", required(&flags, "arch")?)?,
+                benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
+                quick: flags.contains_key("quick"),
+                common: common_options(&flags)?,
+            })
+        }
+        "sweep" => {
+            let flags = collect_flags(
+                rest,
+                &with_common(&["arch", "benchmark", "from", "to", "steps"]),
+            )?;
+            let from: f64 = parse_value("from", required(&flags, "from")?)?;
+            let to: f64 = parse_value("to", required(&flags, "to")?)?;
+            let steps: usize = parse_value("steps", required(&flags, "steps")?)?;
+            if !(from > 0.0 && to > from) {
+                return Err(ParseCliError::new("sweep requires 0 < --from < --to"));
+            }
+            if steps < 2 {
+                return Err(ParseCliError::new("--steps must be at least 2"));
+            }
+            Ok(Command::Sweep {
+                arch: parse_value("arch", required(&flags, "arch")?)?,
+                benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
+                from,
+                to,
+                steps,
+                common: common_options(&flags)?,
+            })
+        }
+        "mesh" => {
+            let flags = collect_flags(
+                rest,
+                &{
+                    let mut keys = with_common(&["benchmark", "rate"]);
+                    keys.push("cols");
+                    keys.push("rows");
+                    keys
+                },
+            )?;
+            Ok(Command::Mesh {
+                benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
+                rate: parse_value("rate", required(&flags, "rate")?)?,
+                cols: flags
+                    .get("cols")
+                    .map(|raw| parse_value("cols", raw))
+                    .transpose()?
+                    .unwrap_or(4),
+                rows: flags
+                    .get("rows")
+                    .map(|raw| parse_value("rows", raw))
+                    .transpose()?
+                    .unwrap_or(4),
+                common: common_options(&flags)?,
+            })
+        }
+        "info" => {
+            let flags = collect_flags(rest, &["arch", "size"])?;
+            let arch = flags
+                .get("arch")
+                .map(|raw| parse_value::<Architecture>("arch", raw))
+                .transpose()?;
+            let size = flags
+                .get("size")
+                .map(|raw| parse_value::<usize>("size", raw))
+                .transpose()?
+                .unwrap_or(8);
+            Ok(Command::Info { arch, size })
+        }
+        other => Err(ParseCliError::new(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&argv("help")), Ok(Command::Help));
+        assert_eq!(parse(&argv("--help")), Ok(Command::Help));
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        let cmd = parse(&argv(
+            "run --arch OptHybridSpeculative --benchmark Multicast10 --rate 0.4",
+        ))
+        .expect("valid invocation");
+        assert_eq!(
+            cmd,
+            Command::Run {
+                arch: Architecture::OptHybridSpeculative,
+                benchmark: Benchmark::Multicast10,
+                rate: 0.4,
+                common: CommonOptions::default(),
+            }
+        );
+    }
+
+    #[test]
+    fn run_with_all_options() {
+        let cmd = parse(&argv(
+            "run --arch baseline --benchmark shuffle --rate 1.0 --size 16 \
+             --seed 7 --flits 3 --warmup-ns 100 --measure-ns 1000",
+        ))
+        .expect("valid invocation");
+        let Command::Run { arch, common, .. } = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(arch, Architecture::Baseline);
+        assert_eq!(common.size, 16);
+        assert_eq!(common.seed, 7);
+        assert_eq!(common.flits, 3);
+        assert_eq!(common.warmup_ns, Some(100));
+        assert_eq!(common.measure_ns, Some(1000));
+    }
+
+    #[test]
+    fn saturate_quick_flag() {
+        let cmd = parse(&argv("saturate --arch Baseline --benchmark Hotspot --quick"))
+            .expect("valid invocation");
+        assert!(matches!(cmd, Command::Saturate { quick: true, .. }));
+        let cmd = parse(&argv("saturate --arch Baseline --benchmark Hotspot"))
+            .expect("valid invocation");
+        assert!(matches!(cmd, Command::Saturate { quick: false, .. }));
+    }
+
+    #[test]
+    fn sweep_validation() {
+        assert!(parse(&argv(
+            "sweep --arch Baseline --benchmark Shuffle --from 0.1 --to 1.0 --steps 5"
+        ))
+        .is_ok());
+        assert!(parse(&argv(
+            "sweep --arch Baseline --benchmark Shuffle --from 1.0 --to 0.1 --steps 5"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "sweep --arch Baseline --benchmark Shuffle --from 0.1 --to 1.0 --steps 1"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn info_defaults_and_overrides() {
+        assert_eq!(parse(&argv("info")), Ok(Command::Info { arch: None, size: 8 }));
+        assert_eq!(
+            parse(&argv("info --arch OptAllSpeculative --size 16")),
+            Ok(Command::Info {
+                arch: Some(Architecture::OptAllSpeculative),
+                size: 16
+            })
+        );
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let err = parse(&argv("run --benchmark Shuffle --rate 0.4")).unwrap_err();
+        assert!(err.message().contains("--arch"));
+        let err = parse(&argv("run --arch Baseline --benchmark Shuffle --rate nope")).unwrap_err();
+        assert!(err.message().contains("--rate"));
+        let err = parse(&argv("run --arch Baseline --bogus 3")).unwrap_err();
+        assert!(err.message().contains("--bogus"));
+        let err = parse(&argv("fly --arch Baseline")).unwrap_err();
+        assert!(err.message().contains("fly"));
+        let err = parse(&argv("run --arch Warp9 --benchmark Shuffle --rate 0.4")).unwrap_err();
+        assert!(err.message().contains("Warp9"));
+        let err = parse(&argv("run positional")).unwrap_err();
+        assert!(err.message().contains("positional"));
+        let err =
+            parse(&argv("run --arch Baseline --arch Baseline --benchmark Shuffle --rate 0.4"))
+                .unwrap_err();
+        assert!(err.message().contains("twice"));
+        let err = parse(&argv("run --arch")).unwrap_err();
+        assert!(err.message().contains("requires a value"));
+    }
+
+    #[test]
+    fn mesh_command_with_defaults_and_overrides() {
+        let cmd = parse(&argv("mesh --benchmark Tornado --rate 0.2")).expect("valid");
+        assert!(matches!(
+            cmd,
+            Command::Mesh {
+                cols: 4,
+                rows: 4,
+                benchmark: Benchmark::Tornado,
+                ..
+            }
+        ));
+        let cmd =
+            parse(&argv("mesh --benchmark Shuffle --rate 0.2 --cols 8 --rows 8")).expect("valid");
+        assert!(matches!(cmd, Command::Mesh { cols: 8, rows: 8, .. }));
+    }
+
+    #[test]
+    fn benchmark_aliases_parse() {
+        let cmd = parse(&argv(
+            "run --arch Baseline --benchmark Multicast_static --rate 0.2",
+        ))
+        .expect("paper spelling accepted");
+        assert!(matches!(
+            cmd,
+            Command::Run {
+                benchmark: Benchmark::MulticastStatic,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,355 @@
+//! Command execution, writing human-readable reports to any `Write` sink
+//! (tests capture a `Vec<u8>`, `main` passes stdout).
+
+use std::io::{self, Write};
+
+use asynoc::harness::{saturation_of, Quality};
+use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
+use asynoc::{
+    Architecture, Duration, MotSize, Network, NetworkConfig, Phases, RunConfig, SimError,
+};
+
+use crate::args::{Command, CommonOptions, USAGE};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Simulation/configuration error.
+    Sim(SimError),
+    /// Output error.
+    Io(io::Error),
+    /// Invalid combination the parser cannot catch (e.g. bad size).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Sim(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Invalid(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+fn network(arch: Architecture, common: &CommonOptions) -> Result<Network, CliError> {
+    let size = MotSize::new(common.size)
+        .map_err(|e| CliError::Invalid(format!("--size: {e}")))?;
+    let config = NetworkConfig::new(size, arch)
+        .with_seed(common.seed)
+        .with_flits_per_packet(common.flits);
+    Ok(Network::new(config)?)
+}
+
+fn phases_for(benchmark: asynoc::Benchmark, common: &CommonOptions) -> Phases {
+    let default = Phases::paper_standard(benchmark == asynoc::Benchmark::MulticastStatic);
+    let warmup = common
+        .warmup_ns
+        .map_or(default.warmup(), Duration::from_ns);
+    let measure = common
+        .measure_ns
+        .map_or(default.measure(), Duration::from_ns);
+    Phases::new(warmup, measure)
+}
+
+/// Executes a parsed command, writing its report to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on simulation or I/O failure.
+pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Run {
+            arch,
+            benchmark,
+            rate,
+            common,
+        } => {
+            let net = network(*arch, common)?;
+            let run = RunConfig::new(*benchmark, *rate)?
+                .with_phases(phases_for(*benchmark, common));
+            let mut report = net.run(&run)?;
+            writeln!(
+                out,
+                "{arch} ({}x{}) x {benchmark} @ {rate} flits/ns per source",
+                common.size, common.size
+            )?;
+            writeln!(out, "  packets measured : {}", report.packets_measured)?;
+            if report.packets_incomplete > 0 {
+                writeln!(
+                    out,
+                    "  WARNING          : {} packets never completed (saturated?)",
+                    report.packets_incomplete
+                )?;
+            }
+            if report.acceptance() < 0.95 {
+                writeln!(
+                    out,
+                    "  WARNING          : only {:.0}% of offered load accepted — past saturation",
+                    100.0 * report.acceptance()
+                )?;
+            }
+            if let Some(mean) = report.latency.mean() {
+                writeln!(out, "  latency mean     : {mean}")?;
+                if let (Some(p50), Some(p99), Some(max)) = (
+                    report.latency.median(),
+                    report.latency.p99(),
+                    report.latency.max(),
+                ) {
+                    writeln!(out, "  latency p50/p99  : {p50} / {p99} (max {max})")?;
+                }
+            }
+            writeln!(out, "  throughput       : {}", report.throughput)?;
+            writeln!(out, "  power            : {}", report.power)?;
+            writeln!(out, "  flits throttled  : {}", report.flits_throttled)?;
+            if let Some(histogram) = report.latency.histogram(8) {
+                writeln!(out, "  latency distribution:")?;
+                for line in histogram.render(32).lines() {
+                    writeln!(out, "    {line}")?;
+                }
+            }
+            Ok(())
+        }
+        Command::Saturate {
+            arch,
+            benchmark,
+            quick,
+            common,
+        } => {
+            let net = network(*arch, common)?;
+            let mut quality = if *quick { Quality::quick() } else { Quality::paper() };
+            quality.seed = common.seed;
+            let point = saturation_of(&net, *benchmark, &quality)?;
+            writeln!(out, "{arch} x {benchmark} saturation:")?;
+            writeln!(
+                out,
+                "  stable injected load : {:.2} flits/ns per source",
+                point.injected_gfs
+            )?;
+            writeln!(
+                out,
+                "  delivered plateau    : {:.2} GF/s per source (Table 1 quantity)",
+                point.delivered_gfs
+            )?;
+            Ok(())
+        }
+        Command::Sweep {
+            arch,
+            benchmark,
+            from,
+            to,
+            steps,
+            common,
+        } => {
+            let net = network(*arch, common)?;
+            writeln!(out, "{arch} x {benchmark}: latency vs offered load")?;
+            writeln!(out, "{:<12} {:>14} {:>12} {:>12}", "load", "mean", "p99", "accepted")?;
+            for k in 0..*steps {
+                let rate = from + (to - from) * k as f64 / (*steps - 1) as f64;
+                let run = RunConfig::new(*benchmark, rate)?
+                    .with_phases(phases_for(*benchmark, common));
+                let mut report = net.run(&run)?;
+                let mean = report
+                    .latency
+                    .mean()
+                    .map_or("-".to_string(), |d| d.to_string());
+                let p99 = report
+                    .latency
+                    .p99()
+                    .map_or("-".to_string(), |d| d.to_string());
+                writeln!(
+                    out,
+                    "{:<12.3} {:>14} {:>12} {:>11.0}%",
+                    rate,
+                    mean,
+                    p99,
+                    100.0 * report.acceptance()
+                )?;
+            }
+            Ok(())
+        }
+        Command::Mesh {
+            benchmark,
+            rate,
+            cols,
+            rows,
+            common,
+        } => {
+            let size = MeshSize::new(*cols, *rows)
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let network = MeshNetwork::new(
+                MeshConfig::new(size)
+                    .with_seed(common.seed)
+                    .with_flits_per_packet(common.flits),
+            )
+            .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let mut report = network
+                .run(*benchmark, *rate, phases_for(*benchmark, common))
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            writeln!(out, "{size} x {benchmark} @ {rate} flits/ns per endpoint")?;
+            writeln!(out, "  packets measured : {}", report.packets_measured)?;
+            if report.packets_incomplete > 0 || report.acceptance() < 0.95 {
+                writeln!(
+                    out,
+                    "  WARNING          : saturated ({} incomplete, {:.0}% accepted)",
+                    report.packets_incomplete,
+                    100.0 * report.acceptance()
+                )?;
+            }
+            if let (Some(mean), Some(p99)) = (report.latency.mean(), report.latency.p99()) {
+                writeln!(out, "  latency mean/p99 : {mean} / {p99}")?;
+            }
+            writeln!(out, "  throughput       : {}", report.throughput)?;
+            writeln!(out, "  mean hops        : {:.2}", report.mean_hops)?;
+            Ok(())
+        }
+        Command::Info { arch, size } => {
+            let size = MotSize::new(*size)
+                .map_err(|e| CliError::Invalid(format!("--size: {e}")))?;
+            writeln!(out, "Network size {size}: {} fanout + {} fanin nodes, {} levels",
+                size.total_fanout_nodes(),
+                size.total_fanin_nodes(),
+                size.levels()
+            )?;
+            writeln!(out)?;
+            writeln!(
+                out,
+                "{:<26} {:>10} {:>12} {:>14} {:>14}",
+                "architecture", "addr bits", "spec nodes", "area (um^2)", "leakage (mW)"
+            )?;
+            let list: Vec<Architecture> = match arch {
+                Some(a) => vec![*a],
+                None => Architecture::ALL.to_vec(),
+            };
+            for a in list {
+                let net = Network::new(NetworkConfig::new(size, a))?;
+                writeln!(
+                    out,
+                    "{:<26} {:>10} {:>12} {:>14.0} {:>14.2}",
+                    a.to_string(),
+                    a.address_bits(size),
+                    a.speculation_map(size).speculative_nodes(),
+                    net.area_um2(),
+                    net.leakage_mw()
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_cli(line: &str) -> String {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let command = parse(&args).expect("valid invocation");
+        let mut out = Vec::new();
+        execute(&command, &mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_cli("help");
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("OptHybridSpeculative"));
+    }
+
+    #[test]
+    fn run_reports_measurements() {
+        let text = run_cli(
+            "run --arch OptHybridSpeculative --benchmark Multicast10 --rate 0.3 \
+             --warmup-ns 80 --measure-ns 600",
+        );
+        assert!(text.contains("packets measured"));
+        assert!(text.contains("latency mean"));
+        assert!(text.contains("power"));
+        assert!(!text.contains("WARNING"));
+    }
+
+    #[test]
+    fn run_warns_when_saturated() {
+        let text = run_cli(
+            "run --arch Baseline --benchmark Uniform-random --rate 2.5 \
+             --warmup-ns 80 --measure-ns 400",
+        );
+        assert!(text.contains("WARNING"), "saturated run must warn: {text}");
+    }
+
+    #[test]
+    fn saturate_quick_reports_both_quantities() {
+        let text = run_cli("saturate --arch Baseline --benchmark Hotspot --quick");
+        assert!(text.contains("stable injected load"));
+        assert!(text.contains("delivered plateau"));
+        // Hotspot anchor: ~0.29 GF/s per source.
+        assert!(text.contains("0.2"), "unexpected hotspot value: {text}");
+    }
+
+    #[test]
+    fn sweep_prints_every_point() {
+        let text = run_cli(
+            "sweep --arch Baseline --benchmark Shuffle --from 0.2 --to 0.6 --steps 3 \
+             --warmup-ns 60 --measure-ns 400",
+        );
+        assert!(text.contains("0.200"));
+        assert!(text.contains("0.400"));
+        assert!(text.contains("0.600"));
+    }
+
+    #[test]
+    fn info_lists_all_architectures() {
+        let text = run_cli("info --size 16");
+        for arch in Architecture::ALL {
+            assert!(text.contains(&arch.to_string()), "{arch} missing:\n{text}");
+        }
+        assert!(text.contains("20")); // 16x16 hybrid address bits
+    }
+
+    #[test]
+    fn info_single_architecture() {
+        let text = run_cli("info --arch OptAllSpeculative");
+        assert!(text.contains("OptAllSpeculative"));
+        assert!(!text.contains("BasicNonSpeculative"));
+    }
+
+    #[test]
+    fn mesh_run_reports() {
+        let text = run_cli(
+            "mesh --benchmark Uniform-random --rate 0.15 --cols 4 --rows 4 \
+             --warmup-ns 60 --measure-ns 500",
+        );
+        assert!(text.contains("4x4 mesh"));
+        assert!(text.contains("mean hops"));
+        assert!(!text.contains("WARNING"));
+    }
+
+    #[test]
+    fn invalid_size_is_reported() {
+        let args: Vec<String> = "info --size 12".split_whitespace().map(String::from).collect();
+        let command = parse(&args).expect("parses");
+        let mut out = Vec::new();
+        let err = execute(&command, &mut out).unwrap_err();
+        assert!(err.to_string().contains("12"));
+    }
+}

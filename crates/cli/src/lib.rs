@@ -1,0 +1,20 @@
+//! Command-line interface to the `asynoc` simulator.
+//!
+//! The binary is called `asynoc`:
+//!
+//! ```text
+//! asynoc run      --arch OptHybridSpeculative --benchmark Multicast10 --rate 0.4
+//! asynoc saturate --arch Baseline --benchmark Shuffle --quick
+//! asynoc sweep    --arch OptAllSpeculative --benchmark Uniform-random \
+//!                 --from 0.1 --to 1.4 --steps 8
+//! asynoc info     --size 16
+//! ```
+//!
+//! Everything the CLI does is a thin veneer over the [`asynoc`] public API,
+//! so scripted experiments can migrate to Rust code without surprises.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseCliError};
+pub use commands::execute;

@@ -1,0 +1,27 @@
+//! The `asynoc` command-line binary.
+
+use std::process::ExitCode;
+
+use asynoc_cli::args::USAGE;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match asynoc_cli::parse(&args) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!();
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    match asynoc_cli::execute(&command, &mut lock) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,994 @@
+//! The event-driven network simulator.
+//!
+//! # Execution model
+//!
+//! Every bundled-data channel holds at most one flit. An entity (source,
+//! fanout node, fanin node) *fires* when all of its preconditions hold —
+//! a flit is present at its input, the output channels its protocol demands
+//! are free, and its cycle floor has elapsed. Firing moves the flit into
+//! the demanded output channel(s) (cloning it at multicast branch points
+//! and speculative broadcasts), schedules the flit's arrival downstream
+//! after the node's forward latency plus the wire delay, and schedules the
+//! input channel to free after the node has generated its acknowledge
+//! (`forward + ack_extra`, or just `drop_ack` for throttled flits).
+//!
+//! Blocked entities are not polled: whichever event unblocks them (an
+//! arrival on their input, their output channel freeing) wakes exactly the
+//! entity wired to that channel. Only cycle-floor stalls schedule explicit
+//! retries. All ties pop in schedule order, so runs are bit-reproducible
+//! for a given seed.
+//!
+//! # What is recorded
+//!
+//! Inside the measurement window: offered/injected/delivered flits, energy
+//! deposits (node traversals, wire launches, throttled flits), and the
+//! latency of every logical packet *created* in the window, measured to the
+//! arrival of its last header — the paper's §5.1 protocol. After injection
+//! stops, the run drains until all measured packets complete (bounded by a
+//! drain cap so saturated runs still terminate).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use asynoc_kernel::{EventQueue, Time};
+use asynoc_nodes::{FaninState, FanoutState, FlitClass, TimingModel};
+use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId};
+use asynoc_power::{EnergyCategory, EnergyLedger};
+use asynoc_stats::{LatencyStats, Phases, ThroughputCounter};
+use asynoc_topology::{multicast_route, OutputPort};
+use asynoc_traffic::SourceTraffic;
+
+use crate::config::{NetworkConfig, RunConfig};
+use crate::error::SimError;
+use crate::fabric::{Downstream, Entity, Fabric};
+use crate::report::{NodeActivity, RunReport};
+use crate::trace::{TraceAction, TraceEvent, TraceLocation, TraceRecorder};
+
+/// A ready-to-run simulated network.
+///
+/// Construction elaborates the full fabric (nodes, channels, wiring) once;
+/// each [`run`](Network::run) then executes an independent simulation with
+/// fresh dynamic state, so one `Network` can be reused across benchmarks
+/// and injection rates.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc::{Architecture, Benchmark, Network, NetworkConfig, RunConfig};
+///
+/// let network = Network::new(NetworkConfig::eight_by_eight(
+///     Architecture::BasicNonSpeculative,
+/// ))?;
+/// let report = network.run(&RunConfig::quick(Benchmark::UniformRandom, 0.3))?;
+/// assert!(report.acceptance() > 0.9);
+/// # Ok::<(), asynoc::SimError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    fabric: Fabric,
+}
+
+impl Network {
+    /// Elaborates a network from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for any constructible [`NetworkConfig`], but
+    /// returns `Result` so future validation (e.g. custom speculation maps)
+    /// does not break the API.
+    pub fn new(config: NetworkConfig) -> Result<Self, SimError> {
+        let fabric = Fabric::build(config.size(), config.plan());
+        Ok(Network { config, fabric })
+    }
+
+    /// The configuration this network was built from.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Total network leakage power, milliwatts.
+    #[must_use]
+    pub fn leakage_mw(&self) -> f64 {
+        self.fabric.leakage_mw(self.config.timing())
+    }
+
+    /// Total cell area of all nodes, µm².
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        let timing = self.config.timing();
+        let fanout: f64 = self
+            .fabric
+            .fanout_kind
+            .iter()
+            .map(|&k| timing.fanout_area(k))
+            .sum();
+        fanout + self.config.size().total_fanin_nodes() as f64 * timing.fanin_area_um2
+    }
+
+    /// Executes one benchmark run and reports its measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the traffic specification is invalid for this
+    /// network (rate, benchmark/source mismatch).
+    pub fn run(&self, run: &RunConfig) -> Result<RunReport, SimError> {
+        let mut sim = Simulation::new(self, run)?;
+        sim.execute();
+        Ok(sim.finish())
+    }
+}
+
+/// Events driving the simulation.
+#[derive(Clone, Debug)]
+enum Event {
+    /// Source `source` generates its next packet.
+    Inject { source: usize },
+    /// The flit in flight on `channel` reaches the downstream input.
+    Arrive { channel: usize },
+    /// `channel` completes its handshake and becomes free.
+    FreeChannel { channel: usize },
+    /// Re-attempt firing after a cycle-floor stall.
+    Retry { entity: Entity },
+}
+
+/// Dynamic state of one channel.
+#[derive(Clone, Debug)]
+enum ChannelState {
+    /// Empty; upstream may launch.
+    Free,
+    /// A flit was launched and is in flight.
+    InFlight(Flit),
+    /// The flit sits at the downstream input, awaiting consumption.
+    Arrived(Flit),
+    /// Consumed; the handshake is completing (ack in flight).
+    Draining,
+}
+
+impl ChannelState {
+    fn is_free(&self) -> bool {
+        matches!(self, ChannelState::Free)
+    }
+
+    fn arrived(&self) -> Option<&Flit> {
+        match self {
+            ChannelState::Arrived(flit) => Some(flit),
+            _ => None,
+        }
+    }
+}
+
+/// Latency bookkeeping for one logical packet.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    created_at: Time,
+    /// Destinations that must still receive the header.
+    awaiting: DestSet,
+    measured: bool,
+}
+
+struct Simulation<'a> {
+    fabric: &'a Fabric,
+    timing: &'a TimingModel,
+    flits_per_packet: u8,
+    phases: Phases,
+    drain: bool,
+    injection_end: Time,
+    hard_cap: Time,
+
+    queue: EventQueue<Event>,
+    now: Time,
+
+    channels: Vec<ChannelState>,
+    fanout_state: Vec<FanoutState>,
+    fanout_next_fire: Vec<Time>,
+    fanin_state: Vec<FaninState>,
+    fanin_next_fire: Vec<Time>,
+    source_queue: Vec<VecDeque<Flit>>,
+    source_next_fire: Vec<Time>,
+    traffic: Vec<SourceTraffic>,
+
+    next_packet_id: u64,
+    pending: HashMap<u64, Pending>,
+    pending_measured: usize,
+
+    latency: LatencyStats,
+    throughput: ThroughputCounter,
+    ledger: EnergyLedger,
+    flits_throttled: u64,
+    flits_delivered: u64,
+    leakage_mw: f64,
+    activity: NodeActivity,
+    trace: TraceRecorder,
+}
+
+impl<'a> Simulation<'a> {
+    fn new(network: &'a Network, run: &RunConfig) -> Result<Self, SimError> {
+        let config = &network.config;
+        let n = config.size().n();
+        let phases = run.phases();
+        let mut traffic = Vec::with_capacity(n);
+        for s in 0..n {
+            traffic.push(SourceTraffic::new(
+                run.benchmark(),
+                n,
+                s,
+                run.rate_gfs(),
+                config.flits_per_packet(),
+                config.seed(),
+            )?);
+        }
+
+        let fabric = &network.fabric;
+        let injection_end = phases.measurement_end();
+        // Saturated runs never finish draining; cap the drain at one extra
+        // measurement window plus warmup.
+        let hard_cap = injection_end + phases.measure() + phases.warmup();
+
+        let mut sim = Simulation {
+            fabric,
+            timing: config.timing(),
+            flits_per_packet: config.flits_per_packet(),
+            phases,
+            drain: run.drain(),
+            injection_end,
+            hard_cap,
+            queue: EventQueue::with_capacity(4096),
+            now: Time::ZERO,
+            channels: vec![ChannelState::Free; fabric.channels.len()],
+            fanout_state: fabric.fanout_kind.iter().map(|&k| FanoutState::new(k)).collect(),
+            fanout_next_fire: vec![Time::ZERO; fabric.fanout_kind.len()],
+            fanin_state: (0..config.size().total_fanin_nodes())
+                .map(|_| FaninState::new())
+                .collect(),
+            fanin_next_fire: vec![Time::ZERO; config.size().total_fanin_nodes()],
+            source_queue: (0..n).map(|_| VecDeque::new()).collect(),
+            source_next_fire: vec![Time::ZERO; n],
+            traffic,
+            next_packet_id: 0,
+            pending: HashMap::new(),
+            pending_measured: 0,
+            latency: LatencyStats::new(),
+            throughput: ThroughputCounter::new(n),
+            ledger: EnergyLedger::new(),
+            flits_throttled: 0,
+            flits_delivered: 0,
+            leakage_mw: network.leakage_mw(),
+            activity: NodeActivity::new(config.size(), phases.measure()),
+            trace: TraceRecorder::new(run.trace_limit()),
+        };
+
+        // Prime each source's first injection.
+        for s in 0..n {
+            let gap = sim.traffic[s].next_gap();
+            sim.queue.schedule(Time::ZERO + gap, Event::Inject { source: s });
+        }
+        Ok(sim)
+    }
+
+    fn execute(&mut self) {
+        while let Some((t, event)) = self.queue.pop() {
+            self.now = t;
+            if t > self.hard_cap {
+                break;
+            }
+            if !self.drain && t >= self.injection_end {
+                break;
+            }
+            match event {
+                Event::Inject { source } => self.handle_inject(source),
+                Event::Arrive { channel } => self.handle_arrive(channel),
+                Event::FreeChannel { channel } => self.handle_free(channel),
+                Event::Retry { entity } => self.try_fire(entity),
+            }
+            if self.drain && self.now >= self.injection_end && self.pending_measured == 0 {
+                break;
+            }
+        }
+    }
+
+    fn finish(self) -> RunReport {
+        let throughput = self.throughput.per_source_gfs(self.phases.measure());
+        let power = self.ledger.report(self.phases.measure(), self.leakage_mw);
+        let packets_measured = self.latency.count();
+        RunReport {
+            latency: self.latency,
+            throughput,
+            power,
+            packets_measured,
+            packets_incomplete: self.pending_measured,
+            flits_throttled: self.flits_throttled,
+            flits_delivered: self.flits_delivered,
+            activity: self.activity,
+            trace: self.trace.into_events(),
+        }
+    }
+
+    fn alloc_id(&mut self) -> PacketId {
+        let id = PacketId::new(self.next_packet_id);
+        self.next_packet_id += 1;
+        id
+    }
+
+    fn in_window(&self) -> bool {
+        self.phases.in_measurement(self.now)
+    }
+
+    // ------------------------------------------------------------------
+    // Injection
+    // ------------------------------------------------------------------
+
+    fn handle_inject(&mut self, source: usize) {
+        if self.now >= self.injection_end {
+            return;
+        }
+        let dests = self.traffic[source].next_dests();
+        self.create_packets(source, dests);
+        let gap = self.traffic[source].next_gap();
+        self.queue
+            .schedule(self.now + gap, Event::Inject { source });
+        self.try_fire(Entity::Source(source));
+    }
+
+    fn create_packets(&mut self, source: usize, dests: DestSet) {
+        let size = self.fabric.size;
+        let measured = self.in_window();
+        let logical = self.alloc_id();
+        let flits = self.flits_per_packet;
+        let serialize = self.fabric.serializes_multicast && dests.len() > 1;
+
+        let mut offered_flits = 0u64;
+        if serialize {
+            // Serial multicast: one unicast clone per destination, queued
+            // back to back; latency is accounted against the logical packet.
+            for dest in dests.iter() {
+                let id = self.alloc_id();
+                let clone_dests = DestSet::unicast(dest);
+                let route = multicast_route(size, source, clone_dests)
+                    .expect("benchmark destinations are validated at construction");
+                let descriptor = Arc::new(
+                    PacketDescriptor::new(id, source, clone_dests, route, flits, self.now)
+                        .with_group(logical),
+                );
+                self.source_queue[source].extend(Flit::train(&descriptor));
+                offered_flits += u64::from(flits);
+            }
+        } else {
+            let route = multicast_route(size, source, dests)
+                .expect("benchmark destinations are validated at construction");
+            let descriptor = Arc::new(PacketDescriptor::new(
+                logical, source, dests, route, flits, self.now,
+            ));
+            self.source_queue[source].extend(Flit::train(&descriptor));
+            offered_flits = u64::from(flits);
+        }
+
+        self.pending.insert(
+            logical.as_u64(),
+            Pending {
+                created_at: self.now,
+                awaiting: dests,
+                measured,
+            },
+        );
+        if measured {
+            self.pending_measured += 1;
+            self.throughput.record_offered(offered_flits);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Channel events
+    // ------------------------------------------------------------------
+
+    fn handle_arrive(&mut self, channel: usize) {
+        let state = std::mem::replace(&mut self.channels[channel], ChannelState::Free);
+        let ChannelState::InFlight(flit) = state else {
+            unreachable!("arrival on a channel that was not in flight");
+        };
+        self.channels[channel] = ChannelState::Arrived(flit);
+        match self.fabric.channels[channel].downstream {
+            Downstream::Sink(dest) => self.sink_consume(channel, dest),
+            other => self.try_fire(other.entity()),
+        }
+    }
+
+    fn handle_free(&mut self, channel: usize) {
+        debug_assert!(
+            matches!(self.channels[channel], ChannelState::Draining),
+            "freed a channel that was not draining"
+        );
+        self.channels[channel] = ChannelState::Free;
+        self.try_fire(self.fabric.channels[channel].upstream);
+    }
+
+    fn schedule_retry(&mut self, entity: Entity, at: Time) {
+        self.queue.schedule(at, Event::Retry { entity });
+    }
+
+    fn try_fire(&mut self, entity: Entity) {
+        match entity {
+            Entity::Source(s) => self.fire_source(s),
+            Entity::Fanout(f) => self.fire_fanout(f),
+            Entity::Fanin(f) => self.fire_fanin(f),
+            Entity::Sink(_) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Entities
+    // ------------------------------------------------------------------
+
+    fn fire_source(&mut self, source: usize) {
+        if self.source_queue[source].is_empty() {
+            return;
+        }
+        let channel = self.fabric.source_out[source];
+        if !self.channels[channel].is_free() {
+            return;
+        }
+        if self.now < self.source_next_fire[source] {
+            self.schedule_retry(Entity::Source(source), self.source_next_fire[source]);
+            return;
+        }
+        let flit = self.source_queue[source]
+            .pop_front()
+            .expect("queue checked non-empty");
+        if self.trace.enabled() {
+            self.trace.push(TraceEvent {
+                time: self.now,
+                packet: flit.descriptor().id(),
+                flit: flit.index(),
+                location: TraceLocation::Source(source),
+                action: TraceAction::Injected,
+            });
+        }
+        if self.in_window() {
+            self.throughput.record_injected(1);
+            self.ledger.add(EnergyCategory::Wire, self.timing.wire_fj);
+        }
+        self.channels[channel] = ChannelState::InFlight(flit);
+        self.queue.schedule(
+            self.now + self.timing.wire_delay,
+            Event::Arrive { channel },
+        );
+        self.source_next_fire[source] = self.now + self.timing.source_cycle;
+    }
+
+    fn fire_fanout(&mut self, flat: usize) {
+        let input = self.fabric.fanout_input[flat];
+        let Some(flit_ref) = self.channels[input].arrived() else {
+            return;
+        };
+        let coords = self.fabric.fanout_coords[flat];
+        let symbol = flit_ref
+            .descriptor()
+            .route()
+            .symbol(coords.level, coords.index);
+        let flit_kind = flit_ref.kind();
+        let decision = self.fanout_state[flat].peek(flit_kind, symbol);
+
+        if self.now < self.fanout_next_fire[flat] {
+            self.schedule_retry(Entity::Fanout(flat), self.fanout_next_fire[flat]);
+            return;
+        }
+        if !decision.is_drop() {
+            // All demanded outputs must be free *simultaneously*: the
+            // speculative node's C-element acknowledge and the
+            // non-speculative node's parallel Reqout generation both couple
+            // the outputs.
+            for port in OutputPort::BOTH {
+                let demanded = match port {
+                    OutputPort::Top => decision.forward.wants_top(),
+                    OutputPort::Bottom => decision.forward.wants_bottom(),
+                };
+                if demanded && !self.channels[self.fabric.fanout_out[flat][port.index()]].is_free()
+                {
+                    return; // woken by that channel's FreeChannel event
+                }
+            }
+        }
+
+        let committed = self.fanout_state[flat].decide(flit_kind, symbol);
+        debug_assert_eq!(committed, decision);
+        let state = std::mem::replace(&mut self.channels[input], ChannelState::Draining);
+        let ChannelState::Arrived(flit) = state else {
+            unreachable!("fanout input checked Arrived above");
+        };
+
+        let kind = self.fabric.fanout_kind[flat];
+        let timing = *self.timing.fanout(kind);
+        let class = FlitClass::of(flit_kind);
+        let in_window = self.in_window();
+        if self.trace.enabled() {
+            self.trace.push(TraceEvent {
+                time: self.now,
+                packet: flit.descriptor().id(),
+                flit: flit.index(),
+                location: TraceLocation::Fanout(coords),
+                action: if decision.is_drop() {
+                    TraceAction::Throttled
+                } else {
+                    TraceAction::Forwarded(decision.forward)
+                },
+            });
+        }
+
+        if decision.is_drop() {
+            // Throttle: acknowledge upstream without forwarding.
+            self.queue.schedule(
+                self.now + timing.drop_ack,
+                Event::FreeChannel { channel: input },
+            );
+            if in_window {
+                self.ledger.add(EnergyCategory::Dropped, self.timing.drop_fj);
+                self.flits_throttled += 1;
+                self.activity.record_fanout(flat, timing.drop_ack, true);
+            }
+        } else {
+            let forward = timing.forward(class);
+            for port in OutputPort::BOTH {
+                let demanded = match port {
+                    OutputPort::Top => decision.forward.wants_top(),
+                    OutputPort::Bottom => decision.forward.wants_bottom(),
+                };
+                if !demanded {
+                    continue;
+                }
+                let out = self.fabric.fanout_out[flat][port.index()];
+                debug_assert!(self.channels[out].is_free());
+                self.channels[out] = ChannelState::InFlight(flit.clone());
+                self.queue.schedule(
+                    self.now + forward + self.timing.wire_delay,
+                    Event::Arrive { channel: out },
+                );
+                if in_window {
+                    self.ledger.add(EnergyCategory::Wire, self.timing.wire_fj);
+                }
+            }
+            self.queue.schedule(
+                self.now + timing.free_delay(class),
+                Event::FreeChannel { channel: input },
+            );
+            if in_window {
+                self.ledger.add(
+                    EnergyCategory::Fanout,
+                    self.timing.fanout_energy(kind).for_class(class),
+                );
+                self.activity
+                    .record_fanout(flat, timing.free_delay(class), false);
+            }
+        }
+        self.fanout_next_fire[flat] = self.now + timing.cycle_floor;
+    }
+
+    fn fire_fanin(&mut self, flat: usize) {
+        let [c0, c1] = self.fabric.fanin_input[flat];
+        let p0 = self.channels[c0].arrived().is_some();
+        let p1 = self.channels[c1].arrived().is_some();
+        let Some(winner) = self.fanin_state[flat].select(p0, p1) else {
+            return;
+        };
+        if self.now < self.fanin_next_fire[flat] {
+            self.schedule_retry(Entity::Fanin(flat), self.fanin_next_fire[flat]);
+            return;
+        }
+        let out = self.fabric.fanin_out[flat];
+        if !self.channels[out].is_free() {
+            return; // woken when the output drains
+        }
+
+        let input_channel = [c0, c1][winner];
+        let state = std::mem::replace(&mut self.channels[input_channel], ChannelState::Draining);
+        let ChannelState::Arrived(flit) = state else {
+            unreachable!("selected fanin input checked Arrived above");
+        };
+        self.fanin_state[flat].advance(winner, flit.kind());
+        if self.trace.enabled() {
+            self.trace.push(TraceEvent {
+                time: self.now,
+                packet: flit.descriptor().id(),
+                flit: flit.index(),
+                location: TraceLocation::Fanin(asynoc_topology::FaninNodeId::from_flat_index(
+                    self.fabric.size,
+                    flat,
+                )),
+                action: TraceAction::Arbitrated { input: winner },
+            });
+        }
+
+        let timing = self.timing.fanin;
+        let class = FlitClass::of(flit.kind());
+        self.channels[out] = ChannelState::InFlight(flit);
+        self.queue.schedule(
+            self.now + timing.forward(class) + self.timing.wire_delay,
+            Event::Arrive { channel: out },
+        );
+        self.queue.schedule(
+            self.now + timing.free_delay(class),
+            Event::FreeChannel {
+                channel: input_channel,
+            },
+        );
+        if self.in_window() {
+            self.ledger.add(
+                EnergyCategory::Fanin,
+                self.timing.fanin_energy.for_class(class),
+            );
+            self.ledger.add(EnergyCategory::Wire, self.timing.wire_fj);
+            self.activity.record_fanin(flat, timing.free_delay(class));
+        }
+        self.fanin_next_fire[flat] = self.now + timing.cycle_floor;
+    }
+
+    fn sink_consume(&mut self, channel: usize, dest: usize) {
+        let state = std::mem::replace(&mut self.channels[channel], ChannelState::Draining);
+        let ChannelState::Arrived(flit) = state else {
+            unreachable!("sink consumes only arrived flits");
+        };
+        self.queue.schedule(
+            self.now + self.timing.sink_ack,
+            Event::FreeChannel { channel },
+        );
+        if self.trace.enabled() {
+            self.trace.push(TraceEvent {
+                time: self.now,
+                packet: flit.descriptor().id(),
+                flit: flit.index(),
+                location: TraceLocation::Sink(dest),
+                action: TraceAction::Delivered,
+            });
+        }
+        if self.in_window() {
+            self.throughput.record_delivered(1);
+            self.flits_delivered += 1;
+        }
+        if flit.kind().is_header() {
+            let logical = flit.descriptor().logical_id().as_u64();
+            if let Some(pending) = self.pending.get_mut(&logical) {
+                // Delivery audit: a header may reach each destination in
+                // its set exactly once — a duplicate means a redundant
+                // speculative copy escaped throttling, a miss would show up
+                // as a never-completing packet.
+                assert!(
+                    pending.awaiting.contains(dest),
+                    "packet {logical}: duplicate or misrouted header at destination {dest}"
+                );
+                pending.awaiting.remove(dest);
+                if pending.awaiting.is_empty() {
+                    let done = self.pending.remove(&logical).expect("entry present");
+                    if done.measured {
+                        self.latency
+                            .record(self.now.saturating_since(done.created_at));
+                        self.pending_measured -= 1;
+                    }
+                }
+            } else {
+                panic!(
+                    "packet {logical}: header delivered at destination {dest} after completion \
+                     — a redundant speculative copy escaped throttling"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetworkConfig, RunConfig};
+    use asynoc_kernel::Duration;
+    use asynoc_topology::Architecture;
+    use asynoc_traffic::Benchmark;
+
+    fn quick_run(arch: Architecture, benchmark: Benchmark, rate: f64) -> RunReport {
+        let network = Network::new(NetworkConfig::eight_by_eight(arch).with_seed(42)).unwrap();
+        network.run(&RunConfig::quick(benchmark, rate)).unwrap()
+    }
+
+    #[test]
+    fn light_load_delivers_everything() {
+        for arch in Architecture::ALL {
+            let report = quick_run(arch, Benchmark::UniformRandom, 0.1);
+            assert!(report.packets_measured > 0, "{arch}: no packets measured");
+            assert_eq!(
+                report.packets_incomplete, 0,
+                "{arch}: packets stuck at light load"
+            );
+            assert!(
+                report.acceptance() > 0.99,
+                "{arch}: acceptance {} at light load",
+                report.acceptance()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_load_latency_reflects_path_length() {
+        // At very light load, mean latency approaches the sum of node
+        // forward latencies + wire hops. Baseline 8x8: 3 fanout (263 ps)
+        // + 3 fanin (220 ps) + 7 wires (60 ps) ≈ 1.9 ns.
+        let report = quick_run(Architecture::Baseline, Benchmark::Shuffle, 0.05);
+        let mean = report.latency.mean().unwrap();
+        assert!(
+            mean.as_ps() > 1_500 && mean.as_ps() < 3_000,
+            "unexpected zero-load latency {mean}"
+        );
+    }
+
+    #[test]
+    fn speculative_networks_are_faster_at_light_load() {
+        let baseline = quick_run(
+            Architecture::BasicNonSpeculative,
+            Benchmark::UniformRandom,
+            0.2,
+        );
+        let hybrid = quick_run(
+            Architecture::BasicHybridSpeculative,
+            Benchmark::UniformRandom,
+            0.2,
+        );
+        let base_mean = baseline.latency.mean().unwrap();
+        let hybrid_mean = hybrid.latency.mean().unwrap();
+        assert!(
+            hybrid_mean < base_mean,
+            "hybrid {hybrid_mean} not faster than non-speculative {base_mean}"
+        );
+    }
+
+    #[test]
+    fn speculation_throttles_redundant_copies() {
+        let hybrid = quick_run(
+            Architecture::BasicHybridSpeculative,
+            Benchmark::UniformRandom,
+            0.2,
+        );
+        assert!(
+            hybrid.flits_throttled > 0,
+            "speculative broadcasts must produce throttled copies"
+        );
+        let nonspec = quick_run(
+            Architecture::BasicNonSpeculative,
+            Benchmark::UniformRandom,
+            0.2,
+        );
+        assert_eq!(
+            nonspec.flits_throttled, 0,
+            "non-speculative unicast traffic has nothing to throttle"
+        );
+    }
+
+    #[test]
+    fn multicast_delivers_replicas() {
+        let report = quick_run(
+            Architecture::OptHybridSpeculative,
+            Benchmark::Multicast10,
+            0.3,
+        );
+        // Delivered exceeds injected because replicas fan out inside the
+        // network.
+        assert!(
+            report.throughput.delivered > report.throughput.injected * 1.05,
+            "expected replication: {}",
+            report.throughput
+        );
+    }
+
+    #[test]
+    fn serial_baseline_injects_clones() {
+        let report = quick_run(Architecture::Baseline, Benchmark::Multicast10, 0.2);
+        // The baseline serializes multicasts into clones, so offered ≈
+        // injected ≈ delivered (no in-network replication).
+        assert!(report.packets_measured > 0);
+        let ratio = report.throughput.delivered / report.throughput.injected.max(1e-9);
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "serial multicast should not replicate in-network: {}",
+            report.throughput
+        );
+    }
+
+    #[test]
+    fn overload_is_detected_as_non_acceptance() {
+        // 3 flits/ns per source is far beyond any architecture's capacity.
+        let network = Network::new(
+            NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(1),
+        )
+        .unwrap();
+        let run = RunConfig::quick(Benchmark::UniformRandom, 3.0).with_drain(false);
+        let report = network.run(&run).unwrap();
+        assert!(
+            report.acceptance() < 0.9,
+            "overload must show up as refused injections, got {}",
+            report.acceptance()
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let a = quick_run(Architecture::OptAllSpeculative, Benchmark::Multicast5, 0.4);
+        let b = quick_run(Architecture::OptAllSpeculative, Benchmark::Multicast5, 0.4);
+        assert_eq!(a.latency.mean(), b.latency.mean());
+        assert_eq!(a.flits_delivered, b.flits_delivered);
+        assert_eq!(a.flits_throttled, b.flits_throttled);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let network1 = Network::new(
+            NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(1),
+        )
+        .unwrap();
+        let network2 = Network::new(
+            NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(2),
+        )
+        .unwrap();
+        let run = RunConfig::quick(Benchmark::UniformRandom, 0.3);
+        let a = network1.run(&run).unwrap();
+        let b = network2.run(&run).unwrap();
+        assert_ne!(a.latency.mean(), b.latency.mean());
+    }
+
+    #[test]
+    fn hotspot_saturates_near_paper_anchor() {
+        // All 8 sources hammer destination 0; the fanin root → sink stage
+        // caps per-source throughput at ≈ 0.29 GF/s.
+        let network = Network::new(
+            NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(3),
+        )
+        .unwrap();
+        let run = RunConfig::new(Benchmark::Hotspot, 0.8)
+            .unwrap()
+            .with_phases(Phases::new(Duration::from_ns(200), Duration::from_ns(2000)))
+            .with_drain(false);
+        let report = network.run(&run).unwrap();
+        let delivered = report.throughput.delivered;
+        assert!(
+            (0.26..=0.32).contains(&delivered),
+            "hotspot ceiling {delivered} GF/s per source"
+        );
+    }
+
+    #[test]
+    fn power_scales_with_load() {
+        let low = quick_run(Architecture::Baseline, Benchmark::UniformRandom, 0.1);
+        let high = quick_run(Architecture::Baseline, Benchmark::UniformRandom, 0.4);
+        assert!(
+            high.power.total_mw() > low.power.total_mw(),
+            "power must grow with activity: {} vs {}",
+            high.power,
+            low.power
+        );
+        assert!(low.power.leakage_mw() > 0.0);
+    }
+
+    #[test]
+    fn custom_speculation_map_network_runs_and_throttles() {
+        use asynoc_topology::SpeculationMap;
+        let size = asynoc_topology::MotSize::new(8).unwrap();
+        let map = SpeculationMap::custom(size, vec![false, true, false]).unwrap();
+        let network = Network::new(
+            NetworkConfig::eight_by_eight(Architecture::OptNonSpeculative)
+                .with_speculation_map(&map, true)
+                .with_seed(42),
+        )
+        .unwrap();
+        let report = network
+            .run(&RunConfig::quick(Benchmark::Multicast10, 0.3))
+            .unwrap();
+        assert!(report.packets_measured > 0);
+        assert_eq!(report.packets_incomplete, 0, "custom map lost packets");
+        assert!(
+            report.flits_throttled > 0,
+            "mid-level speculation must produce throttled copies"
+        );
+    }
+
+    #[test]
+    fn activity_localizes_throttling_below_speculative_levels() {
+        // In the hybrid (speculative root only), redundant copies die at
+        // level 1 — the "local region" of local speculation.
+        let report = quick_run(
+            Architecture::BasicHybridSpeculative,
+            Benchmark::UniformRandom,
+            0.2,
+        );
+        let throttles = report.activity.fanout_level_throttles();
+        assert_eq!(throttles[0], 0, "the root level has nothing to throttle");
+        assert!(throttles[1] > 0, "wrong-path copies must die at level 1");
+        assert_eq!(
+            throttles[2], 0,
+            "local speculation must confine waste to the region below the root"
+        );
+    }
+
+    #[test]
+    fn activity_throttling_widens_under_full_speculation() {
+        // Almost-fully-speculative: copies travel further before dying at
+        // the (non-speculative) leaf level.
+        let report = quick_run(
+            Architecture::OptAllSpeculative,
+            Benchmark::UniformRandom,
+            0.2,
+        );
+        let throttles = report.activity.fanout_level_throttles();
+        assert!(
+            throttles[2] > 0,
+            "all-speculative waste must reach the leaf level"
+        );
+    }
+
+    #[test]
+    fn activity_counts_match_totals() {
+        let report = quick_run(
+            Architecture::OptHybridSpeculative,
+            Benchmark::Multicast10,
+            0.3,
+        );
+        let throttle_total: u64 = report.activity.fanout_level_throttles().iter().sum();
+        assert_eq!(throttle_total, report.flits_throttled);
+        let fanin_total: u64 = report.activity.fanin_tree_fires().iter().sum();
+        assert!(fanin_total > 0);
+        let (busiest, utilization) = report.activity.busiest_fanin().expect("nodes exist");
+        assert!(utilization > 0.0 && utilization <= 1.0, "{busiest}: {utilization}");
+    }
+
+    #[test]
+    fn hotspot_activity_concentrates_on_one_fanin_tree() {
+        let report = quick_run(Architecture::Baseline, Benchmark::Hotspot, 0.15);
+        let per_tree = report.activity.fanin_tree_fires();
+        assert!(per_tree[0] > 0);
+        assert!(per_tree[1..].iter().all(|&fires| fires == 0));
+        let (busiest, _) = report.activity.busiest_fanin().expect("nodes exist");
+        assert_eq!(busiest.tree, 0, "hotspot bottleneck must sit in tree 0");
+    }
+
+    #[test]
+    fn trace_records_a_packet_journey() {
+        use crate::trace::TraceAction;
+        let network = Network::new(
+            NetworkConfig::eight_by_eight(Architecture::BasicHybridSpeculative).with_seed(42),
+        )
+        .unwrap();
+        let run = RunConfig::quick(Benchmark::UniformRandom, 0.1).with_trace(500);
+        let report = network.run(&run).unwrap();
+        assert!(!report.trace.is_empty());
+        assert!(report.trace.len() <= 500);
+        // Times are non-decreasing.
+        assert!(report
+            .trace
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+        // With a speculative root, the trace must show both broadcasts and
+        // throttles, and at least one delivery.
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| e.action == TraceAction::Throttled));
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| e.action == TraceAction::Delivered));
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| matches!(e.action, TraceAction::Forwarded(s) if s == asynoc_packet::RouteSymbol::Both)));
+        // Every traced packet's journey starts with an injection.
+        let first = &report.trace[0];
+        assert_eq!(first.action, TraceAction::Injected);
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let report = quick_run(Architecture::Baseline, Benchmark::Shuffle, 0.1);
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn multicast_static_only_three_sources_multicast() {
+        let report = quick_run(Architecture::OptHybridSpeculative, Benchmark::MulticastStatic, 0.3);
+        assert!(report.packets_measured > 0);
+        assert!(report.throughput.delivered > report.throughput.injected);
+    }
+}

@@ -1,0 +1,180 @@
+//! Flit-level event tracing.
+//!
+//! When enabled on a [`RunConfig`](crate::RunConfig), the simulator records
+//! one [`TraceEvent`] per flit action (injection, forwarding/replication,
+//! throttling, arbitration, delivery) up to a configurable cap. Traces turn
+//! the Figure-4 routing story into observed behavior: you can follow a
+//! specific multicast packet's copies as the speculative root broadcasts
+//! them and a non-speculative node throttles the redundant one.
+
+use std::fmt;
+
+use asynoc_kernel::Time;
+use asynoc_packet::{PacketId, RouteSymbol};
+use asynoc_topology::{FaninNodeId, FanoutNodeId};
+
+/// Where a trace event happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceLocation {
+    /// A traffic source.
+    Source(usize),
+    /// A fanout (routing) node.
+    Fanout(FanoutNodeId),
+    /// A fanin (arbitration) node.
+    Fanin(FaninNodeId),
+    /// A destination sink.
+    Sink(usize),
+}
+
+impl fmt::Display for TraceLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceLocation::Source(s) => write!(f, "src{s}"),
+            TraceLocation::Fanout(id) => write!(f, "{id}"),
+            TraceLocation::Fanin(id) => write!(f, "{id}"),
+            TraceLocation::Sink(d) => write!(f, "D{d}"),
+        }
+    }
+}
+
+/// What happened to the flit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceAction {
+    /// The flit left its source queue into the network.
+    Injected,
+    /// A fanout node forwarded/replicated the flit on the given route.
+    Forwarded(RouteSymbol),
+    /// A non-speculative node throttled a redundant copy.
+    Throttled,
+    /// A fanin node granted the flit from the given input.
+    Arbitrated {
+        /// The winning input (0 or 1).
+        input: usize,
+    },
+    /// The flit reached a destination sink.
+    Delivered,
+}
+
+impl fmt::Display for TraceAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceAction::Injected => f.write_str("injected"),
+            TraceAction::Forwarded(symbol) => write!(f, "forwarded [{symbol}]"),
+            TraceAction::Throttled => f.write_str("THROTTLED"),
+            TraceAction::Arbitrated { input } => write!(f, "arbitrated (input {input})"),
+            TraceAction::Delivered => f.write_str("delivered"),
+        }
+    }
+}
+
+/// One traced flit action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time of the action.
+    pub time: Time,
+    /// The flit's packet.
+    pub packet: PacketId,
+    /// Flit index within the packet (0 = header).
+    pub flit: u8,
+    /// Where it happened.
+    pub location: TraceLocation,
+    /// What happened.
+    pub action: TraceAction,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12}  pkt{}[{}]  {:<12} {}",
+            self.time.to_string(),
+            self.packet,
+            self.flit,
+            self.location.to_string(),
+            self.action
+        )
+    }
+}
+
+/// The bounded trace recorder.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    limit: usize,
+}
+
+impl TraceRecorder {
+    pub(crate) fn new(limit: usize) -> Self {
+        TraceRecorder {
+            events: Vec::with_capacity(limit.min(4096)),
+            limit,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.limit > 0 && self.events.len() < self.limit
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.enabled() {
+            self.events.push(event);
+        }
+    }
+
+    pub(crate) fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_respects_limit() {
+        let mut recorder = TraceRecorder::new(2);
+        let event = TraceEvent {
+            time: Time::from_ps(1),
+            packet: PacketId::new(0),
+            flit: 0,
+            location: TraceLocation::Source(0),
+            action: TraceAction::Injected,
+        };
+        assert!(recorder.enabled());
+        recorder.push(event);
+        recorder.push(event);
+        assert!(!recorder.enabled());
+        recorder.push(event);
+        assert_eq!(recorder.into_events().len(), 2);
+    }
+
+    #[test]
+    fn zero_limit_disables() {
+        let recorder = TraceRecorder::new(0);
+        assert!(!recorder.enabled());
+    }
+
+    #[test]
+    fn display_formats() {
+        let event = TraceEvent {
+            time: Time::from_ps(1_500),
+            packet: PacketId::new(7),
+            flit: 0,
+            location: TraceLocation::Fanout(FanoutNodeId {
+                tree: 2,
+                level: 0,
+                index: 0,
+            }),
+            action: TraceAction::Forwarded(RouteSymbol::Both),
+        };
+        let text = event.to_string();
+        assert!(text.contains("pkt7[0]"));
+        assert!(text.contains("fo[s2:0.0]"));
+        assert!(text.contains("both"));
+        assert!(
+            TraceAction::Throttled.to_string().contains("THROTTLED")
+        );
+        assert!(TraceLocation::Sink(3).to_string().contains("D3"));
+        assert!(TraceAction::Arbitrated { input: 1 }.to_string().contains("input 1"));
+    }
+}

@@ -1,0 +1,475 @@
+//! Two-phase (transition-signaling) pipeline control circuits.
+//!
+//! The paper's switches use single-rail bundled data with a two-phase
+//! protocol; their output port modules are normally-transparent latches and
+//! their acknowledge logic is an XOR (baseline, §2) or a C-element
+//! (speculative node, §4(a)). The canonical gate-level realization of this
+//! style is the MOUSETRAP stage (Singh & Nowick):
+//!
+//! ```text
+//!   req_in ──D┌───────┐Q── req_out ──► downstream (and ack_out upstream)
+//!             │ latch │
+//!         EN ─┤       │      EN = XNOR(req_out, ack_in)
+//!             └───────┘
+//! ```
+//!
+//! At reset the latch is transparent (`XNOR(0,0)=1`); a request transition
+//! flows straight through (the "sub-cycle" forwarding the paper exploits),
+//! then the stage goes opaque until the downstream acknowledge transition
+//! reopens it.
+//!
+//! [`Pipeline`] builds a self-timed N-stage ring (source and sink modeled
+//! as delays), used to measure forward latency and cycle time from gate
+//! delays. [`SpeculativeFork`] builds the §4(a) broadcast stage: one
+//! request forks into two branch latches and the upstream acknowledge is a
+//! **C-element** over both branch outputs — demonstrating at gate level why
+//! a stalled branch stalls the whole speculative node (the congestion cost
+//! the network simulator models as "all demanded outputs must be free").
+
+use asynoc_kernel::Duration;
+
+use crate::netlist::{GateKind, NetId, Netlist};
+
+/// Gate-delay parameters for the pipeline builders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageDelays {
+    /// Transparent-latch delay (data to output while open).
+    pub latch: Duration,
+    /// XNOR enable-function delay.
+    pub xnor: Duration,
+    /// C-element delay (forks only).
+    pub celem: Duration,
+}
+
+impl Default for StageDelays {
+    fn default() -> Self {
+        StageDelays {
+            latch: Duration::from_ps(40),
+            xnor: Duration::from_ps(25),
+            celem: Duration::from_ps(30),
+        }
+    }
+}
+
+/// A self-timed linear MOUSETRAP pipeline.
+///
+/// The source toggles its request whenever the first stage has
+/// acknowledged (modeled as an inverter loop with delay `source`), and the
+/// sink acknowledges every output request after `sink` — so the circuit
+/// free-runs at its natural cycle time.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_gates::mousetrap::{Pipeline, StageDelays};
+/// use asynoc_gates::GateSim;
+/// use asynoc_kernel::{Duration, Time};
+///
+/// let pipeline = Pipeline::self_timed(3, StageDelays::default(),
+///     Duration::from_ps(50), Duration::from_ps(50));
+/// let mut sim = GateSim::new(pipeline.netlist());
+/// sim.run_until(Time::from_ns(20));
+/// // Tokens flowed: the last stage's request has toggled many times.
+/// assert!(sim.transitions_of(pipeline.last_req()).len() > 10);
+/// ```
+#[derive(Debug)]
+pub struct Pipeline {
+    netlist: Netlist,
+    source_req: NetId,
+    stage_req: Vec<NetId>,
+    sink_ack: NetId,
+    delays: StageDelays,
+}
+
+impl Pipeline {
+    /// Builds a self-timed pipeline with `stages` MOUSETRAP stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    #[must_use]
+    pub fn self_timed(
+        stages: usize,
+        delays: StageDelays,
+        source: Duration,
+        sink: Duration,
+    ) -> Self {
+        assert!(stages > 0, "pipeline needs at least one stage");
+        let mut netlist = Netlist::new();
+
+        // Stage requests are placeholders so the enable feedback and the
+        // source loop can reference them before they are driven.
+        let source_req = netlist.placeholder("src_req");
+        let stage_req: Vec<NetId> = (0..stages)
+            .map(|i| netlist.placeholder(&format!("req{i}")))
+            .collect();
+        let sink_ack = netlist.placeholder("sink_ack");
+
+        for i in 0..stages {
+            let req_in = if i == 0 { source_req } else { stage_req[i - 1] };
+            let ack_in = if i + 1 == stages {
+                sink_ack
+            } else {
+                stage_req[i + 1]
+            };
+            // EN = XNOR(req_out, ack_in); initial (0,0) -> transparent.
+            let enable = netlist.gate(
+                GateKind::Xnor2,
+                &[stage_req[i], ack_in],
+                delays.xnor,
+                &format!("en{i}"),
+            );
+            netlist.set_initial(enable, true);
+            netlist.gate_into(GateKind::Latch, &[req_in, enable], delays.latch, stage_req[i]);
+        }
+
+        // Sink: acknowledge every output request after `sink`.
+        netlist.gate_into(GateKind::Buf, &[stage_req[stages - 1]], sink, sink_ack);
+        // Source: toggle the request whenever the first stage's output has
+        // caught up (ack_out of stage 0 = req0 in MOUSETRAP).
+        netlist.gate_into(GateKind::Inv, &[stage_req[0]], source, source_req);
+
+        Pipeline {
+            netlist,
+            source_req,
+            stage_req,
+            sink_ack,
+            delays,
+        }
+    }
+
+    /// The underlying netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The source request net.
+    #[must_use]
+    pub fn source_req(&self) -> NetId {
+        self.source_req
+    }
+
+    /// Request output of stage `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn stage_req(&self, i: usize) -> NetId {
+        self.stage_req[i]
+    }
+
+    /// Request output of the last stage (the pipeline's output).
+    #[must_use]
+    pub fn last_req(&self) -> NetId {
+        *self.stage_req.last().expect("at least one stage")
+    }
+
+    /// The sink acknowledge net.
+    #[must_use]
+    pub fn sink_ack(&self) -> NetId {
+        self.sink_ack
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.stage_req.len()
+    }
+
+    /// The forward latency of an empty pipeline: one transparent-latch
+    /// delay per stage.
+    #[must_use]
+    pub fn forward_latency(&self) -> Duration {
+        self.delays.latch * self.stage_req.len() as u64
+    }
+}
+
+/// The speculative broadcast stage of §4(a): a request forks into two
+/// normally-transparent branch latches; the upstream acknowledge is a
+/// C-element over both branch outputs.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_gates::mousetrap::{SpeculativeFork, StageDelays};
+/// use asynoc_gates::GateSim;
+/// use asynoc_kernel::{Duration, Time};
+///
+/// let fork = SpeculativeFork::new(StageDelays::default());
+/// let mut sim = GateSim::new(fork.netlist());
+/// sim.settle();
+/// sim.toggle_at(Time::from_ps(100), fork.req_in());
+/// sim.run_until_quiet();
+/// // Both branches broadcast the request...
+/// assert!(sim.level(fork.branch_req(0)));
+/// assert!(sim.level(fork.branch_req(1)));
+/// // ...and the C-element acknowledged the upstream.
+/// assert!(sim.level(fork.ack_out()));
+/// ```
+#[derive(Debug)]
+pub struct SpeculativeFork {
+    netlist: Netlist,
+    req_in: NetId,
+    ack_out: NetId,
+    branch_req: [NetId; 2],
+    branch_ack: [NetId; 2],
+}
+
+impl SpeculativeFork {
+    /// Builds the fork with testbench-driven branch acknowledges.
+    #[must_use]
+    pub fn new(delays: StageDelays) -> Self {
+        let mut netlist = Netlist::new();
+        let req_in = netlist.input("req_in");
+        let branch_ack = [netlist.input("ack0"), netlist.input("ack1")];
+        let mut branch_req = [0, 0];
+        for branch in 0..2 {
+            let req_out = netlist.placeholder(&format!("reqout{branch}"));
+            let enable = netlist.gate(
+                GateKind::Xnor2,
+                &[req_out, branch_ack[branch]],
+                delays.xnor,
+                &format!("en{branch}"),
+            );
+            netlist.set_initial(enable, true);
+            netlist.gate_into(GateKind::Latch, &[req_in, enable], delays.latch, req_out);
+            branch_req[branch] = req_out;
+        }
+        let ack_out = netlist.gate(
+            GateKind::C2,
+            &[branch_req[0], branch_req[1]],
+            delays.celem,
+            "ack_out",
+        );
+        SpeculativeFork {
+            netlist,
+            req_in,
+            ack_out,
+            branch_req,
+            branch_ack,
+        }
+    }
+
+    /// The underlying netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The upstream request input.
+    #[must_use]
+    pub fn req_in(&self) -> NetId {
+        self.req_in
+    }
+
+    /// The upstream acknowledge (C-element output).
+    #[must_use]
+    pub fn ack_out(&self) -> NetId {
+        self.ack_out
+    }
+
+    /// Branch request output (0 = top, 1 = bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch > 1`.
+    #[must_use]
+    pub fn branch_req(&self, branch: usize) -> NetId {
+        self.branch_req[branch]
+    }
+
+    /// Branch acknowledge input (testbench-driven, plays the downstream
+    /// node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch > 1`.
+    #[must_use]
+    pub fn branch_ack(&self, branch: usize) -> NetId {
+        self.branch_ack[branch]
+    }
+}
+
+/// The baseline node's acknowledge merge (§2): in two-phase signaling an
+/// XOR of the two output requests toggles whenever *either* output sends a
+/// flit — exactly one does per unicast transaction.
+///
+/// Returns `(netlist, req0, req1, ack_out)`.
+#[must_use]
+pub fn baseline_ack_xor(delay: Duration) -> (Netlist, NetId, NetId, NetId) {
+    let mut netlist = Netlist::new();
+    let req0 = netlist.input("reqout0");
+    let req1 = netlist.input("reqout1");
+    let ack = netlist.gate(GateKind::Xor2, &[req0, req1], delay, "ack");
+    (netlist, req0, req1, ack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::GateSim;
+    use asynoc_kernel::Time;
+
+    #[test]
+    fn pipeline_forward_latency_is_one_latch_per_stage() {
+        // Freeze the source/sink loops far in the future so we observe a
+        // single token.
+        let delays = StageDelays::default();
+        let pipeline = Pipeline::self_timed(4, delays, Duration::from_ns(500), Duration::from_ns(500));
+        let mut sim = GateSim::new(pipeline.netlist());
+        // The source inverter fires on its own after its delay (req = 1 at
+        // t = 500 ns); run long enough to watch the first token cross.
+        sim.run_until(Time::from_ns(900));
+        let first_out = sim
+            .transitions_of(pipeline.last_req())
+            .first()
+            .copied()
+            .expect("token reached the output");
+        let first_in = sim
+            .transitions_of(pipeline.source_req())
+            .first()
+            .copied()
+            .expect("source fired");
+        assert_eq!(first_out - first_in, pipeline.forward_latency());
+        assert_eq!(pipeline.forward_latency(), Duration::from_ps(160));
+    }
+
+    #[test]
+    fn pipeline_free_runs_at_a_stable_cycle_time() {
+        let pipeline = Pipeline::self_timed(
+            3,
+            StageDelays::default(),
+            Duration::from_ps(60),
+            Duration::from_ps(60),
+        );
+        let mut sim = GateSim::new(pipeline.netlist());
+        sim.run_until(Time::from_ns(50));
+        let transitions = sim.transitions_of(pipeline.last_req());
+        assert!(transitions.len() > 20, "pipeline did not free-run");
+        // Steady-state: the last several periods are identical.
+        let n = transitions.len();
+        let periods: Vec<_> = (n - 5..n).map(|i| transitions[i] - transitions[i - 1]).collect();
+        assert!(
+            periods.windows(2).all(|w| w[0] == w[1]),
+            "cycle time not stable: {periods:?}"
+        );
+        assert!(!periods[0].is_zero());
+    }
+
+    #[test]
+    fn pipeline_cycle_time_grows_with_latch_delay() {
+        let run = |latch_ps: u64| {
+            let delays = StageDelays {
+                latch: Duration::from_ps(latch_ps),
+                ..StageDelays::default()
+            };
+            let pipeline =
+                Pipeline::self_timed(3, delays, Duration::from_ps(60), Duration::from_ps(60));
+            let mut sim = GateSim::new(pipeline.netlist());
+            sim.run_until(Time::from_ns(60));
+            sim.last_period_of(pipeline.last_req()).expect("periodic")
+        };
+        assert!(run(80) > run(40), "slower latches must slow the pipeline");
+    }
+
+    #[test]
+    fn pipeline_throughput_independent_of_depth() {
+        let measure = |stages: usize| {
+            let pipeline = Pipeline::self_timed(
+                stages,
+                StageDelays::default(),
+                Duration::from_ps(60),
+                Duration::from_ps(60),
+            );
+            let mut sim = GateSim::new(pipeline.netlist());
+            sim.run_until(Time::from_ns(80));
+            sim.last_period_of(pipeline.last_req()).expect("periodic")
+        };
+        // Linear pipelines of the same stage design cycle at the same rate
+        // regardless of depth.
+        assert_eq!(measure(2), measure(5));
+    }
+
+    #[test]
+    fn fork_broadcasts_and_c_element_joins() {
+        let fork = SpeculativeFork::new(StageDelays::default());
+        let mut sim = GateSim::new(fork.netlist());
+        sim.settle();
+        sim.toggle_at(Time::from_ps(100), fork.req_in());
+        sim.run_until_quiet();
+        // Both branches got the request after one latch delay.
+        assert_eq!(
+            sim.transitions_of(fork.branch_req(0)),
+            vec![Time::from_ps(140)]
+        );
+        assert_eq!(
+            sim.transitions_of(fork.branch_req(1)),
+            vec![Time::from_ps(140)]
+        );
+        // Upstream acknowledge: one C-element delay later.
+        assert_eq!(sim.transitions_of(fork.ack_out()), vec![Time::from_ps(170)]);
+    }
+
+    #[test]
+    fn fork_second_request_needs_both_branch_acks() {
+        // The gate-level demonstration of speculation's congestion cost: a
+        // branch that withholds its acknowledge keeps that branch's latch
+        // opaque, so the next request cannot broadcast and the upstream
+        // acknowledge never comes.
+        let fork = SpeculativeFork::new(StageDelays::default());
+        let mut sim = GateSim::new(fork.netlist());
+        sim.settle();
+        sim.toggle_at(Time::from_ps(100), fork.req_in());
+        sim.run_until_quiet();
+        // Branch 0 acknowledges; branch 1 stalls.
+        sim.toggle_at(Time::from_ps(300), fork.branch_ack(0));
+        sim.toggle_at(Time::from_ps(400), fork.req_in());
+        sim.run_until_quiet();
+        assert!(
+            !sim.level(fork.branch_req(0)),
+            "acked branch passes the second request (toggles back low)"
+        );
+        assert!(
+            sim.level(fork.branch_req(1)),
+            "stalled branch must hold the first request"
+        );
+        let acks = sim.transitions_of(fork.ack_out());
+        assert_eq!(acks.len(), 1, "no second upstream ack while a branch stalls");
+        // Branch 1 finally acknowledges: the stalled request flows and the
+        // C-element completes the handshake.
+        sim.toggle_at(Time::from_ps(1_000), fork.branch_ack(1));
+        sim.run_until_quiet();
+        assert_eq!(sim.transitions_of(fork.ack_out()).len(), 2);
+        assert!(!sim.level(fork.branch_req(1)));
+    }
+
+    #[test]
+    fn baseline_xor_acks_on_either_output() {
+        let (netlist, req0, req1, ack) = baseline_ack_xor(Duration::from_ps(12));
+        let mut sim = GateSim::new(&netlist);
+        sim.settle();
+        // Transaction 1 goes out on output 0.
+        sim.toggle_at(Time::from_ps(100), req0);
+        // Transaction 2 goes out on output 1.
+        sim.toggle_at(Time::from_ps(300), req1);
+        sim.run_until_quiet();
+        assert_eq!(
+            sim.transitions_of(ack),
+            vec![Time::from_ps(112), Time::from_ps(312)],
+            "the XOR merge must toggle once per transaction, from either output"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_pipeline_rejected() {
+        let _ = Pipeline::self_timed(
+            0,
+            StageDelays::default(),
+            Duration::from_ps(1),
+            Duration::from_ps(1),
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Discrete-event simulation kernel for the `asynoc` workspace.
+//!
+//! Asynchronous (clockless) circuits are not discretized to clock cycles, so
+//! the simulator models the network at *handshake-event* granularity: every
+//! flit launch, arrival, and acknowledge is an event stamped with a
+//! picosecond-resolution [`Time`]. This crate provides the three substrate
+//! pieces every higher layer builds on:
+//!
+//! - [`Time`] / [`Duration`]: picosecond time arithmetic with checked
+//!   semantics and human-readable formatting,
+//! - [`EventQueue`]: a deterministic priority queue (ties broken in FIFO
+//!   insertion order, so identical seeds reproduce identical simulations),
+//! - [`rng`]: a seeded random-number layer with the exponential
+//!   inter-arrival sampling used by the paper's traffic generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use asynoc_kernel::{Duration, EventQueue, Time};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.schedule(Time::ZERO + Duration::from_ps(250), "arrive");
+//! queue.schedule(Time::ZERO + Duration::from_ps(100), "launch");
+//! let (time, event) = queue.pop().expect("two events queued");
+//! assert_eq!(event, "launch");
+//! assert_eq!(time, Time::from_ps(100));
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{Duration, Time};

@@ -1,0 +1,228 @@
+//! Seeded randomness for deterministic traffic generation.
+//!
+//! The paper injects packet headers with exponentially distributed
+//! inter-arrival times (a Poisson process) and chooses destinations from
+//! benchmark-specific distributions. [`SimRng`] wraps a fast, seedable PRNG
+//! and offers exactly the sampling primitives the traffic layer needs, so
+//! that the distribution logic is tested once, here.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::Duration;
+
+/// A deterministic pseudo-random source for one simulation run.
+///
+/// Two `SimRng`s constructed from the same seed produce identical streams,
+/// which is what makes whole-network runs replayable.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_kernel::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.index(100), b.index(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator, e.g. one per traffic source.
+    ///
+    /// The child stream is decorrelated from the parent by mixing `salt`
+    /// into a freshly drawn seed, so per-source streams do not alias even
+    /// when sources are created in a loop.
+    #[must_use]
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let base: u64 = self.inner.gen();
+        // SplitMix64 finalizer: cheap, full-avalanche mixing.
+        let mut z = base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::seed_from(z)
+    }
+
+    /// Samples a uniform index in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[must_use]
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample an index from an empty range");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Samples a uniform value in `low..=high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    #[must_use]
+    pub fn range_inclusive(&mut self, low: usize, high: usize) -> usize {
+        assert!(low <= high, "inverted range {low}..={high}");
+        self.inner.gen_range(low..=high)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    #[must_use]
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Samples an exponentially distributed delay with the given mean.
+    ///
+    /// This is the inter-arrival distribution of a Poisson injection process;
+    /// the result is rounded to the nearest picosecond and clamped to at
+    /// least 1 ps so successive injections always advance time.
+    #[must_use]
+    pub fn exponential(&mut self, mean: Duration) -> Duration {
+        if mean.is_zero() {
+            return Duration::from_ps(1);
+        }
+        // Inverse-CDF sampling; 1 - u avoids ln(0).
+        let u: f64 = self.inner.gen::<f64>();
+        let sample = -(1.0 - u).ln() * mean.as_ps() as f64;
+        Duration::from_ps((sample.round() as u64).max(1))
+    }
+
+    /// Samples `count` distinct indices from `0..bound`, in ascending order.
+    ///
+    /// Used for multicast destination sets ("random subsets of
+    /// destinations"). Sampling is by partial Fisher–Yates over a scratch
+    /// vector, so it is exact (no rejection loop) and O(`bound`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > bound`.
+    #[must_use]
+    pub fn distinct_indices(&mut self, count: usize, bound: usize) -> Vec<usize> {
+        assert!(
+            count <= bound,
+            "cannot draw {count} distinct indices from 0..{bound}"
+        );
+        let mut pool: Vec<usize> = (0..bound).collect();
+        for i in 0..count {
+            let j = self.inner.gen_range(i..bound);
+            pool.swap(i, j);
+        }
+        let mut chosen = pool[..count].to_vec();
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            assert_eq!(a.index(1000), b.index(1000));
+        }
+    }
+
+    #[test]
+    fn fork_decorrelates_children() {
+        let mut parent = SimRng::seed_from(7);
+        let mut c0 = parent.fork(0);
+        let mut c1 = parent.fork(1);
+        let s0: Vec<usize> = (0..100).map(|_| c0.index(1_000_000)).collect();
+        let s1: Vec<usize> = (0..100).map(|_| c1.index(1_000_000)).collect();
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn index_stays_in_bounds() {
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10_000 {
+            assert!(rng.index(8) < 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn index_rejects_zero_bound() {
+        let _ = SimRng::seed_from(0).index(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn chance_frequency_tracks_probability() {
+        let mut rng = SimRng::seed_from(5);
+        let hits = (0..100_000).filter(|_| rng.chance(0.05)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.05).abs() < 0.005, "observed rate {rate}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::seed_from(11);
+        let mean = Duration::from_ps(4_000);
+        let total: u64 = (0..100_000).map(|_| rng.exponential(mean).as_ps()).sum();
+        let observed = total as f64 / 100_000.0;
+        assert!(
+            (observed - 4_000.0).abs() < 100.0,
+            "observed mean {observed} ps"
+        );
+    }
+
+    #[test]
+    fn exponential_never_returns_zero() {
+        let mut rng = SimRng::seed_from(13);
+        for _ in 0..10_000 {
+            assert!(!rng.exponential(Duration::from_ps(2)).is_zero());
+        }
+        assert_eq!(rng.exponential(Duration::ZERO), Duration::from_ps(1));
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_sorted_and_in_bounds() {
+        let mut rng = SimRng::seed_from(17);
+        for _ in 0..1_000 {
+            let picked = rng.distinct_indices(5, 8);
+            assert_eq!(picked.len(), 5);
+            assert!(picked.windows(2).all(|w| w[0] < w[1]));
+            assert!(picked.iter().all(|&d| d < 8));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_full_draw_is_identity_set() {
+        let mut rng = SimRng::seed_from(19);
+        assert_eq!(rng.distinct_indices(4, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn distinct_indices_rejects_overdraw() {
+        let _ = SimRng::seed_from(0).distinct_indices(9, 8);
+    }
+}

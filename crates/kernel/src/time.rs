@@ -1,0 +1,378 @@
+//! Picosecond-resolution simulation time.
+//!
+//! Asynchronous NoC node latencies are tens-to-hundreds of picoseconds
+//! (the paper reports 52 ps for a speculative fanout node and 263 ps for the
+//! baseline), while full benchmark runs span microseconds. A `u64` picosecond
+//! counter covers ~213 days of simulated time — far more than any run needs —
+//! while keeping arithmetic exact and `Copy`-cheap.
+//!
+//! [`Time`] is an absolute instant on the simulation clock; [`Duration`] is a
+//! span between instants. Keeping them as separate newtypes prevents the
+//! classic bug of adding two absolute timestamps.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in picoseconds since the
+/// start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_kernel::{Duration, Time};
+///
+/// let start = Time::from_ps(100);
+/// let later = start + Duration::from_ps(250);
+/// assert_eq!(later.as_ps(), 350);
+/// assert_eq!(later - start, Duration::from_ps(250));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(u64);
+
+/// A span of simulation time, in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_kernel::Duration;
+///
+/// let cycle = Duration::from_ps(675);
+/// assert_eq!(cycle * 2, Duration::from_ps(1350));
+/// assert_eq!(Duration::from_ns(1), Duration::from_ps(1000));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The start of simulation time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant `ps` picoseconds after the start of the run.
+    #[must_use]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates an instant `ns` nanoseconds after the start of the run.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Returns the instant as picoseconds since the start of the run.
+    #[must_use]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (possibly fractional) nanoseconds.
+    #[must_use]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the span since `earlier`, or [`Duration::ZERO`] if `earlier`
+    /// is actually later (useful for defensive latency accounting).
+    #[must_use]
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    #[must_use]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a span of `ps` picoseconds.
+    #[must_use]
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Creates a span of `ns` nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * 1_000)
+    }
+
+    /// Returns the span in picoseconds.
+    #[must_use]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span as (possibly fractional) nanoseconds.
+    #[must_use]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns `true` if the span is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by a dimensionless factor, rounding to the nearest
+    /// picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "duration scale factor must be finite and non-negative, got {factor}"
+        );
+        Duration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Returns the larger of two spans.
+    #[must_use]
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two spans.
+    #[must_use]
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Duration) -> Time {
+        Time(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation time overflowed u64 picoseconds"),
+        )
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+
+    fn sub(self, rhs: Duration) -> Time {
+        Time(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulation time underflowed below zero"),
+        )
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracted a later Time from an earlier one"),
+        )
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("duration sum overflowed u64 picoseconds"),
+        )
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration difference underflowed below zero"),
+        )
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(
+            self.0
+                .checked_mul(rhs)
+                .expect("duration product overflowed u64 picoseconds"),
+        )
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", Duration(self.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ns", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_add_duration() {
+        assert_eq!(Time::from_ps(10) + Duration::from_ps(5), Time::from_ps(15));
+    }
+
+    #[test]
+    fn time_difference_is_duration() {
+        assert_eq!(
+            Time::from_ps(100) - Time::from_ps(40),
+            Duration::from_ps(60)
+        );
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = Time::from_ps(5);
+        let late = Time::from_ps(9);
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(late.saturating_since(early), Duration::from_ps(4));
+    }
+
+    #[test]
+    fn nanosecond_constructors_scale_by_thousand() {
+        assert_eq!(Time::from_ns(3), Time::from_ps(3_000));
+        assert_eq!(Duration::from_ns(2), Duration::from_ps(2_000));
+    }
+
+    #[test]
+    fn as_ns_f64_is_fractional() {
+        assert!((Time::from_ps(1_500).as_ns_f64() - 1.5).abs() < 1e-12);
+        assert!((Duration::from_ps(250).as_ns_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_f64_rounds_to_nearest_ps() {
+        assert_eq!(Duration::from_ps(100).mul_f64(0.255), Duration::from_ps(26));
+        assert_eq!(Duration::from_ps(100).mul_f64(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn mul_f64_rejects_negative() {
+        let _ = Duration::from_ps(10).mul_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn sub_time_panics_on_inversion() {
+        let _ = Time::from_ps(1) - Time::from_ps(2);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_ps(30);
+        assert_eq!(d * 3, Duration::from_ps(90));
+        assert_eq!(d / 2, Duration::from_ps(15));
+        assert_eq!(d + d, Duration::from_ps(60));
+        assert_eq!(d - Duration::from_ps(10), Duration::from_ps(20));
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [1u64, 2, 3].iter().map(|&p| Duration::from_ps(p)).sum();
+        assert_eq!(total, Duration::from_ps(6));
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        assert_eq!(Time::from_ps(4).max(Time::from_ps(9)), Time::from_ps(9));
+        assert_eq!(Time::from_ps(4).min(Time::from_ps(9)), Time::from_ps(4));
+        assert_eq!(
+            Duration::from_ps(4).max(Duration::from_ps(9)),
+            Duration::from_ps(9)
+        );
+        assert_eq!(
+            Duration::from_ps(4).min(Duration::from_ps(9)),
+            Duration::from_ps(4)
+        );
+    }
+
+    #[test]
+    fn display_picks_readable_unit() {
+        assert_eq!(Duration::from_ps(52).to_string(), "52 ps");
+        assert_eq!(Duration::from_ps(1_500).to_string(), "1.500 ns");
+        assert_eq!(Duration::from_ps(2_500_000).to_string(), "2.500 us");
+        assert_eq!(Time::from_ps(675).to_string(), "675 ps");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Time::default(), Time::ZERO);
+        assert_eq!(Duration::default(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,749 @@
+//! The event-driven mesh simulator.
+//!
+//! Same execution discipline as the MoT simulator: single-flit bundled-data
+//! channels, fire-when-ready routers, stall-and-notify wakeups, FIFO tie
+//! breaking, deterministic per seed. A router moves the flit at input *i*
+//! to the XY-routed output when that output's wormhole lock admits it, the
+//! output channel is free, and the per-output cycle floor has elapsed.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use asynoc_kernel::{Duration, EventQueue, Time};
+use asynoc_nodes::{FlitClass, KindTiming};
+use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader};
+use asynoc_stats::{latency::LatencyStats, Phases, ThroughputCounter};
+use asynoc_traffic::{Benchmark, SourceTraffic};
+
+use crate::router::{route_port, OutputLock, Port, RouterId};
+use crate::size::{MeshError, MeshSize};
+
+/// Timing parameters of the mesh.
+///
+/// A five-port mesh router does full route computation, virtual-channel-
+/// free switch allocation, and drives longer links than an MoT stage; the
+/// defaults reflect that (router forward latency a bit above the paper's
+/// non-speculative MoT node, longer wires). They are deliberately
+/// *generous* to the mesh — the MoT's advantage in the comparison comes
+/// from hop count and in-network multicast, not from handicapping the
+/// router.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeshTiming {
+    /// Router traversal parameters (shared by all ports).
+    pub router: KindTiming,
+    /// Per-link wire delay.
+    pub wire_delay: Duration,
+    /// Channel-free delay at an ejection sink.
+    pub sink_ack: Duration,
+    /// Minimum flit spacing out of a source.
+    pub source_cycle: Duration,
+}
+
+impl MeshTiming {
+    /// The default comparison parameters.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        MeshTiming {
+            router: KindTiming {
+                forward_header: Duration::from_ps(320),
+                forward_body: Duration::from_ps(250),
+                ack_extra: Duration::from_ps(120),
+                drop_ack: Duration::from_ps(80),
+                cycle_floor: Duration::from_ps(200),
+            },
+            wire_delay: Duration::from_ps(90),
+            sink_ack: Duration::from_ps(200),
+            source_cycle: Duration::from_ps(100),
+        }
+    }
+}
+
+impl Default for MeshTiming {
+    fn default() -> Self {
+        MeshTiming::calibrated()
+    }
+}
+
+/// Static description of a mesh network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeshConfig {
+    size: MeshSize,
+    timing: MeshTiming,
+    flits_per_packet: u8,
+    seed: u64,
+}
+
+impl MeshConfig {
+    /// Creates a configuration with calibrated timing, 5-flit packets, and
+    /// seed 0.
+    #[must_use]
+    pub fn new(size: MeshSize) -> Self {
+        MeshConfig {
+            size,
+            timing: MeshTiming::calibrated(),
+            flits_per_packet: 5,
+            seed: 0,
+        }
+    }
+
+    /// Replaces the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the timing parameters.
+    #[must_use]
+    pub fn with_timing(mut self, timing: MeshTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Replaces the packet length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits` is zero.
+    #[must_use]
+    pub fn with_flits_per_packet(mut self, flits: u8) -> Self {
+        assert!(flits > 0, "packets must have at least one flit");
+        self.flits_per_packet = flits;
+        self
+    }
+
+    /// The mesh dimensions.
+    #[must_use]
+    pub fn size(&self) -> MeshSize {
+        self.size
+    }
+}
+
+/// Measurements from one mesh run.
+#[derive(Clone, Debug)]
+pub struct MeshReport {
+    /// Per-logical-packet latency (creation → last header arrival).
+    pub latency: LatencyStats,
+    /// Offered/injected/delivered flit rates per endpoint.
+    pub throughput: asynoc_stats::throughput::ThroughputReport,
+    /// Logical packets measured.
+    pub packets_measured: usize,
+    /// Measured packets still in flight at the end (saturation indicator).
+    pub packets_incomplete: usize,
+    /// Mean router-to-router hops of measured unicast paths (analytic,
+    /// from the benchmark's destination distribution as sampled).
+    pub mean_hops: f64,
+}
+
+impl MeshReport {
+    /// Accepted/offered ratio.
+    #[must_use]
+    pub fn acceptance(&self) -> f64 {
+        self.throughput.acceptance()
+    }
+}
+
+/// A ready-to-run mesh network.
+#[derive(Clone, Debug)]
+pub struct MeshNetwork {
+    config: MeshConfig,
+}
+
+impl MeshNetwork {
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a valid [`MeshConfig`]; returns `Result`
+    /// for future validation parity with the MoT API.
+    pub fn new(config: MeshConfig) -> Result<Self, MeshError> {
+        Ok(MeshNetwork { config })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Runs `benchmark` at `rate` flits/ns per endpoint over `phases`
+    /// (with a bounded drain, like the MoT simulator).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive rate or a traffic-layer
+    /// rejection.
+    pub fn run(
+        &self,
+        benchmark: Benchmark,
+        rate: f64,
+        phases: Phases,
+    ) -> Result<MeshReport, MeshError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(MeshError::InvalidRate { rate });
+        }
+        let mut sim = MeshSim::new(&self.config, benchmark, rate, phases)?;
+        sim.execute();
+        Ok(sim.finish())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum ChannelState {
+    Free,
+    InFlight(Flit),
+    Arrived(Flit),
+    Draining,
+}
+
+impl ChannelState {
+    fn is_free(&self) -> bool {
+        matches!(self, ChannelState::Free)
+    }
+
+    fn arrived(&self) -> Option<&Flit> {
+        match self {
+            ChannelState::Arrived(flit) => Some(flit),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Wake {
+    Source(usize),
+    Router(usize),
+    Sink(usize),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ChannelWiring {
+    upstream: Wake,
+    downstream: Wake,
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    Inject { source: usize },
+    Arrive { channel: usize },
+    FreeChannel { channel: usize },
+    Retry { wake: Wake },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    created_at: Time,
+    awaiting: DestSet,
+    measured: bool,
+}
+
+struct MeshSim<'a> {
+    config: &'a MeshConfig,
+    phases: Phases,
+    injection_end: Time,
+    hard_cap: Time,
+
+    queue: EventQueue<Event>,
+    now: Time,
+
+    wiring: Vec<ChannelWiring>,
+    channels: Vec<ChannelState>,
+    /// Per router: input channel ids by dense port index (usize::MAX where
+    /// no neighbor exists).
+    router_in: Vec<[usize; 5]>,
+    /// Per router: output channel ids by dense port index.
+    router_out: Vec<[usize; 5]>,
+    locks: Vec<[OutputLock; 5]>,
+    out_next_fire: Vec<[Time; 5]>,
+
+    source_queue: Vec<VecDeque<Flit>>,
+    source_next_fire: Vec<Time>,
+    traffic: Vec<SourceTraffic>,
+
+    next_packet_id: u64,
+    pending: HashMap<u64, Pending>,
+    pending_measured: usize,
+
+    latency: LatencyStats,
+    throughput: ThroughputCounter,
+    hop_sum: u64,
+    hop_count: u64,
+}
+
+impl<'a> MeshSim<'a> {
+    fn new(
+        config: &'a MeshConfig,
+        benchmark: Benchmark,
+        rate: f64,
+        phases: Phases,
+    ) -> Result<Self, MeshError> {
+        let size = config.size;
+        let n = size.endpoints();
+        let mut traffic = Vec::with_capacity(n);
+        for s in 0..n {
+            traffic.push(SourceTraffic::new(
+                benchmark,
+                n,
+                s,
+                rate,
+                config.flits_per_packet,
+                config.seed,
+            )?);
+        }
+
+        // Build channels.
+        let mut wiring: Vec<ChannelWiring> = Vec::new();
+        let mut router_in = vec![[usize::MAX; 5]; n];
+        let mut router_out = vec![[usize::MAX; 5]; n];
+        let alloc = |wiring: &mut Vec<ChannelWiring>, w: ChannelWiring| -> usize {
+            wiring.push(w);
+            wiring.len() - 1
+        };
+        for r in 0..n {
+            let (x, y) = size.coords(r);
+            // Neighbor output links (downstream input slot is the opposite
+            // port at the neighbor).
+            let neighbors = [
+                (Port::North, x as isize, y as isize - 1, Port::South),
+                (Port::South, x as isize, y as isize + 1, Port::North),
+                (Port::East, x as isize + 1, y as isize, Port::West),
+                (Port::West, x as isize - 1, y as isize, Port::East),
+            ];
+            for (port, nx, ny, opposite) in neighbors {
+                if nx < 0 || ny < 0 || nx as usize >= size.cols() || ny as usize >= size.rows() {
+                    continue;
+                }
+                let neighbor = size.index(nx as usize, ny as usize);
+                let c = alloc(
+                    &mut wiring,
+                    ChannelWiring {
+                        upstream: Wake::Router(r),
+                        downstream: Wake::Router(neighbor),
+                    },
+                );
+                router_out[r][port.index()] = c;
+                router_in[neighbor][opposite.index()] = c;
+            }
+            // Injection (source → local input) and ejection (local output →
+            // sink).
+            let inject = alloc(
+                &mut wiring,
+                ChannelWiring {
+                    upstream: Wake::Source(r),
+                    downstream: Wake::Router(r),
+                },
+            );
+            router_in[r][Port::Local.index()] = inject;
+            let eject = alloc(
+                &mut wiring,
+                ChannelWiring {
+                    upstream: Wake::Router(r),
+                    downstream: Wake::Sink(r),
+                },
+            );
+            router_out[r][Port::Local.index()] = eject;
+        }
+
+        let injection_end = phases.measurement_end();
+        let hard_cap = injection_end + phases.measure() + phases.warmup();
+
+        let mut sim = MeshSim {
+            config,
+            phases,
+            injection_end,
+            hard_cap,
+            queue: EventQueue::with_capacity(4096),
+            now: Time::ZERO,
+            channels: vec![ChannelState::Free; wiring.len()],
+            wiring,
+            router_in,
+            router_out,
+            locks: (0..n).map(|_| std::array::from_fn(|_| OutputLock::new())).collect(),
+            out_next_fire: vec![[Time::ZERO; 5]; n],
+            source_queue: (0..n).map(|_| VecDeque::new()).collect(),
+            source_next_fire: vec![Time::ZERO; n],
+            traffic,
+            next_packet_id: 0,
+            pending: HashMap::new(),
+            pending_measured: 0,
+            latency: LatencyStats::new(),
+            throughput: ThroughputCounter::new(n),
+            hop_sum: 0,
+            hop_count: 0,
+        };
+        for s in 0..n {
+            let gap = sim.traffic[s].next_gap();
+            sim.queue.schedule(Time::ZERO + gap, Event::Inject { source: s });
+        }
+        Ok(sim)
+    }
+
+    fn execute(&mut self) {
+        while let Some((t, event)) = self.queue.pop() {
+            self.now = t;
+            if t > self.hard_cap {
+                break;
+            }
+            match event {
+                Event::Inject { source } => self.handle_inject(source),
+                Event::Arrive { channel } => self.handle_arrive(channel),
+                Event::FreeChannel { channel } => self.handle_free(channel),
+                Event::Retry { wake } => self.wake(wake),
+            }
+            if self.now >= self.injection_end && self.pending_measured == 0 {
+                break;
+            }
+        }
+    }
+
+    fn finish(self) -> MeshReport {
+        let throughput = self.throughput.per_source_gfs(self.phases.measure());
+        let packets_measured = self.latency.count();
+        MeshReport {
+            latency: self.latency,
+            throughput,
+            packets_measured,
+            packets_incomplete: self.pending_measured,
+            mean_hops: if self.hop_count == 0 {
+                0.0
+            } else {
+                self.hop_sum as f64 / self.hop_count as f64
+            },
+        }
+    }
+
+    fn in_window(&self) -> bool {
+        self.phases.in_measurement(self.now)
+    }
+
+    fn alloc_id(&mut self) -> PacketId {
+        let id = PacketId::new(self.next_packet_id);
+        self.next_packet_id += 1;
+        id
+    }
+
+    fn handle_inject(&mut self, source: usize) {
+        if self.now >= self.injection_end {
+            return;
+        }
+        let dests = self.traffic[source].next_dests();
+        self.create_packets(source, dests);
+        let gap = self.traffic[source].next_gap();
+        self.queue.schedule(self.now + gap, Event::Inject { source });
+        self.wake(Wake::Source(source));
+    }
+
+    /// The mesh serializes every multicast: one clone per destination.
+    fn create_packets(&mut self, source: usize, dests: DestSet) {
+        let measured = self.in_window();
+        let logical = self.alloc_id();
+        let flits = self.config.flits_per_packet;
+        // Unused by the mesh (it routes by destination index), but the
+        // shared descriptor type carries a route header; a minimal one-slot
+        // header keeps allocation trivial.
+        let route = RouteHeader::for_tree(2);
+        let mut offered_flits = 0u64;
+        for dest in dests.iter() {
+            let id = self.alloc_id();
+            let descriptor = Arc::new(
+                PacketDescriptor::new(
+                    id,
+                    source,
+                    DestSet::unicast(dest),
+                    route.clone(),
+                    flits,
+                    self.now,
+                )
+                .with_group(logical),
+            );
+            self.source_queue[source].extend(Flit::train(&descriptor));
+            offered_flits += u64::from(flits);
+            if measured {
+                self.hop_sum += self.config.size.hops(source, dest) as u64;
+                self.hop_count += 1;
+            }
+        }
+        self.pending.insert(
+            logical.as_u64(),
+            Pending {
+                created_at: self.now,
+                awaiting: dests,
+                measured,
+            },
+        );
+        if measured {
+            self.pending_measured += 1;
+            self.throughput.record_offered(offered_flits);
+        }
+    }
+
+    fn handle_arrive(&mut self, channel: usize) {
+        let state = std::mem::replace(&mut self.channels[channel], ChannelState::Free);
+        let ChannelState::InFlight(flit) = state else {
+            unreachable!("arrival on a channel not in flight");
+        };
+        self.channels[channel] = ChannelState::Arrived(flit);
+        match self.wiring[channel].downstream {
+            Wake::Sink(dest) => self.sink_consume(channel, dest),
+            other => self.wake(other),
+        }
+    }
+
+    fn handle_free(&mut self, channel: usize) {
+        debug_assert!(matches!(self.channels[channel], ChannelState::Draining));
+        self.channels[channel] = ChannelState::Free;
+        self.wake(self.wiring[channel].upstream);
+    }
+
+    fn wake(&mut self, wake: Wake) {
+        match wake {
+            Wake::Source(s) => self.fire_source(s),
+            Wake::Router(r) => self.fire_router(r),
+            Wake::Sink(_) => {}
+        }
+    }
+
+    fn fire_source(&mut self, source: usize) {
+        if self.source_queue[source].is_empty() {
+            return;
+        }
+        let channel = self.router_in[source][Port::Local.index()];
+        if !self.channels[channel].is_free() {
+            return;
+        }
+        if self.now < self.source_next_fire[source] {
+            self.queue.schedule(
+                self.source_next_fire[source],
+                Event::Retry {
+                    wake: Wake::Source(source),
+                },
+            );
+            return;
+        }
+        let flit = self.source_queue[source].pop_front().expect("non-empty");
+        if self.in_window() {
+            self.throughput.record_injected(1);
+        }
+        self.channels[channel] = ChannelState::InFlight(flit);
+        self.queue.schedule(
+            self.now + self.config.timing.wire_delay,
+            Event::Arrive { channel },
+        );
+        self.source_next_fire[source] = self.now + self.config.timing.source_cycle;
+    }
+
+    fn fire_router(&mut self, router: usize) {
+        let (x, y) = self.config.size.coords(router);
+        let here = RouterId { x, y };
+        // Collect, per output port, the inputs whose head flit routes there.
+        for out_port in Port::ALL {
+            let out_channel = self.router_out[router][out_port.index()];
+            if out_channel == usize::MAX {
+                continue;
+            }
+            let mut requesting = Vec::new();
+            for in_port in Port::ALL {
+                let in_channel = self.router_in[router][in_port.index()];
+                if in_channel == usize::MAX {
+                    continue;
+                }
+                if let Some(flit) = self.channels[in_channel].arrived() {
+                    let dest = flit
+                        .descriptor()
+                        .dests()
+                        .first()
+                        .expect("mesh packets are unicast clones");
+                    if route_port(self.config.size, here, dest) == out_port {
+                        requesting.push(in_port.index());
+                    }
+                }
+            }
+            let Some(winner) = self.locks[router][out_port.index()].select(&requesting) else {
+                continue;
+            };
+            if !self.channels[out_channel].is_free() {
+                continue; // woken by the output's FreeChannel
+            }
+            if self.now < self.out_next_fire[router][out_port.index()] {
+                self.queue.schedule(
+                    self.out_next_fire[router][out_port.index()],
+                    Event::Retry {
+                        wake: Wake::Router(router),
+                    },
+                );
+                continue;
+            }
+
+            let in_channel = self.router_in[router][winner];
+            let state = std::mem::replace(&mut self.channels[in_channel], ChannelState::Draining);
+            let ChannelState::Arrived(flit) = state else {
+                unreachable!("selected input checked Arrived");
+            };
+            self.locks[router][out_port.index()].advance(winner, flit.kind());
+
+            let timing = &self.config.timing;
+            let class = FlitClass::of(flit.kind());
+            self.channels[out_channel] = ChannelState::InFlight(flit);
+            self.queue.schedule(
+                self.now + timing.router.forward(class) + timing.wire_delay,
+                Event::Arrive {
+                    channel: out_channel,
+                },
+            );
+            self.queue.schedule(
+                self.now + timing.router.free_delay(class),
+                Event::FreeChannel {
+                    channel: in_channel,
+                },
+            );
+            self.out_next_fire[router][out_port.index()] =
+                self.now + timing.router.cycle_floor;
+        }
+    }
+
+    fn sink_consume(&mut self, channel: usize, dest: usize) {
+        let state = std::mem::replace(&mut self.channels[channel], ChannelState::Draining);
+        let ChannelState::Arrived(flit) = state else {
+            unreachable!("sink consumes arrived flits");
+        };
+        self.queue.schedule(
+            self.now + self.config.timing.sink_ack,
+            Event::FreeChannel { channel },
+        );
+        if self.in_window() {
+            self.throughput.record_delivered(1);
+        }
+        if flit.kind().is_header() {
+            let logical = flit.descriptor().logical_id().as_u64();
+            if let Some(pending) = self.pending.get_mut(&logical) {
+                assert!(
+                    pending.awaiting.contains(dest),
+                    "mesh packet {logical}: duplicate or misrouted header at {dest}"
+                );
+                pending.awaiting.remove(dest);
+                if pending.awaiting.is_empty() {
+                    let done = self.pending.remove(&logical).expect("present");
+                    if done.measured {
+                        self.latency
+                            .record(self.now.saturating_since(done.created_at));
+                        self.pending_measured -= 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_phases() -> Phases {
+        Phases::new(Duration::from_ns(80), Duration::from_ns(800))
+    }
+
+    fn network(cols: usize, rows: usize) -> MeshNetwork {
+        MeshNetwork::new(MeshConfig::new(MeshSize::new(cols, rows).unwrap()).with_seed(42))
+            .unwrap()
+    }
+
+    #[test]
+    fn light_load_delivers_everything() {
+        for (c, r) in [(2usize, 2usize), (4, 4), (8, 8)] {
+            let report = network(c, r)
+                .run(Benchmark::UniformRandom, 0.1, quick_phases())
+                .unwrap();
+            assert!(report.packets_measured > 0, "{c}x{r}: nothing measured");
+            assert_eq!(report.packets_incomplete, 0, "{c}x{r}: lost packets");
+            assert!(report.acceptance() > 0.98, "{c}x{r}: refused at light load");
+        }
+    }
+
+    #[test]
+    fn zero_load_latency_matches_hop_count_golden_model() {
+        // Shuffle on a 4x4: every packet's latency at zero load is
+        // (hops + 1 router traversals? no —) injection wire + per-hop
+        // (router forward + wire) … the *minimum* over uncontended packets
+        // must equal wire + (hops+1)·(fwd_header + wire) for its own
+        // source/dest pair; check the global minimum against the minimum
+        // over pairs.
+        let net = network(4, 4);
+        let report = net.run(Benchmark::Shuffle, 0.02, quick_phases()).unwrap();
+        let timing = MeshTiming::calibrated();
+        let size = MeshSize::new(4, 4).unwrap();
+        // Shuffle maps some endpoints to themselves (e.g. 0 -> 0); those
+        // zero-hop self-deliveries still traverse the local router once.
+        let min_hops = (0..16)
+            .map(|s| size.hops(s, asynoc_traffic::Benchmark::shuffle_destination(16, s)))
+            .min()
+            .unwrap();
+        let golden = timing.wire_delay
+            + (timing.router.forward_header + timing.wire_delay) * (min_hops as u64 + 1);
+        assert_eq!(report.latency.min().unwrap(), golden);
+    }
+
+    #[test]
+    fn serialized_multicast_pays_per_destination() {
+        let net = network(4, 4);
+        let unicast = net
+            .run(Benchmark::UniformRandom, 0.1, quick_phases())
+            .unwrap();
+        let multicast = net
+            .run(Benchmark::Multicast10, 0.1, quick_phases())
+            .unwrap();
+        assert!(
+            multicast.latency.mean().unwrap() > unicast.latency.mean().unwrap(),
+            "serialized multicast must cost latency"
+        );
+        assert_eq!(multicast.packets_incomplete, 0);
+    }
+
+    #[test]
+    fn overload_is_detected() {
+        let report = network(4, 4)
+            .run(Benchmark::Hotspot, 1.5, quick_phases())
+            .unwrap();
+        assert!(report.acceptance() < 0.9, "hotspot at 1.5 GF/s must saturate");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = network(4, 4)
+            .run(Benchmark::Multicast5, 0.2, quick_phases())
+            .unwrap();
+        let b = network(4, 4)
+            .run(Benchmark::Multicast5, 0.2, quick_phases())
+            .unwrap();
+        assert_eq!(a.latency.mean(), b.latency.mean());
+        assert_eq!(a.packets_measured, b.packets_measured);
+    }
+
+    #[test]
+    fn mean_hops_tracks_pattern() {
+        let net = network(4, 4);
+        let neighbor = net
+            .run(Benchmark::NearestNeighbor, 0.1, quick_phases())
+            .unwrap();
+        let complement = net
+            .run(Benchmark::BitComplement, 0.1, quick_phases())
+            .unwrap();
+        assert!(
+            complement.mean_hops > neighbor.mean_hops,
+            "bit-complement ({}) must travel further than nearest-neighbor ({})",
+            complement.mean_hops,
+            neighbor.mean_hops
+        );
+    }
+
+    #[test]
+    fn rate_validation() {
+        assert!(matches!(
+            network(2, 2).run(Benchmark::Shuffle, 0.0, quick_phases()),
+            Err(MeshError::InvalidRate { .. })
+        ));
+    }
+}

@@ -1,0 +1,451 @@
+//! Fanout node behavior: routing, replication, throttling, speculation.
+//!
+//! The decision a fanout node takes for one flit is summarized by a
+//! [`FanoutDecision`]: the set of output ports demanded (expressed as a
+//! [`RouteSymbol`], where `Drop` means the flit is throttled and only
+//! acknowledged). All ports demanded by a decision must be free before the
+//! node fires — this models the parallel `Reqout` generation of the
+//! non-speculative node and the C-element acknowledge of the speculative
+//! node (§4(a)/(b)), and is exactly where speculation's congestion penalty
+//! comes from: a speculative node cannot accept a new flit while *either*
+//! output is stalled.
+//!
+//! Per-kind semantics (paper section in parentheses):
+//!
+//! | kind | header | body | tail |
+//! |---|---|---|---|
+//! | `Baseline` (§2) | own symbol | same | same |
+//! | `NonSpeculative` (§4(b)) | own symbol (incl. `Drop` ⇒ throttle) | same | same |
+//! | `Speculative` (§4(a)) | broadcast | broadcast | broadcast |
+//! | `OptSpeculative` (§4(c)) | broadcast, latch own symbol | latched symbol | broadcast, release |
+//! | `OptNonSpeculative` (§4(d)) | own symbol, latch (pre-allocate) | latched | latched, release |
+
+use asynoc_packet::{FlitKind, RouteSymbol};
+use asynoc_topology::FanoutKind;
+
+/// What a fanout node does with one flit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FanoutDecision {
+    /// Output ports demanded; [`RouteSymbol::Drop`] means the flit is
+    /// throttled (acknowledged upstream, never forwarded).
+    pub forward: RouteSymbol,
+    /// `true` if body/tail flits ride a pre-allocated channel and skip
+    /// route computation (the §4(d) fast path) — the simulator charges the
+    /// reduced body-forward latency only when this is set.
+    pub fast_path: bool,
+}
+
+impl FanoutDecision {
+    /// Returns `true` if the flit is throttled at this node.
+    #[must_use]
+    pub fn is_drop(self) -> bool {
+        self.forward.is_drop()
+    }
+}
+
+/// Mutable per-node routing state.
+///
+/// Only the two optimized kinds hold state between flits (the latched route
+/// of §4(c)/(d)); the unoptimized kinds re-evaluate every flit, exactly as
+/// their hardware recomputes routes per flit.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_nodes::FanoutState;
+/// use asynoc_packet::{FlitKind, RouteSymbol};
+/// use asynoc_topology::FanoutKind;
+///
+/// let mut state = FanoutState::new(FanoutKind::OptSpeculative);
+/// // Header speculatively broadcasts but latches the true route...
+/// let header = state.decide(FlitKind::Header, RouteSymbol::Top);
+/// assert_eq!(header.forward, RouteSymbol::Both);
+/// // ...so body flits only use the correct output (power optimization).
+/// let body = state.decide(FlitKind::Body, RouteSymbol::Top);
+/// assert_eq!(body.forward, RouteSymbol::Top);
+/// // The tail returns the node to its default broadcast state.
+/// let tail = state.decide(FlitKind::Tail, RouteSymbol::Top);
+/// assert_eq!(tail.forward, RouteSymbol::Both);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FanoutState {
+    kind: FanoutKind,
+    latched: Option<RouteSymbol>,
+}
+
+impl FanoutState {
+    /// Creates the initial (idle) state for a node of the given kind.
+    #[must_use]
+    pub fn new(kind: FanoutKind) -> Self {
+        FanoutState {
+            kind,
+            latched: None,
+        }
+    }
+
+    /// The node's kind.
+    #[must_use]
+    pub fn kind(&self) -> FanoutKind {
+        self.kind
+    }
+
+    /// Returns `true` if a packet currently holds latched channel state.
+    #[must_use]
+    pub fn has_allocation(&self) -> bool {
+        self.latched.is_some()
+    }
+
+    /// Previews the decision for a flit without changing latched state.
+    ///
+    /// The simulator uses this to test whether the demanded output channels
+    /// are free before committing: a blocked node must re-evaluate later
+    /// with its state unchanged. [`decide`](Self::decide) returns the same
+    /// decision and commits the state change.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`decide`](Self::decide).
+    #[must_use]
+    pub fn peek(&self, flit: FlitKind, symbol: RouteSymbol) -> FanoutDecision {
+        self.clone().decide(flit, symbol)
+    }
+
+    /// Decides what to do with a flit whose 2-bit routing symbol *for this
+    /// node* is `symbol`, updating latched state.
+    ///
+    /// Flits of one packet must be presented in order (header first, tail
+    /// last); the single-input channel of a fanout node guarantees packets
+    /// arrive contiguously, so no interleaving can occur.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a baseline node is asked to replicate (`Both`) or throttle
+    /// (`Drop`) — the baseline network is unicast-only, so its traffic
+    /// generator must serialize multicasts before injection.
+    pub fn decide(&mut self, flit: FlitKind, symbol: RouteSymbol) -> FanoutDecision {
+        match self.kind {
+            FanoutKind::Baseline => {
+                assert!(
+                    matches!(symbol, RouteSymbol::Top | RouteSymbol::Bottom),
+                    "baseline fanout node received non-unicast symbol {symbol}"
+                );
+                FanoutDecision {
+                    forward: symbol,
+                    fast_path: false,
+                }
+            }
+            FanoutKind::NonSpeculative => FanoutDecision {
+                forward: symbol,
+                fast_path: false,
+            },
+            FanoutKind::Speculative => FanoutDecision {
+                forward: RouteSymbol::Both,
+                fast_path: false,
+            },
+            FanoutKind::OptSpeculative => self.decide_opt_speculative(flit, symbol),
+            FanoutKind::OptNonSpeculative => self.decide_opt_non_speculative(flit, symbol),
+        }
+    }
+
+    fn decide_opt_speculative(&mut self, flit: FlitKind, symbol: RouteSymbol) -> FanoutDecision {
+        match flit {
+            FlitKind::Header => {
+                // Speculate on the header, remember the real route for the
+                // body flits (§4(c)).
+                self.latched = Some(symbol);
+                FanoutDecision {
+                    forward: RouteSymbol::Both,
+                    fast_path: false,
+                }
+            }
+            FlitKind::Body => {
+                let latched = self
+                    .latched
+                    .expect("body flit reached an opt-speculative node with no latched header");
+                FanoutDecision {
+                    forward: latched,
+                    fast_path: true,
+                }
+            }
+            FlitKind::Tail => {
+                // The output modules return to normally-transparent after
+                // the tail, so the tail itself is still broadcast (§4(c)).
+                self.latched = None;
+                FanoutDecision {
+                    forward: RouteSymbol::Both,
+                    fast_path: false,
+                }
+            }
+            FlitKind::HeaderTail => FanoutDecision {
+                forward: RouteSymbol::Both,
+                fast_path: false,
+            },
+        }
+    }
+
+    fn decide_opt_non_speculative(
+        &mut self,
+        flit: FlitKind,
+        symbol: RouteSymbol,
+    ) -> FanoutDecision {
+        match flit {
+            FlitKind::Header => {
+                // Header pays full route computation and pre-allocates the
+                // channel(s) (§4(d)).
+                self.latched = Some(symbol);
+                FanoutDecision {
+                    forward: symbol,
+                    fast_path: false,
+                }
+            }
+            FlitKind::Body | FlitKind::Tail => {
+                let latched = self
+                    .latched
+                    .expect("body/tail flit reached an opt-non-speculative node with no allocation");
+                if flit.is_tail() {
+                    // Routing of the tail releases the channel (§4(d)).
+                    self.latched = None;
+                }
+                FanoutDecision {
+                    forward: latched,
+                    fast_path: true,
+                }
+            }
+            FlitKind::HeaderTail => FanoutDecision {
+                forward: symbol,
+                fast_path: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const PACKET: [FlitKind; 5] = [
+        FlitKind::Header,
+        FlitKind::Body,
+        FlitKind::Body,
+        FlitKind::Body,
+        FlitKind::Tail,
+    ];
+
+    fn run_packet(kind: FanoutKind, symbol: RouteSymbol) -> Vec<FanoutDecision> {
+        let mut state = FanoutState::new(kind);
+        PACKET.iter().map(|&f| state.decide(f, symbol)).collect()
+    }
+
+    #[test]
+    fn baseline_forwards_unicast_symbols_verbatim() {
+        for symbol in [RouteSymbol::Top, RouteSymbol::Bottom] {
+            for decision in run_packet(FanoutKind::Baseline, symbol) {
+                assert_eq!(decision.forward, symbol);
+                assert!(!decision.fast_path);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-unicast symbol")]
+    fn baseline_rejects_multicast() {
+        let _ = FanoutState::new(FanoutKind::Baseline).decide(FlitKind::Header, RouteSymbol::Both);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-unicast symbol")]
+    fn baseline_rejects_drop() {
+        let _ = FanoutState::new(FanoutKind::Baseline).decide(FlitKind::Header, RouteSymbol::Drop);
+    }
+
+    #[test]
+    fn non_speculative_follows_symbol_including_throttle() {
+        for symbol in RouteSymbol::ALL {
+            for decision in run_packet(FanoutKind::NonSpeculative, symbol) {
+                assert_eq!(decision.forward, symbol);
+                assert_eq!(decision.is_drop(), symbol.is_drop());
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_always_broadcasts() {
+        for symbol in RouteSymbol::ALL {
+            for decision in run_packet(FanoutKind::Speculative, symbol) {
+                assert_eq!(decision.forward, RouteSymbol::Both);
+            }
+        }
+    }
+
+    #[test]
+    fn opt_speculative_broadcasts_header_and_tail_only() {
+        let decisions = run_packet(FanoutKind::OptSpeculative, RouteSymbol::Bottom);
+        assert_eq!(decisions[0].forward, RouteSymbol::Both); // header
+        for body in &decisions[1..4] {
+            assert_eq!(body.forward, RouteSymbol::Bottom);
+            assert!(body.fast_path);
+        }
+        assert_eq!(decisions[4].forward, RouteSymbol::Both); // tail
+    }
+
+    #[test]
+    fn opt_speculative_throttles_redundant_bodies() {
+        // A redundant copy (symbol = Drop) is broadcast as header/tail but
+        // its body flits are blocked — the §4(c) power saving.
+        let decisions = run_packet(FanoutKind::OptSpeculative, RouteSymbol::Drop);
+        assert_eq!(decisions[0].forward, RouteSymbol::Both);
+        assert!(decisions[1].is_drop());
+        assert!(decisions[2].is_drop());
+        assert!(decisions[3].is_drop());
+        assert_eq!(decisions[4].forward, RouteSymbol::Both);
+    }
+
+    #[test]
+    fn opt_speculative_releases_latch_after_tail() {
+        let mut state = FanoutState::new(FanoutKind::OptSpeculative);
+        let _ = state.decide(FlitKind::Header, RouteSymbol::Top);
+        assert!(state.has_allocation());
+        let _ = state.decide(FlitKind::Tail, RouteSymbol::Top);
+        assert!(!state.has_allocation());
+        // The next packet latches its own route.
+        let _ = state.decide(FlitKind::Header, RouteSymbol::Bottom);
+        let body = state.decide(FlitKind::Body, RouteSymbol::Bottom);
+        assert_eq!(body.forward, RouteSymbol::Bottom);
+    }
+
+    #[test]
+    fn opt_non_speculative_preallocates_channel() {
+        let decisions = run_packet(FanoutKind::OptNonSpeculative, RouteSymbol::Both);
+        assert_eq!(decisions[0].forward, RouteSymbol::Both);
+        assert!(!decisions[0].fast_path); // header pays route computation
+        for later in &decisions[1..] {
+            assert_eq!(later.forward, RouteSymbol::Both);
+            assert!(later.fast_path); // body/tail fast-forward
+        }
+    }
+
+    #[test]
+    fn opt_non_speculative_tail_releases() {
+        let mut state = FanoutState::new(FanoutKind::OptNonSpeculative);
+        let _ = state.decide(FlitKind::Header, RouteSymbol::Top);
+        assert!(state.has_allocation());
+        let tail = state.decide(FlitKind::Tail, RouteSymbol::Top);
+        assert!(tail.fast_path);
+        assert!(!state.has_allocation());
+    }
+
+    #[test]
+    fn opt_non_speculative_throttles_drop_for_whole_packet() {
+        let decisions = run_packet(FanoutKind::OptNonSpeculative, RouteSymbol::Drop);
+        assert!(decisions.iter().all(|d| d.is_drop()));
+    }
+
+    #[test]
+    fn single_flit_packets_leave_no_state() {
+        for kind in [FanoutKind::OptSpeculative, FanoutKind::OptNonSpeculative] {
+            let mut state = FanoutState::new(kind);
+            let decision = state.decide(FlitKind::HeaderTail, RouteSymbol::Top);
+            assert!(!state.has_allocation());
+            if kind == FanoutKind::OptSpeculative {
+                assert_eq!(decision.forward, RouteSymbol::Both);
+            } else {
+                assert_eq!(decision.forward, RouteSymbol::Top);
+            }
+        }
+    }
+
+    #[test]
+    fn peek_matches_decide_without_mutating() {
+        for kind in [
+            FanoutKind::Baseline,
+            FanoutKind::NonSpeculative,
+            FanoutKind::Speculative,
+            FanoutKind::OptSpeculative,
+            FanoutKind::OptNonSpeculative,
+        ] {
+            let mut state = FanoutState::new(kind);
+            let symbol = if kind == FanoutKind::Baseline {
+                RouteSymbol::Top
+            } else {
+                RouteSymbol::Both
+            };
+            for flit in PACKET {
+                let preview = state.peek(flit, symbol);
+                let preview_again = state.peek(flit, symbol);
+                assert_eq!(preview, preview_again, "peek must not mutate");
+                assert_eq!(preview, state.decide(flit, symbol));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no latched header")]
+    fn opt_speculative_body_without_header_is_a_protocol_violation() {
+        let _ = FanoutState::new(FanoutKind::OptSpeculative).decide(FlitKind::Body, RouteSymbol::Top);
+    }
+
+    #[test]
+    #[should_panic(expected = "no allocation")]
+    fn opt_non_speculative_body_without_header_is_a_protocol_violation() {
+        let _ =
+            FanoutState::new(FanoutKind::OptNonSpeculative).decide(FlitKind::Body, RouteSymbol::Top);
+    }
+
+    proptest! {
+        /// For every kind and symbol, a full packet never forwards a body
+        /// flit to a port the routing symbol does not demand, except at
+        /// (unoptimized) speculative nodes — the invariant behind the
+        /// paper's power accounting.
+        #[test]
+        fn prop_body_flits_never_exceed_route(kind_sel in 0usize..5, sym_sel in 0usize..4) {
+            let kind = [
+                FanoutKind::Baseline,
+                FanoutKind::NonSpeculative,
+                FanoutKind::Speculative,
+                FanoutKind::OptSpeculative,
+                FanoutKind::OptNonSpeculative,
+            ][kind_sel];
+            let symbol = RouteSymbol::ALL[sym_sel];
+            if kind == FanoutKind::Baseline
+                && !matches!(symbol, RouteSymbol::Top | RouteSymbol::Bottom)
+            {
+                return Ok(());
+            }
+            let decisions = run_packet(kind, symbol);
+            for body in &decisions[1..4] {
+                if kind != FanoutKind::Speculative {
+                    prop_assert!(
+                        !body.forward.wants_top() || symbol.wants_top()
+                            || kind == FanoutKind::Baseline
+                    );
+                    prop_assert!(
+                        !body.forward.wants_bottom() || symbol.wants_bottom()
+                            || kind == FanoutKind::Baseline
+                    );
+                }
+            }
+        }
+
+        /// Optimized nodes always return to the idle state after the tail,
+        /// for any packet length >= 2.
+        #[test]
+        fn prop_tail_always_releases(len in 2usize..10, sym_sel in 0usize..4) {
+            for kind in [FanoutKind::OptSpeculative, FanoutKind::OptNonSpeculative] {
+                let mut state = FanoutState::new(kind);
+                let symbol = RouteSymbol::ALL[sym_sel];
+                for i in 0..len {
+                    let flit = if i == 0 {
+                        FlitKind::Header
+                    } else if i == len - 1 {
+                        FlitKind::Tail
+                    } else {
+                        FlitKind::Body
+                    };
+                    let _ = state.decide(flit, symbol);
+                }
+                prop_assert!(!state.has_allocation());
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Flits: the unit of flow control.
+//!
+//! Packets move through the network as a train of flits. Only the header
+//! carries routing information; body and tail flits follow whatever channel
+//! state the header set up, and the tail releases it. The paper fixes the
+//! packet length at five flits (header + 3 body + tail); this module keeps
+//! the length a per-packet parameter.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::packet::PacketDescriptor;
+
+/// The role a flit plays within its packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit: carries the source-routing header.
+    Header,
+    /// Middle flit: payload only.
+    Body,
+    /// Last flit: releases channel state as it passes.
+    Tail,
+    /// Sole flit of a single-flit packet (header and tail at once).
+    HeaderTail,
+}
+
+impl FlitKind {
+    /// Returns `true` for flits that carry routing information.
+    #[must_use]
+    pub const fn is_header(self) -> bool {
+        matches!(self, FlitKind::Header | FlitKind::HeaderTail)
+    }
+
+    /// Returns `true` for flits that close out the packet.
+    #[must_use]
+    pub const fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeaderTail)
+    }
+
+    /// Returns `true` for pure body flits.
+    #[must_use]
+    pub const fn is_body(self) -> bool {
+        matches!(self, FlitKind::Body)
+    }
+}
+
+impl fmt::Display for FlitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlitKind::Header => "header",
+            FlitKind::Body => "body",
+            FlitKind::Tail => "tail",
+            FlitKind::HeaderTail => "header+tail",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One flit in flight.
+///
+/// Flits are cheap to clone: replication at a multicast branch point (or a
+/// speculative broadcast) clones the handle, not the descriptor.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use asynoc_kernel::Time;
+/// use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader};
+///
+/// let descriptor = Arc::new(PacketDescriptor::new(
+///     PacketId::new(1),
+///     0,
+///     DestSet::unicast(5),
+///     RouteHeader::for_tree(8),
+///     5,
+///     Time::ZERO,
+/// ));
+/// let flits: Vec<Flit> = Flit::train(&descriptor).collect();
+/// assert_eq!(flits.len(), 5);
+/// assert!(flits[0].kind().is_header());
+/// assert!(flits[4].kind().is_tail());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Flit {
+    descriptor: Arc<PacketDescriptor>,
+    kind: FlitKind,
+    index: u8,
+}
+
+impl Flit {
+    /// Creates the `index`-th flit of `descriptor`'s packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the packet's flit count.
+    #[must_use]
+    pub fn new(descriptor: Arc<PacketDescriptor>, index: u8) -> Self {
+        let count = descriptor.flit_count();
+        assert!(
+            index < count,
+            "flit index {index} out of range for a {count}-flit packet"
+        );
+        let kind = if count == 1 {
+            FlitKind::HeaderTail
+        } else if index == 0 {
+            FlitKind::Header
+        } else if index == count - 1 {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        };
+        Flit {
+            descriptor,
+            kind,
+            index,
+        }
+    }
+
+    /// Produces the packet's whole flit train, header first.
+    pub fn train(descriptor: &Arc<PacketDescriptor>) -> impl Iterator<Item = Flit> + '_ {
+        (0..descriptor.flit_count()).map(move |index| Flit::new(Arc::clone(descriptor), index))
+    }
+
+    /// The shared packet descriptor.
+    #[must_use]
+    pub fn descriptor(&self) -> &Arc<PacketDescriptor> {
+        &self.descriptor
+    }
+
+    /// The flit's role within the packet.
+    #[must_use]
+    pub fn kind(&self) -> FlitKind {
+        self.kind
+    }
+
+    /// The flit's position within the packet (0 = header).
+    #[must_use]
+    pub fn index(&self) -> u8 {
+        self.index
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pkt{}[{}/{} {}]",
+            self.descriptor.id(),
+            self.index,
+            self.descriptor.flit_count(),
+            self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::destset::DestSet;
+    use crate::packet::{PacketDescriptor, PacketId};
+    use asynoc_kernel::Time;
+
+    fn descriptor(flits: u8) -> Arc<PacketDescriptor> {
+        Arc::new(PacketDescriptor::new(
+            PacketId::new(9),
+            2,
+            DestSet::unicast(1),
+            crate::RouteHeader::for_tree(8),
+            flits,
+            Time::from_ps(10),
+        ))
+    }
+
+    #[test]
+    fn five_flit_train_roles() {
+        let train: Vec<Flit> = Flit::train(&descriptor(5)).collect();
+        let kinds: Vec<FlitKind> = train.iter().map(Flit::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                FlitKind::Header,
+                FlitKind::Body,
+                FlitKind::Body,
+                FlitKind::Body,
+                FlitKind::Tail,
+            ]
+        );
+        assert_eq!(train.iter().map(Flit::index).collect::<Vec<_>>(), [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn two_flit_packet_has_header_and_tail() {
+        let kinds: Vec<FlitKind> = Flit::train(&descriptor(2)).map(|f| f.kind()).collect();
+        assert_eq!(kinds, [FlitKind::Header, FlitKind::Tail]);
+    }
+
+    #[test]
+    fn single_flit_packet_is_header_tail() {
+        let kinds: Vec<FlitKind> = Flit::train(&descriptor(1)).map(|f| f.kind()).collect();
+        assert_eq!(kinds, [FlitKind::HeaderTail]);
+        assert!(FlitKind::HeaderTail.is_header());
+        assert!(FlitKind::HeaderTail.is_tail());
+        assert!(!FlitKind::HeaderTail.is_body());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flit_index_must_be_in_range() {
+        let _ = Flit::new(descriptor(5), 5);
+    }
+
+    #[test]
+    fn clones_share_descriptor() {
+        let flit = Flit::new(descriptor(5), 0);
+        let copy = flit.clone();
+        assert!(Arc::ptr_eq(flit.descriptor(), copy.descriptor()));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(FlitKind::Header.is_header() && !FlitKind::Header.is_tail());
+        assert!(FlitKind::Tail.is_tail() && !FlitKind::Tail.is_header());
+        assert!(FlitKind::Body.is_body());
+    }
+
+    #[test]
+    fn display_formats() {
+        let flit = Flit::new(descriptor(5), 1);
+        assert_eq!(flit.to_string(), "pkt9[1/5 body]");
+    }
+}

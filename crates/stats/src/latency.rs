@@ -1,0 +1,395 @@
+//! Packet latency aggregation.
+
+use std::fmt;
+
+use asynoc_kernel::Duration;
+
+/// Collects per-packet latency samples and summarizes them.
+///
+/// Samples are stored exactly (runs produce thousands, not millions, of
+/// packets), so percentiles are exact rather than sketched.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_kernel::Duration;
+/// use asynoc_stats::LatencyStats;
+///
+/// let mut stats = LatencyStats::new();
+/// for ps in [1_000u64, 2_000, 3_000] {
+///     stats.record(Duration::from_ps(ps));
+/// }
+/// assert_eq!(stats.count(), 3);
+/// assert_eq!(stats.mean(), Some(Duration::from_ps(2_000)));
+/// assert_eq!(stats.max(), Some(Duration::from_ps(3_000)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one packet latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency, or `None` if no samples.
+    #[must_use]
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_ps() as u128).sum();
+        Some(Duration::from_ps(
+            (total / self.samples.len() as u128) as u64,
+        ))
+    }
+
+    /// Minimum latency, or `None` if no samples.
+    #[must_use]
+    pub fn min(&self) -> Option<Duration> {
+        self.samples.iter().min().copied()
+    }
+
+    /// Maximum latency, or `None` if no samples.
+    #[must_use]
+    pub fn max(&self) -> Option<Duration> {
+        self.samples.iter().max().copied()
+    }
+
+    /// Exact percentile (nearest-rank), `q` in `[0, 1]`; `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&mut self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "percentile {q} outside [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Median latency.
+    #[must_use]
+    pub fn median(&mut self) -> Option<Duration> {
+        self.percentile(0.5)
+    }
+
+    /// 99th-percentile latency.
+    #[must_use]
+    pub fn p99(&mut self) -> Option<Duration> {
+        self.percentile(0.99)
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Bins the samples into an equal-width [`Histogram`] spanning
+    /// `[min, max]`, or `None` if no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    #[must_use]
+    pub fn histogram(&self, bins: usize) -> Option<Histogram> {
+        assert!(bins > 0, "need at least one bin");
+        let lo = self.min()?;
+        let hi = self.max()?;
+        let span = (hi - lo).as_ps().max(1);
+        let mut counts = vec![0u64; bins];
+        for &sample in &self.samples {
+            let offset = (sample - lo).as_ps();
+            let bin = ((offset as u128 * bins as u128) / (span as u128 + 1)) as usize;
+            counts[bin.min(bins - 1)] += 1;
+        }
+        Some(Histogram { lo, hi, counts })
+    }
+}
+
+/// An equal-width latency histogram.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_kernel::Duration;
+/// use asynoc_stats::LatencyStats;
+///
+/// let stats: LatencyStats = (0..100u64).map(|k| Duration::from_ps(1_000 + 10 * k)).collect();
+/// let histogram = stats.histogram(4).expect("samples exist");
+/// assert_eq!(histogram.counts().iter().sum::<u64>(), 100);
+/// println!("{}", histogram.render(40));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    lo: Duration,
+    hi: Duration,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Lower edge of the first bin.
+    #[must_use]
+    pub fn lo(&self) -> Duration {
+        self.lo
+    }
+
+    /// Upper edge of the last bin.
+    #[must_use]
+    pub fn hi(&self) -> Duration {
+        self.hi
+    }
+
+    /// Per-bin sample counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `[low, high)` edge of bin `index` (the last bin is closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn bin_edges(&self, index: usize) -> (Duration, Duration) {
+        assert!(index < self.counts.len(), "bin {index} out of range");
+        let span = (self.hi - self.lo).as_ps().max(1);
+        let bins = self.counts.len() as u64;
+        let low = self.lo + Duration::from_ps(span * index as u64 / bins);
+        let high = self.lo + Duration::from_ps(span * (index as u64 + 1) / bins);
+        (low, high)
+    }
+
+    /// Renders an ASCII bar chart, one line per bin, bars scaled to
+    /// `width` characters.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (index, &count) in self.counts.iter().enumerate() {
+            let (low, high) = self.bin_edges(index);
+            let bar_len = (count as usize * width).div_ceil(peak as usize);
+            let bar = "#".repeat(if count == 0 { 0 } else { bar_len.max(1) });
+            let _ = writeln!(
+                out,
+                "{:>12} .. {:<12} |{:<width$}| {count}",
+                low.to_string(),
+                high.to_string(),
+                bar,
+            );
+        }
+        out
+    }
+}
+
+impl Extend<Duration> for LatencyStats {
+    fn extend<I: IntoIterator<Item = Duration>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<Duration> for LatencyStats {
+    fn from_iter<I: IntoIterator<Item = Duration>>(iter: I) -> Self {
+        let mut stats = LatencyStats::new();
+        stats.extend(iter);
+        stats
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(f, "n={} mean={}", self.count(), mean),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn stats(ps: &[u64]) -> LatencyStats {
+        ps.iter().map(|&p| Duration::from_ps(p)).collect()
+    }
+
+    #[test]
+    fn empty_stats_return_none() {
+        let mut s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.median(), None);
+    }
+
+    #[test]
+    fn summary_values() {
+        let mut s = stats(&[5, 1, 3, 2, 4]);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), Some(Duration::from_ps(3)));
+        assert_eq!(s.min(), Some(Duration::from_ps(1)));
+        assert_eq!(s.max(), Some(Duration::from_ps(5)));
+        assert_eq!(s.median(), Some(Duration::from_ps(3)));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s = stats(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.percentile(0.0), Some(Duration::from_ps(10)));
+        assert_eq!(s.percentile(0.1), Some(Duration::from_ps(10)));
+        assert_eq!(s.percentile(0.5), Some(Duration::from_ps(50)));
+        assert_eq!(s.percentile(0.91), Some(Duration::from_ps(100)));
+        assert_eq!(s.percentile(1.0), Some(Duration::from_ps(100)));
+    }
+
+    #[test]
+    fn recording_after_percentile_keeps_order_correct() {
+        let mut s = stats(&[30, 10]);
+        assert_eq!(s.median(), Some(Duration::from_ps(10)));
+        s.record(Duration::from_ps(20));
+        assert_eq!(s.median(), Some(Duration::from_ps(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_range_checked() {
+        let _ = stats(&[1]).percentile(1.5);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = stats(&[1, 2]);
+        let b = stats(&[3, 4]);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.mean(), Some(Duration::from_ps(2)));
+    }
+
+    #[test]
+    fn display_shows_mean() {
+        let s = stats(&[2_000, 4_000]);
+        assert_eq!(s.to_string(), "n=2 mean=3.000 ns");
+        assert_eq!(LatencyStats::new().to_string(), "n=0");
+    }
+
+    #[test]
+    fn mean_does_not_overflow_on_large_sums() {
+        let mut s = LatencyStats::new();
+        for _ in 0..1_000 {
+            s.record(Duration::from_ps(u64::MAX / 1_000));
+        }
+        assert!(s.mean().is_some());
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_samples() {
+        let s = stats(&[100, 150, 200, 250, 300, 350, 400]);
+        let h = s.histogram(3).unwrap();
+        assert_eq!(h.counts().iter().sum::<u64>(), 7);
+        assert_eq!(h.lo(), Duration::from_ps(100));
+        assert_eq!(h.hi(), Duration::from_ps(400));
+    }
+
+    #[test]
+    fn histogram_single_value_lands_in_one_bin() {
+        let s = stats(&[500, 500, 500]);
+        let h = s.histogram(4).unwrap();
+        assert_eq!(h.counts()[0], 3);
+        assert_eq!(h.counts()[1..].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn histogram_empty_is_none() {
+        assert!(LatencyStats::new().histogram(4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_rejected() {
+        let _ = stats(&[1]).histogram(0);
+    }
+
+    #[test]
+    fn histogram_render_shows_bars_and_counts() {
+        let s = stats(&[100, 100, 100, 100, 900]);
+        let h = s.histogram(2).unwrap();
+        let text = h.render(10);
+        assert!(text.contains("####"), "peak bin gets a long bar:\n{text}");
+        assert!(text.contains("| 4"), "counts printed:\n{text}");
+        assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    fn histogram_bin_edges_partition_range() {
+        let s = stats(&[0, 1_000]);
+        let h = s.histogram(4).unwrap();
+        let mut previous_high = h.lo();
+        for i in 0..4 {
+            let (low, high) = h.bin_edges(i);
+            assert_eq!(low, previous_high);
+            assert!(high > low);
+            previous_high = high;
+        }
+        assert_eq!(previous_high, h.hi());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_histogram_conserves_samples(
+            samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+            bins in 1usize..16,
+        ) {
+            let s = stats(&samples);
+            let h = s.histogram(bins).unwrap();
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
+            prop_assert_eq!(h.counts().len(), bins);
+        }
+
+        #[test]
+        fn prop_mean_bounded_by_min_max(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut s = stats(&samples);
+            let mean = s.mean().unwrap();
+            prop_assert!(s.min().unwrap() <= mean);
+            prop_assert!(mean <= s.max().unwrap());
+            // Percentiles are monotone.
+            let p25 = s.percentile(0.25).unwrap();
+            let p75 = s.percentile(0.75).unwrap();
+            prop_assert!(p25 <= p75);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Saturation-throughput search.
+//!
+//! Saturation is the highest offered load a network still *accepts*: past
+//! it, source queues grow without bound and accepted throughput plateaus.
+//! [`find_saturation`] bisects on a caller-supplied stability probe — the
+//! simulator runs a full benchmark at each probed rate — and returns the
+//! highest stable rate found, following the standard methodology of Dally &
+//! Towles that the paper cites for its measurement procedure.
+
+use std::fmt;
+
+/// Outcome of probing one injection rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StabilityVerdict {
+    /// The network accepted (almost all of) the offered load.
+    Stable,
+    /// Source queues grew / acceptance collapsed: past saturation.
+    Saturated,
+}
+
+impl fmt::Display for StabilityVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StabilityVerdict::Stable => "stable",
+            StabilityVerdict::Saturated => "saturated",
+        })
+    }
+}
+
+/// Decides stability from offered vs. accepted per-source rates.
+///
+/// A run is stable when acceptance stays above `acceptance_floor`
+/// (default 0.95 — mild transient queueing is fine, systematic refusal is
+/// saturation).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StabilityProbe {
+    /// Minimum accepted/offered ratio considered stable.
+    pub acceptance_floor: f64,
+}
+
+impl StabilityProbe {
+    /// Creates a probe with the default 0.95 acceptance floor.
+    #[must_use]
+    pub fn new() -> Self {
+        StabilityProbe {
+            acceptance_floor: 0.95,
+        }
+    }
+
+    /// Judges one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative or not finite.
+    #[must_use]
+    pub fn judge(&self, offered: f64, accepted: f64) -> StabilityVerdict {
+        assert!(
+            offered.is_finite() && offered >= 0.0 && accepted.is_finite() && accepted >= 0.0,
+            "rates must be finite and non-negative (offered {offered}, accepted {accepted})"
+        );
+        if offered <= 0.0 || accepted / offered >= self.acceptance_floor {
+            StabilityVerdict::Stable
+        } else {
+            StabilityVerdict::Saturated
+        }
+    }
+}
+
+impl Default for StabilityProbe {
+    fn default() -> Self {
+        StabilityProbe::new()
+    }
+}
+
+/// Bisects for the saturation rate in `lo..hi` (flits/ns per source).
+///
+/// `probe(rate)` must run the workload at `rate` and report a verdict. The
+/// search first confirms the bracket (growing `hi` is the caller's job),
+/// then bisects until the bracket is narrower than `tolerance`, returning
+/// the highest rate observed stable.
+///
+/// The probe is called O(log((hi−lo)/tolerance)) times; each call is a full
+/// simulation, so keep `tolerance` realistic (the paper reports two decimal
+/// digits — 0.01–0.02 GF/s is appropriate).
+///
+/// # Panics
+///
+/// Panics if the bracket or tolerance is degenerate (`lo >= hi`,
+/// `tolerance <= 0`, negative `lo`).
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_stats::{find_saturation, StabilityVerdict};
+///
+/// // A fictitious network that saturates at exactly 1.48 flits/ns.
+/// let sat = find_saturation(0.1, 3.0, 0.01, |rate| {
+///     if rate <= 1.48 { StabilityVerdict::Stable } else { StabilityVerdict::Saturated }
+/// });
+/// assert!((sat - 1.48).abs() < 0.01);
+/// ```
+pub fn find_saturation(
+    lo: f64,
+    hi: f64,
+    tolerance: f64,
+    mut probe: impl FnMut(f64) -> StabilityVerdict,
+) -> f64 {
+    assert!(lo >= 0.0 && lo < hi, "bad bracket [{lo}, {hi}]");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+
+    // If even the low end saturates, report it as the (outside-bracket)
+    // answer; if the high end is stable, the bracket was too small — report
+    // hi so the caller can notice and widen.
+    if probe(lo) == StabilityVerdict::Saturated {
+        return lo;
+    }
+    if probe(hi) == StabilityVerdict::Stable {
+        return hi;
+    }
+
+    let mut stable = lo;
+    let mut saturated = hi;
+    while saturated - stable > tolerance {
+        let mid = 0.5 * (stable + saturated);
+        match probe(mid) {
+            StabilityVerdict::Stable => stable = mid,
+            StabilityVerdict::Saturated => saturated = mid,
+        }
+    }
+    stable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn step_network(threshold: f64) -> impl FnMut(f64) -> StabilityVerdict {
+        move |rate| {
+            if rate <= threshold {
+                StabilityVerdict::Stable
+            } else {
+                StabilityVerdict::Saturated
+            }
+        }
+    }
+
+    #[test]
+    fn finds_known_threshold() {
+        let sat = find_saturation(0.0, 4.0, 0.005, step_network(1.26));
+        assert!((sat - 1.26).abs() < 0.005, "found {sat}");
+    }
+
+    #[test]
+    fn saturated_at_low_end_returns_lo() {
+        assert_eq!(find_saturation(0.5, 2.0, 0.01, step_network(0.1)), 0.5);
+    }
+
+    #[test]
+    fn stable_at_high_end_returns_hi() {
+        assert_eq!(find_saturation(0.5, 2.0, 0.01, step_network(10.0)), 2.0);
+    }
+
+    #[test]
+    fn probe_call_count_is_logarithmic() {
+        let mut calls = 0usize;
+        let mut inner = step_network(1.0);
+        let _ = find_saturation(0.0, 4.0, 0.01, |r| {
+            calls += 1;
+            inner(r)
+        });
+        assert!(calls <= 2 + 10, "too many probe calls: {calls}"); // 2 bracket + log2(400) ≈ 9
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bracket")]
+    fn inverted_bracket_rejected() {
+        let _ = find_saturation(2.0, 1.0, 0.01, step_network(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tolerance_rejected() {
+        let _ = find_saturation(0.0, 1.0, 0.0, step_network(0.5));
+    }
+
+    #[test]
+    fn probe_judgement() {
+        let probe = StabilityProbe::new();
+        assert_eq!(probe.judge(1.0, 0.99), StabilityVerdict::Stable);
+        assert_eq!(probe.judge(1.0, 0.90), StabilityVerdict::Saturated);
+        assert_eq!(probe.judge(0.0, 0.0), StabilityVerdict::Stable);
+        assert_eq!(probe.judge(1.0, 0.95), StabilityVerdict::Stable);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn probe_rejects_nan() {
+        let _ = StabilityProbe::new().judge(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(StabilityVerdict::Stable.to_string(), "stable");
+        assert_eq!(StabilityVerdict::Saturated.to_string(), "saturated");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bisection_converges_to_threshold(threshold in 0.1f64..3.9) {
+            let sat = find_saturation(0.0, 4.0, 0.01, step_network(threshold));
+            prop_assert!((sat - threshold).abs() <= 0.011, "found {sat} for {threshold}");
+        }
+    }
+}

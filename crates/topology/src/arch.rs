@@ -1,0 +1,661 @@
+//! The paper's network architectures and speculation maps.
+//!
+//! §3 of the paper defines five parallel-multicast networks plus the serial
+//! baseline. An [`Architecture`] names one of the six; a [`SpeculationMap`]
+//! says, per fanout level, whether its nodes are speculative. Together they
+//! determine the [`FanoutKind`] of every fanout node and the packet header's
+//! address-field size.
+//!
+//! Hybrid placement follows the figures: Fig 3(b) makes the 8×8 root level
+//! speculative; Fig 3(d)'s 16×16 hybrid alternates speculative and
+//! non-speculative levels starting speculative at the root. We generalize to
+//! any depth as "alternate starting speculative, but the leaf level is
+//! always non-speculative" — which reproduces both figures and the §5.2(d)
+//! address-bit table exactly.
+
+use std::fmt;
+
+use asynoc_packet::coding;
+
+use crate::error::TopologyError;
+use crate::size::MotSize;
+
+/// The behavioral variety of a fanout node (paper §4 plus the baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FanoutKind {
+    /// The unicast-only baseline node of Horak et al. (paper §2).
+    Baseline,
+    /// Unoptimized non-speculative multicast node (§4(b)): full route
+    /// computation, replication, and throttling.
+    NonSpeculative,
+    /// Unoptimized speculative node (§4(a)): always broadcasts, C-element
+    /// acknowledge across both outputs.
+    Speculative,
+    /// Performance-optimized non-speculative node (§4(d)): header
+    /// pre-allocates the channel, body/tail flits fast-forward.
+    OptNonSpeculative,
+    /// Power-optimized speculative node (§4(c)): header and tail broadcast,
+    /// body flits follow the header's actual route.
+    OptSpeculative,
+}
+
+impl FanoutKind {
+    /// Returns `true` for the two speculative (always-broadcast-header)
+    /// kinds.
+    #[must_use]
+    pub const fn is_speculative(self) -> bool {
+        matches!(self, FanoutKind::Speculative | FanoutKind::OptSpeculative)
+    }
+
+    /// Returns `true` for kinds carrying the header/tail protocol
+    /// optimizations of §4(c)/(d).
+    #[must_use]
+    pub const fn is_optimized(self) -> bool {
+        matches!(
+            self,
+            FanoutKind::OptNonSpeculative | FanoutKind::OptSpeculative
+        )
+    }
+}
+
+impl fmt::Display for FanoutKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FanoutKind::Baseline => "baseline",
+            FanoutKind::NonSpeculative => "non-speculative",
+            FanoutKind::Speculative => "speculative",
+            FanoutKind::OptNonSpeculative => "opt-non-speculative",
+            FanoutKind::OptSpeculative => "opt-speculative",
+        })
+    }
+}
+
+/// Per-level speculation flags for one network size.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_topology::{MotSize, SpeculationMap};
+///
+/// let size = MotSize::new(8)?;
+/// let hybrid = SpeculationMap::hybrid(size);
+/// assert_eq!(hybrid.flags(), &[true, false, false]);
+/// assert_eq!(hybrid.non_speculative_nodes(), 6);
+/// # Ok::<(), asynoc_topology::TopologyError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SpeculationMap {
+    size: MotSize,
+    flags: Vec<bool>,
+}
+
+impl SpeculationMap {
+    /// A fully non-speculative map.
+    #[must_use]
+    pub fn non_speculative(size: MotSize) -> Self {
+        SpeculationMap {
+            size,
+            flags: vec![false; size.levels() as usize],
+        }
+    }
+
+    /// The canonical hybrid map: levels alternate speculative /
+    /// non-speculative starting speculative at the root; the leaf level is
+    /// forced non-speculative.
+    #[must_use]
+    pub fn hybrid(size: MotSize) -> Self {
+        let levels = size.levels() as usize;
+        let flags = (0..levels)
+            .map(|level| level % 2 == 0 && level + 1 != levels)
+            .collect();
+        SpeculationMap { size, flags }
+    }
+
+    /// The almost-fully-speculative map: every level speculative except the
+    /// leaf level (the fanin network cannot throttle misrouted packets).
+    #[must_use]
+    pub fn all_speculative(size: MotSize) -> Self {
+        let levels = size.levels() as usize;
+        let flags = (0..levels).map(|level| level + 1 != levels).collect();
+        SpeculationMap { size, flags }
+    }
+
+    /// A custom map from explicit per-level flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::LevelCountMismatch`] if `flags.len()` does
+    /// not equal the tree depth, or [`TopologyError::SpeculativeLeafLevel`]
+    /// if the leaf level is marked speculative.
+    pub fn custom(size: MotSize, flags: Vec<bool>) -> Result<Self, TopologyError> {
+        let required = size.levels() as usize;
+        if flags.len() != required {
+            return Err(TopologyError::LevelCountMismatch {
+                provided: flags.len(),
+                required,
+            });
+        }
+        if flags[required - 1] {
+            return Err(TopologyError::SpeculativeLeafLevel);
+        }
+        Ok(SpeculationMap { size, flags })
+    }
+
+    /// The network size this map describes.
+    #[must_use]
+    pub fn size(&self) -> MotSize {
+        self.size
+    }
+
+    /// The per-level flags (`true` = speculative), root first.
+    #[must_use]
+    pub fn flags(&self) -> &[bool] {
+        &self.flags
+    }
+
+    /// Returns `true` if level `level`'s nodes are speculative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn is_speculative_level(&self, level: u32) -> bool {
+        self.flags[level as usize]
+    }
+
+    /// Returns `true` if any level is speculative.
+    #[must_use]
+    pub fn has_speculation(&self) -> bool {
+        self.flags.iter().any(|&f| f)
+    }
+
+    /// Number of non-speculative fanout nodes per tree.
+    #[must_use]
+    pub fn non_speculative_nodes(&self) -> usize {
+        coding::non_speculative_node_count(self.size.n(), &self.flags)
+    }
+
+    /// Number of speculative fanout nodes per tree.
+    #[must_use]
+    pub fn speculative_nodes(&self) -> usize {
+        self.size.fanout_nodes_per_tree() - self.non_speculative_nodes()
+    }
+
+    /// Address bits a parallel-multicast header needs under this map.
+    #[must_use]
+    pub fn address_bits(&self) -> usize {
+        coding::network_address_bits(self.size.n(), &self.flags)
+    }
+}
+
+/// The six evaluated network configurations (paper §3, "target parallel
+/// multicast networks", plus the serial baseline of §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Serial multicast: the unmodified unicast network; multicasts are
+    /// injected as trains of unicast clones.
+    Baseline,
+    /// Tree-based parallel multicast with unoptimized non-speculative nodes
+    /// everywhere.
+    BasicNonSpeculative,
+    /// Local speculation in a hybrid network of unoptimized nodes.
+    BasicHybridSpeculative,
+    /// Hybrid network of protocol-optimized nodes.
+    OptHybridSpeculative,
+    /// Fully non-speculative network of optimized nodes.
+    OptNonSpeculative,
+    /// Almost fully speculative network of optimized nodes (leaf level
+    /// non-speculative).
+    OptAllSpeculative,
+}
+
+impl Architecture {
+    /// All six configurations, in the paper's presentation order.
+    pub const ALL: [Architecture; 6] = [
+        Architecture::Baseline,
+        Architecture::BasicNonSpeculative,
+        Architecture::BasicHybridSpeculative,
+        Architecture::OptHybridSpeculative,
+        Architecture::OptNonSpeculative,
+        Architecture::OptAllSpeculative,
+    ];
+
+    /// The contribution-trajectory case study of §5.2(b).
+    pub const CONTRIBUTION_TRAJECTORY: [Architecture; 4] = [
+        Architecture::Baseline,
+        Architecture::BasicNonSpeculative,
+        Architecture::BasicHybridSpeculative,
+        Architecture::OptHybridSpeculative,
+    ];
+
+    /// The design-space-exploration case study of §5.2(c).
+    pub const DESIGN_SPACE: [Architecture; 3] = [
+        Architecture::OptNonSpeculative,
+        Architecture::OptHybridSpeculative,
+        Architecture::OptAllSpeculative,
+    ];
+
+    /// Returns `true` if multicasts must be serialized into unicast clones
+    /// at the source (the baseline network cannot replicate).
+    #[must_use]
+    pub const fn serializes_multicast(self) -> bool {
+        matches!(self, Architecture::Baseline)
+    }
+
+    /// Returns `true` if the architecture uses the §4(c)/(d) protocol
+    /// optimizations.
+    #[must_use]
+    pub const fn is_optimized(self) -> bool {
+        matches!(
+            self,
+            Architecture::OptHybridSpeculative
+                | Architecture::OptNonSpeculative
+                | Architecture::OptAllSpeculative
+        )
+    }
+
+    /// The speculation map this architecture uses at the given size.
+    #[must_use]
+    pub fn speculation_map(self, size: MotSize) -> SpeculationMap {
+        match self {
+            Architecture::Baseline
+            | Architecture::BasicNonSpeculative
+            | Architecture::OptNonSpeculative => SpeculationMap::non_speculative(size),
+            Architecture::BasicHybridSpeculative | Architecture::OptHybridSpeculative => {
+                SpeculationMap::hybrid(size)
+            }
+            Architecture::OptAllSpeculative => SpeculationMap::all_speculative(size),
+        }
+    }
+
+    /// The node kind used at fanout level `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range for `size`.
+    #[must_use]
+    pub fn fanout_kind(self, size: MotSize, level: u32) -> FanoutKind {
+        assert!(level < size.levels(), "level {level} out of range");
+        let speculative = self.speculation_map(size).is_speculative_level(level);
+        match (self, speculative) {
+            (Architecture::Baseline, _) => FanoutKind::Baseline,
+            (Architecture::BasicNonSpeculative | Architecture::BasicHybridSpeculative, false) => {
+                FanoutKind::NonSpeculative
+            }
+            (Architecture::BasicNonSpeculative | Architecture::BasicHybridSpeculative, true) => {
+                FanoutKind::Speculative
+            }
+            (_, false) => FanoutKind::OptNonSpeculative,
+            (_, true) => FanoutKind::OptSpeculative,
+        }
+    }
+
+    /// Address bits per packet header for this architecture at `size`
+    /// (reproduces the §5.2(d) comparison).
+    #[must_use]
+    pub fn address_bits(self, size: MotSize) -> usize {
+        if self.serializes_multicast() {
+            coding::baseline_address_bits(size.n())
+        } else {
+            self.speculation_map(size).address_bits()
+        }
+    }
+}
+
+/// The complete per-level node-kind assignment of one network — either a
+/// canonical [`Architecture`] or a custom speculation placement (the wider
+/// design space the paper sketches for 16×16 in Fig 3(d)).
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_topology::{FanoutKind, MotSize, NodePlan, SpeculationMap};
+///
+/// let size = MotSize::new(8)?;
+/// // Mid-level-only speculation with optimized nodes: not one of the
+/// // paper's three canonical points, but a legal design.
+/// let map = SpeculationMap::custom(size, vec![false, true, false])?;
+/// let plan = NodePlan::from_speculation(&map, true);
+/// assert_eq!(plan.kind(1), FanoutKind::OptSpeculative);
+/// assert_eq!(plan.address_bits(), 10);
+/// # Ok::<(), asynoc_topology::TopologyError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct NodePlan {
+    size: MotSize,
+    kinds: Vec<FanoutKind>,
+    serializes_multicast: bool,
+}
+
+impl NodePlan {
+    /// The plan of one of the paper's six canonical networks.
+    #[must_use]
+    pub fn for_architecture(architecture: Architecture, size: MotSize) -> Self {
+        NodePlan {
+            size,
+            kinds: (0..size.levels())
+                .map(|level| architecture.fanout_kind(size, level))
+                .collect(),
+            serializes_multicast: architecture.serializes_multicast(),
+        }
+    }
+
+    /// A custom plan from a speculation map: speculative levels get
+    /// (optionally optimized) speculative nodes, the rest non-speculative
+    /// ones.
+    #[must_use]
+    pub fn from_speculation(map: &SpeculationMap, optimized: bool) -> Self {
+        let kinds = map
+            .flags()
+            .iter()
+            .map(|&speculative| match (speculative, optimized) {
+                (true, true) => FanoutKind::OptSpeculative,
+                (true, false) => FanoutKind::Speculative,
+                (false, true) => FanoutKind::OptNonSpeculative,
+                (false, false) => FanoutKind::NonSpeculative,
+            })
+            .collect();
+        NodePlan {
+            size: map.size(),
+            kinds,
+            serializes_multicast: false,
+        }
+    }
+
+    /// The network size the plan describes.
+    #[must_use]
+    pub fn size(&self) -> MotSize {
+        self.size
+    }
+
+    /// The node kind at fanout level `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn kind(&self, level: u32) -> FanoutKind {
+        self.kinds[level as usize]
+    }
+
+    /// All per-level kinds, root first.
+    #[must_use]
+    pub fn kinds(&self) -> &[FanoutKind] {
+        &self.kinds
+    }
+
+    /// Returns `true` if multicasts must be serialized into unicast clones
+    /// at the source.
+    #[must_use]
+    pub fn serializes_multicast(&self) -> bool {
+        self.serializes_multicast
+    }
+
+    /// Per-level speculation flags implied by the kinds.
+    #[must_use]
+    pub fn speculative_levels(&self) -> Vec<bool> {
+        self.kinds.iter().map(|k| k.is_speculative()).collect()
+    }
+
+    /// Address bits per packet header under this plan.
+    #[must_use]
+    pub fn address_bits(&self) -> usize {
+        if self.serializes_multicast {
+            asynoc_packet::coding::baseline_address_bits(self.size.n())
+        } else {
+            asynoc_packet::coding::network_address_bits(
+                self.size.n(),
+                &self.speculative_levels(),
+            )
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Architecture::Baseline => "Baseline",
+            Architecture::BasicNonSpeculative => "BasicNonSpeculative",
+            Architecture::BasicHybridSpeculative => "BasicHybridSpeculative",
+            Architecture::OptHybridSpeculative => "OptHybridSpeculative",
+            Architecture::OptNonSpeculative => "OptNonSpeculative",
+            Architecture::OptAllSpeculative => "OptAllSpeculative",
+        })
+    }
+}
+
+/// Error parsing an [`Architecture`] name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseArchitectureError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseArchitectureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown architecture {:?} (expected one of: Baseline, BasicNonSpeculative, \
+             BasicHybridSpeculative, OptHybridSpeculative, OptNonSpeculative, OptAllSpeculative)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseArchitectureError {}
+
+impl std::str::FromStr for Architecture {
+    type Err = ParseArchitectureError;
+
+    /// Parses the paper's architecture names, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.to_ascii_lowercase();
+        Architecture::ALL
+            .into_iter()
+            .find(|arch| arch.to_string().to_ascii_lowercase() == lowered)
+            .ok_or_else(|| ParseArchitectureError {
+                input: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size(n: usize) -> MotSize {
+        MotSize::new(n).unwrap()
+    }
+
+    #[test]
+    fn hybrid_map_matches_fig3b_and_fig3d() {
+        assert_eq!(SpeculationMap::hybrid(size(8)).flags(), &[true, false, false]);
+        assert_eq!(
+            SpeculationMap::hybrid(size(16)).flags(),
+            &[true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn all_speculative_keeps_leaf_level_non_speculative() {
+        assert_eq!(
+            SpeculationMap::all_speculative(size(8)).flags(),
+            &[true, true, false]
+        );
+        assert_eq!(
+            SpeculationMap::all_speculative(size(16)).flags(),
+            &[true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn custom_map_validation() {
+        assert!(SpeculationMap::custom(size(8), vec![false, true, false]).is_ok());
+        assert_eq!(
+            SpeculationMap::custom(size(8), vec![false, true]),
+            Err(TopologyError::LevelCountMismatch {
+                provided: 2,
+                required: 3
+            })
+        );
+        assert_eq!(
+            SpeculationMap::custom(size(8), vec![false, false, true]),
+            Err(TopologyError::SpeculativeLeafLevel)
+        );
+    }
+
+    #[test]
+    fn node_counting() {
+        let hybrid = SpeculationMap::hybrid(size(8));
+        assert_eq!(hybrid.non_speculative_nodes(), 6);
+        assert_eq!(hybrid.speculative_nodes(), 1);
+        assert!(hybrid.has_speculation());
+        let nonspec = SpeculationMap::non_speculative(size(8));
+        assert!(!nonspec.has_speculation());
+        assert_eq!(nonspec.speculative_nodes(), 0);
+    }
+
+    #[test]
+    fn paper_address_bit_table() {
+        // §5.2(d): 8×8 → 3/14/12/8; 16×16 → 4/30/20/16.
+        let s8 = size(8);
+        assert_eq!(Architecture::Baseline.address_bits(s8), 3);
+        assert_eq!(Architecture::BasicNonSpeculative.address_bits(s8), 14);
+        assert_eq!(Architecture::OptNonSpeculative.address_bits(s8), 14);
+        assert_eq!(Architecture::BasicHybridSpeculative.address_bits(s8), 12);
+        assert_eq!(Architecture::OptHybridSpeculative.address_bits(s8), 12);
+        assert_eq!(Architecture::OptAllSpeculative.address_bits(s8), 8);
+        let s16 = size(16);
+        assert_eq!(Architecture::Baseline.address_bits(s16), 4);
+        assert_eq!(Architecture::OptNonSpeculative.address_bits(s16), 30);
+        assert_eq!(Architecture::OptHybridSpeculative.address_bits(s16), 20);
+        assert_eq!(Architecture::OptAllSpeculative.address_bits(s16), 16);
+    }
+
+    #[test]
+    fn fanout_kinds_per_architecture_8x8() {
+        let s = size(8);
+        let kinds = |arch: Architecture| -> Vec<FanoutKind> {
+            (0..3).map(|l| arch.fanout_kind(s, l)).collect()
+        };
+        assert_eq!(kinds(Architecture::Baseline), vec![FanoutKind::Baseline; 3]);
+        assert_eq!(
+            kinds(Architecture::BasicNonSpeculative),
+            vec![FanoutKind::NonSpeculative; 3]
+        );
+        assert_eq!(
+            kinds(Architecture::BasicHybridSpeculative),
+            vec![
+                FanoutKind::Speculative,
+                FanoutKind::NonSpeculative,
+                FanoutKind::NonSpeculative
+            ]
+        );
+        assert_eq!(
+            kinds(Architecture::OptHybridSpeculative),
+            vec![
+                FanoutKind::OptSpeculative,
+                FanoutKind::OptNonSpeculative,
+                FanoutKind::OptNonSpeculative
+            ]
+        );
+        assert_eq!(
+            kinds(Architecture::OptNonSpeculative),
+            vec![FanoutKind::OptNonSpeculative; 3]
+        );
+        assert_eq!(
+            kinds(Architecture::OptAllSpeculative),
+            vec![
+                FanoutKind::OptSpeculative,
+                FanoutKind::OptSpeculative,
+                FanoutKind::OptNonSpeculative
+            ]
+        );
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(FanoutKind::Speculative.is_speculative());
+        assert!(FanoutKind::OptSpeculative.is_speculative());
+        assert!(!FanoutKind::NonSpeculative.is_speculative());
+        assert!(FanoutKind::OptNonSpeculative.is_optimized());
+        assert!(!FanoutKind::Baseline.is_optimized());
+    }
+
+    #[test]
+    fn architecture_groups() {
+        assert_eq!(Architecture::ALL.len(), 6);
+        assert_eq!(Architecture::CONTRIBUTION_TRAJECTORY.len(), 4);
+        assert_eq!(Architecture::DESIGN_SPACE.len(), 3);
+        assert!(Architecture::Baseline.serializes_multicast());
+        assert!(!Architecture::OptHybridSpeculative.serializes_multicast());
+        assert!(Architecture::OptAllSpeculative.is_optimized());
+        assert!(!Architecture::BasicHybridSpeculative.is_optimized());
+    }
+
+    #[test]
+    fn plan_for_architecture_matches_fanout_kinds() {
+        let s = size(8);
+        for arch in Architecture::ALL {
+            let plan = NodePlan::for_architecture(arch, s);
+            for level in 0..3 {
+                assert_eq!(plan.kind(level), arch.fanout_kind(s, level), "{arch} level {level}");
+            }
+            assert_eq!(plan.serializes_multicast(), arch.serializes_multicast());
+            assert_eq!(plan.address_bits(), arch.address_bits(s), "{arch}");
+        }
+    }
+
+    #[test]
+    fn plan_from_custom_speculation() {
+        let s = size(8);
+        let map = SpeculationMap::custom(s, vec![false, true, false]).unwrap();
+        let optimized = NodePlan::from_speculation(&map, true);
+        assert_eq!(
+            optimized.kinds(),
+            &[
+                FanoutKind::OptNonSpeculative,
+                FanoutKind::OptSpeculative,
+                FanoutKind::OptNonSpeculative
+            ]
+        );
+        assert_eq!(optimized.address_bits(), 10); // 5 non-spec nodes x 2 bits
+        assert!(!optimized.serializes_multicast());
+        let basic = NodePlan::from_speculation(&map, false);
+        assert_eq!(
+            basic.kinds(),
+            &[
+                FanoutKind::NonSpeculative,
+                FanoutKind::Speculative,
+                FanoutKind::NonSpeculative
+            ]
+        );
+        assert_eq!(basic.speculative_levels(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn plan_size_accessor() {
+        let plan = NodePlan::for_architecture(Architecture::Baseline, size(16));
+        assert_eq!(plan.size().n(), 16);
+        assert_eq!(plan.kinds().len(), 4);
+    }
+
+    #[test]
+    fn architecture_from_str_round_trips() {
+        for arch in Architecture::ALL {
+            assert_eq!(arch.to_string().parse::<Architecture>(), Ok(arch));
+            assert_eq!(
+                arch.to_string().to_lowercase().parse::<Architecture>(),
+                Ok(arch)
+            );
+        }
+        let err = "NoSuchNetwork".parse::<Architecture>().unwrap_err();
+        assert!(err.to_string().contains("NoSuchNetwork"));
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Architecture::OptHybridSpeculative.to_string(), "OptHybridSpeculative");
+        assert_eq!(FanoutKind::OptSpeculative.to_string(), "opt-speculative");
+    }
+}

@@ -1,0 +1,47 @@
+//! Variant Mesh-of-Trees (MoT) topology and architecture descriptions.
+//!
+//! An N×N variant MoT (Balkan et al., reused by Horak et al. and by the
+//! DAC'16 paper this workspace reproduces) connects N sources to N
+//! destinations through:
+//!
+//! - N private binary **fanout trees**, one rooted at each source, whose
+//!   nodes route/replicate packets toward destination subtrees, and
+//! - N shared binary **fanin trees**, one rooted at each destination, whose
+//!   nodes arbitrate among sources.
+//!
+//! Each source–destination pair has exactly one path, so all contention
+//! lives in the fanin trees — and all multicast machinery lives in the
+//! fanout trees, which is why the paper (and this workspace) only redesigns
+//! fanout nodes.
+//!
+//! This crate answers the structural questions:
+//!
+//! - [`MotSize`]: validated network sizes and node counting,
+//! - [`FanoutNodeId`] / [`FaninNodeId`]: node coordinates and flat indices,
+//! - [`Architecture`] / [`SpeculationMap`]: which of the paper's six network
+//!   configurations a node belongs to and which [`FanoutKind`] it gets,
+//! - [`route`]: multicast route-symbol computation (the source-routing
+//!   encoder).
+//!
+//! # Examples
+//!
+//! ```
+//! use asynoc_topology::{Architecture, MotSize};
+//!
+//! let size = MotSize::new(8)?;
+//! let arch = Architecture::OptHybridSpeculative;
+//! assert_eq!(arch.address_bits(size), 12);
+//! # Ok::<(), asynoc_topology::TopologyError>(())
+//! ```
+
+pub mod arch;
+pub mod error;
+pub mod ids;
+pub mod route;
+pub mod size;
+
+pub use arch::{Architecture, FanoutKind, NodePlan, SpeculationMap};
+pub use error::TopologyError;
+pub use ids::{FaninNodeId, FaninParent, FanoutChild, FanoutNodeId, OutputPort};
+pub use route::{multicast_route, unicast_route};
+pub use size::MotSize;

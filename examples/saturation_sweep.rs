@@ -1,0 +1,56 @@
+//! Latency-vs-load sweep: the classic NoC "hockey stick" curves behind the
+//! paper's Table 1 saturation numbers.
+//!
+//! Sweeps offered load from light to past saturation for three networks
+//! under uniform-random traffic and prints mean latency at each point —
+//! the curve whose divergence defines saturation.
+//!
+//! Run with: `cargo run --release --example saturation_sweep`
+
+use asynoc::{
+    Architecture, Benchmark, Duration, Network, NetworkConfig, Phases, RunConfig, SimError,
+};
+
+fn main() -> Result<(), SimError> {
+    let architectures = [
+        Architecture::Baseline,
+        Architecture::OptNonSpeculative,
+        Architecture::OptAllSpeculative,
+    ];
+    let loads: Vec<f64> = (1..=14).map(|i| i as f64 * 0.1).collect();
+
+    println!("Mean latency (ns) vs offered load (GF/s per source), Uniform-random");
+    println!();
+    print!("{:<8}", "load");
+    for architecture in architectures {
+        print!(" {:>22}", architecture.to_string());
+    }
+    println!();
+    println!("{}", "-".repeat(8 + architectures.len() * 23));
+
+    for &load in &loads {
+        print!("{load:<8.1}");
+        for architecture in architectures {
+            let network =
+                Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(11))?;
+            let run = RunConfig::new(Benchmark::UniformRandom, load)?
+                .with_phases(Phases::new(Duration::from_ns(200), Duration::from_ns(1500)));
+            let report = network.run(&run)?;
+            match report.latency.mean() {
+                Some(mean) if report.packets_incomplete == 0 => {
+                    print!(" {:>22.2}", mean.as_ns_f64());
+                }
+                Some(mean) => {
+                    // Past saturation some measured packets never finished
+                    // draining; the mean over finished ones underestimates.
+                    print!(" {:>21.2}*", mean.as_ns_f64());
+                }
+                None => print!(" {:>22}", "-"),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!("* = saturated (some measured packets never completed within the drain cap)");
+    Ok(())
+}

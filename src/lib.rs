@@ -1,0 +1,28 @@
+//! `asynoc-repro` — reproduction harness for the `asynoc` workspace.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories; the library surface simply re-exports the member crates so
+//! examples and integration tests can write `asynoc_repro::...` or import
+//! the members directly.
+//!
+//! Start with the [`asynoc`] core crate; the runnable entry points are:
+//!
+//! - `cargo run --release --example quickstart`
+//! - `cargo run --release --example cache_coherence`
+//! - `cargo run --release --example design_space`
+//! - `cargo run --release --example saturation_sweep`
+//! - `cargo run --release --example hotspot_analysis`
+//! - `cargo run --release --example gate_level`
+//! - the table/figure regeneration binaries in `asynoc-bench`
+//! - the `asynoc` CLI (`cargo run --release -p asynoc-cli -- help`).
+
+pub use asynoc;
+pub use asynoc_gates;
+pub use asynoc_kernel;
+pub use asynoc_mesh;
+pub use asynoc_nodes;
+pub use asynoc_packet;
+pub use asynoc_power;
+pub use asynoc_stats;
+pub use asynoc_topology;
+pub use asynoc_traffic;

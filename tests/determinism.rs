@@ -1,0 +1,57 @@
+//! Whole-stack determinism: identical seeds reproduce identical runs,
+//! different seeds and benchmarks genuinely differ.
+
+use asynoc::{Architecture, Benchmark, Duration, Network, NetworkConfig, Phases, RunConfig};
+
+fn run_once(seed: u64, benchmark: Benchmark, rate: f64) -> (Option<Duration>, u64, u64, f64) {
+    let network = Network::new(
+        NetworkConfig::eight_by_eight(Architecture::OptHybridSpeculative).with_seed(seed),
+    )
+    .expect("valid config");
+    let run = RunConfig::new(benchmark, rate)
+        .expect("positive rate")
+        .with_phases(Phases::new(Duration::from_ns(100), Duration::from_ns(800)));
+    let report = network.run(&run).expect("run succeeds");
+    (
+        report.latency.mean(),
+        report.flits_delivered,
+        report.flits_throttled,
+        report.power.total_mw(),
+    )
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    for benchmark in [Benchmark::UniformRandom, Benchmark::Multicast10] {
+        let a = run_once(7, benchmark, 0.35);
+        let b = run_once(7, benchmark, 0.35);
+        assert_eq!(a.0, b.0, "{benchmark}: latency differs");
+        assert_eq!(a.1, b.1, "{benchmark}: delivered differs");
+        assert_eq!(a.2, b.2, "{benchmark}: throttled differs");
+        assert_eq!(a.3, b.3, "{benchmark}: power differs");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_once(1, Benchmark::UniformRandom, 0.35);
+    let b = run_once(2, Benchmark::UniformRandom, 0.35);
+    assert_ne!((a.0, a.1), (b.0, b.1), "different seeds gave identical runs");
+}
+
+#[test]
+fn different_benchmarks_differ() {
+    let uniform = run_once(7, Benchmark::UniformRandom, 0.35);
+    let hotspot = run_once(7, Benchmark::Hotspot, 0.35);
+    assert_ne!(uniform.0, hotspot.0);
+}
+
+#[test]
+fn rates_order_latency() {
+    let light = run_once(7, Benchmark::UniformRandom, 0.1).0.expect("samples");
+    let heavy = run_once(7, Benchmark::UniformRandom, 0.9).0.expect("samples");
+    assert!(
+        heavy > light,
+        "latency must grow with load: {light} vs {heavy}"
+    );
+}

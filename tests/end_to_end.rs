@@ -1,0 +1,143 @@
+//! End-to-end integration: every architecture runs every benchmark through
+//! the full stack (topology → routing → node state machines → event loop →
+//! statistics) and produces sane measurements.
+
+use asynoc::{Architecture, Benchmark, Duration, Network, NetworkConfig, Phases, RunConfig};
+
+fn network(arch: Architecture) -> Network {
+    Network::new(NetworkConfig::eight_by_eight(arch).with_seed(99)).expect("valid config")
+}
+
+fn short() -> Phases {
+    Phases::new(Duration::from_ns(100), Duration::from_ns(900))
+}
+
+#[test]
+fn every_architecture_runs_every_benchmark() {
+    for arch in Architecture::ALL {
+        let net = network(arch);
+        for benchmark in Benchmark::ALL {
+            let run = RunConfig::new(benchmark, 0.15)
+                .expect("positive rate")
+                .with_phases(short());
+            let report = net.run(&run).unwrap_or_else(|e| {
+                panic!("{arch} x {benchmark} failed: {e}");
+            });
+            assert!(
+                report.packets_measured > 0,
+                "{arch} x {benchmark}: no packets measured"
+            );
+            assert_eq!(
+                report.packets_incomplete, 0,
+                "{arch} x {benchmark}: lost packets at light load"
+            );
+            assert!(
+                report.latency.mean().expect("samples exist") > Duration::from_ps(500),
+                "{arch} x {benchmark}: implausibly low latency"
+            );
+            assert!(
+                report.power.total_mw() > 0.0,
+                "{arch} x {benchmark}: zero power"
+            );
+        }
+    }
+}
+
+#[test]
+fn multicast_completion_means_every_destination_got_the_header() {
+    // packets_incomplete == 0 is a strong invariant: a logical packet only
+    // completes when its header has arrived at *every* destination in its
+    // set, so a routing bug that starves one subtree would show up here.
+    for arch in [
+        Architecture::Baseline,
+        Architecture::BasicNonSpeculative,
+        Architecture::BasicHybridSpeculative,
+        Architecture::OptHybridSpeculative,
+        Architecture::OptAllSpeculative,
+    ] {
+        let net = network(arch);
+        let run = RunConfig::new(Benchmark::Multicast10, 0.2)
+            .expect("positive rate")
+            .with_phases(short());
+        let report = net.run(&run).expect("run succeeds");
+        assert_eq!(report.packets_incomplete, 0, "{arch}: multicast lost a branch");
+        assert!(report.packets_measured > 50, "{arch}: too few packets");
+    }
+}
+
+#[test]
+fn sixteen_by_sixteen_networks_work() {
+    use asynoc::MotSize;
+    for arch in [
+        Architecture::OptNonSpeculative,
+        Architecture::OptHybridSpeculative,
+        Architecture::OptAllSpeculative,
+    ] {
+        let config = NetworkConfig::new(MotSize::new(16).expect("16 is valid"), arch);
+        let net = Network::new(config).expect("valid config");
+        let run = RunConfig::new(Benchmark::Multicast5, 0.15)
+            .expect("positive rate")
+            .with_phases(short());
+        let report = net.run(&run).expect("16x16 run succeeds");
+        assert!(report.packets_measured > 0, "{arch}: 16x16 produced nothing");
+        assert_eq!(report.packets_incomplete, 0, "{arch}: 16x16 lost packets");
+    }
+}
+
+#[test]
+fn tiny_and_wide_networks_work() {
+    use asynoc::MotSize;
+    for n in [2usize, 4, 32] {
+        let config = NetworkConfig::new(
+            MotSize::new(n).expect("valid size"),
+            Architecture::OptHybridSpeculative,
+        );
+        let net = Network::new(config).expect("valid config");
+        let run = RunConfig::new(Benchmark::UniformRandom, 0.1)
+            .expect("positive rate")
+            .with_phases(short());
+        let report = net.run(&run).expect("run succeeds");
+        assert!(report.packets_measured > 0, "{n}x{n}: nothing measured");
+        assert_eq!(report.packets_incomplete, 0, "{n}x{n}: lost packets");
+    }
+}
+
+#[test]
+fn single_flit_packets_flow() {
+    let config = NetworkConfig::eight_by_eight(Architecture::OptAllSpeculative)
+        .with_flits_per_packet(1)
+        .with_seed(5);
+    let net = Network::new(config).expect("valid config");
+    let run = RunConfig::new(Benchmark::Multicast10, 0.1)
+        .expect("positive rate")
+        .with_phases(short());
+    let report = net.run(&run).expect("single-flit run succeeds");
+    assert!(report.packets_measured > 0);
+    assert_eq!(report.packets_incomplete, 0);
+}
+
+#[test]
+fn long_packets_flow() {
+    let config = NetworkConfig::eight_by_eight(Architecture::OptHybridSpeculative)
+        .with_flits_per_packet(9)
+        .with_seed(5);
+    let net = Network::new(config).expect("valid config");
+    let run = RunConfig::new(Benchmark::Multicast5, 0.1)
+        .expect("positive rate")
+        .with_phases(short());
+    let report = net.run(&run).expect("9-flit run succeeds");
+    assert!(report.packets_measured > 0);
+    assert_eq!(report.packets_incomplete, 0);
+}
+
+#[test]
+fn saturated_network_still_terminates_and_reports() {
+    // Drive far past capacity; the drain cap guarantees termination and the
+    // report shows the refusals.
+    let net = network(Architecture::BasicNonSpeculative);
+    let run = RunConfig::new(Benchmark::UniformRandom, 2.5)
+        .expect("positive rate")
+        .with_phases(short());
+    let report = net.run(&run).expect("saturated run terminates");
+    assert!(report.acceptance() < 0.9, "2.5 GF/s must saturate");
+}

@@ -1,0 +1,214 @@
+//! Shape-level regression tests for the paper's headline claims.
+//!
+//! These use the quick harness quality (short windows, coarse bisection),
+//! so thresholds are looser than the paper's exact percentages — the point
+//! is that every claimed *ordering* holds and stays held.
+
+use asynoc::harness::{
+    addressing_rows, latency_at_fraction, node_cost_rows, saturation, Quality,
+};
+use asynoc::{Architecture, Benchmark};
+
+fn mean_latency(arch: Architecture, benchmark: Benchmark) -> f64 {
+    latency_at_fraction(arch, benchmark, 0.25, &Quality::quick())
+        .expect("harness run succeeds")
+        .mean_latency_ps as f64
+}
+
+#[test]
+fn parallel_multicast_beats_serial_baseline_on_latency() {
+    // Paper: 39.1-74.1% lower latency for BasicNonSpeculative vs Baseline
+    // on multicast benchmarks, growing with multicast density.
+    for (benchmark, min_gain) in [
+        (Benchmark::Multicast5, 0.10),
+        (Benchmark::Multicast10, 0.25),
+        (Benchmark::MulticastStatic, 0.40),
+    ] {
+        let serial = mean_latency(Architecture::Baseline, benchmark);
+        let parallel = mean_latency(Architecture::BasicNonSpeculative, benchmark);
+        let gain = 1.0 - parallel / serial;
+        assert!(
+            gain > min_gain,
+            "{benchmark}: parallel gain {gain:.2} below {min_gain}"
+        );
+    }
+}
+
+#[test]
+fn local_speculation_improves_latency_over_plain_parallel() {
+    // Paper: BasicHybrid 10.5-14.9% and OptHybrid 17.8-21.4% below
+    // BasicNonSpeculative on multicast benchmarks.
+    for benchmark in Benchmark::MULTICAST {
+        let nonspec = mean_latency(Architecture::BasicNonSpeculative, benchmark);
+        let hybrid = mean_latency(Architecture::BasicHybridSpeculative, benchmark);
+        let opt = mean_latency(Architecture::OptHybridSpeculative, benchmark);
+        let hybrid_gain = 1.0 - hybrid / nonspec;
+        let opt_gain = 1.0 - opt / nonspec;
+        assert!(
+            hybrid_gain > 0.05,
+            "{benchmark}: hybrid gain {hybrid_gain:.2} too small"
+        );
+        assert!(
+            opt_gain > hybrid_gain,
+            "{benchmark}: optimizations must add to the hybrid gain \
+             ({opt_gain:.2} vs {hybrid_gain:.2})"
+        );
+    }
+}
+
+#[test]
+fn speculation_accelerates_unicast_too() {
+    // The paper's "interesting" finding: local speculation helps unicast.
+    for benchmark in [Benchmark::UniformRandom, Benchmark::Shuffle] {
+        let nonspec = mean_latency(Architecture::BasicNonSpeculative, benchmark);
+        let hybrid = mean_latency(Architecture::BasicHybridSpeculative, benchmark);
+        assert!(
+            hybrid < nonspec,
+            "{benchmark}: hybrid {hybrid} not faster than non-speculative {nonspec}"
+        );
+    }
+}
+
+#[test]
+fn design_space_latency_ordering() {
+    // Paper Fig 6(b): OptAllSpec < OptHybrid < OptNonSpec on every
+    // benchmark.
+    for benchmark in Benchmark::ALL {
+        let nonspec = mean_latency(Architecture::OptNonSpeculative, benchmark);
+        let hybrid = mean_latency(Architecture::OptHybridSpeculative, benchmark);
+        let allspec = mean_latency(Architecture::OptAllSpeculative, benchmark);
+        assert!(
+            allspec < hybrid && hybrid < nonspec,
+            "{benchmark}: ordering violated ({allspec} / {hybrid} / {nonspec})"
+        );
+    }
+}
+
+#[test]
+fn hotspot_saturation_identical_across_networks() {
+    // Paper Table 1: Hotspot = 0.29 GF/s for every network (the shared
+    // fanin root is the bottleneck, which no fanout change can move).
+    let quality = Quality::quick();
+    let mut values = Vec::new();
+    for arch in Architecture::ALL {
+        let point = saturation(arch, Benchmark::Hotspot, &quality).expect("run succeeds");
+        values.push((arch, point.delivered_gfs));
+    }
+    let reference = values[0].1;
+    for (arch, value) in &values {
+        assert!(
+            (value - reference).abs() < 0.03,
+            "{arch}: hotspot saturation {value:.3} deviates from {reference:.3}"
+        );
+        assert!(
+            (0.25..=0.33).contains(value),
+            "{arch}: hotspot saturation {value:.3} off the 0.29 anchor"
+        );
+    }
+}
+
+#[test]
+fn multicast_saturation_ordering() {
+    // Paper Table 1: BasicNonSpec > Baseline; OptHybrid > BasicNonSpec on
+    // multicast benchmarks (delivered flits).
+    let quality = Quality::quick();
+    for benchmark in [Benchmark::Multicast10, Benchmark::MulticastStatic] {
+        let serial = saturation(Architecture::Baseline, benchmark, &quality)
+            .expect("run succeeds")
+            .delivered_gfs;
+        let parallel = saturation(Architecture::BasicNonSpeculative, benchmark, &quality)
+            .expect("run succeeds")
+            .delivered_gfs;
+        let opt = saturation(Architecture::OptHybridSpeculative, benchmark, &quality)
+            .expect("run succeeds")
+            .delivered_gfs;
+        assert!(
+            parallel > serial,
+            "{benchmark}: parallel {parallel:.2} <= serial {serial:.2}"
+        );
+        assert!(
+            opt > parallel,
+            "{benchmark}: optimized {opt:.2} <= basic {parallel:.2}"
+        );
+    }
+}
+
+#[test]
+fn addressing_table_is_exact() {
+    // §5.2(d) is analytic, so it must match the paper bit-for-bit.
+    let rows = addressing_rows(&[8, 16]).expect("sizes valid");
+    assert_eq!(
+        (
+            rows[0].baseline_bits,
+            rows[0].non_speculative_bits,
+            rows[0].hybrid_bits,
+            rows[0].all_speculative_bits
+        ),
+        (3, 14, 12, 8)
+    );
+    assert_eq!(
+        (
+            rows[1].baseline_bits,
+            rows[1].non_speculative_bits,
+            rows[1].hybrid_bits,
+            rows[1].all_speculative_bits
+        ),
+        (4, 30, 20, 16)
+    );
+}
+
+#[test]
+fn node_table_is_exact() {
+    // §5.2(a) node numbers are published verbatim.
+    let rows = node_cost_rows();
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("row {name} missing"))
+    };
+    assert_eq!(get("Baseline fanout").area_um2, 342.0);
+    assert_eq!(get("Baseline fanout").latency.as_ps(), 263);
+    assert_eq!(get("Unoptimized speculative").area_um2, 247.0);
+    assert_eq!(get("Unoptimized speculative").latency.as_ps(), 52);
+    assert_eq!(get("Unoptimized non-speculative").area_um2, 406.0);
+    assert_eq!(get("Unoptimized non-speculative").latency.as_ps(), 299);
+    assert_eq!(get("Optimized speculative").area_um2, 373.0);
+    assert_eq!(get("Optimized speculative").latency.as_ps(), 120);
+    assert_eq!(get("Optimized non-speculative").area_um2, 366.0);
+    assert_eq!(get("Optimized non-speculative").latency.as_ps(), 279);
+}
+
+#[test]
+fn power_ordering_baseline_lowest_allspec_near_highest() {
+    use asynoc::harness::measure;
+    // At a fixed moderate load, Baseline is cheapest; OptHybrid recovers
+    // most of BasicHybrid's speculation overhead; OptAllSpec pays for its
+    // wide speculative regions.
+    let quality = Quality::quick();
+    let rate = 0.3;
+    let benchmark = Benchmark::UniformRandom;
+    let power = |arch: Architecture| {
+        measure(arch, benchmark, rate, &quality)
+            .expect("run succeeds")
+            .power
+            .total_mw()
+    };
+    let baseline = power(Architecture::Baseline);
+    let basic_nonspec = power(Architecture::BasicNonSpeculative);
+    let basic_hybrid = power(Architecture::BasicHybridSpeculative);
+    let opt_hybrid = power(Architecture::OptHybridSpeculative);
+    let opt_nonspec = power(Architecture::OptNonSpeculative);
+    let opt_allspec = power(Architecture::OptAllSpeculative);
+
+    assert!(baseline < basic_nonspec, "baseline must be cheapest");
+    assert!(basic_nonspec < basic_hybrid, "speculation costs power");
+    assert!(
+        opt_hybrid < basic_hybrid,
+        "protocol optimizations must recover speculation power"
+    );
+    assert!(opt_nonspec < opt_hybrid, "hybrid pays a small premium");
+    assert!(
+        opt_allspec > opt_hybrid,
+        "full speculation must cost more than local speculation"
+    );
+}

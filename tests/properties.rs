@@ -1,0 +1,105 @@
+//! Whole-stack property tests: randomized short runs across the full
+//! configuration space must uphold the simulator's invariants.
+
+use proptest::prelude::*;
+
+use asynoc::{Architecture, Benchmark, Duration, Network, NetworkConfig, Phases, RunConfig};
+
+fn arch_strategy() -> impl Strategy<Value = Architecture> {
+    prop::sample::select(Architecture::ALL.to_vec())
+}
+
+fn benchmark_strategy() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(
+        Benchmark::ALL
+            .into_iter()
+            .chain(Benchmark::EXTENDED)
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full (short) simulation run
+        .. ProptestConfig::default()
+    })]
+
+    /// Any configuration at sane load delivers every measured packet to
+    /// every destination (completion implies full multicast coverage and
+    /// no duplicate deliveries — both are asserted inside the simulator),
+    /// accepts the offered load, and reports self-consistent counters.
+    #[test]
+    fn prop_light_load_invariants(
+        arch in arch_strategy(),
+        benchmark in benchmark_strategy(),
+        rate_milli in 50u64..300,
+        flits in 1u8..7,
+        seed in 0u64..1_000,
+    ) {
+        // Hotspot saturates at ≈ 0.29 flits/ns (all sources share one fanin
+        // root), so "light load" must stay well below that ceiling there.
+        let rate = if benchmark == Benchmark::Hotspot {
+            rate_milli as f64 / 1_000.0 * 0.6
+        } else {
+            rate_milli as f64 / 1_000.0
+        };
+        let network = Network::new(
+            NetworkConfig::eight_by_eight(arch)
+                .with_seed(seed)
+                .with_flits_per_packet(flits),
+        )
+        .expect("valid config");
+        let run = RunConfig::new(benchmark, rate)
+            .expect("positive rate")
+            .with_phases(Phases::new(Duration::from_ns(60), Duration::from_ns(500)));
+        let report = network.run(&run).expect("run succeeds");
+
+        prop_assert_eq!(report.packets_incomplete, 0,
+            "{} x {} @ {}: lost packets", arch, benchmark, rate);
+        prop_assert!(report.acceptance() > 0.98,
+            "{} x {} @ {}: acceptance {}", arch, benchmark, rate, report.acceptance());
+        // Delivered >= injected (multicast replicates, unicast preserves);
+        // a small tolerance absorbs flits in flight at the window edges.
+        prop_assert!(report.throughput.delivered >= report.throughput.injected * 0.96,
+            "{} x {} @ {}: delivered {} < injected {}",
+            arch, benchmark, rate,
+            report.throughput.delivered, report.throughput.injected);
+        // Throttling only happens where speculation exists.
+        let has_speculation = arch.speculation_map(network.config().size()).has_speculation();
+        if !has_speculation {
+            prop_assert_eq!(report.flits_throttled, 0,
+                "{} cannot throttle without speculative nodes", arch);
+        }
+        // Activity bookkeeping is consistent with the headline counters.
+        let throttles: u64 = report.activity.fanout_level_throttles().iter().sum();
+        prop_assert_eq!(throttles, report.flits_throttled);
+        // Power must include leakage and scale sanely.
+        prop_assert!(report.power.total_mw() > network.leakage_mw());
+    }
+
+    /// Runs are reproducible: the same (config, run) pair twice gives
+    /// byte-identical statistics.
+    #[test]
+    fn prop_runs_are_deterministic(
+        arch in arch_strategy(),
+        benchmark in benchmark_strategy(),
+        seed in 0u64..100,
+    ) {
+        let make = || {
+            let network = Network::new(
+                NetworkConfig::eight_by_eight(arch).with_seed(seed),
+            )
+            .expect("valid config");
+            let run = RunConfig::new(benchmark, 0.25)
+                .expect("positive rate")
+                .with_phases(Phases::new(Duration::from_ns(50), Duration::from_ns(300)));
+            network.run(&run).expect("run succeeds")
+        };
+        let a = make();
+        let b = make();
+        prop_assert_eq!(a.latency.mean(), b.latency.mean());
+        prop_assert_eq!(a.flits_delivered, b.flits_delivered);
+        prop_assert_eq!(a.flits_throttled, b.flits_throttled);
+        prop_assert_eq!(a.packets_measured, b.packets_measured);
+    }
+}
