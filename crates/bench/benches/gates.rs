@@ -1,15 +1,14 @@
-//! Criterion benches of the gate-level simulator: events per second on the
+//! Benches of the gate-level simulator: events per second on the
 //! free-running MOUSETRAP pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use asynoc_bench::timing::Harness;
 use asynoc_gates::mousetrap::{Pipeline, StageDelays};
 use asynoc_gates::GateSim;
 use asynoc_kernel::{Duration, Time};
 
-fn bench_pipeline_depths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mousetrap_free_run_20ns");
-    group.sample_size(20);
+fn main() {
+    let harness = Harness::new(20);
+    let group = harness.group("mousetrap_free_run_20ns");
     for stages in [2usize, 4, 8, 16] {
         let pipeline = Pipeline::self_timed(
             stages,
@@ -17,20 +16,10 @@ fn bench_pipeline_depths(c: &mut Criterion) {
             Duration::from_ps(60),
             Duration::from_ps(60),
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(stages),
-            &pipeline,
-            |b, pipeline| {
-                b.iter(|| {
-                    let mut sim = GateSim::new(pipeline.netlist());
-                    sim.run_until(Time::from_ns(20));
-                    sim.events_processed()
-                })
-            },
-        );
+        group.bench(&stages.to_string(), || {
+            let mut sim = GateSim::new(pipeline.netlist());
+            sim.run_until(Time::from_ns(20));
+            sim.events_processed()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipeline_depths);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
-//! Criterion benches of the mesh simulator: wall-clock cost of one
-//! benchmark window per mesh size and pattern.
+//! Benches of the mesh simulator: wall-clock cost of one benchmark window
+//! per mesh size and pattern.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use asynoc_bench::timing::Harness;
 use asynoc_kernel::Duration;
 use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
 use asynoc_stats::Phases;
@@ -12,51 +11,35 @@ fn phases() -> Phases {
     Phases::new(Duration::from_ns(60), Duration::from_ns(500))
 }
 
-fn bench_mesh_sizes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mesh_run_by_size_500ns");
-    group.sample_size(15);
+fn main() {
+    let harness = Harness::new(15);
+
+    let group = harness.group("mesh_run_by_size_500ns");
     for (cols, rows) in [(2usize, 2usize), (4, 4), (8, 8)] {
         let network = MeshNetwork::new(
             MeshConfig::new(MeshSize::new(cols, rows).expect("valid size")).with_seed(3),
         )
         .expect("valid config");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{cols}x{rows}")),
-            &network,
-            |b, network| {
-                b.iter(|| {
-                    network
-                        .run(Benchmark::UniformRandom, 0.2, phases())
-                        .expect("run succeeds")
-                })
-            },
-        );
+        group.bench(&format!("{cols}x{rows}"), || {
+            network
+                .run(Benchmark::UniformRandom, 0.2, phases())
+                .expect("run succeeds")
+        });
     }
-    group.finish();
-}
 
-fn bench_mesh_patterns(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mesh_4x4_by_pattern_500ns");
-    group.sample_size(15);
-    let network = MeshNetwork::new(
-        MeshConfig::new(MeshSize::new(4, 4).expect("valid size")).with_seed(3),
-    )
-    .expect("valid config");
+    let group = harness.group("mesh_4x4_by_pattern_500ns");
+    let network =
+        MeshNetwork::new(MeshConfig::new(MeshSize::new(4, 4).expect("valid size")).with_seed(3))
+            .expect("valid config");
     for benchmark in [
         Benchmark::UniformRandom,
         Benchmark::Tornado,
         Benchmark::Multicast10,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(benchmark.to_string()),
-            &benchmark,
-            |b, &benchmark| {
-                b.iter(|| network.run(benchmark, 0.15, phases()).expect("run succeeds"))
-            },
-        );
+        group.bench(&benchmark.to_string(), || {
+            network
+                .run(benchmark, 0.15, phases())
+                .expect("run succeeds")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_mesh_sizes, bench_mesh_patterns);
-criterion_main!(benches);

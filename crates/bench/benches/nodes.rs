@@ -1,8 +1,7 @@
-//! Criterion benches of the node state machines — the inner loop of the
-//! simulator (millions of decisions per run).
+//! Benches of the node state machines — the inner loop of the simulator
+//! (millions of decisions per run).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use asynoc_bench::timing::Harness;
 use asynoc_nodes::{FaninState, FanoutState};
 use asynoc_packet::{FlitKind, RouteSymbol};
 use asynoc_topology::FanoutKind;
@@ -15,8 +14,10 @@ const PACKET: [FlitKind; 5] = [
     FlitKind::Tail,
 ];
 
-fn bench_fanout_decisions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fanout_packet_decisions");
+fn main() {
+    let harness = Harness::new(20);
+
+    let group = harness.group("fanout_packet_decisions");
     for kind in [
         FanoutKind::Baseline,
         FanoutKind::NonSpeculative,
@@ -29,36 +30,23 @@ fn bench_fanout_decisions(c: &mut Criterion) {
         } else {
             RouteSymbol::Both
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.to_string()),
-            &symbol,
-            |b, &symbol| {
-                b.iter(|| {
-                    let mut state = FanoutState::new(kind);
-                    for flit in PACKET {
-                        let decision = state.peek(flit, symbol);
-                        std::hint::black_box(decision);
-                        std::hint::black_box(state.decide(flit, symbol));
-                    }
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_fanin_arbitration(c: &mut Criterion) {
-    c.bench_function("fanin_contested_grants_1k", |b| {
-        b.iter(|| {
-            let mut arb = FaninState::new();
-            for _ in 0..1_000 {
-                let winner = arb.select(true, true).expect("both present");
-                arb.advance(winner, FlitKind::Body);
-                std::hint::black_box(winner);
+        group.bench(&kind.to_string(), || {
+            let mut state = FanoutState::new(kind);
+            for flit in PACKET {
+                let decision = state.peek(flit, symbol);
+                std::hint::black_box(decision);
+                std::hint::black_box(state.decide(flit, symbol));
             }
-        })
+        });
+    }
+
+    let group = harness.group("fanin_arbitration");
+    group.bench("fanin_contested_grants_1k", || {
+        let mut arb = FaninState::new();
+        for _ in 0..1_000 {
+            let winner = arb.select(true, true).expect("both present");
+            arb.advance(winner, FlitKind::Body);
+            std::hint::black_box(winner);
+        }
     });
 }
-
-criterion_group!(benches, bench_fanout_decisions, bench_fanin_arbitration);
-criterion_main!(benches);

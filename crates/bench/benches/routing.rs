@@ -1,35 +1,29 @@
-//! Criterion benches of the routing encoder — the per-packet work a source
-//! does under source routing (multicast tree marking), across destination
-//! set sizes and network sizes.
+//! Benches of the routing encoder — the per-packet work a source does
+//! under source routing (multicast tree marking), across destination set
+//! sizes and network sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use asynoc_bench::timing::Harness;
 use asynoc_packet::DestSet;
 use asynoc_topology::{multicast_route, MotSize};
 
-fn bench_multicast_route(c: &mut Criterion) {
+fn main() {
+    let harness = Harness::new(20);
+
+    let group = harness.group("multicast_route_8x8");
     let size = MotSize::new(8).expect("valid size");
-    let mut group = c.benchmark_group("multicast_route_8x8");
     for k in [1usize, 2, 4, 8] {
         let dests: DestSet = (0..k).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &dests, |b, &dests| {
-            b.iter(|| multicast_route(size, 0, dests).expect("valid route"))
+        group.bench(&k.to_string(), || {
+            multicast_route(size, 0, dests).expect("valid route")
         });
     }
-    group.finish();
-}
 
-fn bench_route_by_network_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("broadcast_route_by_size");
+    let group = harness.group("broadcast_route_by_size");
     for n in [4usize, 8, 16, 32, 64] {
         let size = MotSize::new(n).expect("valid size");
         let dests: DestSet = (0..n).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &dests, |b, &dests| {
-            b.iter(|| multicast_route(size, 0, dests).expect("valid route"))
+        group.bench(&n.to_string(), || {
+            multicast_route(size, 0, dests).expect("valid route")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_multicast_route, bench_route_by_network_size);
-criterion_main!(benches);

@@ -1,33 +1,29 @@
-//! Criterion benches of the simulator itself: wall-clock cost of one
-//! benchmark window per architecture. These track the engine's performance
+//! Benches of the simulator itself: wall-clock cost of one benchmark
+//! window per architecture. These track the engine's performance
 //! (events/second), which bounds how precise the table regeneration can be
 //! in a given time budget.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use asynoc::{
+    Architecture, Benchmark, Duration, MotSize, Network, NetworkConfig, Phases, RunConfig,
+};
+use asynoc_bench::timing::Harness;
 
-use asynoc::{Architecture, Benchmark, Duration, Network, NetworkConfig, Phases, RunConfig};
+fn main() {
+    let harness = Harness::new(20);
 
-fn bench_architectures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("run_uniform_800ns");
-    group.sample_size(20);
+    let group = harness.group("run_uniform_800ns");
     for arch in Architecture::ALL {
-        let network = Network::new(NetworkConfig::eight_by_eight(arch).with_seed(3))
-            .expect("valid config");
+        let network =
+            Network::new(NetworkConfig::eight_by_eight(arch).with_seed(3)).expect("valid config");
         let run = RunConfig::new(Benchmark::UniformRandom, 0.4)
             .expect("positive rate")
             .with_phases(Phases::new(Duration::from_ns(80), Duration::from_ns(800)));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(arch.to_string()),
-            &run,
-            |b, run| b.iter(|| network.run(run).expect("run succeeds")),
-        );
+        group.bench(&arch.to_string(), || {
+            network.run(&run).expect("run succeeds")
+        });
     }
-    group.finish();
-}
 
-fn bench_benchmarks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("run_opt_hybrid_800ns");
-    group.sample_size(20);
+    let group = harness.group("run_opt_hybrid_800ns");
     let network = Network::new(
         NetworkConfig::eight_by_eight(Architecture::OptHybridSpeculative).with_seed(3),
     )
@@ -36,19 +32,12 @@ fn bench_benchmarks(c: &mut Criterion) {
         let run = RunConfig::new(benchmark, 0.4)
             .expect("positive rate")
             .with_phases(Phases::new(Duration::from_ns(80), Duration::from_ns(800)));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(benchmark.to_string()),
-            &run,
-            |b, run| b.iter(|| network.run(run).expect("run succeeds")),
-        );
+        group.bench(&benchmark.to_string(), || {
+            network.run(&run).expect("run succeeds")
+        });
     }
-    group.finish();
-}
 
-fn bench_network_sizes(c: &mut Criterion) {
-    use asynoc::MotSize;
-    let mut group = c.benchmark_group("run_by_size_400ns");
-    group.sample_size(15);
+    let group = harness.group("run_by_size_400ns");
     for n in [4usize, 8, 16, 32] {
         let network = Network::new(NetworkConfig::new(
             MotSize::new(n).expect("valid size"),
@@ -58,17 +47,6 @@ fn bench_network_sizes(c: &mut Criterion) {
         let run = RunConfig::new(Benchmark::UniformRandom, 0.3)
             .expect("positive rate")
             .with_phases(Phases::new(Duration::from_ns(40), Duration::from_ns(400)));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &run, |b, run| {
-            b.iter(|| network.run(run).expect("run succeeds"))
-        });
+        group.bench(&n.to_string(), || network.run(&run).expect("run succeeds"));
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_architectures,
-    bench_benchmarks,
-    bench_network_sizes
-);
-criterion_main!(benches);

@@ -14,9 +14,7 @@
 //! Usage: `cargo run --release -p asynoc-bench --bin ablation [--quick]`
 
 use asynoc::harness::{saturation_of, Quality};
-use asynoc::{
-    Architecture, Benchmark, Network, NetworkConfig, RunConfig, TimingModel,
-};
+use asynoc::{Architecture, Benchmark, Network, NetworkConfig, RunConfig, TimingModel};
 use asynoc_bench::quality_from_args;
 
 fn mean_latency_ns(network: &Network, benchmark: Benchmark, rate: f64, quality: &Quality) -> f64 {
@@ -24,11 +22,7 @@ fn mean_latency_ns(network: &Network, benchmark: Benchmark, rate: f64, quality: 
         .expect("positive rate")
         .with_phases(quality.probe_phases);
     let report = network.run(&run).expect("run succeeds");
-    report
-        .latency
-        .mean()
-        .expect("packets measured")
-        .as_ns_f64()
+    report.latency.mean().expect("packets measured").as_ns_f64()
 }
 
 fn main() {
@@ -39,8 +33,7 @@ fn main() {
     // ------------------------------------------------------------------
     println!("Ablation 1: hybrid network with slowed speculative nodes");
     let fast = Network::new(
-        NetworkConfig::eight_by_eight(Architecture::BasicHybridSpeculative)
-            .with_seed(quality.seed),
+        NetworkConfig::eight_by_eight(Architecture::BasicHybridSpeculative).with_seed(quality.seed),
     )
     .expect("valid config");
     let mut slowed_model = TimingModel::calibrated();
@@ -54,8 +47,7 @@ fn main() {
     )
     .expect("valid config");
     let nonspec = Network::new(
-        NetworkConfig::eight_by_eight(Architecture::BasicNonSpeculative)
-            .with_seed(quality.seed),
+        NetworkConfig::eight_by_eight(Architecture::BasicNonSpeculative).with_seed(quality.seed),
     )
     .expect("valid config");
     for benchmark in [Benchmark::UniformRandom, Benchmark::Multicast10] {

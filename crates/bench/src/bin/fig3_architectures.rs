@@ -15,7 +15,10 @@ fn render(title: &str, map: &SpeculationMap) {
         let marker = if speculative { "S" } else { "n" };
         let width = size.nodes_at_level(level);
         let spacing = size.n() * 4 / width;
-        print!("  level {level} [{}]: ", if speculative { "SPEC " } else { "nonsp" });
+        print!(
+            "  level {level} [{}]: ",
+            if speculative { "SPEC " } else { "nonsp" }
+        );
         for _ in 0..width {
             print!("{marker:^spacing$}");
         }

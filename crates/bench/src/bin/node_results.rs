@@ -8,7 +8,10 @@ use asynoc::harness::node_cost_rows;
 fn main() {
     println!("Node-level results (paper section 5.2(a))");
     println!();
-    println!("{:<30} {:>12} {:>14}", "Node", "Area (um^2)", "Latency (ps)");
+    println!(
+        "{:<30} {:>12} {:>14}",
+        "Node", "Area (um^2)", "Latency (ps)"
+    );
     println!("{}", "-".repeat(58));
     for row in node_cost_rows() {
         println!(

@@ -4,9 +4,7 @@
 //!
 //! Usage: `cargo run --release -p asynoc-bench --bin packet_trace [--seed N]`
 
-use asynoc::{
-    Architecture, Benchmark, Network, NetworkConfig, RunConfig, TraceAction,
-};
+use asynoc::{Architecture, Benchmark, Network, NetworkConfig, RunConfig, TraceAction};
 
 fn main() {
     let seed = std::env::args()

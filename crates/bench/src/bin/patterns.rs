@@ -33,8 +33,7 @@ fn main() {
     for &arch in &architectures {
         print!("{}", arch_label(arch));
         for benchmark in Benchmark::EXTENDED {
-            let cell = latency_at_fraction(arch, benchmark, 0.25, &quality)
-                .expect("run succeeds");
+            let cell = latency_at_fraction(arch, benchmark, 0.25, &quality).expect("run succeeds");
             print!(" {:>16.2}", cell.mean_latency_ps as f64 / 1_000.0);
         }
         println!();

@@ -31,10 +31,8 @@ fn main() {
         let size = MotSize::new(n).expect("power-of-two size");
         let mut hybrid_power = None;
         for arch in Architecture::DESIGN_SPACE {
-            let network = Network::new(
-                NetworkConfig::new(size, arch).with_seed(quality.seed),
-            )
-            .expect("valid config");
+            let network = Network::new(NetworkConfig::new(size, arch).with_seed(quality.seed))
+                .expect("valid config");
             let run = RunConfig::new(benchmark, rate)
                 .expect("positive rate")
                 .with_phases(quality.probe_phases);

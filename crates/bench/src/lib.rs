@@ -8,8 +8,12 @@
 use asynoc::harness::Quality;
 use asynoc::{Architecture, Benchmark};
 
+pub mod timing;
+
 /// Parses the common CLI convention: `--quick` selects the fast preset,
-/// `--seed N` overrides the RNG seed.
+/// `--seed N` overrides the RNG seed, `--jobs J` fans independent cells
+/// across worker threads (wall-clock only — results are bit-identical at
+/// any setting).
 ///
 /// # Panics
 ///
@@ -18,6 +22,7 @@ use asynoc::{Architecture, Benchmark};
 pub fn quality_from_args() -> Quality {
     let mut quality = None;
     let mut seed = None;
+    let mut jobs = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,12 +35,25 @@ pub fn quality_from_args() -> Quality {
                     .unwrap_or_else(|| panic!("--seed requires an integer"));
                 seed = Some(value);
             }
-            other => panic!("unknown argument {other:?} (expected --quick, --paper, --seed N)"),
+            "--jobs" => {
+                let value: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j > 0)
+                    .unwrap_or_else(|| panic!("--jobs requires a positive integer"));
+                jobs = Some(value);
+            }
+            other => {
+                panic!("unknown argument {other:?} (expected --quick, --paper, --seed N, --jobs J)")
+            }
         }
     }
     let mut quality = quality.unwrap_or_else(Quality::paper);
     if let Some(seed) = seed {
         quality.seed = seed;
+    }
+    if let Some(jobs) = jobs {
+        quality.jobs = jobs;
     }
     quality
 }

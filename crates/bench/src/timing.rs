@@ -1,0 +1,102 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The build environment is offline, so criterion is unavailable; this
+//! module provides the small slice of it the `benches/` binaries need:
+//! named benchmark groups, per-case warmup, and a median-of-samples
+//! timing report printed as a table.
+
+use std::time::{Duration, Instant};
+
+/// Runs named closures repeatedly and reports wall-clock statistics.
+pub struct Harness {
+    sample_size: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new(20)
+    }
+}
+
+impl Harness {
+    /// Creates a harness that times each case `sample_size` times.
+    #[must_use]
+    pub fn new(sample_size: usize) -> Self {
+        assert!(sample_size > 0, "sample size must be positive");
+        Harness { sample_size }
+    }
+
+    /// Opens a named benchmark group; cases print under its heading.
+    pub fn group(&self, name: &str) -> Group<'_> {
+        println!("\n{name}");
+        println!("{}", "-".repeat(name.len().max(48)));
+        Group { harness: self }
+    }
+}
+
+/// A heading under which related benchmark cases are timed.
+pub struct Group<'a> {
+    harness: &'a Harness,
+}
+
+impl Group<'_> {
+    /// Times `f`, printing median/min/max over the harness's sample count.
+    ///
+    /// One untimed warmup call precedes measurement so allocator and cache
+    /// effects of the first run do not skew the minimum.
+    pub fn bench<T>(&self, id: &str, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        let mut samples: Vec<Duration> = (0..self.harness.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "  {id:<28} median {:>12} min {:>12} max {:>12}",
+            format_duration(median),
+            format_duration(min),
+            format_duration(max),
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale_with_magnitude() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(format_duration(Duration::from_millis(2500)), "2.50 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let harness = Harness::new(3);
+        let group = harness.group("smoke");
+        let mut calls = 0;
+        group.bench("counter", || calls += 1);
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+    }
+}

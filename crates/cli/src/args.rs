@@ -11,8 +11,8 @@ pub const USAGE: &str = "\
 asynoc — asynchronous Mesh-of-Trees NoC simulator (DAC'16 local-speculation multicast)
 
 USAGE:
-  asynoc run      --arch <A> --benchmark <B> --rate <flits/ns> [common options]
-  asynoc saturate --arch <A> --benchmark <B> [--quick] [common options]
+  asynoc run      --arch <A> --benchmark <B> --rate <flits/ns> [--seeds <K>] [common options]
+  asynoc saturate --arch <A> --benchmark <B> [--quick] [--probe-fan <K>] [common options]
   asynoc sweep    --arch <A> --benchmark <B> --from <R0> --to <R1> --steps <K> [common options]
   asynoc mesh     --benchmark <B> --rate <flits/ns> [--cols <C>] [--rows <R>] [common options]
   asynoc info     [--arch <A>] [--size <N>]
@@ -24,6 +24,14 @@ COMMON OPTIONS:
   --flits <F>       flits per packet (default 5)
   --warmup-ns <W>   warmup window in ns (default: paper standard)
   --measure-ns <M>  measurement window in ns (default: paper standard)
+  --jobs <J>        worker threads for independent runs (default 1; results
+                    are bit-identical at any setting — only wall time changes)
+
+  run:      --seeds <K> replicates the run over seeds S, S+1, … S+K−1
+            (fanned across --jobs workers) and reports per-seed results
+            plus mean ± sample std dev.
+  saturate: --probe-fan <K> probes K rates per search round (k-section;
+            deterministic, but K changes which rates are probed)
 
 ARCHITECTURES:
   Baseline, BasicNonSpeculative, BasicHybridSpeculative,
@@ -45,6 +53,8 @@ pub enum Command {
         benchmark: Benchmark,
         /// Offered load, flits/ns per source.
         rate: f64,
+        /// Number of consecutive seeds to replicate over (≥ 1).
+        seeds: usize,
         /// Shared options.
         common: CommonOptions,
     },
@@ -56,6 +66,8 @@ pub enum Command {
         benchmark: Benchmark,
         /// Use the fast low-precision preset.
         quick: bool,
+        /// Saturation-search fan-out (interior probes per round, ≥ 1).
+        probe_fan: usize,
         /// Shared options.
         common: CommonOptions,
     },
@@ -111,6 +123,8 @@ pub struct CommonOptions {
     pub warmup_ns: Option<u64>,
     /// Measurement override, ns.
     pub measure_ns: Option<u64>,
+    /// Worker threads for independent runs (wall-clock only, never results).
+    pub jobs: usize,
 }
 
 impl Default for CommonOptions {
@@ -121,6 +135,7 @@ impl Default for CommonOptions {
             flits: 5,
             warmup_ns: None,
             measure_ns: None,
+            jobs: 1,
         }
     }
 }
@@ -184,10 +199,7 @@ fn collect_flags(
     Ok(flags)
 }
 
-fn required<'a>(
-    flags: &'a BTreeMap<String, String>,
-    key: &str,
-) -> Result<&'a str, ParseCliError> {
+fn required<'a>(flags: &'a BTreeMap<String, String>, key: &str) -> Result<&'a str, ParseCliError> {
     flags
         .get(key)
         .map(String::as_str)
@@ -219,10 +231,16 @@ fn common_options(flags: &BTreeMap<String, String>) -> Result<CommonOptions, Par
     if let Some(raw) = flags.get("measure-ns") {
         options.measure_ns = Some(parse_value("measure-ns", raw)?);
     }
+    if let Some(raw) = flags.get("jobs") {
+        options.jobs = parse_value("jobs", raw)?;
+        if options.jobs == 0 {
+            return Err(ParseCliError::new("--jobs must be at least 1"));
+        }
+    }
     Ok(options)
 }
 
-const COMMON_KEYS: [&str; 5] = ["size", "seed", "flits", "warmup-ns", "measure-ns"];
+const COMMON_KEYS: [&str; 6] = ["size", "seed", "flits", "warmup-ns", "measure-ns", "jobs"];
 
 fn with_common(extra: &[&str]) -> Vec<&'static str> {
     // Leaking tiny strings once per parse is fine for a CLI; avoid by
@@ -237,6 +255,8 @@ fn with_common(extra: &[&str]) -> Vec<&'static str> {
             "from" => "from",
             "to" => "to",
             "steps" => "steps",
+            "seeds" => "seeds",
+            "probe-fan" => "probe-fan",
             other => unreachable!("unknown static key {other}"),
         });
     }
@@ -256,20 +276,41 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "run" => {
-            let flags = collect_flags(rest, &with_common(&["arch", "benchmark", "rate"]))?;
+            let flags = collect_flags(rest, &with_common(&["arch", "benchmark", "rate", "seeds"]))?;
+            let seeds: usize = flags
+                .get("seeds")
+                .map(|raw| parse_value("seeds", raw))
+                .transpose()?
+                .unwrap_or(1);
+            if seeds == 0 {
+                return Err(ParseCliError::new("--seeds must be at least 1"));
+            }
             Ok(Command::Run {
                 arch: parse_value("arch", required(&flags, "arch")?)?,
                 benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
                 rate: parse_value("rate", required(&flags, "rate")?)?,
+                seeds,
                 common: common_options(&flags)?,
             })
         }
         "saturate" => {
-            let flags = collect_flags(rest, &with_common(&["arch", "benchmark", "quick"]))?;
+            let flags = collect_flags(
+                rest,
+                &with_common(&["arch", "benchmark", "quick", "probe-fan"]),
+            )?;
+            let probe_fan: usize = flags
+                .get("probe-fan")
+                .map(|raw| parse_value("probe-fan", raw))
+                .transpose()?
+                .unwrap_or(1);
+            if probe_fan == 0 {
+                return Err(ParseCliError::new("--probe-fan must be at least 1"));
+            }
             Ok(Command::Saturate {
                 arch: parse_value("arch", required(&flags, "arch")?)?,
                 benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
                 quick: flags.contains_key("quick"),
+                probe_fan,
                 common: common_options(&flags)?,
             })
         }
@@ -297,15 +338,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             })
         }
         "mesh" => {
-            let flags = collect_flags(
-                rest,
-                &{
-                    let mut keys = with_common(&["benchmark", "rate"]);
-                    keys.push("cols");
-                    keys.push("rows");
-                    keys
-                },
-            )?;
+            let flags = collect_flags(rest, &{
+                let mut keys = with_common(&["benchmark", "rate"]);
+                keys.push("cols");
+                keys.push("rows");
+                keys
+            })?;
             Ok(Command::Mesh {
                 benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
                 rate: parse_value("rate", required(&flags, "rate")?)?,
@@ -366,6 +404,7 @@ mod tests {
                 arch: Architecture::OptHybridSpeculative,
                 benchmark: Benchmark::Multicast10,
                 rate: 0.4,
+                seeds: 1,
                 common: CommonOptions::default(),
             }
         );
@@ -391,11 +430,13 @@ mod tests {
 
     #[test]
     fn saturate_quick_flag() {
-        let cmd = parse(&argv("saturate --arch Baseline --benchmark Hotspot --quick"))
-            .expect("valid invocation");
+        let cmd = parse(&argv(
+            "saturate --arch Baseline --benchmark Hotspot --quick",
+        ))
+        .expect("valid invocation");
         assert!(matches!(cmd, Command::Saturate { quick: true, .. }));
-        let cmd = parse(&argv("saturate --arch Baseline --benchmark Hotspot"))
-            .expect("valid invocation");
+        let cmd =
+            parse(&argv("saturate --arch Baseline --benchmark Hotspot")).expect("valid invocation");
         assert!(matches!(cmd, Command::Saturate { quick: false, .. }));
     }
 
@@ -417,7 +458,13 @@ mod tests {
 
     #[test]
     fn info_defaults_and_overrides() {
-        assert_eq!(parse(&argv("info")), Ok(Command::Info { arch: None, size: 8 }));
+        assert_eq!(
+            parse(&argv("info")),
+            Ok(Command::Info {
+                arch: None,
+                size: 8
+            })
+        );
         assert_eq!(
             parse(&argv("info --arch OptAllSpeculative --size 16")),
             Ok(Command::Info {
@@ -441,12 +488,60 @@ mod tests {
         assert!(err.message().contains("Warp9"));
         let err = parse(&argv("run positional")).unwrap_err();
         assert!(err.message().contains("positional"));
-        let err =
-            parse(&argv("run --arch Baseline --arch Baseline --benchmark Shuffle --rate 0.4"))
-                .unwrap_err();
+        let err = parse(&argv(
+            "run --arch Baseline --arch Baseline --benchmark Shuffle --rate 0.4",
+        ))
+        .unwrap_err();
         assert!(err.message().contains("twice"));
         let err = parse(&argv("run --arch")).unwrap_err();
         assert!(err.message().contains("requires a value"));
+    }
+
+    #[test]
+    fn jobs_seeds_and_probe_fan_parse() {
+        let cmd = parse(&argv(
+            "run --arch Baseline --benchmark Shuffle --rate 0.4 --seeds 4 --jobs 4",
+        ))
+        .expect("valid invocation");
+        let Command::Run { seeds, common, .. } = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(seeds, 4);
+        assert_eq!(common.jobs, 4);
+
+        let cmd = parse(&argv(
+            "saturate --arch Baseline --benchmark Hotspot --quick --probe-fan 3 --jobs 2",
+        ))
+        .expect("valid invocation");
+        let Command::Saturate {
+            probe_fan, common, ..
+        } = cmd
+        else {
+            panic!("expected saturate");
+        };
+        assert_eq!(probe_fan, 3);
+        assert_eq!(common.jobs, 2);
+
+        let cmd = parse(&argv(
+            "sweep --arch Baseline --benchmark Shuffle --from 0.1 --to 1.0 --steps 5 --jobs 3",
+        ))
+        .expect("valid invocation");
+        let Command::Sweep { common, .. } = cmd else {
+            panic!("expected sweep");
+        };
+        assert_eq!(common.jobs, 3);
+    }
+
+    #[test]
+    fn zero_jobs_seeds_and_probe_fan_rejected() {
+        for line in [
+            "run --arch Baseline --benchmark Shuffle --rate 0.4 --jobs 0",
+            "run --arch Baseline --benchmark Shuffle --rate 0.4 --seeds 0",
+            "saturate --arch Baseline --benchmark Hotspot --probe-fan 0",
+        ] {
+            let err = parse(&argv(line)).unwrap_err();
+            assert!(err.message().contains("at least 1"), "{line}: {err}");
+        }
     }
 
     #[test]
@@ -461,9 +556,18 @@ mod tests {
                 ..
             }
         ));
-        let cmd =
-            parse(&argv("mesh --benchmark Shuffle --rate 0.2 --cols 8 --rows 8")).expect("valid");
-        assert!(matches!(cmd, Command::Mesh { cols: 8, rows: 8, .. }));
+        let cmd = parse(&argv(
+            "mesh --benchmark Shuffle --rate 0.2 --cols 8 --rows 8",
+        ))
+        .expect("valid");
+        assert!(matches!(
+            cmd,
+            Command::Mesh {
+                cols: 8,
+                rows: 8,
+                ..
+            }
+        ));
     }
 
     #[test]

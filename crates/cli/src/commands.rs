@@ -4,10 +4,11 @@
 use std::io::{self, Write};
 
 use asynoc::harness::{saturation_of, Quality};
-use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
 use asynoc::{
-    Architecture, Duration, MotSize, Network, NetworkConfig, Phases, RunConfig, SimError,
+    parallel_map, Architecture, Duration, MotSize, Network, NetworkConfig, Phases, RunConfig,
+    SimError,
 };
+use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
 
 use crate::args::{Command, CommonOptions, USAGE};
 
@@ -47,8 +48,7 @@ impl From<io::Error> for CliError {
 }
 
 fn network(arch: Architecture, common: &CommonOptions) -> Result<Network, CliError> {
-    let size = MotSize::new(common.size)
-        .map_err(|e| CliError::Invalid(format!("--size: {e}")))?;
+    let size = MotSize::new(common.size).map_err(|e| CliError::Invalid(format!("--size: {e}")))?;
     let config = NetworkConfig::new(size, arch)
         .with_seed(common.seed)
         .with_flits_per_packet(common.flits);
@@ -57,13 +57,78 @@ fn network(arch: Architecture, common: &CommonOptions) -> Result<Network, CliErr
 
 fn phases_for(benchmark: asynoc::Benchmark, common: &CommonOptions) -> Phases {
     let default = Phases::paper_standard(benchmark == asynoc::Benchmark::MulticastStatic);
-    let warmup = common
-        .warmup_ns
-        .map_or(default.warmup(), Duration::from_ns);
+    let warmup = common.warmup_ns.map_or(default.warmup(), Duration::from_ns);
     let measure = common
         .measure_ns
         .map_or(default.measure(), Duration::from_ns);
     Phases::new(warmup, measure)
+}
+
+/// `run --seeds K`: replicates one measurement over consecutive seeds,
+/// fanned across `--jobs` workers, and reports per-seed rows plus the
+/// mean ± sample standard deviation of the mean latency.
+fn run_across_seeds(
+    arch: Architecture,
+    benchmark: asynoc::Benchmark,
+    rate: f64,
+    seeds: usize,
+    common: &CommonOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let seed_list: Vec<u64> = (0..seeds as u64).map(|k| common.seed + k).collect();
+    let reports = parallel_map(common.jobs, seed_list, |seed| {
+        let options = CommonOptions {
+            seed,
+            ..common.clone()
+        };
+        let net = network(arch, &options)?;
+        let run = RunConfig::new(benchmark, rate)
+            .map_err(CliError::from)?
+            .with_phases(phases_for(benchmark, &options));
+        Ok::<_, CliError>((seed, net.run(&run)?))
+    });
+
+    writeln!(
+        out,
+        "{arch} ({0}x{0}) x {benchmark} @ {rate} flits/ns per source, {seeds} seeds",
+        common.size
+    )?;
+    writeln!(
+        out,
+        "{:<8} {:>10} {:>14} {:>12} {:>12}",
+        "seed", "packets", "mean", "p99", "accepted"
+    )?;
+    let mut means_ps = Vec::with_capacity(seeds);
+    for result in reports {
+        let (seed, mut report) = result?;
+        let mean = report.latency.mean();
+        means_ps.push(mean.map(|d| d.as_ps() as f64).unwrap_or_default());
+        writeln!(
+            out,
+            "{:<8} {:>10} {:>14} {:>12} {:>11.0}%",
+            seed,
+            report.packets_measured,
+            mean.map_or("-".to_string(), |d| d.to_string()),
+            report
+                .latency
+                .p99()
+                .map_or("-".to_string(), |d| d.to_string()),
+            100.0 * report.acceptance()
+        )?;
+    }
+    let n = means_ps.len() as f64;
+    let mean = means_ps.iter().sum::<f64>() / n;
+    let std_dev = if means_ps.len() > 1 {
+        (means_ps.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+    } else {
+        0.0
+    };
+    writeln!(
+        out,
+        "mean latency across seeds: {:.0} ps +/- {:.0} ps (sample std dev)",
+        mean, std_dev
+    )?;
+    Ok(())
 }
 
 /// Executes a parsed command, writing its report to `out`.
@@ -81,11 +146,15 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             arch,
             benchmark,
             rate,
+            seeds,
             common,
         } => {
+            if *seeds > 1 {
+                return run_across_seeds(*arch, *benchmark, *rate, *seeds, common, out);
+            }
             let net = network(*arch, common)?;
-            let run = RunConfig::new(*benchmark, *rate)?
-                .with_phases(phases_for(*benchmark, common));
+            let run =
+                RunConfig::new(*benchmark, *rate)?.with_phases(phases_for(*benchmark, common));
             let mut report = net.run(&run)?;
             writeln!(
                 out,
@@ -132,11 +201,18 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             arch,
             benchmark,
             quick,
+            probe_fan,
             common,
         } => {
             let net = network(*arch, common)?;
-            let mut quality = if *quick { Quality::quick() } else { Quality::paper() };
+            let mut quality = if *quick {
+                Quality::quick()
+            } else {
+                Quality::paper()
+            };
             quality.seed = common.seed;
+            quality.probe_fan = *probe_fan;
+            quality.jobs = common.jobs;
             let point = saturation_of(&net, *benchmark, &quality)?;
             writeln!(out, "{arch} x {benchmark} saturation:")?;
             writeln!(
@@ -161,11 +237,19 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         } => {
             let net = network(*arch, common)?;
             writeln!(out, "{arch} x {benchmark}: latency vs offered load")?;
-            writeln!(out, "{:<12} {:>14} {:>12} {:>12}", "load", "mean", "p99", "accepted")?;
-            for k in 0..*steps {
-                let rate = from + (to - from) * k as f64 / (*steps - 1) as f64;
-                let run = RunConfig::new(*benchmark, rate)?
-                    .with_phases(phases_for(*benchmark, common));
+            writeln!(
+                out,
+                "{:<12} {:>14} {:>12} {:>12}",
+                "load", "mean", "p99", "accepted"
+            )?;
+            // Sweep points are independent runs — fan them across workers
+            // and print in input order.
+            let rates: Vec<f64> = (0..*steps)
+                .map(|k| from + (to - from) * k as f64 / (*steps - 1) as f64)
+                .collect();
+            let points = parallel_map(common.jobs, rates, |rate| {
+                let run =
+                    RunConfig::new(*benchmark, rate)?.with_phases(phases_for(*benchmark, common));
                 let mut report = net.run(&run)?;
                 let mean = report
                     .latency
@@ -175,13 +259,17 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                     .latency
                     .p99()
                     .map_or("-".to_string(), |d| d.to_string());
+                Ok::<_, SimError>((rate, mean, p99, report.acceptance()))
+            });
+            for point in points {
+                let (rate, mean, p99, acceptance) = point?;
                 writeln!(
                     out,
                     "{:<12.3} {:>14} {:>12} {:>11.0}%",
                     rate,
                     mean,
                     p99,
-                    100.0 * report.acceptance()
+                    100.0 * acceptance
                 )?;
             }
             Ok(())
@@ -193,8 +281,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             rows,
             common,
         } => {
-            let size = MeshSize::new(*cols, *rows)
-                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let size = MeshSize::new(*cols, *rows).map_err(|e| CliError::Invalid(e.to_string()))?;
             let network = MeshNetwork::new(
                 MeshConfig::new(size)
                     .with_seed(common.seed)
@@ -222,9 +309,11 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             Ok(())
         }
         Command::Info { arch, size } => {
-            let size = MotSize::new(*size)
-                .map_err(|e| CliError::Invalid(format!("--size: {e}")))?;
-            writeln!(out, "Network size {size}: {} fanout + {} fanin nodes, {} levels",
+            let size =
+                MotSize::new(*size).map_err(|e| CliError::Invalid(format!("--size: {e}")))?;
+            writeln!(
+                out,
+                "Network size {size}: {} fanout + {} fanin nodes, {} levels",
                 size.total_fanout_nodes(),
                 size.total_fanin_nodes(),
                 size.levels()
@@ -289,6 +378,24 @@ mod tests {
     }
 
     #[test]
+    fn seed_replication_reports_all_seeds_and_is_jobs_invariant() {
+        let base = "run --arch Baseline --benchmark Shuffle --rate 0.3 --seeds 3 \
+                    --warmup-ns 60 --measure-ns 400";
+        let serial = run_cli(&format!("{base} --jobs 1"));
+        assert!(serial.contains("3 seeds"));
+        for seed in [42, 43, 44] {
+            assert!(
+                serial.contains(&seed.to_string()),
+                "seed {seed} missing:\n{serial}"
+            );
+        }
+        assert!(serial.contains("mean latency across seeds"));
+        // Worker count must change wall-clock only, never the report.
+        let parallel = run_cli(&format!("{base} --jobs 3"));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn run_warns_when_saturated() {
         let text = run_cli(
             "run --arch Baseline --benchmark Uniform-random --rate 2.5 \
@@ -346,7 +453,10 @@ mod tests {
 
     #[test]
     fn invalid_size_is_reported() {
-        let args: Vec<String> = "info --size 12".split_whitespace().map(String::from).collect();
+        let args: Vec<String> = "info --size 12"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
         let command = parse(&args).expect("parses");
         let mut out = Vec::new();
         let err = execute(&command, &mut out).unwrap_err();

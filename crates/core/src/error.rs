@@ -28,7 +28,10 @@ impl fmt::Display for SimError {
             SimError::Topology(e) => write!(f, "topology error: {e}"),
             SimError::Traffic(e) => write!(f, "traffic error: {e}"),
             SimError::InvalidRate { rate } => {
-                write!(f, "injection rate {rate} flits/ns is not positive and finite")
+                write!(
+                    f,
+                    "injection rate {rate} flits/ns is not positive and finite"
+                )
             }
             SimError::ZeroLengthPacket => write!(f, "packets must have at least one flit"),
         }
@@ -72,7 +75,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SimError::InvalidRate { rate: -2.0 }.to_string().contains("-2"));
+        assert!(SimError::InvalidRate { rate: -2.0 }
+            .to_string()
+            .contains("-2"));
         assert!(SimError::ZeroLengthPacket.to_string().contains("flit"));
         assert!(SimError::Topology(TopologyError::EmptyDestinationSet)
             .to_string()

@@ -7,11 +7,13 @@
 //! in [`crate::sim`].
 
 use asynoc_topology::{
-    FaninNodeId, FaninParent, FanoutChild, FanoutKind, FanoutNodeId, MotSize, NodePlan,
-    OutputPort,
+    FaninNodeId, FaninParent, FanoutChild, FanoutKind, FanoutNodeId, MotSize, NodePlan, OutputPort,
 };
 
 /// An entity that can be woken to attempt forward progress.
+///
+/// Sinks are never upstream of a channel, so they do not appear here;
+/// delivery endpoints exist only as [`Downstream::Sink`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub(crate) enum Entity {
     /// Source `s` (drains its injection queue).
@@ -20,8 +22,6 @@ pub(crate) enum Entity {
     Fanout(usize),
     /// Fanin node by flat index.
     Fanin(usize),
-    /// Destination sink `d` (always ready; never needs waking).
-    Sink(usize),
 }
 
 /// The receiving end of a channel.
@@ -38,17 +38,6 @@ pub(crate) enum Downstream {
     },
     /// A destination sink.
     Sink(usize),
-}
-
-impl Downstream {
-    /// The entity to wake when a flit arrives here.
-    pub(crate) fn entity(self) -> Entity {
-        match self {
-            Downstream::Fanout(f) => Entity::Fanout(f),
-            Downstream::Fanin { flat, .. } => Entity::Fanin(flat),
-            Downstream::Sink(d) => Entity::Sink(d),
-        }
-    }
 }
 
 /// One bundled-data channel's static wiring.
@@ -168,7 +157,9 @@ impl Fabric {
         }
 
         debug_assert!(fanout_input.iter().all(|&c| c != usize::MAX));
-        debug_assert!(fanin_input.iter().all(|a| a.iter().all(|&c| c != usize::MAX)));
+        debug_assert!(fanin_input
+            .iter()
+            .all(|a| a.iter().all(|&c| c != usize::MAX)));
         debug_assert_eq!(per_tree * n, fanout_total);
 
         Fabric {
@@ -192,8 +183,7 @@ impl Fabric {
             .iter()
             .map(|&kind| timing.leakage_mw(timing.fanout_area(kind)))
             .sum();
-        let fanin =
-            self.size.total_fanin_nodes() as f64 * timing.leakage_mw(timing.fanin_area_um2);
+        let fanin = self.size.total_fanin_nodes() as f64 * timing.leakage_mw(timing.fanin_area_um2);
         fanout + fanin
     }
 
@@ -251,7 +241,11 @@ mod tests {
                 sink_feeds[d] += 1;
             }
         }
-        assert_eq!(sink_feeds, vec![1; 8], "each sink fed by exactly one channel");
+        assert_eq!(
+            sink_feeds,
+            vec![1; 8],
+            "each sink fed by exactly one channel"
+        );
     }
 
     #[test]
@@ -289,16 +283,6 @@ mod tests {
         // speculative ones, so it must leak less.
         assert!(hybrid.leakage_mw(&timing) < nonspec.leakage_mw(&timing));
         assert!(nonspec.leakage_mw(&timing) > 0.0);
-    }
-
-    #[test]
-    fn downstream_entity_mapping() {
-        assert_eq!(Downstream::Fanout(3).entity(), Entity::Fanout(3));
-        assert_eq!(
-            Downstream::Fanin { flat: 2, input: 1 }.entity(),
-            Entity::Fanin(2)
-        );
-        assert_eq!(Downstream::Sink(5).entity(), Entity::Sink(5));
     }
 
     #[test]

@@ -25,10 +25,24 @@
 //! The [`Quality`] knob trades run length for precision: [`Quality::quick`]
 //! for smoke tests and CI, [`Quality::paper`] for the numbers recorded in
 //! `EXPERIMENTS.md`.
+//!
+//! # Multi-core execution
+//!
+//! Every grid-shaped entry point fans its independent cells (architecture ×
+//! benchmark pairs, seeds, saturation probe points) across OS threads via
+//! [`asynoc_engine::parallel_map`], controlled by [`Quality::jobs`].
+//! Parallelism is an implementation detail of wall-clock time only: results
+//! are placed by input index and every probe schedule is independent of the
+//! worker count, so any `jobs` setting produces bit-identical reports
+//! (excluding the `wall` diagnostics). [`Quality::probe_fan`] separately
+//! widens the saturation search from bisection to k-section — that *does*
+//! change which rates are probed (deterministically), so it is a distinct
+//! knob rather than being derived from `jobs`.
 
+use asynoc_engine::parallel_map;
 use asynoc_kernel::Duration;
 use asynoc_nodes::{NodeCostRow, TimingModel};
-use asynoc_stats::{find_saturation, Phases, StabilityProbe};
+use asynoc_stats::{find_saturation_multi, Phases, StabilityProbe};
 use asynoc_topology::{Architecture, MotSize};
 use asynoc_traffic::Benchmark;
 
@@ -50,6 +64,13 @@ pub struct Quality {
     pub rate_ceiling: f64,
     /// RNG seed for all runs.
     pub seed: u64,
+    /// Interior rates probed per saturation-search round (k-section width).
+    /// Affects which rates are probed — deterministically — so it is part
+    /// of the experiment definition; `1` reproduces classic bisection.
+    pub probe_fan: usize,
+    /// Worker threads for independent cells/seeds/probes. Never affects
+    /// results, only wall-clock time.
+    pub jobs: usize,
 }
 
 impl Quality {
@@ -62,6 +83,8 @@ impl Quality {
             tolerance: 0.05,
             rate_ceiling: 2.6,
             seed: 42,
+            probe_fan: 1,
+            jobs: 1,
         }
     }
 
@@ -76,7 +99,28 @@ impl Quality {
             tolerance: 0.015,
             rate_ceiling: 2.6,
             seed: 42,
+            probe_fan: 1,
+            jobs: 1,
         }
+    }
+
+    /// Sets the worker-thread count for independent runs.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the saturation-search fan-out (interior probes per round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe_fan` is zero.
+    #[must_use]
+    pub fn with_probe_fan(mut self, probe_fan: usize) -> Self {
+        assert!(probe_fan > 0, "probe_fan must be at least 1");
+        self.probe_fan = probe_fan;
+        self
     }
 
     fn measure_phases_for(&self, benchmark: Benchmark) -> Phases {
@@ -158,9 +202,8 @@ pub fn saturation(
     benchmark: Benchmark,
     quality: &Quality,
 ) -> Result<SaturationPoint, SimError> {
-    let network = Network::new(
-        NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed),
-    )?;
+    let network =
+        Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed))?;
     saturation_of(&network, benchmark, quality)
 }
 
@@ -198,7 +241,14 @@ pub fn saturation_of(
         let report = network.run(&run).expect("probe run cannot fail");
         probe.judge(report.throughput.offered, report.throughput.injected)
     };
-    let injected_gfs = find_saturation(0.05, quality.rate_ceiling, quality.tolerance, judge);
+    let injected_gfs = find_saturation_multi(
+        0.05,
+        quality.rate_ceiling,
+        quality.tolerance,
+        quality.probe_fan,
+        quality.jobs,
+        judge,
+    );
 
     // Measure the delivered plateau under deep overload (use a longer
     // window than the probes: the plateau estimate, unlike the stability
@@ -224,24 +274,18 @@ pub fn latency_at_fraction(
     fraction: f64,
     quality: &Quality,
 ) -> Result<LatencyCell, SimError> {
-    let network = Network::new(
-        NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed),
-    )?;
+    let network =
+        Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed))?;
     let saturation = saturation_of(&network, benchmark, quality)?;
     let load = (saturation.injected_gfs * fraction).max(0.02);
-    let run = RunConfig::new(benchmark, load)?
-        .with_phases(quality.measure_phases_for(benchmark));
+    let run = RunConfig::new(benchmark, load)?.with_phases(quality.measure_phases_for(benchmark));
     let report = network.run(&run)?;
     Ok(LatencyCell {
         architecture,
         benchmark,
         saturation,
         load_gfs: load,
-        mean_latency_ps: report
-            .latency
-            .mean()
-            .map(|d| d.as_ps())
-            .unwrap_or_default(),
+        mean_latency_ps: report.latency.mean().map(|d| d.as_ps()).unwrap_or_default(),
         packets: report.packets_measured,
     })
 }
@@ -272,13 +316,19 @@ fn latency_grid(
     architectures: &[Architecture],
     quality: &Quality,
 ) -> Result<Vec<LatencyCell>, SimError> {
-    let mut cells = Vec::new();
-    for &architecture in architectures {
-        for benchmark in Benchmark::ALL {
-            cells.push(latency_at_fraction(architecture, benchmark, 0.25, quality)?);
-        }
-    }
-    Ok(cells)
+    let cells: Vec<(Architecture, Benchmark)> = architectures
+        .iter()
+        .flat_map(|&architecture| {
+            Benchmark::ALL
+                .into_iter()
+                .map(move |benchmark| (architecture, benchmark))
+        })
+        .collect();
+    parallel_map(quality.jobs, cells, |(architecture, benchmark)| {
+        latency_at_fraction(architecture, benchmark, 0.25, quality)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Table 1 (left half): saturation throughput for all six networks across
@@ -290,20 +340,25 @@ fn latency_grid(
 pub fn table1_throughput(
     quality: &Quality,
 ) -> Result<Vec<(Architecture, Benchmark, SaturationPoint)>, SimError> {
-    let mut rows = Vec::new();
-    for architecture in Architecture::ALL {
-        let network = Network::new(
-            NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed),
-        )?;
-        for benchmark in Benchmark::ALL {
-            rows.push((
-                architecture,
-                benchmark,
-                saturation_of(&network, benchmark, quality)?,
-            ));
-        }
-    }
-    Ok(rows)
+    let cells: Vec<(Architecture, Benchmark)> = Architecture::ALL
+        .into_iter()
+        .flat_map(|architecture| {
+            Benchmark::ALL
+                .into_iter()
+                .map(move |benchmark| (architecture, benchmark))
+        })
+        .collect();
+    parallel_map(quality.jobs, cells, |(architecture, benchmark)| {
+        let network =
+            Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed))?;
+        Ok((
+            architecture,
+            benchmark,
+            saturation_of(&network, benchmark, quality)?,
+        ))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Table 1 (right half): total network power for all six networks across
@@ -314,31 +369,38 @@ pub fn table1_throughput(
 ///
 /// Propagates configuration errors from the underlying runs.
 pub fn table1_power(quality: &Quality) -> Result<Vec<PowerCell>, SimError> {
-    let mut cells = Vec::new();
-    for benchmark in Benchmark::POWER_SET {
-        // The paper loads every network at "25% saturation load measured in
-        // Baseline" — 25 % of the Baseline's Table 1 saturation throughput,
-        // applied as the logical injection rate, so energy per packet is
-        // compared at identical offered work.
+    // The paper loads every network at "25% saturation load measured in
+    // Baseline" — 25 % of the Baseline's Table 1 saturation throughput,
+    // applied as the logical injection rate, so energy per packet is
+    // compared at identical offered work. The Baseline saturations gate the
+    // per-architecture runs, so they form their own parallel stage.
+    let loads = parallel_map(quality.jobs, Benchmark::POWER_SET.to_vec(), |benchmark| {
         let baseline_sat = saturation(Architecture::Baseline, benchmark, quality)?;
-        let load = (baseline_sat.delivered_gfs * 0.25).max(0.02);
+        Ok::<_, SimError>((benchmark, (baseline_sat.delivered_gfs * 0.25).max(0.02)))
+    });
+    let mut cells = Vec::new();
+    for result in loads {
+        let (benchmark, load) = result?;
         for architecture in Architecture::ALL {
-            let network = Network::new(
-                NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed),
-            )?;
-            let run = RunConfig::new(benchmark, load)?
-                .with_phases(quality.measure_phases_for(benchmark));
-            let report = network.run(&run)?;
-            cells.push(PowerCell {
-                architecture,
-                benchmark,
-                load_gfs: load,
-                total_mw: report.power.total_mw(),
-                dynamic_mw: report.power.dynamic_mw(),
-            });
+            cells.push((benchmark, load, architecture));
         }
     }
-    Ok(cells)
+    parallel_map(quality.jobs, cells, |(benchmark, load, architecture)| {
+        let network =
+            Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed))?;
+        let run =
+            RunConfig::new(benchmark, load)?.with_phases(quality.measure_phases_for(benchmark));
+        let report = network.run(&run)?;
+        Ok(PowerCell {
+            architecture,
+            benchmark,
+            load_gfs: load,
+            total_mw: report.power.total_mw(),
+            dynamic_mw: report.power.dynamic_mw(),
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// §5.2(d): address-field sizes for 8×8 and 16×16 networks (and any other
@@ -420,22 +482,26 @@ pub fn measure_across_seeds(
     quality: &Quality,
 ) -> Result<(SeedStats, SeedStats), SimError> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let mut latencies = Vec::with_capacity(seeds.len());
-    let mut powers = Vec::with_capacity(seeds.len());
-    for &seed in seeds {
-        let network =
-            Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(seed))?;
-        let run = RunConfig::new(benchmark, rate_gfs)?
-            .with_phases(quality.measure_phases_for(benchmark));
+    let samples = parallel_map(quality.jobs, seeds.to_vec(), |seed| {
+        let network = Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(seed))?;
+        let run =
+            RunConfig::new(benchmark, rate_gfs)?.with_phases(quality.measure_phases_for(benchmark));
         let report = network.run(&run)?;
-        latencies.push(
+        Ok::<_, SimError>((
             report
                 .latency
                 .mean()
                 .map(|d| d.as_ps() as f64)
                 .unwrap_or_default(),
-        );
-        powers.push(report.power.total_mw());
+            report.power.total_mw(),
+        ))
+    });
+    let mut latencies = Vec::with_capacity(seeds.len());
+    let mut powers = Vec::with_capacity(seeds.len());
+    for sample in samples {
+        let (latency, power) = sample?;
+        latencies.push(latency);
+        powers.push(power);
     }
     Ok((
         SeedStats::from_samples(&latencies),
@@ -454,11 +520,10 @@ pub fn measure(
     rate_gfs: f64,
     quality: &Quality,
 ) -> Result<RunReport, SimError> {
-    let network = Network::new(
-        NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed),
-    )?;
-    let run = RunConfig::new(benchmark, rate_gfs)?
-        .with_phases(quality.measure_phases_for(benchmark));
+    let network =
+        Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed))?;
+    let run =
+        RunConfig::new(benchmark, rate_gfs)?.with_phases(quality.measure_phases_for(benchmark));
     network.run(&run)
 }
 
@@ -504,8 +569,7 @@ mod tests {
     #[test]
     fn shuffle_saturation_ordering_baseline_vs_nonspec() {
         let quality = Quality::quick();
-        let baseline =
-            saturation(Architecture::Baseline, Benchmark::Shuffle, &quality).unwrap();
+        let baseline = saturation(Architecture::Baseline, Benchmark::Shuffle, &quality).unwrap();
         let nonspec = saturation(
             Architecture::BasicNonSpeculative,
             Benchmark::Shuffle,
@@ -523,8 +587,7 @@ mod tests {
     #[test]
     fn multicast_saturation_beats_serial_baseline() {
         let quality = Quality::quick();
-        let serial =
-            saturation(Architecture::Baseline, Benchmark::Multicast10, &quality).unwrap();
+        let serial = saturation(Architecture::Baseline, Benchmark::Multicast10, &quality).unwrap();
         let parallel = saturation(
             Architecture::BasicNonSpeculative,
             Benchmark::Multicast10,
@@ -563,6 +626,55 @@ mod tests {
         assert!(latency.mean > 1_000.0, "latency mean {} ps", latency.mean);
         assert!(latency.std_dev < latency.mean, "noise dominates signal");
         assert!(power.mean > 1.0);
+    }
+
+    #[test]
+    fn parallel_seeds_match_serial_bitwise() {
+        let serial = measure_across_seeds(
+            Architecture::OptHybridSpeculative,
+            Benchmark::Multicast5,
+            0.25,
+            &[1, 2, 3, 4],
+            &Quality::quick(),
+        )
+        .expect("serial runs succeed");
+        let parallel = measure_across_seeds(
+            Architecture::OptHybridSpeculative,
+            Benchmark::Multicast5,
+            0.25,
+            &[1, 2, 3, 4],
+            &Quality::quick().with_jobs(4),
+        )
+        .expect("parallel runs succeed");
+        // Bit-identical, not approximately equal: the parallel runner must
+        // be indistinguishable from the serial one (PartialEq on f64 fields
+        // compares exact bit patterns for these finite values).
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_saturation_search_is_jobs_invariant() {
+        let fanned = Quality::quick().with_probe_fan(3);
+        let serial = saturation(Architecture::Baseline, Benchmark::Hotspot, &fanned).unwrap();
+        let parallel = saturation(
+            Architecture::Baseline,
+            Benchmark::Hotspot,
+            &fanned.clone().with_jobs(3),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "worker count changed the answer");
+        // The k-section probes different rates than bisection but must land
+        // on the same anchor within the search tolerance.
+        let bisected = saturation(
+            Architecture::Baseline,
+            Benchmark::Hotspot,
+            &Quality::quick(),
+        )
+        .unwrap();
+        assert!(
+            (serial.injected_gfs - bisected.injected_gfs).abs() <= 2.0 * fanned.tolerance,
+            "k-section {serial:?} vs bisection {bisected:?}"
+        );
     }
 
     #[test]

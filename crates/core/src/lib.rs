@@ -49,6 +49,7 @@ pub mod config;
 pub mod error;
 pub mod fabric;
 pub mod harness;
+pub mod observers;
 pub mod report;
 pub mod sim;
 pub mod trace;
@@ -56,10 +57,11 @@ pub mod trace;
 pub use config::{NetworkConfig, RunConfig};
 pub use error::SimError;
 pub use report::RunReport;
-pub use sim::Network;
+pub use sim::{MotNode, Network};
 pub use trace::{TraceAction, TraceEvent, TraceLocation};
 
 // Re-export the vocabulary types users need to drive the API.
+pub use asynoc_engine::{parallel_map, Observer, SimEvent};
 pub use asynoc_kernel::{Duration, Time};
 pub use asynoc_nodes::TimingModel;
 pub use asynoc_packet::DestSet;

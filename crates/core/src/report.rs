@@ -176,6 +176,12 @@ pub struct RunReport {
     /// Flit-level trace events (empty unless the run enabled tracing via
     /// [`RunConfig::with_trace`](crate::RunConfig::with_trace)).
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Discrete events the engine processed over the whole run (including
+    /// warmup and drain) — a deterministic measure of simulation work.
+    pub events_processed: u64,
+    /// Host wall-clock time the run took. Excluded from determinism
+    /// comparisons; use it to gauge simulator (not network) performance.
+    pub wall: std::time::Duration,
 }
 
 impl RunReport {
@@ -219,7 +225,11 @@ mod tests {
     fn recording_updates_the_right_node_and_level() {
         let mut a = activity();
         let size = a.size();
-        let node = FanoutNodeId { tree: 3, level: 1, index: 1 };
+        let node = FanoutNodeId {
+            tree: 3,
+            level: 1,
+            index: 1,
+        };
         a.record_fanout(node.flat_index(size), Duration::from_ns(10), false);
         a.record_fanout(node.flat_index(size), Duration::from_ns(10), true);
         assert_eq!(a.fanout_fires(node), 2);
@@ -236,7 +246,11 @@ mod tests {
     fn fanin_recording_aggregates_per_tree() {
         let mut a = activity();
         let size = a.size();
-        let leaf = FaninNodeId { tree: 5, level: 2, index: 0 };
+        let leaf = FaninNodeId {
+            tree: 5,
+            level: 2,
+            index: 0,
+        };
         let root = FaninNodeId::root(5);
         a.record_fanin(leaf.flat_index(size), Duration::from_ns(5));
         a.record_fanin(root.flat_index(size), Duration::from_ns(20));

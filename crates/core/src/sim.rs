@@ -1,4 +1,4 @@
-//! The event-driven network simulator.
+//! The MoT network simulator, expressed as an engine [`SimModel`].
 //!
 //! # Execution model
 //!
@@ -12,37 +12,26 @@
 //! input channel to free after the node has generated its acknowledge
 //! (`forward + ack_extra`, or just `drop_ack` for throttled flits).
 //!
-//! Blocked entities are not polled: whichever event unblocks them (an
-//! arrival on their input, their output channel freeing) wakes exactly the
-//! entity wired to that channel. Only cycle-floor stalls schedule explicit
-//! retries. All ties pop in schedule order, so runs are bit-reproducible
-//! for a given seed.
-//!
-//! # What is recorded
-//!
-//! Inside the measurement window: offered/injected/delivered flits, energy
-//! deposits (node traversals, wire launches, throttled flits), and the
-//! latency of every logical packet *created* in the window, measured to the
-//! arrival of its last header — the paper's §5.1 protocol. After injection
-//! stops, the run drains until all measured packets complete (bounded by a
-//! drain cap so saturated runs still terminate).
+//! Sources, sinks, channels, the event queue, and the paper's §5.1
+//! measurement protocol live in `asynoc-engine`; this module contributes
+//! only what is MoT-specific — the fabric wiring, the fanout/fanin firing
+//! rules, and the tree routing — via [`MotModel`]. Statistics, power, and
+//! tracing attach as [`Observer`]s (see [`crate::observers`]).
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
-
-use asynoc_kernel::{EventQueue, Time};
+use asynoc_engine::{
+    ChannelEnds, Ctx, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent, SimModel,
+};
+use asynoc_kernel::{Duration, Time};
 use asynoc_nodes::{FaninState, FanoutState, FlitClass, TimingModel};
-use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId};
-use asynoc_power::{EnergyCategory, EnergyLedger};
-use asynoc_stats::{LatencyStats, Phases, ThroughputCounter};
+use asynoc_packet::{DestSet, RouteHeader};
 use asynoc_topology::{multicast_route, OutputPort};
 use asynoc_traffic::SourceTraffic;
 
 use crate::config::{NetworkConfig, RunConfig};
 use crate::error::SimError;
 use crate::fabric::{Downstream, Entity, Fabric};
+use crate::observers::{ActivityObserver, PowerObserver, TraceObserver};
 use crate::report::{NodeActivity, RunReport};
-use crate::trace::{TraceAction, TraceEvent, TraceLocation, TraceRecorder};
 
 /// A ready-to-run simulated network.
 ///
@@ -67,6 +56,15 @@ use crate::trace::{TraceAction, TraceEvent, TraceLocation, TraceRecorder};
 pub struct Network {
     config: NetworkConfig,
     fabric: Fabric,
+}
+
+/// A node of the MoT fabric, as seen by the engine and its observers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MotNode {
+    /// Fanout (routing) node by flat index.
+    Fanout(usize),
+    /// Fanin (arbitration) node by flat index.
+    Fanin(usize),
 }
 
 impl Network {
@@ -114,100 +112,26 @@ impl Network {
     /// Returns an error if the traffic specification is invalid for this
     /// network (rate, benchmark/source mismatch).
     pub fn run(&self, run: &RunConfig) -> Result<RunReport, SimError> {
-        let mut sim = Simulation::new(self, run)?;
-        sim.execute();
-        Ok(sim.finish())
-    }
-}
-
-/// Events driving the simulation.
-#[derive(Clone, Debug)]
-enum Event {
-    /// Source `source` generates its next packet.
-    Inject { source: usize },
-    /// The flit in flight on `channel` reaches the downstream input.
-    Arrive { channel: usize },
-    /// `channel` completes its handshake and becomes free.
-    FreeChannel { channel: usize },
-    /// Re-attempt firing after a cycle-floor stall.
-    Retry { entity: Entity },
-}
-
-/// Dynamic state of one channel.
-#[derive(Clone, Debug)]
-enum ChannelState {
-    /// Empty; upstream may launch.
-    Free,
-    /// A flit was launched and is in flight.
-    InFlight(Flit),
-    /// The flit sits at the downstream input, awaiting consumption.
-    Arrived(Flit),
-    /// Consumed; the handshake is completing (ack in flight).
-    Draining,
-}
-
-impl ChannelState {
-    fn is_free(&self) -> bool {
-        matches!(self, ChannelState::Free)
+        self.run_with_observers(run, &mut [])
     }
 
-    fn arrived(&self) -> Option<&Flit> {
-        match self {
-            ChannelState::Arrived(flit) => Some(flit),
-            _ => None,
-        }
-    }
-}
-
-/// Latency bookkeeping for one logical packet.
-#[derive(Clone, Copy, Debug)]
-struct Pending {
-    created_at: Time,
-    /// Destinations that must still receive the header.
-    awaiting: DestSet,
-    measured: bool,
-}
-
-struct Simulation<'a> {
-    fabric: &'a Fabric,
-    timing: &'a TimingModel,
-    flits_per_packet: u8,
-    phases: Phases,
-    drain: bool,
-    injection_end: Time,
-    hard_cap: Time,
-
-    queue: EventQueue<Event>,
-    now: Time,
-
-    channels: Vec<ChannelState>,
-    fanout_state: Vec<FanoutState>,
-    fanout_next_fire: Vec<Time>,
-    fanin_state: Vec<FaninState>,
-    fanin_next_fire: Vec<Time>,
-    source_queue: Vec<VecDeque<Flit>>,
-    source_next_fire: Vec<Time>,
-    traffic: Vec<SourceTraffic>,
-
-    next_packet_id: u64,
-    pending: HashMap<u64, Pending>,
-    pending_measured: usize,
-
-    latency: LatencyStats,
-    throughput: ThroughputCounter,
-    ledger: EnergyLedger,
-    flits_throttled: u64,
-    flits_delivered: u64,
-    leakage_mw: f64,
-    activity: NodeActivity,
-    trace: TraceRecorder,
-}
-
-impl<'a> Simulation<'a> {
-    fn new(network: &'a Network, run: &RunConfig) -> Result<Self, SimError> {
-        let config = &network.config;
+    /// Executes one run with caller-supplied observers registered after
+    /// the standard power/activity/trace set.
+    ///
+    /// Extra observers see the identical event stream the built-in ones
+    /// do, in registration order, without perturbing the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the traffic specification is invalid for this
+    /// network (rate, benchmark/source mismatch).
+    pub fn run_with_observers(
+        &self,
+        run: &RunConfig,
+        extra: &mut [&mut dyn Observer<MotNode>],
+    ) -> Result<RunReport, SimError> {
+        let config = &self.config;
         let n = config.size().n();
-        let phases = run.phases();
         let mut traffic = Vec::with_capacity(n);
         for s in 0..n {
             traffic.push(SourceTraffic::new(
@@ -220,245 +144,90 @@ impl<'a> Simulation<'a> {
             )?);
         }
 
-        let fabric = &network.fabric;
-        let injection_end = phases.measurement_end();
-        // Saturated runs never finish draining; cap the drain at one extra
-        // measurement window plus warmup.
-        let hard_cap = injection_end + phases.measure() + phases.warmup();
+        let phases = run.phases();
+        let mut power = PowerObserver::new(config.timing(), &self.fabric);
+        let mut activity =
+            ActivityObserver::new(NodeActivity::new(config.size(), phases.measure()));
+        let mut trace = TraceObserver::new(&self.fabric, run.trace_limit());
 
-        let mut sim = Simulation {
-            fabric,
-            timing: config.timing(),
-            flits_per_packet: config.flits_per_packet(),
+        // `&mut dyn` is invariant in the trait object's lifetime, so the
+        // caller's observers can't join a slice of short-lived local ones
+        // directly; a forwarding adapter bridges the two lifetimes.
+        struct Extras<'x, 'y>(&'x mut [&'y mut dyn Observer<MotNode>]);
+        impl Observer<MotNode> for Extras<'_, '_> {
+            fn on_event(&mut self, at: Time, in_window: bool, event: &SimEvent<'_, MotNode>) {
+                for observer in self.0.iter_mut() {
+                    observer.on_event(at, in_window, event);
+                }
+            }
+        }
+        let mut extras = Extras(extra);
+
+        let model = MotModel::new(&self.fabric, config.timing());
+        let spec = RunSpec {
             phases,
             drain: run.drain(),
-            injection_end,
-            hard_cap,
-            queue: EventQueue::with_capacity(4096),
-            now: Time::ZERO,
-            channels: vec![ChannelState::Free; fabric.channels.len()],
-            fanout_state: fabric.fanout_kind.iter().map(|&k| FanoutState::new(k)).collect(),
-            fanout_next_fire: vec![Time::ZERO; fabric.fanout_kind.len()],
-            fanin_state: (0..config.size().total_fanin_nodes())
-                .map(|_| FaninState::new())
-                .collect(),
-            fanin_next_fire: vec![Time::ZERO; config.size().total_fanin_nodes()],
-            source_queue: (0..n).map(|_| VecDeque::new()).collect(),
-            source_next_fire: vec![Time::ZERO; n],
+        };
+        let (engine, _model) = asynoc_engine::run(
+            model,
             traffic,
-            next_packet_id: 0,
-            pending: HashMap::new(),
-            pending_measured: 0,
-            latency: LatencyStats::new(),
-            throughput: ThroughputCounter::new(n),
-            ledger: EnergyLedger::new(),
-            flits_throttled: 0,
-            flits_delivered: 0,
-            leakage_mw: network.leakage_mw(),
-            activity: NodeActivity::new(config.size(), phases.measure()),
-            trace: TraceRecorder::new(run.trace_limit()),
-        };
-
-        // Prime each source's first injection.
-        for s in 0..n {
-            let gap = sim.traffic[s].next_gap();
-            sim.queue.schedule(Time::ZERO + gap, Event::Inject { source: s });
-        }
-        Ok(sim)
-    }
-
-    fn execute(&mut self) {
-        while let Some((t, event)) = self.queue.pop() {
-            self.now = t;
-            if t > self.hard_cap {
-                break;
-            }
-            if !self.drain && t >= self.injection_end {
-                break;
-            }
-            match event {
-                Event::Inject { source } => self.handle_inject(source),
-                Event::Arrive { channel } => self.handle_arrive(channel),
-                Event::FreeChannel { channel } => self.handle_free(channel),
-                Event::Retry { entity } => self.try_fire(entity),
-            }
-            if self.drain && self.now >= self.injection_end && self.pending_measured == 0 {
-                break;
-            }
-        }
-    }
-
-    fn finish(self) -> RunReport {
-        let throughput = self.throughput.per_source_gfs(self.phases.measure());
-        let power = self.ledger.report(self.phases.measure(), self.leakage_mw);
-        let packets_measured = self.latency.count();
-        RunReport {
-            latency: self.latency,
-            throughput,
-            power,
-            packets_measured,
-            packets_incomplete: self.pending_measured,
-            flits_throttled: self.flits_throttled,
-            flits_delivered: self.flits_delivered,
-            activity: self.activity,
-            trace: self.trace.into_events(),
-        }
-    }
-
-    fn alloc_id(&mut self) -> PacketId {
-        let id = PacketId::new(self.next_packet_id);
-        self.next_packet_id += 1;
-        id
-    }
-
-    fn in_window(&self) -> bool {
-        self.phases.in_measurement(self.now)
-    }
-
-    // ------------------------------------------------------------------
-    // Injection
-    // ------------------------------------------------------------------
-
-    fn handle_inject(&mut self, source: usize) {
-        if self.now >= self.injection_end {
-            return;
-        }
-        let dests = self.traffic[source].next_dests();
-        self.create_packets(source, dests);
-        let gap = self.traffic[source].next_gap();
-        self.queue
-            .schedule(self.now + gap, Event::Inject { source });
-        self.try_fire(Entity::Source(source));
-    }
-
-    fn create_packets(&mut self, source: usize, dests: DestSet) {
-        let size = self.fabric.size;
-        let measured = self.in_window();
-        let logical = self.alloc_id();
-        let flits = self.flits_per_packet;
-        let serialize = self.fabric.serializes_multicast && dests.len() > 1;
-
-        let mut offered_flits = 0u64;
-        if serialize {
-            // Serial multicast: one unicast clone per destination, queued
-            // back to back; latency is accounted against the logical packet.
-            for dest in dests.iter() {
-                let id = self.alloc_id();
-                let clone_dests = DestSet::unicast(dest);
-                let route = multicast_route(size, source, clone_dests)
-                    .expect("benchmark destinations are validated at construction");
-                let descriptor = Arc::new(
-                    PacketDescriptor::new(id, source, clone_dests, route, flits, self.now)
-                        .with_group(logical),
-                );
-                self.source_queue[source].extend(Flit::train(&descriptor));
-                offered_flits += u64::from(flits);
-            }
-        } else {
-            let route = multicast_route(size, source, dests)
-                .expect("benchmark destinations are validated at construction");
-            let descriptor = Arc::new(PacketDescriptor::new(
-                logical, source, dests, route, flits, self.now,
-            ));
-            self.source_queue[source].extend(Flit::train(&descriptor));
-            offered_flits = u64::from(flits);
-        }
-
-        self.pending.insert(
-            logical.as_u64(),
-            Pending {
-                created_at: self.now,
-                awaiting: dests,
-                measured,
-            },
+            spec,
+            &mut [&mut power, &mut activity, &mut trace, &mut extras],
         );
-        if measured {
-            self.pending_measured += 1;
-            self.throughput.record_offered(offered_flits);
+
+        let power_report = power
+            .into_ledger()
+            .report(phases.measure(), self.leakage_mw());
+        Ok(RunReport {
+            latency: engine.latency,
+            throughput: engine.throughput,
+            power: power_report,
+            packets_measured: engine.packets_measured,
+            packets_incomplete: engine.packets_incomplete,
+            flits_throttled: engine.flits_throttled,
+            flits_delivered: engine.flits_delivered,
+            activity: activity.into_activity(),
+            trace: trace.into_events(),
+            events_processed: engine.events_processed,
+            wall: engine.wall,
+        })
+    }
+}
+
+/// The MoT substrate: fabric wiring, node firing rules, tree routing.
+///
+/// Dynamic per-node state (speculation latches, arbitration fairness,
+/// cycle floors) lives here; everything substrate-independent lives in
+/// the engine.
+struct MotModel<'a> {
+    fabric: &'a Fabric,
+    timing: &'a TimingModel,
+    fanout_state: Vec<FanoutState>,
+    fanout_next_fire: Vec<Time>,
+    fanin_state: Vec<FaninState>,
+    fanin_next_fire: Vec<Time>,
+}
+
+impl<'a> MotModel<'a> {
+    fn new(fabric: &'a Fabric, timing: &'a TimingModel) -> Self {
+        let fanin_total = fabric.fanin_input.len();
+        MotModel {
+            fabric,
+            timing,
+            fanout_state: fabric
+                .fanout_kind
+                .iter()
+                .map(|&k| FanoutState::new(k))
+                .collect(),
+            fanout_next_fire: vec![Time::ZERO; fabric.fanout_kind.len()],
+            fanin_state: (0..fanin_total).map(|_| FaninState::new()).collect(),
+            fanin_next_fire: vec![Time::ZERO; fanin_total],
         }
     }
 
-    // ------------------------------------------------------------------
-    // Channel events
-    // ------------------------------------------------------------------
-
-    fn handle_arrive(&mut self, channel: usize) {
-        let state = std::mem::replace(&mut self.channels[channel], ChannelState::Free);
-        let ChannelState::InFlight(flit) = state else {
-            unreachable!("arrival on a channel that was not in flight");
-        };
-        self.channels[channel] = ChannelState::Arrived(flit);
-        match self.fabric.channels[channel].downstream {
-            Downstream::Sink(dest) => self.sink_consume(channel, dest),
-            other => self.try_fire(other.entity()),
-        }
-    }
-
-    fn handle_free(&mut self, channel: usize) {
-        debug_assert!(
-            matches!(self.channels[channel], ChannelState::Draining),
-            "freed a channel that was not draining"
-        );
-        self.channels[channel] = ChannelState::Free;
-        self.try_fire(self.fabric.channels[channel].upstream);
-    }
-
-    fn schedule_retry(&mut self, entity: Entity, at: Time) {
-        self.queue.schedule(at, Event::Retry { entity });
-    }
-
-    fn try_fire(&mut self, entity: Entity) {
-        match entity {
-            Entity::Source(s) => self.fire_source(s),
-            Entity::Fanout(f) => self.fire_fanout(f),
-            Entity::Fanin(f) => self.fire_fanin(f),
-            Entity::Sink(_) => {}
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Entities
-    // ------------------------------------------------------------------
-
-    fn fire_source(&mut self, source: usize) {
-        if self.source_queue[source].is_empty() {
-            return;
-        }
-        let channel = self.fabric.source_out[source];
-        if !self.channels[channel].is_free() {
-            return;
-        }
-        if self.now < self.source_next_fire[source] {
-            self.schedule_retry(Entity::Source(source), self.source_next_fire[source]);
-            return;
-        }
-        let flit = self.source_queue[source]
-            .pop_front()
-            .expect("queue checked non-empty");
-        if self.trace.enabled() {
-            self.trace.push(TraceEvent {
-                time: self.now,
-                packet: flit.descriptor().id(),
-                flit: flit.index(),
-                location: TraceLocation::Source(source),
-                action: TraceAction::Injected,
-            });
-        }
-        if self.in_window() {
-            self.throughput.record_injected(1);
-            self.ledger.add(EnergyCategory::Wire, self.timing.wire_fj);
-        }
-        self.channels[channel] = ChannelState::InFlight(flit);
-        self.queue.schedule(
-            self.now + self.timing.wire_delay,
-            Event::Arrive { channel },
-        );
-        self.source_next_fire[source] = self.now + self.timing.source_cycle;
-    }
-
-    fn fire_fanout(&mut self, flat: usize) {
+    fn fire_fanout(&mut self, flat: usize, ctx: &mut Ctx<'_, '_, MotNode>) {
         let input = self.fabric.fanout_input[flat];
-        let Some(flit_ref) = self.channels[input].arrived() else {
+        let Some(flit_ref) = ctx.arrived(input) else {
             return;
         };
         let coords = self.fabric.fanout_coords[flat];
@@ -469,8 +238,8 @@ impl<'a> Simulation<'a> {
         let flit_kind = flit_ref.kind();
         let decision = self.fanout_state[flat].peek(flit_kind, symbol);
 
-        if self.now < self.fanout_next_fire[flat] {
-            self.schedule_retry(Entity::Fanout(flat), self.fanout_next_fire[flat]);
+        if ctx.now() < self.fanout_next_fire[flat] {
+            ctx.retry(MotNode::Fanout(flat), self.fanout_next_fire[flat]);
             return;
         }
         if !decision.is_drop() {
@@ -483,51 +252,39 @@ impl<'a> Simulation<'a> {
                     OutputPort::Top => decision.forward.wants_top(),
                     OutputPort::Bottom => decision.forward.wants_bottom(),
                 };
-                if demanded && !self.channels[self.fabric.fanout_out[flat][port.index()]].is_free()
-                {
-                    return; // woken by that channel's FreeChannel event
+                if demanded && !ctx.is_free(self.fabric.fanout_out[flat][port.index()]) {
+                    return; // woken by that channel's free event
                 }
             }
         }
 
         let committed = self.fanout_state[flat].decide(flit_kind, symbol);
         debug_assert_eq!(committed, decision);
-        let state = std::mem::replace(&mut self.channels[input], ChannelState::Draining);
-        let ChannelState::Arrived(flit) = state else {
-            unreachable!("fanout input checked Arrived above");
-        };
+        let flit = ctx.take_arrived(input);
 
         let kind = self.fabric.fanout_kind[flat];
         let timing = *self.timing.fanout(kind);
         let class = FlitClass::of(flit_kind);
-        let in_window = self.in_window();
-        if self.trace.enabled() {
-            self.trace.push(TraceEvent {
-                time: self.now,
-                packet: flit.descriptor().id(),
-                flit: flit.index(),
-                location: TraceLocation::Fanout(coords),
-                action: if decision.is_drop() {
-                    TraceAction::Throttled
-                } else {
-                    TraceAction::Forwarded(decision.forward)
-                },
-            });
-        }
 
         if decision.is_drop() {
             // Throttle: acknowledge upstream without forwarding.
-            self.queue.schedule(
-                self.now + timing.drop_ack,
-                Event::FreeChannel { channel: input },
-            );
-            if in_window {
-                self.ledger.add(EnergyCategory::Dropped, self.timing.drop_fj);
-                self.flits_throttled += 1;
-                self.activity.record_fanout(flat, timing.drop_ack, true);
-            }
+            ctx.emit(&SimEvent::Drop {
+                node: MotNode::Fanout(flat),
+                flit: &flit,
+                busy: timing.drop_ack,
+            });
+            ctx.free_after(input, timing.drop_ack);
         } else {
             let forward = timing.forward(class);
+            let copies =
+                u8::from(decision.forward.wants_top()) + u8::from(decision.forward.wants_bottom());
+            ctx.emit(&SimEvent::Forward {
+                node: MotNode::Fanout(flat),
+                flit: &flit,
+                info: ForwardInfo::Routed(decision.forward),
+                copies,
+                busy: timing.free_delay(class),
+            });
             for port in OutputPort::BOTH {
                 let demanded = match port {
                     OutputPort::Top => decision.forward.wants_top(),
@@ -537,139 +294,106 @@ impl<'a> Simulation<'a> {
                     continue;
                 }
                 let out = self.fabric.fanout_out[flat][port.index()];
-                debug_assert!(self.channels[out].is_free());
-                self.channels[out] = ChannelState::InFlight(flit.clone());
-                self.queue.schedule(
-                    self.now + forward + self.timing.wire_delay,
-                    Event::Arrive { channel: out },
-                );
-                if in_window {
-                    self.ledger.add(EnergyCategory::Wire, self.timing.wire_fj);
-                }
+                ctx.launch(out, flit.clone(), forward + self.timing.wire_delay);
             }
-            self.queue.schedule(
-                self.now + timing.free_delay(class),
-                Event::FreeChannel { channel: input },
-            );
-            if in_window {
-                self.ledger.add(
-                    EnergyCategory::Fanout,
-                    self.timing.fanout_energy(kind).for_class(class),
-                );
-                self.activity
-                    .record_fanout(flat, timing.free_delay(class), false);
-            }
+            ctx.free_after(input, timing.free_delay(class));
         }
-        self.fanout_next_fire[flat] = self.now + timing.cycle_floor;
+        self.fanout_next_fire[flat] = ctx.now() + timing.cycle_floor;
     }
 
-    fn fire_fanin(&mut self, flat: usize) {
+    fn fire_fanin(&mut self, flat: usize, ctx: &mut Ctx<'_, '_, MotNode>) {
         let [c0, c1] = self.fabric.fanin_input[flat];
-        let p0 = self.channels[c0].arrived().is_some();
-        let p1 = self.channels[c1].arrived().is_some();
+        let p0 = ctx.arrived(c0).is_some();
+        let p1 = ctx.arrived(c1).is_some();
         let Some(winner) = self.fanin_state[flat].select(p0, p1) else {
             return;
         };
-        if self.now < self.fanin_next_fire[flat] {
-            self.schedule_retry(Entity::Fanin(flat), self.fanin_next_fire[flat]);
+        if ctx.now() < self.fanin_next_fire[flat] {
+            ctx.retry(MotNode::Fanin(flat), self.fanin_next_fire[flat]);
             return;
         }
         let out = self.fabric.fanin_out[flat];
-        if !self.channels[out].is_free() {
+        if !ctx.is_free(out) {
             return; // woken when the output drains
         }
 
         let input_channel = [c0, c1][winner];
-        let state = std::mem::replace(&mut self.channels[input_channel], ChannelState::Draining);
-        let ChannelState::Arrived(flit) = state else {
-            unreachable!("selected fanin input checked Arrived above");
-        };
+        let flit = ctx.take_arrived(input_channel);
         self.fanin_state[flat].advance(winner, flit.kind());
-        if self.trace.enabled() {
-            self.trace.push(TraceEvent {
-                time: self.now,
-                packet: flit.descriptor().id(),
-                flit: flit.index(),
-                location: TraceLocation::Fanin(asynoc_topology::FaninNodeId::from_flat_index(
-                    self.fabric.size,
-                    flat,
-                )),
-                action: TraceAction::Arbitrated { input: winner },
-            });
-        }
 
         let timing = self.timing.fanin;
         let class = FlitClass::of(flit.kind());
-        self.channels[out] = ChannelState::InFlight(flit);
-        self.queue.schedule(
-            self.now + timing.forward(class) + self.timing.wire_delay,
-            Event::Arrive { channel: out },
-        );
-        self.queue.schedule(
-            self.now + timing.free_delay(class),
-            Event::FreeChannel {
-                channel: input_channel,
-            },
-        );
-        if self.in_window() {
-            self.ledger.add(
-                EnergyCategory::Fanin,
-                self.timing.fanin_energy.for_class(class),
-            );
-            self.ledger.add(EnergyCategory::Wire, self.timing.wire_fj);
-            self.activity.record_fanin(flat, timing.free_delay(class));
-        }
-        self.fanin_next_fire[flat] = self.now + timing.cycle_floor;
+        ctx.emit(&SimEvent::Forward {
+            node: MotNode::Fanin(flat),
+            flit: &flit,
+            info: ForwardInfo::Arbitrated { input: winner },
+            copies: 1,
+            busy: timing.free_delay(class),
+        });
+        ctx.launch(out, flit, timing.forward(class) + self.timing.wire_delay);
+        ctx.free_after(input_channel, timing.free_delay(class));
+        self.fanin_next_fire[flat] = ctx.now() + timing.cycle_floor;
+    }
+}
+
+impl SimModel for MotModel<'_> {
+    type Node = MotNode;
+
+    fn endpoints(&self) -> usize {
+        self.fabric.size.n()
     }
 
-    fn sink_consume(&mut self, channel: usize, dest: usize) {
-        let state = std::mem::replace(&mut self.channels[channel], ChannelState::Draining);
-        let ChannelState::Arrived(flit) = state else {
-            unreachable!("sink consumes only arrived flits");
+    fn channel_count(&self) -> usize {
+        self.fabric.channels.len()
+    }
+
+    fn channel_ends(&self, channel: usize) -> ChannelEnds<MotNode> {
+        let wiring = &self.fabric.channels[channel];
+        let upstream = match wiring.upstream {
+            Entity::Source(s) => NodeRef::Source(s),
+            Entity::Fanout(f) => NodeRef::Node(MotNode::Fanout(f)),
+            Entity::Fanin(f) => NodeRef::Node(MotNode::Fanin(f)),
         };
-        self.queue.schedule(
-            self.now + self.timing.sink_ack,
-            Event::FreeChannel { channel },
-        );
-        if self.trace.enabled() {
-            self.trace.push(TraceEvent {
-                time: self.now,
-                packet: flit.descriptor().id(),
-                flit: flit.index(),
-                location: TraceLocation::Sink(dest),
-                action: TraceAction::Delivered,
-            });
+        let downstream = match wiring.downstream {
+            Downstream::Fanout(f) => NodeRef::Node(MotNode::Fanout(f)),
+            Downstream::Fanin { flat, .. } => NodeRef::Node(MotNode::Fanin(flat)),
+            Downstream::Sink(d) => NodeRef::Sink(d),
+        };
+        ChannelEnds {
+            upstream,
+            downstream,
         }
-        if self.in_window() {
-            self.throughput.record_delivered(1);
-            self.flits_delivered += 1;
-        }
-        if flit.kind().is_header() {
-            let logical = flit.descriptor().logical_id().as_u64();
-            if let Some(pending) = self.pending.get_mut(&logical) {
-                // Delivery audit: a header may reach each destination in
-                // its set exactly once — a duplicate means a redundant
-                // speculative copy escaped throttling, a miss would show up
-                // as a never-completing packet.
-                assert!(
-                    pending.awaiting.contains(dest),
-                    "packet {logical}: duplicate or misrouted header at destination {dest}"
-                );
-                pending.awaiting.remove(dest);
-                if pending.awaiting.is_empty() {
-                    let done = self.pending.remove(&logical).expect("entry present");
-                    if done.measured {
-                        self.latency
-                            .record(self.now.saturating_since(done.created_at));
-                        self.pending_measured -= 1;
-                    }
-                }
-            } else {
-                panic!(
-                    "packet {logical}: header delivered at destination {dest} after completion \
-                     — a redundant speculative copy escaped throttling"
-                );
-            }
+    }
+
+    fn source_channel(&self, source: usize) -> usize {
+        self.fabric.source_out[source]
+    }
+
+    fn source_wire_delay(&self) -> Duration {
+        self.timing.wire_delay
+    }
+
+    fn source_cycle(&self) -> Duration {
+        self.timing.source_cycle
+    }
+
+    fn sink_ack(&self) -> Duration {
+        self.timing.sink_ack
+    }
+
+    fn serializes_multicast(&self) -> bool {
+        self.fabric.serializes_multicast
+    }
+
+    fn route(&self, source: usize, dests: DestSet) -> RouteHeader {
+        multicast_route(self.fabric.size, source, dests)
+            .expect("benchmark destinations are validated at construction")
+    }
+
+    fn fire(&mut self, node: MotNode, ctx: &mut Ctx<'_, '_, MotNode>) {
+        match node {
+            MotNode::Fanout(flat) => self.fire_fanout(flat, ctx),
+            MotNode::Fanin(flat) => self.fire_fanin(flat, ctx),
         }
     }
 }
@@ -678,7 +402,7 @@ impl<'a> Simulation<'a> {
 mod tests {
     use super::*;
     use crate::config::{NetworkConfig, RunConfig};
-    use asynoc_kernel::Duration;
+    use asynoc_stats::Phases;
     use asynoc_topology::Architecture;
     use asynoc_traffic::Benchmark;
 
@@ -792,10 +516,9 @@ mod tests {
     #[test]
     fn overload_is_detected_as_non_acceptance() {
         // 3 flits/ns per source is far beyond any architecture's capacity.
-        let network = Network::new(
-            NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(1),
-        )
-        .unwrap();
+        let network =
+            Network::new(NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(1))
+                .unwrap();
         let run = RunConfig::quick(Benchmark::UniformRandom, 3.0).with_drain(false);
         let report = network.run(&run).unwrap();
         assert!(
@@ -812,18 +535,17 @@ mod tests {
         assert_eq!(a.latency.mean(), b.latency.mean());
         assert_eq!(a.flits_delivered, b.flits_delivered);
         assert_eq!(a.flits_throttled, b.flits_throttled);
+        assert_eq!(a.events_processed, b.events_processed);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let network1 = Network::new(
-            NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(1),
-        )
-        .unwrap();
-        let network2 = Network::new(
-            NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(2),
-        )
-        .unwrap();
+        let network1 =
+            Network::new(NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(1))
+                .unwrap();
+        let network2 =
+            Network::new(NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(2))
+                .unwrap();
         let run = RunConfig::quick(Benchmark::UniformRandom, 0.3);
         let a = network1.run(&run).unwrap();
         let b = network2.run(&run).unwrap();
@@ -834,10 +556,9 @@ mod tests {
     fn hotspot_saturates_near_paper_anchor() {
         // All 8 sources hammer destination 0; the fanin root → sink stage
         // caps per-source throughput at ≈ 0.29 GF/s.
-        let network = Network::new(
-            NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(3),
-        )
-        .unwrap();
+        let network =
+            Network::new(NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(3))
+                .unwrap();
         let run = RunConfig::new(Benchmark::Hotspot, 0.8)
             .unwrap()
             .with_phases(Phases::new(Duration::from_ns(200), Duration::from_ns(2000)))
@@ -931,7 +652,10 @@ mod tests {
         let fanin_total: u64 = report.activity.fanin_tree_fires().iter().sum();
         assert!(fanin_total > 0);
         let (busiest, utilization) = report.activity.busiest_fanin().expect("nodes exist");
-        assert!(utilization > 0.0 && utilization <= 1.0, "{busiest}: {utilization}");
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "{busiest}: {utilization}"
+        );
     }
 
     #[test]
@@ -956,10 +680,7 @@ mod tests {
         assert!(!report.trace.is_empty());
         assert!(report.trace.len() <= 500);
         // Times are non-decreasing.
-        assert!(report
-            .trace
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
+        assert!(report.trace.windows(2).all(|w| w[0].time <= w[1].time));
         // With a speculative root, the trace must show both broadcasts and
         // throttles, and at least one delivery.
         assert!(report
@@ -987,8 +708,54 @@ mod tests {
 
     #[test]
     fn multicast_static_only_three_sources_multicast() {
-        let report = quick_run(Architecture::OptHybridSpeculative, Benchmark::MulticastStatic, 0.3);
+        let report = quick_run(
+            Architecture::OptHybridSpeculative,
+            Benchmark::MulticastStatic,
+            0.3,
+        );
         assert!(report.packets_measured > 0);
         assert!(report.throughput.delivered > report.throughput.injected);
+    }
+
+    #[test]
+    fn engine_counters_populate_the_report() {
+        let report = quick_run(Architecture::Baseline, Benchmark::UniformRandom, 0.1);
+        assert!(report.events_processed > 0, "engine processed no events");
+        assert!(report.wall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn extra_observers_see_the_run_without_perturbing_it() {
+        struct Counter {
+            injects: u64,
+            delivers: u64,
+        }
+        impl Observer<MotNode> for Counter {
+            fn on_event(&mut self, _at: Time, _in_window: bool, event: &SimEvent<'_, MotNode>) {
+                match event {
+                    SimEvent::Inject { .. } => self.injects += 1,
+                    SimEvent::Deliver { .. } => self.delivers += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        let network =
+            Network::new(NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(42))
+                .unwrap();
+        let run = RunConfig::quick(Benchmark::UniformRandom, 0.2);
+        let plain = network.run(&run).unwrap();
+        let mut counter = Counter {
+            injects: 0,
+            delivers: 0,
+        };
+        let observed = network
+            .run_with_observers(&run, &mut [&mut counter])
+            .unwrap();
+        assert!(counter.injects > 0);
+        assert!(counter.delivers > 0);
+        assert_eq!(plain.latency.mean(), observed.latency.mean());
+        assert_eq!(plain.flits_delivered, observed.flits_delivered);
+        assert_eq!(plain.events_processed, observed.events_processed);
     }
 }

@@ -171,10 +171,10 @@ mod tests {
         assert!(text.contains("pkt7[0]"));
         assert!(text.contains("fo[s2:0.0]"));
         assert!(text.contains("both"));
-        assert!(
-            TraceAction::Throttled.to_string().contains("THROTTLED")
-        );
+        assert!(TraceAction::Throttled.to_string().contains("THROTTLED"));
         assert!(TraceLocation::Sink(3).to_string().contains("D3"));
-        assert!(TraceAction::Arbitrated { input: 1 }.to_string().contains("input 1"));
+        assert!(TraceAction::Arbitrated { input: 1 }
+            .to_string()
+            .contains("input 1"));
     }
 }

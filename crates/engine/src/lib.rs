@@ -1,0 +1,27 @@
+//! Substrate-agnostic discrete-event simulation engine.
+//!
+//! The MoT simulator (`asynoc`) and the mesh simulator (`asynoc-mesh`)
+//! share one execution discipline: single-flit bundled-data channels,
+//! fire-when-ready entities, stall-and-notify wakeups (no polling), FIFO
+//! tie breaking on the kernel event queue, and the paper's §5.1
+//! measurement protocol (offered/injected/delivered flits in a window,
+//! per-logical-packet latency to the last header arrival, bounded drain).
+//! This crate owns that discipline once:
+//!
+//! - [`SimModel`] is what a substrate implements — its channel wiring,
+//!   timing constants, routing, and node firing rules.
+//! - [`Observer`] receives the engine's event stream (injections,
+//!   forwards, drops, deliveries) so statistics, power accounting, and
+//!   tracing compose per run instead of being hard-wired into the loop.
+//! - [`run`] executes one simulation and returns an [`EngineReport`]
+//!   plus the model (whose accumulated state the caller may harvest).
+//! - [`parallel_map`] fans independent work items (seeds, configs,
+//!   saturation probe points) across OS threads with deterministic
+//!   result ordering — the experiment layer's multi-core runner.
+
+mod observer;
+mod session;
+
+pub use asynoc_kernel::parallel_map;
+pub use observer::{ForwardInfo, Observer, SimEvent};
+pub use session::{run, ChannelEnds, Ctx, EngineReport, NodeRef, RunSpec, SimModel};

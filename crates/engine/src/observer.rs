@@ -1,0 +1,74 @@
+//! The engine's instrumentation interface.
+
+use asynoc_kernel::{Duration, Time};
+use asynoc_packet::{Flit, RouteSymbol};
+
+/// How a node disposed of a forwarded flit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardInfo {
+    /// A routing node followed (or speculatively broadened) this symbol.
+    Routed(RouteSymbol),
+    /// An arbitrating node granted this input.
+    Arbitrated {
+        /// The winning input's index at the node.
+        input: usize,
+    },
+}
+
+/// One instrumented occurrence inside a simulation run.
+///
+/// Events borrow the flit they describe; observers that need it beyond
+/// the callback must copy what they use.
+#[derive(Clone, Copy, Debug)]
+pub enum SimEvent<'a, N> {
+    /// A source launched `flit` into the network.
+    Inject {
+        /// The injecting endpoint.
+        source: usize,
+        /// The launched flit.
+        flit: &'a Flit,
+    },
+    /// A node moved `flit` to `copies` output channel(s).
+    Forward {
+        /// The firing node.
+        node: N,
+        /// The forwarded flit.
+        flit: &'a Flit,
+        /// Routing or arbitration detail.
+        info: ForwardInfo,
+        /// Output channels launched into (more than one at multicast
+        /// branch points and speculative broadcasts).
+        copies: u8,
+        /// How long the node's input stays occupied by this handshake.
+        busy: Duration,
+    },
+    /// A node throttled `flit` — acknowledged upstream without
+    /// forwarding (the speculation-recovery path).
+    Drop {
+        /// The throttling node.
+        node: N,
+        /// The dropped flit.
+        flit: &'a Flit,
+        /// How long the node's input stays occupied by the drop ack.
+        busy: Duration,
+    },
+    /// A sink consumed `flit`.
+    Deliver {
+        /// The consuming endpoint.
+        dest: usize,
+        /// The delivered flit.
+        flit: &'a Flit,
+    },
+}
+
+/// A composable listener on the engine's event stream.
+///
+/// Observers are registered per run; the engine calls them synchronously,
+/// in registration order, at the simulated instant each event occurs.
+/// `in_window` tells the observer whether the instant falls inside the
+/// measurement window (power and statistics observers typically ignore
+/// warmup/drain events; a tracer records everything).
+pub trait Observer<N> {
+    /// Receives one event at simulated time `at`.
+    fn on_event(&mut self, at: Time, in_window: bool, event: &SimEvent<'_, N>);
+}

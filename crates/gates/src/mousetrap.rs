@@ -120,7 +120,12 @@ impl Pipeline {
                 &format!("en{i}"),
             );
             netlist.set_initial(enable, true);
-            netlist.gate_into(GateKind::Latch, &[req_in, enable], delays.latch, stage_req[i]);
+            netlist.gate_into(
+                GateKind::Latch,
+                &[req_in, enable],
+                delays.latch,
+                stage_req[i],
+            );
         }
 
         // Sink: acknowledge every output request after `sink`.
@@ -317,7 +322,8 @@ mod tests {
         // Freeze the source/sink loops far in the future so we observe a
         // single token.
         let delays = StageDelays::default();
-        let pipeline = Pipeline::self_timed(4, delays, Duration::from_ns(500), Duration::from_ns(500));
+        let pipeline =
+            Pipeline::self_timed(4, delays, Duration::from_ns(500), Duration::from_ns(500));
         let mut sim = GateSim::new(pipeline.netlist());
         // The source inverter fires on its own after its delay (req = 1 at
         // t = 500 ns); run long enough to watch the first token cross.
@@ -350,7 +356,9 @@ mod tests {
         assert!(transitions.len() > 20, "pipeline did not free-run");
         // Steady-state: the last several periods are identical.
         let n = transitions.len();
-        let periods: Vec<_> = (n - 5..n).map(|i| transitions[i] - transitions[i - 1]).collect();
+        let periods: Vec<_> = (n - 5..n)
+            .map(|i| transitions[i] - transitions[i - 1])
+            .collect();
         assert!(
             periods.windows(2).all(|w| w[0] == w[1]),
             "cycle time not stable: {periods:?}"
@@ -436,7 +444,11 @@ mod tests {
             "stalled branch must hold the first request"
         );
         let acks = sim.transitions_of(fork.ack_out());
-        assert_eq!(acks.len(), 1, "no second upstream ack while a branch stalls");
+        assert_eq!(
+            acks.len(),
+            1,
+            "no second upstream ack while a branch stalls"
+        );
         // Branch 1 finally acknowledges: the stalled request flows and the
         // C-element completes the handshake.
         sim.toggle_at(Time::from_ps(1_000), fork.branch_ack(1));

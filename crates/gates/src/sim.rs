@@ -134,7 +134,8 @@ impl<'a> GateSim<'a> {
         let next = gate.kind.eval(&inputs, self.levels[gate.output]);
         if next != self.projected[gate.output] {
             self.projected[gate.output] = next;
-            self.queue.schedule(self.now + gate.delay, (gate.output, next));
+            self.queue
+                .schedule(self.now + gate.delay, (gate.output, next));
         }
     }
 
@@ -147,11 +148,7 @@ impl<'a> GateSim<'a> {
         self.events_processed += 1;
         if self.levels[net] != level {
             self.levels[net] = level;
-            self.log.push(Change {
-                time,
-                net,
-                level,
-            });
+            self.log.push(Change { time, net, level });
             for &gate_index in self.netlist.fanout_of(net) {
                 self.evaluate_gate(gate_index);
             }
@@ -248,7 +245,10 @@ mod tests {
         assert!(!sim.level(c));
         sim.set_at(Time::from_ps(100), a, true);
         sim.run_until_quiet();
-        assert_eq!(sim.transitions_of(c).last().copied(), Some(Time::from_ps(120)));
+        assert_eq!(
+            sim.transitions_of(c).last().copied(),
+            Some(Time::from_ps(120))
+        );
         assert!(sim.level(c));
     }
 

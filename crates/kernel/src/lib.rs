@@ -3,7 +3,7 @@
 //! Asynchronous (clockless) circuits are not discretized to clock cycles, so
 //! the simulator models the network at *handshake-event* granularity: every
 //! flit launch, arrival, and acknowledge is an event stamped with a
-//! picosecond-resolution [`Time`]. This crate provides the three substrate
+//! picosecond-resolution [`Time`]. This crate provides the substrate
 //! pieces every higher layer builds on:
 //!
 //! - [`Time`] / [`Duration`]: picosecond time arithmetic with checked
@@ -11,7 +11,10 @@
 //! - [`EventQueue`]: a deterministic priority queue (ties broken in FIFO
 //!   insertion order, so identical seeds reproduce identical simulations),
 //! - [`rng`]: a seeded random-number layer with the exponential
-//!   inter-arrival sampling used by the paper's traffic generators.
+//!   inter-arrival sampling used by the paper's traffic generators,
+//! - [`parallel_map`]: a multi-core fan-out with deterministic result
+//!   ordering, used by the experiment layer to spread independent runs
+//!   (seeds, sweep points, saturation probes) across OS threads.
 //!
 //! # Examples
 //!
@@ -26,10 +29,12 @@
 //! assert_eq!(time, Time::from_ps(100));
 //! ```
 
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use parallel::parallel_map;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{Duration, Time};

@@ -1,0 +1,100 @@
+//! Multi-core fan-out with deterministic result ordering.
+//!
+//! Experiments fan independent work items — seeds, sweep points,
+//! saturation probes — across OS threads. Determinism is preserved by
+//! construction: each item's result lands in the slot matching its
+//! input index, so the returned `Vec` is ordered exactly as if the
+//! items had been mapped serially, regardless of which worker ran
+//! which item or in what order they finished.
+
+use std::sync::Mutex;
+
+/// Maps `f` over `items` using up to `jobs` worker threads.
+///
+/// Results are returned in input order. `jobs <= 1` (or a single item)
+/// runs serially on the calling thread with no synchronisation at all,
+/// so the serial path is the parallel path's `jobs = 1` special case —
+/// the property the determinism regression test pins down.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<R>>> = (0..slot_count(&queue)).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("work queue poisoned").next();
+                let Some((index, item)) = next else { break };
+                let result = f(item);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every work item produces a result")
+        })
+        .collect()
+}
+
+/// Number of result slots needed for a freshly built work queue.
+fn slot_count<I: ExactSizeIterator>(queue: &Mutex<I>) -> usize {
+    queue.lock().expect("work queue poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map(4, items, |i| i * 3);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let serial = parallel_map(1, items.clone(), |i| {
+            i.wrapping_mul(0x9e37_79b9).rotate_left(7)
+        });
+        let parallel = parallel_map(8, items, |i| i.wrapping_mul(0x9e37_79b9).rotate_left(7));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let out = parallel_map(16, vec![1, 2, 3], |i| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(4, Vec::<u32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_jobs_runs_serially() {
+        let out = parallel_map(0, vec![5, 6], |i| i * 2);
+        assert_eq!(out, vec![10, 12]);
+    }
+}

@@ -39,7 +39,13 @@ pub enum Port {
 
 impl Port {
     /// All five ports, in index order.
-    pub const ALL: [Port; 5] = [Port::North, Port::South, Port::East, Port::West, Port::Local];
+    pub const ALL: [Port; 5] = [
+        Port::North,
+        Port::South,
+        Port::East,
+        Port::West,
+        Port::Local,
+    ];
 
     /// Dense index 0..5.
     #[must_use]
@@ -140,7 +146,10 @@ impl OutputLock {
         assert!(input < 5, "input index {input} out of range");
         match self.owner {
             Some(owner) => {
-                assert_eq!(owner, input, "output used by {input} while locked to {owner}");
+                assert_eq!(
+                    owner, input,
+                    "output used by {input} while locked to {owner}"
+                );
                 if kind.is_tail() {
                     self.owner = None;
                     self.prefer = (input + 1) % 5;
@@ -170,7 +179,7 @@ impl OutputLock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use asynoc_kernel::SimRng;
 
     fn size4() -> MeshSize {
         MeshSize::new(4, 4).unwrap()
@@ -266,13 +275,16 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Round-robin never starves a persistently requesting input.
-        #[test]
-        fn prop_lock_round_robin_no_starvation(others in proptest::collection::vec(0usize..5, 1..40)) {
+    /// Round-robin never starves a persistently requesting input.
+    #[test]
+    fn lock_round_robin_no_starvation() {
+        let mut rng = SimRng::seed_from(40);
+        for _case in 0..64 {
+            let len = rng.range_inclusive(1, 39);
             let mut lock = OutputLock::new();
             let mut grants_to_zero = 0;
-            for other in others {
+            for _ in 0..len {
+                let other = rng.index(5);
                 let requesting = if other == 0 { vec![0] } else { vec![0, other] };
                 let winner = lock.select(&requesting).expect("someone wins");
                 lock.advance(winner, FlitKind::HeaderTail);
@@ -280,7 +292,7 @@ mod tests {
                     grants_to_zero += 1;
                 }
             }
-            prop_assert!(grants_to_zero > 0, "input 0 starved");
+            assert!(grants_to_zero > 0, "input 0 starved");
         }
     }
 }

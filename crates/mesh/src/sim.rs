@@ -1,18 +1,22 @@
-//! The event-driven mesh simulator.
+//! The mesh simulator, expressed as an engine [`SimModel`].
 //!
-//! Same execution discipline as the MoT simulator: single-flit bundled-data
-//! channels, fire-when-ready routers, stall-and-notify wakeups, FIFO tie
-//! breaking, deterministic per seed. A router moves the flit at input *i*
-//! to the XY-routed output when that output's wormhole lock admits it, the
-//! output channel is free, and the per-output cycle floor has elapsed.
+//! Same execution discipline as the MoT simulator — single-flit
+//! bundled-data channels, fire-when-ready routers, stall-and-notify
+//! wakeups, FIFO tie breaking, deterministic per seed — because both now
+//! run on the shared `asynoc-engine` event loop. This module contributes
+//! only what is mesh-specific: the 2-D wiring, XY routing, wormhole
+//! output locks, and per-output cycle floors. A router moves the flit at
+//! input *i* to the XY-routed output when that output's wormhole lock
+//! admits it, the output channel is free, and the per-output cycle floor
+//! has elapsed.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
-
-use asynoc_kernel::{Duration, EventQueue, Time};
+use asynoc_engine::{
+    ChannelEnds, Ctx, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent, SimModel,
+};
+use asynoc_kernel::{Duration, Time};
 use asynoc_nodes::{FlitClass, KindTiming};
-use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader};
-use asynoc_stats::{latency::LatencyStats, Phases, ThroughputCounter};
+use asynoc_packet::{DestSet, RouteHeader};
+use asynoc_stats::{latency::LatencyStats, Phases};
 use asynoc_traffic::{Benchmark, SourceTraffic};
 
 use crate::router::{route_port, OutputLock, Port, RouterId};
@@ -133,6 +137,10 @@ pub struct MeshReport {
     /// Mean router-to-router hops of measured unicast paths (analytic,
     /// from the benchmark's destination distribution as sampled).
     pub mean_hops: f64,
+    /// Discrete events the engine processed over the whole run.
+    pub events_processed: u64,
+    /// Host wall-clock time the run took.
+    pub wall: std::time::Duration,
 }
 
 impl MeshReport {
@@ -179,110 +187,27 @@ impl MeshNetwork {
         rate: f64,
         phases: Phases,
     ) -> Result<MeshReport, MeshError> {
-        if !(rate.is_finite() && rate > 0.0) {
-            return Err(MeshError::InvalidRate { rate });
-        }
-        let mut sim = MeshSim::new(&self.config, benchmark, rate, phases)?;
-        sim.execute();
-        Ok(sim.finish())
-    }
-}
-
-// ---------------------------------------------------------------------
-// Internals
-// ---------------------------------------------------------------------
-
-#[derive(Clone, Debug)]
-enum ChannelState {
-    Free,
-    InFlight(Flit),
-    Arrived(Flit),
-    Draining,
-}
-
-impl ChannelState {
-    fn is_free(&self) -> bool {
-        matches!(self, ChannelState::Free)
+        self.run_with_observers(benchmark, rate, phases, &mut [])
     }
 
-    fn arrived(&self) -> Option<&Flit> {
-        match self {
-            ChannelState::Arrived(flit) => Some(flit),
-            _ => None,
-        }
-    }
-}
-
-#[derive(Clone, Copy, Debug)]
-enum Wake {
-    Source(usize),
-    Router(usize),
-    Sink(usize),
-}
-
-#[derive(Clone, Copy, Debug)]
-struct ChannelWiring {
-    upstream: Wake,
-    downstream: Wake,
-}
-
-#[derive(Clone, Debug)]
-enum Event {
-    Inject { source: usize },
-    Arrive { channel: usize },
-    FreeChannel { channel: usize },
-    Retry { wake: Wake },
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Pending {
-    created_at: Time,
-    awaiting: DestSet,
-    measured: bool,
-}
-
-struct MeshSim<'a> {
-    config: &'a MeshConfig,
-    phases: Phases,
-    injection_end: Time,
-    hard_cap: Time,
-
-    queue: EventQueue<Event>,
-    now: Time,
-
-    wiring: Vec<ChannelWiring>,
-    channels: Vec<ChannelState>,
-    /// Per router: input channel ids by dense port index (usize::MAX where
-    /// no neighbor exists).
-    router_in: Vec<[usize; 5]>,
-    /// Per router: output channel ids by dense port index.
-    router_out: Vec<[usize; 5]>,
-    locks: Vec<[OutputLock; 5]>,
-    out_next_fire: Vec<[Time; 5]>,
-
-    source_queue: Vec<VecDeque<Flit>>,
-    source_next_fire: Vec<Time>,
-    traffic: Vec<SourceTraffic>,
-
-    next_packet_id: u64,
-    pending: HashMap<u64, Pending>,
-    pending_measured: usize,
-
-    latency: LatencyStats,
-    throughput: ThroughputCounter,
-    hop_sum: u64,
-    hop_count: u64,
-}
-
-impl<'a> MeshSim<'a> {
-    fn new(
-        config: &'a MeshConfig,
+    /// Runs one benchmark with caller-supplied observers on the engine's
+    /// event stream. Router nodes are identified by their linear index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive rate or a traffic-layer
+    /// rejection.
+    pub fn run_with_observers(
+        &self,
         benchmark: Benchmark,
         rate: f64,
         phases: Phases,
-    ) -> Result<Self, MeshError> {
-        let size = config.size;
-        let n = size.endpoints();
+        extra: &mut [&mut dyn Observer<usize>],
+    ) -> Result<MeshReport, MeshError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(MeshError::InvalidRate { rate });
+        }
+        let n = self.config.size.endpoints();
         let mut traffic = Vec::with_capacity(n);
         for s in 0..n {
             traffic.push(SourceTraffic::new(
@@ -290,17 +215,76 @@ impl<'a> MeshSim<'a> {
                 n,
                 s,
                 rate,
-                config.flits_per_packet,
-                config.seed,
+                self.config.flits_per_packet,
+                self.config.seed,
             )?);
         }
 
-        // Build channels.
-        let mut wiring: Vec<ChannelWiring> = Vec::new();
+        // Bridge the caller's observers into a local slice (see the MoT
+        // simulator for why the adapter is needed).
+        struct Extras<'x, 'y>(&'x mut [&'y mut dyn Observer<usize>]);
+        impl Observer<usize> for Extras<'_, '_> {
+            fn on_event(&mut self, at: Time, in_window: bool, event: &SimEvent<'_, usize>) {
+                for observer in self.0.iter_mut() {
+                    observer.on_event(at, in_window, event);
+                }
+            }
+        }
+        let mut extras = Extras(extra);
+
+        let model = MeshModel::new(&self.config);
+        let spec = RunSpec {
+            phases,
+            drain: true,
+        };
+        let (engine, model) = asynoc_engine::run(model, traffic, spec, &mut [&mut extras]);
+
+        Ok(MeshReport {
+            latency: engine.latency,
+            throughput: engine.throughput,
+            packets_measured: engine.packets_measured,
+            packets_incomplete: engine.packets_incomplete,
+            mean_hops: model.mean_hops(),
+            events_processed: engine.events_processed,
+            wall: engine.wall,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The substrate
+// ---------------------------------------------------------------------
+
+/// The mesh substrate: 2-D wiring, XY routing, wormhole output locks.
+///
+/// Nodes are routers, identified by linear index. Channel ids are
+/// allocated router by router: the four neighbor links (in
+/// north/south/east/west order, skipping edges), then the injection
+/// channel, then the ejection channel.
+struct MeshModel {
+    size: MeshSize,
+    timing: MeshTiming,
+    wiring: Vec<ChannelEnds<usize>>,
+    /// Per router: input channel ids by dense port index (usize::MAX where
+    /// no neighbor exists).
+    router_in: Vec<[usize; 5]>,
+    /// Per router: output channel ids by dense port index.
+    router_out: Vec<[usize; 5]>,
+    locks: Vec<[OutputLock; 5]>,
+    out_next_fire: Vec<[Time; 5]>,
+    hop_sum: u64,
+    hop_count: u64,
+}
+
+impl MeshModel {
+    fn new(config: &MeshConfig) -> Self {
+        let size = config.size;
+        let n = size.endpoints();
+        let mut wiring: Vec<ChannelEnds<usize>> = Vec::new();
         let mut router_in = vec![[usize::MAX; 5]; n];
         let mut router_out = vec![[usize::MAX; 5]; n];
-        let alloc = |wiring: &mut Vec<ChannelWiring>, w: ChannelWiring| -> usize {
-            wiring.push(w);
+        let alloc = |wiring: &mut Vec<ChannelEnds<usize>>, ends: ChannelEnds<usize>| -> usize {
+            wiring.push(ends);
             wiring.len() - 1
         };
         for r in 0..n {
@@ -320,9 +304,9 @@ impl<'a> MeshSim<'a> {
                 let neighbor = size.index(nx as usize, ny as usize);
                 let c = alloc(
                     &mut wiring,
-                    ChannelWiring {
-                        upstream: Wake::Router(r),
-                        downstream: Wake::Router(neighbor),
+                    ChannelEnds {
+                        upstream: NodeRef::Node(r),
+                        downstream: NodeRef::Node(neighbor),
                     },
                 );
                 router_out[r][port.index()] = c;
@@ -332,212 +316,101 @@ impl<'a> MeshSim<'a> {
             // sink).
             let inject = alloc(
                 &mut wiring,
-                ChannelWiring {
-                    upstream: Wake::Source(r),
-                    downstream: Wake::Router(r),
+                ChannelEnds {
+                    upstream: NodeRef::Source(r),
+                    downstream: NodeRef::Node(r),
                 },
             );
             router_in[r][Port::Local.index()] = inject;
             let eject = alloc(
                 &mut wiring,
-                ChannelWiring {
-                    upstream: Wake::Router(r),
-                    downstream: Wake::Sink(r),
+                ChannelEnds {
+                    upstream: NodeRef::Node(r),
+                    downstream: NodeRef::Sink(r),
                 },
             );
             router_out[r][Port::Local.index()] = eject;
         }
 
-        let injection_end = phases.measurement_end();
-        let hard_cap = injection_end + phases.measure() + phases.warmup();
-
-        let mut sim = MeshSim {
-            config,
-            phases,
-            injection_end,
-            hard_cap,
-            queue: EventQueue::with_capacity(4096),
-            now: Time::ZERO,
-            channels: vec![ChannelState::Free; wiring.len()],
+        MeshModel {
+            size,
+            timing: config.timing.clone(),
             wiring,
             router_in,
             router_out,
-            locks: (0..n).map(|_| std::array::from_fn(|_| OutputLock::new())).collect(),
+            locks: (0..n)
+                .map(|_| std::array::from_fn(|_| OutputLock::new()))
+                .collect(),
             out_next_fire: vec![[Time::ZERO; 5]; n],
-            source_queue: (0..n).map(|_| VecDeque::new()).collect(),
-            source_next_fire: vec![Time::ZERO; n],
-            traffic,
-            next_packet_id: 0,
-            pending: HashMap::new(),
-            pending_measured: 0,
-            latency: LatencyStats::new(),
-            throughput: ThroughputCounter::new(n),
             hop_sum: 0,
             hop_count: 0,
-        };
-        for s in 0..n {
-            let gap = sim.traffic[s].next_gap();
-            sim.queue.schedule(Time::ZERO + gap, Event::Inject { source: s });
-        }
-        Ok(sim)
-    }
-
-    fn execute(&mut self) {
-        while let Some((t, event)) = self.queue.pop() {
-            self.now = t;
-            if t > self.hard_cap {
-                break;
-            }
-            match event {
-                Event::Inject { source } => self.handle_inject(source),
-                Event::Arrive { channel } => self.handle_arrive(channel),
-                Event::FreeChannel { channel } => self.handle_free(channel),
-                Event::Retry { wake } => self.wake(wake),
-            }
-            if self.now >= self.injection_end && self.pending_measured == 0 {
-                break;
-            }
         }
     }
 
-    fn finish(self) -> MeshReport {
-        let throughput = self.throughput.per_source_gfs(self.phases.measure());
-        let packets_measured = self.latency.count();
-        MeshReport {
-            latency: self.latency,
-            throughput,
-            packets_measured,
-            packets_incomplete: self.pending_measured,
-            mean_hops: if self.hop_count == 0 {
-                0.0
-            } else {
-                self.hop_sum as f64 / self.hop_count as f64
-            },
+    fn mean_hops(&self) -> f64 {
+        if self.hop_count == 0 {
+            0.0
+        } else {
+            self.hop_sum as f64 / self.hop_count as f64
         }
     }
+}
 
-    fn in_window(&self) -> bool {
-        self.phases.in_measurement(self.now)
+impl SimModel for MeshModel {
+    type Node = usize;
+
+    fn endpoints(&self) -> usize {
+        self.size.endpoints()
     }
 
-    fn alloc_id(&mut self) -> PacketId {
-        let id = PacketId::new(self.next_packet_id);
-        self.next_packet_id += 1;
-        id
+    fn channel_count(&self) -> usize {
+        self.wiring.len()
     }
 
-    fn handle_inject(&mut self, source: usize) {
-        if self.now >= self.injection_end {
-            return;
-        }
-        let dests = self.traffic[source].next_dests();
-        self.create_packets(source, dests);
-        let gap = self.traffic[source].next_gap();
-        self.queue.schedule(self.now + gap, Event::Inject { source });
-        self.wake(Wake::Source(source));
+    fn channel_ends(&self, channel: usize) -> ChannelEnds<usize> {
+        self.wiring[channel]
+    }
+
+    fn source_channel(&self, source: usize) -> usize {
+        self.router_in[source][Port::Local.index()]
+    }
+
+    fn source_wire_delay(&self) -> Duration {
+        self.timing.wire_delay
+    }
+
+    fn source_cycle(&self) -> Duration {
+        self.timing.source_cycle
+    }
+
+    fn sink_ack(&self) -> Duration {
+        self.timing.sink_ack
     }
 
     /// The mesh serializes every multicast: one clone per destination.
-    fn create_packets(&mut self, source: usize, dests: DestSet) {
-        let measured = self.in_window();
-        let logical = self.alloc_id();
-        let flits = self.config.flits_per_packet;
+    fn serializes_multicast(&self) -> bool {
+        true
+    }
+
+    fn route(&self, _source: usize, _dests: DestSet) -> RouteHeader {
         // Unused by the mesh (it routes by destination index), but the
         // shared descriptor type carries a route header; a minimal one-slot
         // header keeps allocation trivial.
-        let route = RouteHeader::for_tree(2);
-        let mut offered_flits = 0u64;
+        RouteHeader::for_tree(2)
+    }
+
+    fn on_packet(&mut self, source: usize, dests: DestSet, measured: bool) {
+        if !measured {
+            return;
+        }
         for dest in dests.iter() {
-            let id = self.alloc_id();
-            let descriptor = Arc::new(
-                PacketDescriptor::new(
-                    id,
-                    source,
-                    DestSet::unicast(dest),
-                    route.clone(),
-                    flits,
-                    self.now,
-                )
-                .with_group(logical),
-            );
-            self.source_queue[source].extend(Flit::train(&descriptor));
-            offered_flits += u64::from(flits);
-            if measured {
-                self.hop_sum += self.config.size.hops(source, dest) as u64;
-                self.hop_count += 1;
-            }
-        }
-        self.pending.insert(
-            logical.as_u64(),
-            Pending {
-                created_at: self.now,
-                awaiting: dests,
-                measured,
-            },
-        );
-        if measured {
-            self.pending_measured += 1;
-            self.throughput.record_offered(offered_flits);
+            self.hop_sum += self.size.hops(source, dest) as u64;
+            self.hop_count += 1;
         }
     }
 
-    fn handle_arrive(&mut self, channel: usize) {
-        let state = std::mem::replace(&mut self.channels[channel], ChannelState::Free);
-        let ChannelState::InFlight(flit) = state else {
-            unreachable!("arrival on a channel not in flight");
-        };
-        self.channels[channel] = ChannelState::Arrived(flit);
-        match self.wiring[channel].downstream {
-            Wake::Sink(dest) => self.sink_consume(channel, dest),
-            other => self.wake(other),
-        }
-    }
-
-    fn handle_free(&mut self, channel: usize) {
-        debug_assert!(matches!(self.channels[channel], ChannelState::Draining));
-        self.channels[channel] = ChannelState::Free;
-        self.wake(self.wiring[channel].upstream);
-    }
-
-    fn wake(&mut self, wake: Wake) {
-        match wake {
-            Wake::Source(s) => self.fire_source(s),
-            Wake::Router(r) => self.fire_router(r),
-            Wake::Sink(_) => {}
-        }
-    }
-
-    fn fire_source(&mut self, source: usize) {
-        if self.source_queue[source].is_empty() {
-            return;
-        }
-        let channel = self.router_in[source][Port::Local.index()];
-        if !self.channels[channel].is_free() {
-            return;
-        }
-        if self.now < self.source_next_fire[source] {
-            self.queue.schedule(
-                self.source_next_fire[source],
-                Event::Retry {
-                    wake: Wake::Source(source),
-                },
-            );
-            return;
-        }
-        let flit = self.source_queue[source].pop_front().expect("non-empty");
-        if self.in_window() {
-            self.throughput.record_injected(1);
-        }
-        self.channels[channel] = ChannelState::InFlight(flit);
-        self.queue.schedule(
-            self.now + self.config.timing.wire_delay,
-            Event::Arrive { channel },
-        );
-        self.source_next_fire[source] = self.now + self.config.timing.source_cycle;
-    }
-
-    fn fire_router(&mut self, router: usize) {
-        let (x, y) = self.config.size.coords(router);
+    fn fire(&mut self, router: usize, ctx: &mut Ctx<'_, '_, usize>) {
+        let (x, y) = self.size.coords(router);
         let here = RouterId { x, y };
         // Collect, per output port, the inputs whose head flit routes there.
         for out_port in Port::ALL {
@@ -551,13 +424,13 @@ impl<'a> MeshSim<'a> {
                 if in_channel == usize::MAX {
                     continue;
                 }
-                if let Some(flit) = self.channels[in_channel].arrived() {
+                if let Some(flit) = ctx.arrived(in_channel) {
                     let dest = flit
                         .descriptor()
                         .dests()
                         .first()
                         .expect("mesh packets are unicast clones");
-                    if route_port(self.config.size, here, dest) == out_port {
+                    if route_port(self.size, here, dest) == out_port {
                         requesting.push(in_port.index());
                     }
                 }
@@ -565,75 +438,34 @@ impl<'a> MeshSim<'a> {
             let Some(winner) = self.locks[router][out_port.index()].select(&requesting) else {
                 continue;
             };
-            if !self.channels[out_channel].is_free() {
-                continue; // woken by the output's FreeChannel
+            if !ctx.is_free(out_channel) {
+                continue; // woken by the output's free event
             }
-            if self.now < self.out_next_fire[router][out_port.index()] {
-                self.queue.schedule(
-                    self.out_next_fire[router][out_port.index()],
-                    Event::Retry {
-                        wake: Wake::Router(router),
-                    },
-                );
+            if ctx.now() < self.out_next_fire[router][out_port.index()] {
+                ctx.retry(router, self.out_next_fire[router][out_port.index()]);
                 continue;
             }
 
             let in_channel = self.router_in[router][winner];
-            let state = std::mem::replace(&mut self.channels[in_channel], ChannelState::Draining);
-            let ChannelState::Arrived(flit) = state else {
-                unreachable!("selected input checked Arrived");
-            };
+            let flit = ctx.take_arrived(in_channel);
             self.locks[router][out_port.index()].advance(winner, flit.kind());
 
-            let timing = &self.config.timing;
             let class = FlitClass::of(flit.kind());
-            self.channels[out_channel] = ChannelState::InFlight(flit);
-            self.queue.schedule(
-                self.now + timing.router.forward(class) + timing.wire_delay,
-                Event::Arrive {
-                    channel: out_channel,
-                },
+            ctx.emit(&SimEvent::Forward {
+                node: router,
+                flit: &flit,
+                info: ForwardInfo::Arbitrated { input: winner },
+                copies: 1,
+                busy: self.timing.router.free_delay(class),
+            });
+            ctx.launch(
+                out_channel,
+                flit,
+                self.timing.router.forward(class) + self.timing.wire_delay,
             );
-            self.queue.schedule(
-                self.now + timing.router.free_delay(class),
-                Event::FreeChannel {
-                    channel: in_channel,
-                },
-            );
+            ctx.free_after(in_channel, self.timing.router.free_delay(class));
             self.out_next_fire[router][out_port.index()] =
-                self.now + timing.router.cycle_floor;
-        }
-    }
-
-    fn sink_consume(&mut self, channel: usize, dest: usize) {
-        let state = std::mem::replace(&mut self.channels[channel], ChannelState::Draining);
-        let ChannelState::Arrived(flit) = state else {
-            unreachable!("sink consumes arrived flits");
-        };
-        self.queue.schedule(
-            self.now + self.config.timing.sink_ack,
-            Event::FreeChannel { channel },
-        );
-        if self.in_window() {
-            self.throughput.record_delivered(1);
-        }
-        if flit.kind().is_header() {
-            let logical = flit.descriptor().logical_id().as_u64();
-            if let Some(pending) = self.pending.get_mut(&logical) {
-                assert!(
-                    pending.awaiting.contains(dest),
-                    "mesh packet {logical}: duplicate or misrouted header at {dest}"
-                );
-                pending.awaiting.remove(dest);
-                if pending.awaiting.is_empty() {
-                    let done = self.pending.remove(&logical).expect("present");
-                    if done.measured {
-                        self.latency
-                            .record(self.now.saturating_since(done.created_at));
-                        self.pending_measured -= 1;
-                    }
-                }
-            }
+                ctx.now() + self.timing.router.cycle_floor;
         }
     }
 }
@@ -647,8 +479,7 @@ mod tests {
     }
 
     fn network(cols: usize, rows: usize) -> MeshNetwork {
-        MeshNetwork::new(MeshConfig::new(MeshSize::new(cols, rows).unwrap()).with_seed(42))
-            .unwrap()
+        MeshNetwork::new(MeshConfig::new(MeshSize::new(cols, rows).unwrap()).with_seed(42)).unwrap()
     }
 
     #[test]
@@ -707,7 +538,10 @@ mod tests {
         let report = network(4, 4)
             .run(Benchmark::Hotspot, 1.5, quick_phases())
             .unwrap();
-        assert!(report.acceptance() < 0.9, "hotspot at 1.5 GF/s must saturate");
+        assert!(
+            report.acceptance() < 0.9,
+            "hotspot at 1.5 GF/s must saturate"
+        );
     }
 
     #[test]
@@ -720,6 +554,7 @@ mod tests {
             .unwrap();
         assert_eq!(a.latency.mean(), b.latency.mean());
         assert_eq!(a.packets_measured, b.packets_measured);
+        assert_eq!(a.events_processed, b.events_processed);
     }
 
     #[test]
@@ -745,5 +580,39 @@ mod tests {
             network(2, 2).run(Benchmark::Shuffle, 0.0, quick_phases()),
             Err(MeshError::InvalidRate { .. })
         ));
+    }
+
+    #[test]
+    fn observers_see_router_forwards() {
+        struct Spy {
+            forwards: u64,
+            delivers: u64,
+        }
+        impl Observer<usize> for Spy {
+            fn on_event(&mut self, _at: Time, _in_window: bool, event: &SimEvent<'_, usize>) {
+                match event {
+                    SimEvent::Forward { .. } => self.forwards += 1,
+                    SimEvent::Deliver { .. } => self.delivers += 1,
+                    _ => {}
+                }
+            }
+        }
+        let mut spy = Spy {
+            forwards: 0,
+            delivers: 0,
+        };
+        let report = network(4, 4)
+            .run_with_observers(
+                Benchmark::UniformRandom,
+                0.1,
+                quick_phases(),
+                &mut [&mut spy],
+            )
+            .unwrap();
+        assert!(spy.forwards > 0, "routers forwarded nothing");
+        assert!(spy.delivers > 0, "nothing delivered");
+        // Every delivered flit crossed at least its local router once.
+        assert!(spy.forwards >= spy.delivers);
+        assert!(report.packets_measured > 0);
     }
 }

@@ -31,7 +31,10 @@ impl fmt::Display for MeshError {
                  (endpoint count must stay within 64)"
             ),
             MeshError::InvalidRate { rate } => {
-                write!(f, "injection rate {rate} flits/ns is not positive and finite")
+                write!(
+                    f,
+                    "injection rate {rate} flits/ns is not positive and finite"
+                )
             }
             MeshError::Traffic(e) => write!(f, "traffic error: {e}"),
         }
@@ -71,9 +74,8 @@ impl MeshSize {
     /// Returns [`MeshError::InvalidSize`] unless both dimensions are in
     /// `2..=8` and `cols·rows` is a power of two.
     pub fn new(cols: usize, rows: usize) -> Result<Self, MeshError> {
-        let ok = (2..=8).contains(&cols)
-            && (2..=8).contains(&rows)
-            && (cols * rows).is_power_of_two();
+        let ok =
+            (2..=8).contains(&cols) && (2..=8).contains(&rows) && (cols * rows).is_power_of_two();
         if ok {
             Ok(MeshSize { cols, rows })
         } else {

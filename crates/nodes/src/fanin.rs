@@ -86,7 +86,7 @@ impl FaninState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use asynoc_kernel::SimRng;
 
     #[test]
     fn idle_node_grants_sole_requester() {
@@ -135,25 +135,30 @@ mod tests {
         FaninState::new().advance(2, FlitKind::Header);
     }
 
-    proptest! {
-        /// No input starves: under any availability pattern in which an
-        /// input stays ready, it is granted within two selections.
-        #[test]
-        fn prop_no_starvation(other_busy in proptest::collection::vec(any::<bool>(), 1..64)) {
+    /// No input starves: under any availability pattern in which an
+    /// input stays ready, it is granted within two selections.
+    #[test]
+    fn no_starvation() {
+        let mut rng = SimRng::seed_from(3);
+        for _case in 0..64 {
+            let len = rng.range_inclusive(1, 63);
             let mut arb = FaninState::new();
-            for other in other_busy {
+            for _ in 0..len {
                 // Input 0 is always ready; input 1 sometimes.
+                let other = rng.chance(0.5);
                 let w1 = arb.select(true, other).unwrap();
                 arb.advance(w1, FlitKind::Body);
                 let w2 = arb.select(true, other).unwrap();
                 arb.advance(w2, FlitKind::Body);
-                prop_assert!(w1 == 0 || w2 == 0, "input 0 starved");
+                assert!(w1 == 0 || w2 == 0, "input 0 starved");
             }
         }
+    }
 
-        /// Under sustained contention the grant ratio is exactly fair.
-        #[test]
-        fn prop_fair_split(rounds in 1usize..100) {
+    /// Under sustained contention the grant ratio is exactly fair.
+    #[test]
+    fn fair_split() {
+        for rounds in 1usize..100 {
             let mut arb = FaninState::new();
             let mut counts = [0usize; 2];
             for _ in 0..2 * rounds {
@@ -161,7 +166,7 @@ mod tests {
                 arb.advance(w, FlitKind::Body);
                 counts[w] += 1;
             }
-            prop_assert_eq!(counts[0], counts[1]);
+            assert_eq!(counts[0], counts[1]);
         }
     }
 }

@@ -199,9 +199,9 @@ impl FanoutState {
                 }
             }
             FlitKind::Body | FlitKind::Tail => {
-                let latched = self
-                    .latched
-                    .expect("body/tail flit reached an opt-non-speculative node with no allocation");
+                let latched = self.latched.expect(
+                    "body/tail flit reached an opt-non-speculative node with no allocation",
+                );
                 if flit.is_tail() {
                     // Routing of the tail releases the channel (§4(d)).
                     self.latched = None;
@@ -222,7 +222,6 @@ impl FanoutState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     const PACKET: [FlitKind; 5] = [
         FlitKind::Header,
@@ -382,69 +381,75 @@ mod tests {
     #[test]
     #[should_panic(expected = "no latched header")]
     fn opt_speculative_body_without_header_is_a_protocol_violation() {
-        let _ = FanoutState::new(FanoutKind::OptSpeculative).decide(FlitKind::Body, RouteSymbol::Top);
+        let _ =
+            FanoutState::new(FanoutKind::OptSpeculative).decide(FlitKind::Body, RouteSymbol::Top);
     }
 
     #[test]
     #[should_panic(expected = "no allocation")]
     fn opt_non_speculative_body_without_header_is_a_protocol_violation() {
-        let _ =
-            FanoutState::new(FanoutKind::OptNonSpeculative).decide(FlitKind::Body, RouteSymbol::Top);
+        let _ = FanoutState::new(FanoutKind::OptNonSpeculative)
+            .decide(FlitKind::Body, RouteSymbol::Top);
     }
 
-    proptest! {
-        /// For every kind and symbol, a full packet never forwards a body
-        /// flit to a port the routing symbol does not demand, except at
-        /// (unoptimized) speculative nodes — the invariant behind the
-        /// paper's power accounting.
-        #[test]
-        fn prop_body_flits_never_exceed_route(kind_sel in 0usize..5, sym_sel in 0usize..4) {
-            let kind = [
-                FanoutKind::Baseline,
-                FanoutKind::NonSpeculative,
-                FanoutKind::Speculative,
-                FanoutKind::OptSpeculative,
-                FanoutKind::OptNonSpeculative,
-            ][kind_sel];
-            let symbol = RouteSymbol::ALL[sym_sel];
-            if kind == FanoutKind::Baseline
-                && !matches!(symbol, RouteSymbol::Top | RouteSymbol::Bottom)
-            {
-                return Ok(());
-            }
-            let decisions = run_packet(kind, symbol);
-            for body in &decisions[1..4] {
-                if kind != FanoutKind::Speculative {
-                    prop_assert!(
-                        !body.forward.wants_top() || symbol.wants_top()
-                            || kind == FanoutKind::Baseline
-                    );
-                    prop_assert!(
-                        !body.forward.wants_bottom() || symbol.wants_bottom()
-                            || kind == FanoutKind::Baseline
-                    );
+    /// For every kind and symbol, a full packet never forwards a body
+    /// flit to a port the routing symbol does not demand, except at
+    /// (unoptimized) speculative nodes — the invariant behind the
+    /// paper's power accounting.
+    #[test]
+    fn body_flits_never_exceed_route() {
+        for kind in [
+            FanoutKind::Baseline,
+            FanoutKind::NonSpeculative,
+            FanoutKind::Speculative,
+            FanoutKind::OptSpeculative,
+            FanoutKind::OptNonSpeculative,
+        ] {
+            for symbol in RouteSymbol::ALL {
+                if kind == FanoutKind::Baseline
+                    && !matches!(symbol, RouteSymbol::Top | RouteSymbol::Bottom)
+                {
+                    continue;
+                }
+                let decisions = run_packet(kind, symbol);
+                for body in &decisions[1..4] {
+                    if kind != FanoutKind::Speculative {
+                        assert!(
+                            !body.forward.wants_top()
+                                || symbol.wants_top()
+                                || kind == FanoutKind::Baseline
+                        );
+                        assert!(
+                            !body.forward.wants_bottom()
+                                || symbol.wants_bottom()
+                                || kind == FanoutKind::Baseline
+                        );
+                    }
                 }
             }
         }
+    }
 
-        /// Optimized nodes always return to the idle state after the tail,
-        /// for any packet length >= 2.
-        #[test]
-        fn prop_tail_always_releases(len in 2usize..10, sym_sel in 0usize..4) {
-            for kind in [FanoutKind::OptSpeculative, FanoutKind::OptNonSpeculative] {
-                let mut state = FanoutState::new(kind);
-                let symbol = RouteSymbol::ALL[sym_sel];
-                for i in 0..len {
-                    let flit = if i == 0 {
-                        FlitKind::Header
-                    } else if i == len - 1 {
-                        FlitKind::Tail
-                    } else {
-                        FlitKind::Body
-                    };
-                    let _ = state.decide(flit, symbol);
+    /// Optimized nodes always return to the idle state after the tail,
+    /// for any packet length >= 2.
+    #[test]
+    fn tail_always_releases() {
+        for len in 2usize..10 {
+            for symbol in RouteSymbol::ALL {
+                for kind in [FanoutKind::OptSpeculative, FanoutKind::OptNonSpeculative] {
+                    let mut state = FanoutState::new(kind);
+                    for i in 0..len {
+                        let flit = if i == 0 {
+                            FlitKind::Header
+                        } else if i == len - 1 {
+                            FlitKind::Tail
+                        } else {
+                            FlitKind::Body
+                        };
+                        let _ = state.decide(flit, symbol);
+                    }
+                    assert!(!state.has_allocation());
                 }
-                prop_assert!(!state.has_allocation());
             }
         }
     }

@@ -421,14 +421,20 @@ mod tests {
         assert_eq!(find("Baseline").area_um2, 342.0);
         assert_eq!(find("Baseline").latency, Duration::from_ps(263));
         assert_eq!(find("Unoptimized speculative").area_um2, 247.0);
-        assert_eq!(find("Unoptimized speculative").latency, Duration::from_ps(52));
+        assert_eq!(
+            find("Unoptimized speculative").latency,
+            Duration::from_ps(52)
+        );
         assert_eq!(find("Unoptimized non-speculative").area_um2, 406.0);
         assert_eq!(
             find("Unoptimized non-speculative").latency,
             Duration::from_ps(299)
         );
         assert_eq!(find("Optimized speculative").area_um2, 373.0);
-        assert_eq!(find("Optimized speculative").latency, Duration::from_ps(120));
+        assert_eq!(
+            find("Optimized speculative").latency,
+            Duration::from_ps(120)
+        );
         assert_eq!(find("Optimized non-speculative").area_um2, 366.0);
         assert_eq!(
             find("Optimized non-speculative").latency,
@@ -465,7 +471,10 @@ mod tests {
             "hotspot anchor off: {per_source_gfs} (period {root})"
         );
         let chain = m.stage_period(&m.fanin, &m.fanin, FlitClass::Header);
-        assert!(chain < root, "fanin chain {chain} must outrun the root stage {root}");
+        assert!(
+            chain < root,
+            "fanin chain {chain} must outrun the root stage {root}"
+        );
     }
 
     #[test]
@@ -475,7 +484,10 @@ mod tests {
         let m = TimingModel::calibrated();
         let period = m.stage_period(&m.baseline, &m.baseline, FlitClass::Header);
         let gfs = 1_000.0 / period.as_ps() as f64;
-        assert!((gfs - 1.48).abs() < 0.02, "baseline shuffle anchor off: {gfs}");
+        assert!(
+            (gfs - 1.48).abs() < 0.02,
+            "baseline shuffle anchor off: {gfs}"
+        );
     }
 
     #[test]
@@ -484,28 +496,44 @@ mod tests {
         let m = TimingModel::calibrated();
         let period = m.stage_period(&m.non_speculative, &m.non_speculative, FlitClass::Header);
         let gfs = 1_000.0 / period.as_ps() as f64;
-        assert!((gfs - 1.22).abs() < 0.02, "nonspec shuffle anchor off: {gfs}");
+        assert!(
+            (gfs - 1.22).abs() < 0.02,
+            "nonspec shuffle anchor off: {gfs}"
+        );
     }
 
     #[test]
     fn optimized_mixed_stage_is_faster_on_bodies() {
         let m = TimingModel::calibrated();
-        let header =
-            m.stage_period(&m.opt_non_speculative, &m.opt_non_speculative, FlitClass::Header);
-        let body = m.stage_period(&m.opt_non_speculative, &m.opt_non_speculative, FlitClass::Body);
+        let header = m.stage_period(
+            &m.opt_non_speculative,
+            &m.opt_non_speculative,
+            FlitClass::Header,
+        );
+        let body = m.stage_period(
+            &m.opt_non_speculative,
+            &m.opt_non_speculative,
+            FlitClass::Body,
+        );
         assert!(body < header);
         // 5-flit average ≈ 630 ps ⇒ ≈ 1.59 GF/s (paper: 1.57).
         let avg = (header.as_ps() + 4 * body.as_ps()) as f64 / 5.0;
         let gfs = 1_000.0 / avg;
-        assert!((gfs - 1.57).abs() < 0.06, "optnonspec shuffle anchor off: {gfs}");
+        assert!(
+            (gfs - 1.57).abs() < 0.06,
+            "optnonspec shuffle anchor off: {gfs}"
+        );
     }
 
     #[test]
     fn speculative_downstream_shortens_stage() {
         let m = TimingModel::calibrated();
         let into_spec = m.stage_period(&m.opt_non_speculative, &m.opt_speculative, FlitClass::Body);
-        let into_nonspec =
-            m.stage_period(&m.opt_non_speculative, &m.opt_non_speculative, FlitClass::Body);
+        let into_nonspec = m.stage_period(
+            &m.opt_non_speculative,
+            &m.opt_non_speculative,
+            FlitClass::Body,
+        );
         assert!(into_spec < into_nonspec);
     }
 
@@ -529,8 +557,10 @@ mod tests {
                 .for_class(FlitClass::Body),
             540.0
         );
-        assert!(m.fanout_energy(FanoutKind::Speculative).header_fj
-            < m.fanout_energy(FanoutKind::NonSpeculative).header_fj);
+        assert!(
+            m.fanout_energy(FanoutKind::Speculative).header_fj
+                < m.fanout_energy(FanoutKind::NonSpeculative).header_fj
+        );
     }
 
     #[test]
@@ -542,7 +572,10 @@ mod tests {
         // An 8×8 baseline network leaks ≈ 1.2 mW (well under the paper's
         // lowest reported power of 3.8 mW).
         let network = 56.0 * m.leakage_mw(342.0) + 56.0 * m.leakage_mw(300.0);
-        assert!(network > 0.8 && network < 2.0, "network leakage {network} mW");
+        assert!(
+            network > 0.8 && network < 2.0,
+            "network leakage {network} mW"
+        );
     }
 
     #[test]
@@ -562,7 +595,10 @@ mod tests {
         // Stage periods (the throughput determinant) degrade.
         let p2 = two.stage_period(&two.baseline, &two.baseline, FlitClass::Header);
         let p4 = four.stage_period(&four.baseline, &four.baseline, FlitClass::Header);
-        assert!(p4 > p2.mul_f64(1.3), "four-phase stage {p4} vs two-phase {p2}");
+        assert!(
+            p4 > p2.mul_f64(1.3),
+            "four-phase stage {p4} vs two-phase {p2}"
+        );
     }
 
     #[test]

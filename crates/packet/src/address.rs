@@ -309,7 +309,6 @@ impl BaselinePath {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn symbol_bits_roundtrip() {
@@ -408,30 +407,34 @@ mod tests {
         let _ = BaselinePath::to_destination(8, 8);
     }
 
-    proptest! {
-        #[test]
-        fn prop_baseline_path_roundtrips(levels in 1u32..7) {
+    #[test]
+    fn baseline_path_roundtrips() {
+        for levels in 1u32..7 {
             let n = 1usize << levels;
             for dest in 0..n {
                 let path = BaselinePath::to_destination(n, dest);
-                prop_assert_eq!(path.destination(), dest);
-                prop_assert_eq!(path.len() as u32, levels);
+                assert_eq!(path.destination(), dest);
+                assert_eq!(path.len() as u32, levels);
             }
         }
+    }
 
-        #[test]
-        fn prop_header_set_is_local(levels in 1u32..6, seed: u64) {
+    #[test]
+    fn header_set_is_local() {
+        for levels in 1u32..6 {
             let n = 1usize << levels;
-            let mut header = RouteHeader::for_tree(n);
-            let level = (seed % levels as u64) as u32;
-            let index = (seed / 7) as usize % (1usize << level);
-            header.set(level, index, RouteSymbol::Both);
-            let active: Vec<_> = header
-                .iter()
-                .filter(|(_, _, s)| !s.is_drop())
-                .map(|(l, i, _)| (l, i))
-                .collect();
-            prop_assert_eq!(active, vec![(level, index)]);
+            for seed in 0u64..64 {
+                let mut header = RouteHeader::for_tree(n);
+                let level = (seed % levels as u64) as u32;
+                let index = (seed / 7) as usize % (1usize << level);
+                header.set(level, index, RouteSymbol::Both);
+                let active: Vec<_> = header
+                    .iter()
+                    .filter(|(_, _, s)| !s.is_drop())
+                    .map(|(l, i, _)| (l, i))
+                    .collect();
+                assert_eq!(active, vec![(level, index)]);
+            }
         }
     }
 }

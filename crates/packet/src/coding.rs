@@ -130,7 +130,6 @@ pub fn coding_efficiency(payload_bits: usize, address_bits: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::address::fanout_tree_nodes;
-    use proptest::prelude::*;
 
     const NONSPEC_8: [bool; 3] = [false, false, false];
     const HYBRID_8: [bool; 3] = [true, false, false];
@@ -196,26 +195,27 @@ mod tests {
         let _ = coding_efficiency(0, 4);
     }
 
-    proptest! {
-        #[test]
-        fn prop_speculation_only_shrinks_headers(levels in 2u32..7, mask in 0u32..64) {
-            let n = 1usize << levels;
-            let mut flags: Vec<bool> =
-                (0..levels).map(|l| mask >> l & 1 == 1).collect();
-            // Leaf level must stay non-speculative.
-            let last = flags.len() - 1;
-            flags[last] = false;
-            let bits = network_address_bits(n, &flags);
-            let full = network_address_bits(n, &vec![false; levels as usize]);
-            prop_assert!(bits <= full);
-            // Every speculative level removes exactly 2·2^level bits.
-            let saved: usize = flags
-                .iter()
-                .enumerate()
-                .filter(|&(_, &s)| s)
-                .map(|(l, _)| 2 * (1usize << l))
-                .sum();
-            prop_assert_eq!(bits + saved, full);
+    #[test]
+    fn speculation_only_shrinks_headers() {
+        for levels in 2u32..7 {
+            for mask in 0u32..64 {
+                let n = 1usize << levels;
+                let mut flags: Vec<bool> = (0..levels).map(|l| mask >> l & 1 == 1).collect();
+                // Leaf level must stay non-speculative.
+                let last = flags.len() - 1;
+                flags[last] = false;
+                let bits = network_address_bits(n, &flags);
+                let full = network_address_bits(n, &vec![false; levels as usize]);
+                assert!(bits <= full);
+                // Every speculative level removes exactly 2·2^level bits.
+                let saved: usize = flags
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s)
+                    .map(|(l, _)| 2 * (1usize << l))
+                    .sum();
+                assert_eq!(bits + saved, full);
+            }
         }
     }
 }

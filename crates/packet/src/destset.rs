@@ -218,7 +218,7 @@ impl fmt::Display for DestSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use asynoc_kernel::SimRng;
 
     #[test]
     fn unicast_has_one_member() {
@@ -300,30 +300,56 @@ mod tests {
         assert_eq!(DestSet::EMPTY.to_string(), "{}");
     }
 
-    proptest! {
-        #[test]
-        fn prop_collect_matches_membership(dests in proptest::collection::hash_set(0usize..64, 0..20)) {
+    fn bits64(rng: &mut SimRng) -> u64 {
+        rng.range_inclusive(0, usize::MAX) as u64
+    }
+
+    #[test]
+    fn collect_matches_membership() {
+        let mut rng = SimRng::seed_from(5);
+        for _case in 0..64 {
+            let count = rng.index(20);
+            let dests: std::collections::HashSet<usize> =
+                (0..count).map(|_| rng.index(64)).collect();
             let set: DestSet = dests.iter().copied().collect();
-            prop_assert_eq!(set.len(), dests.len());
+            assert_eq!(set.len(), dests.len());
             for d in 0..64 {
-                prop_assert_eq!(set.contains(d), dests.contains(&d));
+                assert_eq!(set.contains(d), dests.contains(&d));
             }
         }
+    }
 
-        #[test]
-        fn prop_restrict_partitions(bits: u64, split in 0usize..=64) {
-            let set = DestSet::from_bits(bits);
-            let low = set.restricted_to(0, split);
-            let high = set.restricted_to(split, 64);
-            prop_assert_eq!(low.union(high), set);
-            prop_assert_eq!(low.bits() & high.bits(), 0);
+    #[test]
+    fn restrict_partitions() {
+        let mut rng = SimRng::seed_from(6);
+        for case in 0..64 {
+            let bits = match case {
+                0 => 0,
+                1 => u64::MAX,
+                _ => bits64(&mut rng),
+            };
+            for split in [0, 1, 31, 32, 63, 64, rng.range_inclusive(0, 64)] {
+                let set = DestSet::from_bits(bits);
+                let low = set.restricted_to(0, split);
+                let high = set.restricted_to(split, 64);
+                assert_eq!(low.union(high), set);
+                assert_eq!(low.bits() & high.bits(), 0);
+            }
         }
+    }
 
-        #[test]
-        fn prop_iter_sorted(bits: u64) {
+    #[test]
+    fn iter_sorted() {
+        let mut rng = SimRng::seed_from(7);
+        for case in 0..64 {
+            let bits = match case {
+                0 => 0,
+                1 => u64::MAX,
+                _ => bits64(&mut rng),
+            };
             let items: Vec<usize> = DestSet::from_bits(bits).iter().collect();
-            prop_assert!(items.windows(2).all(|w| w[0] < w[1]));
-            prop_assert_eq!(items.len(), bits.count_ones() as usize);
+            assert!(items.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(items.len(), bits.count_ones() as usize);
         }
     }
 }

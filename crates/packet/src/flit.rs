@@ -186,7 +186,10 @@ mod tests {
                 FlitKind::Tail,
             ]
         );
-        assert_eq!(train.iter().map(Flit::index).collect::<Vec<_>>(), [0, 1, 2, 3, 4]);
+        assert_eq!(
+            train.iter().map(Flit::index).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

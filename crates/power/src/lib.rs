@@ -199,7 +199,7 @@ impl fmt::Display for PowerReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use asynoc_kernel::SimRng;
 
     #[test]
     fn empty_ledger_reports_only_leakage() {
@@ -274,20 +274,24 @@ mod tests {
         assert!(text.contains("leakage"));
     }
 
-    proptest! {
-        #[test]
-        fn prop_total_is_sum_of_categories(deposits in proptest::collection::vec((0usize..4, 0.0f64..1e6), 0..50)) {
+    #[test]
+    fn total_is_sum_of_categories() {
+        let mut rng = SimRng::seed_from(13);
+        for _case in 0..64 {
+            let deposits = rng.index(50);
             let mut ledger = EnergyLedger::new();
-            for (slot, fj) in &deposits {
-                ledger.add(EnergyCategory::ALL[*slot], *fj);
+            for _ in 0..deposits {
+                let slot = rng.index(4);
+                let fj = rng.index(1_000_000) as f64;
+                ledger.add(EnergyCategory::ALL[slot], fj);
             }
             let by_cat: f64 = EnergyCategory::ALL
                 .iter()
                 .map(|&c| ledger.category_fj(c))
                 .sum();
-            prop_assert!((ledger.total_fj() - by_cat).abs() < 1e-6);
+            assert!((ledger.total_fj() - by_cat).abs() < 1e-6);
             let report = ledger.report(Duration::from_ns(1), 0.0);
-            prop_assert!((report.dynamic_mw() - ledger.total_fj() / 1_000.0).abs() < 1e-9);
+            assert!((report.dynamic_mw() - ledger.total_fj() / 1_000.0).abs() < 1e-9);
         }
     }
 }

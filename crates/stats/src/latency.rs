@@ -241,7 +241,7 @@ impl fmt::Display for LatencyStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use asynoc_kernel::SimRng;
 
     fn stats(ps: &[u64]) -> LatencyStats {
         ps.iter().map(|&p| Duration::from_ps(p)).collect()
@@ -368,28 +368,34 @@ mod tests {
         assert_eq!(previous_high, h.hi());
     }
 
-    proptest! {
-        #[test]
-        fn prop_histogram_conserves_samples(
-            samples in proptest::collection::vec(0u64..1_000_000, 1..200),
-            bins in 1usize..16,
-        ) {
+    #[test]
+    fn histogram_conserves_samples() {
+        let mut rng = SimRng::seed_from(7);
+        for _case in 0..64 {
+            let len = rng.range_inclusive(1, 199);
+            let samples: Vec<u64> = (0..len).map(|_| rng.index(1_000_000) as u64).collect();
+            let bins = rng.range_inclusive(1, 15);
             let s = stats(&samples);
             let h = s.histogram(bins).unwrap();
-            prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
-            prop_assert_eq!(h.counts().len(), bins);
+            assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
+            assert_eq!(h.counts().len(), bins);
         }
+    }
 
-        #[test]
-        fn prop_mean_bounded_by_min_max(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+    #[test]
+    fn mean_bounded_by_min_max_and_percentiles_monotone() {
+        let mut rng = SimRng::seed_from(9);
+        for _case in 0..64 {
+            let len = rng.range_inclusive(1, 199);
+            let samples: Vec<u64> = (0..len).map(|_| rng.index(1_000_000) as u64).collect();
             let mut s = stats(&samples);
             let mean = s.mean().unwrap();
-            prop_assert!(s.min().unwrap() <= mean);
-            prop_assert!(mean <= s.max().unwrap());
+            assert!(s.min().unwrap() <= mean);
+            assert!(mean <= s.max().unwrap());
             // Percentiles are monotone.
             let p25 = s.percentile(0.25).unwrap();
             let p75 = s.percentile(0.75).unwrap();
-            prop_assert!(p25 <= p75);
+            assert!(p25 <= p75);
         }
     }
 }

@@ -6,8 +6,14 @@
 //! simulator runs a full benchmark at each probed rate — and returns the
 //! highest stable rate found, following the standard methodology of Dally &
 //! Towles that the paper cites for its measurement procedure.
+//! [`find_saturation_multi`] generalizes the bisection to a k-section that
+//! evaluates several probe rates per round on worker threads; its probe
+//! *schedule* depends only on the fan-out, never on the worker count, so
+//! results are bit-identical at any `--jobs` setting.
 
 use std::fmt;
+
+use asynoc_kernel::parallel_map;
 
 /// Outcome of probing one injection rate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -130,10 +136,89 @@ pub fn find_saturation(
     stable
 }
 
+/// K-section saturation search: like [`find_saturation`], but each round
+/// evaluates `probe_fan` evenly spaced interior rates (using up to `jobs`
+/// worker threads) and shrinks the bracket around the first saturated one.
+///
+/// Two properties matter for reproducibility:
+///
+/// - The set of probed rates is a pure function of the bracket, `tolerance`,
+///   and `probe_fan` — **not** of `jobs`. Changing the worker count changes
+///   wall-clock time only, never the answer.
+/// - `probe_fan = 1` probes exactly the same rates as [`find_saturation`]
+///   (the k-section midpoint is the bisection midpoint), so the classic
+///   serial search is this function's degenerate case.
+///
+/// The probe must be callable from worker threads, hence `Fn + Sync` rather
+/// than the classic search's `FnMut`. Like the classic search, saturation
+/// at `lo` returns `lo` and stability at `hi` returns `hi` (bracket too
+/// small — the caller should widen).
+///
+/// # Panics
+///
+/// Panics if the bracket or tolerance is degenerate (`lo >= hi`,
+/// `tolerance <= 0`, negative `lo`).
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_stats::{find_saturation_multi, StabilityVerdict};
+///
+/// let probe = |rate: f64| {
+///     if rate <= 1.48 { StabilityVerdict::Stable } else { StabilityVerdict::Saturated }
+/// };
+/// let serial = find_saturation_multi(0.1, 3.0, 0.01, 3, 1, probe);
+/// let parallel = find_saturation_multi(0.1, 3.0, 0.01, 3, 4, probe);
+/// assert_eq!(serial, parallel); // bit-identical, not just close
+/// assert!((serial - 1.48).abs() < 0.01);
+/// ```
+pub fn find_saturation_multi(
+    lo: f64,
+    hi: f64,
+    tolerance: f64,
+    probe_fan: usize,
+    jobs: usize,
+    probe: impl Fn(f64) -> StabilityVerdict + Sync,
+) -> f64 {
+    assert!(lo >= 0.0 && lo < hi, "bad bracket [{lo}, {hi}]");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let fan = probe_fan.max(1);
+
+    if probe(lo) == StabilityVerdict::Saturated {
+        return lo;
+    }
+    if probe(hi) == StabilityVerdict::Stable {
+        return hi;
+    }
+
+    let mut stable = lo;
+    let mut saturated = hi;
+    while saturated - stable > tolerance {
+        let width = (saturated - stable) / (fan + 1) as f64;
+        let points: Vec<f64> = (1..=fan).map(|i| stable + width * i as f64).collect();
+        let verdicts = parallel_map(jobs, points.clone(), &probe);
+        // The bracket invariant (stable below, saturated above) relies on
+        // stability being monotone in rate, same as bisection: the first
+        // saturated point caps the bracket, its predecessor floors it.
+        match verdicts
+            .iter()
+            .position(|v| *v == StabilityVerdict::Saturated)
+        {
+            Some(0) => saturated = points[0],
+            Some(i) => {
+                stable = points[i - 1];
+                saturated = points[i];
+            }
+            None => stable = points[fan - 1],
+        }
+    }
+    stable
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use asynoc_kernel::SimRng;
 
     fn step_network(threshold: f64) -> impl FnMut(f64) -> StabilityVerdict {
         move |rate| {
@@ -205,11 +290,58 @@ mod tests {
         assert_eq!(StabilityVerdict::Saturated.to_string(), "saturated");
     }
 
-    proptest! {
-        #[test]
-        fn prop_bisection_converges_to_threshold(threshold in 0.1f64..3.9) {
+    #[test]
+    fn multi_fan1_matches_bisection_exactly() {
+        let mut rng = SimRng::seed_from(7);
+        for _case in 0..32 {
+            let threshold = 0.1 + 3.8 * rng.index(1_000_000) as f64 / 1_000_000.0;
+            let classic = find_saturation(0.0, 4.0, 0.01, step_network(threshold));
+            let multi = find_saturation_multi(0.0, 4.0, 0.01, 1, 1, |rate| {
+                if rate <= threshold {
+                    StabilityVerdict::Stable
+                } else {
+                    StabilityVerdict::Saturated
+                }
+            });
+            assert_eq!(classic.to_bits(), multi.to_bits(), "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn multi_jobs_do_not_change_the_answer() {
+        for fan in [1usize, 2, 3, 5] {
+            let probe = |rate: f64| {
+                if rate <= 1.37 {
+                    StabilityVerdict::Stable
+                } else {
+                    StabilityVerdict::Saturated
+                }
+            };
+            let serial = find_saturation_multi(0.0, 4.0, 0.005, fan, 1, probe);
+            let parallel = find_saturation_multi(0.0, 4.0, 0.005, fan, 8, probe);
+            assert_eq!(serial.to_bits(), parallel.to_bits(), "fan {fan}");
+            assert!((serial - 1.37).abs() <= 0.006, "fan {fan} found {serial}");
+        }
+    }
+
+    #[test]
+    fn multi_edge_cases_match_classic() {
+        let low = |_: f64| StabilityVerdict::Saturated;
+        assert_eq!(find_saturation_multi(0.5, 2.0, 0.01, 3, 2, low), 0.5);
+        let high = |_: f64| StabilityVerdict::Stable;
+        assert_eq!(find_saturation_multi(0.5, 2.0, 0.01, 3, 2, high), 2.0);
+    }
+
+    #[test]
+    fn bisection_converges_to_threshold() {
+        let mut rng = SimRng::seed_from(42);
+        for _case in 0..64 {
+            let threshold = 0.1 + 3.8 * rng.index(1_000_000) as f64 / 1_000_000.0;
             let sat = find_saturation(0.0, 4.0, 0.01, step_network(threshold));
-            prop_assert!((sat - threshold).abs() <= 0.011, "found {sat} for {threshold}");
+            assert!(
+                (sat - threshold).abs() <= 0.011,
+                "found {sat} for {threshold}"
+            );
         }
     }
 }

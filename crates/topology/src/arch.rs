@@ -403,10 +403,7 @@ impl NodePlan {
         if self.serializes_multicast {
             asynoc_packet::coding::baseline_address_bits(self.size.n())
         } else {
-            asynoc_packet::coding::network_address_bits(
-                self.size.n(),
-                &self.speculative_levels(),
-            )
+            asynoc_packet::coding::network_address_bits(self.size.n(), &self.speculative_levels())
         }
     }
 }
@@ -469,7 +466,10 @@ mod tests {
 
     #[test]
     fn hybrid_map_matches_fig3b_and_fig3d() {
-        assert_eq!(SpeculationMap::hybrid(size(8)).flags(), &[true, false, false]);
+        assert_eq!(
+            SpeculationMap::hybrid(size(8)).flags(),
+            &[true, false, false]
+        );
         assert_eq!(
             SpeculationMap::hybrid(size(16)).flags(),
             &[true, false, true, false]
@@ -599,7 +599,11 @@ mod tests {
         for arch in Architecture::ALL {
             let plan = NodePlan::for_architecture(arch, s);
             for level in 0..3 {
-                assert_eq!(plan.kind(level), arch.fanout_kind(s, level), "{arch} level {level}");
+                assert_eq!(
+                    plan.kind(level),
+                    arch.fanout_kind(s, level),
+                    "{arch} level {level}"
+                );
             }
             assert_eq!(plan.serializes_multicast(), arch.serializes_multicast());
             assert_eq!(plan.address_bits(), arch.address_bits(s), "{arch}");
@@ -655,7 +659,10 @@ mod tests {
 
     #[test]
     fn display_names_match_paper() {
-        assert_eq!(Architecture::OptHybridSpeculative.to_string(), "OptHybridSpeculative");
+        assert_eq!(
+            Architecture::OptHybridSpeculative.to_string(),
+            "OptHybridSpeculative"
+        );
         assert_eq!(FanoutKind::OptSpeculative.to_string(), "opt-speculative");
     }
 }

@@ -54,7 +54,10 @@ impl fmt::Display for TopologyError {
                 "speculation map has {provided} levels but the tree has {required}"
             ),
             TopologyError::DestinationOutOfRange { dest, size } => {
-                write!(f, "destination {dest} out of range for {size}x{size} network")
+                write!(
+                    f,
+                    "destination {dest} out of range for {size}x{size} network"
+                )
             }
             TopologyError::SourceOutOfRange { source, size } => {
                 write!(f, "source {source} out of range for {size}x{size} network")

@@ -330,7 +330,6 @@ impl fmt::Display for FaninNodeId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn size8() -> MotSize {
         MotSize::new(8).unwrap()
@@ -367,11 +366,25 @@ mod tests {
         let FanoutChild::Node(mid) = root.child(size, OutputPort::Bottom) else {
             panic!("root child should be a node");
         };
-        assert_eq!(mid, FanoutNodeId { tree: 5, level: 1, index: 1 });
+        assert_eq!(
+            mid,
+            FanoutNodeId {
+                tree: 5,
+                level: 1,
+                index: 1
+            }
+        );
         let FanoutChild::Node(leaf) = mid.child(size, OutputPort::Top) else {
             panic!("mid child should be a node");
         };
-        assert_eq!(leaf, FanoutNodeId { tree: 5, level: 2, index: 2 });
+        assert_eq!(
+            leaf,
+            FanoutNodeId {
+                tree: 5,
+                level: 2,
+                index: 2
+            }
+        );
         assert!(leaf.is_leaf_level(size));
         assert_eq!(
             leaf.child(size, OutputPort::Bottom),
@@ -409,10 +422,24 @@ mod tests {
     fn fanin_leaf_for_source_pairs_adjacent_sources() {
         let size = size8();
         let (node, input) = FaninNodeId::leaf_for_source(size, 3, 6);
-        assert_eq!(node, FaninNodeId { tree: 3, level: 2, index: 3 });
+        assert_eq!(
+            node,
+            FaninNodeId {
+                tree: 3,
+                level: 2,
+                index: 3
+            }
+        );
         assert_eq!(input, 0);
         let (node, input) = FaninNodeId::leaf_for_source(size, 3, 7);
-        assert_eq!(node, FaninNodeId { tree: 3, level: 2, index: 3 });
+        assert_eq!(
+            node,
+            FaninNodeId {
+                tree: 3,
+                level: 2,
+                index: 3
+            }
+        );
         assert_eq!(input, 1);
     }
 
@@ -480,37 +507,51 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(
-            FanoutNodeId { tree: 2, level: 1, index: 0 }.to_string(),
+            FanoutNodeId {
+                tree: 2,
+                level: 1,
+                index: 0
+            }
+            .to_string(),
             "fo[s2:1.0]"
         );
         assert_eq!(
-            FaninNodeId { tree: 4, level: 2, index: 3 }.to_string(),
+            FaninNodeId {
+                tree: 4,
+                level: 2,
+                index: 3
+            }
+            .to_string(),
             "fi[d4:2.3]"
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_flat_roundtrip_all_sizes(levels in 1u32..7, seed: u64) {
+    #[test]
+    fn flat_roundtrip_all_sizes() {
+        for levels in 1u32..7 {
             let size = MotSize::new(1usize << levels).unwrap();
-            let flat = (seed as usize) % size.total_fanout_nodes();
-            let id = FanoutNodeId::from_flat_index(size, flat);
-            prop_assert_eq!(id.flat_index(size), flat);
-            let fid = FaninNodeId::from_flat_index(size, flat);
-            prop_assert_eq!(fid.flat_index(size), flat);
+            for flat in 0..size.total_fanout_nodes() {
+                let id = FanoutNodeId::from_flat_index(size, flat);
+                assert_eq!(id.flat_index(size), flat);
+                let fid = FaninNodeId::from_flat_index(size, flat);
+                assert_eq!(fid.flat_index(size), flat);
+            }
         }
+    }
 
-        #[test]
-        fn prop_port_spans_partition_dest_span(levels in 1u32..7, seed: u64) {
+    #[test]
+    fn port_spans_partition_dest_span() {
+        for levels in 1u32..7 {
             let size = MotSize::new(1usize << levels).unwrap();
-            let flat = (seed as usize) % size.total_fanout_nodes();
-            let id = FanoutNodeId::from_flat_index(size, flat);
-            let (low, high) = id.dest_span(size);
-            let (tlow, thigh) = id.port_span(size, OutputPort::Top);
-            let (blow, bhigh) = id.port_span(size, OutputPort::Bottom);
-            prop_assert_eq!(tlow, low);
-            prop_assert_eq!(thigh, blow);
-            prop_assert_eq!(bhigh, high);
+            for flat in 0..size.total_fanout_nodes() {
+                let id = FanoutNodeId::from_flat_index(size, flat);
+                let (low, high) = id.dest_span(size);
+                let (tlow, thigh) = id.port_span(size, OutputPort::Top);
+                let (blow, bhigh) = id.port_span(size, OutputPort::Bottom);
+                assert_eq!(tlow, low);
+                assert_eq!(thigh, blow);
+                assert_eq!(bhigh, high);
+            }
         }
     }
 }

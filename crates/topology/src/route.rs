@@ -132,7 +132,6 @@ pub fn delivered_destinations(size: MotSize, source: usize, header: &RouteHeader
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn size8() -> MotSize {
         MotSize::new(8).unwrap()
@@ -202,34 +201,52 @@ mod tests {
         assert_eq!(delivered_destinations(size8(), 2, &header), dests);
     }
 
-    proptest! {
-        #[test]
-        fn prop_encoder_replay_roundtrip(
-            levels in 1u32..7,
-            source_seed: u64,
-            bits: u64,
-        ) {
-            let size = MotSize::new(1usize << levels).unwrap();
-            let source = (source_seed as usize) % size.n();
-            let dests = DestSet::from_bits(bits).restricted_to(0, size.n());
-            prop_assume!(!dests.is_empty());
-            let header = multicast_route(size, source, dests).unwrap();
-            prop_assert_eq!(delivered_destinations(size, source, &header), dests);
-        }
+    fn next_rand(state: &mut u64) -> u64 {
+        // SplitMix64: deterministic case generation without external crates.
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 
-        #[test]
-        fn prop_active_nodes_bounded_by_multicast_tree(
-            bits: u64,
-        ) {
+    #[test]
+    fn encoder_replay_roundtrip() {
+        let mut state = 0xDEAD_BEEFu64;
+        for levels in 1u32..7 {
+            let size = MotSize::new(1usize << levels).unwrap();
+            for _case in 0..32 {
+                let source = next_rand(&mut state) as usize % size.n();
+                let dests = DestSet::from_bits(next_rand(&mut state)).restricted_to(0, size.n());
+                if dests.is_empty() {
+                    continue;
+                }
+                let header = multicast_route(size, source, dests).unwrap();
+                assert_eq!(delivered_destinations(size, source, &header), dests);
+            }
+        }
+    }
+
+    #[test]
+    fn active_nodes_bounded_by_multicast_tree() {
+        let mut state = 0xCAFEu64;
+        for case in 0..256 {
+            let bits = if case == 0 {
+                u64::MAX
+            } else {
+                next_rand(&mut state)
+            };
             let size = size8();
             let dests = DestSet::from_bits(bits).restricted_to(0, 8);
-            prop_assume!(!dests.is_empty());
+            if dests.is_empty() {
+                continue;
+            }
             let header = multicast_route(size, 0, dests).unwrap();
             // The multicast tree has at most min(k·levels, n−1) nodes and at
             // least `levels` (one per level).
             let k = dests.len();
-            prop_assert!(header.active_nodes() >= size.levels() as usize);
-            prop_assert!(header.active_nodes() <= (k * size.levels() as usize).min(7));
+            assert!(header.active_nodes() >= size.levels() as usize);
+            assert!(header.active_nodes() <= (k * size.levels() as usize).min(7));
         }
     }
 }

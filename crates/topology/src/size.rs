@@ -111,10 +111,7 @@ impl MotSize {
         if dest < self.n {
             Ok(())
         } else {
-            Err(TopologyError::DestinationOutOfRange {
-                dest,
-                size: self.n,
-            })
+            Err(TopologyError::DestinationOutOfRange { dest, size: self.n })
         }
     }
 }

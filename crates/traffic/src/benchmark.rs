@@ -323,15 +323,13 @@ mod tests {
         let mut r = rng();
         let trials = 50_000;
         let multicasts = (0..trials)
-            .filter(|_| {
-                Benchmark::Multicast5
-                    .sample_dests(&mut r, 8, 0)
-                    .len()
-                    > 1
-            })
+            .filter(|_| Benchmark::Multicast5.sample_dests(&mut r, 8, 0).len() > 1)
             .count();
         let frac = multicasts as f64 / trials as f64;
-        assert!((frac - 0.05).abs() < 0.01, "observed multicast fraction {frac}");
+        assert!(
+            (frac - 0.05).abs() < 0.01,
+            "observed multicast fraction {frac}"
+        );
     }
 
     #[test]
@@ -339,15 +337,13 @@ mod tests {
         let mut r = rng();
         let trials = 50_000;
         let multicasts = (0..trials)
-            .filter(|_| {
-                Benchmark::Multicast10
-                    .sample_dests(&mut r, 8, 0)
-                    .len()
-                    > 1
-            })
+            .filter(|_| Benchmark::Multicast10.sample_dests(&mut r, 8, 0).len() > 1)
             .count();
         let frac = multicasts as f64 / trials as f64;
-        assert!((frac - 0.10).abs() < 0.01, "observed multicast fraction {frac}");
+        assert!(
+            (frac - 0.10).abs() < 0.01,
+            "observed multicast fraction {frac}"
+        );
     }
 
     #[test]
@@ -448,7 +444,10 @@ mod tests {
             "Multicast_static".parse::<Benchmark>(),
             Ok(Benchmark::MulticastStatic)
         );
-        assert_eq!("uniformrandom".parse::<Benchmark>(), Ok(Benchmark::UniformRandom));
+        assert_eq!(
+            "uniformrandom".parse::<Benchmark>(),
+            Ok(Benchmark::UniformRandom)
+        );
         assert!("warp9".parse::<Benchmark>().is_err());
     }
 

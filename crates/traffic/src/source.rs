@@ -36,7 +36,10 @@ impl fmt::Display for TrafficError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TrafficError::InvalidRate { rate } => {
-                write!(f, "injection rate {rate} flits/ns is not positive and finite")
+                write!(
+                    f,
+                    "injection rate {rate} flits/ns is not positive and finite"
+                )
             }
             TrafficError::SourceOutOfRange { source, size } => {
                 write!(f, "source {source} out of range for {size}x{size} network")
@@ -151,7 +154,8 @@ impl SourceTraffic {
 
     /// Samples the destination set of the next packet.
     pub fn next_dests(&mut self) -> DestSet {
-        self.benchmark.sample_dests(&mut self.rng, self.n, self.source)
+        self.benchmark
+            .sample_dests(&mut self.rng, self.n, self.source)
     }
 }
 

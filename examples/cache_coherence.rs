@@ -34,9 +34,7 @@ fn main() -> Result<(), SimError> {
         Architecture::BasicNonSpeculative,
         Architecture::OptHybridSpeculative,
     ] {
-        let network = Network::new(
-            NetworkConfig::eight_by_eight(architecture).with_seed(2024),
-        )?;
+        let network = Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(2024))?;
         let run = RunConfig::new(Benchmark::MulticastStatic, 0.35)?;
         let mut report = network.run(&run)?;
         println!(

@@ -50,11 +50,7 @@ fn main() -> Result<(), SimError> {
             "{:<18} {:>10} {:>14} {:>14} {:>14.2}",
             label,
             map.address_bits(),
-            report
-                .latency
-                .mean()
-                .expect("packets measured")
-                .to_string(),
+            report.latency.mean().expect("packets measured").to_string(),
             report.flits_throttled,
             network.leakage_mw(),
         );

@@ -24,7 +24,10 @@ fn main() -> std::io::Result<()> {
     let period = sim
         .last_period_of(pipeline.last_req())
         .expect("pipeline free-runs");
-    println!("MOUSETRAP pipeline (3 stages, {}-ps latches):", delays.latch.as_ps());
+    println!(
+        "MOUSETRAP pipeline (3 stages, {}-ps latches):",
+        delays.latch.as_ps()
+    );
     println!("  forward latency : {}", pipeline.forward_latency());
     println!("  cycle time      : {period}");
     println!("  tokens in 50 ns : {tokens}");
@@ -72,7 +75,10 @@ fn main() -> std::io::Result<()> {
     let dump = vcd::render(fork.netlist(), &sim, "speculative_fork");
     std::fs::create_dir_all("results")?;
     std::fs::write("results/speculative_fork.vcd", &dump)?;
-    println!("VCD waveform written to results/speculative_fork.vcd ({} bytes)", dump.len());
+    println!(
+        "VCD waveform written to results/speculative_fork.vcd ({} bytes)",
+        dump.len()
+    );
     println!();
 
     // ------------------------------------------------------------------

@@ -23,7 +23,10 @@ fn analyze(network: &Network, benchmark: Benchmark, rate: f64) -> Result<(), Sim
     let total: u64 = per_tree.iter().sum();
     print!("  fanin load by destination tree:");
     for (dest, fires) in per_tree.iter().enumerate() {
-        print!(" D{dest}:{:.0}%", 100.0 * *fires as f64 / total.max(1) as f64);
+        print!(
+            " D{dest}:{:.0}%",
+            100.0 * *fires as f64 / total.max(1) as f64
+        );
     }
     println!();
 
@@ -34,10 +37,16 @@ fn analyze(network: &Network, benchmark: Benchmark, rate: f64) -> Result<(), Sim
     );
 
     if let Some((node, utilization)) = report.activity.busiest_fanin() {
-        println!("  busiest fanin node: {node} at {:.0}% utilization", 100.0 * utilization);
+        println!(
+            "  busiest fanin node: {node} at {:.0}% utilization",
+            100.0 * utilization
+        );
     }
     if let Some((node, utilization)) = report.activity.busiest_fanout() {
-        println!("  busiest fanout node: {node} at {:.0}% utilization", 100.0 * utilization);
+        println!(
+            "  busiest fanout node: {node} at {:.0}% utilization",
+            100.0 * utilization
+        );
     }
     println!();
     Ok(())

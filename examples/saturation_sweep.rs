@@ -31,8 +31,7 @@ fn main() -> Result<(), SimError> {
     for &load in &loads {
         print!("{load:<8.1}");
         for architecture in architectures {
-            let network =
-                Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(11))?;
+            let network = Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(11))?;
             let run = RunConfig::new(Benchmark::UniformRandom, load)?
                 .with_phases(Phases::new(Duration::from_ns(200), Duration::from_ns(1500)));
             let report = network.run(&run)?;

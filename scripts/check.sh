@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must be green before a commit lands.
+#
+#   scripts/check.sh            run the full gate
+#   scripts/check.sh --fast     skip the release build (debug test cycle)
+#
+# The gate is a superset of ROADMAP.md's tier-1 verify
+# (`cargo build --release && cargo test -q`), adding the lint and
+# formatting checks this repository holds itself to.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+    fast=1
+fi
+
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "OK: all tier-1 checks passed"

@@ -2,7 +2,9 @@
 //! gate-level circuits, the MoT network simulator, and the mesh comparison
 //! fabric — must tell one coherent story.
 
-use asynoc::{Architecture, Benchmark, Duration, MotSize, Network, NetworkConfig, Phases, RunConfig};
+use asynoc::{
+    Architecture, Benchmark, Duration, MotSize, Network, NetworkConfig, Phases, RunConfig,
+};
 use asynoc_gates::mousetrap::{SpeculativeFork, StageDelays};
 use asynoc_gates::{vcd, GateSim};
 use asynoc_kernel::Time;
@@ -19,15 +21,15 @@ fn mot_beats_mesh_at_equal_endpoint_count() {
         .with_seed(9),
     )
     .expect("valid config");
-    let mesh = MeshNetwork::new(
-        MeshConfig::new(MeshSize::new(8, 8).expect("valid")).with_seed(9),
-    )
-    .expect("valid config");
+    let mesh = MeshNetwork::new(MeshConfig::new(MeshSize::new(8, 8).expect("valid")).with_seed(9))
+        .expect("valid config");
 
     let mot_report = mot
-        .run(&RunConfig::new(Benchmark::UniformRandom, 0.1)
-            .expect("positive rate")
-            .with_phases(phases))
+        .run(
+            &RunConfig::new(Benchmark::UniformRandom, 0.1)
+                .expect("positive rate")
+                .with_phases(phases),
+        )
         .expect("MoT run succeeds");
     let mesh_report = mesh
         .run(Benchmark::UniformRandom, 0.1, phases)
@@ -55,15 +57,15 @@ fn mesh_multicast_collapse_vs_mot() {
         .with_seed(9),
     )
     .expect("valid config");
-    let mesh = MeshNetwork::new(
-        MeshConfig::new(MeshSize::new(8, 8).expect("valid")).with_seed(9),
-    )
-    .expect("valid config");
+    let mesh = MeshNetwork::new(MeshConfig::new(MeshSize::new(8, 8).expect("valid")).with_seed(9))
+        .expect("valid config");
 
     let mot_report = mot
-        .run(&RunConfig::new(Benchmark::Multicast10, 0.2)
-            .expect("positive rate")
-            .with_phases(phases))
+        .run(
+            &RunConfig::new(Benchmark::Multicast10, 0.2)
+                .expect("positive rate")
+                .with_phases(phases),
+        )
         .expect("MoT run succeeds");
     let mesh_report = mesh
         .run(Benchmark::Multicast10, 0.2, phases)
@@ -94,7 +96,10 @@ fn gate_level_fork_justifies_the_speculative_latency_gap() {
     sim.run_until_quiet();
     let broadcast_at = sim.transitions_of(fork.branch_req(0))[0];
     let forward = broadcast_at - Time::from_ps(1_000);
-    assert_eq!(forward, delays.latch, "speculative forward path = one latch");
+    assert_eq!(
+        forward, delays.latch,
+        "speculative forward path = one latch"
+    );
     // The paper's non-speculative node (299 ps) is ~6x the speculative one
     // (52 ps); our gate model's latch (40 ps) is consistent in magnitude.
     assert!(forward.as_ps() * 4 < 299);
@@ -114,7 +119,10 @@ fn vcd_export_of_a_fork_run_is_well_formed() {
     assert!(dump.contains("#100"), "the stimulus timestamp appears");
     // Every change line is 0/1 followed by an identifier.
     let body = dump.split("$end").last().expect("body exists");
-    for line in body.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
         assert!(
             line.starts_with('0') || line.starts_with('1'),
             "malformed change line {line:?}"

@@ -32,11 +32,62 @@ fn same_seed_is_bit_identical() {
     }
 }
 
+/// Everything a `RunReport` measures, except the wall-clock diagnostic
+/// (which legitimately varies between executions).
+fn fingerprint(seed: u64, benchmark: Benchmark, rate: f64) -> impl PartialEq + std::fmt::Debug {
+    let network = Network::new(
+        NetworkConfig::eight_by_eight(Architecture::OptHybridSpeculative).with_seed(seed),
+    )
+    .expect("valid config");
+    let run = RunConfig::new(benchmark, rate)
+        .expect("positive rate")
+        .with_phases(Phases::new(Duration::from_ns(100), Duration::from_ns(800)));
+    let report = network.run(&run).expect("run succeeds");
+    (
+        report.latency.mean(),
+        report.latency.min(),
+        report.latency.max(),
+        report.latency.count(),
+        report.throughput,
+        report.packets_measured,
+        report.packets_incomplete,
+        report.flits_delivered,
+        report.flits_throttled,
+        report.power.total_mw().to_bits(),
+        report.events_processed,
+    )
+}
+
+/// The multi-core runner regression test: fanning runs across worker
+/// threads must reproduce the serial results bit for bit (excluding wall).
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    let runs: Vec<(u64, Benchmark, f64)> = vec![
+        (1, Benchmark::UniformRandom, 0.3),
+        (2, Benchmark::Multicast10, 0.25),
+        (3, Benchmark::Hotspot, 0.2),
+        (4, Benchmark::Shuffle, 0.4),
+        (5, Benchmark::Multicast5, 0.35),
+        (6, Benchmark::MulticastStatic, 0.2),
+    ];
+    let job = |(seed, benchmark, rate): (u64, Benchmark, f64)| fingerprint(seed, benchmark, rate);
+    let serial = asynoc::parallel_map(1, runs.clone(), job);
+    let parallel = asynoc::parallel_map(4, runs, job);
+    assert_eq!(
+        serial, parallel,
+        "worker threads changed simulation results"
+    );
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = run_once(1, Benchmark::UniformRandom, 0.35);
     let b = run_once(2, Benchmark::UniformRandom, 0.35);
-    assert_ne!((a.0, a.1), (b.0, b.1), "different seeds gave identical runs");
+    assert_ne!(
+        (a.0, a.1),
+        (b.0, b.1),
+        "different seeds gave identical runs"
+    );
 }
 
 #[test]
@@ -48,8 +99,12 @@ fn different_benchmarks_differ() {
 
 #[test]
 fn rates_order_latency() {
-    let light = run_once(7, Benchmark::UniformRandom, 0.1).0.expect("samples");
-    let heavy = run_once(7, Benchmark::UniformRandom, 0.9).0.expect("samples");
+    let light = run_once(7, Benchmark::UniformRandom, 0.1)
+        .0
+        .expect("samples");
+    let heavy = run_once(7, Benchmark::UniformRandom, 0.9)
+        .0
+        .expect("samples");
     assert!(
         heavy > light,
         "latency must grow with load: {light} vs {heavy}"

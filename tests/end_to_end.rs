@@ -60,7 +60,10 @@ fn multicast_completion_means_every_destination_got_the_header() {
             .expect("positive rate")
             .with_phases(short());
         let report = net.run(&run).expect("run succeeds");
-        assert_eq!(report.packets_incomplete, 0, "{arch}: multicast lost a branch");
+        assert_eq!(
+            report.packets_incomplete, 0,
+            "{arch}: multicast lost a branch"
+        );
         assert!(report.packets_measured > 50, "{arch}: too few packets");
     }
 }
@@ -79,7 +82,10 @@ fn sixteen_by_sixteen_networks_work() {
             .expect("positive rate")
             .with_phases(short());
         let report = net.run(&run).expect("16x16 run succeeds");
-        assert!(report.packets_measured > 0, "{arch}: 16x16 produced nothing");
+        assert!(
+            report.packets_measured > 0,
+            "{arch}: 16x16 produced nothing"
+        );
         assert_eq!(report.packets_incomplete, 0, "{arch}: 16x16 lost packets");
     }
 }

@@ -94,8 +94,8 @@ fn golden_model_holds_for_16x16() {
     let size = asynoc::MotSize::new(16).expect("valid size");
     let architecture = Architecture::OptHybridSpeculative;
     let golden = golden_header_latency(architecture, size);
-    let network = Network::new(NetworkConfig::new(size, architecture).with_seed(17))
-        .expect("valid config");
+    let network =
+        Network::new(NetworkConfig::new(size, architecture).with_seed(17)).expect("valid config");
     let run = RunConfig::new(Benchmark::Shuffle, 0.02)
         .expect("positive rate")
         .with_phases(Phases::new(Duration::from_ns(50), Duration::from_ns(4000)));

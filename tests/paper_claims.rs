@@ -4,9 +4,7 @@
 //! so thresholds are looser than the paper's exact percentages — the point
 //! is that every claimed *ordering* holds and stays held.
 
-use asynoc::harness::{
-    addressing_rows, latency_at_fraction, node_cost_rows, saturation, Quality,
-};
+use asynoc::harness::{addressing_rows, latency_at_fraction, node_cost_rows, saturation, Quality};
 use asynoc::{Architecture, Benchmark};
 
 fn mean_latency(arch: Architecture, benchmark: Benchmark) -> f64 {
