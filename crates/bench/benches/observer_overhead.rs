@@ -1,0 +1,62 @@
+//! The observer-overhead guard: a run with no observers must cost the
+//! same as before the telemetry stack existed, and the full stack's cost
+//! must be visible (and modest) next to it.
+//!
+//! Three cases over an identical 8x8 hybrid-speculative run:
+//!
+//! - `no_observers` — `run()`, the zero-observer fast path
+//! - `noop_observer` — one registered observer that does nothing, pricing
+//!   the dispatch alone
+//! - `full_telemetry` — latency histograms + time-series + waste ledger
+//!
+//! `--smoke` shrinks the window and sample count for CI; the check script
+//! runs it on every pass so a regression in the zero-observer path is
+//! caught immediately.
+
+use asynoc::{
+    Architecture, Benchmark, Duration, MotNode, Network, NetworkConfig, Observer, Phases,
+    RunConfig, SimEvent, Time,
+};
+use asynoc_bench::timing::Harness;
+use asynoc_telemetry::{LatencyHistograms, SpeculationWaste, TimeSeries};
+
+struct Noop;
+
+impl Observer<MotNode> for Noop {
+    fn on_event(&mut self, _at: Time, _in_window: bool, _event: &SimEvent<'_, MotNode>) {}
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let (samples, measure_ns) = if smoke { (3, 200) } else { (20, 800) };
+    let harness = Harness::new(samples);
+
+    let network = Network::new(
+        NetworkConfig::eight_by_eight(Architecture::BasicHybridSpeculative).with_seed(3),
+    )
+    .expect("valid config");
+    let phases = Phases::new(Duration::from_ns(40), Duration::from_ns(measure_ns));
+    let run = RunConfig::new(Benchmark::Multicast10, 0.3)
+        .expect("positive rate")
+        .with_phases(phases);
+    let timing = network.config().timing();
+    let (wire_fj, drop_fj) = (timing.wire_fj, timing.drop_fj);
+
+    let group = harness.group(&format!("observer_overhead_{measure_ns}ns"));
+    group.bench("no_observers", || network.run(&run).expect("run succeeds"));
+    group.bench("noop_observer", || {
+        let mut noop = Noop;
+        network
+            .run_with_observers(&run, &mut [&mut noop])
+            .expect("run succeeds")
+    });
+    group.bench("full_telemetry", || {
+        let mut latency = LatencyHistograms::new(phases, 8);
+        let mut timeseries: TimeSeries<MotNode> =
+            TimeSeries::single_level(Duration::from_ns(100), "nodes", 120);
+        let mut waste: SpeculationWaste<MotNode> = SpeculationWaste::generic(wire_fj, drop_fj);
+        network
+            .run_with_observers(&run, &mut [&mut latency, &mut timeseries, &mut waste])
+            .expect("run succeeds")
+    });
+}

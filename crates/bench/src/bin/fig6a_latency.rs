@@ -22,6 +22,19 @@ fn print_latency_grid(cells: &[LatencyCell], architectures: &[Architecture]) {
         }
         println!();
     }
+    println!();
+    print_benchmark_header("Scheme p99 (ns)", &Benchmark::ALL);
+    for &arch in architectures {
+        print!("{}", arch_label(arch));
+        for benchmark in Benchmark::ALL {
+            let cell = cells
+                .iter()
+                .find(|c| c.architecture == arch && c.benchmark == benchmark)
+                .expect("every cell computed");
+            print!(" {:>16.2}", cell.p99_latency_ps as f64 / 1_000.0);
+        }
+        println!();
+    }
 }
 
 fn main() {

@@ -1,0 +1,24 @@
+//! Prints the *schema skeleton* of the `asynoc metrics` JSON report —
+//! every key with its value replaced by a type name, arrays reduced to
+//! their first element's shape. The check script diffs this against
+//! `results/metrics_schema.golden.json`, so any report-format change has
+//! to be made deliberately (regenerate with
+//! `cargo run -p asynoc-bench --bin metrics_schema > results/metrics_schema.golden.json`).
+
+use asynoc_cli::{execute, parse};
+use asynoc_telemetry::JsonValue;
+
+fn main() {
+    // Short windows keep this fast; the benchmark/architecture pair is
+    // chosen so every report section is populated (the hybrid network
+    // throttles redundant copies, filling the waste ledger).
+    let line = "metrics --arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 \
+                --warmup-ns 40 --measure-ns 400";
+    let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let command = parse(&args).expect("valid invocation");
+    let mut out = Vec::new();
+    execute(&command, &mut out).expect("metrics run succeeds");
+    let report =
+        JsonValue::parse(&String::from_utf8(out).expect("utf8")).expect("valid JSON report");
+    print!("{}", report.schema().render_pretty());
+}

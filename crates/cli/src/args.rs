@@ -15,6 +15,9 @@ USAGE:
   asynoc saturate --arch <A> --benchmark <B> [--quick] [--probe-fan <K>] [common options]
   asynoc sweep    --arch <A> --benchmark <B> --from <R0> --to <R1> --steps <K> [common options]
   asynoc mesh     --benchmark <B> --rate <flits/ns> [--cols <C>] [--rows <R>] [common options]
+  asynoc metrics  --benchmark <B> --rate <flits/ns> [--arch <A>] [--substrate mot|mesh]
+                  [--metrics-out <path>] [--trace-format ndjson|chrome] [--trace-out <path>]
+                  [--trace-limit <K>] [--bin-ns <W>] [common options]
   asynoc info     [--arch <A>] [--size <N>]
   asynoc help
 
@@ -32,6 +35,11 @@ COMMON OPTIONS:
             plus mean ± sample std dev.
   saturate: --probe-fan <K> probes K rates per search round (k-section;
             deterministic, but K changes which rates are probed)
+  metrics:  one instrumented run emitting a JSON report (latency
+            percentiles, time-series, speculation-waste ledger, power).
+            --arch is required on the mot substrate; --trace-out exports
+            the flit trace (ndjson default, chrome is Perfetto-loadable);
+            --bin-ns sets the time-series bin width (default 100)
 
 ARCHITECTURES:
   Baseline, BasicNonSpeculative, BasicHybridSpeculative,
@@ -99,6 +107,30 @@ pub enum Command {
         /// Shared options (size is ignored; cols x rows defines the mesh).
         common: CommonOptions,
     },
+    /// One instrumented run emitting the JSON metrics report.
+    Metrics {
+        /// Network architecture (required for the MoT substrate, unused
+        /// by the mesh).
+        arch: Option<Architecture>,
+        /// Traffic benchmark.
+        benchmark: Benchmark,
+        /// Offered load, flits/ns per source.
+        rate: f64,
+        /// Which fabric to instrument.
+        substrate: Substrate,
+        /// Time-series bin width, ns.
+        bin_ns: u64,
+        /// Write the JSON report here instead of stdout.
+        metrics_out: Option<String>,
+        /// Trace export format (implies tracing; requires `trace_out`).
+        trace_format: Option<TraceFormat>,
+        /// Trace output path.
+        trace_out: Option<String>,
+        /// Maximum trace events recorded.
+        trace_limit: usize,
+        /// Shared options.
+        common: CommonOptions,
+    },
     /// Static information: node table, address bits, area/leakage.
     Info {
         /// Architecture to describe (default: all).
@@ -108,6 +140,50 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// Which simulator fabric `asynoc metrics` instruments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Substrate {
+    /// The paper's Mesh-of-Trees network.
+    Mot,
+    /// The 2D-mesh comparison fabric.
+    Mesh,
+}
+
+impl std::str::FromStr for Substrate {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mot" => Ok(Substrate::Mot),
+            "mesh" => Ok(Substrate::Mesh),
+            other => Err(format!("unknown substrate {other:?} (use mot or mesh)")),
+        }
+    }
+}
+
+/// Trace export formats for `asynoc metrics --trace-out`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line, round-trippable by `asynoc-telemetry`.
+    Ndjson,
+    /// Chrome trace-event JSON, loadable in ui.perfetto.dev.
+    Chrome,
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ndjson" => Ok(TraceFormat::Ndjson),
+            "chrome" => Ok(TraceFormat::Chrome),
+            other => Err(format!(
+                "unknown trace format {other:?} (use ndjson or chrome)"
+            )),
+        }
+    }
 }
 
 /// Options shared by the simulation commands.
@@ -257,6 +333,12 @@ fn with_common(extra: &[&str]) -> Vec<&'static str> {
             "steps" => "steps",
             "seeds" => "seeds",
             "probe-fan" => "probe-fan",
+            "substrate" => "substrate",
+            "metrics-out" => "metrics-out",
+            "trace-format" => "trace-format",
+            "trace-out" => "trace-out",
+            "trace-limit" => "trace-limit",
+            "bin-ns" => "bin-ns",
             other => unreachable!("unknown static key {other}"),
         });
     }
@@ -357,6 +439,73 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                     .map(|raw| parse_value("rows", raw))
                     .transpose()?
                     .unwrap_or(4),
+                common: common_options(&flags)?,
+            })
+        }
+        "metrics" => {
+            let flags = collect_flags(
+                rest,
+                &with_common(&[
+                    "arch",
+                    "benchmark",
+                    "rate",
+                    "substrate",
+                    "metrics-out",
+                    "trace-format",
+                    "trace-out",
+                    "trace-limit",
+                    "bin-ns",
+                ]),
+            )?;
+            let substrate: Substrate = flags
+                .get("substrate")
+                .map(|raw| parse_value("substrate", raw))
+                .transpose()?
+                .unwrap_or(Substrate::Mot);
+            let arch = flags
+                .get("arch")
+                .map(|raw| parse_value::<Architecture>("arch", raw))
+                .transpose()?;
+            if substrate == Substrate::Mot && arch.is_none() {
+                return Err(ParseCliError::new(
+                    "missing required option --arch (the mot substrate needs one)",
+                ));
+            }
+            let explicit_format: Option<TraceFormat> = flags
+                .get("trace-format")
+                .map(|raw| parse_value("trace-format", raw))
+                .transpose()?;
+            let trace_out = flags.get("trace-out").cloned();
+            if explicit_format.is_some() && trace_out.is_none() {
+                return Err(ParseCliError::new(
+                    "--trace-format requires --trace-out <path>",
+                ));
+            }
+            // --trace-out alone implies the round-trippable default.
+            let trace_format = explicit_format.or(trace_out.as_ref().map(|_| TraceFormat::Ndjson));
+            let bin_ns: u64 = flags
+                .get("bin-ns")
+                .map(|raw| parse_value("bin-ns", raw))
+                .transpose()?
+                .unwrap_or(100);
+            if bin_ns == 0 {
+                return Err(ParseCliError::new("--bin-ns must be at least 1"));
+            }
+            let trace_limit: usize = flags
+                .get("trace-limit")
+                .map(|raw| parse_value("trace-limit", raw))
+                .transpose()?
+                .unwrap_or(100_000);
+            Ok(Command::Metrics {
+                arch,
+                benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
+                rate: parse_value("rate", required(&flags, "rate")?)?,
+                substrate,
+                bin_ns,
+                metrics_out: flags.get("metrics-out").cloned(),
+                trace_format,
+                trace_out,
+                trace_limit,
                 common: common_options(&flags)?,
             })
         }
@@ -568,6 +717,112 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn metrics_defaults_and_overrides() {
+        let cmd = parse(&argv(
+            "metrics --arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3",
+        ))
+        .expect("valid invocation");
+        assert_eq!(
+            cmd,
+            Command::Metrics {
+                arch: Some(Architecture::BasicHybridSpeculative),
+                benchmark: Benchmark::Multicast10,
+                rate: 0.3,
+                substrate: Substrate::Mot,
+                bin_ns: 100,
+                metrics_out: None,
+                trace_format: None,
+                trace_out: None,
+                trace_limit: 100_000,
+                common: CommonOptions::default(),
+            }
+        );
+        let cmd = parse(&argv(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 --bin-ns 50 \
+             --metrics-out m.json --trace-format chrome --trace-out t.json --trace-limit 500",
+        ))
+        .expect("valid invocation");
+        let Command::Metrics {
+            bin_ns,
+            metrics_out,
+            trace_format,
+            trace_out,
+            trace_limit,
+            ..
+        } = cmd
+        else {
+            panic!("expected metrics");
+        };
+        assert_eq!(bin_ns, 50);
+        assert_eq!(metrics_out, Some("m.json".to_string()));
+        assert_eq!(trace_format, Some(TraceFormat::Chrome));
+        assert_eq!(trace_out, Some("t.json".to_string()));
+        assert_eq!(trace_limit, 500);
+    }
+
+    #[test]
+    fn metrics_mesh_substrate_needs_no_arch() {
+        let cmd = parse(&argv(
+            "metrics --substrate mesh --benchmark Tornado --rate 0.1",
+        ))
+        .expect("valid");
+        assert!(matches!(
+            cmd,
+            Command::Metrics {
+                substrate: Substrate::Mesh,
+                arch: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn metrics_trace_out_alone_defaults_to_ndjson() {
+        let cmd = parse(&argv(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 --trace-out t.ndjson",
+        ))
+        .expect("valid");
+        assert!(matches!(
+            cmd,
+            Command::Metrics {
+                trace_format: Some(TraceFormat::Ndjson),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn metrics_validation_errors() {
+        // mot substrate without an architecture.
+        let err = parse(&argv("metrics --benchmark Shuffle --rate 0.2")).unwrap_err();
+        assert!(err.message().contains("--arch"), "{err}");
+        // trace format without a destination.
+        let err = parse(&argv(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 --trace-format ndjson",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("--trace-out"), "{err}");
+        // unknown enum values.
+        let err = parse(&argv(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 --substrate torus",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("torus"), "{err}");
+        let err = parse(&argv(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 \
+             --trace-format xml --trace-out t",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("xml"), "{err}");
+        // degenerate bin width.
+        let err = parse(&argv(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 --bin-ns 0",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("bin-ns"), "{err}");
     }
 
     #[test]

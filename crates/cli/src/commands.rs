@@ -47,7 +47,7 @@ impl From<io::Error> for CliError {
     }
 }
 
-fn network(arch: Architecture, common: &CommonOptions) -> Result<Network, CliError> {
+pub(crate) fn network(arch: Architecture, common: &CommonOptions) -> Result<Network, CliError> {
     let size = MotSize::new(common.size).map_err(|e| CliError::Invalid(format!("--size: {e}")))?;
     let config = NetworkConfig::new(size, arch)
         .with_seed(common.seed)
@@ -55,7 +55,7 @@ fn network(arch: Architecture, common: &CommonOptions) -> Result<Network, CliErr
     Ok(Network::new(config)?)
 }
 
-fn phases_for(benchmark: asynoc::Benchmark, common: &CommonOptions) -> Phases {
+pub(crate) fn phases_for(benchmark: asynoc::Benchmark, common: &CommonOptions) -> Phases {
     let default = Phases::paper_standard(benchmark == asynoc::Benchmark::MulticastStatic);
     let warmup = common.warmup_ns.map_or(default.warmup(), Duration::from_ns);
     let measure = common
@@ -308,6 +308,32 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "  mean hops        : {:.2}", report.mean_hops)?;
             Ok(())
         }
+        Command::Metrics {
+            arch,
+            benchmark,
+            rate,
+            substrate,
+            bin_ns,
+            metrics_out,
+            trace_format,
+            trace_out,
+            trace_limit,
+            common,
+        } => crate::metrics::execute_metrics(
+            &crate::metrics::MetricsRequest {
+                arch: *arch,
+                benchmark: *benchmark,
+                rate: *rate,
+                substrate: *substrate,
+                bin_ns: *bin_ns,
+                metrics_out: metrics_out.clone(),
+                trace_format: *trace_format,
+                trace_out: trace_out.clone(),
+                trace_limit: *trace_limit,
+                common: common.clone(),
+            },
+            out,
+        ),
         Command::Info { arch, size } => {
             let size =
                 MotSize::new(*size).map_err(|e| CliError::Invalid(format!("--size: {e}")))?;

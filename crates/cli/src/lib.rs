@@ -7,6 +7,8 @@
 //! asynoc saturate --arch Baseline --benchmark Shuffle --quick
 //! asynoc sweep    --arch OptAllSpeculative --benchmark Uniform-random \
 //!                 --from 0.1 --to 1.4 --steps 8
+//! asynoc metrics  --arch BasicHybridSpeculative --benchmark Multicast10 \
+//!                 --rate 0.3 --trace-format chrome --trace-out trace.json
 //! asynoc info     --size 16
 //! ```
 //!
@@ -15,6 +17,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod metrics;
 
 pub use args::{parse, Command, ParseCliError};
 pub use commands::execute;

@@ -1,0 +1,591 @@
+//! `asynoc metrics`: one instrumented run emitting the JSON metrics
+//! report (and optionally a flit trace).
+//!
+//! The report is the CLI surface of the `asynoc-telemetry` observer
+//! stack: latency percentiles (overall / per destination / per hop
+//! count), a windowed time-series with per-level busy fractions, the
+//! speculation-waste ledger, and the run's power/throughput/counter
+//! summaries, all under the [`METRICS_SCHEMA`] version tag.
+
+use std::io::Write;
+
+use asynoc::{Architecture, Benchmark, Duration, MotNode, Observer, RunConfig, RunReport};
+use asynoc_mesh::{MeshConfig, MeshNetwork, MeshReport, MeshSize};
+use asynoc_power::EnergyCategory;
+use asynoc_telemetry::{
+    render_ndjson, ChromeTraceObserver, JsonValue, LatencyHistograms, LevelSpec, SpeculationWaste,
+    TimeSeries, TraceCollector, METRICS_SCHEMA,
+};
+use asynoc_topology::{FaninNodeId, FanoutNodeId, MotSize};
+
+use crate::args::{CommonOptions, Substrate, TraceFormat};
+use crate::commands::{network, phases_for, CliError};
+
+/// A fully-resolved `metrics` invocation.
+pub struct MetricsRequest {
+    /// Network architecture (required on the MoT substrate).
+    pub arch: Option<Architecture>,
+    /// Traffic benchmark.
+    pub benchmark: Benchmark,
+    /// Offered load, flits/ns per source.
+    pub rate: f64,
+    /// Which fabric to instrument.
+    pub substrate: Substrate,
+    /// Time-series bin width, ns.
+    pub bin_ns: u64,
+    /// JSON report destination (`None` = the command's output stream).
+    pub metrics_out: Option<String>,
+    /// Trace export format, if tracing.
+    pub trace_format: Option<TraceFormat>,
+    /// Trace destination path.
+    pub trace_out: Option<String>,
+    /// Maximum trace events recorded.
+    pub trace_limit: usize,
+    /// Shared options.
+    pub common: CommonOptions,
+}
+
+/// The optional trace observer pair: exactly one is live when tracing.
+struct Tracers<N> {
+    ndjson: Option<TraceCollector<N>>,
+    chrome: Option<ChromeTraceObserver<N>>,
+}
+
+impl<N: Copy> Tracers<N> {
+    fn new(
+        format: Option<TraceFormat>,
+        limit: usize,
+        site_of: impl Fn(N) -> String + 'static,
+    ) -> Self {
+        match format {
+            Some(TraceFormat::Ndjson) => Tracers {
+                ndjson: Some(TraceCollector::new(limit, Box::new(site_of))),
+                chrome: None,
+            },
+            Some(TraceFormat::Chrome) => Tracers {
+                ndjson: None,
+                chrome: Some(ChromeTraceObserver::new(limit, Box::new(site_of))),
+            },
+            None => Tracers {
+                ndjson: None,
+                chrome: None,
+            },
+        }
+    }
+
+    fn push_into<'a>(&'a mut self, extra: &mut Vec<&'a mut dyn Observer<N>>) {
+        if let Some(collector) = self.ndjson.as_mut() {
+            extra.push(collector);
+        }
+        if let Some(observer) = self.chrome.as_mut() {
+            extra.push(observer);
+        }
+    }
+
+    fn render(self) -> Option<String> {
+        if let Some(collector) = self.ndjson {
+            return Some(render_ndjson(collector.records()));
+        }
+        self.chrome.map(|observer| observer.into_trace().render())
+    }
+}
+
+fn config_json(
+    arch: Option<Architecture>,
+    benchmark: Benchmark,
+    rate: f64,
+    size: usize,
+    common: &CommonOptions,
+) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "arch".to_string(),
+            arch.map_or(JsonValue::Null, |a| JsonValue::str(a.to_string())),
+        ),
+        (
+            "benchmark".to_string(),
+            JsonValue::str(benchmark.to_string()),
+        ),
+        ("rate_gfs".to_string(), JsonValue::Number(rate)),
+        ("size".to_string(), JsonValue::uint(size as u64)),
+        ("seed".to_string(), JsonValue::uint(common.seed)),
+        (
+            "flits".to_string(),
+            JsonValue::uint(u64::from(common.flits)),
+        ),
+    ])
+}
+
+fn throughput_json(throughput: &asynoc_stats::throughput::ThroughputReport) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "offered_gfs".to_string(),
+            JsonValue::Number(throughput.offered),
+        ),
+        (
+            "injected_gfs".to_string(),
+            JsonValue::Number(throughput.injected),
+        ),
+        (
+            "delivered_gfs".to_string(),
+            JsonValue::Number(throughput.delivered),
+        ),
+        (
+            "acceptance".to_string(),
+            JsonValue::Number(throughput.acceptance()),
+        ),
+    ])
+}
+
+fn power_json(report: &RunReport, window: Duration) -> JsonValue {
+    let category = |c: EnergyCategory| JsonValue::Number(report.power.category_mw(c));
+    JsonValue::Object(vec![
+        ("fanout_mw".to_string(), category(EnergyCategory::Fanout)),
+        ("fanin_mw".to_string(), category(EnergyCategory::Fanin)),
+        ("wire_mw".to_string(), category(EnergyCategory::Wire)),
+        ("dropped_mw".to_string(), category(EnergyCategory::Dropped)),
+        (
+            "dynamic_mw".to_string(),
+            JsonValue::Number(report.power.dynamic_mw()),
+        ),
+        (
+            "leakage_mw".to_string(),
+            JsonValue::Number(report.power.leakage_mw()),
+        ),
+        (
+            "total_mw".to_string(),
+            JsonValue::Number(report.power.total_mw()),
+        ),
+        ("window_ps".to_string(), JsonValue::uint(window.as_ps())),
+    ])
+}
+
+fn counters_json(
+    packets_measured: usize,
+    packets_incomplete: usize,
+    flits_throttled: u64,
+    flits_delivered: u64,
+    events_processed: u64,
+) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "packets_measured".to_string(),
+            JsonValue::uint(packets_measured as u64),
+        ),
+        (
+            "packets_incomplete".to_string(),
+            JsonValue::uint(packets_incomplete as u64),
+        ),
+        (
+            "flits_throttled".to_string(),
+            JsonValue::uint(flits_throttled),
+        ),
+        (
+            "flits_delivered".to_string(),
+            JsonValue::uint(flits_delivered),
+        ),
+        (
+            "events_processed".to_string(),
+            JsonValue::uint(events_processed),
+        ),
+    ])
+}
+
+/// The per-level busy-fraction groups of a MoT: fanout levels from the
+/// root down, then fanin levels from the leaves toward each sink.
+fn mot_levels(size: MotSize) -> Vec<LevelSpec> {
+    let n = size.n();
+    let levels = size.levels() as usize;
+    let mut specs = Vec::with_capacity(2 * levels);
+    for level in 0..levels {
+        specs.push(LevelSpec {
+            label: format!("fanout-L{level}"),
+            nodes: n << level,
+        });
+    }
+    for level in 0..levels {
+        specs.push(LevelSpec {
+            label: format!("fanin-L{level}"),
+            nodes: n << level,
+        });
+    }
+    specs
+}
+
+fn mot_label(size: MotSize) -> impl Fn(MotNode) -> String + Copy {
+    move |node| match node {
+        MotNode::Fanout(flat) => FanoutNodeId::from_flat_index(size, flat).to_string(),
+        MotNode::Fanin(flat) => FaninNodeId::from_flat_index(size, flat).to_string(),
+    }
+}
+
+/// Runs the MoT substrate with the full telemetry stack and assembles
+/// the report document (plus the rendered trace, if requested).
+fn run_mot(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliError> {
+    let arch = request
+        .arch
+        .expect("parser guarantees --arch on the mot substrate");
+    let net = network(arch, &request.common)?;
+    let size = net.config().size();
+    let (wire_fj, drop_fj) = {
+        let timing = net.config().timing();
+        (timing.wire_fj, timing.drop_fj)
+    };
+    let phases = phases_for(request.benchmark, &request.common);
+    let run = RunConfig::new(request.benchmark, request.rate)?.with_phases(phases);
+
+    let mut latency = LatencyHistograms::new(phases, size.n());
+    let levels = size.levels() as usize;
+    let mut timeseries = TimeSeries::new(
+        Duration::from_ns(request.bin_ns),
+        mot_levels(size),
+        Box::new(move |node: MotNode| match node {
+            MotNode::Fanout(flat) => Some(FanoutNodeId::from_flat_index(size, flat).level as usize),
+            MotNode::Fanin(flat) => {
+                Some(levels + FaninNodeId::from_flat_index(size, flat).level as usize)
+            }
+        }),
+    );
+    let label = mot_label(size);
+    let mut waste = SpeculationWaste::new(
+        wire_fj,
+        drop_fj,
+        Box::new(label),
+        // A dropped copy was created by the throttler's fanout parent;
+        // a root throttle (level 0) is attributed to the node itself.
+        Box::new(move |node: MotNode| match node {
+            MotNode::Fanout(flat) => {
+                let id = FanoutNodeId::from_flat_index(size, flat);
+                (id.level > 0).then(|| {
+                    let parent = FanoutNodeId {
+                        tree: id.tree,
+                        level: id.level - 1,
+                        index: id.index / 2,
+                    };
+                    MotNode::Fanout(parent.flat_index(size))
+                })
+            }
+            MotNode::Fanin(_) => None,
+        }),
+    );
+    let mut tracers = Tracers::new(request.trace_format, request.trace_limit, label);
+
+    let mut extra: Vec<&mut dyn Observer<MotNode>> =
+        vec![&mut latency, &mut timeseries, &mut waste];
+    tracers.push_into(&mut extra);
+    let report = net.run_with_observers(&run, &mut extra)?;
+
+    // mW = fJ/ps, so dynamic energy over the window is mW x ps (in fJ).
+    let dynamic_fj = report.power.dynamic_mw() * phases.measure().as_ps() as f64;
+    let doc = JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::str(METRICS_SCHEMA)),
+        ("substrate".to_string(), JsonValue::str("mot")),
+        (
+            "config".to_string(),
+            config_json(
+                Some(arch),
+                request.benchmark,
+                request.rate,
+                request.common.size,
+                &request.common,
+            ),
+        ),
+        ("latency".to_string(), latency.to_json()),
+        ("timeseries".to_string(), timeseries.to_json()),
+        ("waste".to_string(), waste.to_json(dynamic_fj)),
+        (
+            "throughput".to_string(),
+            throughput_json(&report.throughput),
+        ),
+        ("power".to_string(), power_json(&report, phases.measure())),
+        (
+            "counters".to_string(),
+            counters_json(
+                report.packets_measured,
+                report.packets_incomplete,
+                report.flits_throttled,
+                report.flits_delivered,
+                report.events_processed,
+            ),
+        ),
+    ]);
+    Ok((doc, tracers.render()))
+}
+
+/// Runs the mesh substrate with the substrate-agnostic subset of the
+/// stack (the mesh has no energy model, so `waste` and `power` are null).
+fn run_mesh(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliError> {
+    let size = MeshSize::new(request.common.size, request.common.size)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let net = MeshNetwork::new(
+        MeshConfig::new(size)
+            .with_seed(request.common.seed)
+            .with_flits_per_packet(request.common.flits),
+    )
+    .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let phases = phases_for(request.benchmark, &request.common);
+    let endpoints = size.endpoints();
+
+    let mut latency = LatencyHistograms::new(phases, endpoints);
+    let mut timeseries: TimeSeries<usize> =
+        TimeSeries::single_level(Duration::from_ns(request.bin_ns), "router", endpoints);
+    let mut tracers = Tracers::new(
+        request.trace_format,
+        request.trace_limit,
+        |router: usize| format!("r{router}"),
+    );
+
+    let mut extra: Vec<&mut dyn Observer<usize>> = vec![&mut latency, &mut timeseries];
+    tracers.push_into(&mut extra);
+    let report: MeshReport = net
+        .run_with_observers(request.benchmark, request.rate, phases, &mut extra)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+
+    let doc = JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::str(METRICS_SCHEMA)),
+        ("substrate".to_string(), JsonValue::str("mesh")),
+        (
+            "config".to_string(),
+            config_json(
+                None,
+                request.benchmark,
+                request.rate,
+                request.common.size,
+                &request.common,
+            ),
+        ),
+        ("latency".to_string(), latency.to_json()),
+        ("timeseries".to_string(), timeseries.to_json()),
+        ("waste".to_string(), JsonValue::Null),
+        (
+            "throughput".to_string(),
+            throughput_json(&report.throughput),
+        ),
+        ("power".to_string(), JsonValue::Null),
+        (
+            "counters".to_string(),
+            counters_json(
+                report.packets_measured,
+                report.packets_incomplete,
+                0,
+                0,
+                report.events_processed,
+            ),
+        ),
+    ]);
+    Ok((doc, tracers.render()))
+}
+
+/// Executes a `metrics` command: runs the instrumented simulation, then
+/// writes the JSON report (to `--metrics-out` or `out`) and the trace
+/// (to `--trace-out`, when requested).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on simulation, configuration, or I/O failure.
+pub fn execute_metrics(request: &MetricsRequest, out: &mut dyn Write) -> Result<(), CliError> {
+    let (doc, trace) = match request.substrate {
+        Substrate::Mot => run_mot(request)?,
+        Substrate::Mesh => run_mesh(request)?,
+    };
+    let rendered = doc.render_pretty();
+    match &request.metrics_out {
+        Some(path) => {
+            std::fs::write(path, &rendered)?;
+            writeln!(out, "metrics report written to {path}")?;
+        }
+        // Bare stdout stays pure JSON so pipelines can parse it.
+        None => out.write_all(rendered.as_bytes())?,
+    }
+    if let (Some(text), Some(path)) = (&trace, &request.trace_out) {
+        std::fs::write(path, text)?;
+        if request.metrics_out.is_some() {
+            writeln!(out, "trace written to {path}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use crate::commands::execute;
+    use asynoc_telemetry::{parse_ndjson, validate_chrome};
+
+    fn run_cli(line: &str) -> String {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let command = parse(&args).expect("valid invocation");
+        let mut out = Vec::new();
+        execute(&command, &mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    fn metrics_doc(line: &str) -> JsonValue {
+        JsonValue::parse(&run_cli(line)).expect("metrics output is valid JSON")
+    }
+
+    fn temp_path(name: &str) -> String {
+        let mut path = std::env::temp_dir();
+        path.push(format!("asynoc-metrics-test-{}-{name}", std::process::id()));
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn mot_report_has_percentiles_busy_fractions_and_waste() {
+        let doc = metrics_doc(
+            "metrics --arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 \
+             --warmup-ns 40 --measure-ns 400 --bin-ns 50",
+        );
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("substrate").and_then(JsonValue::as_str),
+            Some("mot")
+        );
+        let latency = doc.get("latency").expect("latency section");
+        assert!(latency.get("p50_ps").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert!(
+            latency.get("p99_ps").and_then(JsonValue::as_f64).unwrap()
+                >= latency.get("p50_ps").and_then(JsonValue::as_f64).unwrap()
+        );
+        assert!(
+            !latency
+                .get("per_dest")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .is_empty(),
+            "per-destination breakdown populated"
+        );
+        assert!(!latency
+            .get("per_hops")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .is_empty());
+        let timeseries = doc.get("timeseries").expect("timeseries section");
+        let levels = timeseries
+            .get("levels")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        // 8x8 MoT: three fanout levels + three fanin levels.
+        assert_eq!(levels.len(), 6);
+        let bins = timeseries
+            .get("bins")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert!(!bins.is_empty());
+        let busiest = bins
+            .iter()
+            .flat_map(|bin| {
+                bin.get("busy_fraction")
+                    .and_then(JsonValue::as_array)
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.as_f64().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .fold(0.0f64, f64::max);
+        assert!(busiest > 0.0, "some level saw traffic");
+        assert!(busiest <= 1.0, "busy fraction is a fraction: {busiest}");
+        // The hybrid network speculates, so the ledger must have entries.
+        let waste = doc.get("waste").expect("waste section");
+        assert!(
+            waste
+                .get("total_throttles")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert!(!waste
+            .get("per_node")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn waste_ledger_reconciles_with_the_energy_ledger() {
+        let doc = metrics_doc(
+            "metrics --arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 \
+             --warmup-ns 40 --measure-ns 400",
+        );
+        let waste_drop_fj = doc
+            .get("waste")
+            .and_then(|w| w.get("total_drop_fj"))
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        let power = doc.get("power").expect("power section");
+        let dropped_mw = power.get("dropped_mw").and_then(JsonValue::as_f64).unwrap();
+        let window_ps = power.get("window_ps").and_then(JsonValue::as_f64).unwrap();
+        // Both observers price the same in-window drops at the same fJ,
+        // so the ledgers must agree (up to f64 summation order).
+        let energy_drop_fj = dropped_mw * window_ps;
+        assert!(waste_drop_fj > 0.0, "hybrid network must drop copies");
+        assert!(
+            (waste_drop_fj - energy_drop_fj).abs() <= 1e-6 * energy_drop_fj.max(1.0),
+            "waste ledger {waste_drop_fj} fJ vs energy ledger {energy_drop_fj} fJ"
+        );
+    }
+
+    #[test]
+    fn mesh_report_has_latency_but_null_power() {
+        let doc = metrics_doc(
+            "metrics --substrate mesh --benchmark Uniform-random --rate 0.1 --size 4 \
+             --warmup-ns 40 --measure-ns 400",
+        );
+        assert_eq!(
+            doc.get("substrate").and_then(JsonValue::as_str),
+            Some("mesh")
+        );
+        assert_eq!(doc.get("power"), Some(&JsonValue::Null));
+        assert_eq!(doc.get("waste"), Some(&JsonValue::Null));
+        assert!(
+            doc.get("latency")
+                .and_then(|l| l.get("count"))
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn chrome_trace_export_validates() {
+        let trace_path = temp_path("chrome.json");
+        let metrics_path = temp_path("report.json");
+        let text = run_cli(&format!(
+            "metrics --arch BasicHybridSpeculative --benchmark Multicast5 --rate 0.2 \
+             --warmup-ns 40 --measure-ns 200 --metrics-out {metrics_path} \
+             --trace-format chrome --trace-out {trace_path}"
+        ));
+        assert!(text.contains("metrics report written"));
+        assert!(text.contains("trace written"));
+        let trace = std::fs::read_to_string(&trace_path).expect("trace file");
+        let events = validate_chrome(&trace).expect("well-formed Chrome trace");
+        assert!(events > 0, "trace has events");
+        let report = std::fs::read_to_string(&metrics_path).expect("report file");
+        assert!(JsonValue::parse(&report).is_ok());
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&metrics_path);
+    }
+
+    #[test]
+    fn ndjson_trace_export_round_trips() {
+        let trace_path = temp_path("trace.ndjson");
+        let metrics_path = temp_path("ndjson-report.json");
+        run_cli(&format!(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 \
+             --warmup-ns 40 --measure-ns 200 --metrics-out {metrics_path} \
+             --trace-out {trace_path} --trace-limit 2000"
+        ));
+        let text = std::fs::read_to_string(&trace_path).expect("trace file");
+        let records = parse_ndjson(&text).expect("well-formed NDJSON");
+        assert!(!records.is_empty());
+        assert!(records.iter().any(|r| r.action == "inject"));
+        assert!(records.iter().any(|r| r.action == "deliver"));
+        assert_eq!(records.len(), text.lines().count());
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&metrics_path);
+    }
+}

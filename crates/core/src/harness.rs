@@ -158,6 +158,10 @@ pub struct LatencyCell {
     pub load_gfs: f64,
     /// Mean packet latency in picoseconds.
     pub mean_latency_ps: u64,
+    /// Median (p50) packet latency in picoseconds.
+    pub p50_latency_ps: u64,
+    /// Tail (p99) packet latency in picoseconds.
+    pub p99_latency_ps: u64,
     /// Number of packets sampled.
     pub packets: usize,
 }
@@ -279,13 +283,19 @@ pub fn latency_at_fraction(
     let saturation = saturation_of(&network, benchmark, quality)?;
     let load = (saturation.injected_gfs * fraction).max(0.02);
     let run = RunConfig::new(benchmark, load)?.with_phases(quality.measure_phases_for(benchmark));
-    let report = network.run(&run)?;
+    let mut report = network.run(&run)?;
     Ok(LatencyCell {
         architecture,
         benchmark,
         saturation,
         load_gfs: load,
         mean_latency_ps: report.latency.mean().map(|d| d.as_ps()).unwrap_or_default(),
+        p50_latency_ps: report
+            .latency
+            .median()
+            .map(|d| d.as_ps())
+            .unwrap_or_default(),
+        p99_latency_ps: report.latency.p99().map(|d| d.as_ps()).unwrap_or_default(),
         packets: report.packets_measured,
     })
 }
@@ -688,6 +698,11 @@ mod tests {
         .unwrap();
         assert!(cell.packets > 10);
         assert!(cell.mean_latency_ps > 500);
+        assert!(cell.p50_latency_ps > 0);
+        assert!(
+            cell.p99_latency_ps >= cell.p50_latency_ps,
+            "percentiles monotone"
+        );
         assert!(cell.load_gfs > 0.0);
     }
 }

@@ -66,5 +66,6 @@ pub use asynoc_kernel::{Duration, Time};
 pub use asynoc_nodes::TimingModel;
 pub use asynoc_packet::DestSet;
 pub use asynoc_stats::Phases;
+pub use asynoc_telemetry as telemetry;
 pub use asynoc_topology::{Architecture, FanoutKind, MotSize, NodePlan, SpeculationMap};
 pub use asynoc_traffic::Benchmark;

@@ -196,8 +196,14 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "packets={} latency[{}] throughput[{}] power[{}] throttled={}",
-            self.packets_measured, self.latency, self.throughput, self.power, self.flits_throttled
+            "packets={} latency[{}] throughput[{}] power[{}] throttled={} events={} wall={:?}",
+            self.packets_measured,
+            self.latency,
+            self.throughput,
+            self.power,
+            self.flits_throttled,
+            self.events_processed,
+            self.wall
         )
     }
 }

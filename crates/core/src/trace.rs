@@ -82,6 +82,31 @@ pub struct TraceEvent {
     pub action: TraceAction,
 }
 
+impl TraceEvent {
+    /// Converts into the substrate-neutral [`TraceRecord`] form used by the
+    /// NDJSON and Chrome trace exporters. Action names match those the
+    /// generic [`asynoc_telemetry::TraceCollector`] emits, so one parser
+    /// handles traces from either path.
+    #[must_use]
+    pub fn to_record(&self) -> asynoc_telemetry::TraceRecord {
+        let (action, detail) = match self.action {
+            TraceAction::Injected => ("inject", String::new()),
+            TraceAction::Forwarded(symbol) => ("forward", symbol.to_string()),
+            TraceAction::Throttled => ("throttle", String::new()),
+            TraceAction::Arbitrated { input } => ("forward", format!("input{input}")),
+            TraceAction::Delivered => ("deliver", String::new()),
+        };
+        asynoc_telemetry::TraceRecord {
+            t_ps: self.time.as_ps(),
+            packet: self.packet.as_u64(),
+            flit: self.flit,
+            site: self.location.to_string(),
+            action: action.to_string(),
+            detail,
+        }
+    }
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -152,6 +177,41 @@ mod tests {
     fn zero_limit_disables() {
         let recorder = TraceRecorder::new(0);
         assert!(!recorder.enabled());
+    }
+
+    #[test]
+    fn to_record_round_trips_through_ndjson() {
+        let event = TraceEvent {
+            time: Time::from_ps(2_100),
+            packet: PacketId::new(9),
+            flit: 1,
+            location: TraceLocation::Fanin(FaninNodeId {
+                tree: 4,
+                level: 1,
+                index: 0,
+            }),
+            action: TraceAction::Arbitrated { input: 1 },
+        };
+        let record = event.to_record();
+        assert_eq!(record.t_ps, 2_100);
+        assert_eq!(record.packet, 9);
+        assert_eq!(record.site, "fi[d4:1.0]");
+        assert_eq!(record.action, "forward");
+        assert_eq!(record.detail, "input1");
+        let line = record.to_ndjson();
+        assert_eq!(
+            asynoc_telemetry::TraceRecord::from_ndjson(&line),
+            Ok(record)
+        );
+        assert_eq!(
+            TraceEvent {
+                action: TraceAction::Throttled,
+                ..event
+            }
+            .to_record()
+            .action,
+            "throttle"
+        );
     }
 
     #[test]

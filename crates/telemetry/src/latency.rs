@@ -1,0 +1,214 @@
+//! Per-destination and per-hop-count latency distributions.
+
+use std::collections::{BTreeMap, HashMap};
+
+use asynoc_engine::{Observer, SimEvent};
+use asynoc_kernel::Time;
+use asynoc_stats::Phases;
+
+use crate::histogram::LogHistogram;
+use crate::json::JsonValue;
+
+/// Streams header-delivery latencies into log-bucketed histograms:
+/// one overall, one per destination, one per hop count.
+///
+/// The sample is *per delivered header copy* (creation → this copy's
+/// arrival), gated on the packet being created inside the measurement
+/// window — the same population the engine's `LatencyStats` draws from,
+/// but broken out by where the copy landed and how many node traversals
+/// its packet's header needed. Hop count is the number of `Forward`
+/// events the physical packet's header generated: the exact path length
+/// for unicast traffic, the replication-tree edge count for in-network
+/// multicast.
+pub struct LatencyHistograms {
+    phases: Phases,
+    overall: LogHistogram,
+    per_dest: Vec<LogHistogram>,
+    per_hops: BTreeMap<u32, LogHistogram>,
+    header_forwards: HashMap<u64, u32>,
+}
+
+impl LatencyHistograms {
+    /// An empty collector for a network with `endpoints` destinations,
+    /// sampling packets created inside `phases`' measurement window.
+    #[must_use]
+    pub fn new(phases: Phases, endpoints: usize) -> Self {
+        LatencyHistograms {
+            phases,
+            overall: LogHistogram::new(),
+            per_dest: vec![LogHistogram::new(); endpoints],
+            per_hops: BTreeMap::new(),
+            header_forwards: HashMap::new(),
+        }
+    }
+
+    /// The all-destinations histogram.
+    #[must_use]
+    pub fn overall(&self) -> &LogHistogram {
+        &self.overall
+    }
+
+    /// Per-destination histograms, indexed by endpoint.
+    #[must_use]
+    pub fn per_dest(&self) -> &[LogHistogram] {
+        &self.per_dest
+    }
+
+    /// Per-hop-count histograms.
+    #[must_use]
+    pub fn per_hops(&self) -> &BTreeMap<u32, LogHistogram> {
+        &self.per_hops
+    }
+
+    /// The full latency section of the metrics report: the overall
+    /// percentile summary plus `per_dest` / `per_hops` breakdowns
+    /// (destinations and hop counts without samples are omitted).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let JsonValue::Object(mut members) = self.overall.summary_json() else {
+            unreachable!("summary_json returns an object");
+        };
+        let per_dest: Vec<JsonValue> = self
+            .per_dest
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(dest, h)| {
+                let JsonValue::Object(mut fields) = h.summary_json() else {
+                    unreachable!("summary_json returns an object");
+                };
+                fields.insert(0, ("dest".to_string(), JsonValue::uint(dest as u64)));
+                JsonValue::Object(fields)
+            })
+            .collect();
+        let per_hops: Vec<JsonValue> = self
+            .per_hops
+            .iter()
+            .map(|(hops, h)| {
+                let JsonValue::Object(mut fields) = h.summary_json() else {
+                    unreachable!("summary_json returns an object");
+                };
+                fields.insert(0, ("hops".to_string(), JsonValue::uint(u64::from(*hops))));
+                JsonValue::Object(fields)
+            })
+            .collect();
+        members.push(("per_dest".to_string(), JsonValue::Array(per_dest)));
+        members.push(("per_hops".to_string(), JsonValue::Array(per_hops)));
+        JsonValue::Object(members)
+    }
+}
+
+impl<N> Observer<N> for LatencyHistograms {
+    fn on_event(&mut self, at: Time, _in_window: bool, event: &SimEvent<'_, N>) {
+        match event {
+            SimEvent::Forward { flit, .. } if flit.kind().is_header() => {
+                *self
+                    .header_forwards
+                    .entry(flit.descriptor().id().as_u64())
+                    .or_insert(0) += 1;
+            }
+            SimEvent::Deliver { dest, flit } if flit.kind().is_header() => {
+                let created = flit.descriptor().created_at();
+                if !self.phases.in_measurement(created) {
+                    return;
+                }
+                let latency = at.saturating_since(created).as_ps();
+                self.overall.record(latency);
+                if let Some(h) = self.per_dest.get_mut(*dest) {
+                    h.record(latency);
+                }
+                let hops = self
+                    .header_forwards
+                    .get(&flit.descriptor().id().as_u64())
+                    .copied()
+                    .unwrap_or(0);
+                self.per_hops.entry(hops).or_default().record(latency);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use asynoc_kernel::Duration;
+    use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader};
+
+    fn header(id: u64, dest: usize, created: Time) -> Flit {
+        Flit::new(
+            Arc::new(PacketDescriptor::new(
+                PacketId::new(id),
+                0,
+                DestSet::unicast(dest),
+                RouteHeader::for_tree(8),
+                2,
+                created,
+            )),
+            0,
+        )
+    }
+
+    fn phases() -> Phases {
+        Phases::new(Duration::from_ns(100), Duration::from_ns(900))
+    }
+
+    #[test]
+    fn samples_only_window_created_packets() {
+        let mut collector = LatencyHistograms::new(phases(), 8);
+        let early = header(1, 3, Time::from_ps(50_000)); // warmup
+        let inside = header(2, 3, Time::from_ps(200_000)); // window
+        for (flit, at) in [(&early, 60_000u64), (&inside, 200_700)] {
+            let event: SimEvent<'_, usize> = SimEvent::Deliver { dest: 3, flit };
+            collector.on_event(Time::from_ps(at), true, &event);
+        }
+        assert_eq!(collector.overall().count(), 1);
+        assert_eq!(collector.overall().max(), Some(700));
+        assert_eq!(collector.per_dest()[3].count(), 1);
+        assert_eq!(collector.per_dest()[0].count(), 0);
+    }
+
+    #[test]
+    fn hop_counts_key_the_breakdown() {
+        let mut collector = LatencyHistograms::new(phases(), 8);
+        let flit = header(7, 1, Time::from_ps(150_000));
+        for k in 0..3u64 {
+            let event: SimEvent<'_, usize> = SimEvent::Forward {
+                node: 0,
+                flit: &flit,
+                info: asynoc_engine::ForwardInfo::Arbitrated { input: 0 },
+                copies: 1,
+                busy: Duration::from_ps(10),
+            };
+            collector.on_event(Time::from_ps(150_100 + k), true, &event);
+        }
+        let deliver: SimEvent<'_, usize> = SimEvent::Deliver {
+            dest: 1,
+            flit: &flit,
+        };
+        collector.on_event(Time::from_ps(151_000), true, &deliver);
+        assert_eq!(collector.per_hops().len(), 1);
+        assert_eq!(collector.per_hops()[&3].count(), 1);
+    }
+
+    #[test]
+    fn json_skips_empty_destinations() {
+        let mut collector = LatencyHistograms::new(phases(), 4);
+        let flit = header(1, 2, Time::from_ps(150_000));
+        let deliver: SimEvent<'_, usize> = SimEvent::Deliver {
+            dest: 2,
+            flit: &flit,
+        };
+        collector.on_event(Time::from_ps(150_052), true, &deliver);
+        let json = collector.to_json();
+        let per_dest = json.get("per_dest").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(per_dest.len(), 1);
+        assert_eq!(
+            per_dest[0].get("dest").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(json.get("p50_ps").and_then(JsonValue::as_f64), Some(52.0));
+    }
+}

@@ -1,0 +1,45 @@
+//! `asynoc-telemetry` — composable, substrate-agnostic observers over the
+//! engine's event stream.
+//!
+//! The simulators (the `asynoc` MoT, the `asynoc-mesh` 2D mesh) expose one
+//! instrumentation point: the engine's `Observer<N>` trait, called
+//! synchronously for every inject/forward/drop/deliver. Everything in this
+//! crate is an implementation of that trait (or an export format for what
+//! one collected), generic over the substrate's node type `N`:
+//!
+//! - [`LatencyHistograms`] — log-bucketed latency distributions
+//!   (p50/p90/p99/p999), overall, per destination, and per hop count.
+//! - [`TimeSeries`] — fixed-width time bins of throughput, in-flight
+//!   flits, and per-level channel busy-fraction.
+//! - [`SpeculationWaste`] — the per-node waste ledger: throttles absorbed,
+//!   redundant copies created, wasted wire/drop energy priced with the
+//!   substrate's own constants (reconciles with its energy ledger).
+//! - [`TraceCollector`] / [`render_ndjson`] — flat trace records with
+//!   NDJSON import/export shared by both substrates.
+//! - [`ChromeTraceObserver`] / [`ChromeTrace`] — Chrome trace-event
+//!   (Perfetto-loadable) export, with a [`validate_chrome`] checker.
+//!
+//! Registering none of these costs nothing: the engine's observer slice is
+//! simply empty (`benches/observer_overhead.rs` in `asynoc-bench` guards
+//! this). Serialization is hand-rolled JSON ([`JsonValue`]) because the
+//! workspace is dependency-free.
+
+pub mod chrome;
+pub mod histogram;
+pub mod json;
+pub mod latency;
+pub mod timeseries;
+pub mod trace;
+pub mod waste;
+
+pub use chrome::{chrome_from_records, validate_chrome, ChromeTrace, ChromeTraceObserver};
+pub use histogram::LogHistogram;
+pub use json::{JsonError, JsonValue};
+pub use latency::LatencyHistograms;
+pub use timeseries::{Bin, LevelSpec, TimeSeries};
+pub use trace::{parse_ndjson, render_ndjson, TraceCollector, TraceRecord};
+pub use waste::{NodeWaste, SpeculationWaste};
+
+/// The metrics report's schema identifier (`schema` field of the JSON
+/// document `asynoc metrics` emits). Bump when the report shape changes.
+pub const METRICS_SCHEMA: &str = "asynoc-metrics-v1";

@@ -1,0 +1,287 @@
+//! Substrate-neutral trace records with NDJSON import/export.
+//!
+//! A [`TraceRecord`] is the flat, serializable form of one flit action.
+//! Both substrates produce them — the MoT's `TraceEvent` converts into
+//! one, and the generic [`TraceCollector`] observer builds them straight
+//! off the engine event stream — so one parser round-trips traces from
+//! either simulator.
+
+use asynoc_engine::{ForwardInfo, Observer, SimEvent};
+use asynoc_kernel::Time;
+
+use crate::json::{JsonError, JsonValue};
+
+/// One flit action in substrate-neutral form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time, picoseconds.
+    pub t_ps: u64,
+    /// Raw packet identifier.
+    pub packet: u64,
+    /// Flit index within the packet (0 = header).
+    pub flit: u8,
+    /// Where it happened (display label, e.g. `"src3"`, `"fo[s2:0.0]"`,
+    /// `"r5"`).
+    pub site: String,
+    /// What happened: `inject`, `forward`, `throttle`, or `deliver`.
+    pub action: String,
+    /// Action detail (route symbol, winning arbitration input), may be
+    /// empty.
+    pub detail: String,
+}
+
+impl TraceRecord {
+    /// Renders the record as one NDJSON line (no trailing newline).
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        JsonValue::Object(vec![
+            ("t_ps".to_string(), JsonValue::uint(self.t_ps)),
+            ("packet".to_string(), JsonValue::uint(self.packet)),
+            ("flit".to_string(), JsonValue::uint(u64::from(self.flit))),
+            ("site".to_string(), JsonValue::str(self.site.clone())),
+            ("action".to_string(), JsonValue::str(self.action.clone())),
+            ("detail".to_string(), JsonValue::str(self.detail.clone())),
+        ])
+        .render()
+    }
+
+    /// Parses one NDJSON line back into a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the line is not a JSON object with the
+    /// expected fields.
+    pub fn from_ndjson(line: &str) -> Result<TraceRecord, JsonError> {
+        let value = JsonValue::parse(line)?;
+        let field = |key: &str| {
+            value.get(key).cloned().ok_or(JsonError {
+                at: 0,
+                message: format!("missing field {key:?}"),
+            })
+        };
+        let number = |key: &str| {
+            field(key)?.as_f64().ok_or(JsonError {
+                at: 0,
+                message: format!("field {key:?} is not a number"),
+            })
+        };
+        let string = |key: &str| {
+            field(key).and_then(|v| {
+                v.as_str().map(str::to_string).ok_or(JsonError {
+                    at: 0,
+                    message: format!("field {key:?} is not a string"),
+                })
+            })
+        };
+        Ok(TraceRecord {
+            t_ps: number("t_ps")? as u64,
+            packet: number("packet")? as u64,
+            flit: number("flit")? as u8,
+            site: string("site")?,
+            action: string("action")?,
+            detail: string("detail")?,
+        })
+    }
+}
+
+/// Renders records as an NDJSON document, one object per line.
+#[must_use]
+pub fn render_ndjson(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&record.to_ndjson());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an NDJSON document (blank lines ignored).
+///
+/// # Errors
+///
+/// Returns the first line's [`JsonError`] on malformed input.
+pub fn parse_ndjson(text: &str) -> Result<Vec<TraceRecord>, JsonError> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(TraceRecord::from_ndjson)
+        .collect()
+}
+
+/// Renders a substrate node as a trace site label.
+pub type SiteFn<N> = Box<dyn Fn(N) -> String>;
+
+/// A bounded, substrate-agnostic trace observer producing
+/// [`TraceRecord`]s for every phase of a run.
+pub struct TraceCollector<N> {
+    site_of: SiteFn<N>,
+    limit: usize,
+    records: Vec<TraceRecord>,
+}
+
+impl<N: Copy> TraceCollector<N> {
+    /// Collects up to `limit` records, labelling nodes via `site_of`.
+    #[must_use]
+    pub fn new(limit: usize, site_of: SiteFn<N>) -> Self {
+        TraceCollector {
+            site_of,
+            limit,
+            records: Vec::with_capacity(limit.min(4096)),
+        }
+    }
+
+    /// Collects up to `limit` records, labelling nodes by their `Debug`
+    /// form.
+    #[must_use]
+    pub fn generic(limit: usize) -> Self
+    where
+        N: std::fmt::Debug,
+    {
+        TraceCollector::new(limit, Box::new(|node: N| format!("{node:?}")))
+    }
+
+    /// The records collected so far.
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the collector, returning its records.
+    #[must_use]
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+impl<N: Copy> Observer<N> for TraceCollector<N> {
+    fn on_event(&mut self, at: Time, _in_window: bool, event: &SimEvent<'_, N>) {
+        if self.records.len() >= self.limit {
+            return;
+        }
+        let (flit, site, action, detail) = match event {
+            SimEvent::Inject { source, flit } => {
+                (*flit, format!("src{source}"), "inject", String::new())
+            }
+            SimEvent::Forward {
+                node, flit, info, ..
+            } => {
+                let detail = match info {
+                    ForwardInfo::Routed(symbol) => symbol.to_string(),
+                    ForwardInfo::Arbitrated { input } => format!("input{input}"),
+                };
+                (*flit, (self.site_of)(*node), "forward", detail)
+            }
+            SimEvent::Drop { node, flit, .. } => {
+                (*flit, (self.site_of)(*node), "throttle", String::new())
+            }
+            SimEvent::Deliver { dest, flit } => {
+                (*flit, format!("D{dest}"), "deliver", String::new())
+            }
+        };
+        self.records.push(TraceRecord {
+            t_ps: at.as_ps(),
+            packet: flit.descriptor().id().as_u64(),
+            flit: flit.index(),
+            site,
+            action: action.to_string(),
+            detail,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use asynoc_kernel::Duration;
+    use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader};
+
+    fn record() -> TraceRecord {
+        TraceRecord {
+            t_ps: 1_500,
+            packet: 7,
+            flit: 0,
+            site: "fo[s2:0.0]".to_string(),
+            action: "forward".to_string(),
+            detail: "both".to_string(),
+        }
+    }
+
+    #[test]
+    fn ndjson_round_trips_one_record() {
+        let original = record();
+        let line = original.to_ndjson();
+        assert!(!line.contains('\n'));
+        assert_eq!(TraceRecord::from_ndjson(&line), Ok(original));
+    }
+
+    #[test]
+    fn ndjson_document_round_trips() {
+        let records = vec![
+            record(),
+            TraceRecord {
+                action: "throttle".to_string(),
+                detail: String::new(),
+                ..record()
+            },
+        ];
+        let text = render_ndjson(&records);
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(parse_ndjson(&text), Ok(records));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_ndjson("{\"t_ps\":1}").is_err(), "missing fields");
+        assert!(parse_ndjson("not json").is_err());
+    }
+
+    #[test]
+    fn collector_maps_events_and_respects_limit() {
+        let flit = Flit::new(
+            Arc::new(PacketDescriptor::new(
+                PacketId::new(3),
+                0,
+                DestSet::unicast(1),
+                RouteHeader::for_tree(8),
+                1,
+                Time::ZERO,
+            )),
+            0,
+        );
+        let mut collector: TraceCollector<usize> = TraceCollector::generic(2);
+        collector.on_event(
+            Time::from_ps(10),
+            false,
+            &SimEvent::Inject {
+                source: 4,
+                flit: &flit,
+            },
+        );
+        collector.on_event(
+            Time::from_ps(20),
+            true,
+            &SimEvent::Forward {
+                node: 9usize,
+                flit: &flit,
+                info: ForwardInfo::Arbitrated { input: 1 },
+                copies: 1,
+                busy: Duration::from_ps(52),
+            },
+        );
+        collector.on_event(
+            Time::from_ps(30),
+            true,
+            &SimEvent::Deliver {
+                dest: 1,
+                flit: &flit,
+            },
+        );
+        let records = collector.into_records();
+        assert_eq!(records.len(), 2, "limit caps the trace");
+        assert_eq!(records[0].site, "src4");
+        assert_eq!(records[0].action, "inject");
+        assert_eq!(records[1].site, "9");
+        assert_eq!(records[1].detail, "input1");
+    }
+}

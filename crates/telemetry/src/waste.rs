@@ -1,0 +1,329 @@
+//! The speculation-waste ledger.
+//!
+//! The paper's defense of local speculation is that its waste — redundant
+//! copies a speculative node broadcasts and a non-speculative neighbor
+//! throttles — is "confined to small local regions". This observer turns
+//! that claim into a checkable report: for every node it counts the
+//! throttles it absorbed and the redundant copies it created, and prices
+//! them in femtojoules with the same constants the power model uses, so
+//! the ledger's totals reconcile exactly with the `EnergyLedger`'s
+//! `Dropped` category.
+
+use std::collections::BTreeMap;
+
+use asynoc_engine::{Observer, SimEvent};
+use asynoc_kernel::Time;
+
+use crate::json::JsonValue;
+
+/// Renders a substrate node as a stable display label.
+pub type LabelFn<N> = Box<dyn Fn(N) -> String>;
+/// Maps a throttling node to the node that *created* the redundant copy
+/// (its upstream parent); `None` attributes the copy to the throttler.
+pub type CreatorFn<N> = Box<dyn Fn(N) -> Option<N>>;
+
+/// Per-node waste counters.
+#[derive(Clone, Debug, Default)]
+pub struct NodeWaste {
+    /// Redundant copies this node throttled (absorbed).
+    pub throttles: u64,
+    /// Redundant copies this node created (its speculative broadcasts
+    /// that a downstream neighbor threw away).
+    pub redundant_created: u64,
+    /// Drop-acknowledge energy spent at this node, fJ.
+    pub drop_fj: f64,
+    /// Wire energy of the launches that carried doomed copies here, fJ.
+    pub wasted_wire_fj: f64,
+}
+
+/// The speculation-waste ledger observer.
+///
+/// Gated on the measurement window (like the power observer), so its
+/// totals are comparable with the run's `PowerReport`.
+pub struct SpeculationWaste<N> {
+    wire_fj: f64,
+    drop_fj: f64,
+    label_of: LabelFn<N>,
+    creator_of: CreatorFn<N>,
+    per_node: BTreeMap<String, NodeWaste>,
+    injected: u64,
+    forward_copies: u64,
+}
+
+impl<N: Copy> SpeculationWaste<N> {
+    /// Creates a ledger pricing drops at `drop_fj` and wire launches at
+    /// `wire_fj` (use the substrate's `TimingModel` constants so totals
+    /// reconcile with its energy ledger).
+    #[must_use]
+    pub fn new(wire_fj: f64, drop_fj: f64, label_of: LabelFn<N>, creator_of: CreatorFn<N>) -> Self {
+        SpeculationWaste {
+            wire_fj,
+            drop_fj,
+            label_of,
+            creator_of,
+            per_node: BTreeMap::new(),
+            injected: 0,
+            forward_copies: 0,
+        }
+    }
+
+    /// A ledger labelling nodes by their `Debug` form, with waste
+    /// attributed to the throttling node itself.
+    #[must_use]
+    pub fn generic(wire_fj: f64, drop_fj: f64) -> Self
+    where
+        N: std::fmt::Debug,
+    {
+        SpeculationWaste::new(
+            wire_fj,
+            drop_fj,
+            Box::new(|node: N| format!("{node:?}")),
+            Box::new(|_| None),
+        )
+    }
+
+    /// Per-node records, ordered by label.
+    #[must_use]
+    pub fn per_node(&self) -> &BTreeMap<String, NodeWaste> {
+        &self.per_node
+    }
+
+    /// Total copies throttled in the window.
+    #[must_use]
+    pub fn total_throttles(&self) -> u64 {
+        self.per_node.values().map(|w| w.throttles).sum()
+    }
+
+    /// Total drop-acknowledge energy, fJ. Reconciles with the energy
+    /// ledger's `Dropped` category over the same window.
+    #[must_use]
+    pub fn total_drop_fj(&self) -> f64 {
+        self.per_node.values().map(|w| w.drop_fj).sum()
+    }
+
+    /// Total wire energy spent carrying copies that were then thrown
+    /// away, fJ.
+    #[must_use]
+    pub fn total_wasted_wire_fj(&self) -> f64 {
+        self.per_node.values().map(|w| w.wasted_wire_fj).sum()
+    }
+
+    /// Total wire energy of every launch in the window (injections plus
+    /// forwarded copies), fJ — a denominator for waste fractions.
+    #[must_use]
+    pub fn total_wire_fj(&self) -> f64 {
+        (self.injected + self.forward_copies) as f64 * self.wire_fj
+    }
+
+    /// The waste section of the metrics report. `total_dynamic_fj` is the
+    /// run's dynamic energy over the same window (from its power report);
+    /// the headline `waste_fraction_of_dynamic` is wasted wire + drop
+    /// energy over that total.
+    #[must_use]
+    pub fn to_json(&self, total_dynamic_fj: f64) -> JsonValue {
+        let wasted = self.total_drop_fj() + self.total_wasted_wire_fj();
+        let fraction = if total_dynamic_fj > 0.0 {
+            wasted / total_dynamic_fj
+        } else {
+            0.0
+        };
+        let per_node: Vec<JsonValue> = self
+            .per_node
+            .iter()
+            .map(|(label, w)| {
+                JsonValue::Object(vec![
+                    ("node".to_string(), JsonValue::str(label.clone())),
+                    ("throttles".to_string(), JsonValue::uint(w.throttles)),
+                    (
+                        "redundant_copies_created".to_string(),
+                        JsonValue::uint(w.redundant_created),
+                    ),
+                    ("drop_fj".to_string(), JsonValue::Number(w.drop_fj)),
+                    (
+                        "wasted_wire_fj".to_string(),
+                        JsonValue::Number(w.wasted_wire_fj),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "total_throttles".to_string(),
+                JsonValue::uint(self.total_throttles()),
+            ),
+            (
+                "total_drop_fj".to_string(),
+                JsonValue::Number(self.total_drop_fj()),
+            ),
+            (
+                "total_wasted_wire_fj".to_string(),
+                JsonValue::Number(self.total_wasted_wire_fj()),
+            ),
+            (
+                "total_wire_fj".to_string(),
+                JsonValue::Number(self.total_wire_fj()),
+            ),
+            (
+                "waste_fraction_of_dynamic".to_string(),
+                JsonValue::Number(fraction),
+            ),
+            ("per_node".to_string(), JsonValue::Array(per_node)),
+        ])
+    }
+}
+
+impl<N: Copy> Observer<N> for SpeculationWaste<N> {
+    fn on_event(&mut self, _at: Time, in_window: bool, event: &SimEvent<'_, N>) {
+        if !in_window {
+            return;
+        }
+        match event {
+            SimEvent::Inject { .. } => self.injected += 1,
+            SimEvent::Forward { copies, .. } => self.forward_copies += u64::from(*copies),
+            SimEvent::Drop { node, .. } => {
+                let label = (self.label_of)(*node);
+                let record = self.per_node.entry(label).or_default();
+                record.throttles += 1;
+                record.drop_fj += self.drop_fj;
+                record.wasted_wire_fj += self.wire_fj;
+                let creator = (self.creator_of)(*node).unwrap_or(*node);
+                self.per_node
+                    .entry((self.label_of)(creator))
+                    .or_default()
+                    .redundant_created += 1;
+            }
+            SimEvent::Deliver { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use asynoc_kernel::Duration;
+    use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader};
+
+    fn flit() -> Flit {
+        Flit::new(
+            Arc::new(PacketDescriptor::new(
+                PacketId::new(1),
+                0,
+                DestSet::unicast(1),
+                RouteHeader::for_tree(8),
+                1,
+                Time::ZERO,
+            )),
+            0,
+        )
+    }
+
+    #[test]
+    fn drops_price_and_attribute_to_the_parent() {
+        // Node 5's parent is node 2 (creator closure below).
+        let mut ledger: SpeculationWaste<usize> = SpeculationWaste::new(
+            200.0,
+            400.0,
+            Box::new(|n| format!("n{n}")),
+            Box::new(|n: usize| (n > 0).then(|| (n - 1) / 2)),
+        );
+        let f = flit();
+        for _ in 0..3 {
+            ledger.on_event(
+                Time::from_ps(10),
+                true,
+                &SimEvent::Drop {
+                    node: 5usize,
+                    flit: &f,
+                    busy: Duration::from_ps(80),
+                },
+            );
+        }
+        assert_eq!(ledger.total_throttles(), 3);
+        assert_eq!(ledger.per_node()["n5"].throttles, 3);
+        assert_eq!(ledger.per_node()["n5"].redundant_created, 0);
+        assert_eq!(ledger.per_node()["n2"].redundant_created, 3);
+        assert!((ledger.total_drop_fj() - 1200.0).abs() < 1e-9);
+        assert!((ledger.total_wasted_wire_fj() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_events_are_ignored() {
+        let mut ledger: SpeculationWaste<usize> = SpeculationWaste::generic(200.0, 400.0);
+        let f = flit();
+        ledger.on_event(
+            Time::from_ps(10),
+            false,
+            &SimEvent::Drop {
+                node: 1usize,
+                flit: &f,
+                busy: Duration::from_ps(80),
+            },
+        );
+        assert_eq!(ledger.total_throttles(), 0);
+        assert!(ledger.per_node().is_empty());
+    }
+
+    #[test]
+    fn wire_total_counts_injections_and_copies() {
+        let mut ledger: SpeculationWaste<usize> = SpeculationWaste::generic(200.0, 400.0);
+        let f = flit();
+        ledger.on_event(
+            Time::from_ps(1),
+            true,
+            &SimEvent::Inject {
+                source: 0,
+                flit: &f,
+            },
+        );
+        ledger.on_event(
+            Time::from_ps(2),
+            true,
+            &SimEvent::Forward {
+                node: 0usize,
+                flit: &f,
+                info: asynoc_engine::ForwardInfo::Arbitrated { input: 0 },
+                copies: 2,
+                busy: Duration::from_ps(52),
+            },
+        );
+        assert!((ledger.total_wire_fj() - 3.0 * 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_totals_match_accessors() {
+        let mut ledger: SpeculationWaste<usize> = SpeculationWaste::generic(200.0, 400.0);
+        let f = flit();
+        ledger.on_event(
+            Time::from_ps(10),
+            true,
+            &SimEvent::Drop {
+                node: 3usize,
+                flit: &f,
+                busy: Duration::from_ps(80),
+            },
+        );
+        let json = ledger.to_json(6000.0);
+        assert_eq!(
+            json.get("total_drop_fj").and_then(JsonValue::as_f64),
+            Some(400.0)
+        );
+        // (400 drop + 200 wasted wire) / 6000 dynamic.
+        assert!(
+            (json
+                .get("waste_fraction_of_dynamic")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                - 0.1)
+                .abs()
+                < 1e-12
+        );
+        let per_node = json.get("per_node").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(per_node.len(), 1);
+        assert_eq!(
+            per_node[0].get("node").and_then(JsonValue::as_str),
+            Some("3")
+        );
+    }
+}

@@ -2,11 +2,15 @@
 # Tier-1 gate: everything that must be green before a commit lands.
 #
 #   scripts/check.sh            run the full gate
-#   scripts/check.sh --fast     skip the release build (debug test cycle)
+#   scripts/check.sh --fast     skip the release build, overhead bench,
+#                               and schema diff (debug test cycle)
 #
 # The gate is a superset of ROADMAP.md's tier-1 verify
 # (`cargo build --release && cargo test -q`), adding the lint and
-# formatting checks this repository holds itself to.
+# formatting checks this repository holds itself to, a smoke run of the
+# observer-overhead bench (the zero-observer fast path must keep working),
+# and a diff of the `asynoc metrics` JSON report schema against the
+# checked-in golden so report-format changes are always deliberate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +18,13 @@ fast=0
 if [[ "${1:-}" == "--fast" ]]; then
     fast=1
 fi
+
+# Lints first: they fail in seconds, tests take minutes.
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
 
 if [[ "$fast" -eq 0 ]]; then
     echo "==> cargo build --release"
@@ -26,10 +37,18 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> observer-overhead bench (smoke)"
+    cargo bench -q -p asynoc-bench --bench observer_overhead -- --smoke
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+    echo "==> metrics report schema vs results/metrics_schema.golden.json"
+    diff results/metrics_schema.golden.json \
+        <(cargo run -q --release -p asynoc-bench --bin metrics_schema) \
+        || {
+            echo "metrics schema drifted; if intentional, regenerate with"
+            echo "  cargo run --release -p asynoc-bench --bin metrics_schema > results/metrics_schema.golden.json"
+            exit 1
+        }
+fi
 
 echo "OK: all tier-1 checks passed"

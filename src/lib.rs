@@ -24,5 +24,6 @@ pub use asynoc_nodes;
 pub use asynoc_packet;
 pub use asynoc_power;
 pub use asynoc_stats;
+pub use asynoc_telemetry;
 pub use asynoc_topology;
 pub use asynoc_traffic;

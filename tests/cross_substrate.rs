@@ -3,12 +3,13 @@
 //! fabric — must tell one coherent story.
 
 use asynoc::{
-    Architecture, Benchmark, Duration, MotSize, Network, NetworkConfig, Phases, RunConfig,
+    Architecture, Benchmark, Duration, MotSize, Network, NetworkConfig, Observer, Phases, RunConfig,
 };
 use asynoc_gates::mousetrap::{SpeculativeFork, StageDelays};
 use asynoc_gates::{vcd, GateSim};
 use asynoc_kernel::Time;
 use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
+use asynoc_telemetry::{parse_ndjson, render_ndjson, TraceCollector, TraceRecord};
 
 #[test]
 fn mot_beats_mesh_at_equal_endpoint_count() {
@@ -78,6 +79,68 @@ fn mesh_multicast_collapse_vs_mot() {
         ratio > 5.0,
         "serialized mesh multicast should be dramatically slower (got {ratio:.1}x)"
     );
+}
+
+#[test]
+fn both_substrates_emit_round_trippable_ndjson_traces() {
+    // Observability must be substrate-agnostic: the same collector type,
+    // parameterised only by the node type, produces NDJSON that one shared
+    // parser round-trips for both the MoT and the mesh.
+    let phases = Phases::new(Duration::from_ns(60), Duration::from_ns(400));
+    let mot = Network::new(
+        NetworkConfig::new(
+            MotSize::new(64).expect("valid"),
+            Architecture::OptHybridSpeculative,
+        )
+        .with_seed(9),
+    )
+    .expect("valid config");
+    let mesh = MeshNetwork::new(MeshConfig::new(MeshSize::new(8, 8).expect("valid")).with_seed(9))
+        .expect("valid config");
+
+    let mut mot_trace = TraceCollector::generic(50_000);
+    mot.run_with_observers(
+        &RunConfig::new(Benchmark::Multicast10, 0.2)
+            .expect("positive rate")
+            .with_phases(phases),
+        &mut [&mut mot_trace as &mut dyn Observer<_>],
+    )
+    .expect("MoT run succeeds");
+
+    let mut mesh_trace: TraceCollector<usize> = TraceCollector::generic(50_000);
+    mesh.run_with_observers(
+        Benchmark::Multicast10,
+        0.2,
+        phases,
+        &mut [&mut mesh_trace as &mut dyn Observer<usize>],
+    )
+    .expect("mesh run succeeds");
+
+    for (substrate, records) in [
+        ("mot", mot_trace.into_records()),
+        ("mesh", mesh_trace.into_records()),
+    ] {
+        assert!(!records.is_empty(), "{substrate}: trace captured events");
+        let text = render_ndjson(&records);
+        let parsed = parse_ndjson(&text).unwrap_or_else(|e| panic!("{substrate}: {e:?}"));
+        assert_eq!(
+            parsed, records,
+            "{substrate}: NDJSON round-trips losslessly"
+        );
+        assert_eq!(
+            render_ndjson(&parsed),
+            text,
+            "{substrate}: re-render is stable"
+        );
+        assert!(
+            records.windows(2).all(|w| w[0].t_ps <= w[1].t_ps),
+            "{substrate}: timestamps are non-decreasing"
+        );
+        let has = |action: &str| records.iter().any(|r: &TraceRecord| r.action == action);
+        assert!(has("inject"), "{substrate}: injections traced");
+        assert!(has("forward"), "{substrate}: forwards traced");
+        assert!(has("deliver"), "{substrate}: deliveries traced");
+    }
 }
 
 #[test]

@@ -1,0 +1,122 @@
+//! Observer contract tests: registration order, measurement-window
+//! gating, and the zero-observer fast path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use asynoc::{
+    Architecture, Benchmark, Duration, MotNode, Network, NetworkConfig, Observer, Phases,
+    RunConfig, SimEvent, Time,
+};
+
+fn network() -> Network {
+    Network::new(NetworkConfig::eight_by_eight(Architecture::BasicHybridSpeculative).with_seed(7))
+        .expect("valid config")
+}
+
+fn phases() -> Phases {
+    Phases::new(Duration::from_ns(60), Duration::from_ns(400))
+}
+
+fn run_config() -> RunConfig {
+    RunConfig::new(Benchmark::Multicast10, 0.3)
+        .expect("positive rate")
+        .with_phases(phases())
+}
+
+/// Pushes its tag into a shared log on every event.
+struct Tagger {
+    tag: &'static str,
+    log: Rc<RefCell<Vec<&'static str>>>,
+}
+
+impl Observer<MotNode> for Tagger {
+    fn on_event(&mut self, _at: Time, _in_window: bool, _event: &SimEvent<'_, MotNode>) {
+        self.log.borrow_mut().push(self.tag);
+    }
+}
+
+#[test]
+fn observers_fire_in_registration_order() {
+    let net = network();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut first = Tagger {
+        tag: "first",
+        log: Rc::clone(&log),
+    };
+    let mut second = Tagger {
+        tag: "second",
+        log: Rc::clone(&log),
+    };
+    net.run_with_observers(&run_config(), &mut [&mut first, &mut second])
+        .expect("run succeeds");
+
+    let log = log.borrow();
+    assert!(!log.is_empty(), "observers saw events");
+    assert_eq!(log.len() % 2, 0, "both observers see every event");
+    for pair in log.chunks(2) {
+        assert_eq!(pair, ["first", "second"], "registration order per event");
+    }
+}
+
+/// Records each event's instant and `in_window` flag.
+struct WindowProbe {
+    seen: Vec<(Time, bool)>,
+}
+
+impl Observer<MotNode> for WindowProbe {
+    fn on_event(&mut self, at: Time, in_window: bool, _event: &SimEvent<'_, MotNode>) {
+        self.seen.push((at, in_window));
+    }
+}
+
+#[test]
+fn in_window_flag_matches_the_measurement_phases() {
+    let net = network();
+    let phases = phases();
+    let mut probe = WindowProbe { seen: Vec::new() };
+    net.run_with_observers(&run_config(), &mut [&mut probe])
+        .expect("run succeeds");
+
+    assert!(!probe.seen.is_empty());
+    let mut warmup = 0u64;
+    let mut window = 0u64;
+    let mut drain = 0u64;
+    for &(at, in_window) in &probe.seen {
+        assert_eq!(
+            in_window,
+            phases.in_measurement(at),
+            "in_window flag must mirror Phases::in_measurement at {at}"
+        );
+        if at < phases.measurement_start() {
+            warmup += 1;
+            assert!(!in_window);
+        } else if at < phases.measurement_end() {
+            window += 1;
+            assert!(in_window);
+        } else {
+            drain += 1;
+            assert!(!in_window);
+        }
+    }
+    // All three phases of the run are visible on the event stream.
+    assert!(warmup > 0, "warmup events observed");
+    assert!(window > 0, "measurement-window events observed");
+    assert!(drain > 0, "drain events observed");
+}
+
+#[test]
+fn observers_do_not_change_the_measurement() {
+    let net = network();
+    let bare = net.run(&run_config()).expect("run succeeds");
+    let mut probe = WindowProbe { seen: Vec::new() };
+    let observed = net
+        .run_with_observers(&run_config(), &mut [&mut probe])
+        .expect("run succeeds");
+
+    assert_eq!(bare.packets_measured, observed.packets_measured);
+    assert_eq!(bare.flits_delivered, observed.flits_delivered);
+    assert_eq!(bare.flits_throttled, observed.flits_throttled);
+    assert_eq!(bare.events_processed, observed.events_processed);
+    assert_eq!(bare.latency.mean(), observed.latency.mean());
+}
