@@ -1,0 +1,211 @@
+//! Trace site labels, parsed back into topology coordinates.
+//!
+//! The MoT substrate labels sites with its canonical display forms
+//! (`src3`, `fo[s2:1.0]`, `fi[d4:2.3]`, `D5`), the mesh with `r{N}`.
+//! Because the wiring of both fabrics is fully determined by coordinates,
+//! a parsed label is enough to name an event's causal parent — no
+//! topology object needed at analysis time.
+
+use std::fmt;
+
+/// A parsed trace site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Site {
+    /// A traffic source endpoint.
+    Source(usize),
+    /// A fanout (routing) node of the MoT.
+    Fanout {
+        /// Source tree.
+        tree: usize,
+        /// Level (root = 0).
+        level: u32,
+        /// Index within the level.
+        index: usize,
+    },
+    /// A fanin (arbitration) node of the MoT.
+    Fanin {
+        /// Destination tree.
+        tree: usize,
+        /// Level (root = 0, adjacent to the sink).
+        level: u32,
+        /// Index within the level.
+        index: usize,
+    },
+    /// A destination sink endpoint.
+    Sink(usize),
+    /// A mesh router.
+    Router(usize),
+    /// An unrecognized label (generic collectors use `Debug` forms).
+    Other,
+}
+
+/// Parses `"{tree}:{level}.{index}]"`.
+fn coords(s: &str) -> Option<(usize, u32, usize)> {
+    let s = s.strip_suffix(']')?;
+    let (tree, rest) = s.split_once(':')?;
+    let (level, index) = rest.split_once('.')?;
+    Some((tree.parse().ok()?, level.parse().ok()?, index.parse().ok()?))
+}
+
+impl Site {
+    /// Parses a site label; unrecognized forms map to [`Site::Other`].
+    #[must_use]
+    pub fn parse(label: &str) -> Site {
+        if let Some(rest) = label.strip_prefix("fo[s") {
+            if let Some((tree, level, index)) = coords(rest) {
+                return Site::Fanout { tree, level, index };
+            }
+        }
+        if let Some(rest) = label.strip_prefix("fi[d") {
+            if let Some((tree, level, index)) = coords(rest) {
+                return Site::Fanin { tree, level, index };
+            }
+        }
+        if let Some(rest) = label.strip_prefix("src") {
+            if let Ok(n) = rest.parse() {
+                return Site::Source(n);
+            }
+        }
+        if let Some(rest) = label.strip_prefix('D') {
+            if let Ok(n) = rest.parse() {
+                return Site::Sink(n);
+            }
+        }
+        if let Some(rest) = label.strip_prefix('r') {
+            if let Ok(n) = rest.parse() {
+                return Site::Router(n);
+            }
+        }
+        Site::Other
+    }
+
+    /// The aggregation key for per-level attribution (e.g. `fanout-L1`).
+    #[must_use]
+    pub fn level_key(&self) -> String {
+        match self {
+            Site::Source(_) => "source".to_string(),
+            Site::Fanout { level, .. } => format!("fanout-L{level}"),
+            Site::Fanin { level, .. } => format!("fanin-L{level}"),
+            Site::Sink(_) => "sink".to_string(),
+            Site::Router(_) => "router".to_string(),
+            Site::Other => "other".to_string(),
+        }
+    }
+
+    /// The labels this site's causal parent could carry, most likely
+    /// first. `src` is the event's packet source (needed to name the
+    /// fanout leaf feeding a fanin tree). Empty means "no coordinate
+    /// parent" — the analyzer then falls back to the flit's previous
+    /// event, which is exact for linear paths (the mesh).
+    #[must_use]
+    pub fn parent_candidates(&self, src: usize) -> Vec<String> {
+        match *self {
+            Site::Fanout { tree, level: 0, .. } => vec![format!("src{tree}")],
+            Site::Fanout { tree, level, index } => {
+                vec![format!("fo[s{tree}:{}.{}]", level - 1, index / 2)]
+            }
+            // A fanin node is fed by one of its two children one level
+            // down — or, at the leaf level, by the source's fanout leaf
+            // covering this destination pair. Candidate order encodes
+            // that precedence; only the true parent has an event in the
+            // same flit's group.
+            Site::Fanin { tree, level, index } => vec![
+                format!("fi[d{tree}:{}.{}]", level + 1, 2 * index),
+                format!("fi[d{tree}:{}.{}]", level + 1, 2 * index + 1),
+                format!("fo[s{src}:{level}.{}]", tree / 2),
+            ],
+            Site::Sink(dest) => vec![format!("fi[d{dest}:0.0]")],
+            Site::Source(_) | Site::Router(_) | Site::Other => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Site::Source(n) => write!(f, "src{n}"),
+            Site::Fanout { tree, level, index } => write!(f, "fo[s{tree}:{level}.{index}]"),
+            Site::Fanin { tree, level, index } => write!(f, "fi[d{tree}:{level}.{index}]"),
+            Site::Sink(n) => write!(f, "D{n}"),
+            Site::Router(n) => write!(f, "r{n}"),
+            Site::Other => f.write_str("?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_canonical_form() {
+        assert_eq!(Site::parse("src3"), Site::Source(3));
+        assert_eq!(
+            Site::parse("fo[s2:1.0]"),
+            Site::Fanout {
+                tree: 2,
+                level: 1,
+                index: 0
+            }
+        );
+        assert_eq!(
+            Site::parse("fi[d4:2.3]"),
+            Site::Fanin {
+                tree: 4,
+                level: 2,
+                index: 3
+            }
+        );
+        assert_eq!(Site::parse("D5"), Site::Sink(5));
+        assert_eq!(Site::parse("r12"), Site::Router(12));
+        assert_eq!(Site::parse("MotNode::Fanout(3)"), Site::Other);
+        assert_eq!(Site::parse("fo[s2:nope]"), Site::Other);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for label in ["src3", "fo[s2:1.0]", "fi[d4:2.3]", "D5", "r12"] {
+            assert_eq!(Site::parse(label).to_string(), label);
+        }
+    }
+
+    #[test]
+    fn parent_candidates_follow_the_wiring() {
+        // Root fanout comes from its source.
+        assert_eq!(
+            Site::parse("fo[s5:0.0]").parent_candidates(5),
+            vec!["src5".to_string()]
+        );
+        // Interior fanout halves its index one level up.
+        assert_eq!(
+            Site::parse("fo[s5:2.3]").parent_candidates(5),
+            vec!["fo[s5:1.1]".to_string()]
+        );
+        // Interior fanin: two child slots, then the fanout leaf covering
+        // this destination pair (8x8: fanin leaf (d=3, L2, s/2) is fed by
+        // fanout leaf (s, L2, d/2)).
+        assert_eq!(
+            Site::parse("fi[d3:2.3]").parent_candidates(6),
+            vec![
+                "fi[d3:3.6]".to_string(),
+                "fi[d3:3.7]".to_string(),
+                "fo[s6:2.1]".to_string(),
+            ]
+        );
+        // Sink is fed by the fanin root.
+        assert_eq!(
+            Site::parse("D3").parent_candidates(6),
+            vec!["fi[d3:0.0]".to_string()]
+        );
+        // Mesh routers have no coordinate parent — linear fallback.
+        assert!(Site::parse("r9").parent_candidates(0).is_empty());
+    }
+
+    #[test]
+    fn level_keys_group_by_stage() {
+        assert_eq!(Site::parse("fo[s5:2.3]").level_key(), "fanout-L2");
+        assert_eq!(Site::parse("fi[d3:0.0]").level_key(), "fanin-L0");
+        assert_eq!(Site::parse("r9").level_key(), "router");
+        assert_eq!(Site::parse("src1").level_key(), "source");
+    }
+}

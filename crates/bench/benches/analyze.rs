@@ -1,0 +1,95 @@
+//! Analysis-pipeline throughput: the offline `asynoc analyze` stages
+//! priced per trace event, so a slowdown in ingest or span
+//! reconstruction is caught before it makes post-run analysis painful
+//! on long traces.
+//!
+//! One 8x8 hybrid-speculative run is traced in-memory, then each stage
+//! is timed over the same record stream:
+//!
+//! - `parse_trace` — NDJSON text back into meta + records
+//! - `span_forest` — causal span-tree reconstruction alone
+//! - `full_analysis` — the complete report build (spans, critical
+//!   paths, attribution, heatmaps, scorecard)
+//!
+//! `--smoke` shrinks the window and sample count for CI; `--json <path>`
+//! guards the stored ns/event baseline as in `observer_overhead`.
+
+use asynoc::{
+    Architecture, Benchmark, Duration, MotNode, Network, NetworkConfig, Observer, Phases, RunConfig,
+};
+use asynoc_analysis::{Analysis, SpanForest};
+use asynoc_bench::baseline::{guard, parse_bench_args, BenchCase};
+use asynoc_bench::timing::Harness;
+use asynoc_telemetry::{parse_trace, render_trace, TraceCollector, TraceMeta};
+use asynoc_topology::{FaninNodeId, FanoutNodeId};
+
+fn main() {
+    let args = parse_bench_args();
+    let (samples, measure_ns) = if args.smoke { (3, 200) } else { (20, 800) };
+    let harness = Harness::new(samples);
+
+    let network = Network::new(
+        NetworkConfig::eight_by_eight(Architecture::BasicHybridSpeculative).with_seed(3),
+    )
+    .expect("valid config");
+    let size = network.config().size();
+    let timing = network.config().timing();
+    let phases = Phases::new(Duration::from_ns(40), Duration::from_ns(measure_ns));
+    let run = RunConfig::new(Benchmark::Multicast10, 0.3)
+        .expect("positive rate")
+        .with_phases(phases);
+
+    let mut collector: TraceCollector<MotNode> = TraceCollector::new(
+        1_000_000,
+        Box::new(move |node| match node {
+            MotNode::Fanout(flat) => FanoutNodeId::from_flat_index(size, flat).to_string(),
+            MotNode::Fanin(flat) => FaninNodeId::from_flat_index(size, flat).to_string(),
+        }),
+    );
+    let mut extra: Vec<&mut dyn Observer<MotNode>> = vec![&mut collector];
+    network
+        .run_with_observers(&run, &mut extra)
+        .expect("run succeeds");
+    let meta = TraceMeta {
+        substrate: "mot".to_string(),
+        arch: Some(Architecture::BasicHybridSpeculative.to_string()),
+        size: 8,
+        seed: 3,
+        flits: 1,
+        rate: 0.3,
+        warmup_ps: phases.warmup().as_ps(),
+        measure_ps: phases.measure().as_ps(),
+        wire_fj: Some(timing.wire_fj),
+        drop_fj: Some(timing.drop_fj),
+        dropped_events: collector.dropped(),
+    };
+    let text = render_trace(&meta, collector.records());
+    let records = collector.records().to_vec();
+    let events = records.len() as u64;
+
+    let group = harness.group(&format!("analyze_{measure_ns}ns ({events} events)"));
+    let parse = group.bench("parse_trace", || {
+        parse_trace(&text).expect("well-formed trace")
+    });
+    let spans = group.bench("span_forest", || SpanForest::build(&records));
+    let full = group.bench("full_analysis", || {
+        Analysis::build(Some(meta.clone()), records.clone(), 10)
+    });
+
+    if let Some(path) = args.json {
+        let cases = [
+            ("parse_trace", parse),
+            ("span_forest", spans),
+            ("full_analysis", full),
+        ]
+        .map(|(id, median)| BenchCase {
+            id: id.to_string(),
+            median,
+            events,
+        });
+        if let Err(message) = guard("analyze", &path, &cases, args.update) {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,14 +9,17 @@
 //!   the dispatch alone
 //! - `full_telemetry` — latency histograms + time-series + waste ledger
 //!
-//! `--smoke` shrinks the window and sample count for CI; the check script
-//! runs it on every pass so a regression in the zero-observer path is
-//! caught immediately.
+//! `--smoke` shrinks the window and sample count for CI. With
+//! `--json <path>` each case's median, normalized to ns per simulated
+//! event, is checked against the stored baseline record (seeded on first
+//! run, refreshed with `--update-baseline`); a regression beyond the
+//! tolerance fails the process.
 
 use asynoc::{
     Architecture, Benchmark, Duration, MotNode, Network, NetworkConfig, Observer, Phases,
     RunConfig, SimEvent, Time,
 };
+use asynoc_bench::baseline::{guard, parse_bench_args, BenchCase};
 use asynoc_bench::timing::Harness;
 use asynoc_telemetry::{LatencyHistograms, SpeculationWaste, TimeSeries};
 
@@ -27,8 +30,8 @@ impl Observer<MotNode> for Noop {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let (samples, measure_ns) = if smoke { (3, 200) } else { (20, 800) };
+    let args = parse_bench_args();
+    let (samples, measure_ns) = if args.smoke { (3, 200) } else { (20, 800) };
     let harness = Harness::new(samples);
 
     let network = Network::new(
@@ -42,15 +45,19 @@ fn main() {
     let timing = network.config().timing();
     let (wire_fj, drop_fj) = (timing.wire_fj, timing.drop_fj);
 
+    // The run is deterministic, so one untimed pass fixes the event
+    // count every timed case processes.
+    let events = network.run(&run).expect("run succeeds").events_processed;
+
     let group = harness.group(&format!("observer_overhead_{measure_ns}ns"));
-    group.bench("no_observers", || network.run(&run).expect("run succeeds"));
-    group.bench("noop_observer", || {
+    let no_observers = group.bench("no_observers", || network.run(&run).expect("run succeeds"));
+    let noop_observer = group.bench("noop_observer", || {
         let mut noop = Noop;
         network
             .run_with_observers(&run, &mut [&mut noop])
             .expect("run succeeds")
     });
-    group.bench("full_telemetry", || {
+    let full_telemetry = group.bench("full_telemetry", || {
         let mut latency = LatencyHistograms::new(phases, 8);
         let mut timeseries: TimeSeries<MotNode> =
             TimeSeries::single_level(Duration::from_ns(100), "nodes", 120);
@@ -59,4 +66,21 @@ fn main() {
             .run_with_observers(&run, &mut [&mut latency, &mut timeseries, &mut waste])
             .expect("run succeeds")
     });
+
+    if let Some(path) = args.json {
+        let cases = [
+            ("no_observers", no_observers),
+            ("noop_observer", noop_observer),
+            ("full_telemetry", full_telemetry),
+        ]
+        .map(|(id, median)| BenchCase {
+            id: id.to_string(),
+            median,
+            events,
+        });
+        if let Err(message) = guard("observer_overhead", &path, &cases, args.update) {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,278 @@
+//! Benchmark baseline records and the regression guard.
+//!
+//! A bench binary invoked with `--json <path>` normalizes each case's
+//! median to **nanoseconds per simulated event** and compares against
+//! the stored record at `path`:
+//!
+//! - no record yet → the run *seeds* one and passes;
+//! - record present → any case more than [`TOLERANCE`] slower than its
+//!   stored `ns_per_event` fails with a per-case diff (the process exits
+//!   non-zero from the caller);
+//! - `--update-baseline` → rewrite the record with this run.
+//!
+//! Passing runs never rewrite the file, so the baseline tracks the
+//! machine it was seeded on; wall-clock noise is absorbed by the
+//! per-event normalization and the 20% tolerance band.
+
+use std::time::Duration;
+
+use asynoc_telemetry::JsonValue;
+
+/// Allowed slowdown over the stored baseline (fractional).
+pub const TOLERANCE: f64 = 0.20;
+
+/// The baseline file's schema identifier.
+pub const BASELINE_SCHEMA: &str = "asynoc-bench-v1";
+
+/// One measured benchmark case.
+pub struct BenchCase {
+    /// Case identifier (stable across runs).
+    pub id: String,
+    /// Median wall-clock of the case.
+    pub median: Duration,
+    /// Simulated events the case processed (the normalizer).
+    pub events: u64,
+}
+
+impl BenchCase {
+    fn ns_per_event(&self) -> f64 {
+        self.median.as_nanos() as f64 / self.events.max(1) as f64
+    }
+}
+
+fn record_json(bench: &str, cases: &[BenchCase]) -> JsonValue {
+    JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::str(BASELINE_SCHEMA)),
+        ("bench".to_string(), JsonValue::str(bench)),
+        (
+            "cases".to_string(),
+            JsonValue::Array(
+                cases
+                    .iter()
+                    .map(|case| {
+                        JsonValue::Object(vec![
+                            ("id".to_string(), JsonValue::str(&case.id)),
+                            (
+                                "median_ns".to_string(),
+                                JsonValue::uint(case.median.as_nanos() as u64),
+                            ),
+                            ("events".to_string(), JsonValue::uint(case.events)),
+                            (
+                                "ns_per_event".to_string(),
+                                JsonValue::Number(case.ns_per_event()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Compares `cases` against the record at `path`, seeding or updating it
+/// as described in the module docs.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming every case that regressed
+/// beyond [`TOLERANCE`]; the caller should print it and exit non-zero.
+pub fn guard(bench: &str, path: &str, cases: &[BenchCase], update: bool) -> Result<(), String> {
+    let stored = std::fs::read_to_string(path);
+    let Ok(text) = stored else {
+        let rendered = record_json(bench, cases).render_pretty();
+        std::fs::write(path, rendered).map_err(|e| format!("cannot seed baseline {path}: {e}"))?;
+        println!("seeded baseline {path}");
+        return Ok(());
+    };
+    if update {
+        let rendered = record_json(bench, cases).render_pretty();
+        std::fs::write(path, rendered)
+            .map_err(|e| format!("cannot update baseline {path}: {e}"))?;
+        println!("updated baseline {path}");
+        return Ok(());
+    }
+
+    let record = JsonValue::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+    let stored_cases = record
+        .get("cases")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("baseline {path}: missing cases array"))?;
+    let stored_ns_per_event = |id: &str| -> Option<f64> {
+        stored_cases
+            .iter()
+            .find(|c| c.get("id").and_then(JsonValue::as_str) == Some(id))
+            .and_then(|c| c.get("ns_per_event"))
+            .and_then(JsonValue::as_f64)
+    };
+
+    let mut failures = Vec::new();
+    for case in cases {
+        let Some(baseline) = stored_ns_per_event(&case.id) else {
+            println!(
+                "  {:<28} no baseline entry (rerun with --update-baseline to add)",
+                case.id
+            );
+            continue;
+        };
+        let now = case.ns_per_event();
+        let ratio = now / baseline.max(f64::MIN_POSITIVE);
+        if ratio > 1.0 + TOLERANCE {
+            failures.push(format!(
+                "  {:<28} {:.1} ns/event vs baseline {:.1} ns/event (+{:.0}%, tolerance {:.0}%)",
+                case.id,
+                now,
+                baseline,
+                (ratio - 1.0) * 100.0,
+                TOLERANCE * 100.0
+            ));
+        } else {
+            println!(
+                "  {:<28} {:.1} ns/event vs baseline {:.1} ns/event ({:+.0}%) ok",
+                case.id,
+                now,
+                baseline,
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "bench {bench} regressed beyond the stored baseline {path}:\n{}\n\
+             if the slowdown is intentional, rerun with --update-baseline",
+            failures.join("\n")
+        ))
+    }
+}
+
+/// Parses the bench-binary argument convention shared by the guarded
+/// benches: `--smoke`, `--json <path>`, `--update-baseline`.
+#[must_use]
+pub fn parse_bench_args() -> BenchArgs {
+    let mut parsed = BenchArgs {
+        smoke: false,
+        json: None,
+        update: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--update-baseline" => parsed.update = true,
+            "--json" => {
+                parsed.json = Some(args.next().unwrap_or_else(|| {
+                    panic!("--json requires a path");
+                }));
+            }
+            // `cargo bench` passes through a `--bench` marker.
+            "--bench" => {}
+            other => panic!(
+                "unknown argument {other:?} (expected --smoke, --json <path>, --update-baseline)"
+            ),
+        }
+    }
+    parsed
+}
+
+/// The parsed bench-binary arguments.
+pub struct BenchArgs {
+    /// Shrink windows and sample counts for CI.
+    pub smoke: bool,
+    /// Baseline record path (`None` = no guard, print-only).
+    pub json: Option<String>,
+    /// Rewrite the baseline with this run.
+    pub update: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> String {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "asynoc-baseline-test-{}-{name}",
+            std::process::id()
+        ));
+        path.to_string_lossy().into_owned()
+    }
+
+    fn case(id: &str, ns: u64, events: u64) -> BenchCase {
+        BenchCase {
+            id: id.to_string(),
+            median: Duration::from_nanos(ns),
+            events,
+        }
+    }
+
+    #[test]
+    fn first_run_seeds_and_passes() {
+        let path = temp_path("seed.json");
+        let _ = std::fs::remove_file(&path);
+        let cases = [case("a", 1_000_000, 1_000)];
+        guard("demo", &path, &cases, false).expect("seeding passes");
+        let text = std::fs::read_to_string(&path).expect("record written");
+        let record = JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(
+            record.get("schema").and_then(JsonValue::as_str),
+            Some(BASELINE_SCHEMA)
+        );
+        let entries = record.get("cases").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            entries[0].get("ns_per_event").and_then(JsonValue::as_f64),
+            Some(1_000.0)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_keeps_the_baseline() {
+        let path = temp_path("pass.json");
+        let _ = std::fs::remove_file(&path);
+        guard("demo", &path, &[case("a", 1_000_000, 1_000)], false).expect("seed");
+        let before = std::fs::read_to_string(&path).expect("record");
+        // 15% slower: inside the band.
+        guard("demo", &path, &[case("a", 1_150_000, 1_000)], false).expect("within tolerance");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("record"),
+            before,
+            "passing runs never rewrite the baseline"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn regression_fails_with_a_diff_message() {
+        let path = temp_path("fail.json");
+        let _ = std::fs::remove_file(&path);
+        guard("demo", &path, &[case("a", 1_000_000, 1_000)], false).expect("seed");
+        let err = guard("demo", &path, &[case("a", 1_500_000, 1_000)], false)
+            .expect_err("50% slower must fail");
+        assert!(err.contains("regressed"), "{err}");
+        assert!(err.contains("1500.0 ns/event"), "{err}");
+        assert!(err.contains("baseline 1000.0 ns/event"), "{err}");
+        assert!(err.contains("--update-baseline"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn update_rewrites_the_baseline() {
+        let path = temp_path("update.json");
+        let _ = std::fs::remove_file(&path);
+        guard("demo", &path, &[case("a", 1_000_000, 1_000)], false).expect("seed");
+        guard("demo", &path, &[case("a", 2_000_000, 1_000)], true).expect("update");
+        guard("demo", &path, &[case("a", 2_000_000, 1_000)], false).expect("new baseline accepted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn faster_events_normalization_absorbs_bigger_runs() {
+        let path = temp_path("norm.json");
+        let _ = std::fs::remove_file(&path);
+        guard("demo", &path, &[case("a", 1_000_000, 1_000)], false).expect("seed");
+        // 4x the wall-clock over 4x the events: identical ns/event.
+        guard("demo", &path, &[case("a", 4_000_000, 4_000)], false).expect("same per-event cost");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,47 @@
+//! Prints the *schema skeleton* of the `asynoc analyze` JSON report —
+//! every key with its value replaced by a type name, arrays reduced to
+//! their first element's shape. The check script diffs this against
+//! `results/analysis_schema.golden.json`, so any report-format change
+//! has to be made deliberately (regenerate with
+//! `cargo run -p asynoc-bench --bin analysis_schema > results/analysis_schema.golden.json`).
+
+use asynoc_cli::{execute, parse};
+use asynoc_telemetry::JsonValue;
+
+fn run(line: &str) -> Vec<u8> {
+    let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let command = parse(&args).expect("valid invocation");
+    let mut out = Vec::new();
+    execute(&command, &mut out).expect("command succeeds");
+    out
+}
+
+fn main() {
+    // The hybrid multicast run populates every report section (the
+    // speculation scorecard needs throttles and energy constants).
+    let mut trace_path = std::env::temp_dir();
+    trace_path.push(format!(
+        "asynoc-analysis-schema-{}.ndjson",
+        std::process::id()
+    ));
+    let trace_path = trace_path.to_string_lossy().into_owned();
+    let mut metrics_path = std::env::temp_dir();
+    metrics_path.push(format!(
+        "asynoc-analysis-schema-{}.json",
+        std::process::id()
+    ));
+    let metrics_path = metrics_path.to_string_lossy().into_owned();
+
+    run(&format!(
+        "metrics --arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 \
+         --warmup-ns 40 --measure-ns 400 --trace-limit 200000 \
+         --metrics-out {metrics_path} --trace-out {trace_path}"
+    ));
+    let out = run(&format!("analyze --trace-in {trace_path}"));
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&metrics_path);
+
+    let report =
+        JsonValue::parse(&String::from_utf8(out).expect("utf8")).expect("valid JSON report");
+    print!("{}", report.schema().render_pretty());
+}

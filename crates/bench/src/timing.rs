@@ -40,11 +40,12 @@ pub struct Group<'a> {
 }
 
 impl Group<'_> {
-    /// Times `f`, printing median/min/max over the harness's sample count.
+    /// Times `f`, printing median/min/max over the harness's sample count
+    /// and returning the median (for baseline guards).
     ///
     /// One untimed warmup call precedes measurement so allocator and cache
     /// effects of the first run do not skew the minimum.
-    pub fn bench<T>(&self, id: &str, mut f: impl FnMut() -> T) {
+    pub fn bench<T>(&self, id: &str, mut f: impl FnMut() -> T) -> Duration {
         std::hint::black_box(f());
         let mut samples: Vec<Duration> = (0..self.harness.sample_size)
             .map(|_| {
@@ -63,6 +64,7 @@ impl Group<'_> {
             format_duration(min),
             format_duration(max),
         );
+        median
     }
 }
 

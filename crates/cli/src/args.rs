@@ -18,6 +18,7 @@ USAGE:
   asynoc metrics  --benchmark <B> --rate <flits/ns> [--arch <A>] [--substrate mot|mesh]
                   [--metrics-out <path>] [--trace-format ndjson|chrome] [--trace-out <path>]
                   [--trace-limit <K>] [--bin-ns <W>] [common options]
+  asynoc analyze  --trace-in <path> [--report-out <path>] [--top <N>] [--heatmap] [--lenient]
   asynoc info     [--arch <A>] [--size <N>]
   asynoc help
 
@@ -40,6 +41,12 @@ COMMON OPTIONS:
             --arch is required on the mot substrate; --trace-out exports
             the flit trace (ndjson default, chrome is Perfetto-loadable);
             --bin-ns sets the time-series bin width (default 100)
+  analyze:  offline causal analysis over an NDJSON flit trace (from
+            metrics --trace-out): per-packet critical paths, blocked-time
+            attribution, congestion heatmaps, speculation scorecard.
+            --top bounds the ranked lists (default 10); --heatmap prints
+            the text maps; --lenient skips malformed lines (counted in
+            the report) instead of failing
 
 ARCHITECTURES:
   Baseline, BasicNonSpeculative, BasicHybridSpeculative,
@@ -130,6 +137,20 @@ pub enum Command {
         trace_limit: usize,
         /// Shared options.
         common: CommonOptions,
+    },
+    /// Offline causal analysis over an exported NDJSON flit trace.
+    Analyze {
+        /// The NDJSON trace to ingest.
+        trace_in: String,
+        /// Write the JSON report here instead of stdout.
+        report_out: Option<String>,
+        /// Bound on the ranked lists in the report.
+        top: usize,
+        /// Print the textual congestion heatmaps.
+        heatmap: bool,
+        /// Skip malformed trace lines (counted in the report) instead of
+        /// failing on the first one.
+        lenient: bool,
     },
     /// Static information: node table, address bits, area/leakage.
     Info {
@@ -260,8 +281,9 @@ fn collect_flags(
         if !allowed.contains(&key) {
             return Err(ParseCliError::new(format!("unknown option --{key}")));
         }
-        // `--quick` is a bare flag; everything else takes a value.
-        let value = if key == "quick" {
+        // `--quick`, `--heatmap`, and `--lenient` are bare flags;
+        // everything else takes a value.
+        let value = if matches!(key, "quick" | "heatmap" | "lenient") {
             "true".to_string()
         } else {
             iter.next()
@@ -507,6 +529,27 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 trace_out,
                 trace_limit,
                 common: common_options(&flags)?,
+            })
+        }
+        "analyze" => {
+            let flags = collect_flags(
+                rest,
+                &["trace-in", "report-out", "top", "heatmap", "lenient"],
+            )?;
+            let top: usize = flags
+                .get("top")
+                .map(|raw| parse_value("top", raw))
+                .transpose()?
+                .unwrap_or(10);
+            if top == 0 {
+                return Err(ParseCliError::new("--top must be at least 1"));
+            }
+            Ok(Command::Analyze {
+                trace_in: required(&flags, "trace-in")?.to_string(),
+                report_out: flags.get("report-out").cloned(),
+                top,
+                heatmap: flags.contains_key("heatmap"),
+                lenient: flags.contains_key("lenient"),
             })
         }
         "info" => {
@@ -823,6 +866,45 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.message().contains("bin-ns"), "{err}");
+    }
+
+    #[test]
+    fn analyze_defaults_and_overrides() {
+        let cmd = parse(&argv("analyze --trace-in t.ndjson")).expect("valid invocation");
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                trace_in: "t.ndjson".to_string(),
+                report_out: None,
+                top: 10,
+                heatmap: false,
+                lenient: false,
+            }
+        );
+        let cmd = parse(&argv(
+            "analyze --trace-in t.ndjson --report-out r.json --top 3 --heatmap --lenient",
+        ))
+        .expect("valid invocation");
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                trace_in: "t.ndjson".to_string(),
+                report_out: Some("r.json".to_string()),
+                top: 3,
+                heatmap: true,
+                lenient: true,
+            }
+        );
+    }
+
+    #[test]
+    fn analyze_validation_errors() {
+        let err = parse(&argv("analyze")).unwrap_err();
+        assert!(err.message().contains("--trace-in"), "{err}");
+        let err = parse(&argv("analyze --trace-in t --top 0")).unwrap_err();
+        assert!(err.message().contains("--top"), "{err}");
+        let err = parse(&argv("analyze --trace-in t --size 8")).unwrap_err();
+        assert!(err.message().contains("--size"), "{err}");
     }
 
     #[test]

@@ -334,6 +334,22 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             },
             out,
         ),
+        Command::Analyze {
+            trace_in,
+            report_out,
+            top,
+            heatmap,
+            lenient,
+        } => crate::analyze::execute_analyze(
+            &crate::analyze::AnalyzeRequest {
+                trace_in: trace_in.clone(),
+                report_out: report_out.clone(),
+                top: *top,
+                heatmap: *heatmap,
+                lenient: *lenient,
+            },
+            out,
+        ),
         Command::Info { arch, size } => {
             let size =
                 MotSize::new(*size).map_err(|e| CliError::Invalid(format!("--size: {e}")))?;

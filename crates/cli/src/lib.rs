@@ -8,13 +8,15 @@
 //! asynoc sweep    --arch OptAllSpeculative --benchmark Uniform-random \
 //!                 --from 0.1 --to 1.4 --steps 8
 //! asynoc metrics  --arch BasicHybridSpeculative --benchmark Multicast10 \
-//!                 --rate 0.3 --trace-format chrome --trace-out trace.json
+//!                 --rate 0.3 --trace-out trace.ndjson
+//! asynoc analyze  --trace-in trace.ndjson --top 5 --heatmap
 //! asynoc info     --size 16
 //! ```
 //!
 //! Everything the CLI does is a thin veneer over the [`asynoc`] public API,
 //! so scripted experiments can migrate to Rust code without surprises.
 
+pub mod analyze;
 pub mod args;
 pub mod commands;
 pub mod metrics;

@@ -13,8 +13,8 @@ use asynoc::{Architecture, Benchmark, Duration, MotNode, Observer, RunConfig, Ru
 use asynoc_mesh::{MeshConfig, MeshNetwork, MeshReport, MeshSize};
 use asynoc_power::EnergyCategory;
 use asynoc_telemetry::{
-    render_ndjson, ChromeTraceObserver, JsonValue, LatencyHistograms, LevelSpec, SpeculationWaste,
-    TimeSeries, TraceCollector, METRICS_SCHEMA,
+    render_trace, ChromeTraceObserver, JsonValue, LatencyHistograms, LevelSpec, SpeculationWaste,
+    TimeSeries, TraceCollector, TraceMeta, METRICS_SCHEMA,
 };
 use asynoc_topology::{FaninNodeId, FanoutNodeId, MotSize};
 
@@ -82,9 +82,14 @@ impl<N: Copy> Tracers<N> {
         }
     }
 
-    fn render(self) -> Option<String> {
+    /// Renders the collected trace. NDJSON traces lead with the run's
+    /// meta line (stamped with how many events the cap dropped) so
+    /// `asynoc analyze` can gate and price its results; Chrome traces
+    /// have no meta notion.
+    fn render(self, mut meta: TraceMeta) -> Option<String> {
         if let Some(collector) = self.ndjson {
-            return Some(render_ndjson(collector.records()));
+            meta.dropped_events = collector.dropped();
+            return Some(render_trace(&meta, collector.records()));
         }
         self.chrome.map(|observer| observer.into_trace().render())
     }
@@ -309,7 +314,20 @@ fn run_mot(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliE
             ),
         ),
     ]);
-    Ok((doc, tracers.render()))
+    let meta = TraceMeta {
+        substrate: "mot".to_string(),
+        arch: Some(arch.to_string()),
+        size: request.common.size as u64,
+        seed: request.common.seed,
+        flits: request.common.flits,
+        rate: request.rate,
+        warmup_ps: phases.warmup().as_ps(),
+        measure_ps: phases.measure().as_ps(),
+        wire_fj: Some(wire_fj),
+        drop_fj: Some(drop_fj),
+        dropped_events: 0,
+    };
+    Ok((doc, tracers.render(meta)))
 }
 
 /// Runs the mesh substrate with the substrate-agnostic subset of the
@@ -373,7 +391,20 @@ fn run_mesh(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), Cli
             ),
         ),
     ]);
-    Ok((doc, tracers.render()))
+    let meta = TraceMeta {
+        substrate: "mesh".to_string(),
+        arch: None,
+        size: request.common.size as u64,
+        seed: request.common.seed,
+        flits: request.common.flits,
+        rate: request.rate,
+        warmup_ps: phases.warmup().as_ps(),
+        measure_ps: phases.measure().as_ps(),
+        wire_fj: None,
+        drop_fj: None,
+        dropped_events: 0,
+    };
+    Ok((doc, tracers.render(meta)))
 }
 
 /// Executes a `metrics` command: runs the instrumented simulation, then
@@ -411,7 +442,7 @@ mod tests {
     use super::*;
     use crate::args::parse;
     use crate::commands::execute;
-    use asynoc_telemetry::{parse_ndjson, validate_chrome};
+    use asynoc_telemetry::{parse_trace, validate_chrome};
 
     fn run_cli(line: &str) -> String {
         let args: Vec<String> = line.split_whitespace().map(String::from).collect();
@@ -577,14 +608,25 @@ mod tests {
         run_cli(&format!(
             "metrics --arch Baseline --benchmark Shuffle --rate 0.2 \
              --warmup-ns 40 --measure-ns 200 --metrics-out {metrics_path} \
-             --trace-out {trace_path} --trace-limit 2000"
+             --trace-out {trace_path} --trace-limit 200000"
         ));
         let text = std::fs::read_to_string(&trace_path).expect("trace file");
-        let records = parse_ndjson(&text).expect("well-formed NDJSON");
+        let (meta, records) = parse_trace(&text).expect("well-formed NDJSON");
+        let meta = meta.expect("trace leads with a meta line");
+        assert_eq!(meta.substrate, "mot");
+        assert_eq!(meta.arch.as_deref(), Some("Baseline"));
+        assert_eq!(meta.dropped_events, 0, "limit 2000 drops nothing here");
         assert!(!records.is_empty());
         assert!(records.iter().any(|r| r.action == "inject"));
         assert!(records.iter().any(|r| r.action == "deliver"));
-        assert_eq!(records.len(), text.lines().count());
+        assert!(
+            records
+                .iter()
+                .any(|r| r.action == "deliver" && r.created_ps < r.t_ps),
+            "records carry causal fields"
+        );
+        // One meta line + one line per record.
+        assert_eq!(records.len() + 1, text.lines().count());
         let _ = std::fs::remove_file(&trace_path);
         let _ = std::fs::remove_file(&metrics_path);
     }

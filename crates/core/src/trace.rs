@@ -89,20 +89,33 @@ impl TraceEvent {
     /// handles traces from either path.
     #[must_use]
     pub fn to_record(&self) -> asynoc_telemetry::TraceRecord {
-        let (action, detail) = match self.action {
-            TraceAction::Injected => ("inject", String::new()),
-            TraceAction::Forwarded(symbol) => ("forward", symbol.to_string()),
-            TraceAction::Throttled => ("throttle", String::new()),
-            TraceAction::Arbitrated { input } => ("forward", format!("input{input}")),
-            TraceAction::Delivered => ("deliver", String::new()),
+        let (action, detail, copies) = match self.action {
+            TraceAction::Injected => ("inject", String::new(), 1),
+            TraceAction::Forwarded(symbol) => (
+                "forward",
+                symbol.to_string(),
+                u8::from(symbol.wants_top()) + u8::from(symbol.wants_bottom()),
+            ),
+            TraceAction::Throttled => ("throttle", String::new(), 0),
+            TraceAction::Arbitrated { input } => ("forward", format!("input{input}"), 1),
+            TraceAction::Delivered => ("deliver", String::new(), 0),
         };
+        // `TraceEvent` carries no descriptor, so the causal fields the
+        // observer path fills exactly default here: `logical` to the
+        // packet id, the rest to zero.
         asynoc_telemetry::TraceRecord {
             t_ps: self.time.as_ps(),
             packet: self.packet.as_u64(),
+            logical: self.packet.as_u64(),
             flit: self.flit,
+            src: 0,
+            dests: 0,
+            created_ps: 0,
             site: self.location.to_string(),
             action: action.to_string(),
             detail,
+            copies,
+            busy_ps: 0,
         }
     }
 }

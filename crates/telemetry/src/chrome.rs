@@ -392,10 +392,16 @@ mod tests {
         let records = vec![TraceRecord {
             t_ps: 100,
             packet: 7,
+            logical: 7,
             flit: 0,
+            src: 2,
+            dests: 2,
+            created_ps: 80,
             site: "fo[s2:0.0]".to_string(),
             action: "forward".to_string(),
             detail: "both".to_string(),
+            copies: 2,
+            busy_ps: 40,
         }];
         let trace = chrome_from_records(&records);
         assert_eq!(validate_chrome(&trace.render()), Ok(1));

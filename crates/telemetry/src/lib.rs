@@ -37,7 +37,10 @@ pub use histogram::LogHistogram;
 pub use json::{JsonError, JsonValue};
 pub use latency::LatencyHistograms;
 pub use timeseries::{Bin, LevelSpec, TimeSeries};
-pub use trace::{parse_ndjson, render_ndjson, TraceCollector, TraceRecord};
+pub use trace::{
+    parse_ndjson, parse_trace, parse_trace_lenient, render_ndjson, render_trace, TraceCollector,
+    TraceMeta, TraceParseError, TraceRecord, TRACE_SCHEMA,
+};
 pub use waste::{NodeWaste, SpeculationWaste};
 
 /// The metrics report's schema identifier (`schema` field of the JSON

@@ -2,21 +2,48 @@
 # Tier-1 gate: everything that must be green before a commit lands.
 #
 #   scripts/check.sh            run the full gate
-#   scripts/check.sh --fast     skip the release build, overhead bench,
-#                               and schema diff (debug test cycle)
+#   scripts/check.sh --fast     skip the release build, benches, the
+#                               analyze round-trips, and schema diffs
+#                               (debug test cycle)
+#   scripts/check.sh --smoke    run only the guarded benches, recording
+#                               results/BENCH_observer_overhead.json and
+#                               results/BENCH_analyze.json (seeded on
+#                               first run; >20% ns/event regression
+#                               fails with a per-case diff)
 #
 # The gate is a superset of ROADMAP.md's tier-1 verify
 # (`cargo build --release && cargo test -q`), adding the lint and
-# formatting checks this repository holds itself to, a smoke run of the
-# observer-overhead bench (the zero-observer fast path must keep working),
-# and a diff of the `asynoc metrics` JSON report schema against the
-# checked-in golden so report-format changes are always deliberate.
+# formatting checks this repository holds itself to, smoke runs of the
+# guarded benches (the zero-observer fast path and the analysis pipeline
+# must keep their per-event cost), a metrics -> trace -> analyze
+# round-trip on both substrates, and diffs of the `asynoc metrics` and
+# `asynoc analyze` JSON report schemas against the checked-in goldens so
+# report-format changes are always deliberate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
-if [[ "${1:-}" == "--fast" ]]; then
-    fast=1
+smoke=0
+case "${1:-}" in
+--fast) fast=1 ;;
+--smoke) smoke=1 ;;
+esac
+
+# Bench binaries run with the package directory as CWD, so hand them
+# absolute record paths.
+run_benches() {
+    echo "==> observer-overhead bench (smoke, baseline-guarded)"
+    cargo bench -q -p asynoc-bench --bench observer_overhead -- --smoke \
+        --json "$PWD/results/BENCH_observer_overhead.json"
+    echo "==> analyze bench (smoke, baseline-guarded)"
+    cargo bench -q -p asynoc-bench --bench analyze -- --smoke \
+        --json "$PWD/results/BENCH_analyze.json"
+}
+
+if [[ "$smoke" -eq 1 ]]; then
+    run_benches
+    echo "OK: bench smoke passed"
+    exit 0
 fi
 
 # Lints first: they fail in seconds, tests take minutes.
@@ -38,8 +65,25 @@ echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
 if [[ "$fast" -eq 0 ]]; then
-    echo "==> observer-overhead bench (smoke)"
-    cargo bench -q -p asynoc-bench --bench observer_overhead -- --smoke
+    run_benches
+
+    echo "==> metrics -> trace -> analyze round-trip (mot)"
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' EXIT
+    cargo run -q --release -p asynoc-cli -- metrics --arch BasicHybridSpeculative \
+        --benchmark Multicast10 --rate 0.3 --warmup-ns 40 --measure-ns 400 \
+        --trace-limit 200000 --metrics-out "$tmpdir/mot-metrics.json" \
+        --trace-out "$tmpdir/mot-trace.ndjson"
+    cargo run -q --release -p asynoc-cli -- analyze --trace-in "$tmpdir/mot-trace.ndjson" \
+        --report-out "$tmpdir/mot-analysis.json" --top 5
+
+    echo "==> metrics -> trace -> analyze round-trip (mesh)"
+    cargo run -q --release -p asynoc-cli -- metrics --substrate mesh --benchmark Uniform-random \
+        --rate 0.1 --size 4 --warmup-ns 40 --measure-ns 400 \
+        --trace-limit 200000 --metrics-out "$tmpdir/mesh-metrics.json" \
+        --trace-out "$tmpdir/mesh-trace.ndjson"
+    cargo run -q --release -p asynoc-cli -- analyze --trace-in "$tmpdir/mesh-trace.ndjson" \
+        --report-out "$tmpdir/mesh-analysis.json" --top 5
 
     echo "==> metrics report schema vs results/metrics_schema.golden.json"
     diff results/metrics_schema.golden.json \
@@ -47,6 +91,15 @@ if [[ "$fast" -eq 0 ]]; then
         || {
             echo "metrics schema drifted; if intentional, regenerate with"
             echo "  cargo run --release -p asynoc-bench --bin metrics_schema > results/metrics_schema.golden.json"
+            exit 1
+        }
+
+    echo "==> analysis report schema vs results/analysis_schema.golden.json"
+    diff results/analysis_schema.golden.json \
+        <(cargo run -q --release -p asynoc-bench --bin analysis_schema) \
+        || {
+            echo "analysis schema drifted; if intentional, regenerate with"
+            echo "  cargo run --release -p asynoc-bench --bin analysis_schema > results/analysis_schema.golden.json"
             exit 1
         }
 fi

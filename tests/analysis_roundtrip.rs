@@ -1,0 +1,244 @@
+//! Round-trip properties of the offline analysis pipeline: trace a live
+//! run, rebuild the span forest, and check that causality, token
+//! conservation, and the online ledgers all reconcile.
+//!
+//! The closure property is token conservation per flit tree: every copy
+//! a fork created is consumed by a forward, a throttle, or a delivery.
+//! The engine drains only *measured* packets, so unmeasured packets
+//! still in flight at the end of the run are cut mid-tree — those trees
+//! legitimately stay open (`created > consumed`), but a *broken* tree
+//! (`consumed > created`, or events with no injection) is impossible in
+//! a well-formed trace and must never appear.
+
+use asynoc::{
+    Architecture, Benchmark, Duration, MotNode, Network, NetworkConfig, Observer, Phases, RunConfig,
+};
+use asynoc_analysis::{critical_paths, Analysis, Scorecard, SpanForest};
+use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
+use asynoc_telemetry::{
+    LatencyHistograms, SpeculationWaste, TraceCollector, TraceMeta, TraceRecord,
+};
+use asynoc_topology::{FaninNodeId, FanoutNodeId};
+
+fn phases() -> Phases {
+    Phases::new(Duration::from_ns(40), Duration::from_ns(300))
+}
+
+/// One traced MoT run: the record stream, its meta line, and the online
+/// observers the analysis must reconcile with.
+fn mot_trace(
+    arch: Architecture,
+    benchmark: Benchmark,
+    rate: f64,
+    seed: u64,
+) -> (
+    TraceMeta,
+    Vec<TraceRecord>,
+    LatencyHistograms,
+    SpeculationWaste<MotNode>,
+) {
+    let net =
+        Network::new(NetworkConfig::eight_by_eight(arch).with_seed(seed)).expect("valid config");
+    let size = net.config().size();
+    let timing = net.config().timing();
+    let phases = phases();
+    let run = RunConfig::new(benchmark, rate)
+        .expect("positive rate")
+        .with_phases(phases);
+
+    let label = move |node: MotNode| match node {
+        MotNode::Fanout(flat) => FanoutNodeId::from_flat_index(size, flat).to_string(),
+        MotNode::Fanin(flat) => FaninNodeId::from_flat_index(size, flat).to_string(),
+    };
+    let mut latency = LatencyHistograms::new(phases, size.n());
+    let mut waste: SpeculationWaste<MotNode> =
+        SpeculationWaste::generic(timing.wire_fj, timing.drop_fj);
+    let mut collector: TraceCollector<MotNode> = TraceCollector::new(1_000_000, Box::new(label));
+    let mut observers: Vec<&mut dyn Observer<MotNode>> =
+        vec![&mut latency, &mut waste, &mut collector];
+    net.run_with_observers(&run, &mut observers)
+        .expect("run succeeds");
+
+    let meta = TraceMeta {
+        substrate: "mot".to_string(),
+        arch: Some(arch.to_string()),
+        size: 8,
+        seed,
+        flits: 1,
+        rate,
+        warmup_ps: phases.warmup().as_ps(),
+        measure_ps: phases.measure().as_ps(),
+        wire_fj: Some(timing.wire_fj),
+        drop_fj: Some(timing.drop_fj),
+        dropped_events: collector.dropped(),
+    };
+    let records = collector.records().to_vec();
+    (meta, records, latency, waste)
+}
+
+fn mesh_trace(benchmark: Benchmark, rate: f64, seed: u64) -> (TraceMeta, Vec<TraceRecord>) {
+    let size = MeshSize::new(4, 4).expect("valid size");
+    let net = MeshNetwork::new(MeshConfig::new(size).with_seed(seed)).expect("valid config");
+    let phases = phases();
+    let mut collector: TraceCollector<usize> =
+        TraceCollector::new(1_000_000, Box::new(|router: usize| format!("r{router}")));
+    let mut observers: Vec<&mut dyn Observer<usize>> = vec![&mut collector];
+    net.run_with_observers(benchmark, rate, phases, &mut observers)
+        .expect("run succeeds");
+    let meta = TraceMeta {
+        substrate: "mesh".to_string(),
+        arch: None,
+        size: 4,
+        seed,
+        flits: 1,
+        rate,
+        warmup_ps: phases.warmup().as_ps(),
+        measure_ps: phases.measure().as_ps(),
+        wire_fj: None,
+        drop_fj: None,
+        dropped_events: collector.dropped(),
+    };
+    (meta, collector.records().to_vec())
+}
+
+/// Asserts the closure property on one record stream: no broken trees,
+/// open trees only ever tail-truncated, and the overwhelming majority
+/// of trees fully closed.
+fn assert_forest_closes(records: &[TraceRecord], context: &str) -> SpanForest {
+    let forest = SpanForest::build(records);
+    assert!(!forest.trees.is_empty(), "{context}: trace has flit trees");
+    assert_eq!(forest.broken_trees, 0, "{context}: broken trees exist");
+    let mut closed = 0usize;
+    for tree in &forest.trees {
+        assert!(
+            !tree.broken(),
+            "{context}: packet {} is broken",
+            tree.packet
+        );
+        if tree.closed {
+            closed += 1;
+        } else {
+            // Truncation only loses consumers.
+            assert!(
+                tree.created > tree.consumed,
+                "{context}: packet {} open with created {} <= consumed {}",
+                tree.packet,
+                tree.created,
+                tree.consumed
+            );
+        }
+    }
+    assert_eq!(forest.trees.len() - closed, forest.open_trees, "{context}");
+    assert!(
+        closed * 10 >= forest.trees.len() * 9,
+        "{context}: only {closed} of {} trees closed",
+        forest.trees.len()
+    );
+    forest
+}
+
+#[test]
+fn mot_span_trees_close_under_random_traffic() {
+    for seed in [1, 5, 11] {
+        for benchmark in [Benchmark::Multicast10, Benchmark::UniformRandom] {
+            for arch in [Architecture::Baseline, Architecture::BasicHybridSpeculative] {
+                let (_, records, _, _) = mot_trace(arch, benchmark, 0.25, seed);
+                let context = format!("{arch} {benchmark} seed {seed}");
+                let forest = assert_forest_closes(&records, &context);
+
+                // Every critical path telescopes exactly: source queue
+                // plus per-hop service plus per-hop queueing is the
+                // end-to-end latency.
+                let paths = critical_paths(&forest, &records);
+                assert!(!paths.is_empty(), "{context}: no critical paths");
+                for path in &paths {
+                    assert_eq!(
+                        path.source_queue_ps + path.service_ps + path.queue_ps,
+                        path.latency_ps,
+                        "{context}: logical packet {} does not telescope",
+                        path.logical
+                    );
+                    let hop_sum: u64 = path.hops.iter().map(|h| h.segment_ps).sum();
+                    assert_eq!(hop_sum, path.latency_ps, "{context}: hop segments");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mesh_span_trees_close_under_random_traffic() {
+    for seed in [2, 9] {
+        for benchmark in [Benchmark::UniformRandom, Benchmark::Shuffle] {
+            let (_, records) = mesh_trace(benchmark, 0.1, seed);
+            let context = format!("mesh {benchmark} seed {seed}");
+            let forest = assert_forest_closes(&records, &context);
+            let paths = critical_paths(&forest, &records);
+            assert!(!paths.is_empty(), "{context}: no critical paths");
+            for path in &paths {
+                assert_eq!(
+                    path.source_queue_ps + path.service_ps + path.queue_ps,
+                    path.latency_ps,
+                    "{context}: logical packet {}",
+                    path.logical
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn analysis_latency_reconciles_with_online_histograms() {
+    let (meta, records, latency, _) = mot_trace(
+        Architecture::BasicHybridSpeculative,
+        Benchmark::Multicast10,
+        0.3,
+        3,
+    );
+    let analysis = Analysis::build(Some(meta), records, 10);
+    let summary = analysis.latency();
+    let overall = latency.overall();
+
+    assert_eq!(summary.count, overall.count(), "population size");
+    assert_eq!(Some(summary.min_ps), overall.min(), "fastest packet");
+    assert_eq!(Some(summary.max_ps), overall.max(), "slowest packet");
+    // The histogram buckets logarithmically, so its mean is approximate;
+    // the trace-derived mean must sit within a picosecond of it.
+    let online_mean = overall.mean().expect("non-empty histogram");
+    assert!(
+        (summary.mean_ps - online_mean).abs() <= 1.0,
+        "mean {} vs online {online_mean}",
+        summary.mean_ps
+    );
+}
+
+#[test]
+fn scorecard_reconciles_with_the_waste_ledger() {
+    let (meta, records, _, waste) = mot_trace(
+        Architecture::BasicHybridSpeculative,
+        Benchmark::Multicast10,
+        0.3,
+        7,
+    );
+    let forest = SpanForest::build(&records);
+    let card = Scorecard::build(&meta, &forest, &records).expect("meta has energy constants");
+
+    assert!(card.total_throttles > 0, "hybrid run must throttle");
+    assert_eq!(card.total_throttles, waste.total_throttles());
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+    assert!(
+        close(card.total_drop_fj, waste.total_drop_fj()),
+        "drop energy {} vs ledger {}",
+        card.total_drop_fj,
+        waste.total_drop_fj()
+    );
+    assert!(
+        close(card.total_wasted_wire_fj, waste.total_wasted_wire_fj()),
+        "wasted wire energy {} vs ledger {}",
+        card.total_wasted_wire_fj,
+        waste.total_wasted_wire_fj()
+    );
+    // Region totals sum to the ledger totals.
+    let region_throttles: u64 = card.regions.iter().map(|r| r.throttles).sum();
+    assert_eq!(region_throttles, card.total_throttles);
+}
