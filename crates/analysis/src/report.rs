@@ -163,6 +163,14 @@ impl Analysis {
                         JsonValue::uint(self.forest.broken_trees as u64),
                     ),
                     (
+                        "fault_affected_trees".to_string(),
+                        JsonValue::uint(self.forest.fault_affected as u64),
+                    ),
+                    (
+                        "broken_with_cause".to_string(),
+                        JsonValue::uint(self.forest.broken_with_cause as u64),
+                    ),
+                    (
                         "dropped_events".to_string(),
                         JsonValue::uint(self.meta.as_ref().map_or(0, |m| m.dropped_events)),
                     ),
@@ -480,6 +488,23 @@ mod tests {
             .is_some());
         // The document parses back from its own rendering.
         assert_eq!(JsonValue::parse(&json.render()), Ok(json));
+    }
+
+    #[test]
+    fn faulted_trace_counts_affected_and_explained_trees() {
+        let mut records = trace();
+        records.insert(2, record(205, 7, "ch3", "fault", 0, 0));
+        // A lost packet: fault records only, no injection.
+        records.push(record(600, 9, "src0", "fault", 0, 0));
+        records.push(record(600, 9, "src0", "fault", 0, 0));
+        let analysis = Analysis::build(Some(meta()), records, 5);
+        let ingest = analysis.to_json(0).get("ingest").cloned().unwrap();
+        assert_eq!(
+            ingest.get("fault_affected_trees"),
+            Some(&JsonValue::uint(2))
+        );
+        assert_eq!(ingest.get("broken_trees"), Some(&JsonValue::uint(1)));
+        assert_eq!(ingest.get("broken_with_cause"), Some(&JsonValue::uint(1)));
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub enum SpanKind {
     Throttle,
     /// A sink consumed the flit.
     Deliver,
+    /// A fault-injection hook fired on the flit (stall, symbol
+    /// corruption, source drop/loss — the record's `detail` carries the
+    /// class label). Token-neutral: faults annotate a tree, they never
+    /// create or consume copies.
+    Fault,
     /// An action string this crate does not know.
     Other,
 }
@@ -45,6 +50,7 @@ impl SpanKind {
             "forward" => SpanKind::Forward,
             "throttle" => SpanKind::Throttle,
             "deliver" => SpanKind::Deliver,
+            "fault" => SpanKind::Fault,
             _ => SpanKind::Other,
         }
     }
@@ -96,6 +102,8 @@ pub struct FlitTree {
     pub created: u64,
     /// Copies consumed: every forward, throttle, and delivery takes one.
     pub consumed: u64,
+    /// Fault-injection records in the tree (token-neutral annotations).
+    pub fault_events: u64,
     /// Token conservation holds: `created == consumed` (and the tree has
     /// its injection). `false` means copies were still in flight when
     /// the trace ended — or, if [`FlitTree::broken`], something worse.
@@ -116,6 +124,7 @@ impl FlitTree {
                     self.created += u64::from(node.copies);
                 }
                 SpanKind::Throttle | SpanKind::Deliver => self.consumed += 1,
+                SpanKind::Fault => self.fault_events += 1,
                 SpanKind::Other => {}
             }
         }
@@ -126,6 +135,12 @@ impl FlitTree {
     /// events without an injection. A merely tail-truncated trace (the
     /// simulation or the trace cap stopped mid-flight) never produces
     /// this — truncation only loses consumers, so `created > consumed`.
+    ///
+    /// One legitimate producer exists: a packet discarded at its source
+    /// leaves only fault records (no injection), so the tree is broken
+    /// *with cause* — [`fault_events`](FlitTree::fault_events) is
+    /// nonzero and the forest counts it under
+    /// [`broken_with_cause`](SpanForest::broken_with_cause).
     #[must_use]
     pub fn broken(&self) -> bool {
         self.consumed > self.created || !self.nodes.iter().any(|n| n.kind == SpanKind::Inject)
@@ -144,6 +159,14 @@ pub struct SpanForest {
     /// Trees that are [`FlitTree::broken`] — impossible in a well-formed
     /// trace, truncated or not.
     pub broken_trees: usize,
+    /// Trees carrying at least one fault-injection record.
+    pub fault_affected: usize,
+    /// Broken trees that carry fault records — breakage *explained* by
+    /// injection (a packet lost at its source). In a faulted run this
+    /// must equal the fault ledger's lost-packet count; any excess of
+    /// [`broken_trees`](SpanForest::broken_trees) over it is a real
+    /// anomaly.
+    pub broken_with_cause: usize,
 }
 
 impl SpanForest {
@@ -169,10 +192,17 @@ impl SpanForest {
         trees.sort_by_key(|t| (t.logical, t.packet, t.flit));
         let open_trees = trees.iter().filter(|t| !t.closed).count();
         let broken_trees = trees.iter().filter(|t| t.broken()).count();
+        let fault_affected = trees.iter().filter(|t| t.fault_events > 0).count();
+        let broken_with_cause = trees
+            .iter()
+            .filter(|t| t.broken() && t.fault_events > 0)
+            .count();
         SpanForest {
             trees,
             open_trees,
             broken_trees,
+            fault_affected,
+            broken_with_cause,
         }
     }
 
@@ -235,6 +265,7 @@ fn build_tree(records: &[TraceRecord], indices: &[usize]) -> FlitTree {
         nodes,
         created: 0,
         consumed: 0,
+        fault_events: 0,
         closed: false,
     };
     tree.settle();
@@ -515,6 +546,35 @@ mod tests {
         // Path follows the d1 branch: src, root, leaf fanout, fanin
         // leaf, fanin root, sink.
         assert_eq!(path.hops.len(), 6);
+    }
+
+    #[test]
+    fn fault_records_are_token_neutral() {
+        let mut records = multicast_trace();
+        // A link stall on the flit's journey: annotation only.
+        records.insert(2, record(205, 7, 0, "ch3", "fault", 0, 0));
+        let forest = SpanForest::build(&records);
+        let tree = &forest.trees[0];
+        assert!(tree.closed, "fault annotations must not open the tree");
+        assert_eq!(tree.fault_events, 1);
+        assert_eq!(forest.fault_affected, 1);
+        assert_eq!(forest.broken_trees, 0);
+        assert_eq!(forest.broken_with_cause, 0);
+    }
+
+    #[test]
+    fn source_lost_packet_is_broken_with_cause() {
+        let mut records = multicast_trace();
+        // Packet 9 never injects: only its drop and loss records exist.
+        records.push(record(600, 9, 0, "src0", "fault", 0, 0));
+        records.push(record(600, 9, 0, "src0", "fault", 0, 0));
+        let forest = SpanForest::build(&records);
+        assert_eq!(forest.trees.len(), 2);
+        assert_eq!(forest.broken_trees, 1);
+        assert_eq!(forest.broken_with_cause, 1, "breakage is explained");
+        let lost = forest.trees.iter().find(|t| t.packet == 9).unwrap();
+        assert!(lost.broken());
+        assert_eq!(lost.fault_events, 2);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! The disarmed-faults guard: threading an *empty* fault table through
+//! the run loop must cost the same as the plain zero-observer path —
+//! the injection hooks are one `Option` branch when nothing is armed,
+//! and this bench holds them to it.
+//!
+//! Three cases over an identical 8x8 hybrid-speculative run:
+//!
+//! - `no_faults` — `run()`, the reference path
+//! - `disarmed_faults` — `run_with_faults()` with an empty table,
+//!   pricing the hook dispatch alone
+//! - `armed_faults` — a small recoverable plan actually firing, showing
+//!   the injected work stays proportionate
+//!
+//! `--smoke` shrinks the window and sample count for CI. With
+//! `--json <path>` each case's median, normalized to ns per simulated
+//! event, is checked against the stored baseline record (seeded on
+//! first run, refreshed with `--update-baseline`).
+
+use asynoc::{Architecture, Benchmark, Duration, Network, NetworkConfig, Phases, RunConfig};
+use asynoc_bench::baseline::{guard, parse_bench_args, BenchCase};
+use asynoc_bench::timing::Harness;
+use asynoc_engine::ArmedFaults;
+
+fn main() {
+    let args = parse_bench_args();
+    let (samples, measure_ns) = if args.smoke { (3, 200) } else { (20, 800) };
+    let harness = Harness::new(samples);
+
+    let network = Network::new(
+        NetworkConfig::eight_by_eight(Architecture::BasicHybridSpeculative).with_seed(3),
+    )
+    .expect("valid config");
+    let phases = Phases::new(Duration::from_ns(40), Duration::from_ns(measure_ns));
+    let run = RunConfig::new(Benchmark::Multicast10, 0.3)
+        .expect("positive rate")
+        .with_phases(phases);
+
+    // The run is deterministic, so one untimed pass fixes the event
+    // count every timed case processes.
+    let events = network.run(&run).expect("run succeeds").events_processed;
+
+    let group = harness.group(&format!("faults_{measure_ns}ns"));
+    let no_faults = group.bench("no_faults", || network.run(&run).expect("run succeeds"));
+    let disarmed_faults = group.bench("disarmed_faults", || {
+        let mut faults = ArmedFaults::new();
+        network
+            .run_with_faults(&run, &mut faults, &mut [])
+            .expect("run succeeds")
+    });
+    let armed_faults = group.bench("armed_faults", || {
+        let mut faults = ArmedFaults::new();
+        faults.add_stall(0, 3, Duration::from_ps(300));
+        faults.add_stall(7, 2, Duration::from_ps(200));
+        faults.add_drop(1, 2, 1, Duration::from_ps(500));
+        network
+            .run_with_faults(&run, &mut faults, &mut [])
+            .expect("run succeeds")
+    });
+
+    if let Some(path) = args.json {
+        let cases = [
+            ("no_faults", no_faults),
+            ("disarmed_faults", disarmed_faults),
+            ("armed_faults", armed_faults),
+        ]
+        .map(|(id, median)| BenchCase {
+            id: id.to_string(),
+            median,
+            events,
+        });
+        if let Err(message) = guard("faults", &path, &cases, args.update) {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

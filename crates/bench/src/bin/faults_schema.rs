@@ -1,0 +1,27 @@
+//! Prints the *schema skeleton* of the `asynoc faults` JSON report —
+//! every key with its value replaced by a type name, arrays reduced to
+//! their first element's shape. The check script diffs this against
+//! `results/faults_schema.golden.json`, so any report-format change has
+//! to be made deliberately (regenerate with
+//! `cargo run -p asynoc-bench --bin faults_schema > results/faults_schema.golden.json`).
+
+use asynoc_cli::{execute, parse};
+use asynoc_telemetry::JsonValue;
+
+fn main() {
+    // The explicit plan covers every fault class and fires an oracle
+    // verdict, so every report section — plan, both outcomes, ledger
+    // rows, checks — is populated. The hybrid architecture certifies
+    // corrupt sites; the lethal loss keeps the degradation branch in
+    // the skeleton exercised too (judged, reconciled, still passing).
+    let line = "faults --arch BasicHybridSpeculative --benchmark Multicast5 --rate 0.2 \
+                --warmup-ns 20 --measure-ns 150 --oracle \
+                --plan stall:0:2:300;drop:1:0:1:500;lose:2:0";
+    let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let command = parse(&args).expect("valid invocation");
+    let mut out = Vec::new();
+    execute(&command, &mut out).expect("faults run succeeds");
+    let report =
+        JsonValue::parse(&String::from_utf8(out).expect("utf8")).expect("valid JSON report");
+    print!("{}", report.schema().render_pretty());
+}

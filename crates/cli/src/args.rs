@@ -19,6 +19,9 @@ USAGE:
                   [--metrics-out <path>] [--trace-format ndjson|chrome] [--trace-out <path>]
                   [--trace-limit <K>] [--bin-ns <W>] [common options]
   asynoc analyze  --trace-in <path> [--report-out <path>] [--top <N>] [--heatmap] [--lenient]
+  asynoc faults   --benchmark <B> --rate <flits/ns> [--arch <A>] [--substrate mot|mesh]
+                  [--plan <encoded>] [--fault-rate <D>] [--oracle] [--report-out <path>]
+                  [common options]
   asynoc info     [--arch <A>] [--size <N>]
   asynoc help
 
@@ -47,6 +50,12 @@ COMMON OPTIONS:
             --top bounds the ranked lists (default 10); --heatmap prints
             the text maps; --lenient skips malformed lines (counted in
             the report) instead of failing
+  faults:   one deterministic fault-injection run emitting a JSON fault
+            report. --plan replays an encoded campaign
+            (stall:3:2:500;lose:0:1;...); without it a recoverable plan
+            is drawn from --seed and --fault-rate (density, default
+            0.15). --oracle pairs the run with a clean twin under the
+            same seed and judges the conformance contract
 
 ARCHITECTURES:
   Baseline, BasicNonSpeculative, BasicHybridSpeculative,
@@ -151,6 +160,30 @@ pub enum Command {
         /// Skip malformed trace lines (counted in the report) instead of
         /// failing on the first one.
         lenient: bool,
+    },
+    /// One deterministic fault-injection run, optionally paired with a
+    /// clean twin and judged by the conformance oracle.
+    Faults {
+        /// Network architecture (required for the MoT substrate, unused
+        /// by the mesh).
+        arch: Option<Architecture>,
+        /// Traffic benchmark.
+        benchmark: Benchmark,
+        /// Offered load, flits/ns per source.
+        rate: f64,
+        /// Which fabric to inject into.
+        substrate: Substrate,
+        /// Encoded fault plan to replay (`None` = draw one from the
+        /// seed and `fault_rate`).
+        plan: Option<String>,
+        /// Random-plan density over the substrate's fault domain.
+        fault_rate: f64,
+        /// Pair with a clean twin and judge the differential oracle.
+        oracle: bool,
+        /// Write the JSON fault report here instead of stdout.
+        report_out: Option<String>,
+        /// Shared options.
+        common: CommonOptions,
     },
     /// Static information: node table, address bits, area/leakage.
     Info {
@@ -281,9 +314,9 @@ fn collect_flags(
         if !allowed.contains(&key) {
             return Err(ParseCliError::new(format!("unknown option --{key}")));
         }
-        // `--quick`, `--heatmap`, and `--lenient` are bare flags;
-        // everything else takes a value.
-        let value = if matches!(key, "quick" | "heatmap" | "lenient") {
+        // `--quick`, `--heatmap`, `--lenient`, and `--oracle` are bare
+        // flags; everything else takes a value.
+        let value = if matches!(key, "quick" | "heatmap" | "lenient" | "oracle") {
             "true".to_string()
         } else {
             iter.next()
@@ -361,6 +394,10 @@ fn with_common(extra: &[&str]) -> Vec<&'static str> {
             "trace-out" => "trace-out",
             "trace-limit" => "trace-limit",
             "bin-ns" => "bin-ns",
+            "plan" => "plan",
+            "fault-rate" => "fault-rate",
+            "oracle" => "oracle",
+            "report-out" => "report-out",
             other => unreachable!("unknown static key {other}"),
         });
     }
@@ -550,6 +587,54 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 top,
                 heatmap: flags.contains_key("heatmap"),
                 lenient: flags.contains_key("lenient"),
+            })
+        }
+        "faults" => {
+            let flags = collect_flags(
+                rest,
+                &with_common(&[
+                    "arch",
+                    "benchmark",
+                    "rate",
+                    "substrate",
+                    "plan",
+                    "fault-rate",
+                    "oracle",
+                    "report-out",
+                ]),
+            )?;
+            let substrate: Substrate = flags
+                .get("substrate")
+                .map(|raw| parse_value("substrate", raw))
+                .transpose()?
+                .unwrap_or(Substrate::Mot);
+            let arch = flags
+                .get("arch")
+                .map(|raw| parse_value::<Architecture>("arch", raw))
+                .transpose()?;
+            if substrate == Substrate::Mot && arch.is_none() {
+                return Err(ParseCliError::new(
+                    "missing required option --arch (the mot substrate needs one)",
+                ));
+            }
+            let fault_rate: f64 = flags
+                .get("fault-rate")
+                .map(|raw| parse_value("fault-rate", raw))
+                .transpose()?
+                .unwrap_or(0.15);
+            if !(fault_rate > 0.0 && fault_rate <= 1.0) {
+                return Err(ParseCliError::new("--fault-rate must be in (0, 1]"));
+            }
+            Ok(Command::Faults {
+                arch,
+                benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
+                rate: parse_value("rate", required(&flags, "rate")?)?,
+                substrate,
+                plan: flags.get("plan").cloned(),
+                fault_rate,
+                oracle: flags.contains_key("oracle"),
+                report_out: flags.get("report-out").cloned(),
+                common: common_options(&flags)?,
             })
         }
         "info" => {
@@ -905,6 +990,62 @@ mod tests {
         assert!(err.message().contains("--top"), "{err}");
         let err = parse(&argv("analyze --trace-in t --size 8")).unwrap_err();
         assert!(err.message().contains("--size"), "{err}");
+    }
+
+    #[test]
+    fn faults_defaults_and_overrides() {
+        let cmd = parse(&argv(
+            "faults --arch Baseline --benchmark Shuffle --rate 0.2",
+        ))
+        .expect("valid invocation");
+        assert_eq!(
+            cmd,
+            Command::Faults {
+                arch: Some(Architecture::Baseline),
+                benchmark: Benchmark::Shuffle,
+                rate: 0.2,
+                substrate: Substrate::Mot,
+                plan: None,
+                fault_rate: 0.15,
+                oracle: false,
+                report_out: None,
+                common: CommonOptions::default(),
+            }
+        );
+        let cmd = parse(&argv(
+            "faults --substrate mesh --benchmark Tornado --rate 0.1 --plan stall:3:1:200 \
+             --fault-rate 0.4 --oracle --report-out f.json --seed 7",
+        ))
+        .expect("valid invocation");
+        let Command::Faults {
+            arch,
+            plan,
+            fault_rate,
+            oracle,
+            report_out,
+            common,
+            ..
+        } = cmd
+        else {
+            panic!("expected faults");
+        };
+        assert_eq!(arch, None);
+        assert_eq!(plan, Some("stall:3:1:200".to_string()));
+        assert!((fault_rate - 0.4).abs() < 1e-12);
+        assert!(oracle);
+        assert_eq!(report_out, Some("f.json".to_string()));
+        assert_eq!(common.seed, 7);
+    }
+
+    #[test]
+    fn faults_validation_errors() {
+        let err = parse(&argv("faults --benchmark Shuffle --rate 0.2")).unwrap_err();
+        assert!(err.message().contains("--arch"), "{err}");
+        let err = parse(&argv(
+            "faults --arch Baseline --benchmark Shuffle --rate 0.2 --fault-rate 0",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("--fault-rate"), "{err}");
     }
 
     #[test]

@@ -350,6 +350,30 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             },
             out,
         ),
+        Command::Faults {
+            arch,
+            benchmark,
+            rate,
+            substrate,
+            plan,
+            fault_rate,
+            oracle,
+            report_out,
+            common,
+        } => crate::faults::execute_faults(
+            &crate::faults::FaultsRequest {
+                arch: *arch,
+                benchmark: *benchmark,
+                rate: *rate,
+                substrate: *substrate,
+                plan: plan.clone(),
+                fault_rate: *fault_rate,
+                oracle: *oracle,
+                report_out: report_out.clone(),
+                common: common.clone(),
+            },
+            out,
+        ),
         Command::Info { arch, size } => {
             let size =
                 MotSize::new(*size).map_err(|e| CliError::Invalid(format!("--size: {e}")))?;

@@ -1,0 +1,357 @@
+//! `asynoc faults`: one deterministic fault-injection run emitting the
+//! JSON fault report — and, with `--oracle`, the differential
+//! conformance verdict against a clean twin under the same seed.
+//!
+//! The command is the CLI surface of `asynoc-faults`: a plan either
+//! replays from its compact text encoding (`--plan`) or is drawn,
+//! recoverable-only, from the substrate's certified fault domain
+//! (`--seed` x `--fault-rate`). A failing oracle exits non-zero with
+//! the violated checks and the exact replay line, so CI gates on it
+//! directly.
+
+use std::io::Write;
+
+use asynoc::{Architecture, Benchmark};
+use asynoc_faults::{
+    judge, mesh_network, replay_command, run_mesh_outcome, run_mot_outcome, FaultDomain, FaultPlan,
+    OracleVerdict, RunOutcome, FAULTS_SCHEMA,
+};
+use asynoc_telemetry::JsonValue;
+
+use crate::args::{CommonOptions, Substrate};
+use crate::commands::{network, phases_for, CliError};
+
+/// A fully-resolved `faults` invocation.
+pub struct FaultsRequest {
+    /// Network architecture (required on the MoT substrate).
+    pub arch: Option<Architecture>,
+    /// Traffic benchmark.
+    pub benchmark: Benchmark,
+    /// Offered load, flits/ns per source.
+    pub rate: f64,
+    /// Which fabric to inject into.
+    pub substrate: Substrate,
+    /// Encoded plan to replay (`None` = draw from seed and rate).
+    pub plan: Option<String>,
+    /// Random-plan density over the fault domain.
+    pub fault_rate: f64,
+    /// Pair with a clean twin and judge the oracle.
+    pub oracle: bool,
+    /// JSON report destination (`None` = the command's output stream).
+    pub report_out: Option<String>,
+    /// Shared options.
+    pub common: CommonOptions,
+}
+
+fn config_json(request: &FaultsRequest) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "arch".to_string(),
+            request
+                .arch
+                .map_or(JsonValue::Null, |a| JsonValue::str(a.to_string())),
+        ),
+        (
+            "benchmark".to_string(),
+            JsonValue::str(request.benchmark.to_string()),
+        ),
+        ("rate_gfs".to_string(), JsonValue::Number(request.rate)),
+        (
+            "size".to_string(),
+            JsonValue::uint(request.common.size as u64),
+        ),
+        ("seed".to_string(), JsonValue::uint(request.common.seed)),
+        (
+            "flits".to_string(),
+            JsonValue::uint(u64::from(request.common.flits)),
+        ),
+    ])
+}
+
+fn plan_json(plan: &FaultPlan, domain: &FaultDomain) -> JsonValue {
+    JsonValue::Object(vec![
+        ("encoded".to_string(), JsonValue::str(plan.encode())),
+        (
+            "entries".to_string(),
+            JsonValue::uint(plan.entries.len() as u64),
+        ),
+        (
+            "recoverable".to_string(),
+            JsonValue::Bool(plan.recoverable(domain)),
+        ),
+        (
+            "delay_budget_ps".to_string(),
+            JsonValue::uint(plan.delay_budget_ps()),
+        ),
+    ])
+}
+
+fn outcome_json(outcome: &RunOutcome) -> JsonValue {
+    let summary = &outcome.summary;
+    JsonValue::Object(vec![
+        (
+            "summary".to_string(),
+            JsonValue::Object(vec![
+                ("stalls".to_string(), JsonValue::uint(summary.stalls)),
+                ("corrupted".to_string(), JsonValue::uint(summary.corrupted)),
+                ("stuck".to_string(), JsonValue::uint(summary.stuck)),
+                ("drops".to_string(), JsonValue::uint(summary.drops)),
+                ("lost".to_string(), JsonValue::uint(summary.lost)),
+            ]),
+        ),
+        ("ledger".to_string(), outcome.ledger.to_json()),
+        (
+            "deliveries".to_string(),
+            JsonValue::uint(outcome.deliveries.values().sum::<u64>()),
+        ),
+        (
+            "mean_latency_ps".to_string(),
+            outcome
+                .mean_latency_ps
+                .map_or(JsonValue::Null, JsonValue::uint),
+        ),
+        (
+            "packets_incomplete".to_string(),
+            JsonValue::uint(outcome.packets_incomplete as u64),
+        ),
+        (
+            "analysis".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "fault_affected_trees".to_string(),
+                    JsonValue::uint(outcome.fault_affected_trees as u64),
+                ),
+                (
+                    "broken_trees".to_string(),
+                    JsonValue::uint(outcome.broken_trees as u64),
+                ),
+                (
+                    "broken_with_cause".to_string(),
+                    JsonValue::uint(outcome.broken_with_cause as u64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn run_pair(
+    request: &FaultsRequest,
+) -> Result<(FaultDomain, FaultPlan, RunOutcome, Option<RunOutcome>), CliError> {
+    let invalid = |e: &dyn std::fmt::Display| CliError::Invalid(e.to_string());
+    match request.substrate {
+        Substrate::Mot => {
+            let arch = request
+                .arch
+                .expect("parser guarantees --arch on the mot substrate");
+            let net = network(arch, &request.common)?;
+            let domain = net.fault_domain();
+            let plan = resolve_plan(request, &domain)?;
+            let run = asynoc::RunConfig::new(request.benchmark, request.rate)?
+                .with_phases(phases_for(request.benchmark, &request.common));
+            let faulted = run_mot_outcome(&net, &run, Some(&plan))?;
+            let clean = request
+                .oracle
+                .then(|| run_mot_outcome(&net, &run, None))
+                .transpose()?;
+            Ok((domain, plan, faulted, clean))
+        }
+        Substrate::Mesh => {
+            let net = mesh_network(
+                request.common.size,
+                request.common.seed,
+                request.common.flits,
+            )
+            .map_err(|e| invalid(&e))?;
+            let domain = net.fault_domain();
+            let plan = resolve_plan(request, &domain)?;
+            let phases = phases_for(request.benchmark, &request.common);
+            let faulted =
+                run_mesh_outcome(&net, request.benchmark, request.rate, phases, Some(&plan))
+                    .map_err(|e| invalid(&e))?;
+            let clean = request
+                .oracle
+                .then(|| run_mesh_outcome(&net, request.benchmark, request.rate, phases, None))
+                .transpose()
+                .map_err(|e| invalid(&e))?;
+            Ok((domain, plan, faulted, clean))
+        }
+    }
+}
+
+fn resolve_plan(request: &FaultsRequest, domain: &FaultDomain) -> Result<FaultPlan, CliError> {
+    match &request.plan {
+        Some(text) => FaultPlan::parse(text).map_err(|e| CliError::Invalid(format!("--plan: {e}"))),
+        None => Ok(FaultPlan::random(
+            request.common.seed,
+            request.fault_rate,
+            domain,
+        )),
+    }
+}
+
+/// Executes a `faults` command: runs the (pair of) simulations, writes
+/// the JSON report, and fails with the violated checks when the oracle
+/// rejects the pair.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on simulation, plan, I/O, or oracle failure.
+pub fn execute_faults(request: &FaultsRequest, out: &mut dyn Write) -> Result<(), CliError> {
+    let (domain, plan, faulted, clean) = run_pair(request)?;
+    let verdict: Option<OracleVerdict> = clean
+        .as_ref()
+        .map(|clean| judge(clean, &faulted, &plan, &domain));
+
+    let substrate = match request.substrate {
+        Substrate::Mot => "mot",
+        Substrate::Mesh => "mesh",
+    };
+    let doc = JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::str(FAULTS_SCHEMA)),
+        ("substrate".to_string(), JsonValue::str(substrate)),
+        ("config".to_string(), config_json(request)),
+        ("plan".to_string(), plan_json(&plan, &domain)),
+        ("faulted".to_string(), outcome_json(&faulted)),
+        (
+            "clean".to_string(),
+            clean.as_ref().map_or(JsonValue::Null, outcome_json),
+        ),
+        (
+            "oracle".to_string(),
+            verdict
+                .as_ref()
+                .map_or(JsonValue::Null, OracleVerdict::to_json),
+        ),
+    ]);
+    let rendered = doc.render_pretty();
+    match &request.report_out {
+        Some(path) => {
+            std::fs::write(path, &rendered)?;
+            writeln!(out, "fault report written to {path}")?;
+        }
+        // Bare stdout stays pure JSON so pipelines can parse it.
+        None => out.write_all(rendered.as_bytes())?,
+    }
+
+    if let Some(verdict) = &verdict {
+        if !verdict.pass() {
+            let failing: Vec<String> = verdict
+                .failures()
+                .iter()
+                .map(|c| format!("{}: {}", c.name, c.detail))
+                .collect();
+            let replay = replay_command(
+                substrate,
+                request.arch.map(|a| a.to_string()).as_deref(),
+                &request.benchmark.to_string(),
+                request.rate,
+                request.common.size,
+                request.common.seed,
+                &plan,
+            );
+            return Err(CliError::Invalid(format!(
+                "fault oracle violated:\n  {}\nreplay: {replay}",
+                failing.join("\n  ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use crate::commands::execute;
+
+    fn run_cli(line: &str) -> String {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let command = parse(&args).expect("valid invocation");
+        let mut out = Vec::new();
+        execute(&command, &mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    #[test]
+    fn mot_oracle_run_emits_a_passing_report() {
+        let doc = JsonValue::parse(&run_cli(
+            "faults --arch BasicHybridSpeculative --benchmark Multicast5 --rate 0.2 \
+             --size 8 --warmup-ns 20 --measure-ns 150 --oracle",
+        ))
+        .expect("fault report is valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(FAULTS_SCHEMA)
+        );
+        let oracle = doc.get("oracle").expect("oracle section");
+        assert_eq!(oracle.get("pass"), Some(&JsonValue::Bool(true)));
+        assert_eq!(oracle.get("recoverable"), Some(&JsonValue::Bool(true)));
+        // The random plan actually armed something.
+        let entries = doc
+            .get("plan")
+            .and_then(|p| p.get("entries"))
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!(entries >= 1.0);
+    }
+
+    #[test]
+    fn mesh_substrate_judges_the_same_contract() {
+        let doc = JsonValue::parse(&run_cli(
+            "faults --substrate mesh --benchmark Uniform-random --rate 0.1 --size 4 \
+             --warmup-ns 20 --measure-ns 150 --oracle",
+        ))
+        .expect("fault report is valid JSON");
+        assert_eq!(
+            doc.get("substrate").and_then(JsonValue::as_str),
+            Some("mesh")
+        );
+        assert_eq!(
+            doc.get("oracle").and_then(|o| o.get("pass")),
+            Some(&JsonValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn lethal_plan_degrades_gracefully_and_reconciles() {
+        // A lethal loss is unrecoverable, but the oracle still *passes*:
+        // the degradation contract demands the loss be fully accounted
+        // (ledger, absent deliveries, explained broken tree), not that
+        // nothing was lost.
+        let doc = JsonValue::parse(&run_cli(
+            "faults --arch Baseline --benchmark Shuffle --rate 0.2 --size 8 \
+             --warmup-ns 20 --measure-ns 150 --oracle --plan lose:0:0",
+        ))
+        .expect("fault report is valid JSON");
+        let oracle = doc.get("oracle").expect("oracle section");
+        assert_eq!(oracle.get("recoverable"), Some(&JsonValue::Bool(false)));
+        assert_eq!(oracle.get("pass"), Some(&JsonValue::Bool(true)));
+        let faulted = doc.get("faulted").expect("faulted outcome");
+        assert_eq!(
+            faulted.get("summary").and_then(|s| s.get("lost")),
+            Some(&JsonValue::uint(1))
+        );
+        assert_eq!(
+            faulted
+                .get("analysis")
+                .and_then(|a| a.get("broken_with_cause")),
+            Some(&JsonValue::uint(1)),
+            "the lost packet's tree is broken-with-cause"
+        );
+    }
+
+    #[test]
+    fn starved_subtree_is_judged_under_the_degradation_contract() {
+        // Corrupt-to-`Drop` at a root fanout throttles a whole train:
+        // destinations go underdelivered, which the recoverable contract
+        // would reject but the degradation contract tolerates as long as
+        // nothing breaks unexplained.
+        let text = run_cli(
+            "faults --arch BasicNonSpeculative --benchmark Multicast5 --rate 0.2 --size 8 \
+             --warmup-ns 20 --measure-ns 150 --oracle --plan corrupt:0:1:drop",
+        );
+        let doc = JsonValue::parse(&text).expect("fault report is valid JSON");
+        let oracle = doc.get("oracle").expect("oracle section");
+        assert_eq!(oracle.get("recoverable"), Some(&JsonValue::Bool(false)));
+    }
+}

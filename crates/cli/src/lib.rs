@@ -19,6 +19,7 @@
 pub mod analyze;
 pub mod args;
 pub mod commands;
+pub mod faults;
 pub mod metrics;
 
 pub use args::{parse, Command, ParseCliError};

@@ -81,7 +81,10 @@ impl Observer<MotNode> for PowerObserver<'_> {
                 self.ledger
                     .add(EnergyCategory::Dropped, self.timing.drop_fj);
             }
-            SimEvent::Deliver { .. } => {}
+            // Injected faults deposit no energy of their own: a stalled
+            // flit still pays its wire launch, and the spurious copies of
+            // a corrupted symbol are priced by their Forward/Drop events.
+            SimEvent::Deliver { .. } | SimEvent::Fault { .. } => {}
         }
     }
 }
@@ -122,7 +125,7 @@ impl Observer<MotNode> for ActivityObserver {
                 };
                 self.activity.record_fanout(flat, *busy, true);
             }
-            SimEvent::Inject { .. } | SimEvent::Deliver { .. } => {}
+            SimEvent::Inject { .. } | SimEvent::Deliver { .. } | SimEvent::Fault { .. } => {}
         }
     }
 }
@@ -185,6 +188,10 @@ impl Observer<MotNode> for TraceObserver<'_> {
             SimEvent::Deliver { dest, flit } => {
                 (*flit, TraceLocation::Sink(*dest), TraceAction::Delivered)
             }
+            // The MoT-native trace format has no fault action; the
+            // substrate-neutral `TraceCollector` is the faulted-run
+            // tracer.
+            SimEvent::Fault { .. } => return,
         };
         self.recorder.push(TraceEvent {
             time: at,

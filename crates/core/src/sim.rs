@@ -19,11 +19,13 @@
 //! tracing attach as [`Observer`]s (see [`crate::observers`]).
 
 use asynoc_engine::{
-    ChannelEnds, Ctx, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent, SimModel,
+    ArmedFaults, ChannelEnds, Ctx, FaultDomain, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent,
+    SimModel,
 };
 use asynoc_kernel::{Duration, Time};
 use asynoc_nodes::{FaninState, FanoutState, FlitClass, TimingModel};
 use asynoc_packet::{DestSet, RouteHeader};
+use asynoc_topology::FanoutKind;
 use asynoc_topology::{multicast_route, OutputPort};
 use asynoc_traffic::SourceTraffic;
 
@@ -130,6 +132,78 @@ impl Network {
         run: &RunConfig,
         extra: &mut [&mut dyn Observer<MotNode>],
     ) -> Result<RunReport, SimError> {
+        self.execute(run, extra, None)
+    }
+
+    /// Executes one run with an armed fault table threaded into the
+    /// engine's injection hooks (see [`asynoc_engine::run_with_faults`]).
+    ///
+    /// The caller keeps ownership of `faults` and reads back its
+    /// [`summary`](ArmedFaults::summary) afterwards; target indices
+    /// should come from [`fault_domain`](Network::fault_domain).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the traffic specification is invalid for this
+    /// network (rate, benchmark/source mismatch).
+    pub fn run_with_faults(
+        &self,
+        run: &RunConfig,
+        faults: &mut ArmedFaults,
+        extra: &mut [&mut dyn Observer<MotNode>],
+    ) -> Result<RunReport, SimError> {
+        self.execute(run, extra, Some(faults))
+    }
+
+    /// The legal fault-injection targets of this network.
+    ///
+    /// Symbol-corruption sites are restricted to fanout nodes where a
+    /// widened (`Both`) override is provably recoverable: the node is
+    /// not a baseline node (baseline hardware has no replication path at
+    /// all), and some deeper fanout level consists entirely of
+    /// symbol-obeying kinds, so every spurious copy reads its
+    /// default-`Drop` symbol there and throttles before arbitration —
+    /// the same local-recovery region speculation itself relies on.
+    #[must_use]
+    pub fn fault_domain(&self) -> FaultDomain {
+        let levels = self.config.size().levels();
+        // A level is a guaranteed throttle stage iff *every* node on it
+        // obeys its routing symbol (speculative kinds forward headers
+        // regardless, letting spurious copies slip deeper).
+        let mut level_throttles = vec![true; levels as usize];
+        for (flat, &kind) in self.fabric.fanout_kind.iter().enumerate() {
+            if !matches!(
+                kind,
+                FanoutKind::NonSpeculative | FanoutKind::OptNonSpeculative
+            ) {
+                level_throttles[self.fabric.fanout_coords[flat].level as usize] = false;
+            }
+        }
+        let corrupt_sites = self
+            .fabric
+            .fanout_kind
+            .iter()
+            .enumerate()
+            .filter(|&(flat, &kind)| {
+                let level = self.fabric.fanout_coords[flat].level;
+                kind != FanoutKind::Baseline
+                    && (level + 1..levels).any(|m| level_throttles[m as usize])
+            })
+            .map(|(flat, _)| flat)
+            .collect();
+        FaultDomain {
+            channels: self.fabric.channels.len(),
+            endpoints: self.config.size().n(),
+            corrupt_sites,
+        }
+    }
+
+    fn execute(
+        &self,
+        run: &RunConfig,
+        extra: &mut [&mut dyn Observer<MotNode>],
+        faults: Option<&mut ArmedFaults>,
+    ) -> Result<RunReport, SimError> {
         let config = &self.config;
         let n = config.size().n();
         let mut traffic = Vec::with_capacity(n);
@@ -168,12 +242,12 @@ impl Network {
             phases,
             drain: run.drain(),
         };
-        let (engine, _model) = asynoc_engine::run(
-            model,
-            traffic,
-            spec,
-            &mut [&mut power, &mut activity, &mut trace, &mut extras],
-        );
+        let observers: &mut [&mut dyn Observer<MotNode>] =
+            &mut [&mut power, &mut activity, &mut trace, &mut extras];
+        let (engine, _model) = match faults {
+            None => asynoc_engine::run(model, traffic, spec, observers),
+            Some(faults) => asynoc_engine::run_with_faults(model, traffic, spec, faults, observers),
+        };
 
         let power_report = power
             .into_ledger()
@@ -231,11 +305,28 @@ impl<'a> MotModel<'a> {
             return;
         };
         let coords = self.fabric.fanout_coords[flat];
-        let symbol = flit_ref
+        let mut symbol = flit_ref
             .descriptor()
             .route()
             .symbol(coords.level, coords.index);
         let flit_kind = flit_ref.kind();
+        let packet = flit_ref.descriptor().id().as_u64();
+        if let Some((corrupted, fresh)) = ctx.fault_symbol(flat, packet, flit_kind.is_header()) {
+            symbol = corrupted;
+            if let Some(class) = fresh {
+                // First read of the afflicted train: report the injection
+                // once, even if the node then stalls and re-fires.
+                let flit = ctx
+                    .arrived(input)
+                    .expect("flit checked present above")
+                    .clone();
+                ctx.emit(&SimEvent::Fault {
+                    class,
+                    site: flat,
+                    flit: &flit,
+                });
+            }
+        }
         let decision = self.fanout_state[flat].peek(flit_kind, symbol);
 
         if ctx.now() < self.fanout_next_fire[flat] {

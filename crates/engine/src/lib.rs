@@ -15,13 +15,21 @@
 //!   tracing compose per run instead of being hard-wired into the loop.
 //! - [`run`] executes one simulation and returns an [`EngineReport`]
 //!   plus the model (whose accumulated state the caller may harvest).
+//! - [`run_with_faults`] is the same loop with an [`ArmedFaults`] table
+//!   threaded into its hooks — deterministic fault injection (stalls,
+//!   symbol corruption, source drops/losses) with zero cost when
+//!   disarmed.
 //! - [`parallel_map`] fans independent work items (seeds, configs,
 //!   saturation probe points) across OS threads with deterministic
 //!   result ordering — the experiment layer's multi-core runner.
 
+mod fault;
 mod observer;
 mod session;
 
 pub use asynoc_kernel::parallel_map;
+pub use fault::{ArmedFaults, FaultDomain, FaultSummary, SourceFaultAction};
 pub use observer::{ForwardInfo, Observer, SimEvent};
-pub use session::{run, ChannelEnds, Ctx, EngineReport, NodeRef, RunSpec, SimModel};
+pub use session::{
+    run, run_with_faults, ChannelEnds, Ctx, EngineReport, NodeRef, RunSpec, SimModel,
+};

@@ -1,6 +1,6 @@
 //! The engine's instrumentation interface.
 
-use asynoc_kernel::{Duration, Time};
+use asynoc_kernel::{Duration, FaultClass, Time};
 use asynoc_packet::{Flit, RouteSymbol};
 
 /// How a node disposed of a forwarded flit.
@@ -57,6 +57,17 @@ pub enum SimEvent<'a, N> {
         /// The consuming endpoint.
         dest: usize,
         /// The delivered flit.
+        flit: &'a Flit,
+    },
+    /// A fault-injection hook fired on `flit` (armed plans only; clean
+    /// runs never emit this).
+    Fault {
+        /// What was injected.
+        class: FaultClass,
+        /// Where: a channel id for stalls, a substrate symbol site for
+        /// corruptions, a source index for drops/losses.
+        site: usize,
+        /// The afflicted flit.
         flit: &'a Flit,
     },
 }

@@ -3,12 +3,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use asynoc_kernel::{Duration, EventQueue, Time};
-use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader};
+use asynoc_kernel::{Duration, EventQueue, FaultClass, Time};
+use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader, RouteSymbol};
 use asynoc_stats::throughput::ThroughputReport;
 use asynoc_stats::{LatencyStats, Phases, ThroughputCounter};
 use asynoc_traffic::SourceTraffic;
 
+use crate::fault::{ArmedFaults, SourceFaultAction};
 use crate::observer::{Observer, SimEvent};
 
 /// One end of a channel: who launches into it / who consumes from it.
@@ -187,6 +188,9 @@ pub struct Ctx<'obs, 'run, N> {
     events_processed: u64,
 
     observers: &'run mut [&'obs mut dyn Observer<N>],
+    /// Armed fault tables, or `None` on clean runs (one branch per hook
+    /// keeps the disarmed path free).
+    faults: Option<&'run mut ArmedFaults>,
 }
 
 impl<N: Copy + std::fmt::Debug> Ctx<'_, '_, N> {
@@ -236,9 +240,38 @@ impl<N: Copy + std::fmt::Debug> Ctx<'_, '_, N> {
     /// Panics (in debug builds) if `channel` is not free.
     pub fn launch(&mut self, channel: usize, flit: Flit, flight: Duration) {
         debug_assert!(self.channels[channel].is_free(), "launch on busy channel");
+        let mut flight = flight;
+        if let Some(extra) = self
+            .faults
+            .as_mut()
+            .and_then(|faults| faults.stall_for(channel))
+        {
+            self.emit(&SimEvent::Fault {
+                class: FaultClass::LinkStall,
+                site: channel,
+                flit: &flit,
+            });
+            flight += extra;
+        }
         self.channels[channel] = ChannelState::InFlight(flit);
         self.queue
             .schedule(self.now + flight, Event::Arrive { channel });
+    }
+
+    /// The routing symbol fanout site `site` reads for a flit of
+    /// `packet`, when an armed fault overrides the encoded one. Returns
+    /// the override plus the class to report — the class is `Some`
+    /// exactly once per afflicted train, when the override first
+    /// latches; the model emits the [`SimEvent::Fault`] then.
+    pub fn fault_symbol(
+        &mut self,
+        site: usize,
+        packet: u64,
+        is_header: bool,
+    ) -> Option<(RouteSymbol, Option<FaultClass>)> {
+        let faults = self.faults.as_mut()?;
+        let (symbol, class, fresh) = faults.symbol_override(site, packet, is_header)?;
+        Some((symbol, fresh.then_some(class)))
     }
 
     /// Schedules `channel` (currently draining) to become free after
@@ -299,7 +332,29 @@ pub fn run<M: SimModel>(
     observers: &mut [&mut dyn Observer<M::Node>],
 ) -> (EngineReport, M) {
     let start = std::time::Instant::now();
-    let mut session = Session::new(model, traffic, spec, observers);
+    let mut session = Session::new(model, traffic, spec, observers, None);
+    session.execute();
+    session.finish(start)
+}
+
+/// [`run`], with an armed fault table threaded into the loop's hooks:
+/// channel launches may be stalled, routing-symbol reads overridden, and
+/// source headers dropped (with re-send) or lost, exactly as `faults`
+/// prescribes. The caller keeps ownership of `faults` and reads back its
+/// [`summary`](ArmedFaults::summary) afterwards.
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_with_faults<M: SimModel>(
+    model: M,
+    traffic: Vec<SourceTraffic>,
+    spec: RunSpec,
+    faults: &mut ArmedFaults,
+    observers: &mut [&mut dyn Observer<M::Node>],
+) -> (EngineReport, M) {
+    let start = std::time::Instant::now();
+    let mut session = Session::new(model, traffic, spec, observers, Some(faults));
     session.execute();
     session.finish(start)
 }
@@ -321,6 +376,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         traffic: Vec<SourceTraffic>,
         spec: RunSpec,
         observers: &'run mut [&'obs mut dyn Observer<M::Node>],
+        faults: Option<&'run mut ArmedFaults>,
     ) -> Self {
         let n = model.endpoints();
         assert_eq!(traffic.len(), n, "one traffic generator per endpoint");
@@ -357,6 +413,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             flits_delivered: 0,
             events_processed: 0,
             observers,
+            faults,
         };
 
         // Prime each source's first injection.
@@ -545,6 +602,59 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         let flit = self.ctx.source_queue[source]
             .pop_front()
             .expect("queue checked non-empty");
+        if flit.kind().is_header() {
+            let action = self.ctx.faults.as_mut().and_then(|faults| {
+                faults.on_source_header(source, flit.descriptor().id().as_u64())
+            });
+            match action {
+                Some(SourceFaultAction::Resend { delay }) => {
+                    // The header is dropped on the injection link; the
+                    // source times out and re-sends the same flit.
+                    self.ctx.emit(&SimEvent::Fault {
+                        class: FaultClass::FlitDrop,
+                        site: source,
+                        flit: &flit,
+                    });
+                    self.ctx.source_queue[source].push_front(flit);
+                    let resume = self.ctx.now + delay;
+                    self.ctx.source_next_fire[source] = resume;
+                    self.ctx.queue.schedule(
+                        resume,
+                        Event::Retry {
+                            target: NodeRef::Source(source),
+                        },
+                    );
+                    return;
+                }
+                Some(SourceFaultAction::Lose) => {
+                    // Drop budget exhausted by plan: discard the whole
+                    // train and release its latency bookkeeping so the
+                    // drain still terminates. Never silent — observers
+                    // see both the drop and the loss.
+                    self.ctx.emit(&SimEvent::Fault {
+                        class: FaultClass::FlitDrop,
+                        site: source,
+                        flit: &flit,
+                    });
+                    self.ctx.emit(&SimEvent::Fault {
+                        class: FaultClass::PacketLost,
+                        site: source,
+                        flit: &flit,
+                    });
+                    let id = flit.descriptor().id();
+                    while self.ctx.source_queue[source]
+                        .front()
+                        .is_some_and(|f| f.descriptor().id() == id)
+                    {
+                        self.ctx.source_queue[source].pop_front();
+                    }
+                    self.lose_packet(&flit);
+                    self.fire_source(source);
+                    return;
+                }
+                None => {}
+            }
+        }
         self.ctx.emit(&SimEvent::Inject {
             source,
             flit: &flit,
@@ -555,6 +665,26 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         let wire = self.source_wire_delay;
         self.ctx.launch(channel, flit, wire);
         self.ctx.source_next_fire[source] = self.ctx.now + self.source_cycle;
+    }
+
+    /// Releases the latency bookkeeping of a packet discarded at its
+    /// source: the clone's destinations no longer await delivery, and a
+    /// fully-starved logical packet leaves the pending set without a
+    /// latency record (it is counted by the fault summary instead).
+    fn lose_packet(&mut self, flit: &Flit) {
+        let descriptor = flit.descriptor();
+        let logical = descriptor.logical_id().as_u64();
+        if let Some(pending) = self.ctx.pending.get_mut(&logical) {
+            for dest in descriptor.dests().iter() {
+                pending.awaiting.remove(dest);
+            }
+            if pending.awaiting.is_empty() {
+                let done = self.ctx.pending.remove(&logical).expect("entry present");
+                if done.measured {
+                    self.ctx.pending_measured -= 1;
+                }
+            }
+        }
     }
 
     fn sink_consume(&mut self, channel: usize, dest: usize) {
@@ -737,6 +867,7 @@ mod tests {
                 SimEvent::Forward { .. } => "forward",
                 SimEvent::Drop { .. } => "drop",
                 SimEvent::Deliver { .. } => "deliver",
+                SimEvent::Fault { .. } => "fault",
             };
             self.seen.push((at.as_ps(), tag, in_window));
         }

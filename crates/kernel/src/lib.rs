@@ -29,11 +29,13 @@
 //! assert_eq!(time, Time::from_ps(100));
 //! ```
 
+pub mod fault;
 pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use fault::FaultClass;
 pub use parallel::parallel_map;
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -11,7 +11,8 @@
 //! has elapsed.
 
 use asynoc_engine::{
-    ChannelEnds, Ctx, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent, SimModel,
+    ArmedFaults, ChannelEnds, Ctx, FaultDomain, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent,
+    SimModel,
 };
 use asynoc_kernel::{Duration, Time};
 use asynoc_nodes::{FlitClass, KindTiming};
@@ -204,6 +205,53 @@ impl MeshNetwork {
         phases: Phases,
         extra: &mut [&mut dyn Observer<usize>],
     ) -> Result<MeshReport, MeshError> {
+        self.execute(benchmark, rate, phases, extra, None)
+    }
+
+    /// Runs one benchmark with an armed fault table threaded into the
+    /// engine's injection hooks (see [`asynoc_engine::run_with_faults`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive rate or a traffic-layer
+    /// rejection.
+    pub fn run_with_faults(
+        &self,
+        benchmark: Benchmark,
+        rate: f64,
+        phases: Phases,
+        faults: &mut ArmedFaults,
+        extra: &mut [&mut dyn Observer<usize>],
+    ) -> Result<MeshReport, MeshError> {
+        self.execute(benchmark, rate, phases, extra, Some(faults))
+    }
+
+    /// The legal fault-injection targets of this mesh.
+    ///
+    /// XY routing reads destination indices, not tree symbols, so there
+    /// are no symbol-corruption sites; stalls and source drops cover the
+    /// whole fabric.
+    #[must_use]
+    pub fn fault_domain(&self) -> FaultDomain {
+        let n = self.config.size.endpoints();
+        // Channel allocation order is fixed per router (see MeshModel):
+        // rebuilding the model is the cheapest faithful count.
+        let model = MeshModel::new(&self.config);
+        FaultDomain {
+            channels: model.wiring.len(),
+            endpoints: n,
+            corrupt_sites: Vec::new(),
+        }
+    }
+
+    fn execute(
+        &self,
+        benchmark: Benchmark,
+        rate: f64,
+        phases: Phases,
+        extra: &mut [&mut dyn Observer<usize>],
+        faults: Option<&mut ArmedFaults>,
+    ) -> Result<MeshReport, MeshError> {
         if !(rate.is_finite() && rate > 0.0) {
             return Err(MeshError::InvalidRate { rate });
         }
@@ -237,7 +285,11 @@ impl MeshNetwork {
             phases,
             drain: true,
         };
-        let (engine, model) = asynoc_engine::run(model, traffic, spec, &mut [&mut extras]);
+        let observers: &mut [&mut dyn Observer<usize>] = &mut [&mut extras];
+        let (engine, model) = match faults {
+            None => asynoc_engine::run(model, traffic, spec, observers),
+            Some(faults) => asynoc_engine::run_with_faults(model, traffic, spec, faults, observers),
+        };
 
         Ok(MeshReport {
             latency: engine.latency,

@@ -279,6 +279,13 @@ impl<N: Copy> Observer<N> for ChromeTraceObserver<N> {
                 self.trace
                     .instant(&format!("D{dest}"), at.as_ps(), &format!("deliver {flit}"));
             }
+            SimEvent::Fault { class, site, flit } => {
+                self.trace.instant(
+                    &format!("fault{site}"),
+                    at.as_ps(),
+                    &format!("{class} {flit}"),
+                );
+            }
         }
     }
 }

@@ -14,6 +14,9 @@
 //! - [`SpeculationWaste`] — the per-node waste ledger: throttles absorbed,
 //!   redundant copies created, wasted wire/drop energy priced with the
 //!   substrate's own constants (reconciles with its energy ledger).
+//! - [`FaultLedger`] — per-class/per-site counters of injected fault
+//!   events, including the logical ids of packets lost at a source
+//!   (reconciles with the fault oracle and span-tree analysis).
 //! - [`TraceCollector`] / [`render_ndjson`] — flat trace records with
 //!   NDJSON import/export shared by both substrates.
 //! - [`ChromeTraceObserver`] / [`ChromeTrace`] — Chrome trace-event
@@ -25,6 +28,7 @@
 //! workspace is dependency-free.
 
 pub mod chrome;
+pub mod fault_ledger;
 pub mod histogram;
 pub mod json;
 pub mod latency;
@@ -33,6 +37,7 @@ pub mod trace;
 pub mod waste;
 
 pub use chrome::{chrome_from_records, validate_chrome, ChromeTrace, ChromeTraceObserver};
+pub use fault_ledger::FaultLedger;
 pub use histogram::LogHistogram;
 pub use json::{JsonError, JsonValue};
 pub use latency::LatencyHistograms;

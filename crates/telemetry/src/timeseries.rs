@@ -200,6 +200,10 @@ impl<N: Copy> Observer<N> for TimeSeries<N> {
                 self.bins[index].delivered += 1;
                 self.in_flight -= 1;
             }
+            // Fault hooks fire alongside the flit's normal lifecycle
+            // events (a stalled launch still Arrives; a dropped header
+            // was never Injected), so they move no in-flight tokens.
+            SimEvent::Fault { .. } => {}
         }
         self.bins[index].in_flight = self.in_flight;
     }

@@ -17,7 +17,7 @@
 //! with the metrics report of the same run.
 
 use asynoc_engine::{ForwardInfo, Observer, SimEvent};
-use asynoc_kernel::Time;
+use asynoc_kernel::{FaultClass, Time};
 
 use crate::json::{JsonError, JsonValue};
 
@@ -477,6 +477,16 @@ impl<N: Copy> Observer<N> for TraceCollector<N> {
             ),
             SimEvent::Deliver { dest, flit } => {
                 (*flit, format!("D{dest}"), "deliver", String::new(), 0, 0)
+            }
+            SimEvent::Fault { class, site, flit } => {
+                let site = match class {
+                    FaultClass::LinkStall => format!("ch{site}"),
+                    FaultClass::SymbolCorrupt | FaultClass::StuckBroadcast => {
+                        format!("node{site}")
+                    }
+                    FaultClass::FlitDrop | FaultClass::PacketLost => format!("src{site}"),
+                };
+                (*flit, site, "fault", class.label().to_string(), 0, 0)
             }
         };
         let descriptor = flit.descriptor();

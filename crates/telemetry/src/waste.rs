@@ -192,7 +192,7 @@ impl<N: Copy> Observer<N> for SpeculationWaste<N> {
                     .or_default()
                     .redundant_created += 1;
             }
-            SimEvent::Deliver { .. } => {}
+            SimEvent::Deliver { .. } | SimEvent::Fault { .. } => {}
         }
     }
 }

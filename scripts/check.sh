@@ -6,18 +6,21 @@
 #                               analyze round-trips, and schema diffs
 #                               (debug test cycle)
 #   scripts/check.sh --smoke    run only the guarded benches, recording
-#                               results/BENCH_observer_overhead.json and
-#                               results/BENCH_analyze.json (seeded on
+#                               results/BENCH_observer_overhead.json,
+#                               results/BENCH_analyze.json, and
+#                               results/BENCH_faults.json (seeded on
 #                               first run; >20% ns/event regression
 #                               fails with a per-case diff)
 #
 # The gate is a superset of ROADMAP.md's tier-1 verify
 # (`cargo build --release && cargo test -q`), adding the lint and
 # formatting checks this repository holds itself to, smoke runs of the
-# guarded benches (the zero-observer fast path and the analysis pipeline
-# must keep their per-event cost), a metrics -> trace -> analyze
-# round-trip on both substrates, and diffs of the `asynoc metrics` and
-# `asynoc analyze` JSON report schemas against the checked-in goldens so
+# guarded benches (the zero-observer fast path, the analysis pipeline,
+# and the disarmed fault hooks must keep their per-event cost), a
+# metrics -> trace -> analyze round-trip on both substrates, a fault
+# oracle round-trip on both substrates (a violated oracle exits
+# non-zero), and diffs of the `asynoc metrics` / `asynoc analyze` /
+# `asynoc faults` JSON report schemas against the checked-in goldens so
 # report-format changes are always deliberate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,6 +41,9 @@ run_benches() {
     echo "==> analyze bench (smoke, baseline-guarded)"
     cargo bench -q -p asynoc-bench --bench analyze -- --smoke \
         --json "$PWD/results/BENCH_analyze.json"
+    echo "==> faults bench (smoke, baseline-guarded: disarmed hooks stay free)"
+    cargo bench -q -p asynoc-bench --bench faults -- --smoke \
+        --json "$PWD/results/BENCH_faults.json"
 }
 
 if [[ "$smoke" -eq 1 ]]; then
@@ -100,6 +106,25 @@ if [[ "$fast" -eq 0 ]]; then
         || {
             echo "analysis schema drifted; if intentional, regenerate with"
             echo "  cargo run --release -p asynoc-bench --bin analysis_schema > results/analysis_schema.golden.json"
+            exit 1
+        }
+
+    echo "==> fault oracle round-trip (mot): clean vs faulted under one seed"
+    cargo run -q --release -p asynoc-cli -- faults --arch BasicHybridSpeculative \
+        --benchmark Multicast5 --rate 0.2 --warmup-ns 20 --measure-ns 150 \
+        --oracle --report-out "$tmpdir/mot-faults.json"
+
+    echo "==> fault oracle round-trip (mesh): clean vs faulted under one seed"
+    cargo run -q --release -p asynoc-cli -- faults --substrate mesh \
+        --benchmark Uniform-random --rate 0.1 --size 4 --warmup-ns 20 --measure-ns 150 \
+        --oracle --report-out "$tmpdir/mesh-faults.json"
+
+    echo "==> faults report schema vs results/faults_schema.golden.json"
+    diff results/faults_schema.golden.json \
+        <(cargo run -q --release -p asynoc-bench --bin faults_schema) \
+        || {
+            echo "faults schema drifted; if intentional, regenerate with"
+            echo "  cargo run --release -p asynoc-bench --bin faults_schema > results/faults_schema.golden.json"
             exit 1
         }
 fi

@@ -5,6 +5,7 @@
 use asynoc::{
     Architecture, Benchmark, Duration, MotSize, Network, NetworkConfig, Observer, Phases, RunConfig,
 };
+use asynoc_faults::{judge, mesh_network, run_mesh_outcome, run_mot_outcome, FaultPlan};
 use asynoc_gates::mousetrap::{SpeculativeFork, StageDelays};
 use asynoc_gates::{vcd, GateSim};
 use asynoc_kernel::Time;
@@ -140,6 +141,59 @@ fn both_substrates_emit_round_trippable_ndjson_traces() {
         assert!(has("inject"), "{substrate}: injections traced");
         assert!(has("forward"), "{substrate}: forwards traced");
         assert!(has("deliver"), "{substrate}: deliveries traced");
+    }
+}
+
+#[test]
+fn one_recoverable_fault_plan_satisfies_the_oracle_on_both_substrates() {
+    // The fault model is substrate-agnostic: the *same* textual plan,
+    // under the *same* traffic, must satisfy the same differential
+    // contract on the MoT and on the mesh. Channel and source indices
+    // are chosen to exist in both fault domains.
+    let phases = Phases::new(Duration::from_ns(20), Duration::from_ns(150));
+    let plan = FaultPlan::parse("stall:0:2:300;stall:1:1:200;drop:1:0:1:500").expect("valid plan");
+
+    let mot = Network::new(
+        NetworkConfig::new(
+            MotSize::new(8).expect("valid"),
+            Architecture::BasicHybridSpeculative,
+        )
+        .with_seed(7),
+    )
+    .expect("valid config");
+    let mot_domain = mot.fault_domain();
+    let run = RunConfig::new(Benchmark::UniformRandom, 0.1)
+        .expect("positive rate")
+        .with_phases(phases);
+    let mot_clean = run_mot_outcome(&mot, &run, None).expect("clean MoT run");
+    let mot_faulted = run_mot_outcome(&mot, &run, Some(&plan)).expect("faulted MoT run");
+
+    let mesh = mesh_network(4, 7, 5).expect("valid mesh");
+    let mesh_domain = mesh.fault_domain();
+    let mesh_clean = run_mesh_outcome(&mesh, Benchmark::UniformRandom, 0.1, phases, None)
+        .expect("clean mesh run");
+    let mesh_faulted = run_mesh_outcome(&mesh, Benchmark::UniformRandom, 0.1, phases, Some(&plan))
+        .expect("faulted mesh run");
+
+    for (substrate, clean, faulted, domain) in [
+        ("mot", &mot_clean, &mot_faulted, &mot_domain),
+        ("mesh", &mesh_clean, &mesh_faulted, &mesh_domain),
+    ] {
+        assert!(
+            plan.recoverable(domain),
+            "{substrate}: stalls and retried drops are recoverable everywhere"
+        );
+        let verdict = judge(clean, faulted, &plan, domain);
+        assert!(verdict.recoverable, "{substrate}: judged as recoverable");
+        assert!(
+            verdict.pass(),
+            "{substrate}: oracle failures {:?}",
+            verdict.failures()
+        );
+        assert_eq!(
+            clean.deliveries, faulted.deliveries,
+            "{substrate}: delivery multiset untouched"
+        );
     }
 }
 
