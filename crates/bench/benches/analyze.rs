@@ -12,7 +12,9 @@
 //!   paths, attribution, heatmaps, scorecard)
 //!
 //! `--smoke` shrinks the window and sample count for CI; `--json <path>`
-//! guards the stored ns/event baseline as in `observer_overhead`.
+//! guards the stored ns/event baseline as in `observer_overhead` —
+//! recording each case's *fastest* sample, since on a shared machine
+//! external load only ever adds time.
 
 use asynoc::{
     Architecture, Benchmark, Duration, MotNode, Network, NetworkConfig, Observer, Phases, RunConfig,
@@ -68,13 +70,19 @@ fn main() {
     let events = records.len() as u64;
 
     let group = harness.group(&format!("analyze_{measure_ns}ns ({events} events)"));
-    let parse = group.bench("parse_trace", || {
-        parse_trace(&text).expect("well-formed trace")
-    });
-    let spans = group.bench("span_forest", || SpanForest::build(&records));
-    let full = group.bench("full_analysis", || {
-        Analysis::build(Some(meta.clone()), records.clone(), 10)
-    });
+    let parse = group
+        .bench_stats("parse_trace", || {
+            parse_trace(&text).expect("well-formed trace")
+        })
+        .min;
+    let spans = group
+        .bench_stats("span_forest", || SpanForest::build(&records))
+        .min;
+    let full = group
+        .bench_stats("full_analysis", || {
+            Analysis::build(Some(meta.clone()), records.clone(), 10)
+        })
+        .min;
 
     if let Some(path) = args.json {
         let cases = [
@@ -82,9 +90,9 @@ fn main() {
             ("span_forest", spans),
             ("full_analysis", full),
         ]
-        .map(|(id, median)| BenchCase {
+        .map(|(id, fastest)| BenchCase {
             id: id.to_string(),
-            median,
+            median: fastest,
             events,
         });
         if let Err(message) = guard("analyze", &path, &cases, args.update) {

@@ -1,5 +1,5 @@
 //! Extension experiment: variant MoT vs 2D mesh at equal endpoint count
-//! (the paper's future-work topology comparison, and the [18]-style claim
+//! (the paper's future-work topology comparison, and the \[18\]-style claim
 //! that MoT can outperform meshes).
 //!
 //! Both fabrics connect 64 endpoints: a 64×64 variant MoT (6 fanout + 6

@@ -39,13 +39,32 @@ pub struct Group<'a> {
     harness: &'a Harness,
 }
 
+/// Wall-clock statistics over one benchmark case's samples.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchStats {
+    /// Middle sample after sorting.
+    pub median: Duration,
+    /// Fastest sample — the noise-robust estimator on a shared machine,
+    /// since external load only ever adds time.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
 impl Group<'_> {
     /// Times `f`, printing median/min/max over the harness's sample count
     /// and returning the median (for baseline guards).
     ///
     /// One untimed warmup call precedes measurement so allocator and cache
     /// effects of the first run do not skew the minimum.
-    pub fn bench<T>(&self, id: &str, mut f: impl FnMut() -> T) -> Duration {
+    pub fn bench<T>(&self, id: &str, f: impl FnMut() -> T) -> Duration {
+        self.bench_stats(id, f).median
+    }
+
+    /// Like [`bench`](Group::bench) but returns the full
+    /// [`BenchStats`], for callers that want the minimum (ratio
+    /// comparisons on noisy machines) as well as the median.
+    pub fn bench_stats<T>(&self, id: &str, mut f: impl FnMut() -> T) -> BenchStats {
         std::hint::black_box(f());
         let mut samples: Vec<Duration> = (0..self.harness.sample_size)
             .map(|_| {
@@ -55,16 +74,18 @@ impl Group<'_> {
             })
             .collect();
         samples.sort_unstable();
-        let median = samples[samples.len() / 2];
-        let min = samples[0];
-        let max = samples[samples.len() - 1];
+        let stats = BenchStats {
+            median: samples[samples.len() / 2],
+            min: samples[0],
+            max: samples[samples.len() - 1],
+        };
         println!(
             "  {id:<28} median {:>12} min {:>12} max {:>12}",
-            format_duration(median),
-            format_duration(min),
-            format_duration(max),
+            format_duration(stats.median),
+            format_duration(stats.min),
+            format_duration(stats.max),
         );
-        median
+        stats
     }
 }
 

@@ -1,0 +1,131 @@
+//! Differential conformance: heap vs calendar scheduler, both substrates.
+//!
+//! The calendar queue's entire correctness claim is that it is
+//! *observationally identical* to the binary heap: same `(time, seq)`
+//! pop order, therefore the same event stream, therefore the same
+//! reports. The kernel already proves this at the queue level with
+//! random workloads; this test proves it end-to-end — ten seeded runs
+//! on each substrate (MoT and 2D-mesh), each executed once per
+//! scheduler kind, must produce bit-identical observer streams and
+//! identical report fields (everything except host wall-clock time).
+//!
+//! Streams are compared by FNV-1a fingerprint over the debug rendering
+//! of every `(time, in_window, event)` triple, so any divergence — an
+//! extra event, a reordered arbitration, a shifted timestamp — changes
+//! the hash.
+
+use asynoc::{
+    Architecture, Benchmark, Network, NetworkConfig, Observer, RunConfig, SchedulerKind, SimEvent,
+    Time,
+};
+use asynoc_kernel::Duration;
+use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
+use asynoc_stats::Phases;
+use std::fmt::Write as _;
+
+/// Streaming FNV-1a fingerprint of the full event stream.
+struct Fingerprint {
+    hash: u64,
+    events: u64,
+    line: String,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint {
+            hash: 0xcbf2_9ce4_8422_2325,
+            events: 0,
+            line: String::new(),
+        }
+    }
+
+    fn absorb<N: std::fmt::Debug>(&mut self, at: Time, in_window: bool, event: &SimEvent<'_, N>) {
+        self.line.clear();
+        write!(self.line, "{at:?}|{in_window}|{event:?}").expect("String write is infallible");
+        for byte in self.line.as_bytes() {
+            self.hash ^= u64::from(*byte);
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.events += 1;
+    }
+}
+
+impl<N: std::fmt::Debug> Observer<N> for Fingerprint {
+    fn on_event(&mut self, at: Time, in_window: bool, event: &SimEvent<'_, N>) {
+        self.absorb(at, in_window, event);
+    }
+}
+
+const SEEDS: [u64; 10] = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+
+#[test]
+fn mot_runs_are_identical_under_both_schedulers() {
+    for seed in SEEDS {
+        let mut outcomes = Vec::new();
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let config =
+                NetworkConfig::eight_by_eight(Architecture::OptHybridSpeculative).with_seed(seed);
+            let network = Network::new(config).expect("8x8 network builds");
+            let run = RunConfig::quick(Benchmark::Multicast10, 0.3).with_scheduler(kind);
+            let mut stream = Fingerprint::new();
+            let report = network
+                .run_with_observers(&run, &mut [&mut stream])
+                .expect("run succeeds");
+            outcomes.push((kind, stream.hash, stream.events, report));
+        }
+        let (_, heap_hash, heap_events, heap) = &outcomes[0];
+        let (_, cal_hash, cal_events, cal) = &outcomes[1];
+        assert_eq!(heap_events, cal_events, "seed {seed}: event counts differ");
+        assert_eq!(heap_hash, cal_hash, "seed {seed}: event streams diverged");
+        assert_eq!(heap.events_processed, cal.events_processed, "seed {seed}");
+        assert_eq!(heap.packets_measured, cal.packets_measured, "seed {seed}");
+        assert_eq!(
+            heap.packets_incomplete, cal.packets_incomplete,
+            "seed {seed}"
+        );
+        assert_eq!(heap.flits_throttled, cal.flits_throttled, "seed {seed}");
+        assert_eq!(heap.flits_delivered, cal.flits_delivered, "seed {seed}");
+        assert_eq!(heap.throughput, cal.throughput, "seed {seed}");
+        assert_eq!(heap.latency.count(), cal.latency.count(), "seed {seed}");
+        assert_eq!(heap.latency.mean(), cal.latency.mean(), "seed {seed}");
+        assert_eq!(heap.latency.min(), cal.latency.min(), "seed {seed}");
+        assert_eq!(heap.latency.max(), cal.latency.max(), "seed {seed}");
+        assert!(heap.packets_measured > 0, "seed {seed}: degenerate run");
+    }
+}
+
+#[test]
+fn mesh_runs_are_identical_under_both_schedulers() {
+    let phases = Phases::new(Duration::from_ns(80), Duration::from_ns(800));
+    for seed in SEEDS {
+        let mut outcomes = Vec::new();
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let config = MeshConfig::new(MeshSize::new(4, 4).expect("4x4 is valid"))
+                .with_seed(seed)
+                .with_scheduler(kind);
+            let network = MeshNetwork::new(config).expect("4x4 mesh builds");
+            let mut stream = Fingerprint::new();
+            let report = network
+                .run_with_observers(Benchmark::UniformRandom, 0.25, phases, &mut [&mut stream])
+                .expect("run succeeds");
+            outcomes.push((kind, stream.hash, stream.events, report));
+        }
+        let (_, heap_hash, heap_events, heap) = &outcomes[0];
+        let (_, cal_hash, cal_events, cal) = &outcomes[1];
+        assert_eq!(heap_events, cal_events, "seed {seed}: event counts differ");
+        assert_eq!(heap_hash, cal_hash, "seed {seed}: event streams diverged");
+        assert_eq!(heap.events_processed, cal.events_processed, "seed {seed}");
+        assert_eq!(heap.packets_measured, cal.packets_measured, "seed {seed}");
+        assert_eq!(
+            heap.packets_incomplete, cal.packets_incomplete,
+            "seed {seed}"
+        );
+        assert_eq!(heap.throughput, cal.throughput, "seed {seed}");
+        assert_eq!(heap.latency.count(), cal.latency.count(), "seed {seed}");
+        assert_eq!(heap.latency.mean(), cal.latency.mean(), "seed {seed}");
+        assert_eq!(heap.latency.min(), cal.latency.min(), "seed {seed}");
+        assert_eq!(heap.latency.max(), cal.latency.max(), "seed {seed}");
+        assert!((heap.mean_hops - cal.mean_hops).abs() == 0.0, "seed {seed}");
+        assert!(heap.packets_measured > 0, "seed {seed}: degenerate run");
+    }
+}

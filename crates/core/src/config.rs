@@ -1,6 +1,6 @@
 //! Network and run configuration.
 
-use asynoc_kernel::Duration;
+use asynoc_kernel::{Duration, SchedulerKind};
 use asynoc_nodes::TimingModel;
 use asynoc_stats::Phases;
 use asynoc_topology::{Architecture, MotSize, NodePlan, SpeculationMap};
@@ -163,6 +163,7 @@ pub struct RunConfig {
     phases: Phases,
     drain: bool,
     trace_limit: usize,
+    scheduler: SchedulerKind,
 }
 
 impl RunConfig {
@@ -184,6 +185,7 @@ impl RunConfig {
             phases: Phases::paper_standard(benchmark == Benchmark::MulticastStatic),
             drain: true,
             trace_limit: 0,
+            scheduler: SchedulerKind::default(),
         })
     }
 
@@ -252,6 +254,20 @@ impl RunConfig {
     #[must_use]
     pub fn trace_limit(&self) -> usize {
         self.trace_limit
+    }
+
+    /// Replaces the event-queue scheduler (results are bit-identical
+    /// under either kind; this only affects run speed).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The event-queue scheduler this run uses.
+    #[must_use]
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
     }
 }
 
@@ -327,6 +343,16 @@ mod tests {
         assert_eq!(run.phases(), Phases::paper_standard(true));
         let run = RunConfig::new(Benchmark::UniformRandom, 0.2).unwrap();
         assert_eq!(run.phases(), Phases::paper_standard(false));
+    }
+
+    #[test]
+    fn scheduler_defaults_to_calendar_and_is_overridable() {
+        let run = RunConfig::new(Benchmark::Shuffle, 0.5).unwrap();
+        assert_eq!(run.scheduler(), SchedulerKind::Calendar);
+        assert_eq!(
+            run.with_scheduler(SchedulerKind::Heap).scheduler(),
+            SchedulerKind::Heap
+        );
     }
 
     #[test]

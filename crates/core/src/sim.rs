@@ -15,7 +15,8 @@
 //! Sources, sinks, channels, the event queue, and the paper's §5.1
 //! measurement protocol live in `asynoc-engine`; this module contributes
 //! only what is MoT-specific — the fabric wiring, the fanout/fanin firing
-//! rules, and the tree routing — via [`MotModel`]. Statistics, power, and
+//! rules, and the tree routing — via the private `MotModel`. Statistics,
+//! power, and
 //! tracing attach as [`Observer`]s (see [`crate::observers`]).
 
 use asynoc_engine::{
@@ -26,7 +27,7 @@ use asynoc_kernel::{Duration, Time};
 use asynoc_nodes::{FaninState, FanoutState, FlitClass, TimingModel};
 use asynoc_packet::{DestSet, RouteHeader};
 use asynoc_topology::FanoutKind;
-use asynoc_topology::{multicast_route, OutputPort};
+use asynoc_topology::{multicast_route, multicast_route_into, OutputPort};
 use asynoc_traffic::SourceTraffic;
 
 use crate::config::{NetworkConfig, RunConfig};
@@ -238,10 +239,7 @@ impl Network {
         let mut extras = Extras(extra);
 
         let model = MotModel::new(&self.fabric, config.timing());
-        let spec = RunSpec {
-            phases,
-            drain: run.drain(),
-        };
+        let spec = RunSpec::new(phases, run.drain()).with_scheduler(run.scheduler());
         let observers: &mut [&mut dyn Observer<MotNode>] =
             &mut [&mut power, &mut activity, &mut trace, &mut extras];
         let (engine, _model) = match faults {
@@ -479,6 +477,11 @@ impl SimModel for MotModel<'_> {
     fn route(&self, source: usize, dests: DestSet) -> RouteHeader {
         multicast_route(self.fabric.size, source, dests)
             .expect("benchmark destinations are validated at construction")
+    }
+
+    fn route_into(&self, source: usize, dests: DestSet, header: &mut RouteHeader) {
+        multicast_route_into(self.fabric.size, source, dests, header)
+            .expect("benchmark destinations are validated at construction");
     }
 
     fn fire(&mut self, node: MotNode, ctx: &mut Ctx<'_, '_, MotNode>) {

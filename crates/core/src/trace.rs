@@ -83,7 +83,8 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    /// Converts into the substrate-neutral [`TraceRecord`] form used by the
+    /// Converts into the substrate-neutral
+    /// [`TraceRecord`](asynoc_telemetry::TraceRecord) form used by the
     /// NDJSON and Chrome trace exporters. Action names match those the
     /// generic [`asynoc_telemetry::TraceCollector`] emits, so one parser
     /// handles traces from either path.

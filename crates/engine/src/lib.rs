@@ -13,8 +13,9 @@
 //! - [`Observer`] receives the engine's event stream (injections,
 //!   forwards, drops, deliveries) so statistics, power accounting, and
 //!   tracing compose per run instead of being hard-wired into the loop.
-//! - [`run`] executes one simulation and returns an [`EngineReport`]
-//!   plus the model (whose accumulated state the caller may harvest).
+//! - [`Session`] is one prepared simulation; [`run`] wraps it and
+//!   returns an [`EngineReport`] plus the model (whose accumulated state
+//!   the caller may harvest).
 //! - [`run_with_faults`] is the same loop with an [`ArmedFaults`] table
 //!   threaded into its hooks — deterministic fault injection (stalls,
 //!   symbol corruption, source drops/losses) with zero cost when
@@ -22,14 +23,32 @@
 //! - [`parallel_map`] fans independent work items (seeds, configs,
 //!   saturation probe points) across OS threads with deterministic
 //!   result ordering — the experiment layer's multi-core runner.
+//!
+//! # Performance discipline
+//!
+//! The run loop is the hot path of every experiment, so it holds two
+//! standing guarantees, both enforced by tests:
+//!
+//! - **Scheduler-independent results.** Events are totally ordered by
+//!   `(time, insertion seq)`; both the binary-heap and the calendar
+//!   scheduler ([`RunSpec::scheduler`]) realize that order exactly, so a
+//!   seeded run is bit-identical under either.
+//! - **Zero-allocation steady state.** All run state is pre-sized at
+//!   construction, packet descriptors are recycled through an internal
+//!   free-list once their tails deliver, and event payloads are small
+//!   `Copy` values stored inline in the queue — after warm-up, a clean
+//!   run performs no heap allocation (see `tests/zero_alloc.rs`).
+
+#![deny(missing_docs)]
 
 mod fault;
 mod observer;
+mod pool;
 mod session;
 
 pub use asynoc_kernel::parallel_map;
 pub use fault::{ArmedFaults, FaultDomain, FaultSummary, SourceFaultAction};
 pub use observer::{ForwardInfo, Observer, SimEvent};
 pub use session::{
-    run, run_with_faults, ChannelEnds, Ctx, EngineReport, NodeRef, RunSpec, SimModel,
+    run, run_with_faults, ChannelEnds, Ctx, EngineReport, NodeRef, RunSpec, Session, SimModel,
 };

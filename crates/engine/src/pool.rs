@@ -1,0 +1,114 @@
+//! Descriptor recycling for the zero-allocation steady state.
+//!
+//! Every injected packet needs an `Arc<PacketDescriptor>` whose route
+//! header owns a heap-allocated symbol vector. Allocating one per packet
+//! makes the run loop's throughput hostage to the allocator; instead,
+//! when a packet's tail flit is consumed at a sink the session hands the
+//! descriptor back to a [`FlitPool`], and the next injection rewrites it
+//! in place ([`PacketDescriptor::reset`] + an in-place route rebuild).
+//! After warm-up the pool population matches the in-flight packet count
+//! and injection stops touching the allocator entirely — the property
+//! the counting-allocator test in `tests/zero_alloc.rs` enforces.
+
+use std::sync::Arc;
+
+use asynoc_packet::PacketDescriptor;
+
+/// A bounded free-list of packet descriptors.
+pub(crate) struct FlitPool {
+    free: Vec<Arc<PacketDescriptor>>,
+    /// Recycles beyond this population are dropped; bounds memory on
+    /// pathological workloads without affecting the steady state.
+    cap: usize,
+}
+
+impl FlitPool {
+    /// Creates an empty pool holding at most `cap` descriptors.
+    pub(crate) fn new(cap: usize) -> Self {
+        FlitPool {
+            free: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Returns a descriptor whose storage can be rewritten in place, or
+    /// `None` if the pool has none (the caller allocates fresh).
+    ///
+    /// Only uniquely-held descriptors are returned: multicast delivers
+    /// one tail per destination, so the same descriptor can be recycled
+    /// while sibling copies are still in flight — those entries are
+    /// simply dropped here, releasing their refcount.
+    pub(crate) fn take(&mut self) -> Option<Arc<PacketDescriptor>> {
+        while let Some(descriptor) = self.free.pop() {
+            if Arc::strong_count(&descriptor) == 1 {
+                return Some(descriptor);
+            }
+        }
+        None
+    }
+
+    /// Offers a delivered packet's descriptor back to the pool. Shared
+    /// descriptors (other flits of the train still in flight) are
+    /// refused now and re-offered when their last holder delivers.
+    pub(crate) fn recycle(&mut self, descriptor: Arc<PacketDescriptor>) {
+        if self.free.len() < self.cap && Arc::strong_count(&descriptor) == 1 {
+            self.free.push(descriptor);
+        }
+    }
+
+    /// Current free-list population (test introspection).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynoc_kernel::Time;
+    use asynoc_packet::{DestSet, PacketId, RouteHeader};
+
+    fn descriptor(id: u64) -> Arc<PacketDescriptor> {
+        Arc::new(PacketDescriptor::new(
+            PacketId::new(id),
+            0,
+            DestSet::unicast(1),
+            RouteHeader::for_tree(8),
+            5,
+            Time::ZERO,
+        ))
+    }
+
+    #[test]
+    fn recycled_descriptor_is_reused() {
+        let mut pool = FlitPool::new(8);
+        let first = descriptor(1);
+        pool.recycle(first);
+        let taken = pool.take().expect("pool has one descriptor");
+        assert_eq!(taken.id(), PacketId::new(1));
+        assert!(pool.take().is_none());
+    }
+
+    #[test]
+    fn shared_descriptors_are_refused() {
+        let mut pool = FlitPool::new(8);
+        let shared = descriptor(2);
+        let holder = Arc::clone(&shared);
+        pool.recycle(shared);
+        assert_eq!(pool.len(), 0, "shared descriptor must not be pooled");
+        // Once the sibling copy delivers, its recycle succeeds.
+        pool.recycle(holder);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.take().is_some());
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool = FlitPool::new(2);
+        for id in 0..5 {
+            pool.recycle(descriptor(id));
+        }
+        assert_eq!(pool.len(), 2);
+    }
+}

@@ -1,9 +1,10 @@
 //! The engine's event loop, channel plumbing, and measurement protocol.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, Hasher};
 use std::sync::Arc;
 
-use asynoc_kernel::{Duration, EventQueue, FaultClass, Time};
+use asynoc_kernel::{Duration, FaultClass, SchedulerKind, SchedulerQueue, Time};
 use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader, RouteSymbol};
 use asynoc_stats::throughput::ThroughputReport;
 use asynoc_stats::{LatencyStats, Phases, ThroughputCounter};
@@ -11,6 +12,7 @@ use asynoc_traffic::SourceTraffic;
 
 use crate::fault::{ArmedFaults, SourceFaultAction};
 use crate::observer::{Observer, SimEvent};
+use crate::pool::FlitPool;
 
 /// One end of a channel: who launches into it / who consumes from it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +65,14 @@ pub trait SimModel {
     /// Builds the routing header a packet from `source` to `dests`
     /// carries.
     fn route(&self, source: usize, dests: DestSet) -> RouteHeader;
+    /// Rewrites `header` in place for a packet from `source` to `dests`,
+    /// reusing its symbol storage. The engine calls this when it recycles
+    /// a delivered packet's descriptor; substrates with an in-place
+    /// encoder should override the default (which falls back to
+    /// [`route`](SimModel::route) and allocates).
+    fn route_into(&self, source: usize, dests: DestSet, header: &mut RouteHeader) {
+        *header = self.route(source, dests);
+    }
     /// Hook called once per created physical packet (serialized clones
     /// included); models accumulate per-packet analytics here.
     fn on_packet(&mut self, source: usize, dest: DestSet, measured: bool) {
@@ -83,6 +93,40 @@ pub struct RunSpec {
     /// Whether to drain in-flight measured packets after injection stops
     /// (bounded by a hard cap so saturated runs still terminate).
     pub drain: bool,
+    /// Which event-queue implementation schedules the run. Both kinds pop
+    /// the identical event stream; this is a throughput knob only.
+    pub scheduler: SchedulerKind,
+    /// Pre-sized event-queue capacity, or `None` to derive one from the
+    /// model's channel and endpoint counts (avoids early regrow churn).
+    pub queue_capacity: Option<usize>,
+}
+
+impl RunSpec {
+    /// Creates a spec with the default scheduler and a model-derived
+    /// queue capacity.
+    #[must_use]
+    pub fn new(phases: Phases, drain: bool) -> Self {
+        RunSpec {
+            phases,
+            drain,
+            scheduler: SchedulerKind::default(),
+            queue_capacity: None,
+        }
+    }
+
+    /// Selects the event-queue implementation.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the event queue's initial capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
 }
 
 /// Everything the engine measured in one run.
@@ -155,6 +199,48 @@ struct Pending {
     measured: bool,
 }
 
+/// Deterministic hash state for the pending-packet map.
+///
+/// The std `RandomState` seeds itself per process, which makes hashmap
+/// growth and tombstone layout — and therefore the run loop's exact
+/// allocation behavior — vary between processes. Packet ids are
+/// sequential `u64`s, so a SplitMix64 finalizer gives full avalanche
+/// with one multiply chain and the same layout on every run.
+#[derive(Clone, Copy, Debug, Default)]
+struct DetHashState;
+
+impl BuildHasher for DetHashState {
+    type Hasher = DetHasher;
+
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher(0)
+    }
+}
+
+/// See [`DetHashState`].
+#[derive(Clone, Copy, Debug)]
+struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; the pending map only hashes u64 keys.
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
 /// The engine state a firing node may touch.
 ///
 /// Models read inputs ([`arrived`](Ctx::arrived)), consume them
@@ -169,7 +255,7 @@ pub struct Ctx<'obs, 'run, N> {
     injection_end: Time,
     hard_cap: Time,
 
-    queue: EventQueue<Event<N>>,
+    queue: SchedulerQueue<Event<N>>,
     now: Time,
 
     channels: Vec<ChannelState>,
@@ -178,7 +264,7 @@ pub struct Ctx<'obs, 'run, N> {
     traffic: Vec<SourceTraffic>,
 
     next_packet_id: u64,
-    pending: HashMap<u64, Pending>,
+    pending: HashMap<u64, Pending, DetHashState>,
     pending_measured: usize,
 
     latency: LatencyStats,
@@ -331,10 +417,7 @@ pub fn run<M: SimModel>(
     spec: RunSpec,
     observers: &mut [&mut dyn Observer<M::Node>],
 ) -> (EngineReport, M) {
-    let start = std::time::Instant::now();
-    let mut session = Session::new(model, traffic, spec, observers, None);
-    session.execute();
-    session.finish(start)
+    Session::new(model, traffic, spec, observers).run()
 }
 
 /// [`run`], with an armed fault table threaded into the loop's hooks:
@@ -353,13 +436,62 @@ pub fn run_with_faults<M: SimModel>(
     faults: &mut ArmedFaults,
     observers: &mut [&mut dyn Observer<M::Node>],
 ) -> (EngineReport, M) {
-    let start = std::time::Instant::now();
-    let mut session = Session::new(model, traffic, spec, observers, Some(faults));
-    session.execute();
-    session.finish(start)
+    Session::with_faults(model, traffic, spec, observers, faults).run()
 }
 
-struct Session<'obs, 'run, M: SimModel> {
+/// One prepared simulation: model, traffic, wiring, and all pre-sized
+/// engine state, ready to [`run`](Session::run).
+///
+/// Construction does all the setup allocation — channel wiring, the
+/// event queue (heap or calendar, per [`RunSpec::scheduler`]), source
+/// queues, and the latency reservoir — so that the run loop itself can
+/// stay allocation-free once the descriptor pool warms up.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_engine::{ChannelEnds, Ctx, NodeRef, RunSpec, Session, SimModel};
+/// use asynoc_kernel::Duration;
+/// use asynoc_packet::{DestSet, RouteHeader};
+/// use asynoc_stats::Phases;
+/// use asynoc_traffic::{Benchmark, SourceTraffic};
+///
+/// /// Two endpoints joined by crossed wires: source 0 feeds sink 1 and
+/// /// source 1 feeds sink 0, with no routing nodes in between.
+/// struct CrossedWires;
+///
+/// impl SimModel for CrossedWires {
+///     type Node = ();
+///     fn endpoints(&self) -> usize { 2 }
+///     fn channel_count(&self) -> usize { 2 }
+///     fn channel_ends(&self, channel: usize) -> ChannelEnds<()> {
+///         ChannelEnds {
+///             upstream: NodeRef::Source(channel),
+///             downstream: NodeRef::Sink(1 - channel),
+///         }
+///     }
+///     fn source_channel(&self, source: usize) -> usize { source }
+///     fn source_wire_delay(&self) -> Duration { Duration::from_ps(50) }
+///     fn source_cycle(&self) -> Duration { Duration::from_ps(100) }
+///     fn sink_ack(&self) -> Duration { Duration::from_ps(100) }
+///     fn serializes_multicast(&self) -> bool { true }
+///     fn route(&self, _source: usize, _dests: DestSet) -> RouteHeader {
+///         RouteHeader::for_tree(2)
+///     }
+///     fn fire(&mut self, _node: (), _ctx: &mut Ctx<'_, '_, ()>) {}
+/// }
+///
+/// // Nearest-neighbor traffic sends each packet to source + 1 (mod 2),
+/// // which is exactly where the crossed wires deliver.
+/// let traffic: Vec<SourceTraffic> = (0..2)
+///     .map(|s| SourceTraffic::new(Benchmark::NearestNeighbor, 2, s, 0.4, 1, 7).unwrap())
+///     .collect();
+/// let spec = RunSpec::new(Phases::new(Duration::from_ns(2), Duration::from_ns(20)), true);
+/// let (report, _model) = Session::new(CrossedWires, traffic, spec, &mut []).run();
+/// assert!(report.packets_measured > 0);
+/// assert_eq!(report.packets_incomplete, 0);
+/// ```
+pub struct Session<'obs, 'run, M: SimModel> {
     model: M,
     wiring: Vec<ChannelEnds<M::Node>>,
     source_channel: Vec<usize>,
@@ -367,11 +499,42 @@ struct Session<'obs, 'run, M: SimModel> {
     source_cycle: Duration,
     sink_ack: Duration,
     serializes_multicast: bool,
+    pool: FlitPool,
     ctx: Ctx<'obs, 'run, M::Node>,
 }
 
 impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
-    fn new(
+    /// Prepares a clean (fault-free) simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traffic` does not provide one generator per endpoint.
+    pub fn new(
+        model: M,
+        traffic: Vec<SourceTraffic>,
+        spec: RunSpec,
+        observers: &'run mut [&'obs mut dyn Observer<M::Node>],
+    ) -> Self {
+        Session::build(model, traffic, spec, observers, None)
+    }
+
+    /// Prepares a simulation with an armed fault table threaded into the
+    /// loop's hooks (see [`run_with_faults`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traffic` does not provide one generator per endpoint.
+    pub fn with_faults(
+        model: M,
+        traffic: Vec<SourceTraffic>,
+        spec: RunSpec,
+        observers: &'run mut [&'obs mut dyn Observer<M::Node>],
+        faults: &'run mut ArmedFaults,
+    ) -> Self {
+        Session::build(model, traffic, spec, observers, Some(faults))
+    }
+
+    fn build(
         model: M,
         traffic: Vec<SourceTraffic>,
         spec: RunSpec,
@@ -393,21 +556,34 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         // measurement window plus warmup.
         let hard_cap = injection_end + spec.phases.measure() + spec.phases.warmup();
 
+        // Pre-size everything the run loop touches. Pending events are
+        // bounded by the channel count (one in-flight or free event each)
+        // plus a few per source; measured packets by the injection rate
+        // over the window.
+        let queue_capacity = spec
+            .queue_capacity
+            .unwrap_or_else(|| (channels * 2 + n * 4).max(1024));
+        let expected_packets: usize = traffic
+            .iter()
+            .map(|src| (spec.phases.measure().as_ps() / src.mean_gap().as_ps().max(1)) as usize + 1)
+            .sum();
+        let latency_capacity = expected_packets + expected_packets / 4 + 64;
+
         let mut ctx = Ctx {
             phases: spec.phases,
             drain: spec.drain,
             injection_end,
             hard_cap,
-            queue: EventQueue::with_capacity(4096),
+            queue: SchedulerQueue::with_capacity(spec.scheduler, queue_capacity),
             now: Time::ZERO,
             channels: vec![ChannelState::Free; channels],
-            source_queue: (0..n).map(|_| VecDeque::new()).collect(),
+            source_queue: (0..n).map(|_| VecDeque::with_capacity(64)).collect(),
             source_next_fire: vec![Time::ZERO; n],
             traffic,
             next_packet_id: 0,
-            pending: HashMap::new(),
+            pending: HashMap::with_capacity_and_hasher(n * 16 + 256, DetHashState),
             pending_measured: 0,
-            latency: LatencyStats::new(),
+            latency: LatencyStats::with_capacity(latency_capacity),
             throughput: ThroughputCounter::new(n),
             flits_throttled: 0,
             flits_delivered: 0,
@@ -431,8 +607,24 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             source_cycle,
             sink_ack,
             serializes_multicast,
+            pool: FlitPool::new(n * 64 + 256),
             ctx,
         }
+    }
+
+    /// Executes the event loop to completion and returns the
+    /// measurements plus the model (whose accumulated state the caller
+    /// may harvest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a header reaches a destination outside its packet's
+    /// awaited set (the delivery audit: a duplicate means a redundant
+    /// speculative copy escaped throttling).
+    pub fn run(mut self) -> (EngineReport, M) {
+        let start = std::time::Instant::now();
+        self.execute();
+        self.finish(start)
     }
 
     fn execute(&mut self) {
@@ -494,6 +686,33 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         self.fire_source(source);
     }
 
+    /// Produces a descriptor for a new packet, rewriting a recycled one
+    /// in place when the pool has one (no heap allocation) and
+    /// allocating fresh otherwise.
+    fn alloc_descriptor(
+        &mut self,
+        id: PacketId,
+        source: usize,
+        dests: DestSet,
+        flits: u8,
+        group: Option<PacketId>,
+    ) -> Arc<PacketDescriptor> {
+        if let Some(mut recycled) = self.pool.take() {
+            let descriptor = Arc::get_mut(&mut recycled).expect("pooled descriptors are unique");
+            descriptor.reset(id, source, dests, flits, self.ctx.now, group);
+            self.model.route_into(source, dests, descriptor.route_mut());
+            recycled
+        } else {
+            let route = self.model.route(source, dests);
+            let mut descriptor =
+                PacketDescriptor::new(id, source, dests, route, flits, self.ctx.now);
+            if let Some(group) = group {
+                descriptor = descriptor.with_group(group);
+            }
+            Arc::new(descriptor)
+        }
+    }
+
     fn create_packets(&mut self, source: usize, dests: DestSet) {
         let measured = self.ctx.in_window();
         let logical = self.ctx.alloc_id();
@@ -507,25 +726,14 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             for dest in dests.iter() {
                 let id = self.ctx.alloc_id();
                 let clone_dests = DestSet::unicast(dest);
-                let route = self.model.route(source, clone_dests);
-                let descriptor = Arc::new(
-                    PacketDescriptor::new(id, source, clone_dests, route, flits, self.ctx.now)
-                        .with_group(logical),
-                );
+                let descriptor =
+                    self.alloc_descriptor(id, source, clone_dests, flits, Some(logical));
                 self.ctx.source_queue[source].extend(Flit::train(&descriptor));
                 offered_flits += u64::from(flits);
                 self.model.on_packet(source, clone_dests, measured);
             }
         } else {
-            let route = self.model.route(source, dests);
-            let descriptor = Arc::new(PacketDescriptor::new(
-                logical,
-                source,
-                dests,
-                route,
-                flits,
-                self.ctx.now,
-            ));
+            let descriptor = self.alloc_descriptor(logical, source, dests, flits, None);
             self.ctx.source_queue[source].extend(Flit::train(&descriptor));
             offered_flits = u64::from(flits);
             self.model.on_packet(source, dests, measured);
@@ -723,6 +931,12 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
                 );
             }
         }
+        if flit.kind().is_tail() {
+            // The tail is the last flit of its train to be consumed here;
+            // once every sibling copy has delivered, the descriptor is
+            // unique again and the next injection rewrites it in place.
+            self.pool.recycle(flit.into_descriptor());
+        }
     }
 }
 
@@ -836,10 +1050,10 @@ mod tests {
     }
 
     fn toy_spec() -> RunSpec {
-        RunSpec {
-            phases: Phases::new(Duration::from_ns(2), Duration::from_ns(40)),
-            drain: true,
-        }
+        RunSpec::new(
+            Phases::new(Duration::from_ns(2), Duration::from_ns(40)),
+            true,
+        )
     }
 
     #[test]
@@ -907,11 +1121,37 @@ mod tests {
 
     #[test]
     fn no_drain_stops_at_injection_end() {
-        let spec = RunSpec {
-            phases: Phases::new(Duration::from_ns(2), Duration::from_ns(40)),
-            drain: false,
-        };
+        let spec = RunSpec::new(
+            Phases::new(Duration::from_ns(2), Duration::from_ns(40)),
+            false,
+        );
         let (report, _) = run(Crossbar::new(), toy_traffic(5), spec, &mut []);
         assert!(report.packets_measured > 0);
+    }
+
+    #[test]
+    fn heap_and_calendar_schedulers_match_bit_for_bit() {
+        let run_with = |kind| {
+            let spec = toy_spec().with_scheduler(kind);
+            let mut recorder = Recorder::default();
+            let (report, _) = run(Crossbar::new(), toy_traffic(13), spec, &mut [&mut recorder]);
+            (report, recorder.seen)
+        };
+        let (heap, heap_events) = run_with(SchedulerKind::Heap);
+        let (calendar, calendar_events) = run_with(SchedulerKind::Calendar);
+        assert_eq!(heap_events, calendar_events);
+        assert_eq!(heap.latency.count(), calendar.latency.count());
+        assert_eq!(heap.latency.mean(), calendar.latency.mean());
+        assert_eq!(heap.throughput, calendar.throughput);
+        assert_eq!(heap.events_processed, calendar.events_processed);
+    }
+
+    #[test]
+    fn queue_capacity_override_is_honored() {
+        let spec = toy_spec().with_queue_capacity(16);
+        let (report, _) = run(Crossbar::new(), toy_traffic(7), spec, &mut []);
+        let (baseline, _) = run(Crossbar::new(), toy_traffic(7), toy_spec(), &mut []);
+        assert_eq!(report.latency.mean(), baseline.latency.mean());
+        assert_eq!(report.events_processed, baseline.events_processed);
     }
 }

@@ -1,0 +1,451 @@
+//! Calendar-queue event scheduling.
+//!
+//! The binary-heap [`EventQueue`](crate::EventQueue) costs `O(log n)` per
+//! operation and walks a pointer-hostile implicit tree; once every
+//! experiment funnels through one global queue, that logarithm is the
+//! simulator's ceiling. A *calendar queue* (Brown, CACM 1988) instead
+//! hashes each event by its firing time into one of `n_buckets` time
+//! buckets — exactly like writing appointments into a desk calendar with
+//! one page per day — and dequeues by scanning forward from the current
+//! "day". With the bucket count kept proportional to the population's
+//! time span (lazy resize on power-of-two thresholds), both `schedule`
+//! and `pop` are amortized `O(1)`.
+//!
+//! Bucket widths and counts are powers of two, so the entire hot path is
+//! shifts, masks, and compares — no division and no wide arithmetic. An
+//! event's *day* is `time >> width_shift`; its bucket is `day & mask`.
+//!
+//! # Determinism
+//!
+//! [`CalendarQueue`] reproduces the heap's contract exactly: events pop
+//! in ascending `(time, seq)` order, where `seq` is the insertion
+//! sequence number. Two events with equal times always land in the same
+//! bucket (the bucket index is a pure function of the time), and each
+//! bucket is kept sorted by `(time, seq)`, so FIFO tie-breaking survives
+//! the hashing. The differential tests in `tests/queue_differential.rs`
+//! drive both queues from seeded workloads and assert identical pop
+//! streams.
+
+use crate::time::Time;
+
+/// Minimum number of buckets; shrinking stops here.
+const MIN_BUCKETS: usize = 16;
+/// Grow when pending events exceed `rebuild_len * GROW_FACTOR`.
+const GROW_FACTOR: usize = 2;
+/// Shrink when pending events drop below `rebuild_len / SHRINK_DIVISOR`
+/// (the wide hysteresis band keeps a steady-state simulation from
+/// oscillating between sizes, which keeps the hot path allocation-free).
+const SHRINK_DIVISOR: usize = 8;
+/// Below this bucket count a fruitless full-year scan is answered by the
+/// direct search alone — at this size the search costs no more than a
+/// heap pop, and skipping the rebuild keeps small steady-state queues
+/// (the engine's) from ever touching the allocator mid-run.
+const RECALIBRATE_MIN_BUCKETS: usize = 64;
+
+#[derive(Clone, Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+/// A time-bucketed event queue with `O(1)` amortized operations and the
+/// same deterministic `(time, seq)` FIFO tie-breaking as
+/// [`EventQueue`](crate::EventQueue).
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_kernel::{CalendarQueue, Time};
+///
+/// let mut queue = CalendarQueue::new();
+/// queue.schedule(Time::from_ps(5), "b");
+/// queue.schedule(Time::from_ps(5), "c");
+/// queue.schedule(Time::from_ps(1), "a");
+/// let order: Vec<_> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CalendarQueue<E> {
+    /// Each bucket is sorted *descending* by `(time, seq)` so the
+    /// earliest entry pops from the end in `O(1)`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// `buckets.len() - 1`; the bucket count is a power of two so the
+    /// year hash is a mask, not a modulo.
+    mask: usize,
+    /// Bucket width is `1 << width_shift` picoseconds, so the day of an
+    /// event is a shift (`time >> width_shift`), never a division.
+    width_shift: u32,
+    /// Pending events.
+    len: usize,
+    /// Next insertion sequence number (monotonic, survives `clear`).
+    next_seq: u64,
+    /// The day (`time >> width_shift`) the dequeue scan stands on; the
+    /// scan never needs to revisit anything earlier.
+    cursor_day: u64,
+    /// Operations since the last rebuild — the cooldown that keeps
+    /// fallback-triggered recalibration amortized `O(1)` (see
+    /// [`pop`](CalendarQueue::pop)).
+    ops_since_rebuild: usize,
+    /// Population at the last rebuild; grow/shrink thresholds anchor to
+    /// it rather than to the bucket count, because the bucket count is
+    /// capped by the population's time span and may sit far below `len`.
+    rebuild_len: usize,
+    /// Reused by [`resize`](CalendarQueue::resize) to drain the buckets,
+    /// so steady-state rebuilds do not touch the allocator once it has
+    /// grown to the population's high-water mark.
+    scratch: Vec<Entry<E>>,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue with the minimum bucket count.
+    #[must_use]
+    pub fn new() -> Self {
+        CalendarQueue::with_capacity(0)
+    }
+
+    /// Creates an empty queue pre-sized for about `capacity` pending
+    /// events, so the first resize happens past that population.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let n_buckets = capacity.next_power_of_two().max(MIN_BUCKETS);
+        CalendarQueue {
+            buckets: (0..n_buckets).map(|_| Vec::new()).collect(),
+            mask: n_buckets - 1,
+            width_shift: 0,
+            len: 0,
+            next_seq: 0,
+            cursor_day: 0,
+            ops_since_rebuild: 0,
+            rebuild_len: n_buckets,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all pending events while keeping the sequence counter, so
+    /// determinism is preserved across a clear.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Events scheduled for the same instant fire in the order they were
+    /// scheduled, exactly as on [`EventQueue`](crate::EventQueue).
+    pub fn schedule(&mut self, time: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let day = time.as_ps() >> self.width_shift;
+        if self.len == 0 || day < self.cursor_day {
+            // Point the scan at the event (first arrival, or an event
+            // landing behind the scan position — the simulator never
+            // schedules into the past, but the queue must not rely on
+            // that).
+            self.cursor_day = day;
+        }
+        let bucket = (day as usize) & self.mask;
+        let entry = Entry { time, seq, event };
+        // Descending order: find the first element that sorts *before*
+        // the new entry and insert ahead of it. Buckets are short on
+        // average (a few entries), so this is one or two cache lines.
+        let position =
+            self.buckets[bucket].partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+        self.buckets[bucket].insert(position, entry);
+        self.len += 1;
+        self.ops_since_rebuild += 1;
+        if self.len > self.rebuild_len * GROW_FACTOR {
+            self.resize();
+        }
+    }
+
+    /// Locates the next entry without mutating: returns the bucket that
+    /// holds it, the day to commit the scan to, and whether the
+    /// direct-search fallback was needed.
+    fn find_next(&self) -> Option<(usize, u64, bool)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut day = self.cursor_day;
+        for _ in 0..self.buckets.len() {
+            let bucket = (day as usize) & self.mask;
+            if let Some(entry) = self.buckets[bucket].last() {
+                // The bucket's minimum is a frontier hit iff it belongs
+                // to the scan's current day (entries from future years
+                // alias into the same bucket and must wait; past days
+                // cannot occur — schedule() drags the cursor back).
+                if entry.time.as_ps() >> self.width_shift <= day {
+                    return Some((bucket, day, false));
+                }
+            }
+            day = day.saturating_add(1);
+        }
+        // A whole year scanned with no hit: the queue is sparse relative
+        // to its year span. Find the globally earliest entry directly
+        // (each bucket's candidate is its last element) and jump the
+        // scan to its day. Ties in time cannot span buckets, so
+        // comparing (time, seq) across candidates stays exact.
+        let (bucket, entry) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, bucket)| bucket.last().map(|e| (b, e)))
+            .min_by_key(|(_, e)| (e.time, e.seq))
+            .expect("len > 0 means some bucket is non-empty");
+        Some((bucket, entry.time.as_ps() >> self.width_shift, true))
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty.
+    ///
+    /// A fruitless full-year scan means the bucket width no longer fits
+    /// the event spacing (e.g. a pre-sized queue whose first population
+    /// is far sparser than one event per picosecond-wide bucket). When
+    /// the calendar is large enough for that scan to hurt (64+ buckets;
+    /// below that a direct search costs no more than a heap pop and a
+    /// rebuild would only churn), repeated fallbacks trigger a
+    /// rebuild that recalibrates the width — rate-limited to once per
+    /// `len` operations so the rebuild cost stays amortized `O(1)`.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let mut found = self.find_next()?;
+        if found.2
+            && self.buckets.len() >= RECALIBRATE_MIN_BUCKETS
+            && self.ops_since_rebuild >= self.len
+        {
+            self.resize();
+            found = self.find_next().expect("resize keeps every event");
+        }
+        let (bucket, day, _) = found;
+        self.cursor_day = day;
+        let entry = self.buckets[bucket].pop().expect("find_next found it");
+        self.len -= 1;
+        self.ops_since_rebuild += 1;
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.rebuild_len / SHRINK_DIVISOR {
+            self.resize();
+        }
+        Some((entry.time, entry.event))
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.find_next().map(|(bucket, _, _)| {
+            self.buckets[bucket]
+                .last()
+                .expect("find_next found it")
+                .time
+        })
+    }
+
+    /// Rebuilds the calendar around the current population: the bucket
+    /// width tracks the average spacing of pending events (~2–4 events
+    /// per bucket, rounded to a power of two) and the bucket count tracks
+    /// the population's *time span*, so a year covers the pending window
+    /// once or twice over. Capping the count by the span matters when
+    /// events are denser than one per picosecond (width clamps to 1):
+    /// `len`-proportional sizing would leave most of the ring permanently
+    /// empty, wasting memory the dequeue scan then has to walk past.
+    fn resize(&mut self) {
+        let mut entries = std::mem::take(&mut self.scratch);
+        debug_assert!(entries.is_empty());
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        let (min, max) = entries.iter().fold((u64::MAX, 0u64), |(lo, hi), e| {
+            (lo.min(e.time.as_ps()), hi.max(e.time.as_ps()))
+        });
+        let span = max.saturating_sub(min);
+        // Ideal width ≈ 3 × average spacing, rounded down to a power of
+        // two so day extraction is a shift; u128 keeps the multiply from
+        // overflowing at extreme spans.
+        let ideal = u64::try_from(u128::from(span) * 3 / u128::from(self.len.max(1) as u64))
+            .unwrap_or(u64::MAX)
+            .max(1);
+        self.width_shift = 63 - ideal.leading_zeros();
+        let spanned = usize::try_from((span >> self.width_shift) + 1).unwrap_or(usize::MAX);
+        let n_buckets = spanned
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, self.len.next_power_of_two().max(MIN_BUCKETS));
+        self.mask = n_buckets - 1;
+        self.ops_since_rebuild = 0;
+        self.rebuild_len = self.len.max(MIN_BUCKETS);
+        if self.buckets.len() != n_buckets {
+            self.buckets.resize_with(n_buckets, Vec::new);
+        }
+        for entry in entries.drain(..) {
+            let bucket = ((entry.time.as_ps() >> self.width_shift) as usize) & self.mask;
+            self.buckets[bucket].push(entry);
+        }
+        self.scratch = entries;
+        for bucket in &mut self.buckets {
+            bucket.sort_unstable_by_key(|e| core::cmp::Reverse((e.time, e.seq)));
+        }
+        // Re-anchor the scan on the earliest event (or a neutral origin).
+        if self.len == 0 {
+            self.cursor_day = 0;
+        } else {
+            let earliest = self
+                .buckets
+                .iter()
+                .filter_map(|b| b.last())
+                .map(|e| e.time)
+                .min()
+                .expect("len > 0");
+            self.cursor_day = earliest.as_ps() >> self.width_shift;
+        }
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn drain(queue: &mut CalendarQueue<u32>) -> Vec<(u64, u32)> {
+        std::iter::from_fn(|| queue.pop())
+            .map(|(t, e)| (t.as_ps(), e))
+            .collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut queue = CalendarQueue::new();
+        queue.schedule(Time::from_ps(30), 3);
+        queue.schedule(Time::from_ps(10), 1);
+        queue.schedule(Time::from_ps(20), 2);
+        assert_eq!(drain(&mut queue), [(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut queue = CalendarQueue::new();
+        for value in 0..100 {
+            queue.schedule(Time::from_ps(7), value);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_does_not_remove() {
+        let mut queue = CalendarQueue::new();
+        queue.schedule(Time::from_ps(4), 'x');
+        assert_eq!(queue.peek_time(), Some(Time::from_ps(4)));
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.pop(), Some((Time::from_ps(4), 'x')));
+        assert_eq!(queue.peek_time(), None);
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut queue = CalendarQueue::new();
+        assert!(queue.is_empty());
+        queue.schedule(Time::ZERO, ());
+        queue.schedule(Time::ZERO, ());
+        assert_eq!(queue.len(), 2);
+        queue.clear();
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn fifo_survives_clear() {
+        let mut queue = CalendarQueue::new();
+        queue.schedule(Time::from_ps(1), 0);
+        queue.clear();
+        queue.schedule(Time::from_ps(1), 1);
+        queue.schedule(Time::from_ps(1), 2);
+        assert_eq!(drain(&mut queue), [(1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut queue = CalendarQueue::new();
+        queue.schedule(Time::from_ps(10), 1);
+        queue.schedule(Time::from_ps(5), 0);
+        assert_eq!(queue.pop(), Some((Time::from_ps(5), 0)));
+        queue.schedule(Time::from_ps(7), 2);
+        queue.schedule(Time::from_ps(10), 3);
+        assert_eq!(drain(&mut queue), [(7, 2), (10, 1), (10, 3)]);
+    }
+
+    #[test]
+    fn growth_and_shrink_keep_order() {
+        // Push far past the grow threshold, drain past the shrink
+        // threshold, and verify global ordering throughout.
+        let mut queue = CalendarQueue::new();
+        let mut rng = SimRng::seed_from(99);
+        for i in 0..10_000u32 {
+            queue.schedule(Time::from_ps(rng.index(1_000_000) as u64), i);
+        }
+        let popped = drain(&mut queue);
+        assert_eq!(popped.len(), 10_000);
+        assert!(popped.windows(2).all(|w| w[0].0 <= w[1].0), "time order");
+    }
+
+    #[test]
+    fn sparse_far_future_events_are_found() {
+        // Events much farther apart than a calendar year force the
+        // direct-search fallback.
+        let mut queue = CalendarQueue::new();
+        queue.schedule(Time::from_ps(3), 0);
+        queue.schedule(Time::from_ps(1_000_000_000), 1);
+        queue.schedule(Time::from_ps(500_000_000_000), 2);
+        assert_eq!(
+            drain(&mut queue),
+            [(3, 0), (1_000_000_000, 1), (500_000_000_000, 2)]
+        );
+    }
+
+    #[test]
+    fn scheduling_behind_the_scan_is_not_skipped() {
+        let mut queue = CalendarQueue::new();
+        for i in 0..100u32 {
+            queue.schedule(Time::from_ps(1_000 + u64::from(i)), i);
+        }
+        let _ = queue.pop();
+        let _ = queue.pop();
+        // Behind the scan position (the simulator never does this, but
+        // the queue must stay correct if a caller does).
+        queue.schedule(Time::from_ps(1), 999);
+        assert_eq!(queue.pop(), Some((Time::from_ps(1), 999)));
+    }
+
+    #[test]
+    fn hold_pattern_matches_steady_state_usage() {
+        // The engine's usage pattern: pop one, schedule one slightly in
+        // the future, at a roughly constant population.
+        let mut queue = CalendarQueue::new();
+        let mut rng = SimRng::seed_from(7);
+        for i in 0..512u32 {
+            queue.schedule(Time::from_ps(rng.index(5_000) as u64), i);
+        }
+        let mut last = 0u64;
+        for i in 0..100_000u32 {
+            let (t, _) = queue.pop().expect("population constant");
+            assert!(t.as_ps() >= last, "time went backwards");
+            last = t.as_ps();
+            queue.schedule(t + crate::Duration::from_ps(1 + rng.index(2_000) as u64), i);
+        }
+        assert_eq!(queue.len(), 512);
+    }
+}

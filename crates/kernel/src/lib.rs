@@ -8,8 +8,12 @@
 //!
 //! - [`Time`] / [`Duration`]: picosecond time arithmetic with checked
 //!   semantics and human-readable formatting,
-//! - [`EventQueue`]: a deterministic priority queue (ties broken in FIFO
-//!   insertion order, so identical seeds reproduce identical simulations),
+//! - [`EventQueue`]: a deterministic binary-heap priority queue (ties
+//!   broken in FIFO insertion order, so identical seeds reproduce
+//!   identical simulations),
+//! - [`CalendarQueue`]: a time-bucketed queue with the same `(time, seq)`
+//!   order and `O(1)` amortized operations; [`SchedulerQueue`] selects
+//!   between the two at runtime via [`SchedulerKind`],
 //! - [`rng`]: a seeded random-number layer with the exponential
 //!   inter-arrival sampling used by the paper's traffic generators,
 //! - [`parallel_map`]: a multi-core fan-out with deterministic result
@@ -29,14 +33,20 @@
 //! assert_eq!(time, Time::from_ps(100));
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod calendar;
 pub mod fault;
 pub mod parallel;
 pub mod queue;
 pub mod rng;
+pub mod scheduler;
 pub mod time;
 
+pub use calendar::CalendarQueue;
 pub use fault::FaultClass;
 pub use parallel::parallel_map;
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use scheduler::{SchedulerKind, SchedulerQueue};
 pub use time::{Duration, Time};

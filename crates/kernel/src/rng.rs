@@ -167,18 +167,33 @@ impl SimRng {
     /// Panics if `count > bound`.
     #[must_use]
     pub fn distinct_indices(&mut self, count: usize, bound: usize) -> Vec<usize> {
+        let mut pool = Vec::new();
+        self.distinct_indices_into(count, bound, &mut pool);
+        pool
+    }
+
+    /// Allocation-free variant of [`distinct_indices`](Self::distinct_indices):
+    /// fills `pool` with the chosen indices (ascending), reusing its
+    /// storage. Draws the exact same random sequence as
+    /// `distinct_indices`, so seeded callers can switch between the two
+    /// without changing results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > bound`.
+    pub fn distinct_indices_into(&mut self, count: usize, bound: usize, pool: &mut Vec<usize>) {
         assert!(
             count <= bound,
             "cannot draw {count} distinct indices from 0..{bound}"
         );
-        let mut pool: Vec<usize> = (0..bound).collect();
+        pool.clear();
+        pool.extend(0..bound);
         for i in 0..count {
             let j = self.range_inclusive(i, bound - 1);
             pool.swap(i, j);
         }
-        let mut chosen = pool[..count].to_vec();
-        chosen.sort_unstable();
-        chosen
+        pool.truncate(count);
+        pool.sort_unstable();
     }
 }
 
@@ -302,5 +317,21 @@ mod tests {
     #[should_panic(expected = "distinct indices")]
     fn distinct_indices_rejects_overdraw() {
         let _ = SimRng::seed_from(0).distinct_indices(9, 8);
+    }
+
+    #[test]
+    fn distinct_indices_into_matches_allocating_variant() {
+        let mut a = SimRng::seed_from(29);
+        let mut b = SimRng::seed_from(29);
+        let mut pool = Vec::new();
+        for _ in 0..1_000 {
+            let count = a.range_inclusive(1, 8);
+            let _ = b.range_inclusive(1, 8);
+            let owned = a.distinct_indices(count, 8);
+            b.distinct_indices_into(count, 8, &mut pool);
+            assert_eq!(owned, pool);
+        }
+        // The streams stayed in lockstep afterwards too.
+        assert_eq!(a.index(1 << 20), b.index(1 << 20));
     }
 }

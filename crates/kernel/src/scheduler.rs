@@ -1,0 +1,185 @@
+//! Scheduler selection: one enum over the two queue implementations.
+//!
+//! The engine is generic over *when* events fire, not *how* the pending
+//! set is stored, so the choice between the binary-heap
+//! [`EventQueue`] and the calendar [`CalendarQueue`] is a runtime knob
+//! ([`SchedulerKind`]) rather than a type parameter — experiment configs
+//! can flip it per run, and the differential tests can drive both
+//! implementations through identical workloads from the same code path.
+//! Both queues implement the same `(time, seq)` total order, so the knob
+//! changes throughput only, never results.
+
+use crate::calendar::CalendarQueue;
+use crate::queue::EventQueue;
+use crate::time::Time;
+
+/// Which event-queue implementation a simulation run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// The binary-heap [`EventQueue`]: `O(log n)` per operation, the
+    /// reference implementation every other scheduler must match.
+    Heap,
+    /// The [`CalendarQueue`]: time-bucketed, `O(1)` amortized, and the
+    /// default — it pops the exact same event stream as the heap.
+    #[default]
+    Calendar,
+}
+
+impl SchedulerKind {
+    /// Parses a scheduler name as used by CLI flags (`heap` / `calendar`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<SchedulerKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "heap" => Some(SchedulerKind::Heap),
+            "calendar" => Some(SchedulerKind::Calendar),
+            _ => None,
+        }
+    }
+
+    /// The CLI-facing name of this scheduler.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Calendar => "calendar",
+        }
+    }
+}
+
+/// An event queue whose implementation is chosen at runtime.
+///
+/// Delegates every call to either an [`EventQueue`] or a
+/// [`CalendarQueue`]; both pop in ascending `(time, seq)` order, so a
+/// seeded simulation produces bit-identical results under either kind.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_kernel::{SchedulerKind, SchedulerQueue, Time};
+///
+/// let mut queue = SchedulerQueue::with_capacity(SchedulerKind::Calendar, 64);
+/// queue.schedule(Time::from_ps(20), "late");
+/// queue.schedule(Time::from_ps(10), "early");
+/// assert_eq!(queue.pop(), Some((Time::from_ps(10), "early")));
+/// ```
+#[derive(Debug)]
+pub enum SchedulerQueue<E> {
+    /// Binary-heap backed queue.
+    Heap(EventQueue<E>),
+    /// Calendar backed queue.
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> SchedulerQueue<E> {
+    /// Creates an empty queue of the given kind.
+    #[must_use]
+    pub fn new(kind: SchedulerKind) -> Self {
+        SchedulerQueue::with_capacity(kind, 0)
+    }
+
+    /// Creates an empty queue of the given kind, pre-sized for about
+    /// `capacity` pending events.
+    #[must_use]
+    pub fn with_capacity(kind: SchedulerKind, capacity: usize) -> Self {
+        match kind {
+            SchedulerKind::Heap => SchedulerQueue::Heap(EventQueue::with_capacity(capacity)),
+            SchedulerKind::Calendar => {
+                SchedulerQueue::Calendar(CalendarQueue::with_capacity(capacity))
+            }
+        }
+    }
+
+    /// Which implementation backs this queue.
+    #[must_use]
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            SchedulerQueue::Heap(_) => SchedulerKind::Heap,
+            SchedulerQueue::Calendar(_) => SchedulerKind::Calendar,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`; same-instant events fire in
+    /// scheduling order.
+    pub fn schedule(&mut self, time: Time, event: E) {
+        match self {
+            SchedulerQueue::Heap(q) => q.schedule(time, event),
+            SchedulerQueue::Calendar(q) => q.schedule(time, event),
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        match self {
+            SchedulerQueue::Heap(q) => q.pop(),
+            SchedulerQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Time> {
+        match self {
+            SchedulerQueue::Heap(q) => q.peek_time(),
+            SchedulerQueue::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            SchedulerQueue::Heap(q) => q.len(),
+            SchedulerQueue::Calendar(q) => q.len(),
+        }
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all pending events while keeping the sequence counter.
+    pub fn clear(&mut self) {
+        match self {
+            SchedulerQueue::Heap(q) => q.clear(),
+            SchedulerQueue::Calendar(q) => q.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_names() {
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::parse("splay"), None);
+    }
+
+    #[test]
+    fn default_kind_is_calendar() {
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Calendar);
+    }
+
+    #[test]
+    fn both_kinds_pop_identically() {
+        let mut heap = SchedulerQueue::new(SchedulerKind::Heap);
+        let mut calendar = SchedulerQueue::new(SchedulerKind::Calendar);
+        assert_eq!(heap.kind(), SchedulerKind::Heap);
+        assert_eq!(calendar.kind(), SchedulerKind::Calendar);
+        for queue in [&mut heap, &mut calendar] {
+            queue.schedule(Time::from_ps(9), 'b');
+            queue.schedule(Time::from_ps(9), 'c');
+            queue.schedule(Time::from_ps(2), 'a');
+        }
+        for _ in 0..3 {
+            assert_eq!(heap.peek_time(), calendar.peek_time());
+            assert_eq!(heap.pop(), calendar.pop());
+        }
+        assert!(heap.is_empty() && calendar.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Differential test: the calendar queue must pop the exact same
+//! `(time, seq, event)` stream as the binary heap under randomized
+//! workloads, including interleaved pops, duplicate times, clears, and
+//! populations that cross the resize thresholds in both directions.
+
+use asynoc_kernel::{CalendarQueue, Duration, EventQueue, SimRng, Time};
+
+/// Drives both queues through an identical schedule/pop script and
+/// asserts every popped `(time, event)` pair matches. The event payload
+/// is the global operation index, so a mismatch pinpoints the exact
+/// divergent insertion.
+fn lockstep(seed: u64, ops: usize, horizon: u64, pop_bias: u32) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut heap: EventQueue<u64> = EventQueue::new();
+    let mut calendar: CalendarQueue<u64> = CalendarQueue::new();
+    let mut clock = Time::ZERO;
+    for op in 0..ops {
+        if !heap.is_empty() && rng.chance(f64::from(pop_bias) / 100.0) {
+            let h = heap.pop();
+            let c = calendar.pop();
+            assert_eq!(h, c, "seed {seed} op {op}: pop diverged");
+            if let Some((t, _)) = h {
+                clock = clock.max(t);
+            }
+        } else {
+            // Mostly future events (the simulator's pattern), with
+            // duplicate times common enough to exercise FIFO ties.
+            let gap = rng.index(horizon as usize) as u64 / 4 * 4;
+            let at = clock + Duration::from_ps(gap);
+            heap.schedule(at, op as u64);
+            calendar.schedule(at, op as u64);
+        }
+        assert_eq!(heap.len(), calendar.len(), "seed {seed} op {op}: len");
+        assert_eq!(
+            heap.peek_time(),
+            calendar.peek_time(),
+            "seed {seed} op {op}: peek_time"
+        );
+    }
+    loop {
+        let h = heap.pop();
+        let c = calendar.pop();
+        assert_eq!(h, c, "seed {seed}: drain diverged");
+        if h.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn ten_seeds_balanced_workload() {
+    for seed in 0..10 {
+        lockstep(seed, 20_000, 5_000, 50);
+    }
+}
+
+#[test]
+fn push_heavy_grows_through_resizes() {
+    for seed in 100..105 {
+        lockstep(seed, 30_000, 2_000, 20);
+    }
+}
+
+#[test]
+fn pop_heavy_shrinks_through_resizes() {
+    for seed in 200..205 {
+        lockstep(seed, 30_000, 50_000, 75);
+    }
+}
+
+#[test]
+fn dense_duplicate_times() {
+    // Horizon 4 with /4*4 rounding collapses nearly all gaps to 0,
+    // making FIFO tie-breaking carry the whole ordering.
+    for seed in 300..305 {
+        lockstep(seed, 10_000, 4, 40);
+    }
+}
+
+#[test]
+fn clear_preserves_sequence_parity() {
+    let mut rng = SimRng::seed_from(42);
+    let mut heap: EventQueue<u32> = EventQueue::new();
+    let mut calendar: CalendarQueue<u32> = CalendarQueue::new();
+    for round in 0..5u32 {
+        for i in 0..500 {
+            let at = Time::from_ps(rng.index(1_000) as u64);
+            heap.schedule(at, round * 1_000 + i);
+            calendar.schedule(at, round * 1_000 + i);
+        }
+        for _ in 0..250 {
+            assert_eq!(heap.pop(), calendar.pop());
+        }
+        heap.clear();
+        calendar.clear();
+    }
+}

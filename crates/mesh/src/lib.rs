@@ -36,6 +36,7 @@ pub mod router;
 pub mod sim;
 pub mod size;
 
+pub use asynoc_kernel::SchedulerKind;
 pub use router::{route_port, Port, RouterId};
 pub use sim::{MeshConfig, MeshNetwork, MeshReport, MeshTiming};
 pub use size::{MeshError, MeshSize};

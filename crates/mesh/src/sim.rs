@@ -14,7 +14,7 @@ use asynoc_engine::{
     ArmedFaults, ChannelEnds, Ctx, FaultDomain, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent,
     SimModel,
 };
-use asynoc_kernel::{Duration, Time};
+use asynoc_kernel::{Duration, SchedulerKind, Time};
 use asynoc_nodes::{FlitClass, KindTiming};
 use asynoc_packet::{DestSet, RouteHeader};
 use asynoc_stats::{latency::LatencyStats, Phases};
@@ -76,6 +76,7 @@ pub struct MeshConfig {
     timing: MeshTiming,
     flits_per_packet: u8,
     seed: u64,
+    scheduler: SchedulerKind,
 }
 
 impl MeshConfig {
@@ -88,6 +89,7 @@ impl MeshConfig {
             timing: MeshTiming::calibrated(),
             flits_per_packet: 5,
             seed: 0,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -115,6 +117,20 @@ impl MeshConfig {
         assert!(flits > 0, "packets must have at least one flit");
         self.flits_per_packet = flits;
         self
+    }
+
+    /// Replaces the event-queue scheduler (results are bit-identical
+    /// under either kind; this only affects run speed).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The event-queue scheduler runs use.
+    #[must_use]
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
     }
 
     /// The mesh dimensions.
@@ -281,10 +297,7 @@ impl MeshNetwork {
         let mut extras = Extras(extra);
 
         let model = MeshModel::new(&self.config);
-        let spec = RunSpec {
-            phases,
-            drain: true,
-        };
+        let spec = RunSpec::new(phases, true).with_scheduler(self.config.scheduler);
         let observers: &mut [&mut dyn Observer<usize>] = &mut [&mut extras];
         let (engine, model) = match faults {
             None => asynoc_engine::run(model, traffic, spec, observers),
@@ -451,6 +464,13 @@ impl SimModel for MeshModel {
         RouteHeader::for_tree(2)
     }
 
+    fn route_into(&self, _source: usize, _dests: DestSet, header: &mut RouteHeader) {
+        // Rewrite the recycled descriptor's header in place to the same
+        // minimal shape `route` produces, so pooled injections stay
+        // allocation-free.
+        header.reset_for_tree(2);
+    }
+
     fn on_packet(&mut self, source: usize, dests: DestSet, measured: bool) {
         if !measured {
             return;
@@ -470,7 +490,11 @@ impl SimModel for MeshModel {
             if out_channel == usize::MAX {
                 continue;
             }
-            let mut requesting = Vec::new();
+            // Inline buffer: at most five ports can request one output,
+            // and `fire` runs on every wakeup — heap-allocating here
+            // would dominate the run loop's allocation profile.
+            let mut requesting = [0usize; 5];
+            let mut request_count = 0;
             for in_port in Port::ALL {
                 let in_channel = self.router_in[router][in_port.index()];
                 if in_channel == usize::MAX {
@@ -483,11 +507,14 @@ impl SimModel for MeshModel {
                         .first()
                         .expect("mesh packets are unicast clones");
                     if route_port(self.size, here, dest) == out_port {
-                        requesting.push(in_port.index());
+                        requesting[request_count] = in_port.index();
+                        request_count += 1;
                     }
                 }
             }
-            let Some(winner) = self.locks[router][out_port.index()].select(&requesting) else {
+            let Some(winner) =
+                self.locks[router][out_port.index()].select(&requesting[..request_count])
+            else {
                 continue;
             };
             if !ctx.is_free(out_channel) {

@@ -170,6 +170,24 @@ impl RouteHeader {
         }
     }
 
+    /// Re-initializes the header in place to all-[`Drop`](RouteSymbol::Drop)
+    /// for a fanout tree with `n` leaves, reusing the existing symbol
+    /// storage when it is large enough (the allocation-free counterpart of
+    /// [`for_tree`](Self::for_tree)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is less than 2.
+    pub fn reset_for_tree(&mut self, n: usize) {
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "fanout tree size must be a power of two >= 2, got {n}"
+        );
+        self.symbols.clear();
+        self.symbols.resize(fanout_tree_nodes(n), RouteSymbol::Drop);
+        self.levels = n.trailing_zeros();
+    }
+
     /// Number of fanout levels (`log2` of the leaf count).
     #[must_use]
     pub fn levels(&self) -> u32 {
@@ -383,6 +401,23 @@ mod tests {
     fn header_rejects_bad_index() {
         let header = RouteHeader::for_tree(8);
         let _ = header.symbol(1, 2);
+    }
+
+    #[test]
+    fn reset_for_tree_matches_fresh_header() {
+        let mut header = RouteHeader::for_tree(16);
+        header.set(3, 5, RouteSymbol::Both);
+        header.reset_for_tree(8);
+        assert_eq!(header, RouteHeader::for_tree(8));
+        header.reset_for_tree(16);
+        assert_eq!(header, RouteHeader::for_tree(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn reset_for_tree_rejects_non_power_of_two() {
+        let mut header = RouteHeader::for_tree(8);
+        header.reset_for_tree(3);
     }
 
     #[test]

@@ -128,6 +128,14 @@ impl Flit {
         &self.descriptor
     }
 
+    /// Consumes the flit and returns its descriptor handle, so the last
+    /// holder of a delivered packet can hand the descriptor back to a
+    /// recycling pool without an extra refcount bump.
+    #[must_use]
+    pub fn into_descriptor(self) -> Arc<PacketDescriptor> {
+        self.descriptor
+    }
+
     /// The flit's role within the packet.
     #[must_use]
     pub fn kind(&self) -> FlitKind {

@@ -94,6 +94,34 @@ impl PacketDescriptor {
         self
     }
 
+    /// Re-initializes a recycled descriptor in place for a new packet,
+    /// keeping the existing [`RouteHeader`] storage (rewrite it through
+    /// [`route_mut`](Self::route_mut)). This is the allocation-free
+    /// counterpart of [`new`](Self::new) used by the engine's descriptor
+    /// pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dests` is empty or `flit_count` is zero.
+    pub fn reset(
+        &mut self,
+        id: PacketId,
+        source: usize,
+        dests: DestSet,
+        flit_count: u8,
+        created_at: Time,
+        group: Option<PacketId>,
+    ) {
+        assert!(!dests.is_empty(), "packet {id} has no destinations");
+        assert!(flit_count > 0, "packet {id} must have at least one flit");
+        self.id = id;
+        self.source = source;
+        self.dests = dests;
+        self.flit_count = flit_count;
+        self.created_at = created_at;
+        self.group = group;
+    }
+
     /// The packet's unique id.
     #[must_use]
     pub fn id(&self) -> PacketId {
@@ -116,6 +144,13 @@ impl PacketDescriptor {
     #[must_use]
     pub fn route(&self) -> &RouteHeader {
         &self.route
+    }
+
+    /// Mutable access to the source-routing header, for rebuilding a
+    /// recycled descriptor's route in place.
+    #[must_use]
+    pub fn route_mut(&mut self) -> &mut RouteHeader {
+        &mut self.route
     }
 
     /// Number of flits in the packet.
@@ -225,6 +260,35 @@ mod tests {
             0,
             Time::ZERO,
         );
+    }
+
+    #[test]
+    fn reset_overwrites_everything_but_route_storage() {
+        let mut d = descriptor().with_group(PacketId::new(99));
+        d.route_mut().set(0, 0, crate::RouteSymbol::Both);
+        d.reset(
+            PacketId::new(7),
+            3,
+            DestSet::unicast(2),
+            2,
+            Time::from_ps(500),
+            None,
+        );
+        assert_eq!(d.id(), PacketId::new(7));
+        assert_eq!(d.source(), 3);
+        assert_eq!(d.dests(), DestSet::unicast(2));
+        assert_eq!(d.flit_count(), 2);
+        assert_eq!(d.created_at(), Time::from_ps(500));
+        assert_eq!(d.group(), None);
+        // The route is the caller's to rewrite; reset leaves it alone.
+        assert_eq!(d.route().symbol(0, 0), crate::RouteSymbol::Both);
+    }
+
+    #[test]
+    #[should_panic(expected = "no destinations")]
+    fn reset_rejects_empty_destinations() {
+        let mut d = descriptor();
+        d.reset(PacketId::new(1), 0, DestSet::EMPTY, 5, Time::ZERO, None);
     }
 
     #[test]

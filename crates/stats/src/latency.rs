@@ -36,6 +36,21 @@ impl LatencyStats {
         LatencyStats::default()
     }
 
+    /// Creates an empty collector pre-sized for about `capacity` samples,
+    /// so a run of known packet volume records without reallocating.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        LatencyStats {
+            samples: Vec::with_capacity(capacity),
+            sorted: false,
+        }
+    }
+
+    /// Reserves space for at least `additional` more samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
+    }
+
     /// Records one packet latency.
     pub fn record(&mut self, latency: Duration) {
         self.samples.push(latency);

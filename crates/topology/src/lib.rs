@@ -43,5 +43,5 @@ pub mod size;
 pub use arch::{Architecture, FanoutKind, NodePlan, SpeculationMap};
 pub use error::TopologyError;
 pub use ids::{FaninNodeId, FaninParent, FanoutChild, FanoutNodeId, OutputPort};
-pub use route::{multicast_route, unicast_route};
+pub use route::{multicast_route, multicast_route_into, unicast_route};
 pub use size::MotSize;

@@ -44,6 +44,27 @@ pub fn multicast_route(
     source: usize,
     dests: DestSet,
 ) -> Result<RouteHeader, TopologyError> {
+    let mut header = RouteHeader::for_tree(size.n());
+    multicast_route_into(size, source, dests, &mut header)?;
+    Ok(header)
+}
+
+/// In-place variant of [`multicast_route`]: rewrites `header` for the new
+/// packet, reusing its symbol storage so steady-state routing performs no
+/// heap allocation. `header` may come from any earlier route (any tree
+/// size); it is reset to `size`'s tree first.
+///
+/// # Errors
+///
+/// Returns an error if `dests` is empty or contains an index outside the
+/// network, or if `source` is out of range. `header` is only modified on
+/// success.
+pub fn multicast_route_into(
+    size: MotSize,
+    source: usize,
+    dests: DestSet,
+    header: &mut RouteHeader,
+) -> Result<(), TopologyError> {
     size.check_source(source)?;
     if dests.is_empty() {
         return Err(TopologyError::EmptyDestinationSet);
@@ -55,7 +76,7 @@ pub fn multicast_route(
         });
     }
 
-    let mut header = RouteHeader::for_tree(size.n());
+    header.reset_for_tree(size.n());
     for level in 0..size.levels() {
         for index in 0..size.nodes_at_level(level) {
             let node = FanoutNodeId {
@@ -75,7 +96,7 @@ pub fn multicast_route(
             header.set(level, index, symbol);
         }
     }
-    Ok(header)
+    Ok(())
 }
 
 /// Encodes the baseline per-level turn bits for a unicast packet.
@@ -192,6 +213,18 @@ mod tests {
         );
         assert!(unicast_route(size8(), 0, 8).is_err());
         assert!(unicast_route(size8(), 9, 0).is_err());
+    }
+
+    #[test]
+    fn route_into_reused_header_matches_fresh() {
+        let mut header = multicast_route(size8(), 0, DestSet::unicast(5)).unwrap();
+        let dests: DestSet = [0usize, 3, 7].into_iter().collect();
+        multicast_route_into(size8(), 2, dests, &mut header).unwrap();
+        assert_eq!(header, multicast_route(size8(), 2, dests).unwrap());
+        // Reuse across tree sizes too.
+        let size16 = MotSize::new(16).unwrap();
+        multicast_route_into(size16, 1, dests, &mut header).unwrap();
+        assert_eq!(header, multicast_route(size16, 1, dests).unwrap());
     }
 
     #[test]

@@ -165,17 +165,37 @@ impl Benchmark {
     /// Panics if `source >= n` or `n < 2`.
     #[must_use]
     pub fn sample_dests(self, rng: &mut SimRng, n: usize, source: usize) -> DestSet {
+        let mut scratch = Vec::new();
+        self.sample_dests_into(rng, n, source, &mut scratch)
+    }
+
+    /// Allocation-free variant of [`sample_dests`](Self::sample_dests):
+    /// `scratch` is a caller-owned buffer reused across calls (only the
+    /// multicast subsets touch it). Draws the exact same random sequence
+    /// as `sample_dests`, so seeded runs are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= n` or `n < 2`.
+    #[must_use]
+    pub fn sample_dests_into(
+        self,
+        rng: &mut SimRng,
+        n: usize,
+        source: usize,
+        scratch: &mut Vec<usize>,
+    ) -> DestSet {
         assert!(n >= 2, "network must have at least two destinations");
         assert!(source < n, "source {source} out of range");
         match self {
             Benchmark::UniformRandom => DestSet::unicast(rng.index(n)),
             Benchmark::Shuffle => DestSet::unicast(Self::shuffle_destination(n, source)),
             Benchmark::Hotspot => DestSet::unicast(HOTSPOT_DEST),
-            Benchmark::Multicast5 => sample_mixed(rng, n, MULTICAST5_FRACTION),
-            Benchmark::Multicast10 => sample_mixed(rng, n, MULTICAST10_FRACTION),
+            Benchmark::Multicast5 => sample_mixed(rng, n, MULTICAST5_FRACTION, scratch),
+            Benchmark::Multicast10 => sample_mixed(rng, n, MULTICAST10_FRACTION, scratch),
             Benchmark::MulticastStatic => {
                 if self.is_static_multicast_source(n, source) {
-                    sample_multicast_subset(rng, n)
+                    sample_multicast_subset(rng, n, scratch)
                 } else {
                     DestSet::unicast(rng.index(n))
                 }
@@ -252,19 +272,21 @@ impl std::str::FromStr for Benchmark {
 }
 
 /// Multicast with probability `fraction`, uniform-random unicast otherwise.
-fn sample_mixed(rng: &mut SimRng, n: usize, fraction: f64) -> DestSet {
+fn sample_mixed(rng: &mut SimRng, n: usize, fraction: f64, scratch: &mut Vec<usize>) -> DestSet {
     if rng.chance(fraction) {
-        sample_multicast_subset(rng, n)
+        sample_multicast_subset(rng, n, scratch)
     } else {
         DestSet::unicast(rng.index(n))
     }
 }
 
 /// A "random subset of destinations": the subset size is uniform in
-/// `2..=n`, then that many distinct destinations are drawn.
-fn sample_multicast_subset(rng: &mut SimRng, n: usize) -> DestSet {
+/// `2..=n`, then that many distinct destinations are drawn. `scratch` is
+/// reused across calls so steady-state sampling never allocates.
+fn sample_multicast_subset(rng: &mut SimRng, n: usize, scratch: &mut Vec<usize>) -> DestSet {
     let count = rng.range_inclusive(2, n);
-    rng.distinct_indices(count, n).into_iter().collect()
+    rng.distinct_indices_into(count, n, scratch);
+    scratch.iter().copied().collect()
 }
 
 #[cfg(test)]

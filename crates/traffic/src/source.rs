@@ -78,6 +78,9 @@ pub struct SourceTraffic {
     mean_gap: Duration,
     flits_per_packet: u8,
     rng: SimRng,
+    /// Reused by multicast subset sampling so steady-state injection does
+    /// not allocate (it grows to `n` on first multicast and stays).
+    scratch: Vec<usize>,
 }
 
 impl SourceTraffic {
@@ -120,6 +123,7 @@ impl SourceTraffic {
             mean_gap: Duration::from_ps(mean_gap_ps.round() as u64),
             flits_per_packet,
             rng,
+            scratch: Vec::with_capacity(n),
         })
     }
 
@@ -155,7 +159,7 @@ impl SourceTraffic {
     /// Samples the destination set of the next packet.
     pub fn next_dests(&mut self) -> DestSet {
         self.benchmark
-            .sample_dests(&mut self.rng, self.n, self.source)
+            .sample_dests_into(&mut self.rng, self.n, self.source, &mut self.scratch)
     }
 }
 

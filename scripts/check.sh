@@ -7,8 +7,9 @@
 #                               (debug test cycle)
 #   scripts/check.sh --smoke    run only the guarded benches, recording
 #                               results/BENCH_observer_overhead.json,
-#                               results/BENCH_analyze.json, and
-#                               results/BENCH_faults.json (seeded on
+#                               results/BENCH_analyze.json,
+#                               results/BENCH_faults.json, and
+#                               results/BENCH_scheduler.json (seeded on
 #                               first run; >20% ns/event regression
 #                               fails with a per-case diff)
 #
@@ -16,7 +17,8 @@
 # (`cargo build --release && cargo test -q`), adding the lint and
 # formatting checks this repository holds itself to, smoke runs of the
 # guarded benches (the zero-observer fast path, the analysis pipeline,
-# and the disarmed fault hooks must keep their per-event cost), a
+# the disarmed fault hooks, and the calendar-vs-heap scheduler hold
+# model must keep their per-event cost), a
 # metrics -> trace -> analyze round-trip on both substrates, a fault
 # oracle round-trip on both substrates (a violated oracle exits
 # non-zero), and diffs of the `asynoc metrics` / `asynoc analyze` /
@@ -44,6 +46,9 @@ run_benches() {
     echo "==> faults bench (smoke, baseline-guarded: disarmed hooks stay free)"
     cargo bench -q -p asynoc-bench --bench faults -- --smoke \
         --json "$PWD/results/BENCH_faults.json"
+    echo "==> scheduler bench (smoke, baseline-guarded: calendar >= 1.3x heap at depth 4096)"
+    cargo bench -q -p asynoc-bench --bench scheduler -- --smoke \
+        --json "$PWD/results/BENCH_scheduler.json"
 }
 
 if [[ "$smoke" -eq 1 ]]; then
@@ -58,6 +63,11 @@ cargo fmt --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+# Rustdoc is part of the contract: asynoc-kernel and asynoc-engine carry
+# #![deny(missing_docs)], and no crate may ship broken intra-doc links.
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 if [[ "$fast" -eq 0 ]]; then
     echo "==> cargo build --release"
