@@ -1,0 +1,163 @@
+//! Sharded-engine throughput: serial vs conservative-parallel, 64×64.
+//!
+//! The sharded engine's performance claim is that splitting one run
+//! across cores beats the serial loop on the topologies that need it —
+//! a 64×64 MoT keeps tens of thousands of events in flight, enough work
+//! per barrier window to amortize the synchronization. Its correctness
+//! claim (bit-identical results at every shard count) is enforced by
+//! `tests/sharded_differential.rs`; this bench cross-checks it anyway
+//! via `events_processed` and then times the split.
+//!
+//! Timing is *paired*: each round times one serial pass then one
+//! sharded pass back-to-back, and the reported speedup is the best
+//! round's serial/sharded quotient — external load slows both halves
+//! of a round together, so the quotient is stable where independent
+//! medians swing.
+//!
+//! The speedup gate only arms on a machine with ≥ 4 hardware threads.
+//! On fewer cores the shards time-slice one another and the window
+//! barrier's yield loop turns into pure overhead, so the bench prints
+//! the (sub-1.0) quotient for the record and gates only on determinism
+//! and the per-case `--json` baseline.
+
+use std::time::{Duration, Instant};
+
+use asynoc::{Architecture, Benchmark, Network, NetworkConfig, RunConfig, RunReport};
+use asynoc_bench::baseline::{guard, parse_bench_args, BenchCase};
+use asynoc_kernel::Duration as SimDuration;
+use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
+use asynoc_stats::Phases;
+
+fn mot_run(shards: usize) -> (Duration, RunReport) {
+    let config = NetworkConfig::new(
+        asynoc::MotSize::new(64).expect("64x64 is the supported maximum"),
+        Architecture::OptHybridSpeculative,
+    )
+    .with_seed(7);
+    let network = Network::new(config).expect("64x64 network builds");
+    let run = RunConfig::quick(Benchmark::Multicast5, 0.2).with_shards(shards);
+    let start = Instant::now();
+    let report = network.run(&run).expect("run succeeds");
+    (start.elapsed(), report)
+}
+
+fn mesh_run(shards: usize) -> (Duration, asynoc_mesh::MeshReport) {
+    let config = MeshConfig::new(MeshSize::new(8, 8).expect("8x8 is the supported maximum"))
+        .with_seed(7)
+        .with_shards(shards);
+    let network = MeshNetwork::new(config).expect("8x8 mesh builds");
+    let phases = Phases::new(SimDuration::from_ns(100), SimDuration::from_ns(1_000));
+    let start = Instant::now();
+    let report = network
+        .run(Benchmark::UniformRandom, 0.15, phases)
+        .expect("run succeeds");
+    (start.elapsed(), report)
+}
+
+fn format_ms(d: Duration) -> String {
+    format!("{:8.2} ms", d.as_secs_f64() * 1_000.0)
+}
+
+struct Outcome {
+    serial_best: Duration,
+    sharded_best: Duration,
+    best_speedup: f64,
+    events: u64,
+}
+
+/// Paired serial/sharded rounds for one substrate; the warmup round
+/// doubles as the determinism cross-check.
+fn measure(
+    label: &str,
+    rounds: u32,
+    shards: usize,
+    mut run: impl FnMut(usize) -> (Duration, u64),
+) -> Outcome {
+    println!("\nsharded_{label} (1 vs {shards} shards)");
+    println!("{}", "-".repeat(48));
+    let (_, serial_events) = run(1);
+    let (_, sharded_events) = run(shards);
+    assert_eq!(
+        serial_events, sharded_events,
+        "{label}: serial and sharded runs diverged (events_processed)"
+    );
+    let mut serial_best = Duration::MAX;
+    let mut sharded_best = Duration::MAX;
+    let mut best_speedup = 0.0f64;
+    for _ in 0..rounds {
+        let (serial, _) = run(1);
+        let (sharded, _) = run(shards);
+        serial_best = serial_best.min(serial);
+        sharded_best = sharded_best.min(sharded);
+        let speedup = serial.as_secs_f64() / sharded.as_secs_f64().max(f64::MIN_POSITIVE);
+        best_speedup = best_speedup.max(speedup);
+    }
+    println!("  serial   best-of-{rounds}  {}", format_ms(serial_best));
+    println!("  sharded  best-of-{rounds}  {}", format_ms(sharded_best));
+    println!("  speedup at {shards} shards: {best_speedup:.2}x (best paired round)");
+    Outcome {
+        serial_best,
+        sharded_best,
+        best_speedup,
+        events: serial_events,
+    }
+}
+
+fn main() {
+    let args = parse_bench_args();
+    let rounds = if args.smoke { 2 } else { 5 };
+    let threads = asynoc::default_parallelism();
+    // Two shards per substrate band keeps cut traffic low; more shards
+    // only pay off past ~4 cores, and the differential suite already
+    // covers higher counts for correctness.
+    let shards = threads.clamp(2, 4);
+
+    let mot = measure("mot64", rounds, shards, |s| {
+        let (wall, report) = mot_run(s);
+        (wall, report.events_processed)
+    });
+    let mesh = measure("mesh8", rounds, shards, |s| {
+        let (wall, report) = mesh_run(s);
+        (wall, report.events_processed)
+    });
+
+    if threads >= 4 {
+        if mot.best_speedup < 1.0 {
+            eprintln!(
+                "64x64 MoT sharded run is only {:.2}x serial on {threads} threads \
+                 (acceptance floor is 1.0x)",
+                mot.best_speedup
+            );
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "\n{threads} hardware thread(s): speedup gate disarmed \
+             (shards time-slice a single core); determinism still enforced"
+        );
+    }
+
+    if let Some(path) = args.json {
+        // Guard only the serial halves: sharded wall time on a shared or
+        // core-starved machine is dominated by scheduling noise, and the
+        // speedup gate above already covers the parallel side where it
+        // is meaningful.
+        let cases = vec![
+            BenchCase {
+                id: "mot64_serial".to_string(),
+                median: mot.serial_best,
+                events: mot.events,
+            },
+            BenchCase {
+                id: "mesh8_serial".to_string(),
+                median: mesh.serial_best,
+                events: mesh.events,
+            },
+        ];
+        let _ = (mot.sharded_best, mesh.sharded_best);
+        if let Err(message) = guard("sharded", &path, &cases, args.update) {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

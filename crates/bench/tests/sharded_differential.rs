@@ -1,0 +1,222 @@
+//! Differential conformance: sharded vs serial execution, both substrates.
+//!
+//! The conservative parallel engine's entire correctness claim is that
+//! it is *observationally identical* to the serial loop: the merged
+//! per-shard event records replay in the serial engine's canonical
+//! `(time, key, seq)` order, therefore observers see the same stream,
+//! therefore every report field matches bit for bit. The core and mesh
+//! crates already prove this on one seed each; this test proves it
+//! across ten seeded runs per substrate and shard counts 1/2/4, plus a
+//! fault-injection round trip whose ledger and verdict inputs must not
+//! move either.
+//!
+//! Streams are compared by FNV-1a fingerprint over the debug rendering
+//! of every `(time, in_window, event)` triple, so any divergence — an
+//! extra event, a reordered arbitration, a shifted timestamp — changes
+//! the hash.
+
+use asynoc::{
+    Architecture, Benchmark, Network, NetworkConfig, Observer, RunConfig, SimEvent, Time,
+};
+use asynoc_faults::{run_mesh_outcome, run_mot_outcome, FaultPlan};
+use asynoc_kernel::Duration;
+use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
+use asynoc_stats::Phases;
+use std::fmt::Write as _;
+
+/// Streaming FNV-1a fingerprint of the full event stream.
+struct Fingerprint {
+    hash: u64,
+    events: u64,
+    line: String,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint {
+            hash: 0xcbf2_9ce4_8422_2325,
+            events: 0,
+            line: String::new(),
+        }
+    }
+
+    fn absorb<N: std::fmt::Debug>(&mut self, at: Time, in_window: bool, event: &SimEvent<'_, N>) {
+        self.line.clear();
+        write!(self.line, "{at:?}|{in_window}|{event:?}").expect("String write is infallible");
+        for byte in self.line.as_bytes() {
+            self.hash ^= u64::from(*byte);
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.events += 1;
+    }
+}
+
+impl<N: std::fmt::Debug> Observer<N> for Fingerprint {
+    fn on_event(&mut self, at: Time, in_window: bool, event: &SimEvent<'_, N>) {
+        self.absorb(at, in_window, event);
+    }
+}
+
+const SEEDS: [u64; 10] = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn mot_runs_are_identical_at_every_shard_count() {
+    for seed in SEEDS {
+        let mut outcomes = Vec::new();
+        for shards in SHARDS {
+            let config =
+                NetworkConfig::eight_by_eight(Architecture::OptHybridSpeculative).with_seed(seed);
+            let network = Network::new(config).expect("8x8 network builds");
+            let run = RunConfig::quick(Benchmark::Multicast10, 0.3).with_shards(shards);
+            let mut stream = Fingerprint::new();
+            let report = network
+                .run_with_observers(&run, &mut [&mut stream])
+                .expect("run succeeds");
+            assert_eq!(report.shards, shards, "seed {seed}: shard count echoed");
+            assert_eq!(report.shard_events.len(), shards, "seed {seed}");
+            assert_eq!(
+                report.shard_events.iter().sum::<u64>(),
+                report.events_processed,
+                "seed {seed}: per-shard events must sum to the total"
+            );
+            outcomes.push((shards, stream.hash, stream.events, report));
+        }
+        let (_, serial_hash, serial_events, serial) = &outcomes[0];
+        for (shards, hash, events, sharded) in &outcomes[1..] {
+            assert_eq!(
+                serial_events, events,
+                "seed {seed} shards {shards}: event counts differ"
+            );
+            assert_eq!(
+                serial_hash, hash,
+                "seed {seed} shards {shards}: event streams diverged"
+            );
+            assert_eq!(serial.events_processed, sharded.events_processed);
+            assert_eq!(serial.packets_measured, sharded.packets_measured);
+            assert_eq!(serial.packets_incomplete, sharded.packets_incomplete);
+            assert_eq!(serial.flits_throttled, sharded.flits_throttled);
+            assert_eq!(serial.flits_delivered, sharded.flits_delivered);
+            assert_eq!(serial.throughput, sharded.throughput);
+            assert_eq!(serial.latency.count(), sharded.latency.count());
+            assert_eq!(serial.latency.mean(), sharded.latency.mean());
+            assert_eq!(serial.latency.min(), sharded.latency.min());
+            assert_eq!(serial.latency.max(), sharded.latency.max());
+        }
+        assert!(serial.packets_measured > 0, "seed {seed}: degenerate run");
+    }
+}
+
+#[test]
+fn mesh_runs_are_identical_at_every_shard_count() {
+    let phases = Phases::new(Duration::from_ns(80), Duration::from_ns(800));
+    for seed in SEEDS {
+        let mut outcomes = Vec::new();
+        for shards in SHARDS {
+            let config = MeshConfig::new(MeshSize::new(4, 4).expect("4x4 is valid"))
+                .with_seed(seed)
+                .with_shards(shards);
+            let network = MeshNetwork::new(config).expect("4x4 mesh builds");
+            let mut stream = Fingerprint::new();
+            let report = network
+                .run_with_observers(Benchmark::UniformRandom, 0.25, phases, &mut [&mut stream])
+                .expect("run succeeds");
+            assert_eq!(report.shards, shards, "seed {seed}: shard count echoed");
+            assert_eq!(
+                report.shard_events.iter().sum::<u64>(),
+                report.events_processed,
+                "seed {seed}: per-shard events must sum to the total"
+            );
+            outcomes.push((shards, stream.hash, stream.events, report));
+        }
+        let (_, serial_hash, serial_events, serial) = &outcomes[0];
+        for (shards, hash, events, sharded) in &outcomes[1..] {
+            assert_eq!(
+                serial_events, events,
+                "seed {seed} shards {shards}: event counts differ"
+            );
+            assert_eq!(
+                serial_hash, hash,
+                "seed {seed} shards {shards}: event streams diverged"
+            );
+            assert_eq!(serial.events_processed, sharded.events_processed);
+            assert_eq!(serial.packets_measured, sharded.packets_measured);
+            assert_eq!(serial.packets_incomplete, sharded.packets_incomplete);
+            assert_eq!(serial.throughput, sharded.throughput);
+            assert_eq!(serial.latency.count(), sharded.latency.count());
+            assert_eq!(serial.latency.mean(), sharded.latency.mean());
+            assert_eq!(serial.latency.min(), sharded.latency.min());
+            assert_eq!(serial.latency.max(), sharded.latency.max());
+            assert!((serial.mean_hops - sharded.mean_hops).abs() == 0.0);
+        }
+        assert!(serial.packets_measured > 0, "seed {seed}: degenerate run");
+    }
+}
+
+/// Fault injection must survive sharding too: the armed-fault summary is
+/// accumulated per shard and folded back, and the delivery ledger the
+/// oracle judges is rebuilt from the same merged stream.
+#[test]
+fn mot_fault_outcomes_are_identical_at_every_shard_count() {
+    let net = Network::new(
+        NetworkConfig::new(
+            asynoc::MotSize::new(8).expect("valid"),
+            Architecture::BasicHybridSpeculative,
+        )
+        .with_seed(17),
+    )
+    .expect("8x8 network builds");
+    let plan = FaultPlan::random(17, 0.02, &net.fault_domain());
+    let phases = Phases::new(Duration::from_ns(20), Duration::from_ns(160));
+    let mut outcomes = Vec::new();
+    for shards in SHARDS {
+        let run = RunConfig::new(Benchmark::Multicast5, 0.2)
+            .expect("positive rate")
+            .with_phases(phases)
+            .with_shards(shards);
+        let outcome = run_mot_outcome(&net, &run, Some(&plan)).expect("faulted run succeeds");
+        outcomes.push((shards, outcome));
+    }
+    let (_, serial) = &outcomes[0];
+    for (shards, sharded) in &outcomes[1..] {
+        assert_eq!(
+            serial.deliveries, sharded.deliveries,
+            "shards {shards}: delivery log diverged"
+        );
+        assert_eq!(serial.mean_latency_ps, sharded.mean_latency_ps);
+        assert_eq!(serial.packets_incomplete, sharded.packets_incomplete);
+        assert_eq!(serial.summary, sharded.summary, "shards {shards}");
+        assert_eq!(serial.ledger.total(), sharded.ledger.total());
+        assert_eq!(serial.fault_affected_trees, sharded.fault_affected_trees);
+        assert_eq!(serial.broken_trees, sharded.broken_trees);
+    }
+}
+
+#[test]
+fn mesh_fault_outcomes_are_identical_at_every_shard_count() {
+    let phases = Phases::new(Duration::from_ns(40), Duration::from_ns(400));
+    let mut outcomes = Vec::new();
+    for shards in SHARDS {
+        let net = MeshNetwork::new(
+            MeshConfig::new(MeshSize::new(4, 4).expect("4x4 is valid"))
+                .with_seed(23)
+                .with_shards(shards),
+        )
+        .expect("4x4 mesh builds");
+        let plan = FaultPlan::random(23, 0.02, &net.fault_domain());
+        let outcome = run_mesh_outcome(&net, Benchmark::UniformRandom, 0.2, phases, Some(&plan))
+            .expect("faulted run succeeds");
+        outcomes.push((shards, outcome));
+    }
+    let (_, serial) = &outcomes[0];
+    for (shards, sharded) in &outcomes[1..] {
+        assert_eq!(
+            serial.deliveries, sharded.deliveries,
+            "shards {shards}: delivery log diverged"
+        );
+        assert_eq!(serial.mean_latency_ps, sharded.mean_latency_ps);
+        assert_eq!(serial.packets_incomplete, sharded.packets_incomplete);
+        assert_eq!(serial.summary, sharded.summary, "shards {shards}");
+        assert_eq!(serial.ledger.total(), sharded.ledger.total());
+    }
+}

@@ -31,8 +31,13 @@ COMMON OPTIONS:
   --flits <F>       flits per packet (default 5)
   --warmup-ns <W>   warmup window in ns (default: paper standard)
   --measure-ns <M>  measurement window in ns (default: paper standard)
-  --jobs <J>        worker threads for independent runs (default 1; results
-                    are bit-identical at any setting — only wall time changes)
+  --jobs <J>        worker threads for independent runs (default: all
+                    hardware threads; results are bit-identical at any
+                    setting — only wall time changes)
+  --shards <S>      conservative shards splitting each single run across
+                    threads (default: all hardware threads, clamped to what
+                    the topology supports; results are bit-identical at any
+                    setting — only wall time changes)
 
   run:      --seeds <K> replicates the run over seeds S, S+1, … S+K−1
             (fanned across --jobs workers) and reports per-seed results
@@ -255,17 +260,22 @@ pub struct CommonOptions {
     pub measure_ns: Option<u64>,
     /// Worker threads for independent runs (wall-clock only, never results).
     pub jobs: usize,
+    /// Conservative shards splitting each single run across threads
+    /// (wall-clock only, never results).
+    pub shards: usize,
 }
 
 impl Default for CommonOptions {
     fn default() -> Self {
+        let threads = asynoc::default_parallelism();
         CommonOptions {
             size: 8,
             seed: 42,
             flits: 5,
             warmup_ns: None,
             measure_ns: None,
-            jobs: 1,
+            jobs: threads,
+            shards: threads,
         }
     }
 }
@@ -368,10 +378,24 @@ fn common_options(flags: &BTreeMap<String, String>) -> Result<CommonOptions, Par
             return Err(ParseCliError::new("--jobs must be at least 1"));
         }
     }
+    if let Some(raw) = flags.get("shards") {
+        options.shards = parse_value("shards", raw)?;
+        if options.shards == 0 {
+            return Err(ParseCliError::new("--shards must be at least 1"));
+        }
+    }
     Ok(options)
 }
 
-const COMMON_KEYS: [&str; 6] = ["size", "seed", "flits", "warmup-ns", "measure-ns", "jobs"];
+const COMMON_KEYS: [&str; 7] = [
+    "size",
+    "seed",
+    "flits",
+    "warmup-ns",
+    "measure-ns",
+    "jobs",
+    "shards",
+];
 
 fn with_common(extra: &[&str]) -> Vec<&'static str> {
     // Leaking tiny strings once per parse is fine for a CLI; avoid by

@@ -84,7 +84,8 @@ fn run_across_seeds(
         let net = network(arch, &options)?;
         let run = RunConfig::new(benchmark, rate)
             .map_err(CliError::from)?
-            .with_phases(phases_for(benchmark, &options));
+            .with_phases(phases_for(benchmark, &options))
+            .with_shards(options.shards);
         Ok::<_, CliError>((seed, net.run(&run)?))
     });
 
@@ -153,8 +154,9 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 return run_across_seeds(*arch, *benchmark, *rate, *seeds, common, out);
             }
             let net = network(*arch, common)?;
-            let run =
-                RunConfig::new(*benchmark, *rate)?.with_phases(phases_for(*benchmark, common));
+            let run = RunConfig::new(*benchmark, *rate)?
+                .with_phases(phases_for(*benchmark, common))
+                .with_shards(common.shards);
             let mut report = net.run(&run)?;
             writeln!(
                 out,
@@ -213,6 +215,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             quality.seed = common.seed;
             quality.probe_fan = *probe_fan;
             quality.jobs = common.jobs;
+            quality.shards = common.shards;
             let point = saturation_of(&net, *benchmark, &quality)?;
             writeln!(out, "{arch} x {benchmark} saturation:")?;
             writeln!(
@@ -248,8 +251,9 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 .map(|k| from + (to - from) * k as f64 / (*steps - 1) as f64)
                 .collect();
             let points = parallel_map(common.jobs, rates, |rate| {
-                let run =
-                    RunConfig::new(*benchmark, rate)?.with_phases(phases_for(*benchmark, common));
+                let run = RunConfig::new(*benchmark, rate)?
+                    .with_phases(phases_for(*benchmark, common))
+                    .with_shards(common.shards);
                 let mut report = net.run(&run)?;
                 let mean = report
                     .latency
@@ -285,7 +289,8 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             let network = MeshNetwork::new(
                 MeshConfig::new(size)
                     .with_seed(common.seed)
-                    .with_flits_per_packet(common.flits),
+                    .with_flits_per_packet(common.flits)
+                    .with_shards(common.shards),
             )
             .map_err(|e| CliError::Invalid(e.to_string()))?;
             let mut report = network

@@ -147,7 +147,8 @@ fn run_pair(
             let domain = net.fault_domain();
             let plan = resolve_plan(request, &domain)?;
             let run = asynoc::RunConfig::new(request.benchmark, request.rate)?
-                .with_phases(phases_for(request.benchmark, &request.common));
+                .with_phases(phases_for(request.benchmark, &request.common))
+                .with_shards(request.common.shards);
             let faulted = run_mot_outcome(&net, &run, Some(&plan))?;
             let clean = request
                 .oracle
@@ -160,6 +161,7 @@ fn run_pair(
                 request.common.size,
                 request.common.seed,
                 request.common.flits,
+                request.common.shards,
             )
             .map_err(|e| invalid(&e))?;
             let domain = net.fault_domain();

@@ -171,6 +171,8 @@ fn counters_json(
     flits_throttled: u64,
     flits_delivered: u64,
     events_processed: u64,
+    shards: usize,
+    shard_events: &[u64],
 ) -> JsonValue {
     JsonValue::Object(vec![
         (
@@ -192,6 +194,11 @@ fn counters_json(
         (
             "events_processed".to_string(),
             JsonValue::uint(events_processed),
+        ),
+        ("shards".to_string(), JsonValue::uint(shards as u64)),
+        (
+            "shard_events".to_string(),
+            JsonValue::Array(shard_events.iter().map(|&e| JsonValue::uint(e)).collect()),
         ),
     ])
 }
@@ -237,7 +244,9 @@ fn run_mot(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliE
         (timing.wire_fj, timing.drop_fj)
     };
     let phases = phases_for(request.benchmark, &request.common);
-    let run = RunConfig::new(request.benchmark, request.rate)?.with_phases(phases);
+    let run = RunConfig::new(request.benchmark, request.rate)?
+        .with_phases(phases)
+        .with_shards(request.common.shards);
 
     let mut latency = LatencyHistograms::new(phases, size.n());
     let levels = size.levels() as usize;
@@ -311,6 +320,8 @@ fn run_mot(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliE
                 report.flits_throttled,
                 report.flits_delivered,
                 report.events_processed,
+                report.shards,
+                &report.shard_events,
             ),
         ),
     ]);
@@ -338,7 +349,8 @@ fn run_mesh(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), Cli
     let net = MeshNetwork::new(
         MeshConfig::new(size)
             .with_seed(request.common.seed)
-            .with_flits_per_packet(request.common.flits),
+            .with_flits_per_packet(request.common.flits)
+            .with_shards(request.common.shards),
     )
     .map_err(|e| CliError::Invalid(e.to_string()))?;
     let phases = phases_for(request.benchmark, &request.common);
@@ -388,6 +400,8 @@ fn run_mesh(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), Cli
                 0,
                 0,
                 report.events_processed,
+                report.shards,
+                &report.shard_events,
             ),
         ),
     ]);

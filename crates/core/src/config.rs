@@ -164,6 +164,7 @@ pub struct RunConfig {
     drain: bool,
     trace_limit: usize,
     scheduler: SchedulerKind,
+    shards: usize,
 }
 
 impl RunConfig {
@@ -186,6 +187,7 @@ impl RunConfig {
             drain: true,
             trace_limit: 0,
             scheduler: SchedulerKind::default(),
+            shards: 1,
         })
     }
 
@@ -268,6 +270,29 @@ impl RunConfig {
     #[must_use]
     pub fn scheduler(&self) -> SchedulerKind {
         self.scheduler
+    }
+
+    /// Splits the run across `shards` conservative shards (threads).
+    ///
+    /// Results are bit-identical for every shard count (the sharded
+    /// engine merges observable streams back into exact serial order);
+    /// this only affects run speed on multi-core hosts. The network
+    /// clamps the count to what its topology can support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "a run needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// How many shards execute the run (default 1: serial).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 }
 

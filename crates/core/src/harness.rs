@@ -71,6 +71,9 @@ pub struct Quality {
     /// Worker threads for independent cells/seeds/probes. Never affects
     /// results, only wall-clock time.
     pub jobs: usize,
+    /// Conservative shards splitting each single run across threads.
+    /// Never affects results, only wall-clock time.
+    pub shards: usize,
 }
 
 impl Quality {
@@ -85,6 +88,7 @@ impl Quality {
             seed: 42,
             probe_fan: 1,
             jobs: 1,
+            shards: 1,
         }
     }
 
@@ -101,6 +105,7 @@ impl Quality {
             seed: 42,
             probe_fan: 1,
             jobs: 1,
+            shards: 1,
         }
     }
 
@@ -108,6 +113,18 @@ impl Quality {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the conservative shard count for each single run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "a run needs at least one shard");
+        self.shards = shards;
         self
     }
 
@@ -241,7 +258,8 @@ pub fn saturation_of(
         let run = RunConfig::new(benchmark, rate)
             .expect("bisection rates are positive")
             .with_phases(quality.probe_phases)
-            .with_drain(false);
+            .with_drain(false)
+            .with_shards(quality.shards);
         let report = network.run(&run).expect("probe run cannot fail");
         probe.judge(report.throughput.offered, report.throughput.injected)
     };
@@ -259,7 +277,8 @@ pub fn saturation_of(
     // verdict, goes straight into the reported table).
     let run = RunConfig::new(benchmark, quality.rate_ceiling)?
         .with_phases(quality.probe_phases.scaled(2))
-        .with_drain(false);
+        .with_drain(false)
+        .with_shards(quality.shards);
     let report = network.run(&run)?;
     Ok(SaturationPoint {
         injected_gfs,
@@ -282,7 +301,9 @@ pub fn latency_at_fraction(
         Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed))?;
     let saturation = saturation_of(&network, benchmark, quality)?;
     let load = (saturation.injected_gfs * fraction).max(0.02);
-    let run = RunConfig::new(benchmark, load)?.with_phases(quality.measure_phases_for(benchmark));
+    let run = RunConfig::new(benchmark, load)?
+        .with_phases(quality.measure_phases_for(benchmark))
+        .with_shards(quality.shards);
     let mut report = network.run(&run)?;
     Ok(LatencyCell {
         architecture,
@@ -398,8 +419,9 @@ pub fn table1_power(quality: &Quality) -> Result<Vec<PowerCell>, SimError> {
     parallel_map(quality.jobs, cells, |(benchmark, load, architecture)| {
         let network =
             Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed))?;
-        let run =
-            RunConfig::new(benchmark, load)?.with_phases(quality.measure_phases_for(benchmark));
+        let run = RunConfig::new(benchmark, load)?
+            .with_phases(quality.measure_phases_for(benchmark))
+            .with_shards(quality.shards);
         let report = network.run(&run)?;
         Ok(PowerCell {
             architecture,
@@ -494,8 +516,9 @@ pub fn measure_across_seeds(
     assert!(!seeds.is_empty(), "need at least one seed");
     let samples = parallel_map(quality.jobs, seeds.to_vec(), |seed| {
         let network = Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(seed))?;
-        let run =
-            RunConfig::new(benchmark, rate_gfs)?.with_phases(quality.measure_phases_for(benchmark));
+        let run = RunConfig::new(benchmark, rate_gfs)?
+            .with_phases(quality.measure_phases_for(benchmark))
+            .with_shards(quality.shards);
         let report = network.run(&run)?;
         Ok::<_, SimError>((
             report
@@ -532,8 +555,9 @@ pub fn measure(
 ) -> Result<RunReport, SimError> {
     let network =
         Network::new(NetworkConfig::eight_by_eight(architecture).with_seed(quality.seed))?;
-    let run =
-        RunConfig::new(benchmark, rate_gfs)?.with_phases(quality.measure_phases_for(benchmark));
+    let run = RunConfig::new(benchmark, rate_gfs)?
+        .with_phases(quality.measure_phases_for(benchmark))
+        .with_shards(quality.shards);
     network.run(&run)
 }
 

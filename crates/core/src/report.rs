@@ -179,6 +179,15 @@ pub struct RunReport {
     /// Discrete events the engine processed over the whole run (including
     /// warmup and drain) — a deterministic measure of simulation work.
     pub events_processed: u64,
+    /// How many conservative shards executed the run (1 for serial).
+    /// Results are bit-identical for every shard count; this records how
+    /// the work was split, not what was computed.
+    pub shards: usize,
+    /// Events processed per shard, summing to [`events_processed`]
+    /// (one entry for a serial run).
+    ///
+    /// [`events_processed`]: RunReport::events_processed
+    pub shard_events: Vec<u64>,
     /// Host wall-clock time the run took. Excluded from determinism
     /// comparisons; use it to gauge simulator (not network) performance.
     pub wall: std::time::Duration,

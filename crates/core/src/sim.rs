@@ -20,14 +20,14 @@
 //! tracing attach as [`Observer`]s (see [`crate::observers`]).
 
 use asynoc_engine::{
-    ArmedFaults, ChannelEnds, Ctx, FaultDomain, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent,
-    SimModel,
+    ArmedFaults, ChannelEnds, Ctx, FaultDomain, ForwardInfo, NodeKey, NodeRef, Observer, Partition,
+    RunSpec, ShardModel, SimEvent, SimModel,
 };
 use asynoc_kernel::{Duration, Time};
 use asynoc_nodes::{FaninState, FanoutState, FlitClass, TimingModel};
 use asynoc_packet::{DestSet, RouteHeader};
 use asynoc_topology::FanoutKind;
-use asynoc_topology::{multicast_route, multicast_route_into, OutputPort};
+use asynoc_topology::{multicast_route, multicast_route_into, FaninNodeId, OutputPort};
 use asynoc_traffic::SourceTraffic;
 
 use crate::config::{NetworkConfig, RunConfig};
@@ -68,6 +68,16 @@ pub enum MotNode {
     Fanout(usize),
     /// Fanin (arbitration) node by flat index.
     Fanin(usize),
+}
+
+impl NodeKey for MotNode {
+    fn node_key(&self) -> u64 {
+        // Interleave the two flat index spaces; injective and stable.
+        match *self {
+            MotNode::Fanout(flat) => (flat as u64) << 1,
+            MotNode::Fanin(flat) => ((flat as u64) << 1) | 1,
+        }
+    }
 }
 
 impl Network {
@@ -242,9 +252,12 @@ impl Network {
         let spec = RunSpec::new(phases, run.drain()).with_scheduler(run.scheduler());
         let observers: &mut [&mut dyn Observer<MotNode>] =
             &mut [&mut power, &mut activity, &mut trace, &mut extras];
+        let shards = run.shards();
         let (engine, _model) = match faults {
-            None => asynoc_engine::run(model, traffic, spec, observers),
-            Some(faults) => asynoc_engine::run_with_faults(model, traffic, spec, faults, observers),
+            None => asynoc_engine::run_sharded(model, traffic, spec, shards, observers),
+            Some(faults) => asynoc_engine::run_sharded_with_faults(
+                model, traffic, spec, shards, faults, observers,
+            ),
         };
 
         let power_report = power
@@ -261,6 +274,8 @@ impl Network {
             activity: activity.into_activity(),
             trace: trace.into_events(),
             events_processed: engine.events_processed,
+            shards: engine.shards,
+            shard_events: engine.shard_events,
             wall: engine.wall,
         })
     }
@@ -271,6 +286,7 @@ impl Network {
 /// Dynamic per-node state (speculation latches, arbitration fairness,
 /// cycle floors) lives here; everything substrate-independent lives in
 /// the engine.
+#[derive(Clone)]
 struct MotModel<'a> {
     fabric: &'a Fabric,
     timing: &'a TimingModel,
@@ -492,6 +508,59 @@ impl SimModel for MotModel<'_> {
     }
 }
 
+impl MotModel<'_> {
+    /// The smallest delay that can cross a shard cut: every cut channel
+    /// is a fanout-leaf → fanin-leaf link, crossed forward by a fanout
+    /// launch (`forward + wire`) and backward by the fanin's acknowledge
+    /// (`free_delay`). Taking the minimum over every node kind and flit
+    /// class present is conservative — at worst the windows are a little
+    /// narrower than strictly necessary.
+    fn min_cut_delay(&self) -> Duration {
+        let wire = self.timing.wire_delay;
+        let classes = [FlitClass::Header, FlitClass::Body];
+        let per_kind = |timing: &asynoc_nodes::KindTiming| {
+            classes
+                .iter()
+                .flat_map(|&class| [timing.forward(class) + wire, timing.free_delay(class)])
+                .min()
+                .expect("two classes considered")
+        };
+        self.fabric
+            .fanout_kind
+            .iter()
+            .map(|&kind| per_kind(self.timing.fanout(kind)))
+            .chain(std::iter::once(per_kind(&self.timing.fanin)))
+            .min()
+            .expect("network has nodes")
+    }
+}
+
+impl ShardModel for MotModel<'_> {
+    /// Bands of whole endpoint trees: source `s`'s fanout tree and sink
+    /// `d`'s fanin tree live with their endpoints, so the only channels
+    /// crossing shards are fanout-leaf → fanin-leaf links.
+    fn partition(&self, shards: usize) -> Partition {
+        let n = self.fabric.size.n();
+        let shards = shards.clamp(1, n);
+        let lookahead = if shards > 1 {
+            self.min_cut_delay()
+        } else {
+            // Unused on the serial path, but must be non-zero.
+            Duration::from_ps(1)
+        };
+        let size = self.fabric.size;
+        let band = |endpoint: usize| endpoint * shards / n;
+        Partition::from_assignment(self, shards, lookahead, |node| match node {
+            NodeRef::Source(s) => band(s),
+            NodeRef::Sink(d) => band(d),
+            NodeRef::Node(MotNode::Fanout(flat)) => band(self.fabric.fanout_coords[flat].tree),
+            NodeRef::Node(MotNode::Fanin(flat)) => {
+                band(FaninNodeId::from_flat_index(size, flat).tree)
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,6 +699,42 @@ mod tests {
         assert_eq!(a.flits_delivered, b.flits_delivered);
         assert_eq!(a.flits_throttled, b.flits_throttled);
         assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn sharded_runs_match_serial_bit_for_bit() {
+        for arch in [Architecture::Baseline, Architecture::OptHybridSpeculative] {
+            let network = Network::new(NetworkConfig::eight_by_eight(arch).with_seed(7)).unwrap();
+            let run = RunConfig::quick(Benchmark::Multicast5, 0.3).with_trace(512);
+            let serial = network.run(&run).unwrap();
+            assert_eq!(serial.shards, 1);
+            for shards in [2, 3, 8] {
+                let sharded = network.run(&run.clone().with_shards(shards)).unwrap();
+                assert_eq!(sharded.shards, shards, "{arch}: shard count honoured");
+                assert_eq!(
+                    sharded.shard_events.iter().sum::<u64>(),
+                    sharded.events_processed
+                );
+                assert_eq!(sharded.events_processed, serial.events_processed, "{arch}");
+                assert_eq!(sharded.latency.mean(), serial.latency.mean(), "{arch}");
+                assert_eq!(sharded.latency.count(), serial.latency.count());
+                assert_eq!(sharded.throughput, serial.throughput, "{arch}");
+                assert_eq!(sharded.packets_measured, serial.packets_measured);
+                assert_eq!(sharded.packets_incomplete, serial.packets_incomplete);
+                assert_eq!(sharded.flits_throttled, serial.flits_throttled, "{arch}");
+                assert_eq!(sharded.flits_delivered, serial.flits_delivered, "{arch}");
+                assert_eq!(sharded.trace, serial.trace, "{arch}: trace streams differ");
+                assert_eq!(
+                    format!("{:?}", sharded.activity),
+                    format!("{:?}", serial.activity),
+                    "{arch}: per-node activity differs"
+                );
+                assert!(
+                    (sharded.power.total_mw() - serial.power.total_mw()).abs() < 1e-12,
+                    "{arch}: power accounting differs"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //! - [`parallel_map`] fans independent work items (seeds, configs,
 //!   saturation probe points) across OS threads with deterministic
 //!   result ordering — the experiment layer's multi-core runner.
+//! - [`run_sharded`] / [`run_sharded_with_faults`] split *one* run
+//!   across OS threads: a [`ShardModel`] partitions its entities into
+//!   shards ([`Partition`]) synchronised in conservative lookahead-bound
+//!   windows, and a deterministic fold makes the observable results —
+//!   observer streams, reports, audits — bit-identical to the serial
+//!   runner's for every shard count.
 //!
 //! # Performance discipline
 //!
@@ -30,9 +36,11 @@
 //! standing guarantees, both enforced by tests:
 //!
 //! - **Scheduler-independent results.** Events are totally ordered by
-//!   `(time, insertion seq)`; both the binary-heap and the calendar
-//!   scheduler ([`RunSpec::scheduler`]) realize that order exactly, so a
-//!   seeded run is bit-identical under either.
+//!   `(time, canonical key, insertion seq)` — the key ranks simultaneous
+//!   events by kind and entity index; both the binary-heap and the
+//!   calendar scheduler ([`RunSpec::scheduler`]) realize that order
+//!   exactly, so a seeded run is bit-identical under either (and under
+//!   any shard count; see [`run_sharded`]).
 //! - **Zero-allocation steady state.** All run state is pre-sized at
 //!   construction, packet descriptors are recycled through an internal
 //!   free-list once their tails deliver, and event payloads are small
@@ -45,10 +53,13 @@ mod fault;
 mod observer;
 mod pool;
 mod session;
+mod shard;
 
 pub use asynoc_kernel::parallel_map;
 pub use fault::{ArmedFaults, FaultDomain, FaultSummary, SourceFaultAction};
 pub use observer::{ForwardInfo, Observer, SimEvent};
 pub use session::{
-    run, run_with_faults, ChannelEnds, Ctx, EngineReport, NodeRef, RunSpec, Session, SimModel,
+    run, run_with_faults, ChannelEnds, Ctx, EngineReport, NodeKey, NodeRef, RunSpec, Session,
+    SimModel,
 };
+pub use shard::{run_sharded, run_sharded_with_faults, Partition, ShardModel};

@@ -13,6 +13,7 @@ use asynoc_traffic::SourceTraffic;
 use crate::fault::{ArmedFaults, SourceFaultAction};
 use crate::observer::{Observer, SimEvent};
 use crate::pool::FlitPool;
+use crate::shard::{EventRecord, OwnedSimEvent, PendOp, ShardState, WireMsg};
 
 /// One end of a channel: who launches into it / who consumes from it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +36,30 @@ pub struct ChannelEnds<N> {
     pub downstream: NodeRef<N>,
 }
 
+/// A stable ordering key for a substrate's node identifiers.
+///
+/// The engine totally orders simultaneous events by a canonical
+/// `(event kind, entity index)` key (see the crate docs on scheduler
+/// independence); retry events target model nodes, so the model's node
+/// type must map injectively into a `u64` that is the same on every
+/// run. Keys must fit in 56 bits — the top byte carries the event kind.
+pub trait NodeKey {
+    /// This node's ordering key (injective over the substrate's nodes).
+    fn node_key(&self) -> u64;
+}
+
+impl NodeKey for () {
+    fn node_key(&self) -> u64 {
+        0
+    }
+}
+
+impl NodeKey for usize {
+    fn node_key(&self) -> u64 {
+        *self as u64
+    }
+}
+
 /// What a substrate must provide to run on the engine.
 ///
 /// The engine owns sources, sinks, channels, the event queue, and all
@@ -43,7 +68,7 @@ pub struct ChannelEnds<N> {
 pub trait SimModel {
     /// The substrate's node identifier (e.g. an enum of fanout/fanin
     /// indices for the MoT, a router index for the mesh).
-    type Node: Copy + std::fmt::Debug;
+    type Node: Copy + std::fmt::Debug + NodeKey + Send;
 
     /// Number of traffic endpoints (sources == sinks).
     fn endpoints(&self) -> usize;
@@ -147,13 +172,18 @@ pub struct EngineReport {
     pub flits_delivered: u64,
     /// Events the engine processed over the whole run.
     pub events_processed: u64,
+    /// How many shards executed the run (1 for a serial run).
+    pub shards: usize,
+    /// Events processed per shard (one entry, equal to
+    /// `events_processed`, for a serial run).
+    pub shard_events: Vec<u64>,
     /// Host wall-clock time the run took.
     pub wall: std::time::Duration,
 }
 
 /// Events driving a simulation.
 #[derive(Clone, Copy, Debug)]
-enum Event<N> {
+pub(crate) enum Event<N> {
     /// Source `source` generates its next packet.
     Inject { source: usize },
     /// The flit in flight on `channel` reaches the downstream input.
@@ -162,6 +192,30 @@ enum Event<N> {
     FreeChannel { channel: usize },
     /// Re-attempt firing after a cycle-floor stall.
     Retry { target: NodeRef<N> },
+}
+
+/// The canonical ordering key of an event: kind rank in the top byte,
+/// entity index below. Simultaneous events fire in ascending key order
+/// on every scheduler *and* on every shard layout — the serial loop and
+/// the sharded merge both sort by `(time, key)`, which is what makes a
+/// sharded run's observable stream bit-identical to the serial one.
+/// Equal `(time, key)` pairs (re-scheduled retries of one target) are
+/// always scheduled by the same shard and fall back to insertion order.
+pub(crate) fn event_key<N: NodeKey>(event: &Event<N>) -> u64 {
+    match event {
+        Event::Inject { source } => *source as u64,
+        Event::Arrive { channel } => (1 << 56) | *channel as u64,
+        Event::FreeChannel { channel } => (2 << 56) | *channel as u64,
+        Event::Retry {
+            target: NodeRef::Source(source),
+        } => (3 << 56) | *source as u64,
+        Event::Retry {
+            target: NodeRef::Node(node),
+        } => (4 << 56) | node.node_key(),
+        Event::Retry {
+            target: NodeRef::Sink(sink),
+        } => (5 << 56) | *sink as u64,
+    }
 }
 
 /// Dynamic state of one channel.
@@ -192,11 +246,11 @@ impl ChannelState {
 
 /// Latency bookkeeping for one logical packet.
 #[derive(Clone, Copy, Debug)]
-struct Pending {
-    created_at: Time,
+pub(crate) struct Pending {
+    pub(crate) created_at: Time,
     /// Destinations that must still receive the header.
-    awaiting: DestSet,
-    measured: bool,
+    pub(crate) awaiting: DestSet,
+    pub(crate) measured: bool,
 }
 
 /// Deterministic hash state for the pending-packet map.
@@ -207,7 +261,7 @@ struct Pending {
 /// sequential `u64`s, so a SplitMix64 finalizer gives full avalanche
 /// with one multiply chain and the same layout on every run.
 #[derive(Clone, Copy, Debug, Default)]
-struct DetHashState;
+pub(crate) struct DetHashState;
 
 impl BuildHasher for DetHashState {
     type Hasher = DetHasher;
@@ -219,7 +273,7 @@ impl BuildHasher for DetHashState {
 
 /// See [`DetHashState`].
 #[derive(Clone, Copy, Debug)]
-struct DetHasher(u64);
+pub(crate) struct DetHasher(u64);
 
 impl Hasher for DetHasher {
     fn finish(&self) -> u64 {
@@ -263,9 +317,16 @@ pub struct Ctx<'obs, 'run, N> {
     source_next_fire: Vec<Time>,
     traffic: Vec<SourceTraffic>,
 
-    next_packet_id: u64,
+    /// Per-source packet counters: ids are `(source << 32) | counter`,
+    /// so every shard allocates the exact ids a serial run would without
+    /// any cross-shard coordination.
+    next_packet_id: Vec<u64>,
     pending: HashMap<u64, Pending, DetHashState>,
     pending_measured: usize,
+
+    /// Sharded-run state, or `None` on a serial run (one branch per
+    /// touch point keeps the serial hot path free).
+    shard: Option<Box<ShardState<N>>>,
 
     latency: LatencyStats,
     throughput: ThroughputCounter,
@@ -279,7 +340,7 @@ pub struct Ctx<'obs, 'run, N> {
     faults: Option<&'run mut ArmedFaults>,
 }
 
-impl<N: Copy + std::fmt::Debug> Ctx<'_, '_, N> {
+impl<N: Copy + std::fmt::Debug + NodeKey> Ctx<'_, '_, N> {
     /// Current simulated time.
     #[must_use]
     pub fn now(&self) -> Time {
@@ -318,6 +379,12 @@ impl<N: Copy + std::fmt::Debug> Ctx<'_, '_, N> {
         flit
     }
 
+    /// Schedules `event` at `at` under its canonical ordering key.
+    fn schedule_event(&mut self, at: Time, event: Event<N>) {
+        let key = event_key(&event);
+        self.queue.schedule_keyed(at, key, event);
+    }
+
     /// Launches `flit` onto `channel`; it arrives downstream after
     /// `flight`.
     ///
@@ -339,9 +406,26 @@ impl<N: Copy + std::fmt::Debug> Ctx<'_, '_, N> {
             });
             flight += extra;
         }
+        if let Some(shard) = self.shard.as_mut() {
+            let owner = shard.partition.channel_downstream_shard(channel);
+            if owner != shard.shard {
+                // Cut channel: the arrival executes on the downstream
+                // owner. Keep the local copy in flight so this side's
+                // `is_free` stays honest until the free message returns.
+                debug_assert!(
+                    flight >= shard.partition.lookahead(),
+                    "cut-channel flight below the partition's lookahead"
+                );
+                let at = self.now + flight;
+                self.channels[channel] = ChannelState::InFlight(flit.clone());
+                shard
+                    .outbox
+                    .push((owner, WireMsg::Arrive { channel, flit, at }));
+                return;
+            }
+        }
         self.channels[channel] = ChannelState::InFlight(flit);
-        self.queue
-            .schedule(self.now + flight, Event::Arrive { channel });
+        self.schedule_event(self.now + flight, Event::Arrive { channel });
     }
 
     /// The routing symbol fanout site `site` reads for a flit of
@@ -363,15 +447,28 @@ impl<N: Copy + std::fmt::Debug> Ctx<'_, '_, N> {
     /// Schedules `channel` (currently draining) to become free after
     /// `delay`, waking its upstream entity.
     pub fn free_after(&mut self, channel: usize, delay: Duration) {
-        self.queue
-            .schedule(self.now + delay, Event::FreeChannel { channel });
+        if let Some(shard) = self.shard.as_mut() {
+            let owner = shard.partition.channel_upstream_shard(channel);
+            if owner != shard.shard {
+                // Cut channel consumed on this side: the free event wakes
+                // the upstream launcher, so it executes on its shard.
+                debug_assert!(
+                    delay >= shard.partition.lookahead(),
+                    "cut-channel free delay below the partition's lookahead"
+                );
+                let at = self.now + delay;
+                shard.outbox.push((owner, WireMsg::Free { channel, at }));
+                return;
+            }
+        }
+        self.schedule_event(self.now + delay, Event::FreeChannel { channel });
     }
 
     /// Schedules a re-attempt to fire `node` at `at` (cycle-floor
     /// stalls only; all other blockings are woken by the event that
     /// clears them).
     pub fn retry(&mut self, node: N, at: Time) {
-        self.queue.schedule(
+        self.schedule_event(
             at,
             Event::Retry {
                 target: NodeRef::Node(node),
@@ -388,14 +485,23 @@ impl<N: Copy + std::fmt::Debug> Ctx<'_, '_, N> {
                 self.flits_throttled += 1;
             }
         }
+        if let Some(shard) = self.shard.as_mut() {
+            // Sharded runs buffer the stream per executed event; the
+            // fold replays it to the real observers in exact serial
+            // order after the run.
+            if shard.record_obs {
+                shard.open_record().obs.push(OwnedSimEvent::capture(event));
+            }
+            return;
+        }
         for observer in self.observers.iter_mut() {
             observer.on_event(self.now, in_window, event);
         }
     }
 
-    fn alloc_id(&mut self) -> PacketId {
-        let id = PacketId::new(self.next_packet_id);
-        self.next_packet_id += 1;
+    fn alloc_id(&mut self, source: usize) -> PacketId {
+        let id = PacketId::new(((source as u64) << 32) | self.next_packet_id[source]);
+        self.next_packet_id[source] += 1;
         id
     }
 }
@@ -515,7 +621,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         spec: RunSpec,
         observers: &'run mut [&'obs mut dyn Observer<M::Node>],
     ) -> Self {
-        Session::build(model, traffic, spec, observers, None)
+        Session::build(model, traffic, spec, observers, None, None, None)
     }
 
     /// Prepares a simulation with an armed fault table threaded into the
@@ -531,7 +637,33 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         observers: &'run mut [&'obs mut dyn Observer<M::Node>],
         faults: &'run mut ArmedFaults,
     ) -> Self {
-        Session::build(model, traffic, spec, observers, Some(faults))
+        Session::build(model, traffic, spec, observers, Some(faults), None, None)
+    }
+
+    /// Prepares one shard of a sharded run: the session owns only the
+    /// sources its shard was assigned, buffers its observable stream
+    /// into the shard's records, and exchanges cut-channel influence via
+    /// the sharded runner's mailboxes (see `crate::shard`).
+    pub(crate) fn build_shard(
+        model: M,
+        traffic: Vec<SourceTraffic>,
+        spec: RunSpec,
+        faults: Option<&'run mut ArmedFaults>,
+        shard: Box<ShardState<M::Node>>,
+        queue: SchedulerQueue<Event<M::Node>>,
+    ) -> Self
+    where
+        'obs: 'run,
+    {
+        Session::build(
+            model,
+            traffic,
+            spec,
+            &mut [],
+            faults,
+            Some(shard),
+            Some(queue),
+        )
     }
 
     fn build(
@@ -540,6 +672,8 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         spec: RunSpec,
         observers: &'run mut [&'obs mut dyn Observer<M::Node>],
         faults: Option<&'run mut ArmedFaults>,
+        shard: Option<Box<ShardState<M::Node>>>,
+        queue: Option<SchedulerQueue<Event<M::Node>>>,
     ) -> Self {
         let n = model.endpoints();
         assert_eq!(traffic.len(), n, "one traffic generator per endpoint");
@@ -574,15 +708,17 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             drain: spec.drain,
             injection_end,
             hard_cap,
-            queue: SchedulerQueue::with_capacity(spec.scheduler, queue_capacity),
+            queue: queue
+                .unwrap_or_else(|| SchedulerQueue::with_capacity(spec.scheduler, queue_capacity)),
             now: Time::ZERO,
             channels: vec![ChannelState::Free; channels],
             source_queue: (0..n).map(|_| VecDeque::with_capacity(64)).collect(),
             source_next_fire: vec![Time::ZERO; n],
             traffic,
-            next_packet_id: 0,
+            next_packet_id: vec![0; n],
             pending: HashMap::with_capacity_and_hasher(n * 16 + 256, DetHashState),
             pending_measured: 0,
+            shard,
             latency: LatencyStats::with_capacity(latency_capacity),
             throughput: ThroughputCounter::new(n),
             flits_throttled: 0,
@@ -592,11 +728,19 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             faults,
         };
 
-        // Prime each source's first injection.
+        // Prime each source's first injection. A shard advances every
+        // source's traffic RNG identically (the per-source generators are
+        // self-seeded, so unowned ones simply never advance again) but
+        // schedules only the sources it owns.
         for s in 0..n {
             let gap = ctx.traffic[s].next_gap();
-            ctx.queue
-                .schedule(Time::ZERO + gap, Event::Inject { source: s });
+            let owned = ctx
+                .shard
+                .as_ref()
+                .is_none_or(|shard| shard.partition.source_shard(s) == shard.shard);
+            if owned {
+                ctx.schedule_event(Time::ZERO + gap, Event::Inject { source: s });
+            }
         }
 
         Session {
@@ -664,9 +808,116 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             flits_throttled: ctx.flits_throttled,
             flits_delivered: ctx.flits_delivered,
             events_processed: ctx.events_processed,
+            shards: 1,
+            shard_events: vec![ctx.events_processed],
             wall: start.elapsed(),
         };
         (report, self.model)
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded execution (driven by `crate::shard::run_sharded`)
+    // ------------------------------------------------------------------
+
+    /// Earliest pending local event time (published at window barriers).
+    pub(crate) fn peek_time(&self) -> Option<Time> {
+        self.ctx.queue.peek_time()
+    }
+
+    /// Executes every local event strictly before `end`, recording each
+    /// executed event's observable effects into the shard's records.
+    ///
+    /// Newly scheduled local events that still fall inside the window
+    /// are executed too, so on return the local frontier is at least
+    /// `end` — the invariant the conservative window protocol rests on.
+    pub(crate) fn execute_window(&mut self, end: Time) {
+        while self.ctx.queue.peek_time().is_some_and(|t| t < end) {
+            let (t, event) = self.ctx.queue.pop().expect("peeked non-empty");
+            self.ctx.now = t;
+            let key = event_key(&event);
+            let fault_before = self.ctx.faults.as_deref().map(ArmedFaults::summary);
+            {
+                let shard = self.ctx.shard.as_mut().expect("sharded session");
+                shard.occ += 1;
+                let occ = shard.occ;
+                shard.records.push(EventRecord::open(t, key, occ));
+            }
+            match event {
+                Event::Inject { source } => self.handle_inject(source),
+                Event::Arrive { channel } => self.handle_arrive(channel),
+                Event::FreeChannel { channel } => self.handle_free(channel),
+                Event::Retry { target } => self.wake(target),
+            }
+            let fault_delta = fault_before.and_then(|before| {
+                let after = self.ctx.faults.as_deref().expect("still armed").summary();
+                crate::shard::summary_delta(before, after)
+            });
+            let drain_tail = self.ctx.drain && t >= self.ctx.injection_end;
+            let shard = self.ctx.shard.as_mut().expect("sharded session");
+            let record = shard.records.last_mut().expect("record opened above");
+            record.fault_delta = fault_delta;
+            // Keep the record only if the event did something observable
+            // — or if it falls in the drain tail, where the fold needs
+            // every event to find the serial loop's exact stopping point.
+            if record.obs.is_empty()
+                && record.pend.is_empty()
+                && record.fault_delta.is_none()
+                && !drain_tail
+            {
+                shard.records.pop();
+            }
+            if t < self.ctx.injection_end {
+                shard.pre_end_events += 1;
+            }
+        }
+    }
+
+    /// Applies one cross-shard message: reconstructs the channel state
+    /// the sending shard established and schedules the carried event
+    /// under its canonical key, so local ordering is independent of the
+    /// order messages happened to be drained in.
+    pub(crate) fn apply_wire_message(&mut self, message: WireMsg) {
+        match message {
+            WireMsg::Arrive { channel, flit, at } => {
+                self.ctx.channels[channel] = ChannelState::InFlight(flit);
+                self.ctx.schedule_event(at, Event::Arrive { channel });
+            }
+            WireMsg::Free { channel, at } => {
+                // The downstream shard consumed the flit; mirror its
+                // draining state so `handle_free`'s invariant holds here.
+                self.ctx.channels[channel] = ChannelState::Draining;
+                self.ctx.schedule_event(at, Event::FreeChannel { channel });
+            }
+        }
+    }
+
+    /// Drains the shard's outbound messages accumulated this window.
+    pub(crate) fn take_outbox(&mut self) -> Vec<(usize, WireMsg)> {
+        let shard = self.ctx.shard.as_mut().expect("sharded session");
+        std::mem::take(&mut shard.outbox)
+    }
+
+    /// Returns an outbox buffer for reuse (capacity recycling).
+    pub(crate) fn restore_outbox(&mut self, mut outbox: Vec<(usize, WireMsg)>) {
+        outbox.clear();
+        let shard = self.ctx.shard.as_mut().expect("sharded session");
+        if shard.outbox.capacity() < outbox.capacity() {
+            shard.outbox = outbox;
+        }
+    }
+
+    /// Tears one finished shard down into what the fold consumes.
+    pub(crate) fn into_shard_parts(self) -> crate::shard::ShardParts<M> {
+        let ctx = self.ctx;
+        let shard = *ctx.shard.expect("sharded session");
+        crate::shard::ShardParts {
+            records: shard.records,
+            pre_end_events: shard.pre_end_events,
+            throughput: ctx.throughput,
+            flits_throttled: ctx.flits_throttled,
+            flits_delivered: ctx.flits_delivered,
+            model: self.model,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -681,8 +932,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         self.create_packets(source, dests);
         let gap = self.ctx.traffic[source].next_gap();
         self.ctx
-            .queue
-            .schedule(self.ctx.now + gap, Event::Inject { source });
+            .schedule_event(self.ctx.now + gap, Event::Inject { source });
         self.fire_source(source);
     }
 
@@ -715,7 +965,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
 
     fn create_packets(&mut self, source: usize, dests: DestSet) {
         let measured = self.ctx.in_window();
-        let logical = self.ctx.alloc_id();
+        let logical = self.ctx.alloc_id(source);
         let flits = self.ctx.traffic[source].flits_per_packet();
         let serialize = self.serializes_multicast && dests.len() > 1;
 
@@ -724,7 +974,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             // Serial multicast: one unicast clone per destination, queued
             // back to back; latency is accounted against the logical packet.
             for dest in dests.iter() {
-                let id = self.ctx.alloc_id();
+                let id = self.ctx.alloc_id(source);
                 let clone_dests = DestSet::unicast(dest);
                 let descriptor =
                     self.alloc_descriptor(id, source, clone_dests, flits, Some(logical));
@@ -739,16 +989,28 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             self.model.on_packet(source, dests, measured);
         }
 
-        self.ctx.pending.insert(
-            logical.as_u64(),
-            Pending {
-                created_at: self.ctx.now,
+        if let Some(shard) = self.ctx.shard.as_mut() {
+            // The packet's destinations may live on other shards, so the
+            // pending set is folded centrally after the run.
+            shard.open_record().pend.push(PendOp::Insert {
+                logical: logical.as_u64(),
                 awaiting: dests,
                 measured,
-            },
-        );
+            });
+        } else {
+            self.ctx.pending.insert(
+                logical.as_u64(),
+                Pending {
+                    created_at: self.ctx.now,
+                    awaiting: dests,
+                    measured,
+                },
+            );
+            if measured {
+                self.ctx.pending_measured += 1;
+            }
+        }
         if measured {
-            self.ctx.pending_measured += 1;
             self.ctx.throughput.record_offered(offered_flits);
         }
     }
@@ -799,7 +1061,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             return;
         }
         if self.ctx.now < self.ctx.source_next_fire[source] {
-            self.ctx.queue.schedule(
+            self.ctx.schedule_event(
                 self.ctx.source_next_fire[source],
                 Event::Retry {
                     target: NodeRef::Source(source),
@@ -826,7 +1088,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
                     self.ctx.source_queue[source].push_front(flit);
                     let resume = self.ctx.now + delay;
                     self.ctx.source_next_fire[source] = resume;
-                    self.ctx.queue.schedule(
+                    self.ctx.schedule_event(
                         resume,
                         Event::Retry {
                             target: NodeRef::Source(source),
@@ -882,6 +1144,13 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
     fn lose_packet(&mut self, flit: &Flit) {
         let descriptor = flit.descriptor();
         let logical = descriptor.logical_id().as_u64();
+        if let Some(shard) = self.ctx.shard.as_mut() {
+            shard.open_record().pend.push(PendOp::Lose {
+                logical,
+                dests: descriptor.dests(),
+            });
+            return;
+        }
         if let Some(pending) = self.ctx.pending.get_mut(&logical) {
             for dest in descriptor.dests().iter() {
                 pending.awaiting.remove(dest);
@@ -905,7 +1174,14 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         }
         if flit.kind().is_header() {
             let logical = flit.descriptor().logical_id().as_u64();
-            if let Some(pending) = self.ctx.pending.get_mut(&logical) {
+            if let Some(shard) = self.ctx.shard.as_mut() {
+                // Completion accounting (latency, the delivery audit) is
+                // folded centrally; deliveries just leave a record.
+                shard
+                    .open_record()
+                    .pend
+                    .push(PendOp::Deliver { logical, dest });
+            } else if let Some(pending) = self.ctx.pending.get_mut(&logical) {
                 // Delivery audit: a header may reach each destination in
                 // its set exactly once — a duplicate means a redundant
                 // speculative copy escaped throttling, a miss would show up

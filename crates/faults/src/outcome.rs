@@ -193,12 +193,14 @@ pub fn mesh_network(
     side: usize,
     seed: u64,
     flits: u8,
+    shards: usize,
 ) -> Result<MeshNetwork, asynoc_mesh::MeshError> {
     let size = MeshSize::new(side, side)?;
     MeshNetwork::new(
         MeshConfig::new(size)
             .with_seed(seed)
-            .with_flits_per_packet(flits),
+            .with_flits_per_packet(flits)
+            .with_shards(shards),
     )
 }
 

@@ -18,13 +18,16 @@
 //! # Determinism
 //!
 //! [`CalendarQueue`] reproduces the heap's contract exactly: events pop
-//! in ascending `(time, seq)` order, where `seq` is the insertion
-//! sequence number. Two events with equal times always land in the same
-//! bucket (the bucket index is a pure function of the time), and each
-//! bucket is kept sorted by `(time, seq)`, so FIFO tie-breaking survives
-//! the hashing. The differential tests in `tests/queue_differential.rs`
-//! drive both queues from seeded workloads and assert identical pop
-//! streams.
+//! in ascending `(time, key, seq)` order, where `key` is the caller's
+//! ordering key ([`CalendarQueue::schedule_keyed`]; plain
+//! [`CalendarQueue::schedule`] uses the insertion sequence so the order
+//! degenerates to the classic `(time, seq)` FIFO) and `seq` is the
+//! insertion sequence number. Two events with equal times always land in
+//! the same bucket (the bucket index is a pure function of the time), and
+//! each bucket is kept sorted by `(time, key, seq)`, so tie-breaking
+//! survives the hashing. The differential tests in
+//! `tests/queue_differential.rs` drive both queues from seeded workloads
+//! and assert identical pop streams.
 
 use crate::time::Time;
 
@@ -45,12 +48,13 @@ const RECALIBRATE_MIN_BUCKETS: usize = 64;
 #[derive(Clone, Debug)]
 struct Entry<E> {
     time: Time,
+    key: u64,
     seq: u64,
     event: E,
 }
 
 /// A time-bucketed event queue with `O(1)` amortized operations and the
-/// same deterministic `(time, seq)` FIFO tie-breaking as
+/// same deterministic `(time, key, seq)` tie-breaking as
 /// [`EventQueue`](crate::EventQueue).
 ///
 /// # Examples
@@ -148,6 +152,17 @@ impl<E> CalendarQueue<E> {
     /// Events scheduled for the same instant fire in the order they were
     /// scheduled, exactly as on [`EventQueue`](crate::EventQueue).
     pub fn schedule(&mut self, time: Time, event: E) {
+        // Using the insertion sequence as the key reproduces the classic
+        // (time, seq) FIFO order exactly.
+        let key = self.next_seq;
+        self.schedule_keyed(time, key, event);
+    }
+
+    /// Schedules `event` to fire at `time` under an explicit ordering
+    /// `key`: simultaneous events pop in ascending `key` order, and
+    /// same-key ties fall back to insertion order. See
+    /// [`EventQueue::schedule_keyed`](crate::EventQueue::schedule_keyed).
+    pub fn schedule_keyed(&mut self, time: Time, key: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let day = time.as_ps() >> self.width_shift;
@@ -159,12 +174,17 @@ impl<E> CalendarQueue<E> {
             self.cursor_day = day;
         }
         let bucket = (day as usize) & self.mask;
-        let entry = Entry { time, seq, event };
+        let entry = Entry {
+            time,
+            key,
+            seq,
+            event,
+        };
         // Descending order: find the first element that sorts *before*
         // the new entry and insert ahead of it. Buckets are short on
         // average (a few entries), so this is one or two cache lines.
-        let position =
-            self.buckets[bucket].partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+        let position = self.buckets[bucket]
+            .partition_point(|e| (e.time, e.key, e.seq) > (entry.time, entry.key, entry.seq));
         self.buckets[bucket].insert(position, entry);
         self.len += 1;
         self.ops_since_rebuild += 1;
@@ -198,13 +218,13 @@ impl<E> CalendarQueue<E> {
         // to its year span. Find the globally earliest entry directly
         // (each bucket's candidate is its last element) and jump the
         // scan to its day. Ties in time cannot span buckets, so
-        // comparing (time, seq) across candidates stays exact.
+        // comparing (time, key, seq) across candidates stays exact.
         let (bucket, entry) = self
             .buckets
             .iter()
             .enumerate()
             .filter_map(|(b, bucket)| bucket.last().map(|e| (b, e)))
-            .min_by_key(|(_, e)| (e.time, e.seq))
+            .min_by_key(|(_, e)| (e.time, e.key, e.seq))
             .expect("len > 0 means some bucket is non-empty");
         Some((bucket, entry.time.as_ps() >> self.width_shift, true))
     }
@@ -292,7 +312,7 @@ impl<E> CalendarQueue<E> {
         }
         self.scratch = entries;
         for bucket in &mut self.buckets {
-            bucket.sort_unstable_by_key(|e| core::cmp::Reverse((e.time, e.seq)));
+            bucket.sort_unstable_by_key(|e| core::cmp::Reverse((e.time, e.key, e.seq)));
         }
         // Re-anchor the scan on the earliest event (or a neutral origin).
         if self.len == 0 {
@@ -428,6 +448,110 @@ mod tests {
         // the queue must stay correct if a caller does).
         queue.schedule(Time::from_ps(1), 999);
         assert_eq!(queue.pop(), Some((Time::from_ps(1), 999)));
+    }
+
+    #[test]
+    fn keys_order_simultaneous_events_like_the_heap() {
+        let mut calendar = CalendarQueue::new();
+        let mut heap = crate::EventQueue::new();
+        for (time, key, value) in [
+            (5u64, 9u64, 0u32),
+            (5, 2, 1),
+            (5, 2, 2),
+            (5, 1, 3),
+            (1, 7, 4),
+        ] {
+            calendar.schedule_keyed(Time::from_ps(time), key, value);
+            heap.schedule_keyed(Time::from_ps(time), key, value);
+        }
+        for _ in 0..5 {
+            assert_eq!(calendar.pop(), heap.pop());
+        }
+        assert!(calendar.is_empty());
+    }
+
+    #[test]
+    fn near_max_timestamps_pop_in_order() {
+        // Times at the top of the u64 range stress the day arithmetic:
+        // `day.saturating_add(1)` in the scan, the span subtraction in
+        // resize, and the u128 width computation must all stay exact.
+        let mut queue = CalendarQueue::new();
+        let top = u64::MAX;
+        queue.schedule(Time::from_ps(top), 2);
+        queue.schedule(Time::from_ps(top - 1), 1);
+        queue.schedule(Time::from_ps(top), 3);
+        queue.schedule(Time::from_ps(7), 0);
+        assert_eq!(
+            drain(&mut queue),
+            [(7, 0), (top - 1, 1), (top, 2), (top, 3)]
+        );
+        assert!(queue.is_empty());
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn near_max_timestamps_survive_a_resize() {
+        // Enough population to cross the grow threshold while the span
+        // stretches from the origin to near u64::MAX, forcing the widest
+        // possible bucket width during recalibration.
+        let mut queue = CalendarQueue::new();
+        let mut expected = Vec::new();
+        for i in 0..64u32 {
+            let t = u64::MAX - u64::from(i) * 3;
+            queue.schedule(Time::from_ps(t), i);
+            expected.push((t, i));
+        }
+        queue.schedule(Time::from_ps(1), 999);
+        expected.push((1, 999));
+        expected.sort_by_key(|&(t, v)| (t, v));
+        assert_eq!(drain(&mut queue), expected);
+    }
+
+    #[test]
+    fn resize_mid_drain_keeps_remaining_order() {
+        // Fill well past the grow threshold, then drain: the shrink
+        // rebuild fires while events are still pending, and the
+        // remaining stream must stay sorted across the rebuild.
+        let mut queue = CalendarQueue::new();
+        let mut rng = SimRng::seed_from(42);
+        for i in 0..4_096u32 {
+            queue.schedule(Time::from_ps(rng.index(1 << 20) as u64), i);
+        }
+        let mut last = 0u64;
+        let mut popped = 0usize;
+        while let Some((t, _)) = queue.pop() {
+            assert!(t.as_ps() >= last, "order broke at event {popped}");
+            last = t.as_ps();
+            popped += 1;
+            if popped == 2_048 {
+                // Mid-drain, force a recalibration by scheduling a burst
+                // far outside the current year span (all later than any
+                // pending event, so the order assertion stays valid).
+                for j in 0..16u32 {
+                    queue.schedule(Time::from_ps((1 << 40) + u64::from(j)), 10_000 + j);
+                }
+            }
+        }
+        assert_eq!(popped, 4_096 + 16);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn empty_pop_after_span_capped_resize() {
+        // A dense population (span 0: all events at one instant) caps the
+        // bucket count at MIN_BUCKETS during resize; draining to empty
+        // and popping again must return None, not scan garbage.
+        let mut queue = CalendarQueue::new();
+        for i in 0..256u32 {
+            queue.schedule(Time::from_ps(12_345), i);
+        }
+        let popped = drain(&mut queue);
+        assert_eq!(popped.len(), 256);
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.peek_time(), None);
+        // The queue stays usable after the empty pop.
+        queue.schedule(Time::from_ps(99), 1);
+        assert_eq!(queue.pop(), Some((Time::from_ps(99), 1)));
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   inter-arrival sampling used by the paper's traffic generators,
 //! - [`parallel_map`]: a multi-core fan-out with deterministic result
 //!   ordering, used by the experiment layer to spread independent runs
-//!   (seeds, sweep points, saturation probes) across OS threads.
+//!   (seeds, sweep points, saturation probes) across OS threads,
+//! - [`sharded`]: the cross-shard plumbing ([`ShardedScheduler`],
+//!   [`Mailboxes`], [`WindowBarrier`]) for conservative *intra-run*
+//!   parallelism, where one simulation is partitioned across threads and
+//!   synchronised in lookahead-bounded time windows.
 //!
 //! # Examples
 //!
@@ -41,12 +45,14 @@ pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod scheduler;
+pub mod sharded;
 pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use fault::FaultClass;
-pub use parallel::parallel_map;
+pub use parallel::{default_parallelism, parallel_map};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use scheduler::{SchedulerKind, SchedulerQueue};
+pub use sharded::{Mailboxes, ShardedScheduler, WindowBarrier};
 pub use time::{Duration, Time};

@@ -7,6 +7,13 @@
 //! [`EventQueue`] instead tags every insertion with a monotonically
 //! increasing sequence number, so simultaneous events pop in exactly the
 //! order they were scheduled (FIFO), independent of payload.
+//!
+//! For sharded (parallel) execution, insertion order alone is not
+//! reproducible across shard counts, so every entry also carries a caller
+//! supplied *key* ([`EventQueue::schedule_keyed`]): the queue's total
+//! order is `(time, key, seq)`. Plain [`EventQueue::schedule`] uses the
+//! insertion sequence as the key, which degenerates to the classic
+//! `(time, seq)` FIFO order.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -36,13 +43,14 @@ pub struct EventQueue<E> {
 #[derive(Debug)]
 struct Entry<E> {
     time: Time,
+    key: u64,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 
@@ -56,11 +64,12 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, key, seq) pops first.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -89,9 +98,28 @@ impl<E> EventQueue<E> {
     /// Events scheduled for the same instant fire in the order they were
     /// scheduled.
     pub fn schedule(&mut self, time: Time, event: E) {
+        // Using the insertion sequence as the key reproduces the classic
+        // (time, seq) FIFO order exactly.
+        let key = self.next_seq;
+        self.schedule_keyed(time, key, event);
+    }
+
+    /// Schedules `event` to fire at `time` under an explicit ordering
+    /// `key`: simultaneous events pop in ascending `key` order, and
+    /// same-key ties fall back to insertion order.
+    ///
+    /// Keys give the pop order a meaning that is independent of *when*
+    /// the events were inserted, which is what lets per-shard queues in a
+    /// parallel run reproduce a serial run's event order bit for bit.
+    pub fn schedule_keyed(&mut self, time: Time, key: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            key,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
@@ -190,6 +218,18 @@ mod tests {
         queue.schedule(Time::from_ps(7), 2);
         queue.schedule(Time::from_ps(10), 3);
         assert_eq!(drain(&mut queue), [(7, 2), (10, 1), (10, 3)]);
+    }
+
+    #[test]
+    fn keys_order_simultaneous_events_insertion_breaks_key_ties() {
+        let mut queue = EventQueue::new();
+        queue.schedule_keyed(Time::from_ps(5), 9, "z");
+        queue.schedule_keyed(Time::from_ps(5), 2, "b2");
+        queue.schedule_keyed(Time::from_ps(5), 2, "b1");
+        queue.schedule_keyed(Time::from_ps(5), 1, "a");
+        queue.schedule_keyed(Time::from_ps(1), 100, "first");
+        let order: Vec<_> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["first", "a", "b2", "b1", "z"]);
     }
 
     #[test]

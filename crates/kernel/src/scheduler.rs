@@ -6,8 +6,8 @@
 //! ([`SchedulerKind`]) rather than a type parameter — experiment configs
 //! can flip it per run, and the differential tests can drive both
 //! implementations through identical workloads from the same code path.
-//! Both queues implement the same `(time, seq)` total order, so the knob
-//! changes throughput only, never results.
+//! Both queues implement the same `(time, key, seq)` total order, so the
+//! knob changes throughput only, never results.
 
 use crate::calendar::CalendarQueue;
 use crate::queue::EventQueue;
@@ -49,8 +49,8 @@ impl SchedulerKind {
 /// An event queue whose implementation is chosen at runtime.
 ///
 /// Delegates every call to either an [`EventQueue`] or a
-/// [`CalendarQueue`]; both pop in ascending `(time, seq)` order, so a
-/// seeded simulation produces bit-identical results under either kind.
+/// [`CalendarQueue`]; both pop in ascending `(time, key, seq)` order, so
+/// a seeded simulation produces bit-identical results under either kind.
 ///
 /// # Examples
 ///
@@ -104,6 +104,17 @@ impl<E> SchedulerQueue<E> {
         match self {
             SchedulerQueue::Heap(q) => q.schedule(time, event),
             SchedulerQueue::Calendar(q) => q.schedule(time, event),
+        }
+    }
+
+    /// Schedules `event` to fire at `time` under an explicit ordering
+    /// `key`; simultaneous events fire in ascending key order with
+    /// same-key ties broken by scheduling order. See
+    /// [`EventQueue::schedule_keyed`].
+    pub fn schedule_keyed(&mut self, time: Time, key: u64, event: E) {
+        match self {
+            SchedulerQueue::Heap(q) => q.schedule_keyed(time, key, event),
+            SchedulerQueue::Calendar(q) => q.schedule_keyed(time, key, event),
         }
     }
 

@@ -11,8 +11,8 @@
 //! has elapsed.
 
 use asynoc_engine::{
-    ArmedFaults, ChannelEnds, Ctx, FaultDomain, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent,
-    SimModel,
+    ArmedFaults, ChannelEnds, Ctx, FaultDomain, ForwardInfo, NodeRef, Observer, Partition, RunSpec,
+    ShardModel, SimEvent, SimModel,
 };
 use asynoc_kernel::{Duration, SchedulerKind, Time};
 use asynoc_nodes::{FlitClass, KindTiming};
@@ -77,6 +77,7 @@ pub struct MeshConfig {
     flits_per_packet: u8,
     seed: u64,
     scheduler: SchedulerKind,
+    shards: usize,
 }
 
 impl MeshConfig {
@@ -90,6 +91,7 @@ impl MeshConfig {
             flits_per_packet: 5,
             seed: 0,
             scheduler: SchedulerKind::default(),
+            shards: 1,
         }
     }
 
@@ -133,6 +135,28 @@ impl MeshConfig {
         self.scheduler
     }
 
+    /// Splits runs across `shards` conservative shards (threads) —
+    /// bands of whole mesh rows, cut only by north/south links. Results
+    /// are bit-identical for every shard count; this only affects run
+    /// speed on multi-core hosts. The model clamps the count to the row
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "a run needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// How many shards execute each run (default 1: serial).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// The mesh dimensions.
     #[must_use]
     pub fn size(&self) -> MeshSize {
@@ -156,6 +180,11 @@ pub struct MeshReport {
     pub mean_hops: f64,
     /// Discrete events the engine processed over the whole run.
     pub events_processed: u64,
+    /// How many conservative shards executed the run (1 for serial);
+    /// results are bit-identical for every shard count.
+    pub shards: usize,
+    /// Events processed per shard (one entry for a serial run).
+    pub shard_events: Vec<u64>,
     /// Host wall-clock time the run took.
     pub wall: std::time::Duration,
 }
@@ -299,9 +328,12 @@ impl MeshNetwork {
         let model = MeshModel::new(&self.config);
         let spec = RunSpec::new(phases, true).with_scheduler(self.config.scheduler);
         let observers: &mut [&mut dyn Observer<usize>] = &mut [&mut extras];
+        let shards = self.config.shards;
         let (engine, model) = match faults {
-            None => asynoc_engine::run(model, traffic, spec, observers),
-            Some(faults) => asynoc_engine::run_with_faults(model, traffic, spec, faults, observers),
+            None => asynoc_engine::run_sharded(model, traffic, spec, shards, observers),
+            Some(faults) => asynoc_engine::run_sharded_with_faults(
+                model, traffic, spec, shards, faults, observers,
+            ),
         };
 
         Ok(MeshReport {
@@ -311,6 +343,8 @@ impl MeshNetwork {
             packets_incomplete: engine.packets_incomplete,
             mean_hops: model.mean_hops(),
             events_processed: engine.events_processed,
+            shards: engine.shards,
+            shard_events: engine.shard_events,
             wall: engine.wall,
         })
     }
@@ -326,6 +360,7 @@ impl MeshNetwork {
 /// allocated router by router: the four neighbor links (in
 /// north/south/east/west order, skipping edges), then the injection
 /// channel, then the ejection channel.
+#[derive(Clone)]
 struct MeshModel {
     size: MeshSize,
     timing: MeshTiming,
@@ -549,6 +584,44 @@ impl SimModel for MeshModel {
     }
 }
 
+impl ShardModel for MeshModel {
+    /// Bands of whole mesh rows: every east/west link, injection, and
+    /// ejection stays inside its band, so only north/south links between
+    /// adjacent bands are cut. The lookahead is the smallest delay that
+    /// can cross such a link — a launch (`forward + wire`) or the
+    /// downstream router's acknowledge (`free_delay`), whichever is
+    /// smaller over both flit classes.
+    fn partition(&self, shards: usize) -> Partition {
+        let rows = self.size.rows();
+        let shards = shards.clamp(1, rows);
+        let router = &self.timing.router;
+        let wire = self.timing.wire_delay;
+        let lookahead = [FlitClass::Header, FlitClass::Body]
+            .into_iter()
+            .flat_map(|class| [router.forward(class) + wire, router.free_delay(class)])
+            .min()
+            .expect("two classes considered");
+        let band = |endpoint: usize| {
+            let (_, y) = self.size.coords(endpoint);
+            y * shards / rows
+        };
+        Partition::from_assignment(self, shards, lookahead, |node| match node {
+            NodeRef::Source(s) => band(s),
+            NodeRef::Node(r) => band(r),
+            NodeRef::Sink(d) => band(d),
+        })
+    }
+
+    /// The hop counters accumulate per shard (each shard sees only its
+    /// own sources' packets); fold them back for `mean_hops`.
+    fn merge_shards(&mut self, shards: Vec<Self>) {
+        for shard in shards {
+            self.hop_sum += shard.hop_sum;
+            self.hop_count += shard.hop_count;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +707,35 @@ mod tests {
         assert_eq!(a.latency.mean(), b.latency.mean());
         assert_eq!(a.packets_measured, b.packets_measured);
         assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn sharded_runs_match_serial_bit_for_bit() {
+        let net =
+            MeshNetwork::new(MeshConfig::new(MeshSize::new(4, 4).unwrap()).with_seed(11)).unwrap();
+        let serial = net
+            .run(Benchmark::Multicast5, 0.25, quick_phases())
+            .unwrap();
+        assert_eq!(serial.shards, 1);
+        for shards in [2, 3, 4] {
+            let config = net.config().clone().with_shards(shards);
+            let sharded = MeshNetwork::new(config)
+                .unwrap()
+                .run(Benchmark::Multicast5, 0.25, quick_phases())
+                .unwrap();
+            assert_eq!(sharded.shards, shards);
+            assert_eq!(
+                sharded.shard_events.iter().sum::<u64>(),
+                sharded.events_processed
+            );
+            assert_eq!(sharded.events_processed, serial.events_processed);
+            assert_eq!(sharded.latency.mean(), serial.latency.mean());
+            assert_eq!(sharded.latency.count(), serial.latency.count());
+            assert_eq!(sharded.throughput, serial.throughput);
+            assert_eq!(sharded.packets_measured, serial.packets_measured);
+            assert_eq!(sharded.packets_incomplete, serial.packets_incomplete);
+            assert_eq!(sharded.mean_hops, serial.mean_hops);
+        }
     }
 
     #[test]

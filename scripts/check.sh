@@ -8,8 +8,9 @@
 #   scripts/check.sh --smoke    run only the guarded benches, recording
 #                               results/BENCH_observer_overhead.json,
 #                               results/BENCH_analyze.json,
-#                               results/BENCH_faults.json, and
-#                               results/BENCH_scheduler.json (seeded on
+#                               results/BENCH_faults.json,
+#                               results/BENCH_scheduler.json, and
+#                               results/BENCH_sharded.json (seeded on
 #                               first run; >20% ns/event regression
 #                               fails with a per-case diff)
 #
@@ -17,8 +18,10 @@
 # (`cargo build --release && cargo test -q`), adding the lint and
 # formatting checks this repository holds itself to, smoke runs of the
 # guarded benches (the zero-observer fast path, the analysis pipeline,
-# the disarmed fault hooks, and the calendar-vs-heap scheduler hold
-# model must keep their per-event cost), a
+# the disarmed fault hooks, the calendar-vs-heap scheduler hold
+# model, and the serial halves of the sharded-engine bench must keep
+# their per-event cost), a sharded-vs-serial differential gate (the
+# same CLI run at --shards 1/2/4 must print byte-identical reports), a
 # metrics -> trace -> analyze round-trip on both substrates, a fault
 # oracle round-trip on both substrates (a violated oracle exits
 # non-zero), and diffs of the `asynoc metrics` / `asynoc analyze` /
@@ -49,6 +52,9 @@ run_benches() {
     echo "==> scheduler bench (smoke, baseline-guarded: calendar >= 1.3x heap at depth 4096)"
     cargo bench -q -p asynoc-bench --bench scheduler -- --smoke \
         --json "$PWD/results/BENCH_scheduler.json"
+    echo "==> sharded bench (smoke, baseline-guarded; speedup gate arms at >= 4 threads)"
+    cargo bench -q -p asynoc-bench --bench sharded -- --smoke \
+        --json "$PWD/results/BENCH_sharded.json"
 }
 
 if [[ "$smoke" -eq 1 ]]; then
@@ -118,6 +124,30 @@ if [[ "$fast" -eq 0 ]]; then
             echo "  cargo run --release -p asynoc-bench --bin analysis_schema > results/analysis_schema.golden.json"
             exit 1
         }
+
+    echo "==> sharded vs serial differential (mot, 64x64): --shards 1/2/4 must agree byte-for-byte"
+    cargo run -q --release -p asynoc-cli -- run --arch OptHybridSpeculative \
+        --benchmark Multicast5 --rate 0.2 --size 64 --shards 1 >"$tmpdir/mot-serial.txt"
+    for s in 2 4; do
+        cargo run -q --release -p asynoc-cli -- run --arch OptHybridSpeculative \
+            --benchmark Multicast5 --rate 0.2 --size 64 --shards "$s" >"$tmpdir/mot-sharded.txt"
+        diff "$tmpdir/mot-serial.txt" "$tmpdir/mot-sharded.txt" || {
+            echo "64x64 MoT report diverged at --shards $s"
+            exit 1
+        }
+    done
+
+    echo "==> sharded vs serial differential (mesh, 8x8): --shards 1/2/4 must agree byte-for-byte"
+    cargo run -q --release -p asynoc-cli -- mesh --benchmark Uniform-random \
+        --rate 0.1 --cols 8 --rows 8 --shards 1 >"$tmpdir/mesh-serial.txt"
+    for s in 2 4; do
+        cargo run -q --release -p asynoc-cli -- mesh --benchmark Uniform-random \
+            --rate 0.1 --cols 8 --rows 8 --shards "$s" >"$tmpdir/mesh-sharded.txt"
+        diff "$tmpdir/mesh-serial.txt" "$tmpdir/mesh-sharded.txt" || {
+            echo "8x8 mesh report diverged at --shards $s"
+            exit 1
+        }
+    done
 
     echo "==> fault oracle round-trip (mot): clean vs faulted under one seed"
     cargo run -q --release -p asynoc-cli -- faults --arch BasicHybridSpeculative \

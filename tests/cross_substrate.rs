@@ -168,7 +168,7 @@ fn one_recoverable_fault_plan_satisfies_the_oracle_on_both_substrates() {
     let mot_clean = run_mot_outcome(&mot, &run, None).expect("clean MoT run");
     let mot_faulted = run_mot_outcome(&mot, &run, Some(&plan)).expect("faulted MoT run");
 
-    let mesh = mesh_network(4, 7, 5).expect("valid mesh");
+    let mesh = mesh_network(4, 7, 5, 1).expect("valid mesh");
     let mesh_domain = mesh.fault_domain();
     let mesh_clean = run_mesh_outcome(&mesh, Benchmark::UniformRandom, 0.1, phases, None)
         .expect("clean mesh run");

@@ -70,7 +70,7 @@ fn fifty_seeded_recoverable_plans_satisfy_the_oracle_on_mot() {
 #[test]
 fn seeded_recoverable_plans_satisfy_the_oracle_on_the_mesh() {
     let phases = Phases::new(Duration::from_ns(20), Duration::from_ns(150));
-    let net = mesh_network(4, 7, 5).expect("valid mesh");
+    let net = mesh_network(4, 7, 5, 1).expect("valid mesh");
     let domain = net.fault_domain();
     let clean =
         run_mesh_outcome(&net, Benchmark::UniformRandom, 0.1, phases, None).expect("clean run");
