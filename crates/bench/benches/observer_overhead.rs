@@ -8,6 +8,10 @@
 //! - `noop_observer` — one registered observer that does nothing, pricing
 //!   the dispatch alone
 //! - `full_telemetry` — latency histograms + time-series + waste ledger
+//! - `profiled_run` — `run()` with the engine self-profile enabled
+//!   ([`RunConfig::with_profile`]); gated hard at ≤5% over `no_observers`
+//!   in addition to the stored baseline, because the profile's promise is
+//!   that it is close to free
 //!
 //! `--smoke` shrinks the window and sample count for CI. With
 //! `--json <path>` each case's *fastest* sample, normalized to ns per
@@ -75,12 +79,43 @@ fn main() {
                 .expect("run succeeds")
         })
         .min;
+    let profiled = RunConfig::new(Benchmark::Multicast10, 0.3)
+        .expect("positive rate")
+        .with_phases(phases)
+        .with_profile(true);
+    let profiled_run = group
+        .bench_stats("profiled_run", || {
+            let report = network.run(&profiled).expect("run succeeds");
+            assert!(report.profile.is_some(), "profile was collected");
+            report
+        })
+        .min;
+
+    // Hard gate, independent of any stored baseline: a profiled serial
+    // run adds two phase-boundary clock stamps and a final fold — it
+    // must stay within 5% of the bare run. Minimums are compared so a
+    // noisy neighbor can only produce false passes, not false failures;
+    // smoke runs are too short for a 5% resolution, so they get a wider
+    // band that still catches a hot-path regression.
+    let limit = if args.smoke { 1.15 } else { 1.05 };
+    let ratio = profiled_run.as_nanos() as f64 / no_observers.as_nanos().max(1) as f64;
+    if ratio > limit {
+        eprintln!(
+            "profiled run costs {:.1}% over the bare run (limit {:.0}%): {:?} vs {:?}",
+            (ratio - 1.0) * 100.0,
+            (limit - 1.0) * 100.0,
+            profiled_run,
+            no_observers
+        );
+        std::process::exit(1);
+    }
 
     if let Some(path) = args.json {
         let cases = [
             ("no_observers", no_observers),
             ("noop_observer", noop_observer),
             ("full_telemetry", full_telemetry),
+            ("profiled_run", profiled_run),
         ]
         .map(|(id, fastest)| BenchCase {
             id: id.to_string(),

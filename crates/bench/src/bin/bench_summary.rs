@@ -1,0 +1,109 @@
+//! Folds every `results/BENCH_*.json` baseline record into one
+//! `results/BENCH_summary.json` — a single document answering "how fast
+//! is the simulator right now" without opening five files.
+//!
+//! Usage: `bench_summary [results-dir]` (default `results`). The
+//! summary lists every case of every baseline with its ns/event figure
+//! and closes with the fastest and slowest case overall. Invoked by
+//! `scripts/check.sh --smoke` after the guarded benches run, so the
+//! summary always reflects the records the gate just checked.
+
+use asynoc_telemetry::JsonValue;
+
+/// The summary file's schema identifier.
+const SUMMARY_SCHEMA: &str = "asynoc-bench-summary-v1";
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| {
+            name.starts_with("BENCH_") && name.ends_with(".json") && name != "BENCH_summary.json"
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no BENCH_*.json records in {dir}; run the benches first");
+        std::process::exit(1);
+    }
+
+    // (bench, case id, ns/event, events) across every record.
+    let mut all_cases: Vec<(String, String, f64, u64)> = Vec::new();
+    let mut benches = Vec::new();
+    for name in &files {
+        let path = format!("{dir}/{name}");
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let record =
+            JsonValue::parse(&text).unwrap_or_else(|e| panic!("{path}: not a JSON record: {e}"));
+        let bench = record
+            .get("bench")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| panic!("{path}: missing bench name"))
+            .to_string();
+        let cases = record
+            .get("cases")
+            .and_then(JsonValue::as_array)
+            .unwrap_or_else(|| panic!("{path}: missing cases array"));
+        let mut case_entries = Vec::new();
+        for case in cases {
+            let id = case
+                .get("id")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_else(|| panic!("{path}: case without id"))
+                .to_string();
+            let ns_per_event = case
+                .get("ns_per_event")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or_else(|| panic!("{path}: case {id} without ns_per_event"));
+            let events = case
+                .get("events")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or_default() as u64;
+            all_cases.push((bench.clone(), id.clone(), ns_per_event, events));
+            case_entries.push(JsonValue::Object(vec![
+                ("id".to_string(), JsonValue::str(&id)),
+                ("ns_per_event".to_string(), JsonValue::Number(ns_per_event)),
+                ("events".to_string(), JsonValue::uint(events)),
+            ]));
+        }
+        benches.push(JsonValue::Object(vec![
+            ("bench".to_string(), JsonValue::str(&bench)),
+            ("source".to_string(), JsonValue::str(name.as_str())),
+            ("cases".to_string(), JsonValue::Array(case_entries)),
+        ]));
+    }
+
+    let extremum = |cases: &[(String, String, f64, u64)], fastest: bool| -> JsonValue {
+        let pick = cases
+            .iter()
+            .reduce(|a, b| if (b.2 < a.2) == fastest { b } else { a });
+        pick.map_or(JsonValue::Null, |(bench, id, ns, _)| {
+            JsonValue::Object(vec![
+                ("bench".to_string(), JsonValue::str(bench.as_str())),
+                ("id".to_string(), JsonValue::str(id.as_str())),
+                ("ns_per_event".to_string(), JsonValue::Number(*ns)),
+            ])
+        })
+    };
+
+    let doc = JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::str(SUMMARY_SCHEMA)),
+        (
+            "case_count".to_string(),
+            JsonValue::uint(all_cases.len() as u64),
+        ),
+        ("fastest".to_string(), extremum(&all_cases, true)),
+        ("slowest".to_string(), extremum(&all_cases, false)),
+        ("benches".to_string(), JsonValue::Array(benches)),
+    ]);
+    let out = format!("{dir}/BENCH_summary.json");
+    std::fs::write(&out, doc.render_pretty()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "bench summary: {} benches, {} cases -> {out}",
+        files.len(),
+        all_cases.len()
+    );
+}

@@ -1,0 +1,30 @@
+//! Prints the *schema skeleton* of the `asynoc-profile-v1` document —
+//! every key with its value replaced by a type name, arrays reduced to
+//! their first element's shape. The check script diffs this against
+//! `results/profile_schema.golden.json`, so any profile-format change
+//! has to be made deliberately (regenerate with
+//! `cargo run -p asynoc-bench --bin profile_schema > results/profile_schema.golden.json`).
+
+use asynoc_cli::{execute, parse};
+use asynoc_telemetry::JsonValue;
+
+fn main() {
+    // A sharded run populates every section of the document: two shards
+    // give non-empty barrier-wait buckets, cross-cut `sent` slots, and
+    // a meaningful imbalance summary.
+    let mut path = std::env::temp_dir();
+    path.push(format!("asynoc-profile-schema-{}.json", std::process::id()));
+    let path = path.to_string_lossy().into_owned();
+    let line = format!(
+        "run --arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 \
+         --shards 2 --warmup-ns 40 --measure-ns 400 --profile {path}"
+    );
+    let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let command = parse(&args).expect("valid invocation");
+    let mut out = Vec::new();
+    execute(&command, &mut out).expect("profiled run succeeds");
+    let text = std::fs::read_to_string(&path).expect("profile document written");
+    let _ = std::fs::remove_file(&path);
+    let document = JsonValue::parse(&text).expect("valid JSON profile document");
+    print!("{}", document.schema().render_pretty());
+}

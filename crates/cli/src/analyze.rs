@@ -28,6 +28,10 @@ pub struct AnalyzeRequest {
     pub heatmap: bool,
     /// Skip malformed lines (counted in the report) instead of failing.
     pub lenient: bool,
+    /// Self-profile destination. Analysis runs no simulation, so the
+    /// document has an empty `runs` array — only the pass's wall clock
+    /// and allocation count.
+    pub profile: Option<String>,
 }
 
 /// Executes an `analyze` command.
@@ -37,6 +41,7 @@ pub struct AnalyzeRequest {
 /// Returns a [`CliError`] on I/O failure or (without `--lenient`) on the
 /// first malformed trace line.
 pub fn execute_analyze(request: &AnalyzeRequest, out: &mut dyn Write) -> Result<(), CliError> {
+    let profiler = crate::profile::ProfileWriter::when(request.profile.as_ref(), "analyze");
     let text = std::fs::read_to_string(&request.trace_in)?;
     let (meta, records, skipped) = if request.lenient {
         let (meta, records, errors) = parse_trace_lenient(&text);
@@ -70,6 +75,9 @@ pub fn execute_analyze(request: &AnalyzeRequest, out: &mut dyn Write) -> Result<
         // default, the heatmap block when that's what was asked for.
         None if request.heatmap => write!(out, "{}", analysis.heatmap_text())?,
         None => out.write_all(rendered.as_bytes())?,
+    }
+    if let Some(profiler) = profiler {
+        profiler.finish()?;
     }
     Ok(())
 }

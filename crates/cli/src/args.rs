@@ -19,6 +19,7 @@ USAGE:
                   [--metrics-out <path>] [--trace-format ndjson|chrome] [--trace-out <path>]
                   [--trace-limit <K>] [--bin-ns <W>] [common options]
   asynoc analyze  --trace-in <path> [--report-out <path>] [--top <N>] [--heatmap] [--lenient]
+                  [--profile <path>]
   asynoc faults   --benchmark <B> --rate <flits/ns> [--arch <A>] [--substrate mot|mesh]
                   [--plan <encoded>] [--fault-rate <D>] [--oracle] [--report-out <path>]
                   [common options]
@@ -38,6 +39,16 @@ COMMON OPTIONS:
                     threads (default: all hardware threads, clamped to what
                     the topology supports; results are bit-identical at any
                     setting — only wall time changes)
+  --profile <path>  write an asynoc-profile-v1 JSON self-profile of the
+                    simulator's own execution (scheduler counters, per-shard
+                    balance, barrier waits, phase wall splits) to <path>.
+                    Never changes simulation results. Not available on
+                    saturate/sweep (their many runs would overwrite it)
+  --progress        single-line stderr heartbeat (events done, events/s,
+                    per-shard lag), refreshed a few times per second; only
+                    written when stderr is a terminal (set
+                    ASYNOC_PROGRESS_FORCE=1 to override). Never changes
+                    simulation results
 
   run:      --seeds <K> replicates the run over seeds S, S+1, … S+K−1
             (fanned across --jobs workers) and reports per-seed results
@@ -165,6 +176,9 @@ pub enum Command {
         /// Skip malformed trace lines (counted in the report) instead of
         /// failing on the first one.
         lenient: bool,
+        /// Write an `asynoc-profile-v1` self-profile of the analysis pass
+        /// (wall time, allocations; no engine runs) to this path.
+        profile: Option<String>,
     },
     /// One deterministic fault-injection run, optionally paired with a
     /// clean twin and judged by the conformance oracle.
@@ -263,6 +277,11 @@ pub struct CommonOptions {
     /// Conservative shards splitting each single run across threads
     /// (wall-clock only, never results).
     pub shards: usize,
+    /// Write an `asynoc-profile-v1` self-profile of the simulator's own
+    /// execution to this path (host-side metadata only, never results).
+    pub profile: Option<String>,
+    /// Print the stderr progress heartbeat (TTY-gated, never results).
+    pub progress: bool,
 }
 
 impl Default for CommonOptions {
@@ -276,6 +295,8 @@ impl Default for CommonOptions {
             measure_ns: None,
             jobs: threads,
             shards: threads,
+            profile: None,
+            progress: false,
         }
     }
 }
@@ -324,9 +345,9 @@ fn collect_flags(
         if !allowed.contains(&key) {
             return Err(ParseCliError::new(format!("unknown option --{key}")));
         }
-        // `--quick`, `--heatmap`, `--lenient`, and `--oracle` are bare
-        // flags; everything else takes a value.
-        let value = if matches!(key, "quick" | "heatmap" | "lenient" | "oracle") {
+        // `--quick`, `--heatmap`, `--lenient`, `--oracle`, and
+        // `--progress` are bare flags; everything else takes a value.
+        let value = if matches!(key, "quick" | "heatmap" | "lenient" | "oracle" | "progress") {
             "true".to_string()
         } else {
             iter.next()
@@ -338,6 +359,23 @@ fn collect_flags(
         }
     }
     Ok(flags)
+}
+
+/// `--profile` is a common option, but commands that drive many runs
+/// through one invocation would overwrite the single document — reject
+/// the flag at parse time so the binary exits 2 with usage, like every
+/// other per-subcommand flag-scope violation.
+fn reject_profile_flag(
+    command: &str,
+    flags: &BTreeMap<String, String>,
+) -> Result<(), ParseCliError> {
+    if flags.contains_key("profile") {
+        return Err(ParseCliError::new(format!(
+            "--profile is not available on `{command}` (it drives many runs; \
+             profile a single `run` or `mesh` invocation instead)"
+        )));
+    }
+    Ok(())
 }
 
 fn required<'a>(flags: &'a BTreeMap<String, String>, key: &str) -> Result<&'a str, ParseCliError> {
@@ -384,10 +422,12 @@ fn common_options(flags: &BTreeMap<String, String>) -> Result<CommonOptions, Par
             return Err(ParseCliError::new("--shards must be at least 1"));
         }
     }
+    options.profile = flags.get("profile").cloned();
+    options.progress = flags.contains_key("progress");
     Ok(options)
 }
 
-const COMMON_KEYS: [&str; 7] = [
+const COMMON_KEYS: [&str; 9] = [
     "size",
     "seed",
     "flits",
@@ -395,6 +435,8 @@ const COMMON_KEYS: [&str; 7] = [
     "measure-ns",
     "jobs",
     "shards",
+    "profile",
+    "progress",
 ];
 
 fn with_common(extra: &[&str]) -> Vec<&'static str> {
@@ -463,6 +505,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 rest,
                 &with_common(&["arch", "benchmark", "quick", "probe-fan"]),
             )?;
+            reject_profile_flag("saturate", &flags)?;
             let probe_fan: usize = flags
                 .get("probe-fan")
                 .map(|raw| parse_value("probe-fan", raw))
@@ -484,6 +527,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 rest,
                 &with_common(&["arch", "benchmark", "from", "to", "steps"]),
             )?;
+            reject_profile_flag("sweep", &flags)?;
             let from: f64 = parse_value("from", required(&flags, "from")?)?;
             let to: f64 = parse_value("to", required(&flags, "to")?)?;
             let steps: usize = parse_value("steps", required(&flags, "steps")?)?;
@@ -595,7 +639,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
         "analyze" => {
             let flags = collect_flags(
                 rest,
-                &["trace-in", "report-out", "top", "heatmap", "lenient"],
+                &[
+                    "trace-in",
+                    "report-out",
+                    "top",
+                    "heatmap",
+                    "lenient",
+                    "profile",
+                ],
             )?;
             let top: usize = flags
                 .get("top")
@@ -611,6 +662,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 top,
                 heatmap: flags.contains_key("heatmap"),
                 lenient: flags.contains_key("lenient"),
+                profile: flags.get("profile").cloned(),
             })
         }
         "faults" => {
@@ -988,6 +1040,7 @@ mod tests {
                 top: 10,
                 heatmap: false,
                 lenient: false,
+                profile: None,
             }
         );
         let cmd = parse(&argv(
@@ -1002,6 +1055,7 @@ mod tests {
                 top: 3,
                 heatmap: true,
                 lenient: true,
+                profile: None,
             }
         );
     }

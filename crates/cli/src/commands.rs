@@ -11,6 +11,7 @@ use asynoc::{
 use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
 
 use crate::args::{Command, CommonOptions, USAGE};
+use crate::profile::ProfileWriter;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -55,6 +56,19 @@ pub(crate) fn network(arch: Architecture, common: &CommonOptions) -> Result<Netw
     Ok(Network::new(config)?)
 }
 
+/// `saturate`/`sweep` drive many runs through one invocation: a single
+/// `--profile` file would silently keep only the last, so the flag is
+/// an explicit error there (as the usage text documents).
+fn reject_profile(command: &str, common: &CommonOptions) -> Result<(), CliError> {
+    if common.profile.is_some() {
+        return Err(CliError::Invalid(format!(
+            "--profile is not available on `{command}` (it drives many runs; \
+             profile a single `run` or `mesh` invocation instead)"
+        )));
+    }
+    Ok(())
+}
+
 pub(crate) fn phases_for(benchmark: asynoc::Benchmark, common: &CommonOptions) -> Phases {
     let default = Phases::paper_standard(benchmark == asynoc::Benchmark::MulticastStatic);
     let warmup = common.warmup_ns.map_or(default.warmup(), Duration::from_ns);
@@ -75,6 +89,7 @@ fn run_across_seeds(
     common: &CommonOptions,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
+    let mut profiler = ProfileWriter::when(common.profile.as_ref(), "run");
     let seed_list: Vec<u64> = (0..seeds as u64).map(|k| common.seed + k).collect();
     let reports = parallel_map(common.jobs, seed_list, |seed| {
         let options = CommonOptions {
@@ -85,7 +100,9 @@ fn run_across_seeds(
         let run = RunConfig::new(benchmark, rate)
             .map_err(CliError::from)?
             .with_phases(phases_for(benchmark, &options))
-            .with_shards(options.shards);
+            .with_shards(options.shards)
+            .with_profile(options.profile.is_some())
+            .with_progress(options.progress);
         Ok::<_, CliError>((seed, net.run(&run)?))
     });
 
@@ -102,6 +119,16 @@ fn run_across_seeds(
     let mut means_ps = Vec::with_capacity(seeds);
     for result in reports {
         let (seed, mut report) = result?;
+        if let (Some(profiler), Some(profile)) = (profiler.as_mut(), &report.profile) {
+            let options = CommonOptions {
+                seed,
+                ..common.clone()
+            };
+            profiler.add_run(
+                crate::metrics::config_json(Some(arch), benchmark, rate, common.size, &options),
+                profile,
+            );
+        }
         let mean = report.latency.mean();
         means_ps.push(mean.map(|d| d.as_ps() as f64).unwrap_or_default());
         writeln!(
@@ -129,6 +156,9 @@ fn run_across_seeds(
         "mean latency across seeds: {:.0} ps +/- {:.0} ps (sample std dev)",
         mean, std_dev
     )?;
+    if let Some(profiler) = profiler {
+        profiler.finish()?;
+    }
     Ok(())
 }
 
@@ -153,11 +183,26 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             if *seeds > 1 {
                 return run_across_seeds(*arch, *benchmark, *rate, *seeds, common, out);
             }
+            let mut profiler = ProfileWriter::when(common.profile.as_ref(), "run");
             let net = network(*arch, common)?;
             let run = RunConfig::new(*benchmark, *rate)?
                 .with_phases(phases_for(*benchmark, common))
-                .with_shards(common.shards);
+                .with_shards(common.shards)
+                .with_profile(profiler.is_some())
+                .with_progress(common.progress);
             let mut report = net.run(&run)?;
+            if let (Some(profiler), Some(profile)) = (profiler.as_mut(), &report.profile) {
+                profiler.add_run(
+                    crate::metrics::config_json(
+                        Some(*arch),
+                        *benchmark,
+                        *rate,
+                        common.size,
+                        common,
+                    ),
+                    profile,
+                );
+            }
             writeln!(
                 out,
                 "{arch} ({}x{}) x {benchmark} @ {rate} flits/ns per source",
@@ -197,6 +242,9 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                     writeln!(out, "    {line}")?;
                 }
             }
+            if let Some(profiler) = profiler {
+                profiler.finish()?;
+            }
             Ok(())
         }
         Command::Saturate {
@@ -206,6 +254,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             probe_fan,
             common,
         } => {
+            reject_profile("saturate", common)?;
             let net = network(*arch, common)?;
             let mut quality = if *quick {
                 Quality::quick()
@@ -238,6 +287,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             steps,
             common,
         } => {
+            reject_profile("sweep", common)?;
             let net = network(*arch, common)?;
             writeln!(out, "{arch} x {benchmark}: latency vs offered load")?;
             writeln!(
@@ -285,17 +335,28 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             rows,
             common,
         } => {
+            let mut profiler = ProfileWriter::when(common.profile.as_ref(), "mesh");
             let size = MeshSize::new(*cols, *rows).map_err(|e| CliError::Invalid(e.to_string()))?;
             let network = MeshNetwork::new(
                 MeshConfig::new(size)
                     .with_seed(common.seed)
                     .with_flits_per_packet(common.flits)
-                    .with_shards(common.shards),
+                    .with_shards(common.shards)
+                    .with_profile(profiler.is_some())
+                    .with_progress(common.progress),
             )
             .map_err(|e| CliError::Invalid(e.to_string()))?;
             let mut report = network
                 .run(*benchmark, *rate, phases_for(*benchmark, common))
                 .map_err(|e| CliError::Invalid(e.to_string()))?;
+            if let (Some(profiler), Some(profile)) = (profiler.as_mut(), &report.profile) {
+                // The mesh is cols x rows; `size` records the column count
+                // (square in every default invocation).
+                profiler.add_run(
+                    crate::metrics::config_json(None, *benchmark, *rate, *cols, common),
+                    profile,
+                );
+            }
             writeln!(out, "{size} x {benchmark} @ {rate} flits/ns per endpoint")?;
             writeln!(out, "  packets measured : {}", report.packets_measured)?;
             if report.packets_incomplete > 0 || report.acceptance() < 0.95 {
@@ -311,6 +372,9 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             }
             writeln!(out, "  throughput       : {}", report.throughput)?;
             writeln!(out, "  mean hops        : {:.2}", report.mean_hops)?;
+            if let Some(profiler) = profiler {
+                profiler.finish()?;
+            }
             Ok(())
         }
         Command::Metrics {
@@ -345,6 +409,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             top,
             heatmap,
             lenient,
+            profile,
         } => crate::analyze::execute_analyze(
             &crate::analyze::AnalyzeRequest {
                 trace_in: trace_in.clone(),
@@ -352,6 +417,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 top: *top,
                 heatmap: *heatmap,
                 lenient: *lenient,
+                profile: profile.clone(),
             },
             out,
         ),
@@ -520,6 +586,90 @@ mod tests {
         assert!(text.contains("4x4 mesh"));
         assert!(text.contains("mean hops"));
         assert!(!text.contains("WARNING"));
+    }
+
+    #[test]
+    fn profiled_run_writes_the_document_and_leaves_stdout_unchanged() {
+        use asynoc_telemetry::JsonValue;
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "asynoc-cli-profile-test-{}.json",
+            std::process::id()
+        ));
+        let path = path.to_string_lossy().into_owned();
+        let base = "run --arch OptHybridSpeculative --benchmark Multicast5 --rate 0.2 \
+                    --shards 2 --warmup-ns 40 --measure-ns 300";
+        let plain = run_cli(base);
+        let profiled = run_cli(&format!("{base} --profile {path}"));
+        // The profile goes to its file only — stdout must stay
+        // byte-identical (check.sh diffs exactly this).
+        assert_eq!(plain, profiled);
+        let doc = JsonValue::parse(&std::fs::read_to_string(&path).expect("profile file"))
+            .expect("profile document is valid JSON");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(asynoc::probe::PROFILE_SCHEMA)
+        );
+        let runs = doc.get("runs").and_then(JsonValue::as_array).expect("runs");
+        assert_eq!(runs.len(), 1);
+        let shards = runs[0]
+            .get("shards")
+            .and_then(JsonValue::as_array)
+            .expect("per-shard sections");
+        assert_eq!(shards.len(), 2, "one section per shard");
+        for shard in shards {
+            assert!(
+                shard.get("events").and_then(JsonValue::as_f64).unwrap() > 0.0,
+                "both shards executed events"
+            );
+            assert!(
+                shard
+                    .get("barrier_wait")
+                    .and_then(|h| h.get("count"))
+                    .and_then(JsonValue::as_f64)
+                    .unwrap()
+                    > 0.0,
+                "sharded runs wait at the window barrier"
+            );
+        }
+        let imbalance = runs[0].get("imbalance").expect("imbalance summary");
+        assert!(
+            imbalance
+                .get("event_ratio")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                >= 1.0
+        );
+    }
+
+    #[test]
+    fn profile_is_rejected_on_multi_run_commands() {
+        // Parse rejects the flag up front (the binary exits 2 with
+        // usage, like every other flag-scope violation)...
+        for line in [
+            "saturate --arch Baseline --benchmark Hotspot --quick --profile p.json",
+            "sweep --arch Baseline --benchmark Shuffle --from 0.1 --to 0.2 --steps 2 \
+             --profile p.json",
+        ] {
+            let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+            let err = parse(&args).expect_err("--profile must not parse here");
+            assert!(err.to_string().contains("--profile"), "{err}");
+        }
+        // ...and execute guards commands constructed directly.
+        let command = Command::Saturate {
+            arch: Architecture::Baseline,
+            benchmark: asynoc::Benchmark::Hotspot,
+            quick: true,
+            probe_fan: 1,
+            common: CommonOptions {
+                profile: Some("p.json".to_string()),
+                ..CommonOptions::default()
+            },
+        };
+        let mut out = Vec::new();
+        let err = execute(&command, &mut out).unwrap_err();
+        assert!(err.to_string().contains("--profile"), "{err}");
     }
 
     #[test]

@@ -148,7 +148,9 @@ fn run_pair(
             let plan = resolve_plan(request, &domain)?;
             let run = asynoc::RunConfig::new(request.benchmark, request.rate)?
                 .with_phases(phases_for(request.benchmark, &request.common))
-                .with_shards(request.common.shards);
+                .with_shards(request.common.shards)
+                .with_profile(request.common.profile.is_some())
+                .with_progress(request.common.progress);
             let faulted = run_mot_outcome(&net, &run, Some(&plan))?;
             let clean = request
                 .oracle
@@ -164,6 +166,19 @@ fn run_pair(
                 request.common.shards,
             )
             .map_err(|e| invalid(&e))?;
+            // The standard differential constructor predates the profile
+            // flags; rebuild only when one was asked for.
+            let net = if request.common.profile.is_some() || request.common.progress {
+                asynoc_mesh::MeshNetwork::new(
+                    net.config()
+                        .clone()
+                        .with_profile(request.common.profile.is_some())
+                        .with_progress(request.common.progress),
+                )
+                .map_err(|e| invalid(&e))?
+            } else {
+                net
+            };
             let domain = net.fault_domain();
             let plan = resolve_plan(request, &domain)?;
             let phases = phases_for(request.benchmark, &request.common);
@@ -199,7 +214,18 @@ fn resolve_plan(request: &FaultsRequest, domain: &FaultDomain) -> Result<FaultPl
 ///
 /// Returns a [`CliError`] on simulation, plan, I/O, or oracle failure.
 pub fn execute_faults(request: &FaultsRequest, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut profiler =
+        crate::profile::ProfileWriter::when(request.common.profile.as_ref(), "faults");
     let (domain, plan, faulted, clean) = run_pair(request)?;
+    if let Some(profiler) = profiler.as_mut() {
+        // One `runs[]` entry per simulation: the faulted run first, then
+        // (under --oracle) its clean twin with the same identity keys.
+        for outcome in std::iter::once(&faulted).chain(clean.as_ref()) {
+            if let Some(profile) = &outcome.profile {
+                profiler.add_run(config_json(request), profile);
+            }
+        }
+    }
     let verdict: Option<OracleVerdict> = clean
         .as_ref()
         .map(|clean| judge(clean, &faulted, &plan, &domain));
@@ -233,6 +259,9 @@ pub fn execute_faults(request: &FaultsRequest, out: &mut dyn Write) -> Result<()
         }
         // Bare stdout stays pure JSON so pipelines can parse it.
         None => out.write_all(rendered.as_bytes())?,
+    }
+    if let Some(profiler) = profiler {
+        profiler.finish()?;
     }
 
     if let Some(verdict) = &verdict {

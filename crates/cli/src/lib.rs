@@ -21,6 +21,7 @@ pub mod args;
 pub mod commands;
 pub mod faults;
 pub mod metrics;
+pub mod profile;
 
 pub use args::{parse, Command, ParseCliError};
 pub use commands::execute;

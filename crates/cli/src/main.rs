@@ -4,6 +4,12 @@ use std::process::ExitCode;
 
 use asynoc_cli::args::USAGE;
 
+// Count heap traffic so `--profile` reports a live `allocations` figure
+// (library users of `asynoc-cli` who keep the system allocator simply
+// read 0 there).
+#[global_allocator]
+static GLOBAL: asynoc::probe::CountingAlloc = asynoc::probe::CountingAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match asynoc_cli::parse(&args) {

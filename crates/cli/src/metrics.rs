@@ -95,7 +95,9 @@ impl<N: Copy> Tracers<N> {
     }
 }
 
-fn config_json(
+/// The identity keys a run is reproducible from — shared by the metrics
+/// report's `config` section and the profile document's per-run `config`.
+pub(crate) fn config_json(
     arch: Option<Architecture>,
     benchmark: Benchmark,
     rate: f64,
@@ -231,9 +233,17 @@ fn mot_label(size: MotSize) -> impl Fn(MotNode) -> String + Copy {
     }
 }
 
+/// One substrate run's outputs: the report document, the rendered trace
+/// (if requested), and the engine's self-profile (if requested).
+type MetricsRun = (
+    JsonValue,
+    Option<String>,
+    Option<Box<asynoc::probe::EngineProfile>>,
+);
+
 /// Runs the MoT substrate with the full telemetry stack and assembles
 /// the report document (plus the rendered trace, if requested).
-fn run_mot(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliError> {
+fn run_mot(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
     let arch = request
         .arch
         .expect("parser guarantees --arch on the mot substrate");
@@ -246,7 +256,9 @@ fn run_mot(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliE
     let phases = phases_for(request.benchmark, &request.common);
     let run = RunConfig::new(request.benchmark, request.rate)?
         .with_phases(phases)
-        .with_shards(request.common.shards);
+        .with_shards(request.common.shards)
+        .with_profile(request.common.profile.is_some())
+        .with_progress(request.common.progress);
 
     let mut latency = LatencyHistograms::new(phases, size.n());
     let levels = size.levels() as usize;
@@ -287,7 +299,8 @@ fn run_mot(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliE
     let mut extra: Vec<&mut dyn Observer<MotNode>> =
         vec![&mut latency, &mut timeseries, &mut waste];
     tracers.push_into(&mut extra);
-    let report = net.run_with_observers(&run, &mut extra)?;
+    let mut report = net.run_with_observers(&run, &mut extra)?;
+    let engine_profile = report.profile.take();
 
     // mW = fJ/ps, so dynamic energy over the window is mW x ps (in fJ).
     let dynamic_fj = report.power.dynamic_mw() * phases.measure().as_ps() as f64;
@@ -338,19 +351,21 @@ fn run_mot(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliE
         drop_fj: Some(drop_fj),
         dropped_events: 0,
     };
-    Ok((doc, tracers.render(meta)))
+    Ok((doc, tracers.render(meta), engine_profile))
 }
 
 /// Runs the mesh substrate with the substrate-agnostic subset of the
 /// stack (the mesh has no energy model, so `waste` and `power` are null).
-fn run_mesh(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), CliError> {
+fn run_mesh(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
     let size = MeshSize::new(request.common.size, request.common.size)
         .map_err(|e| CliError::Invalid(e.to_string()))?;
     let net = MeshNetwork::new(
         MeshConfig::new(size)
             .with_seed(request.common.seed)
             .with_flits_per_packet(request.common.flits)
-            .with_shards(request.common.shards),
+            .with_shards(request.common.shards)
+            .with_profile(request.common.profile.is_some())
+            .with_progress(request.common.progress),
     )
     .map_err(|e| CliError::Invalid(e.to_string()))?;
     let phases = phases_for(request.benchmark, &request.common);
@@ -367,9 +382,10 @@ fn run_mesh(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), Cli
 
     let mut extra: Vec<&mut dyn Observer<usize>> = vec![&mut latency, &mut timeseries];
     tracers.push_into(&mut extra);
-    let report: MeshReport = net
+    let mut report: MeshReport = net
         .run_with_observers(request.benchmark, request.rate, phases, &mut extra)
         .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let engine_profile = report.profile.take();
 
     let doc = JsonValue::Object(vec![
         ("schema".to_string(), JsonValue::str(METRICS_SCHEMA)),
@@ -418,18 +434,20 @@ fn run_mesh(request: &MetricsRequest) -> Result<(JsonValue, Option<String>), Cli
         drop_fj: None,
         dropped_events: 0,
     };
-    Ok((doc, tracers.render(meta)))
+    Ok((doc, tracers.render(meta), engine_profile))
 }
 
 /// Executes a `metrics` command: runs the instrumented simulation, then
-/// writes the JSON report (to `--metrics-out` or `out`) and the trace
-/// (to `--trace-out`, when requested).
+/// writes the JSON report (to `--metrics-out` or `out`), the trace
+/// (to `--trace-out`, when requested), and the self-profile (to
+/// `--profile`, when requested).
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] on simulation, configuration, or I/O failure.
 pub fn execute_metrics(request: &MetricsRequest, out: &mut dyn Write) -> Result<(), CliError> {
-    let (doc, trace) = match request.substrate {
+    let profiler = crate::profile::ProfileWriter::when(request.common.profile.as_ref(), "metrics");
+    let (doc, trace, engine_profile) = match request.substrate {
         Substrate::Mot => run_mot(request)?,
         Substrate::Mesh => run_mesh(request)?,
     };
@@ -447,6 +465,25 @@ pub fn execute_metrics(request: &MetricsRequest, out: &mut dyn Write) -> Result<
         if request.metrics_out.is_some() {
             writeln!(out, "trace written to {path}")?;
         }
+    }
+    if let Some(mut profiler) = profiler {
+        if let Some(engine_profile) = &engine_profile {
+            let arch = match request.substrate {
+                Substrate::Mot => request.arch,
+                Substrate::Mesh => None,
+            };
+            profiler.add_run(
+                config_json(
+                    arch,
+                    request.benchmark,
+                    request.rate,
+                    request.common.size,
+                    &request.common,
+                ),
+                engine_profile,
+            );
+        }
+        profiler.finish()?;
     }
     Ok(())
 }

@@ -165,6 +165,8 @@ pub struct RunConfig {
     trace_limit: usize,
     scheduler: SchedulerKind,
     shards: usize,
+    profile: bool,
+    progress: bool,
 }
 
 impl RunConfig {
@@ -188,6 +190,8 @@ impl RunConfig {
             trace_limit: 0,
             scheduler: SchedulerKind::default(),
             shards: 1,
+            profile: false,
+            progress: false,
         })
     }
 
@@ -293,6 +297,38 @@ impl RunConfig {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Enables runtime self-profiling: the engine fills
+    /// [`RunReport::profile`](crate::RunReport::profile) with per-shard
+    /// counters, histograms, and phase wall-clock splits. Simulation
+    /// results are bit-identical with profiling on or off — only host-side
+    /// metadata is collected.
+    #[must_use]
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Whether the run collects an engine profile (default off).
+    #[must_use]
+    pub fn profile(&self) -> bool {
+        self.profile
+    }
+
+    /// Enables the stderr progress heartbeat (a single line refreshed a
+    /// few times per second; suppressed when stderr is not a terminal).
+    /// Like profiling, it never perturbs simulation results.
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Whether the run prints a progress heartbeat (default off).
+    #[must_use]
+    pub fn progress(&self) -> bool {
+        self.progress
     }
 }
 

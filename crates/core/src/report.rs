@@ -191,6 +191,11 @@ pub struct RunReport {
     /// Host wall-clock time the run took. Excluded from determinism
     /// comparisons; use it to gauge simulator (not network) performance.
     pub wall: std::time::Duration,
+    /// The engine's self-profile — per-shard scheduler/pool counters,
+    /// barrier-wait histograms, and phase wall splits. `None` unless the
+    /// run enabled [`RunConfig::with_profile`](crate::RunConfig::with_profile);
+    /// host-side metadata only, never part of determinism comparisons.
+    pub profile: Option<Box<asynoc_engine::probe::EngineProfile>>,
 }
 
 impl RunReport {
@@ -205,13 +210,15 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "packets={} latency[{}] throughput[{}] power[{}] throttled={} events={} wall={:?}",
+            "packets={} latency[{}] throughput[{}] power[{}] throttled={} events={} shards={} shard_events={:?} wall={:?}",
             self.packets_measured,
             self.latency,
             self.throughput,
             self.power,
             self.flits_throttled,
             self.events_processed,
+            self.shards,
+            self.shard_events,
             self.wall
         )
     }

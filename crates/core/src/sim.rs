@@ -249,7 +249,10 @@ impl Network {
         let mut extras = Extras(extra);
 
         let model = MotModel::new(&self.fabric, config.timing());
-        let spec = RunSpec::new(phases, run.drain()).with_scheduler(run.scheduler());
+        let spec = RunSpec::new(phases, run.drain())
+            .with_scheduler(run.scheduler())
+            .with_profile(run.profile())
+            .with_progress(run.progress());
         let observers: &mut [&mut dyn Observer<MotNode>] =
             &mut [&mut power, &mut activity, &mut trace, &mut extras];
         let shards = run.shards();
@@ -277,6 +280,7 @@ impl Network {
             shards: engine.shards,
             shard_events: engine.shard_events,
             wall: engine.wall,
+            profile: engine.profile,
         })
     }
 }

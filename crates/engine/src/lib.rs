@@ -56,6 +56,10 @@ mod session;
 mod shard;
 
 pub use asynoc_kernel::parallel_map;
+/// The profiling vocabulary [`EngineReport::profile`] is expressed in
+/// (re-exported so downstream crates need no direct `asynoc-probe`
+/// dependency just to read a profile).
+pub use asynoc_probe as probe;
 pub use fault::{ArmedFaults, FaultDomain, FaultSummary, SourceFaultAction};
 pub use observer::{ForwardInfo, Observer, SimEvent};
 pub use session::{

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use asynoc_packet::PacketDescriptor;
+use asynoc_probe::PoolStats;
 
 /// A bounded free-list of packet descriptors.
 pub(crate) struct FlitPool {
@@ -20,6 +21,8 @@ pub(crate) struct FlitPool {
     /// Recycles beyond this population are dropped; bounds memory on
     /// pathological workloads without affecting the steady state.
     cap: usize,
+    /// Behavior counters ([`FlitPool::stats`]); plain adds, always on.
+    stats: PoolStats,
 }
 
 impl FlitPool {
@@ -28,7 +31,14 @@ impl FlitPool {
         FlitPool {
             free: Vec::with_capacity(cap),
             cap,
+            stats: PoolStats::default(),
         }
+    }
+
+    /// The pool's behavior counters so far: takes, recycle hits, and the
+    /// occupancy high-water mark.
+    pub(crate) fn stats(&self) -> PoolStats {
+        self.stats
     }
 
     /// Returns a descriptor whose storage can be rewritten in place, or
@@ -39,8 +49,10 @@ impl FlitPool {
     /// while sibling copies are still in flight — those entries are
     /// simply dropped here, releasing their refcount.
     pub(crate) fn take(&mut self) -> Option<Arc<PacketDescriptor>> {
+        self.stats.takes += 1;
         while let Some(descriptor) = self.free.pop() {
             if Arc::strong_count(&descriptor) == 1 {
+                self.stats.hits += 1;
                 return Some(descriptor);
             }
         }
@@ -53,6 +65,11 @@ impl FlitPool {
     pub(crate) fn recycle(&mut self, descriptor: Arc<PacketDescriptor>) {
         if self.free.len() < self.cap && Arc::strong_count(&descriptor) == 1 {
             self.free.push(descriptor);
+            self.stats.recycled += 1;
+            self.stats.occupancy_high_water =
+                self.stats.occupancy_high_water.max(self.free.len() as u64);
+        } else {
+            self.stats.rejected += 1;
         }
     }
 

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use asynoc_kernel::{Duration, FaultClass, SchedulerKind, SchedulerQueue, Time};
 use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader, RouteSymbol};
+use asynoc_probe::{EngineProfile, EventKindCounts, PhaseWall, ProgressMeter, ShardProfile};
 use asynoc_stats::throughput::ThroughputReport;
 use asynoc_stats::{LatencyStats, Phases, ThroughputCounter};
 use asynoc_traffic::SourceTraffic;
@@ -124,6 +125,16 @@ pub struct RunSpec {
     /// Pre-sized event-queue capacity, or `None` to derive one from the
     /// model's channel and endpoint counts (avoids early regrow churn).
     pub queue_capacity: Option<usize>,
+    /// Collect a runtime self-profile ([`EngineReport::profile`]): host
+    /// wall-clock phase splits, queue/pool counters, and — on sharded
+    /// runs — per-shard barrier-wait histograms and mailbox traffic.
+    /// Profiling only reads clocks and counters; the simulated results
+    /// stay bit-identical with it on or off.
+    pub profile: bool,
+    /// Draw a single-line stderr heartbeat (events done, rate, per-shard
+    /// lag) while the run executes. Suppressed automatically when stderr
+    /// is not a terminal unless `ASYNOC_PROGRESS_FORCE` is set.
+    pub progress: bool,
 }
 
 impl RunSpec {
@@ -136,6 +147,8 @@ impl RunSpec {
             drain,
             scheduler: SchedulerKind::default(),
             queue_capacity: None,
+            profile: false,
+            progress: false,
         }
     }
 
@@ -151,6 +164,104 @@ impl RunSpec {
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = Some(capacity);
         self
+    }
+
+    /// Enables or disables runtime self-profiling (see
+    /// [`RunSpec::profile`]).
+    #[must_use]
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Enables or disables the stderr progress heartbeat (see
+    /// [`RunSpec::progress`]).
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+}
+
+/// How often the progress heartbeat may redraw.
+pub(crate) const PROGRESS_INTERVAL_MS: u64 = 250;
+/// Event-count mask between heartbeat ticks: the run loop only consults
+/// the wall clock every `PROGRESS_TICK_MASK + 1` events.
+pub(crate) const PROGRESS_TICK_MASK: u64 = 0xFFF;
+
+/// The heartbeat a serial run owns outright (sharded runs build one
+/// shared meter in the sharded runner instead).
+fn serial_progress(spec: &RunSpec) -> Option<Arc<ProgressMeter>> {
+    if spec.progress {
+        ProgressMeter::stderr(1, PROGRESS_INTERVAL_MS).map(Arc::new)
+    } else {
+        None
+    }
+}
+
+/// The host wall-clock phase tracker of a profiled run: stamps the
+/// simulated-phase boundary crossings (warmup → measurement → drain) so
+/// the profile can say where the *host's* time went. Boxed behind an
+/// `Option` in [`Ctx`]; a non-profiled run pays one predictable branch
+/// per event and never reads the clock.
+#[derive(Debug)]
+pub(crate) struct RunProf {
+    measure_start: Time,
+    injection_end: Time,
+    /// 0 = warmup, 1 = measurement, 2 = drain.
+    stage: u8,
+    stamp: std::time::Instant,
+    wall: PhaseWall,
+}
+
+impl RunProf {
+    fn new(phases: Phases) -> Self {
+        RunProf {
+            measure_start: Time::ZERO + phases.warmup(),
+            injection_end: phases.measurement_end(),
+            stage: 0,
+            stamp: std::time::Instant::now(),
+            wall: PhaseWall::default(),
+        }
+    }
+
+    /// Notes that the run is about to execute an event at `t`, closing
+    /// any simulated phase the event has moved past. Reads the clock
+    /// only at the two boundary crossings.
+    #[inline]
+    fn note(&mut self, t: Time) {
+        while self.stage < 2 {
+            let boundary = if self.stage == 0 {
+                self.measure_start
+            } else {
+                self.injection_end
+            };
+            if t < boundary {
+                break;
+            }
+            let now = std::time::Instant::now();
+            let elapsed = u64::try_from((now - self.stamp).as_nanos()).unwrap_or(u64::MAX);
+            if self.stage == 0 {
+                self.wall.warmup_ns += elapsed;
+            } else {
+                self.wall.measure_ns += elapsed;
+            }
+            self.stamp = now;
+            self.stage += 1;
+        }
+    }
+
+    /// Closes the profile, attributing the remaining time to whichever
+    /// phase the run ended in.
+    fn close(self) -> PhaseWall {
+        let mut wall = self.wall;
+        let elapsed = u64::try_from(self.stamp.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        match self.stage {
+            0 => wall.warmup_ns += elapsed,
+            1 => wall.measure_ns += elapsed,
+            _ => wall.drain_ns += elapsed,
+        }
+        wall
     }
 }
 
@@ -179,6 +290,8 @@ pub struct EngineReport {
     pub shard_events: Vec<u64>,
     /// Host wall-clock time the run took.
     pub wall: std::time::Duration,
+    /// The runtime self-profile, when [`RunSpec::profile`] was set.
+    pub profile: Option<Box<EngineProfile>>,
 }
 
 /// Events driving a simulation.
@@ -333,6 +446,13 @@ pub struct Ctx<'obs, 'run, N> {
     flits_throttled: u64,
     flits_delivered: u64,
     events_processed: u64,
+    /// Per-kind event counts (always on; a u64 add per event).
+    kinds: EventKindCounts,
+    /// Phase wall-clock tracker, armed by [`RunSpec::profile`].
+    prof: Option<Box<RunProf>>,
+    /// Progress heartbeat, armed by [`RunSpec::progress`] (shared with
+    /// the other shards of a sharded run).
+    progress: Option<Arc<ProgressMeter>>,
 
     observers: &'run mut [&'obs mut dyn Observer<N>],
     /// Armed fault tables, or `None` on clean runs (one branch per hook
@@ -621,7 +741,8 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         spec: RunSpec,
         observers: &'run mut [&'obs mut dyn Observer<M::Node>],
     ) -> Self {
-        Session::build(model, traffic, spec, observers, None, None, None)
+        let progress = serial_progress(&spec);
+        Session::build(model, traffic, spec, observers, None, None, None, progress)
     }
 
     /// Prepares a simulation with an armed fault table threaded into the
@@ -637,7 +758,17 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         observers: &'run mut [&'obs mut dyn Observer<M::Node>],
         faults: &'run mut ArmedFaults,
     ) -> Self {
-        Session::build(model, traffic, spec, observers, Some(faults), None, None)
+        let progress = serial_progress(&spec);
+        Session::build(
+            model,
+            traffic,
+            spec,
+            observers,
+            Some(faults),
+            None,
+            None,
+            progress,
+        )
     }
 
     /// Prepares one shard of a sharded run: the session owns only the
@@ -651,6 +782,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         faults: Option<&'run mut ArmedFaults>,
         shard: Box<ShardState<M::Node>>,
         queue: SchedulerQueue<Event<M::Node>>,
+        progress: Option<Arc<ProgressMeter>>,
     ) -> Self
     where
         'obs: 'run,
@@ -663,9 +795,11 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             faults,
             Some(shard),
             Some(queue),
+            progress,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         model: M,
         traffic: Vec<SourceTraffic>,
@@ -674,6 +808,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         faults: Option<&'run mut ArmedFaults>,
         shard: Option<Box<ShardState<M::Node>>>,
         queue: Option<SchedulerQueue<Event<M::Node>>>,
+        progress: Option<Arc<ProgressMeter>>,
     ) -> Self {
         let n = model.endpoints();
         assert_eq!(traffic.len(), n, "one traffic generator per endpoint");
@@ -724,6 +859,9 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             flits_throttled: 0,
             flits_delivered: 0,
             events_processed: 0,
+            kinds: EventKindCounts::default(),
+            prof: spec.profile.then(|| Box::new(RunProf::new(spec.phases))),
+            progress,
             observers,
             faults,
         };
@@ -781,11 +919,31 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
                 break;
             }
             self.ctx.events_processed += 1;
+            if let Some(prof) = self.ctx.prof.as_deref_mut() {
+                prof.note(t);
+            }
             match event {
-                Event::Inject { source } => self.handle_inject(source),
-                Event::Arrive { channel } => self.handle_arrive(channel),
-                Event::FreeChannel { channel } => self.handle_free(channel),
-                Event::Retry { target } => self.wake(target),
+                Event::Inject { source } => {
+                    self.ctx.kinds.inject += 1;
+                    self.handle_inject(source);
+                }
+                Event::Arrive { channel } => {
+                    self.ctx.kinds.arrive += 1;
+                    self.handle_arrive(channel);
+                }
+                Event::FreeChannel { channel } => {
+                    self.ctx.kinds.free += 1;
+                    self.handle_free(channel);
+                }
+                Event::Retry { target } => {
+                    self.ctx.kinds.retry += 1;
+                    self.wake(target);
+                }
+            }
+            if self.ctx.events_processed & PROGRESS_TICK_MASK == 0 {
+                if let Some(progress) = &self.ctx.progress {
+                    progress.record(0, self.ctx.events_processed);
+                }
             }
             if self.ctx.drain
                 && self.ctx.now >= self.ctx.injection_end
@@ -797,7 +955,27 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
     }
 
     fn finish(self, start: std::time::Instant) -> (EngineReport, M) {
+        let pool_stats = self.pool.stats();
         let ctx = self.ctx;
+        if let Some(progress) = &ctx.progress {
+            progress.finish();
+        }
+        let wall = start.elapsed();
+        let profile = ctx.prof.map(|prof| {
+            Box::new(EngineProfile {
+                wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+                lookahead_ps: 0,
+                shards: vec![ShardProfile {
+                    shard: 0,
+                    events: ctx.events_processed,
+                    kinds: ctx.kinds,
+                    queue: ctx.queue.stats(),
+                    pool: pool_stats,
+                    phase: prof.close(),
+                    ..ShardProfile::default()
+                }],
+            })
+        });
         let throughput = ctx.throughput.per_source_gfs(ctx.phases.measure());
         let packets_measured = ctx.latency.count();
         let report = EngineReport {
@@ -810,7 +988,8 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             events_processed: ctx.events_processed,
             shards: 1,
             shard_events: vec![ctx.events_processed],
-            wall: start.elapsed(),
+            wall,
+            profile,
         };
         (report, self.model)
     }
@@ -834,19 +1013,40 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
         while self.ctx.queue.peek_time().is_some_and(|t| t < end) {
             let (t, event) = self.ctx.queue.pop().expect("peeked non-empty");
             self.ctx.now = t;
+            if let Some(prof) = self.ctx.prof.as_deref_mut() {
+                prof.note(t);
+            }
             let key = event_key(&event);
             let fault_before = self.ctx.faults.as_deref().map(ArmedFaults::summary);
-            {
+            let (shard_index, occ) = {
                 let shard = self.ctx.shard.as_mut().expect("sharded session");
                 shard.occ += 1;
                 let occ = shard.occ;
                 shard.records.push(EventRecord::open(t, key, occ));
-            }
+                (shard.shard, occ)
+            };
             match event {
-                Event::Inject { source } => self.handle_inject(source),
-                Event::Arrive { channel } => self.handle_arrive(channel),
-                Event::FreeChannel { channel } => self.handle_free(channel),
-                Event::Retry { target } => self.wake(target),
+                Event::Inject { source } => {
+                    self.ctx.kinds.inject += 1;
+                    self.handle_inject(source);
+                }
+                Event::Arrive { channel } => {
+                    self.ctx.kinds.arrive += 1;
+                    self.handle_arrive(channel);
+                }
+                Event::FreeChannel { channel } => {
+                    self.ctx.kinds.free += 1;
+                    self.handle_free(channel);
+                }
+                Event::Retry { target } => {
+                    self.ctx.kinds.retry += 1;
+                    self.wake(target);
+                }
+            }
+            if occ & PROGRESS_TICK_MASK == 0 {
+                if let Some(progress) = &self.ctx.progress {
+                    progress.record(shard_index, occ);
+                }
             }
             let fault_delta = fault_before.and_then(|before| {
                 let after = self.ctx.faults.as_deref().expect("still armed").summary();
@@ -907,15 +1107,33 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
     }
 
     /// Tears one finished shard down into what the fold consumes.
+    ///
+    /// The shard's profile section carries what the *session* observed
+    /// (events, kinds, queue/pool counters, phase wall split); the
+    /// worker loop fills in the window-protocol figures (windows,
+    /// barrier waits, mailbox traffic) it alone can see.
     pub(crate) fn into_shard_parts(self) -> crate::shard::ShardParts<M> {
+        let pool_stats = self.pool.stats();
         let ctx = self.ctx;
         let shard = *ctx.shard.expect("sharded session");
+        let profile = ctx.prof.map(|prof| {
+            Box::new(ShardProfile {
+                shard: shard.shard,
+                events: shard.occ,
+                kinds: ctx.kinds,
+                queue: ctx.queue.stats(),
+                pool: pool_stats,
+                phase: prof.close(),
+                ..ShardProfile::default()
+            })
+        });
         crate::shard::ShardParts {
             records: shard.records,
             pre_end_events: shard.pre_end_events,
             throughput: ctx.throughput,
             flits_throttled: ctx.flits_throttled,
             flits_delivered: ctx.flits_delivered,
+            profile,
             model: self.model,
         }
     }

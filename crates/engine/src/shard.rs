@@ -41,6 +41,7 @@ use asynoc_kernel::{
     Duration, FaultClass, Mailboxes, SchedulerQueue, ShardedScheduler, Time, WindowBarrier,
 };
 use asynoc_packet::{DestSet, Flit};
+use asynoc_probe::{EngineProfile, HostHistogram, ProfileSink, ProgressMeter, ShardProfile};
 use asynoc_stats::{LatencyStats, ThroughputCounter};
 use asynoc_traffic::SourceTraffic;
 
@@ -48,7 +49,7 @@ use crate::fault::{ArmedFaults, FaultSummary};
 use crate::observer::{ForwardInfo, Observer, SimEvent};
 use crate::session::{
     run, run_with_faults, DetHashState, EngineReport, Event, NodeRef, Pending, RunSpec, Session,
-    SimModel,
+    SimModel, PROGRESS_INTERVAL_MS,
 };
 
 // ---------------------------------------------------------------------
@@ -412,6 +413,8 @@ pub(crate) struct ShardParts<M: SimModel> {
     pub(crate) throughput: ThroughputCounter,
     pub(crate) flits_throttled: u64,
     pub(crate) flits_delivered: u64,
+    /// This shard's profile section, when the run was profiled.
+    pub(crate) profile: Option<Box<ShardProfile>>,
     pub(crate) model: M,
 }
 
@@ -497,6 +500,11 @@ fn run_sharded_inner<M: ShardModel>(
     let partition = Arc::new(partition);
     let record_obs = !observers.is_empty();
     let base_summary = faults.as_deref().map(ArmedFaults::summary);
+    let progress = if spec.progress {
+        ProgressMeter::stderr(shard_count, PROGRESS_INTERVAL_MS).map(Arc::new)
+    } else {
+        None
+    };
 
     let parts: Vec<ShardParts<M>> = std::thread::scope(|scope| {
         let handles: Vec<_> = scheduler
@@ -510,6 +518,7 @@ fn run_sharded_inner<M: ShardModel>(
                 let state = ShardState::new(shard, Arc::clone(&partition), record_obs);
                 let barrier = &barrier;
                 let mailboxes = &mailboxes;
+                let progress = progress.clone();
                 scope.spawn(move || {
                     run_shard_worker(
                         model,
@@ -523,6 +532,7 @@ fn run_sharded_inner<M: ShardModel>(
                         injection_end,
                         hard_cap,
                         lookahead,
+                        progress,
                     )
                 })
             })
@@ -535,6 +545,9 @@ fn run_sharded_inner<M: ShardModel>(
             })
             .collect()
     });
+    if let Some(progress) = &progress {
+        progress.finish();
+    }
 
     // ------------------------------------------------------------------
     // The fold: replay the merged record stream in serial order.
@@ -648,15 +661,26 @@ fn run_sharded_inner<M: ShardModel>(
     let mut flits_delivered = 0;
     let mut shard_events = Vec::with_capacity(shard_count);
     let mut shard_models = Vec::with_capacity(shard_count);
+    let mut shard_profiles = Vec::new();
     for (si, part) in parts.into_iter().enumerate() {
         throughput.absorb(&part.throughput);
         flits_throttled += part.flits_throttled;
         flits_delivered += part.flits_delivered;
         shard_events.push(part.pre_end_events + tail_events[si]);
         shard_models.push(part.model);
+        if let Some(profile) = part.profile {
+            shard_profiles.push(*profile);
+        }
     }
     model.merge_shards(shard_models);
 
+    let profile = spec.profile.then(|| {
+        Box::new(EngineProfile {
+            wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            lookahead_ps: lookahead.as_ps(),
+            shards: shard_profiles,
+        })
+    });
     let packets_measured = latency.count();
     let report = EngineReport {
         latency,
@@ -669,6 +693,7 @@ fn run_sharded_inner<M: ShardModel>(
         shards: shard_count,
         shard_events,
         wall: start.elapsed(),
+        profile,
     };
     (report, model)
 }
@@ -693,15 +718,40 @@ fn run_shard_worker<M: SimModel>(
     injection_end: Time,
     hard_cap: Time,
     lookahead: Duration,
+    progress: Option<Arc<ProgressMeter>>,
 ) -> ShardParts<M> {
     let shard = state.shard;
     let drain = spec.drain;
-    let mut session = Session::build_shard(model, traffic, spec, faults.as_mut(), state, queue);
+    // Window-protocol profiling: barrier waits are the only probes that
+    // read the host clock, so they sit behind the sink; the message
+    // counters are plain adds on the (cold) per-window path.
+    let sink = ProfileSink::new(spec.profile);
+    let mut windows = 0u64;
+    let mut barrier_wait = HostHistogram::new();
+    let mut sent = vec![0u64; mailboxes.shards()];
+    let mut received = 0u64;
+    let mut mailbox_high_water = 0u64;
+    let mut session = Session::build_shard(
+        model,
+        traffic,
+        spec,
+        faults.as_mut(),
+        state,
+        queue,
+        progress,
+    );
     let mut inbox: Vec<WireMsg> = Vec::new();
     // Publish the local frontier; every shard computes the same global
     // minimum and hence the same next window. `None` means globally
     // idle: the run quiesced.
-    while let Some(window_start) = barrier.publish_and_sync(shard, session.peek_time()) {
+    loop {
+        let wait = sink.start();
+        let Some(window_start) = barrier.publish_and_sync(shard, session.peek_time()) else {
+            break;
+        };
+        if let Some(wait) = wait {
+            barrier_wait.record(wait.elapsed());
+        }
         if !drain && window_start >= injection_end {
             break;
         }
@@ -715,17 +765,33 @@ fn run_shard_worker<M: SimModel>(
         } else {
             (window_start + lookahead).min(injection_end)
         };
+        windows += 1;
         session.execute_window(window_end);
         let mut outbox = session.take_outbox();
         for (to, message) in outbox.drain(..) {
-            mailboxes.send(to, message);
+            let depth = mailboxes.send(to, message);
+            sent[to] += 1;
+            mailbox_high_water = mailbox_high_water.max(depth as u64);
         }
         session.restore_outbox(outbox);
+        let wait = sink.start();
         barrier.flush_done();
+        if let Some(wait) = wait {
+            barrier_wait.record(wait.elapsed());
+        }
         mailboxes.drain_into(shard, &mut inbox);
+        received += inbox.len() as u64;
         for message in inbox.drain(..) {
             session.apply_wire_message(message);
         }
     }
-    session.into_shard_parts()
+    let mut parts = session.into_shard_parts();
+    if let Some(profile) = parts.profile.as_deref_mut() {
+        profile.windows = windows;
+        profile.barrier_wait = barrier_wait;
+        profile.sent = sent;
+        profile.received = received;
+        profile.mailbox_depth_high_water = mailbox_high_water;
+    }
+    parts
 }

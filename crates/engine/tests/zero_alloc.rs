@@ -1,12 +1,14 @@
 //! The zero-allocation steady-state guarantee.
 //!
-//! A counting global allocator wraps the system allocator; an observer
-//! snapshots the count at the first in-window event and at the first
-//! post-window event. Construction and warm-up may allocate freely (the
-//! pool fills, the calendar queue settles its bucket count, source
-//! queues and bucket rings reach their high-water marks); once the
-//! measurement window opens, `Session::run` must not touch the
-//! allocator at all — under either scheduler.
+//! The probe crate's counting global allocator wraps the system
+//! allocator (this harness is where it grew out of; the CLI installs
+//! the same one for its profile report); an observer snapshots the
+//! count at the first in-window event and at the first post-window
+//! event. Construction and warm-up may allocate freely (the pool fills,
+//! the calendar queue settles its bucket count, source queues and
+//! bucket rings reach their high-water marks); once the measurement
+//! window opens, `Session::run` must not touch the allocator at all —
+//! under either scheduler.
 //!
 //! This test runs with `harness = false` and owns the whole process: the
 //! counter is process-global, and libtest's runner machinery (the main
@@ -15,9 +17,7 @@
 //! inside the measurement window. A single-threaded `main` makes every
 //! count in the window attributable to `Session::run`.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use asynoc_engine::probe::{allocations, CountingAlloc};
 use asynoc_engine::{
     run, ChannelEnds, Ctx, ForwardInfo, NodeRef, Observer, RunSpec, SimEvent, SimModel,
 };
@@ -26,34 +26,8 @@ use asynoc_packet::{DestSet, RouteHeader};
 use asynoc_stats::Phases;
 use asynoc_traffic::{Benchmark, SourceTraffic};
 
-struct CountingAllocator;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: delegates every operation to `System`; only adds a counter.
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-}
-
 #[global_allocator]
-static GLOBAL: CountingAllocator = CountingAllocator;
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Two endpoints joined by one arbitrating crossbar node: channels 0–1
 /// inject into the node, channels 2–3 deliver to the sinks. The smallest
@@ -151,7 +125,7 @@ struct AllocWindow {
 impl Observer<()> for AllocWindow {
     fn on_event(&mut self, _at: Time, in_window: bool, _event: &SimEvent<'_, ()>) {
         if in_window {
-            let count = ALLOCATIONS.load(Ordering::Relaxed);
+            let count = allocations();
             if self.at_window_open.is_none() {
                 self.at_window_open = Some(count);
             }

@@ -81,6 +81,9 @@ pub struct RunOutcome {
     pub broken_trees: usize,
     /// Broken trees explained by fault records (never silent loss).
     pub broken_with_cause: usize,
+    /// The engine's self-profile, when the run enabled profiling.
+    /// Host-side metadata only — the oracle never compares it.
+    pub profile: Option<Box<asynoc_engine::probe::EngineProfile>>,
 }
 
 /// Trace capacity for outcome runs: the differential tests use short
@@ -94,6 +97,7 @@ fn distill(
     ledger: FaultLedger,
     summary: FaultSummary,
     forest: &SpanForest,
+    profile: Option<Box<asynoc_engine::probe::EngineProfile>>,
 ) -> RunOutcome {
     RunOutcome {
         deliveries,
@@ -104,6 +108,7 @@ fn distill(
         fault_affected_trees: forest.fault_affected,
         broken_trees: forest.broken_trees,
         broken_with_cause: forest.broken_with_cause,
+        profile,
     }
 }
 
@@ -142,6 +147,7 @@ pub fn run_mot_outcome(
         ledger,
         summary,
         &forest,
+        report.profile,
     ))
 }
 
@@ -181,6 +187,7 @@ pub fn run_mesh_outcome(
         ledger,
         summary,
         &forest,
+        report.profile,
     ))
 }
 

@@ -29,6 +29,8 @@
 //! `tests/queue_differential.rs` drive both queues from seeded workloads
 //! and assert identical pop streams.
 
+use asynoc_probe::QueueStats;
+
 use crate::time::Time;
 
 /// Minimum number of buckets; shrinking stops here.
@@ -99,6 +101,8 @@ pub struct CalendarQueue<E> {
     /// so steady-state rebuilds do not touch the allocator once it has
     /// grown to the population's high-water mark.
     scratch: Vec<Entry<E>>,
+    /// Behavior counters ([`CalendarQueue::stats`]); plain adds, always on.
+    stats: QueueStats,
 }
 
 impl<E> CalendarQueue<E> {
@@ -123,7 +127,15 @@ impl<E> CalendarQueue<E> {
             ops_since_rebuild: 0,
             rebuild_len: n_buckets,
             scratch: Vec::new(),
+            stats: QueueStats::default(),
         }
+    }
+
+    /// The queue's behavior counters so far: inserts, pops, resizes,
+    /// fallback scans, and the depth high-water mark.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Number of pending events.
@@ -187,6 +199,8 @@ impl<E> CalendarQueue<E> {
             .partition_point(|e| (e.time, e.key, e.seq) > (entry.time, entry.key, entry.seq));
         self.buckets[bucket].insert(position, entry);
         self.len += 1;
+        self.stats.inserts += 1;
+        self.stats.depth_high_water = self.stats.depth_high_water.max(self.len as u64);
         self.ops_since_rebuild += 1;
         if self.len > self.rebuild_len * GROW_FACTOR {
             self.resize();
@@ -242,17 +256,18 @@ impl<E> CalendarQueue<E> {
     /// `len` operations so the rebuild cost stays amortized `O(1)`.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let mut found = self.find_next()?;
-        if found.2
-            && self.buckets.len() >= RECALIBRATE_MIN_BUCKETS
-            && self.ops_since_rebuild >= self.len
-        {
-            self.resize();
-            found = self.find_next().expect("resize keeps every event");
+        if found.2 {
+            self.stats.fallback_scans += 1;
+            if self.buckets.len() >= RECALIBRATE_MIN_BUCKETS && self.ops_since_rebuild >= self.len {
+                self.resize();
+                found = self.find_next().expect("resize keeps every event");
+            }
         }
         let (bucket, day, _) = found;
         self.cursor_day = day;
         let entry = self.buckets[bucket].pop().expect("find_next found it");
         self.len -= 1;
+        self.stats.pops += 1;
         self.ops_since_rebuild += 1;
         if self.buckets.len() > MIN_BUCKETS && self.len < self.rebuild_len / SHRINK_DIVISOR {
             self.resize();
@@ -280,6 +295,7 @@ impl<E> CalendarQueue<E> {
     /// `len`-proportional sizing would leave most of the ring permanently
     /// empty, wasting memory the dequeue scan then has to walk past.
     fn resize(&mut self) {
+        self.stats.resizes += 1;
         let mut entries = std::mem::take(&mut self.scratch);
         debug_assert!(entries.is_empty());
         for bucket in &mut self.buckets {

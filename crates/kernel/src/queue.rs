@@ -18,6 +18,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use asynoc_probe::QueueStats;
+
 use crate::time::Time;
 
 /// A time-ordered event queue with FIFO tie-breaking.
@@ -38,6 +40,7 @@ use crate::time::Time;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    stats: QueueStats,
 }
 
 #[derive(Debug)]
@@ -81,6 +84,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            stats: QueueStats::default(),
         }
     }
 
@@ -90,7 +94,16 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// The queue's behavior counters so far: inserts, pops, and the
+    /// depth high-water mark (resizes and fallback scans stay 0 — those
+    /// are calendar-queue phenomena).
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Schedules `event` to fire at `time`.
@@ -120,12 +133,16 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        self.stats.inserts += 1;
+        self.stats.depth_high_water = self.stats.depth_high_water.max(self.heap.len() as u64);
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|entry| (entry.time, entry.event))
+        let popped = self.heap.pop().map(|entry| (entry.time, entry.event));
+        self.stats.pops += popped.is_some() as u64;
+        popped
     }
 
     /// Returns the firing time of the earliest event without removing it.

@@ -144,6 +144,16 @@ impl<E> SchedulerQueue<E> {
         }
     }
 
+    /// The backing queue's behavior counters (see
+    /// [`CalendarQueue::stats`] / [`EventQueue::stats`]).
+    #[must_use]
+    pub fn stats(&self) -> asynoc_probe::QueueStats {
+        match self {
+            SchedulerQueue::Heap(q) => q.stats(),
+            SchedulerQueue::Calendar(q) => q.stats(),
+        }
+    }
+
     /// Returns `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -60,12 +60,14 @@ impl<M> Mailboxes<M> {
         self.boxes.len()
     }
 
-    /// Appends `message` to shard `to`'s mailbox.
-    pub fn send(&self, to: usize, message: M) {
-        self.boxes[to]
-            .lock()
-            .expect("mailbox poisoned")
-            .push(message);
+    /// Appends `message` to shard `to`'s mailbox and returns the
+    /// mailbox's depth after the append — the sender's view of how far
+    /// behind the receiver is, which the profiler turns into a
+    /// high-water mark.
+    pub fn send(&self, to: usize, message: M) -> usize {
+        let mut boxed = self.boxes[to].lock().expect("mailbox poisoned");
+        boxed.push(message);
+        boxed.len()
     }
 
     /// Moves every pending message for `shard` into `inbox` (appending),

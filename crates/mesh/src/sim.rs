@@ -78,6 +78,8 @@ pub struct MeshConfig {
     seed: u64,
     scheduler: SchedulerKind,
     shards: usize,
+    profile: bool,
+    progress: bool,
 }
 
 impl MeshConfig {
@@ -92,6 +94,8 @@ impl MeshConfig {
             seed: 0,
             scheduler: SchedulerKind::default(),
             shards: 1,
+            profile: false,
+            progress: false,
         }
     }
 
@@ -157,6 +161,37 @@ impl MeshConfig {
         self.shards
     }
 
+    /// Enables runtime self-profiling: the engine fills
+    /// [`MeshReport::profile`] with per-shard counters, histograms, and
+    /// phase wall-clock splits. Simulation results are bit-identical with
+    /// profiling on or off — only host-side metadata is collected.
+    #[must_use]
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Whether runs collect an engine profile (default off).
+    #[must_use]
+    pub fn profile(&self) -> bool {
+        self.profile
+    }
+
+    /// Enables the stderr progress heartbeat (a single line refreshed a
+    /// few times per second; suppressed when stderr is not a terminal).
+    /// Like profiling, it never perturbs simulation results.
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Whether runs print a progress heartbeat (default off).
+    #[must_use]
+    pub fn progress(&self) -> bool {
+        self.progress
+    }
+
     /// The mesh dimensions.
     #[must_use]
     pub fn size(&self) -> MeshSize {
@@ -187,6 +222,11 @@ pub struct MeshReport {
     pub shard_events: Vec<u64>,
     /// Host wall-clock time the run took.
     pub wall: std::time::Duration,
+    /// The engine's self-profile — per-shard scheduler/pool counters,
+    /// barrier-wait histograms, and phase wall splits. `None` unless the
+    /// run enabled [`MeshConfig::with_profile`]; host-side metadata only,
+    /// never part of determinism comparisons.
+    pub profile: Option<Box<asynoc_engine::probe::EngineProfile>>,
 }
 
 impl MeshReport {
@@ -194,6 +234,23 @@ impl MeshReport {
     #[must_use]
     pub fn acceptance(&self) -> f64 {
         self.throughput.acceptance()
+    }
+}
+
+impl std::fmt::Display for MeshReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "packets={} latency[{}] throughput[{}] hops={:.2} events={} shards={} shard_events={:?} wall={:?}",
+            self.packets_measured,
+            self.latency,
+            self.throughput,
+            self.mean_hops,
+            self.events_processed,
+            self.shards,
+            self.shard_events,
+            self.wall
+        )
     }
 }
 
@@ -326,7 +383,10 @@ impl MeshNetwork {
         let mut extras = Extras(extra);
 
         let model = MeshModel::new(&self.config);
-        let spec = RunSpec::new(phases, true).with_scheduler(self.config.scheduler);
+        let spec = RunSpec::new(phases, true)
+            .with_scheduler(self.config.scheduler)
+            .with_profile(self.config.profile)
+            .with_progress(self.config.progress);
         let observers: &mut [&mut dyn Observer<usize>] = &mut [&mut extras];
         let shards = self.config.shards;
         let (engine, model) = match faults {
@@ -346,6 +406,7 @@ impl MeshNetwork {
             shards: engine.shards,
             shard_events: engine.shard_events,
             wall: engine.wall,
+            profile: engine.profile,
         })
     }
 }

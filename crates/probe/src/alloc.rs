@@ -1,0 +1,62 @@
+//! A counting global allocator.
+//!
+//! Grown out of the zero-alloc regression test's private harness: a
+//! thin wrapper over the system allocator that counts `alloc` calls in
+//! a relaxed atomic. Binaries install it with `#[global_allocator]` so
+//! the profile report can state how often the process touched the heap
+//! — the steady-state answer should be "almost never" thanks to the
+//! descriptor pool, and the counter is how a regression shows up in a
+//! profile before it shows up in a benchmark.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The counting allocator. Install once per binary:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: asynoc_probe::CountingAlloc = asynoc_probe::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic
+// increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Heap allocations made so far by this process — 0 unless the binary
+/// installed [`CountingAlloc`] as its global allocator.
+#[must_use]
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_starts_at_zero_without_installation() {
+        // The test binary does not install CountingAlloc, so nothing
+        // increments the counter (beyond other tests in this module —
+        // there are none).
+        assert_eq!(allocations(), 0);
+        ALLOCATIONS.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(allocations(), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! A log-bucketed histogram of host-side durations.
+//!
+//! Barrier waits and window stalls span six orders of magnitude
+//! (sub-microsecond when shards run in lock-step, milliseconds when one
+//! shard lags), so fixed-width bins are useless. Power-of-two buckets
+//! keyed by the duration's bit length give constant-time recording —
+//! one `leading_zeros` and one add — with no allocation after
+//! construction, cheap enough to call once per window even on
+//! fine-grained lookaheads.
+
+use std::time::Duration;
+
+/// Bucket count: bucket `i` holds durations whose nanosecond count has
+/// bit length `i`, i.e. `[2^(i-1), 2^i)` ns, with bucket 0 holding the
+/// zero durations. 48 buckets reach ~39 hours — beyond any run.
+const BUCKETS: usize = 48;
+
+/// See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_probe::HostHistogram;
+/// use std::time::Duration;
+///
+/// let mut hist = HostHistogram::new();
+/// hist.record(Duration::from_nanos(100));
+/// hist.record(Duration::from_micros(3));
+/// assert_eq!(hist.count(), 2);
+/// assert_eq!(hist.total_ns(), 3_100);
+/// assert_eq!(hist.max_ns(), 3_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HostHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for HostHistogram {
+    fn default() -> Self {
+        HostHistogram::new()
+    }
+}
+
+impl HostHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        HostHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration (saturating at `u64::MAX` nanoseconds).
+    #[inline]
+    pub fn record(&mut self, duration: Duration) {
+        let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Largest sample, nanoseconds.
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean sample, nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(floor_ns, count)` pairs, ascending:
+    /// `floor_ns` is the smallest nanosecond value the bucket admits.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(i, count)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, *count))
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &HostHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        let mut hist = HostHistogram::new();
+        hist.record(Duration::from_nanos(0));
+        hist.record(Duration::from_nanos(1));
+        hist.record(Duration::from_nanos(2));
+        hist.record(Duration::from_nanos(3));
+        hist.record(Duration::from_nanos(4));
+        let buckets: Vec<_> = hist.nonzero_buckets().collect();
+        // 0 → bucket 0; 1 → [1,2); 2,3 → [2,4); 4 → [4,8).
+        assert_eq!(buckets, [(0, 1), (1, 1), (2, 2), (4, 1)]);
+        assert_eq!(hist.count(), 5);
+        assert_eq!(hist.max_ns(), 4);
+        assert_eq!(hist.mean_ns(), 2.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = HostHistogram::new();
+        a.record(Duration::from_nanos(10));
+        let mut b = HostHistogram::new();
+        b.record(Duration::from_nanos(1_000));
+        b.record(Duration::from_nanos(1_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total_ns(), 2_010);
+        assert_eq!(a.max_ns(), 1_000);
+    }
+
+    #[test]
+    fn huge_durations_clamp_into_the_last_bucket() {
+        let mut hist = HostHistogram::new();
+        hist.record(Duration::from_secs(1_000_000));
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.nonzero_buckets().count(), 1);
+    }
+}

@@ -27,6 +27,8 @@
 //! this). Serialization is hand-rolled JSON ([`JsonValue`]) because the
 //! workspace is dependency-free.
 
+#![deny(missing_docs)]
+
 pub mod chrome;
 pub mod fault_ledger;
 pub mod histogram;

@@ -12,7 +12,8 @@
 #                               results/BENCH_scheduler.json, and
 #                               results/BENCH_sharded.json (seeded on
 #                               first run; >20% ns/event regression
-#                               fails with a per-case diff)
+#                               fails with a per-case diff), then folds
+#                               them into results/BENCH_summary.json
 #
 # The gate is a superset of ROADMAP.md's tier-1 verify
 # (`cargo build --release && cargo test -q`), adding the lint and
@@ -24,8 +25,11 @@
 # same CLI run at --shards 1/2/4 must print byte-identical reports), a
 # metrics -> trace -> analyze round-trip on both substrates, a fault
 # oracle round-trip on both substrates (a violated oracle exits
-# non-zero), and diffs of the `asynoc metrics` / `asynoc analyze` /
-# `asynoc faults` JSON report schemas against the checked-in goldens so
+# non-zero), a profiled sharded round-trip on both substrates (the
+# `--profile` document must carry the pinned asynoc-profile-v1 tag and
+# must not move a byte of stdout), and diffs of the `asynoc metrics` /
+# `asynoc analyze` / `asynoc faults` JSON report schemas plus the
+# asynoc-profile-v1 schema skeleton against the checked-in goldens so
 # report-format changes are always deliberate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,6 +59,8 @@ run_benches() {
     echo "==> sharded bench (smoke, baseline-guarded; speedup gate arms at >= 4 threads)"
     cargo bench -q -p asynoc-bench --bench sharded -- --smoke \
         --json "$PWD/results/BENCH_sharded.json"
+    echo "==> folding bench records into results/BENCH_summary.json"
+    scripts/bench_summary
 }
 
 if [[ "$smoke" -eq 1 ]]; then
@@ -148,6 +154,41 @@ if [[ "$fast" -eq 0 ]]; then
             exit 1
         }
     done
+
+    echo "==> profiled sharded round-trip (mot): --profile writes the document, stdout unmoved"
+    cargo run -q --release -p asynoc-cli -- run --arch OptHybridSpeculative \
+        --benchmark Multicast5 --rate 0.2 --size 64 --shards 2 \
+        --profile "$tmpdir/mot-profile.json" >"$tmpdir/mot-profiled.txt"
+    diff "$tmpdir/mot-serial.txt" "$tmpdir/mot-profiled.txt" || {
+        echo "--profile changed the 64x64 MoT report"
+        exit 1
+    }
+    grep -q '"schema": "asynoc-profile-v1"' "$tmpdir/mot-profile.json" || {
+        echo "MoT profile document is missing the asynoc-profile-v1 tag"
+        exit 1
+    }
+
+    echo "==> profiled sharded round-trip (mesh): --profile writes the document, stdout unmoved"
+    cargo run -q --release -p asynoc-cli -- mesh --benchmark Uniform-random \
+        --rate 0.1 --cols 8 --rows 8 --shards 2 \
+        --profile "$tmpdir/mesh-profile.json" >"$tmpdir/mesh-profiled.txt"
+    diff "$tmpdir/mesh-serial.txt" "$tmpdir/mesh-profiled.txt" || {
+        echo "--profile changed the 8x8 mesh report"
+        exit 1
+    }
+    grep -q '"schema": "asynoc-profile-v1"' "$tmpdir/mesh-profile.json" || {
+        echo "mesh profile document is missing the asynoc-profile-v1 tag"
+        exit 1
+    }
+
+    echo "==> profile schema vs results/profile_schema.golden.json"
+    diff results/profile_schema.golden.json \
+        <(cargo run -q --release -p asynoc-bench --bin profile_schema) \
+        || {
+            echo "profile schema drifted; if intentional, regenerate with"
+            echo "  cargo run --release -p asynoc-bench --bin profile_schema > results/profile_schema.golden.json"
+            exit 1
+        }
 
     echo "==> fault oracle round-trip (mot): clean vs faulted under one seed"
     cargo run -q --release -p asynoc-cli -- faults --arch BasicHybridSpeculative \
