@@ -4,106 +4,233 @@
 //!
 //! Usage: `bench_summary [results-dir]` (default `results`). The
 //! summary lists every case of every baseline with its ns/event figure
-//! and closes with the fastest and slowest case overall. Invoked by
-//! `scripts/check.sh --smoke` after the guarded benches run, so the
-//! summary always reflects the records the gate just checked.
+//! and closes with the fastest and slowest case overall, stamped with
+//! the git commit and a UTC timestamp so a checked-in summary is
+//! attributable. Invoked by `scripts/check.sh --smoke` after the
+//! guarded benches run, so the summary always reflects the records the
+//! gate just checked.
+//!
+//! Partial inputs are tolerated: an unreadable, non-JSON, or
+//! incompletely-shaped record is skipped with a warning on stderr
+//! (and counted in the summary's `skipped` field) rather than
+//! aborting the fold — CI boxes routinely carry stale or truncated
+//! records from interrupted runs.
 
 use asynoc_telemetry::JsonValue;
 
 /// The summary file's schema identifier.
 const SUMMARY_SCHEMA: &str = "asynoc-bench-summary-v1";
 
-fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
-    let mut files: Vec<String> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
-        .filter_map(|entry| entry.ok())
-        .filter_map(|entry| entry.file_name().into_string().ok())
-        .filter(|name| {
-            name.starts_with("BENCH_") && name.ends_with(".json") && name != "BENCH_summary.json"
-        })
-        .collect();
-    files.sort();
-    if files.is_empty() {
-        eprintln!("no BENCH_*.json records in {dir}; run the benches first");
-        std::process::exit(1);
-    }
+/// One fully-parsed case: (bench, case id, ns/event, events).
+type Case = (String, String, f64, u64);
 
-    // (bench, case id, ns/event, events) across every record.
-    let mut all_cases: Vec<(String, String, f64, u64)> = Vec::new();
-    let mut benches = Vec::new();
-    for name in &files {
-        let path = format!("{dir}/{name}");
-        let text =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let record =
-            JsonValue::parse(&text).unwrap_or_else(|e| panic!("{path}: not a JSON record: {e}"));
-        let bench = record
-            .get("bench")
-            .and_then(JsonValue::as_str)
-            .unwrap_or_else(|| panic!("{path}: missing bench name"))
-            .to_string();
-        let cases = record
-            .get("cases")
-            .and_then(JsonValue::as_array)
-            .unwrap_or_else(|| panic!("{path}: missing cases array"));
-        let mut case_entries = Vec::new();
-        for case in cases {
-            let id = case
-                .get("id")
-                .and_then(JsonValue::as_str)
-                .unwrap_or_else(|| panic!("{path}: case without id"))
-                .to_string();
-            let ns_per_event = case
-                .get("ns_per_event")
-                .and_then(JsonValue::as_f64)
-                .unwrap_or_else(|| panic!("{path}: case {id} without ns_per_event"));
-            let events = case
-                .get("events")
-                .and_then(JsonValue::as_f64)
-                .unwrap_or_default() as u64;
-            all_cases.push((bench.clone(), id.clone(), ns_per_event, events));
-            case_entries.push(JsonValue::Object(vec![
-                ("id".to_string(), JsonValue::str(&id)),
-                ("ns_per_event".to_string(), JsonValue::Number(ns_per_event)),
-                ("events".to_string(), JsonValue::uint(events)),
-            ]));
-        }
-        benches.push(JsonValue::Object(vec![
-            ("bench".to_string(), JsonValue::str(&bench)),
-            ("source".to_string(), JsonValue::str(name.as_str())),
-            ("cases".to_string(), JsonValue::Array(case_entries)),
+/// Parses one baseline record, returning its summary entry and cases.
+/// Malformed cases inside an otherwise-valid record are skipped
+/// individually (counted in the returned skip tally).
+fn fold_record(name: &str, text: &str) -> Result<(JsonValue, Vec<Case>, u64), String> {
+    let record = JsonValue::parse(text).map_err(|e| format!("not a JSON record: {e}"))?;
+    let bench = record
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing bench name")?
+        .to_string();
+    let cases = record
+        .get("cases")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing cases array")?;
+    let mut parsed = Vec::new();
+    let mut entries = Vec::new();
+    let mut skipped = 0;
+    for case in cases {
+        let (Some(id), Some(ns_per_event)) = (
+            case.get("id").and_then(JsonValue::as_str),
+            case.get("ns_per_event").and_then(JsonValue::as_f64),
+        ) else {
+            eprintln!("warning: {name}: skipping case without id/ns_per_event");
+            skipped += 1;
+            continue;
+        };
+        let events = case
+            .get("events")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_default() as u64;
+        parsed.push((bench.clone(), id.to_string(), ns_per_event, events));
+        entries.push(JsonValue::Object(vec![
+            ("id".to_string(), JsonValue::str(id)),
+            ("ns_per_event".to_string(), JsonValue::Number(ns_per_event)),
+            ("events".to_string(), JsonValue::uint(events)),
         ]));
     }
+    let entry = JsonValue::Object(vec![
+        ("bench".to_string(), JsonValue::str(&bench)),
+        ("source".to_string(), JsonValue::str(name)),
+        ("cases".to_string(), JsonValue::Array(entries)),
+    ]);
+    Ok((entry, parsed, skipped))
+}
 
-    let extremum = |cases: &[(String, String, f64, u64)], fastest: bool| -> JsonValue {
-        let pick = cases
-            .iter()
-            .reduce(|a, b| if (b.2 < a.2) == fastest { b } else { a });
-        pick.map_or(JsonValue::Null, |(bench, id, ns, _)| {
-            JsonValue::Object(vec![
-                ("bench".to_string(), JsonValue::str(bench.as_str())),
-                ("id".to_string(), JsonValue::str(id.as_str())),
-                ("ns_per_event".to_string(), JsonValue::Number(*ns)),
-            ])
-        })
+fn extremum(cases: &[Case], fastest: bool) -> JsonValue {
+    let pick = cases
+        .iter()
+        .reduce(|a, b| if (b.2 < a.2) == fastest { b } else { a });
+    pick.map_or(JsonValue::Null, |(bench, id, ns, _)| {
+        JsonValue::Object(vec![
+            ("bench".to_string(), JsonValue::str(bench.as_str())),
+            ("id".to_string(), JsonValue::str(id.as_str())),
+            ("ns_per_event".to_string(), JsonValue::Number(*ns)),
+        ])
+    })
+}
+
+/// The HEAD commit hash, or `Null` outside a git checkout (exported
+/// tarballs, vendored copies) — the summary must not fail over it.
+fn git_sha() -> JsonValue {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or(JsonValue::Null, |sha| JsonValue::str(sha.trim()))
+}
+
+/// Renders a Unix timestamp as `YYYY-MM-DDThh:mm:ssZ` (proleptic
+/// Gregorian, via the standard civil-from-days conversion) — the
+/// workspace is dependency-free, so no chrono.
+fn iso8601_utc(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let rem = unix_secs % 86_400;
+    let (hour, minute, second) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}T{hour:02}:{minute:02}:{second:02}Z")
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let mut files: Vec<String> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|entry| entry.ok())
+            .filter_map(|entry| entry.file_name().into_string().ok())
+            .filter(|name| {
+                name.starts_with("BENCH_")
+                    && name.ends_with(".json")
+                    && name != "BENCH_summary.json"
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("warning: cannot read {dir}: {e}; writing an empty summary");
+            Vec::new()
+        }
     };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("warning: no BENCH_*.json records in {dir}; run the benches to populate it");
+    }
 
+    let mut all_cases: Vec<Case> = Vec::new();
+    let mut benches = Vec::new();
+    let mut skipped: u64 = 0;
+    for name in &files {
+        let path = format!("{dir}/{name}");
+        let folded = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| fold_record(name, &text));
+        match folded {
+            Ok((entry, cases, case_skips)) => {
+                all_cases.extend(cases);
+                benches.push(entry);
+                skipped += case_skips;
+            }
+            Err(reason) => {
+                eprintln!("warning: {path}: {reason}; skipping");
+                skipped += 1;
+            }
+        }
+    }
+
+    let generated_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or_else(
+            |_| JsonValue::Null,
+            |d| JsonValue::str(iso8601_utc(d.as_secs())),
+        );
     let doc = JsonValue::Object(vec![
         ("schema".to_string(), JsonValue::str(SUMMARY_SCHEMA)),
+        ("git_sha".to_string(), git_sha()),
+        ("generated_at".to_string(), generated_at),
         (
             "case_count".to_string(),
             JsonValue::uint(all_cases.len() as u64),
         ),
+        ("skipped".to_string(), JsonValue::uint(skipped)),
         ("fastest".to_string(), extremum(&all_cases, true)),
         ("slowest".to_string(), extremum(&all_cases, false)),
         ("benches".to_string(), JsonValue::Array(benches)),
     ]);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {dir}: {e}");
+        std::process::exit(1);
+    }
     let out = format!("{dir}/BENCH_summary.json");
-    std::fs::write(&out, doc.render_pretty()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    if let Err(e) = std::fs::write(&out, doc.render_pretty()) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
     println!(
-        "bench summary: {} benches, {} cases -> {out}",
+        "bench summary: {} benches, {} cases ({} skipped) -> {out}",
         files.len(),
-        all_cases.len()
+        all_cases.len(),
+        skipped
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_conversion_matches_known_dates() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        // 2000-02-29 (leap day) 12:00:00 UTC.
+        assert_eq!(iso8601_utc(951_825_600), "2000-02-29T12:00:00Z");
+        // 2026-08-09 00:00:00 UTC.
+        assert_eq!(iso8601_utc(1_786_233_600), "2026-08-09T00:00:00Z");
+    }
+
+    #[test]
+    fn partial_records_fold_with_warnings_not_panics() {
+        let (entry, cases, skipped) = fold_record(
+            "BENCH_x.json",
+            r#"{"bench":"x","cases":[
+                {"id":"good","ns_per_event":12.5,"events":100},
+                {"id":"no-figure"},
+                {"ns_per_event":9.0}
+            ]}"#,
+        )
+        .expect("record folds");
+        assert_eq!(cases.len(), 1);
+        assert_eq!(skipped, 2);
+        assert_eq!(
+            entry
+                .get("cases")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn malformed_records_are_rejected_with_a_reason() {
+        assert!(fold_record("b", "not json").is_err());
+        assert!(fold_record("b", r#"{"cases":[]}"#).is_err());
+        assert!(fold_record("b", r#"{"bench":"x"}"#).is_err());
+    }
 }

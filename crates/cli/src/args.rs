@@ -23,6 +23,7 @@ USAGE:
   asynoc faults   --benchmark <B> --rate <flits/ns> [--arch <A>] [--substrate mot|mesh]
                   [--plan <encoded>] [--fault-rate <D>] [--oracle] [--report-out <path>]
                   [common options]
+  asynoc watch    --stream-in <path|-> [--fold <path|->] [--once] [--interval-ms <T>]
   asynoc info     [--arch <A>] [--size <N>]
   asynoc help
 
@@ -42,13 +43,33 @@ COMMON OPTIONS:
   --profile <path>  write an asynoc-profile-v1 JSON self-profile of the
                     simulator's own execution (scheduler counters, per-shard
                     balance, barrier waits, phase wall splits) to <path>.
-                    Never changes simulation results. Not available on
-                    saturate/sweep (their many runs would overwrite it)
+                    Never changes simulation results. Multi-run commands
+                    (run --seeds, saturate, sweep, faults --oracle) collect
+                    one runs[] entry per simulation
   --progress        single-line stderr heartbeat (events done, events/s,
                     per-shard lag), refreshed a few times per second; only
                     written when stderr is a terminal (set
                     ASYNOC_PROGRESS_FORCE=1 to override). Never changes
                     simulation results
+
+STREAMING OPTIONS (run, mesh, metrics, faults):
+  --stream <path|->       append asynoc-stream-v1 NDJSON telemetry to
+                          <path> (`-` = stdout) while the run executes:
+                          a head record, one window record per flushed
+                          simulated-time window (counter deltas, latency
+                          delta, time-series bins), watchpoint records as
+                          online invariants fire, and an end record with
+                          the scalar summary sections. Memory stays
+                          bounded by the window, not the run length.
+                          Never changes simulation results
+  --stream-window-ns <W>  flush window width in ns (default 1000; on
+                          `metrics` it must be a multiple of --bin-ns)
+  --stream-trace          also emit per-event trace records into the
+                          stream (bounded per window by --trace-limit
+                          where available, else 100000)
+  --watch-fatal           exit non-zero after the run when any online
+                          watchpoint (token-conservation violation, stall,
+                          busy watermark, waste-rate ceiling) fired
 
   run:      --seeds <K> replicates the run over seeds S, S+1, … S+K−1
             (fanned across --jobs workers) and reports per-seed results
@@ -71,7 +92,15 @@ COMMON OPTIONS:
             (stall:3:2:500;lose:0:1;...); without it a recoverable plan
             is drawn from --seed and --fault-rate (density, default
             0.15). --oracle pairs the run with a clean twin under the
-            same seed and judges the conformance contract
+            same seed and judges the conformance contract. --stream
+            exports the faulted run only (the clean twin stays untouched)
+  watch:    tail an asynoc-stream-v1 NDJSON file (from --stream) and
+            render a live dashboard: events/s, in-flight flits, per-level
+            busy fractions, watchpoint alerts. --once reads what is there
+            and exits; --fold folds the finished stream back into the
+            batch asynoc-metrics-v1 document (byte-identical for
+            `metrics --stream` runs) and writes it to <path> (`-` =
+            stdout); --interval-ms sets the tail poll period (default 200)
 
 ARCHITECTURES:
   Baseline, BasicNonSpeculative, BasicHybridSpeculative,
@@ -204,6 +233,19 @@ pub enum Command {
         /// Shared options.
         common: CommonOptions,
     },
+    /// Follow a streaming-telemetry NDJSON file: live dashboard or fold
+    /// back into the batch metrics document.
+    Watch {
+        /// The stream to follow (`-` = stdin, which implies `once`).
+        stream_in: String,
+        /// Fold the (finished) stream into a batch metrics document at
+        /// this path (`-` = stdout) instead of dashboarding.
+        fold: Option<String>,
+        /// Read what is present now, report, and exit without tailing.
+        once: bool,
+        /// Poll interval while tailing, milliseconds.
+        interval_ms: u64,
+    },
     /// Static information: node table, address bits, area/leakage.
     Info {
         /// Architecture to describe (default: all).
@@ -282,6 +324,15 @@ pub struct CommonOptions {
     pub profile: Option<String>,
     /// Print the stderr progress heartbeat (TTY-gated, never results).
     pub progress: bool,
+    /// Append `asynoc-stream-v1` NDJSON telemetry to this path (`-` =
+    /// stdout) while the run executes (never changes results).
+    pub stream: Option<String>,
+    /// Stream flush-window width override, ns.
+    pub stream_window_ns: Option<u64>,
+    /// Emit per-event `trace` records into the stream.
+    pub stream_trace: bool,
+    /// Exit non-zero after the run when any watchpoint fired.
+    pub watch_fatal: bool,
 }
 
 impl Default for CommonOptions {
@@ -297,6 +348,10 @@ impl Default for CommonOptions {
             shards: threads,
             profile: None,
             progress: false,
+            stream: None,
+            stream_window_ns: None,
+            stream_trace: false,
+            watch_fatal: false,
         }
     }
 }
@@ -345,9 +400,20 @@ fn collect_flags(
         if !allowed.contains(&key) {
             return Err(ParseCliError::new(format!("unknown option --{key}")));
         }
-        // `--quick`, `--heatmap`, `--lenient`, `--oracle`, and
-        // `--progress` are bare flags; everything else takes a value.
-        let value = if matches!(key, "quick" | "heatmap" | "lenient" | "oracle" | "progress") {
+        // `--quick`, `--heatmap`, `--lenient`, `--oracle`, `--progress`,
+        // `--stream-trace`, `--watch-fatal`, and `--once` are bare
+        // flags; everything else takes a value.
+        let value = if matches!(
+            key,
+            "quick"
+                | "heatmap"
+                | "lenient"
+                | "oracle"
+                | "progress"
+                | "stream-trace"
+                | "watch-fatal"
+                | "once"
+        ) {
             "true".to_string()
         } else {
             iter.next()
@@ -359,23 +425,6 @@ fn collect_flags(
         }
     }
     Ok(flags)
-}
-
-/// `--profile` is a common option, but commands that drive many runs
-/// through one invocation would overwrite the single document — reject
-/// the flag at parse time so the binary exits 2 with usage, like every
-/// other per-subcommand flag-scope violation.
-fn reject_profile_flag(
-    command: &str,
-    flags: &BTreeMap<String, String>,
-) -> Result<(), ParseCliError> {
-    if flags.contains_key("profile") {
-        return Err(ParseCliError::new(format!(
-            "--profile is not available on `{command}` (it drives many runs; \
-             profile a single `run` or `mesh` invocation instead)"
-        )));
-    }
-    Ok(())
 }
 
 fn required<'a>(flags: &'a BTreeMap<String, String>, key: &str) -> Result<&'a str, ParseCliError> {
@@ -424,6 +473,25 @@ fn common_options(flags: &BTreeMap<String, String>) -> Result<CommonOptions, Par
     }
     options.profile = flags.get("profile").cloned();
     options.progress = flags.contains_key("progress");
+    options.stream = flags.get("stream").cloned();
+    if let Some(raw) = flags.get("stream-window-ns") {
+        let window: u64 = parse_value("stream-window-ns", raw)?;
+        if window == 0 {
+            return Err(ParseCliError::new("--stream-window-ns must be at least 1"));
+        }
+        options.stream_window_ns = Some(window);
+    }
+    options.stream_trace = flags.contains_key("stream-trace");
+    options.watch_fatal = flags.contains_key("watch-fatal");
+    if options.stream.is_none() {
+        for key in ["stream-window-ns", "stream-trace", "watch-fatal"] {
+            if flags.contains_key(key) {
+                return Err(ParseCliError::new(format!(
+                    "--{key} requires --stream <path|->"
+                )));
+            }
+        }
+    }
     Ok(options)
 }
 
@@ -438,6 +506,10 @@ const COMMON_KEYS: [&str; 9] = [
     "profile",
     "progress",
 ];
+
+/// The streaming-telemetry flags, accepted by the single-run commands
+/// (`run`, `mesh`, `metrics`, `faults`) but not the multi-run searches.
+const STREAM_KEYS: [&str; 4] = ["stream", "stream-window-ns", "stream-trace", "watch-fatal"];
 
 fn with_common(extra: &[&str]) -> Vec<&'static str> {
     // Leaking tiny strings once per parse is fine for a CLI; avoid by
@@ -464,6 +536,10 @@ fn with_common(extra: &[&str]) -> Vec<&'static str> {
             "fault-rate" => "fault-rate",
             "oracle" => "oracle",
             "report-out" => "report-out",
+            "stream" => "stream",
+            "stream-window-ns" => "stream-window-ns",
+            "stream-trace" => "stream-trace",
+            "watch-fatal" => "watch-fatal",
             other => unreachable!("unknown static key {other}"),
         });
     }
@@ -483,7 +559,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "run" => {
-            let flags = collect_flags(rest, &with_common(&["arch", "benchmark", "rate", "seeds"]))?;
+            let mut extra = vec!["arch", "benchmark", "rate", "seeds"];
+            extra.extend(STREAM_KEYS);
+            let flags = collect_flags(rest, &with_common(&extra))?;
             let seeds: usize = flags
                 .get("seeds")
                 .map(|raw| parse_value("seeds", raw))
@@ -491,6 +569,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 .unwrap_or(1);
             if seeds == 0 {
                 return Err(ParseCliError::new("--seeds must be at least 1"));
+            }
+            if seeds > 1 && flags.contains_key("stream") {
+                return Err(ParseCliError::new(
+                    "--stream is not available with --seeds > 1 (one stream per run; \
+                     stream a single seed instead)",
+                ));
             }
             Ok(Command::Run {
                 arch: parse_value("arch", required(&flags, "arch")?)?,
@@ -505,7 +589,6 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 rest,
                 &with_common(&["arch", "benchmark", "quick", "probe-fan"]),
             )?;
-            reject_profile_flag("saturate", &flags)?;
             let probe_fan: usize = flags
                 .get("probe-fan")
                 .map(|raw| parse_value("probe-fan", raw))
@@ -527,7 +610,6 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 rest,
                 &with_common(&["arch", "benchmark", "from", "to", "steps"]),
             )?;
-            reject_profile_flag("sweep", &flags)?;
             let from: f64 = parse_value("from", required(&flags, "from")?)?;
             let to: f64 = parse_value("to", required(&flags, "to")?)?;
             let steps: usize = parse_value("steps", required(&flags, "steps")?)?;
@@ -547,8 +629,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             })
         }
         "mesh" => {
+            let mut extra = vec!["benchmark", "rate"];
+            extra.extend(STREAM_KEYS);
             let flags = collect_flags(rest, &{
-                let mut keys = with_common(&["benchmark", "rate"]);
+                let mut keys = with_common(&extra);
                 keys.push("cols");
                 keys.push("rows");
                 keys
@@ -570,20 +654,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             })
         }
         "metrics" => {
-            let flags = collect_flags(
-                rest,
-                &with_common(&[
-                    "arch",
-                    "benchmark",
-                    "rate",
-                    "substrate",
-                    "metrics-out",
-                    "trace-format",
-                    "trace-out",
-                    "trace-limit",
-                    "bin-ns",
-                ]),
-            )?;
+            let mut extra = vec![
+                "arch",
+                "benchmark",
+                "rate",
+                "substrate",
+                "metrics-out",
+                "trace-format",
+                "trace-out",
+                "trace-limit",
+                "bin-ns",
+            ];
+            extra.extend(STREAM_KEYS);
+            let flags = collect_flags(rest, &with_common(&extra))?;
             let substrate: Substrate = flags
                 .get("substrate")
                 .map(|raw| parse_value("substrate", raw))
@@ -617,6 +700,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 .unwrap_or(100);
             if bin_ns == 0 {
                 return Err(ParseCliError::new("--bin-ns must be at least 1"));
+            }
+            if let Some(raw) = flags.get("stream-window-ns") {
+                let window: u64 = parse_value("stream-window-ns", raw)?;
+                if window == 0 || !window.is_multiple_of(bin_ns) {
+                    return Err(ParseCliError::new(format!(
+                        "--stream-window-ns ({window}) must be a non-zero multiple of \
+                         --bin-ns ({bin_ns})"
+                    )));
+                }
             }
             let trace_limit: usize = flags
                 .get("trace-limit")
@@ -666,19 +758,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             })
         }
         "faults" => {
-            let flags = collect_flags(
-                rest,
-                &with_common(&[
-                    "arch",
-                    "benchmark",
-                    "rate",
-                    "substrate",
-                    "plan",
-                    "fault-rate",
-                    "oracle",
-                    "report-out",
-                ]),
-            )?;
+            let mut extra = vec![
+                "arch",
+                "benchmark",
+                "rate",
+                "substrate",
+                "plan",
+                "fault-rate",
+                "oracle",
+                "report-out",
+            ];
+            extra.extend(STREAM_KEYS);
+            let flags = collect_flags(rest, &with_common(&extra))?;
             let substrate: Substrate = flags
                 .get("substrate")
                 .map(|raw| parse_value("substrate", raw))
@@ -711,6 +802,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 oracle: flags.contains_key("oracle"),
                 report_out: flags.get("report-out").cloned(),
                 common: common_options(&flags)?,
+            })
+        }
+        "watch" => {
+            let flags = collect_flags(rest, &["stream-in", "fold", "once", "interval-ms"])?;
+            let interval_ms: u64 = flags
+                .get("interval-ms")
+                .map(|raw| parse_value("interval-ms", raw))
+                .transpose()?
+                .unwrap_or(200);
+            if interval_ms == 0 {
+                return Err(ParseCliError::new("--interval-ms must be at least 1"));
+            }
+            let stream_in = required(&flags, "stream-in")?.to_string();
+            Ok(Command::Watch {
+                // Stdin cannot be tailed, so `-` implies a single pass.
+                once: flags.contains_key("once") || stream_in == "-",
+                stream_in,
+                fold: flags.get("fold").cloned(),
+                interval_ms,
             })
         }
         "info" => {
@@ -1124,6 +1234,108 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.message().contains("--fault-rate"), "{err}");
+    }
+
+    #[test]
+    fn stream_flags_parse_on_single_run_commands() {
+        for line in [
+            "run --arch Baseline --benchmark Shuffle --rate 0.4",
+            "mesh --benchmark Tornado --rate 0.1",
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2",
+            "faults --arch Baseline --benchmark Shuffle --rate 0.2",
+        ] {
+            let cmd = parse(&argv(&format!(
+                "{line} --stream s.ndjson --stream-window-ns 500 --stream-trace --watch-fatal"
+            )))
+            .expect("stream flags parse");
+            let common = match cmd {
+                Command::Run { common, .. }
+                | Command::Mesh { common, .. }
+                | Command::Metrics { common, .. }
+                | Command::Faults { common, .. } => common,
+                other => panic!("unexpected command {other:?}"),
+            };
+            assert_eq!(common.stream, Some("s.ndjson".to_string()));
+            assert_eq!(common.stream_window_ns, Some(500));
+            assert!(common.stream_trace);
+            assert!(common.watch_fatal);
+        }
+    }
+
+    #[test]
+    fn stream_flags_are_rejected_where_meaningless() {
+        // The search commands drive many runs through one invocation.
+        for line in [
+            "saturate --arch Baseline --benchmark Hotspot --stream s.ndjson",
+            "sweep --arch Baseline --benchmark Shuffle --from 0.1 --to 0.2 --steps 2 \
+             --stream s.ndjson",
+        ] {
+            let err = parse(&argv(line)).unwrap_err();
+            assert!(err.message().contains("--stream"), "{err}");
+        }
+        // Seed replication would overwrite the one stream file.
+        let err = parse(&argv(
+            "run --arch Baseline --benchmark Shuffle --rate 0.4 --seeds 2 --stream s.ndjson",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("--seeds"), "{err}");
+        // The modifier flags need a stream to modify.
+        let err = parse(&argv(
+            "run --arch Baseline --benchmark Shuffle --rate 0.4 --watch-fatal",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("requires --stream"), "{err}");
+        // The metrics window must respect the bin grid.
+        let err = parse(&argv(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 --bin-ns 100 \
+             --stream s.ndjson --stream-window-ns 150",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("multiple"), "{err}");
+    }
+
+    #[test]
+    fn profile_now_parses_on_saturate_and_sweep() {
+        assert!(parse(&argv(
+            "saturate --arch Baseline --benchmark Hotspot --quick --profile p.json"
+        ))
+        .is_ok());
+        assert!(parse(&argv(
+            "sweep --arch Baseline --benchmark Shuffle --from 0.1 --to 0.2 --steps 2 \
+             --profile p.json"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn watch_defaults_and_overrides() {
+        assert_eq!(
+            parse(&argv("watch --stream-in s.ndjson")),
+            Ok(Command::Watch {
+                stream_in: "s.ndjson".to_string(),
+                fold: None,
+                once: false,
+                interval_ms: 200,
+            })
+        );
+        assert_eq!(
+            parse(&argv(
+                "watch --stream-in s.ndjson --fold m.json --once --interval-ms 50"
+            )),
+            Ok(Command::Watch {
+                stream_in: "s.ndjson".to_string(),
+                fold: Some("m.json".to_string()),
+                once: true,
+                interval_ms: 50,
+            })
+        );
+        // Stdin cannot be tailed.
+        assert!(matches!(
+            parse(&argv("watch --stream-in -")),
+            Ok(Command::Watch { once: true, .. })
+        ));
+        let err = parse(&argv("watch")).unwrap_err();
+        assert!(err.message().contains("--stream-in"), "{err}");
     }
 
     #[test]

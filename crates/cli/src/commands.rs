@@ -3,12 +3,13 @@
 
 use std::io::{self, Write};
 
-use asynoc::harness::{saturation_of, Quality};
+use asynoc::harness::{saturation_of, saturation_of_profiled, Quality};
 use asynoc::{
-    parallel_map, Architecture, Duration, MotSize, Network, NetworkConfig, Phases, RunConfig,
-    SimError,
+    parallel_map, Architecture, Duration, MotNode, MotSize, Network, NetworkConfig, Observer,
+    Phases, RunConfig, SimError,
 };
 use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
+use asynoc_telemetry::JsonValue;
 
 use crate::args::{Command, CommonOptions, USAGE};
 use crate::profile::ProfileWriter;
@@ -54,19 +55,6 @@ pub(crate) fn network(arch: Architecture, common: &CommonOptions) -> Result<Netw
         .with_seed(common.seed)
         .with_flits_per_packet(common.flits);
     Ok(Network::new(config)?)
-}
-
-/// `saturate`/`sweep` drive many runs through one invocation: a single
-/// `--profile` file would silently keep only the last, so the flag is
-/// an explicit error there (as the usage text documents).
-fn reject_profile(command: &str, common: &CommonOptions) -> Result<(), CliError> {
-    if common.profile.is_some() {
-        return Err(CliError::Invalid(format!(
-            "--profile is not available on `{command}` (it drives many runs; \
-             profile a single `run` or `mesh` invocation instead)"
-        )));
-    }
-    Ok(())
 }
 
 pub(crate) fn phases_for(benchmark: asynoc::Benchmark, common: &CommonOptions) -> Phases {
@@ -185,12 +173,37 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             }
             let mut profiler = ProfileWriter::when(common.profile.as_ref(), "run");
             let net = network(*arch, common)?;
+            let phases = phases_for(*benchmark, common);
             let run = RunConfig::new(*benchmark, *rate)?
-                .with_phases(phases_for(*benchmark, common))
+                .with_phases(phases)
                 .with_shards(common.shards)
                 .with_profile(profiler.is_some())
                 .with_progress(common.progress);
-            let mut report = net.run(&run)?;
+            let mut sink = match &common.stream {
+                Some(path) => Some(crate::stream::mot_sink(
+                    path,
+                    common,
+                    crate::metrics::config_json(
+                        Some(*arch),
+                        *benchmark,
+                        *rate,
+                        common.size,
+                        common,
+                    ),
+                    net.config().size(),
+                    phases,
+                    None,
+                    crate::stream::DEFAULT_TRACE_LIMIT,
+                )?),
+                None => None,
+            };
+            let mut report = match sink.as_mut() {
+                Some(sink) => {
+                    let mut extra: Vec<&mut dyn Observer<MotNode>> = vec![sink];
+                    net.run_with_observers(&run, &mut extra)?
+                }
+                None => net.run(&run)?,
+            };
             if let (Some(profiler), Some(profile)) = (profiler.as_mut(), &report.profile) {
                 profiler.add_run(
                     crate::metrics::config_json(
@@ -245,6 +258,32 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             if let Some(profiler) = profiler {
                 profiler.finish()?;
             }
+            if let Some(sink) = sink {
+                let sections = JsonValue::Object(vec![
+                    (
+                        "throughput".to_string(),
+                        crate::metrics::throughput_json(&report.throughput),
+                    ),
+                    (
+                        "power".to_string(),
+                        crate::metrics::power_json(&report, phases.measure()),
+                    ),
+                    (
+                        "counters".to_string(),
+                        crate::metrics::counters_json(
+                            report.packets_measured,
+                            report.packets_incomplete,
+                            report.flits_throttled,
+                            report.flits_delivered,
+                            report.events_processed,
+                            report.shards,
+                            &report.shard_events,
+                        ),
+                    ),
+                ]);
+                let watchpoints = crate::stream::finish_sink(sink, sections)?;
+                crate::stream::fatal_check(watchpoints, common)?;
+            }
             Ok(())
         }
         Command::Saturate {
@@ -254,7 +293,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             probe_fan,
             common,
         } => {
-            reject_profile("saturate", common)?;
+            let mut profiler = ProfileWriter::when(common.profile.as_ref(), "saturate");
             let net = network(*arch, common)?;
             let mut quality = if *quick {
                 Quality::quick()
@@ -265,7 +304,27 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             quality.probe_fan = *probe_fan;
             quality.jobs = common.jobs;
             quality.shards = common.shards;
-            let point = saturation_of(&net, *benchmark, &quality)?;
+            // A profiled search collects one runs[] entry per bisection
+            // probe (plus the plateau run), keyed by its offered rate.
+            let point = match profiler.as_mut() {
+                Some(profiler) => {
+                    let (point, profiles) = saturation_of_profiled(&net, *benchmark, &quality)?;
+                    for (rate, profile) in &profiles {
+                        profiler.add_run(
+                            crate::metrics::config_json(
+                                Some(*arch),
+                                *benchmark,
+                                *rate,
+                                common.size,
+                                common,
+                            ),
+                            profile,
+                        );
+                    }
+                    point
+                }
+                None => saturation_of(&net, *benchmark, &quality)?,
+            };
             writeln!(out, "{arch} x {benchmark} saturation:")?;
             writeln!(
                 out,
@@ -277,6 +336,9 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 "  delivered plateau    : {:.2} GF/s per source (Table 1 quantity)",
                 point.delivered_gfs
             )?;
+            if let Some(profiler) = profiler {
+                profiler.finish()?;
+            }
             Ok(())
         }
         Command::Sweep {
@@ -287,7 +349,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             steps,
             common,
         } => {
-            reject_profile("sweep", common)?;
+            let mut profiler = ProfileWriter::when(common.profile.as_ref(), "sweep");
             let net = network(*arch, common)?;
             writeln!(out, "{arch} x {benchmark}: latency vs offered load")?;
             writeln!(
@@ -296,14 +358,16 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 "load", "mean", "p99", "accepted"
             )?;
             // Sweep points are independent runs — fan them across workers
-            // and print in input order.
+            // and print in input order (one runs[] entry per point, too).
             let rates: Vec<f64> = (0..*steps)
                 .map(|k| from + (to - from) * k as f64 / (*steps - 1) as f64)
                 .collect();
+            let with_profile = profiler.is_some();
             let points = parallel_map(common.jobs, rates, |rate| {
                 let run = RunConfig::new(*benchmark, rate)?
                     .with_phases(phases_for(*benchmark, common))
-                    .with_shards(common.shards);
+                    .with_shards(common.shards)
+                    .with_profile(with_profile);
                 let mut report = net.run(&run)?;
                 let mean = report
                     .latency
@@ -313,10 +377,22 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                     .latency
                     .p99()
                     .map_or("-".to_string(), |d| d.to_string());
-                Ok::<_, SimError>((rate, mean, p99, report.acceptance()))
+                Ok::<_, SimError>((rate, mean, p99, report.acceptance(), report.profile.take()))
             });
             for point in points {
-                let (rate, mean, p99, acceptance) = point?;
+                let (rate, mean, p99, acceptance, profile) = point?;
+                if let (Some(profiler), Some(profile)) = (profiler.as_mut(), &profile) {
+                    profiler.add_run(
+                        crate::metrics::config_json(
+                            Some(*arch),
+                            *benchmark,
+                            rate,
+                            common.size,
+                            common,
+                        ),
+                        profile,
+                    );
+                }
                 writeln!(
                     out,
                     "{:<12.3} {:>14} {:>12} {:>11.0}%",
@@ -325,6 +401,9 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                     p99,
                     100.0 * acceptance
                 )?;
+            }
+            if let Some(profiler) = profiler {
+                profiler.finish()?;
             }
             Ok(())
         }
@@ -346,9 +425,30 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                     .with_progress(common.progress),
             )
             .map_err(|e| CliError::Invalid(e.to_string()))?;
-            let mut report = network
-                .run(*benchmark, *rate, phases_for(*benchmark, common))
-                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let phases = phases_for(*benchmark, common);
+            let mut sink = match &common.stream {
+                Some(path) => Some(crate::stream::mesh_sink(
+                    path,
+                    common,
+                    crate::metrics::config_json(None, *benchmark, *rate, *cols, common),
+                    size.endpoints(),
+                    phases,
+                    None,
+                    crate::stream::DEFAULT_TRACE_LIMIT,
+                )?),
+                None => None,
+            };
+            let mut report = match sink.as_mut() {
+                Some(sink) => {
+                    let mut extra: Vec<&mut dyn Observer<usize>> = vec![sink];
+                    network
+                        .run_with_observers(*benchmark, *rate, phases, &mut extra)
+                        .map_err(|e| CliError::Invalid(e.to_string()))?
+                }
+                None => network
+                    .run(*benchmark, *rate, phases)
+                    .map_err(|e| CliError::Invalid(e.to_string()))?,
+            };
             if let (Some(profiler), Some(profile)) = (profiler.as_mut(), &report.profile) {
                 // The mesh is cols x rows; `size` records the column count
                 // (square in every default invocation).
@@ -374,6 +474,28 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "  mean hops        : {:.2}", report.mean_hops)?;
             if let Some(profiler) = profiler {
                 profiler.finish()?;
+            }
+            if let Some(sink) = sink {
+                let sections = JsonValue::Object(vec![
+                    (
+                        "throughput".to_string(),
+                        crate::metrics::throughput_json(&report.throughput),
+                    ),
+                    (
+                        "counters".to_string(),
+                        crate::metrics::counters_json(
+                            report.packets_measured,
+                            report.packets_incomplete,
+                            0,
+                            0,
+                            report.events_processed,
+                            report.shards,
+                            &report.shard_events,
+                        ),
+                    ),
+                ]);
+                let watchpoints = crate::stream::finish_sink(sink, sections)?;
+                crate::stream::fatal_check(watchpoints, common)?;
             }
             Ok(())
         }
@@ -442,6 +564,20 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 oracle: *oracle,
                 report_out: report_out.clone(),
                 common: common.clone(),
+            },
+            out,
+        ),
+        Command::Watch {
+            stream_in,
+            fold,
+            once,
+            interval_ms,
+        } => crate::watch::execute_watch(
+            &crate::watch::WatchRequest {
+                stream_in: stream_in.clone(),
+                fold: fold.clone(),
+                once: *once,
+                interval_ms: *interval_ms,
             },
             out,
         ),
@@ -643,33 +779,102 @@ mod tests {
         );
     }
 
-    #[test]
-    fn profile_is_rejected_on_multi_run_commands() {
-        // Parse rejects the flag up front (the binary exits 2 with
-        // usage, like every other flag-scope violation)...
-        for line in [
-            "saturate --arch Baseline --benchmark Hotspot --quick --profile p.json",
-            "sweep --arch Baseline --benchmark Shuffle --from 0.1 --to 0.2 --steps 2 \
-             --profile p.json",
-        ] {
-            let args: Vec<String> = line.split_whitespace().map(String::from).collect();
-            let err = parse(&args).expect_err("--profile must not parse here");
-            assert!(err.to_string().contains("--profile"), "{err}");
+    fn profile_runs(line: &str, path: &str) -> usize {
+        use asynoc_telemetry::JsonValue;
+        run_cli(line);
+        let doc = JsonValue::parse(&std::fs::read_to_string(path).expect("profile file"))
+            .expect("profile document is valid JSON");
+        let _ = std::fs::remove_file(path);
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(asynoc::probe::PROFILE_SCHEMA)
+        );
+        let runs = doc.get("runs").and_then(JsonValue::as_array).expect("runs");
+        for run in runs {
+            assert!(
+                run.get("events").and_then(JsonValue::as_f64).unwrap() > 0.0
+                    || run
+                        .get("shards")
+                        .and_then(JsonValue::as_array)
+                        .is_some_and(|s| !s.is_empty()),
+                "every runs[] entry carries engine counters"
+            );
+            assert!(
+                run.get("config")
+                    .and_then(|c| c.get("rate_gfs"))
+                    .and_then(JsonValue::as_f64)
+                    .is_some(),
+                "every runs[] entry is keyed by its offered rate"
+            );
         }
-        // ...and execute guards commands constructed directly.
-        let command = Command::Saturate {
-            arch: Architecture::Baseline,
-            benchmark: asynoc::Benchmark::Hotspot,
-            quick: true,
-            probe_fan: 1,
-            common: CommonOptions {
-                profile: Some("p.json".to_string()),
-                ..CommonOptions::default()
-            },
-        };
-        let mut out = Vec::new();
-        let err = execute(&command, &mut out).unwrap_err();
-        assert!(err.to_string().contains("--profile"), "{err}");
+        runs.len()
+    }
+
+    #[test]
+    fn profiled_saturate_collects_one_run_per_probe() {
+        let path = std::env::temp_dir().join(format!(
+            "asynoc-saturate-profile-{}.json",
+            std::process::id()
+        ));
+        let path = path.to_string_lossy().into_owned();
+        let runs = profile_runs(
+            &format!("saturate --arch Baseline --benchmark Hotspot --quick --profile {path}"),
+            &path,
+        );
+        // The bisection search always takes at least two probes (plus
+        // the delivered-plateau run).
+        assert!(runs >= 2, "expected >= 2 profiled probes, got {runs}");
+    }
+
+    #[test]
+    fn profiled_sweep_collects_one_run_per_point() {
+        let path =
+            std::env::temp_dir().join(format!("asynoc-sweep-profile-{}.json", std::process::id()));
+        let path = path.to_string_lossy().into_owned();
+        let runs = profile_runs(
+            &format!(
+                "sweep --arch Baseline --benchmark Shuffle --from 0.2 --to 0.4 --steps 3 \
+                 --warmup-ns 60 --measure-ns 400 --profile {path}"
+            ),
+            &path,
+        );
+        assert_eq!(runs, 3, "one runs[] entry per sweep point");
+    }
+
+    #[test]
+    fn run_and_mesh_stream_without_perturbing_the_report() {
+        use asynoc_telemetry::{fold_stream, JsonValue};
+        for (tag, base) in [
+            (
+                "run",
+                "run --arch OptHybridSpeculative --benchmark Multicast5 --rate 0.2 \
+                 --warmup-ns 40 --measure-ns 300",
+            ),
+            (
+                "mesh",
+                "mesh --benchmark Uniform-random --rate 0.15 --cols 4 --rows 4 \
+                 --warmup-ns 60 --measure-ns 500",
+            ),
+        ] {
+            let path = std::env::temp_dir()
+                .join(format!("asynoc-{tag}-stream-{}.ndjson", std::process::id()));
+            let path = path.to_string_lossy().into_owned();
+            let plain = run_cli(base);
+            let streamed = run_cli(&format!("{base} --stream {path}"));
+            assert_eq!(plain, streamed, "{tag}: --stream must not change stdout");
+            let stream = std::fs::read_to_string(&path).expect("stream file");
+            let _ = std::fs::remove_file(&path);
+            let folded = fold_stream(&stream).expect("run stream folds");
+            assert!(
+                folded
+                    .get("throughput")
+                    .and_then(|t| t.get("delivered_gfs"))
+                    .and_then(JsonValue::as_f64)
+                    .unwrap()
+                    > 0.0,
+                "{tag}: end sections carry the scalar summary"
+            );
+        }
     }
 
     #[test]

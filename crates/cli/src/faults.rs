@@ -13,8 +13,9 @@ use std::io::Write;
 
 use asynoc::{Architecture, Benchmark};
 use asynoc_faults::{
-    judge, mesh_network, replay_command, run_mesh_outcome, run_mot_outcome, FaultDomain, FaultPlan,
-    OracleVerdict, RunOutcome, FAULTS_SCHEMA,
+    judge, mesh_network, replay_command, run_mesh_outcome, run_mesh_outcome_observed,
+    run_mot_outcome, run_mot_outcome_observed, FaultDomain, FaultPlan, OracleVerdict, RunOutcome,
+    FAULTS_SCHEMA,
 };
 use asynoc_telemetry::JsonValue;
 
@@ -136,7 +137,7 @@ fn outcome_json(outcome: &RunOutcome) -> JsonValue {
 
 fn run_pair(
     request: &FaultsRequest,
-) -> Result<(FaultDomain, FaultPlan, RunOutcome, Option<RunOutcome>), CliError> {
+) -> Result<(FaultDomain, FaultPlan, RunOutcome, Option<RunOutcome>, u64), CliError> {
     let invalid = |e: &dyn std::fmt::Display| CliError::Invalid(e.to_string());
     match request.substrate {
         Substrate::Mot => {
@@ -146,17 +147,37 @@ fn run_pair(
             let net = network(arch, &request.common)?;
             let domain = net.fault_domain();
             let plan = resolve_plan(request, &domain)?;
+            let phases = phases_for(request.benchmark, &request.common);
             let run = asynoc::RunConfig::new(request.benchmark, request.rate)?
-                .with_phases(phases_for(request.benchmark, &request.common))
+                .with_phases(phases)
                 .with_shards(request.common.shards)
                 .with_profile(request.common.profile.is_some())
                 .with_progress(request.common.progress);
-            let faulted = run_mot_outcome(&net, &run, Some(&plan))?;
+            // Only the faulted run is streamed: the clean twin stays
+            // unobserved so the oracle's reference is untouched.
+            let (faulted, watchpoints) = match &request.common.stream {
+                Some(path) => {
+                    let mut sink = crate::stream::mot_sink(
+                        path,
+                        &request.common,
+                        config_json(request),
+                        net.config().size(),
+                        phases,
+                        None,
+                        crate::stream::DEFAULT_TRACE_LIMIT,
+                    )?;
+                    let faulted =
+                        run_mot_outcome_observed(&net, &run, Some(&plan), &mut [&mut sink])?;
+                    let watchpoints = crate::stream::finish_sink(sink, JsonValue::Object(vec![]))?;
+                    (faulted, watchpoints)
+                }
+                None => (run_mot_outcome(&net, &run, Some(&plan))?, 0),
+            };
             let clean = request
                 .oracle
                 .then(|| run_mot_outcome(&net, &run, None))
                 .transpose()?;
-            Ok((domain, plan, faulted, clean))
+            Ok((domain, plan, faulted, clean, watchpoints))
         }
         Substrate::Mesh => {
             let net = mesh_network(
@@ -182,15 +203,41 @@ fn run_pair(
             let domain = net.fault_domain();
             let plan = resolve_plan(request, &domain)?;
             let phases = phases_for(request.benchmark, &request.common);
-            let faulted =
-                run_mesh_outcome(&net, request.benchmark, request.rate, phases, Some(&plan))
+            let (faulted, watchpoints) = match &request.common.stream {
+                Some(path) => {
+                    let mut sink = crate::stream::mesh_sink(
+                        path,
+                        &request.common,
+                        config_json(request),
+                        net.config().size().endpoints(),
+                        phases,
+                        None,
+                        crate::stream::DEFAULT_TRACE_LIMIT,
+                    )?;
+                    let faulted = run_mesh_outcome_observed(
+                        &net,
+                        request.benchmark,
+                        request.rate,
+                        phases,
+                        Some(&plan),
+                        &mut [&mut sink],
+                    )
                     .map_err(|e| invalid(&e))?;
+                    let watchpoints = crate::stream::finish_sink(sink, JsonValue::Object(vec![]))?;
+                    (faulted, watchpoints)
+                }
+                None => (
+                    run_mesh_outcome(&net, request.benchmark, request.rate, phases, Some(&plan))
+                        .map_err(|e| invalid(&e))?,
+                    0,
+                ),
+            };
             let clean = request
                 .oracle
                 .then(|| run_mesh_outcome(&net, request.benchmark, request.rate, phases, None))
                 .transpose()
                 .map_err(|e| invalid(&e))?;
-            Ok((domain, plan, faulted, clean))
+            Ok((domain, plan, faulted, clean, watchpoints))
         }
     }
 }
@@ -216,7 +263,7 @@ fn resolve_plan(request: &FaultsRequest, domain: &FaultDomain) -> Result<FaultPl
 pub fn execute_faults(request: &FaultsRequest, out: &mut dyn Write) -> Result<(), CliError> {
     let mut profiler =
         crate::profile::ProfileWriter::when(request.common.profile.as_ref(), "faults");
-    let (domain, plan, faulted, clean) = run_pair(request)?;
+    let (domain, plan, faulted, clean, watchpoints) = run_pair(request)?;
     if let Some(profiler) = profiler.as_mut() {
         // One `runs[]` entry per simulation: the faulted run first, then
         // (under --oracle) its clean twin with the same identity keys.
@@ -286,6 +333,7 @@ pub fn execute_faults(request: &FaultsRequest, out: &mut dyn Write) -> Result<()
             )));
         }
     }
+    crate::stream::fatal_check(watchpoints, &request.common)?;
     Ok(())
 }
 
@@ -369,6 +417,62 @@ mod tests {
             Some(&JsonValue::uint(1)),
             "the lost packet's tree is broken-with-cause"
         );
+    }
+
+    #[test]
+    fn seeded_stall_trips_the_no_progress_watchpoint() {
+        // A 100 us link stall parks a flit far past the horizon of a
+        // 150 ns run: the stream's no-progress invariant must fire and
+        // name the site where the flit was last seen.
+        let stream_path = std::env::temp_dir().join(format!(
+            "asynoc-faults-stall-stream-{}.ndjson",
+            std::process::id()
+        ));
+        let stream_path = stream_path.to_string_lossy().into_owned();
+        let report_path = std::env::temp_dir().join(format!(
+            "asynoc-faults-stall-report-{}.json",
+            std::process::id()
+        ));
+        let report_path = report_path.to_string_lossy().into_owned();
+        let base = format!(
+            "faults --arch Baseline --benchmark Shuffle --rate 0.2 --size 8 \
+             --warmup-ns 20 --measure-ns 150 --plan stall:0:1:100000000 \
+             --report-out {report_path} --stream {stream_path}"
+        );
+        run_cli(&base);
+        let stream = std::fs::read_to_string(&stream_path).expect("stream file");
+        let alert = stream
+            .lines()
+            .find(|l| l.contains("\"kind\":\"no_progress\""))
+            .expect("stall must trip the no-progress watchpoint");
+        let record = JsonValue::parse(alert).expect("watchpoint record parses");
+        let site = record.get("site").and_then(JsonValue::as_str).unwrap();
+        assert!(
+            site != "-" && !site.is_empty(),
+            "watchpoint names the causal site: {alert}"
+        );
+        assert!(
+            record.get("packet").and_then(JsonValue::as_f64).is_some(),
+            "watchpoint names the stalled packet: {alert}"
+        );
+
+        // --watch-fatal turns the tripped invariant into a non-zero exit
+        // *after* the report is written.
+        let _ = std::fs::remove_file(&report_path);
+        let args: Vec<String> = format!("{base} --watch-fatal")
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let command = parse(&args).expect("valid invocation");
+        let mut out = Vec::new();
+        let err = execute(&command, &mut out).expect_err("--watch-fatal must abort");
+        assert!(err.to_string().contains("--watch-fatal"), "{err}");
+        assert!(
+            std::fs::read_to_string(&report_path).is_ok(),
+            "report written before the fatal exit"
+        );
+        let _ = std::fs::remove_file(&stream_path);
+        let _ = std::fs::remove_file(&report_path);
     }
 
     #[test]

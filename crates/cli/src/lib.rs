@@ -22,6 +22,8 @@ pub mod commands;
 pub mod faults;
 pub mod metrics;
 pub mod profile;
+pub(crate) mod stream;
+pub mod watch;
 
 pub use args::{parse, Command, ParseCliError};
 pub use commands::execute;

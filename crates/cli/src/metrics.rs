@@ -123,7 +123,9 @@ pub(crate) fn config_json(
     ])
 }
 
-fn throughput_json(throughput: &asynoc_stats::throughput::ThroughputReport) -> JsonValue {
+pub(crate) fn throughput_json(
+    throughput: &asynoc_stats::throughput::ThroughputReport,
+) -> JsonValue {
     JsonValue::Object(vec![
         (
             "offered_gfs".to_string(),
@@ -144,7 +146,7 @@ fn throughput_json(throughput: &asynoc_stats::throughput::ThroughputReport) -> J
     ])
 }
 
-fn power_json(report: &RunReport, window: Duration) -> JsonValue {
+pub(crate) fn power_json(report: &RunReport, window: Duration) -> JsonValue {
     let category = |c: EnergyCategory| JsonValue::Number(report.power.category_mw(c));
     JsonValue::Object(vec![
         ("fanout_mw".to_string(), category(EnergyCategory::Fanout)),
@@ -167,7 +169,7 @@ fn power_json(report: &RunReport, window: Duration) -> JsonValue {
     ])
 }
 
-fn counters_json(
+pub(crate) fn counters_json(
     packets_measured: usize,
     packets_incomplete: usize,
     flits_throttled: u64,
@@ -207,7 +209,7 @@ fn counters_json(
 
 /// The per-level busy-fraction groups of a MoT: fanout levels from the
 /// root down, then fanin levels from the leaves toward each sink.
-fn mot_levels(size: MotSize) -> Vec<LevelSpec> {
+pub(crate) fn mot_levels(size: MotSize) -> Vec<LevelSpec> {
     let n = size.n();
     let levels = size.levels() as usize;
     let mut specs = Vec::with_capacity(2 * levels);
@@ -226,7 +228,7 @@ fn mot_levels(size: MotSize) -> Vec<LevelSpec> {
     specs
 }
 
-fn mot_label(size: MotSize) -> impl Fn(MotNode) -> String + Copy {
+pub(crate) fn mot_label(size: MotSize) -> impl Fn(MotNode) -> String + Copy {
     move |node| match node {
         MotNode::Fanout(flat) => FanoutNodeId::from_flat_index(size, flat).to_string(),
         MotNode::Fanin(flat) => FaninNodeId::from_flat_index(size, flat).to_string(),
@@ -234,11 +236,13 @@ fn mot_label(size: MotSize) -> impl Fn(MotNode) -> String + Copy {
 }
 
 /// One substrate run's outputs: the report document, the rendered trace
-/// (if requested), and the engine's self-profile (if requested).
+/// (if requested), the engine's self-profile (if requested), and the
+/// number of watchpoint records the stream fired (0 without `--stream`).
 type MetricsRun = (
     JsonValue,
     Option<String>,
     Option<Box<asynoc::probe::EngineProfile>>,
+    u64,
 );
 
 /// Runs the MoT substrate with the full telemetry stack and assembles
@@ -295,15 +299,63 @@ fn run_mot(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
         }),
     );
     let mut tracers = Tracers::new(request.trace_format, request.trace_limit, label);
+    let mut sink = match &request.common.stream {
+        Some(path) => Some(crate::stream::mot_sink(
+            path,
+            &request.common,
+            config_json(
+                Some(arch),
+                request.benchmark,
+                request.rate,
+                request.common.size,
+                &request.common,
+            ),
+            size,
+            phases,
+            Some(request.bin_ns),
+            request.trace_limit,
+        )?),
+        None => None,
+    };
 
     let mut extra: Vec<&mut dyn Observer<MotNode>> =
         vec![&mut latency, &mut timeseries, &mut waste];
     tracers.push_into(&mut extra);
+    if let Some(sink) = sink.as_mut() {
+        extra.push(sink);
+    }
     let mut report = net.run_with_observers(&run, &mut extra)?;
     let engine_profile = report.profile.take();
 
     // mW = fJ/ps, so dynamic energy over the window is mW x ps (in fJ).
     let dynamic_fj = report.power.dynamic_mw() * phases.measure().as_ps() as f64;
+    let waste_value = waste.to_json(dynamic_fj);
+    let throughput_value = throughput_json(&report.throughput);
+    let power_value = power_json(&report, phases.measure());
+    let counters_value = counters_json(
+        report.packets_measured,
+        report.packets_incomplete,
+        report.flits_throttled,
+        report.flits_delivered,
+        report.events_processed,
+        report.shards,
+        &report.shard_events,
+    );
+    // The stream's end record carries the scalar sections verbatim, in
+    // batch order, so `fold_stream` reproduces the document below
+    // byte-for-byte.
+    let watchpoints = match sink {
+        Some(sink) => crate::stream::finish_sink(
+            sink,
+            JsonValue::Object(vec![
+                ("waste".to_string(), waste_value.clone()),
+                ("throughput".to_string(), throughput_value.clone()),
+                ("power".to_string(), power_value.clone()),
+                ("counters".to_string(), counters_value.clone()),
+            ]),
+        )?,
+        None => 0,
+    };
     let doc = JsonValue::Object(vec![
         ("schema".to_string(), JsonValue::str(METRICS_SCHEMA)),
         ("substrate".to_string(), JsonValue::str("mot")),
@@ -319,24 +371,10 @@ fn run_mot(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
         ),
         ("latency".to_string(), latency.to_json()),
         ("timeseries".to_string(), timeseries.to_json()),
-        ("waste".to_string(), waste.to_json(dynamic_fj)),
-        (
-            "throughput".to_string(),
-            throughput_json(&report.throughput),
-        ),
-        ("power".to_string(), power_json(&report, phases.measure())),
-        (
-            "counters".to_string(),
-            counters_json(
-                report.packets_measured,
-                report.packets_incomplete,
-                report.flits_throttled,
-                report.flits_delivered,
-                report.events_processed,
-                report.shards,
-                &report.shard_events,
-            ),
-        ),
+        ("waste".to_string(), waste_value),
+        ("throughput".to_string(), throughput_value),
+        ("power".to_string(), power_value),
+        ("counters".to_string(), counters_value),
     ]);
     let meta = TraceMeta {
         substrate: "mot".to_string(),
@@ -351,7 +389,7 @@ fn run_mot(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
         drop_fj: Some(drop_fj),
         dropped_events: 0,
     };
-    Ok((doc, tracers.render(meta), engine_profile))
+    Ok((doc, tracers.render(meta), engine_profile, watchpoints))
 }
 
 /// Runs the mesh substrate with the substrate-agnostic subset of the
@@ -380,13 +418,57 @@ fn run_mesh(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
         |router: usize| format!("r{router}"),
     );
 
+    let mut sink = match &request.common.stream {
+        Some(path) => Some(crate::stream::mesh_sink(
+            path,
+            &request.common,
+            config_json(
+                None,
+                request.benchmark,
+                request.rate,
+                request.common.size,
+                &request.common,
+            ),
+            endpoints,
+            phases,
+            Some(request.bin_ns),
+            request.trace_limit,
+        )?),
+        None => None,
+    };
+
     let mut extra: Vec<&mut dyn Observer<usize>> = vec![&mut latency, &mut timeseries];
     tracers.push_into(&mut extra);
+    if let Some(sink) = sink.as_mut() {
+        extra.push(sink);
+    }
     let mut report: MeshReport = net
         .run_with_observers(request.benchmark, request.rate, phases, &mut extra)
         .map_err(|e| CliError::Invalid(e.to_string()))?;
     let engine_profile = report.profile.take();
 
+    let throughput_value = throughput_json(&report.throughput);
+    let counters_value = counters_json(
+        report.packets_measured,
+        report.packets_incomplete,
+        0,
+        0,
+        report.events_processed,
+        report.shards,
+        &report.shard_events,
+    );
+    let watchpoints = match sink {
+        Some(sink) => crate::stream::finish_sink(
+            sink,
+            JsonValue::Object(vec![
+                ("waste".to_string(), JsonValue::Null),
+                ("throughput".to_string(), throughput_value.clone()),
+                ("power".to_string(), JsonValue::Null),
+                ("counters".to_string(), counters_value.clone()),
+            ]),
+        )?,
+        None => 0,
+    };
     let doc = JsonValue::Object(vec![
         ("schema".to_string(), JsonValue::str(METRICS_SCHEMA)),
         ("substrate".to_string(), JsonValue::str("mesh")),
@@ -403,23 +485,9 @@ fn run_mesh(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
         ("latency".to_string(), latency.to_json()),
         ("timeseries".to_string(), timeseries.to_json()),
         ("waste".to_string(), JsonValue::Null),
-        (
-            "throughput".to_string(),
-            throughput_json(&report.throughput),
-        ),
+        ("throughput".to_string(), throughput_value),
         ("power".to_string(), JsonValue::Null),
-        (
-            "counters".to_string(),
-            counters_json(
-                report.packets_measured,
-                report.packets_incomplete,
-                0,
-                0,
-                report.events_processed,
-                report.shards,
-                &report.shard_events,
-            ),
-        ),
+        ("counters".to_string(), counters_value),
     ]);
     let meta = TraceMeta {
         substrate: "mesh".to_string(),
@@ -434,7 +502,7 @@ fn run_mesh(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
         drop_fj: None,
         dropped_events: 0,
     };
-    Ok((doc, tracers.render(meta), engine_profile))
+    Ok((doc, tracers.render(meta), engine_profile, watchpoints))
 }
 
 /// Executes a `metrics` command: runs the instrumented simulation, then
@@ -447,7 +515,7 @@ fn run_mesh(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
 /// Returns a [`CliError`] on simulation, configuration, or I/O failure.
 pub fn execute_metrics(request: &MetricsRequest, out: &mut dyn Write) -> Result<(), CliError> {
     let profiler = crate::profile::ProfileWriter::when(request.common.profile.as_ref(), "metrics");
-    let (doc, trace, engine_profile) = match request.substrate {
+    let (doc, trace, engine_profile, watchpoints) = match request.substrate {
         Substrate::Mot => run_mot(request)?,
         Substrate::Mesh => run_mesh(request)?,
     };
@@ -485,6 +553,7 @@ pub fn execute_metrics(request: &MetricsRequest, out: &mut dyn Write) -> Result<
         }
         profiler.finish()?;
     }
+    crate::stream::fatal_check(watchpoints, &request.common)?;
     Ok(())
 }
 
@@ -630,6 +699,99 @@ mod tests {
                 .unwrap()
                 > 0.0
         );
+    }
+
+    #[test]
+    fn streamed_windows_fold_back_into_the_batch_document() {
+        use asynoc_telemetry::fold_stream;
+        // Both substrates, serial and sharded: the incremental stream
+        // must fold into the exact batch report, and the event-record
+        // prefix of the stream must be shard-invariant.
+        for substrate_args in [
+            "--arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 --bin-ns 50",
+            "--substrate mesh --benchmark Uniform-random --rate 0.1 --size 4 --bin-ns 50",
+        ] {
+            let tag = if substrate_args.contains("mesh") {
+                "mesh"
+            } else {
+                "mot"
+            };
+            let mut streams = Vec::new();
+            for shards in [1usize, 2] {
+                let batch_path = temp_path(&format!("fold-batch-{tag}-{shards}.json"));
+                let stream_path = temp_path(&format!("fold-stream-{tag}-{shards}.ndjson"));
+                run_cli(&format!(
+                    "metrics {substrate_args} --warmup-ns 40 --measure-ns 400 \
+                     --shards {shards} --metrics-out {batch_path} --stream {stream_path}"
+                ));
+                let batch = std::fs::read_to_string(&batch_path).expect("batch report");
+                let stream = std::fs::read_to_string(&stream_path).expect("stream file");
+                let folded = fold_stream(&stream).expect("stream folds").render_pretty();
+                assert_eq!(
+                    folded, batch,
+                    "fold != batch for {substrate_args} shards {shards}"
+                );
+                streams.push(stream);
+                let _ = std::fs::remove_file(&batch_path);
+                let _ = std::fs::remove_file(&stream_path);
+            }
+            // Everything up to the end record is byte-identical across
+            // shard counts; the end record's counters section records
+            // the shard layout itself, so it legitimately differs.
+            let prefix = |text: &str| {
+                let mut lines: Vec<&str> = text.lines().collect();
+                assert!(lines.pop().is_some_and(|l| l.contains("\"type\":\"end\"")));
+                lines.join("\n")
+            };
+            assert_eq!(
+                prefix(&streams[0]),
+                prefix(&streams[1]),
+                "{tag} stream records must be shard-invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn watch_fold_reproduces_the_batch_report_via_the_cli() {
+        let batch_path = temp_path("watch-batch.json");
+        let stream_path = temp_path("watch-stream.ndjson");
+        let folded_path = temp_path("watch-folded.json");
+        run_cli(&format!(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 \
+             --warmup-ns 40 --measure-ns 300 --metrics-out {batch_path} \
+             --stream {stream_path} --stream-window-ns 100"
+        ));
+        let text = run_cli(&format!(
+            "watch --stream-in {stream_path} --once --fold {folded_path}"
+        ));
+        assert!(text.contains("stream ended"), "{text}");
+        let batch = std::fs::read_to_string(&batch_path).expect("batch report");
+        let folded = std::fs::read_to_string(&folded_path).expect("folded report");
+        assert_eq!(folded, batch, "watch --fold must reproduce the batch bytes");
+        let _ = std::fs::remove_file(&batch_path);
+        let _ = std::fs::remove_file(&stream_path);
+        let _ = std::fs::remove_file(&folded_path);
+    }
+
+    #[test]
+    fn streaming_leaves_the_batch_outputs_unchanged() {
+        // --stream is an additive observer: stdout (the batch report)
+        // must stay byte-identical with and without it.
+        let stream_path = temp_path("invariance.ndjson");
+        let base = "metrics --arch BasicHybridSpeculative --benchmark Multicast5 --rate 0.2 \
+                    --warmup-ns 40 --measure-ns 200";
+        let plain = run_cli(base);
+        let streamed = run_cli(&format!("{base} --stream {stream_path} --stream-trace"));
+        assert_eq!(plain, streamed);
+        let stream = std::fs::read_to_string(&stream_path).expect("stream file");
+        let _ = std::fs::remove_file(&stream_path);
+        assert!(stream.contains("\"type\":\"head\""));
+        assert!(stream.contains("\"type\":\"window\""));
+        assert!(
+            stream.contains("\"type\":\"trace\""),
+            "--stream-trace embeds trace records"
+        );
+        assert!(stream.contains("\"type\":\"end\""));
     }
 
     #[test]

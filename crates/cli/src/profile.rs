@@ -345,4 +345,19 @@ mod tests {
         assert!(ProfileWriter::when(None, "run").is_none());
         assert!(ProfileWriter::when(Some(&"p.json".to_string()), "run").is_some());
     }
+
+    #[test]
+    fn unwritable_path_surfaces_as_an_io_error() {
+        // The failure must carry the OS error (for `error: ...` on
+        // stderr), not panic — a bad --profile path is user input.
+        let mut writer =
+            ProfileWriter::new("run", "/nonexistent-asynoc-dir/deeply/nested/profile.json");
+        writer.add_run(JsonValue::Object(vec![]), &sample_profile());
+        let err = writer.finish().expect_err("missing directory must fail");
+        assert!(matches!(err, CliError::Io(_)), "got {err:?}");
+        assert!(
+            !err.to_string().is_empty(),
+            "error renders the OS diagnostic"
+        );
+    }
 }

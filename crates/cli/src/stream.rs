@@ -1,0 +1,144 @@
+//! Shared plumbing for `--stream`: sink construction for both
+//! substrates and the finish / `--watch-fatal` epilogue.
+//!
+//! Every streamed command builds its sink here so the stream's `head`
+//! config, level grouping, and site labels match the batch metrics
+//! path exactly — that identity is what lets `asynoc watch --fold`
+//! reproduce the batch `asynoc-metrics-v1` document byte-for-byte.
+
+use std::io::Write;
+
+use asynoc::{Duration, MotNode, NodeKey, Phases};
+use asynoc_telemetry::{JsonValue, StreamConfig, StreamSink, TimeSeries, WatchConfig};
+use asynoc_topology::{FaninNodeId, FanoutNodeId, MotSize};
+
+use crate::args::CommonOptions;
+use crate::commands::CliError;
+
+/// Default flush-window width when `--stream-window-ns` is absent, ns.
+pub(crate) const DEFAULT_WINDOW_NS: u64 = 1000;
+
+/// Per-window trace bound for `--stream-trace` on commands without a
+/// `--trace-limit` of their own.
+pub(crate) const DEFAULT_TRACE_LIMIT: usize = 100_000;
+
+/// Resolves `(window, bin)`. Commands with a time-series grid pass
+/// their bin width and get the default window snapped onto it; the
+/// rest use one bin per window.
+fn resolve_widths(common: &CommonOptions, bin_ns: Option<u64>) -> (Duration, Duration) {
+    match bin_ns {
+        Some(bin) => {
+            let window = common
+                .stream_window_ns
+                .unwrap_or_else(|| bin * DEFAULT_WINDOW_NS.div_ceil(bin));
+            (Duration::from_ns(window), Duration::from_ns(bin))
+        }
+        None => {
+            let window = Duration::from_ns(common.stream_window_ns.unwrap_or(DEFAULT_WINDOW_NS));
+            (window, window)
+        }
+    }
+}
+
+/// Opens the destination of `--stream <path|->`.
+fn open_out(path: &str) -> Result<Box<dyn Write>, CliError> {
+    Ok(if path == "-" {
+        Box::new(std::io::stdout())
+    } else {
+        Box::new(std::fs::File::create(path)?)
+    })
+}
+
+/// Builds the streaming sink for a MoT run, mirroring the batch metrics
+/// collectors (same level grouping, same node labels).
+///
+/// `bin_ns` is the time-series bin width when the command has one
+/// (`metrics --bin-ns`); `None` uses one bin per flush window.
+pub(crate) fn mot_sink(
+    path: &str,
+    common: &CommonOptions,
+    config: JsonValue,
+    size: MotSize,
+    phases: Phases,
+    bin_ns: Option<u64>,
+    trace_limit: usize,
+) -> Result<StreamSink<MotNode>, CliError> {
+    let (window, bin) = resolve_widths(common, bin_ns);
+    let levels = size.levels() as usize;
+    let series = TimeSeries::new(
+        bin,
+        crate::metrics::mot_levels(size),
+        Box::new(move |node: MotNode| match node {
+            MotNode::Fanout(flat) => Some(FanoutNodeId::from_flat_index(size, flat).level as usize),
+            MotNode::Fanin(flat) => {
+                Some(levels + FaninNodeId::from_flat_index(size, flat).level as usize)
+            }
+        }),
+    );
+    let label = crate::metrics::mot_label(size);
+    Ok(StreamSink::new(
+        open_out(path)?,
+        StreamConfig {
+            substrate: "mot".to_string(),
+            config,
+            window,
+            trace_limit: common.stream_trace.then_some(trace_limit),
+            watch: WatchConfig::default(),
+        },
+        phases,
+        size.n(),
+        series,
+        Box::new(label),
+    )?)
+}
+
+/// Builds the streaming sink for a mesh run (one "router" level, like
+/// the batch mesh metrics path).
+pub(crate) fn mesh_sink(
+    path: &str,
+    common: &CommonOptions,
+    config: JsonValue,
+    endpoints: usize,
+    phases: Phases,
+    bin_ns: Option<u64>,
+    trace_limit: usize,
+) -> Result<StreamSink<usize>, CliError> {
+    let (window, bin) = resolve_widths(common, bin_ns);
+    let series = TimeSeries::single_level(bin, "router", endpoints);
+    Ok(StreamSink::new(
+        open_out(path)?,
+        StreamConfig {
+            substrate: "mesh".to_string(),
+            config,
+            window,
+            trace_limit: common.stream_trace.then_some(trace_limit),
+            watch: WatchConfig::default(),
+        },
+        phases,
+        endpoints,
+        series,
+        Box::new(|router: usize| format!("r{router}")),
+    )?)
+}
+
+/// Closes the stream (final window flush, residue check, `end` record)
+/// and returns how many watchpoint records fired over its life.
+pub(crate) fn finish_sink<N: Copy + NodeKey + 'static>(
+    sink: StreamSink<N>,
+    sections: JsonValue,
+) -> Result<u64, CliError> {
+    Ok(sink.finish(sections)?.watchpoints)
+}
+
+/// The `--watch-fatal` epilogue: called after every report is written,
+/// so a tripped watchpoint aborts with a non-zero exit without eating
+/// the run's own output.
+pub(crate) fn fatal_check(watchpoints: u64, common: &CommonOptions) -> Result<(), CliError> {
+    if common.watch_fatal && watchpoints > 0 {
+        return Err(CliError::Invalid(format!(
+            "--watch-fatal: {watchpoints} watchpoint record(s) fired during the run \
+             (see the stream for causal context)"
+        )));
+    }
+    Ok(())
+}

@@ -167,6 +167,7 @@ pub struct RunConfig {
     shards: usize,
     profile: bool,
     progress: bool,
+    latency_cap: Option<usize>,
 }
 
 impl RunConfig {
@@ -192,6 +193,7 @@ impl RunConfig {
             shards: 1,
             profile: false,
             progress: false,
+            latency_cap: None,
         })
     }
 
@@ -329,6 +331,23 @@ impl RunConfig {
     #[must_use]
     pub fn progress(&self) -> bool {
         self.progress
+    }
+
+    /// Caps the engine's stored latency-sample reservoir (streaming
+    /// runs set this so memory is bounded independent of run length).
+    /// Count, mean, min, and max stay exact past the cap; percentiles
+    /// degrade to the retained prefix. `None` (the default) stores
+    /// every sample.
+    #[must_use]
+    pub fn with_latency_cap(mut self, cap: Option<usize>) -> Self {
+        self.latency_cap = cap;
+        self
+    }
+
+    /// The latency-sample reservoir cap (`None` = unbounded).
+    #[must_use]
+    pub fn latency_cap(&self) -> Option<usize> {
+        self.latency_cap
     }
 }
 

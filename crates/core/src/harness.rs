@@ -253,14 +253,54 @@ pub fn saturation_of(
     benchmark: Benchmark,
     quality: &Quality,
 ) -> Result<SaturationPoint, SimError> {
+    Ok(saturation_of_inner(network, benchmark, quality, false)?.0)
+}
+
+/// The engine self-profiles of every run a saturation search performed,
+/// keyed by the probed rate and sorted by it (deterministic at any
+/// `jobs`/`probe_fan` setting). The overload plateau run appears under
+/// [`Quality::rate_ceiling`].
+pub type ProbeProfiles = Vec<(f64, Box<asynoc_engine::probe::EngineProfile>)>;
+
+/// [`saturation_of`] with the engine's self-profile collected from every
+/// probe run (`asynoc saturate --profile` surfaces these as one `runs[]`
+/// entry per probe). Profiling is host-side metadata only: the returned
+/// saturation point is bit-identical to the unprofiled search.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the underlying runs.
+pub fn saturation_of_profiled(
+    network: &Network,
+    benchmark: Benchmark,
+    quality: &Quality,
+) -> Result<(SaturationPoint, ProbeProfiles), SimError> {
+    let (point, profiles) = saturation_of_inner(network, benchmark, quality, true)?;
+    Ok((point, profiles.unwrap_or_default()))
+}
+
+fn saturation_of_inner(
+    network: &Network,
+    benchmark: Benchmark,
+    quality: &Quality,
+    collect_profiles: bool,
+) -> Result<(SaturationPoint, Option<ProbeProfiles>), SimError> {
     let probe = StabilityProbe::new();
+    let profiles: std::sync::Mutex<ProbeProfiles> = std::sync::Mutex::new(Vec::new());
     let judge = |rate: f64| {
         let run = RunConfig::new(benchmark, rate)
             .expect("bisection rates are positive")
             .with_phases(quality.probe_phases)
             .with_drain(false)
-            .with_shards(quality.shards);
-        let report = network.run(&run).expect("probe run cannot fail");
+            .with_shards(quality.shards)
+            .with_profile(collect_profiles);
+        let mut report = network.run(&run).expect("probe run cannot fail");
+        if let Some(profile) = report.profile.take() {
+            profiles
+                .lock()
+                .expect("probe profile lock")
+                .push((rate, profile));
+        }
         probe.judge(report.throughput.offered, report.throughput.injected)
     };
     let injected_gfs = find_saturation_multi(
@@ -278,12 +318,24 @@ pub fn saturation_of(
     let run = RunConfig::new(benchmark, quality.rate_ceiling)?
         .with_phases(quality.probe_phases.scaled(2))
         .with_drain(false)
-        .with_shards(quality.shards);
-    let report = network.run(&run)?;
-    Ok(SaturationPoint {
+        .with_shards(quality.shards)
+        .with_profile(collect_profiles);
+    let mut report = network.run(&run)?;
+    let point = SaturationPoint {
         injected_gfs,
         delivered_gfs: report.throughput.delivered,
-    })
+    };
+    if !collect_profiles {
+        return Ok((point, None));
+    }
+    let mut profiles = profiles.into_inner().expect("probe profile lock");
+    if let Some(profile) = report.profile.take() {
+        profiles.push((quality.rate_ceiling, profile));
+    }
+    // Probes land in worker-completion order; re-key by rate so the
+    // profile document is independent of scheduling.
+    profiles.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("probe rates are finite"));
+    Ok((point, Some(profiles)))
 }
 
 /// Runs one latency measurement at `fraction` of the network's saturation.
@@ -709,6 +761,27 @@ mod tests {
             (serial.injected_gfs - bisected.injected_gfs).abs() <= 2.0 * fanned.tolerance,
             "k-section {serial:?} vs bisection {bisected:?}"
         );
+    }
+
+    #[test]
+    fn profiled_saturation_matches_unprofiled_and_collects_probes() {
+        let quality = Quality::quick();
+        let network = Network::new(
+            NetworkConfig::eight_by_eight(Architecture::Baseline).with_seed(quality.seed),
+        )
+        .unwrap();
+        let plain = saturation_of(&network, Benchmark::Hotspot, &quality).unwrap();
+        let (profiled, profiles) =
+            saturation_of_profiled(&network, Benchmark::Hotspot, &quality).unwrap();
+        assert_eq!(plain, profiled, "profiling must not perturb the search");
+        assert!(profiles.len() >= 2, "probes plus the plateau run");
+        assert!(
+            profiles.windows(2).all(|w| w[0].0 <= w[1].0),
+            "profiles sorted by probed rate"
+        );
+        assert!(profiles
+            .iter()
+            .all(|(_, p)| p.shards.iter().map(|s| s.events).sum::<u64>() > 0));
     }
 
     #[test]

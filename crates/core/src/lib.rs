@@ -62,7 +62,7 @@ pub use trace::{TraceAction, TraceEvent, TraceLocation};
 
 // Re-export the vocabulary types users need to drive the API.
 pub use asynoc_engine::probe;
-pub use asynoc_engine::{parallel_map, Observer, SimEvent};
+pub use asynoc_engine::{parallel_map, NodeKey, Observer, SimEvent};
 pub use asynoc_kernel::default_parallelism;
 pub use asynoc_kernel::{Duration, SchedulerKind, Time};
 pub use asynoc_nodes::TimingModel;

@@ -252,7 +252,8 @@ impl Network {
         let spec = RunSpec::new(phases, run.drain())
             .with_scheduler(run.scheduler())
             .with_profile(run.profile())
-            .with_progress(run.progress());
+            .with_progress(run.progress())
+            .with_latency_cap(run.latency_cap());
         let observers: &mut [&mut dyn Observer<MotNode>] =
             &mut [&mut power, &mut activity, &mut trace, &mut extras];
         let shards = run.shards();

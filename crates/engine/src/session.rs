@@ -135,6 +135,11 @@ pub struct RunSpec {
     /// lag) while the run executes. Suppressed automatically when stderr
     /// is not a terminal unless `ASYNOC_PROGRESS_FORCE` is set.
     pub progress: bool,
+    /// Bound on the engine's stored latency-sample reservoir, or `None`
+    /// to keep every sample (exact percentiles). Streaming runs set a
+    /// cap so peak memory is independent of run length; `count`, `mean`,
+    /// `min`, and `max` stay exact either way.
+    pub latency_cap: Option<usize>,
 }
 
 impl RunSpec {
@@ -149,6 +154,7 @@ impl RunSpec {
             queue_capacity: None,
             profile: false,
             progress: false,
+            latency_cap: None,
         }
     }
 
@@ -179,6 +185,14 @@ impl RunSpec {
     #[must_use]
     pub fn with_progress(mut self, progress: bool) -> Self {
         self.progress = progress;
+        self
+    }
+
+    /// Bounds the latency-sample reservoir (see
+    /// [`RunSpec::latency_cap`]).
+    #[must_use]
+    pub fn with_latency_cap(mut self, cap: Option<usize>) -> Self {
+        self.latency_cap = cap;
         self
     }
 }
@@ -837,6 +851,9 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             .map(|src| (spec.phases.measure().as_ps() / src.mean_gap().as_ps().max(1)) as usize + 1)
             .sum();
         let latency_capacity = expected_packets + expected_packets / 4 + 64;
+        let latency_capacity = spec
+            .latency_cap
+            .map_or(latency_capacity, |cap| latency_capacity.min(cap));
 
         let mut ctx = Ctx {
             phases: spec.phases,
@@ -854,7 +871,7 @@ impl<'obs, 'run, M: SimModel> Session<'obs, 'run, M> {
             pending: HashMap::with_capacity_and_hasher(n * 16 + 256, DetHashState),
             pending_measured: 0,
             shard,
-            latency: LatencyStats::with_capacity(latency_capacity),
+            latency: LatencyStats::with_capacity(latency_capacity).with_cap(spec.latency_cap),
             throughput: ThroughputCounter::new(n),
             flits_throttled: 0,
             flits_delivered: 0,

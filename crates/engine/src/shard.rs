@@ -492,6 +492,9 @@ fn run_sharded_inner<M: ShardModel>(
         .map(|src| (spec.phases.measure().as_ps() / src.mean_gap().as_ps().max(1)) as usize + 1)
         .sum();
     let latency_capacity = expected_packets + expected_packets / 4 + 64;
+    let latency_capacity = spec
+        .latency_cap
+        .map_or(latency_capacity, |cap| latency_capacity.min(cap));
 
     let scheduler: ShardedScheduler<Event<M::Node>> =
         ShardedScheduler::new(shard_count, spec.scheduler, queue_capacity, lookahead);
@@ -568,7 +571,7 @@ fn run_sharded_inner<M: ShardModel>(
     let mut pending: HashMap<u64, Pending, DetHashState> =
         HashMap::with_capacity_and_hasher(n * 16 + 256, DetHashState);
     let mut pending_measured = 0usize;
-    let mut latency = LatencyStats::with_capacity(latency_capacity);
+    let mut latency = LatencyStats::with_capacity(latency_capacity).with_cap(spec.latency_cap);
     let mut fault_total = base_summary.unwrap_or_default();
     let mut tail_events = vec![0u64; shard_count];
     for &(si, ri) in &order {

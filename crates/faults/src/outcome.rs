@@ -18,6 +18,19 @@ use asynoc_telemetry::{FaultLedger, TraceCollector};
 
 use crate::plan::FaultPlan;
 
+/// Forwards one event to a caller-supplied observer slice (`&mut dyn`
+/// is invariant in the trait object's lifetime, so the caller's
+/// observers can't join a slice of short-lived local ones directly).
+struct Extras<'x, 'y, N>(&'x mut [&'y mut dyn Observer<N>]);
+
+impl<N> Observer<N> for Extras<'_, '_, N> {
+    fn on_event(&mut self, at: Time, in_window: bool, event: &SimEvent<'_, N>) {
+        for observer in self.0.iter_mut() {
+            observer.on_event(at, in_window, event);
+        }
+    }
+}
+
 /// The delivered-destination multiset: how many header flits each
 /// `(logical packet, destination)` pair received. Recoverable faults
 /// must leave this identical to the clean twin's.
@@ -123,11 +136,29 @@ pub fn run_mot_outcome(
     run: &RunConfig,
     plan: Option<&FaultPlan>,
 ) -> Result<RunOutcome, asynoc::SimError> {
+    run_mot_outcome_observed(net, run, plan, &mut [])
+}
+
+/// [`run_mot_outcome`] with caller-supplied observers (e.g. a streaming
+/// sink) registered after the oracle's own. Extra observers see the
+/// identical, ungated event stream and cannot perturb the outcome —
+/// streamed fault runs stay oracle-clean.
+///
+/// # Errors
+///
+/// Returns the substrate's own error on an invalid run specification.
+pub fn run_mot_outcome_observed(
+    net: &Network,
+    run: &RunConfig,
+    plan: Option<&FaultPlan>,
+    observers: &mut [&mut dyn Observer<asynoc::MotNode>],
+) -> Result<RunOutcome, asynoc::SimError> {
     let mut log = DeliveryLog::new();
     let mut ledger = FaultLedger::new();
     let mut trace = TraceCollector::generic(TRACE_CAPACITY);
+    let mut extras = Extras(observers);
     let mut extra: Vec<&mut dyn Observer<asynoc::MotNode>> =
-        vec![&mut log, &mut ledger, &mut trace];
+        vec![&mut log, &mut ledger, &mut trace, &mut extras];
     let (report, summary) = match plan {
         Some(plan) if !plan.entries.is_empty() => {
             let mut armed = plan.arm();
@@ -164,10 +195,31 @@ pub fn run_mesh_outcome(
     phases: Phases,
     plan: Option<&FaultPlan>,
 ) -> Result<RunOutcome, asynoc_mesh::MeshError> {
+    run_mesh_outcome_observed(net, benchmark, rate, phases, plan, &mut [])
+}
+
+/// [`run_mesh_outcome`] with caller-supplied observers (e.g. a
+/// streaming sink) registered after the oracle's own. Extra observers
+/// see the identical, ungated event stream and cannot perturb the
+/// outcome — streamed fault runs stay oracle-clean.
+///
+/// # Errors
+///
+/// Returns the substrate's own error on an invalid run specification.
+pub fn run_mesh_outcome_observed(
+    net: &MeshNetwork,
+    benchmark: Benchmark,
+    rate: f64,
+    phases: Phases,
+    plan: Option<&FaultPlan>,
+    observers: &mut [&mut dyn Observer<usize>],
+) -> Result<RunOutcome, asynoc_mesh::MeshError> {
     let mut log = DeliveryLog::new();
     let mut ledger = FaultLedger::new();
     let mut trace: TraceCollector<usize> = TraceCollector::generic(TRACE_CAPACITY);
-    let mut extra: Vec<&mut dyn Observer<usize>> = vec![&mut log, &mut ledger, &mut trace];
+    let mut extras = Extras(observers);
+    let mut extra: Vec<&mut dyn Observer<usize>> =
+        vec![&mut log, &mut ledger, &mut trace, &mut extras];
     let (report, summary) = match plan {
         Some(plan) if !plan.entries.is_empty() => {
             let mut armed = plan.arm();

@@ -46,6 +46,13 @@ const SHRINK_DIVISOR: usize = 8;
 /// heap pop, and skipping the rebuild keeps small steady-state queues
 /// (the engine's) from ever touching the allocator mid-run.
 const RECALIBRATE_MIN_BUCKETS: usize = 64;
+/// Earliest events sampled to calibrate the bucket width on a rebuild.
+const WIDTH_SAMPLE: usize = 64;
+/// A drained bucket holding more capacity than this (entries) is shrunk
+/// back, releasing memory ratcheted up by a one-off burst. Well above
+/// any steady-state bucket population (~2–4 entries), so a calibrated
+/// queue never touches the allocator here.
+const OVERSIZED_BUCKET: usize = 64;
 
 #[derive(Clone, Debug)]
 struct Entry<E> {
@@ -266,6 +273,9 @@ impl<E> CalendarQueue<E> {
         let (bucket, day, _) = found;
         self.cursor_day = day;
         let entry = self.buckets[bucket].pop().expect("find_next found it");
+        if self.buckets[bucket].is_empty() && self.buckets[bucket].capacity() > OVERSIZED_BUCKET {
+            self.buckets[bucket].shrink_to(OVERSIZED_BUCKET);
+        }
         self.len -= 1;
         self.stats.pops += 1;
         self.ops_since_rebuild += 1;
@@ -305,12 +315,25 @@ impl<E> CalendarQueue<E> {
             (lo.min(e.time.as_ps()), hi.max(e.time.as_ps()))
         });
         let span = max.saturating_sub(min);
-        // Ideal width ≈ 3 × average spacing, rounded down to a power of
-        // two so day extraction is a shift; u128 keeps the multiply from
-        // overflowing at extreme spans.
-        let ideal = u64::try_from(u128::from(span) * 3 / u128::from(self.len.max(1) as u64))
-            .unwrap_or(u64::MAX)
-            .max(1);
+        // Ideal width ≈ 3 × the average spacing *of the earliest events*
+        // (the ones the dequeue scan meets next), rounded down to a
+        // power of two so day extraction is a shift. Calibrating on the
+        // global mean instead is an outlier trap: a handful of
+        // far-future events (each source's next injection) stretch the
+        // span so far that the dense near-term bulk collapses into a
+        // single day — every insert then pays an O(bulk) sorted-Vec
+        // shuffle and every bucket's capacity ratchets to the bulk's
+        // high-water mark as the day cursor wraps the ring.
+        let ideal = if self.len >= 2 {
+            let k = self.len.min(WIDTH_SAMPLE);
+            let (_, kth, _) = entries.select_nth_unstable_by_key(k - 1, |e| (e.time, e.key, e.seq));
+            let near_span = kth.time.as_ps().saturating_sub(min);
+            u64::try_from(u128::from(near_span) * 3 / k as u128)
+                .unwrap_or(u64::MAX)
+                .max(1)
+        } else {
+            1
+        };
         self.width_shift = 63 - ideal.leading_zeros();
         let spanned = usize::try_from((span >> self.width_shift) + 1).unwrap_or(usize::MAX);
         let n_buckets = spanned

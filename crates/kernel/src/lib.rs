@@ -55,4 +55,4 @@ pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use scheduler::{SchedulerKind, SchedulerQueue};
 pub use sharded::{Mailboxes, ShardedScheduler, WindowBarrier};
-pub use time::{Duration, Time};
+pub use time::{Duration, Time, WindowClock};

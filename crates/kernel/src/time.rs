@@ -278,6 +278,86 @@ impl fmt::Display for Duration {
     }
 }
 
+/// Tracks fixed-width simulated-time window boundaries for streaming
+/// observers.
+///
+/// A window covers `[k * width, (k + 1) * width)`. Feeding event
+/// timestamps (non-decreasing, as any observer sees them) to
+/// [`WindowClock::crossed`] yields, *before* the event is processed,
+/// the sequence numbers of every window that just closed — so a
+/// streaming sink can flush window `k` exactly when the first event at
+/// or past its boundary shows up, independent of how the run is
+/// sharded (the engine replays sharded event streams in serial order).
+///
+/// # Examples
+///
+/// ```
+/// use asynoc_kernel::{Duration, Time, WindowClock};
+///
+/// let mut clock = WindowClock::new(Duration::from_ns(1));
+/// assert!(clock.crossed(Time::from_ps(400)).is_none());
+/// // An event at 2.3 ns closes windows 0 and 1.
+/// assert_eq!(clock.crossed(Time::from_ps(2_300)), Some(0..2));
+/// assert!(clock.crossed(Time::from_ps(2_400)).is_none());
+/// assert_eq!(clock.next_seq(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowClock {
+    width: Duration,
+    next_seq: u64,
+}
+
+impl WindowClock {
+    /// A clock with `width`-wide windows, starting at window 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn new(width: Duration) -> Self {
+        assert!(!width.is_zero(), "window width must be non-zero");
+        WindowClock { width, next_seq: 0 }
+    }
+
+    /// The window width.
+    #[must_use]
+    pub fn width(&self) -> Duration {
+        self.width
+    }
+
+    /// The sequence number of the next window to close.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The window sequence number containing instant `at`.
+    #[must_use]
+    pub fn seq_of(&self, at: Time) -> u64 {
+        at.as_ps() / self.width.as_ps()
+    }
+
+    /// The closing boundary instant of window `seq` (exclusive).
+    #[must_use]
+    pub fn boundary_of(&self, seq: u64) -> Time {
+        Time::from_ps((seq + 1) * self.width.as_ps())
+    }
+
+    /// Observes an event timestamp and returns the range of window
+    /// sequence numbers that closed strictly before it (empty → `None`).
+    /// Call before handing the event to downstream accounting.
+    #[must_use]
+    pub fn crossed(&mut self, at: Time) -> Option<std::ops::Range<u64>> {
+        let current = self.seq_of(at);
+        if current <= self.next_seq {
+            return None;
+        }
+        let closed = self.next_seq..current;
+        self.next_seq = current;
+        Some(closed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

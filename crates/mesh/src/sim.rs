@@ -80,6 +80,7 @@ pub struct MeshConfig {
     shards: usize,
     profile: bool,
     progress: bool,
+    latency_cap: Option<usize>,
 }
 
 impl MeshConfig {
@@ -96,6 +97,7 @@ impl MeshConfig {
             shards: 1,
             profile: false,
             progress: false,
+            latency_cap: None,
         }
     }
 
@@ -190,6 +192,23 @@ impl MeshConfig {
     #[must_use]
     pub fn progress(&self) -> bool {
         self.progress
+    }
+
+    /// Caps the engine's stored latency-sample reservoir (streaming
+    /// runs set this so memory is bounded independent of run length).
+    /// Count, mean, min, and max stay exact past the cap; percentiles
+    /// degrade to the retained prefix. `None` (the default) stores
+    /// every sample.
+    #[must_use]
+    pub fn with_latency_cap(mut self, cap: Option<usize>) -> Self {
+        self.latency_cap = cap;
+        self
+    }
+
+    /// The latency-sample reservoir cap (`None` = unbounded).
+    #[must_use]
+    pub fn latency_cap(&self) -> Option<usize> {
+        self.latency_cap
     }
 
     /// The mesh dimensions.
@@ -386,7 +405,8 @@ impl MeshNetwork {
         let spec = RunSpec::new(phases, true)
             .with_scheduler(self.config.scheduler)
             .with_profile(self.config.profile)
-            .with_progress(self.config.progress);
+            .with_progress(self.config.progress)
+            .with_latency_cap(self.config.latency_cap);
         let observers: &mut [&mut dyn Observer<usize>] = &mut [&mut extras];
         let shards = self.config.shards;
         let (engine, model) = match faults {

@@ -37,7 +37,7 @@ pub mod hist;
 pub mod progress;
 pub mod stats;
 
-pub use alloc::{allocations, CountingAlloc};
+pub use alloc::{allocations, current_bytes, peak_bytes, reset_peak_bytes, CountingAlloc};
 pub use hist::HostHistogram;
 pub use progress::ProgressMeter;
 pub use stats::{

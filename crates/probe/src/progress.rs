@@ -130,4 +130,39 @@ mod tests {
         assert!(!meter.printed.load(Ordering::Relaxed));
         meter.finish();
     }
+
+    #[test]
+    fn stderr_constructor_gates_on_tty_unless_forced() {
+        // Under a test harness (or any pipe) stderr is not a terminal,
+        // so the unforced constructor must decline — that is the guard
+        // keeping \r control characters out of redirected logs. Skip
+        // the negative half when someone runs the tests on a live TTY.
+        std::env::remove_var("ASYNOC_PROGRESS_FORCE");
+        if !std::io::stderr().is_terminal() {
+            assert!(ProgressMeter::stderr(2, 1_000).is_none());
+        }
+        // ASYNOC_PROGRESS_FORCE=1 overrides the TTY check.
+        std::env::set_var("ASYNOC_PROGRESS_FORCE", "1");
+        let meter = ProgressMeter::stderr(2, 1_000_000).expect("forced by the environment");
+        std::env::remove_var("ASYNOC_PROGRESS_FORCE");
+        meter.record(0, 5);
+        meter.record(1, 7);
+        assert_eq!(meter.events[0].load(Ordering::Relaxed), 5);
+        meter.finish();
+    }
+
+    #[test]
+    fn short_interval_redraws_and_finish_terminates_the_line() {
+        let meter = ProgressMeter::forced(2, 1);
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        meter.record(0, 1_000);
+        meter.record(1, 400);
+        assert!(meter.printed.load(Ordering::Relaxed), "interval crossed");
+        meter.finish();
+        assert!(
+            !meter.printed.load(Ordering::Relaxed),
+            "finish resets the drawn flag exactly once"
+        );
+        meter.finish();
+    }
 }

@@ -6,8 +6,13 @@ use asynoc_kernel::Duration;
 
 /// Collects per-packet latency samples and summarizes them.
 ///
-/// Samples are stored exactly (runs produce thousands, not millions, of
-/// packets), so percentiles are exact rather than sketched.
+/// Samples are stored exactly by default (runs produce thousands, not
+/// millions, of packets), so percentiles are exact rather than
+/// sketched. A collector built with [`LatencyStats::with_cap`] bounds
+/// the stored-sample reservoir instead: `count`, `mean`, `min`, and
+/// `max` stay exact via running aggregates, while percentiles degrade
+/// to the retained prefix — the trade streaming runs make so that peak
+/// memory is independent of run length.
 ///
 /// # Examples
 ///
@@ -27,6 +32,11 @@ use asynoc_kernel::Duration;
 pub struct LatencyStats {
     samples: Vec<Duration>,
     sorted: bool,
+    cap: Option<usize>,
+    count: usize,
+    sum: u128,
+    min: Option<Duration>,
+    max: Option<Duration>,
 }
 
 impl LatencyStats {
@@ -42,55 +52,89 @@ impl LatencyStats {
     pub fn with_capacity(capacity: usize) -> Self {
         LatencyStats {
             samples: Vec::with_capacity(capacity),
-            sorted: false,
+            ..LatencyStats::default()
         }
+    }
+
+    /// Bounds the stored-sample reservoir to `cap` samples. Aggregates
+    /// (`count`, `mean`, `min`, `max`) remain exact past the cap;
+    /// percentiles and histograms degrade to the retained prefix.
+    #[must_use]
+    pub fn with_cap(mut self, cap: Option<usize>) -> Self {
+        self.cap = cap;
+        if let Some(cap) = cap {
+            self.samples.shrink_to(cap);
+        }
+        self
+    }
+
+    /// The reservoir bound, if any.
+    #[must_use]
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Returns `true` if samples were discarded because the reservoir
+    /// filled (never for an uncapped collector).
+    #[must_use]
+    pub fn overflowed(&self) -> bool {
+        self.count > self.samples.len()
     }
 
     /// Reserves space for at least `additional` more samples.
     pub fn reserve(&mut self, additional: usize) {
-        self.samples.reserve(additional);
+        let room = self.cap.map_or(additional, |cap| {
+            additional.min(cap.saturating_sub(self.samples.len()))
+        });
+        self.samples.reserve(room);
     }
 
     /// Records one packet latency.
     pub fn record(&mut self, latency: Duration) {
-        self.samples.push(latency);
-        self.sorted = false;
+        self.count += 1;
+        self.sum += latency.as_ps() as u128;
+        self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
+        self.max = Some(self.max.map_or(latency, |m| m.max(latency)));
+        if self.cap.is_none_or(|cap| self.samples.len() < cap) {
+            self.samples.push(latency);
+            self.sorted = false;
+        }
     }
 
-    /// Number of samples recorded.
+    /// Number of samples recorded (including any past the reservoir
+    /// cap).
     #[must_use]
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count
     }
 
     /// Returns `true` if no samples were recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count == 0
     }
 
-    /// Mean latency, or `None` if no samples.
+    /// Mean latency, or `None` if no samples. Exact even past the cap.
     #[must_use]
     pub fn mean(&self) -> Option<Duration> {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return None;
         }
-        let total: u128 = self.samples.iter().map(|d| d.as_ps() as u128).sum();
-        Some(Duration::from_ps(
-            (total / self.samples.len() as u128) as u64,
-        ))
+        Some(Duration::from_ps((self.sum / self.count as u128) as u64))
     }
 
-    /// Minimum latency, or `None` if no samples.
+    /// Minimum latency, or `None` if no samples. Exact even past the
+    /// cap.
     #[must_use]
     pub fn min(&self) -> Option<Duration> {
-        self.samples.iter().min().copied()
+        self.min
     }
 
-    /// Maximum latency, or `None` if no samples.
+    /// Maximum latency, or `None` if no samples. Exact even past the
+    /// cap.
     #[must_use]
     pub fn max(&self) -> Option<Duration> {
-        self.samples.iter().max().copied()
+        self.max
     }
 
     /// Exact percentile (nearest-rank), `q` in `[0, 1]`; `None` if empty.
@@ -102,7 +146,8 @@ impl LatencyStats {
     pub fn percentile(&mut self, q: f64) -> Option<Duration> {
         assert!((0.0..=1.0).contains(&q), "percentile {q} outside [0, 1]");
         if self.samples.is_empty() {
-            return None;
+            // A zero-cap collector still has exact extrema.
+            return (self.count > 0).then_some(self.max).flatten();
         }
         if !self.sorted {
             self.samples.sort_unstable();
@@ -124,9 +169,24 @@ impl LatencyStats {
         self.percentile(0.99)
     }
 
-    /// Merges another collector's samples into this one.
+    /// Merges another collector's samples into this one. Aggregates
+    /// merge exactly; stored samples respect this collector's cap.
     pub fn merge(&mut self, other: &LatencyStats) {
-        self.samples.extend_from_slice(&other.samples);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let room = self.cap.map_or(other.samples.len(), |cap| {
+            cap.saturating_sub(self.samples.len())
+        });
+        self.samples
+            .extend_from_slice(&other.samples[..other.samples.len().min(room)]);
         self.sorted = false;
     }
 
@@ -231,8 +291,9 @@ impl Histogram {
 
 impl Extend<Duration> for LatencyStats {
     fn extend<I: IntoIterator<Item = Duration>>(&mut self, iter: I) {
-        self.samples.extend(iter);
-        self.sorted = false;
+        for latency in iter {
+            self.record(latency);
+        }
     }
 }
 
@@ -320,6 +381,34 @@ mod tests {
         let s = stats(&[2_000, 4_000]);
         assert_eq!(s.to_string(), "n=2 mean=3.000 ns");
         assert_eq!(LatencyStats::new().to_string(), "n=0");
+    }
+
+    #[test]
+    fn capped_reservoir_keeps_aggregates_exact() {
+        let mut s = LatencyStats::new().with_cap(Some(3));
+        for ps in [50u64, 10, 40, 20, 30] {
+            s.record(Duration::from_ps(ps));
+        }
+        assert_eq!(s.count(), 5, "count keeps counting past the cap");
+        assert!(s.overflowed());
+        assert_eq!(s.mean(), Some(Duration::from_ps(30)));
+        assert_eq!(s.min(), Some(Duration::from_ps(10)));
+        assert_eq!(s.max(), Some(Duration::from_ps(50)));
+        // Percentiles degrade to the retained prefix (50, 10, 40).
+        assert_eq!(s.percentile(1.0), Some(Duration::from_ps(50)));
+
+        let mut merged = LatencyStats::new().with_cap(Some(4));
+        merged.merge(&s);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.max(), Some(Duration::from_ps(50)));
+        assert_eq!(merged.samples.len(), 3, "only retained samples travel");
+    }
+
+    #[test]
+    fn uncapped_collector_never_overflows() {
+        let s = stats(&[1, 2, 3]);
+        assert!(!s.overflowed());
+        assert_eq!(s.cap(), None);
     }
 
     #[test]

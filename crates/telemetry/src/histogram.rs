@@ -137,6 +137,60 @@ impl LogHistogram {
         self.sum += other.sum;
     }
 
+    /// The lossless sparse form used by streamed window deltas: exact
+    /// `n`/`min`/`max`, the sum as a decimal string (it is a `u128`,
+    /// which JSON numbers cannot carry exactly), and only the non-zero
+    /// buckets as `[bucket, count]` pairs. Round-tripping through
+    /// [`LogHistogram::from_delta_json`] and [`LogHistogram::merge`]
+    /// reproduces the batch histogram bit-for-bit — the foundation of
+    /// the stream fold's byte-identity guarantee.
+    #[must_use]
+    pub fn to_delta_json(&self) -> JsonValue {
+        let buckets: Vec<JsonValue> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(bucket, &n)| {
+                JsonValue::Array(vec![JsonValue::uint(bucket as u64), JsonValue::uint(n)])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("n".to_string(), JsonValue::uint(self.count)),
+            ("min".to_string(), JsonValue::uint(self.min)),
+            ("max".to_string(), JsonValue::uint(self.max)),
+            ("sum".to_string(), JsonValue::str(self.sum.to_string())),
+            ("b".to_string(), JsonValue::Array(buckets)),
+        ])
+    }
+
+    /// Parses the sparse delta form back into a histogram. Returns
+    /// `None` for a malformed document.
+    #[must_use]
+    pub fn from_delta_json(json: &JsonValue) -> Option<LogHistogram> {
+        let count = json.get("n").and_then(JsonValue::as_f64)? as u64;
+        let min = json.get("min").and_then(JsonValue::as_f64)? as u64;
+        let max = json.get("max").and_then(JsonValue::as_f64)? as u64;
+        let sum: u128 = json.get("sum").and_then(JsonValue::as_str)?.parse().ok()?;
+        let mut counts = Vec::new();
+        for pair in json.get("b").and_then(JsonValue::as_array)? {
+            let pair = pair.as_array()?;
+            let bucket = pair.first().and_then(JsonValue::as_f64)? as usize;
+            let n = pair.get(1).and_then(JsonValue::as_f64)? as u64;
+            if bucket >= counts.len() {
+                counts.resize(bucket + 1, 0);
+            }
+            counts[bucket] = n;
+        }
+        Some(LogHistogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+
     /// The standard percentile summary as a JSON object
     /// (`count`, `mean_ps`, `min_ps`, `p50_ps`, `p90_ps`, `p99_ps`,
     /// `p999_ps`, `max_ps`).
@@ -246,6 +300,35 @@ mod tests {
         for q in [0.25, 0.5, 0.75, 1.0] {
             assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
         }
+    }
+
+    #[test]
+    fn delta_json_round_trips_bit_for_bit() {
+        let mut h = LogHistogram::new();
+        for v in [3u64, 700, 700, 52_000, u64::from(u32::MAX) * 8] {
+            h.record(v);
+        }
+        let text = h.to_delta_json().render();
+        let parsed = JsonValue::parse(&text).expect("valid JSON");
+        let back = LogHistogram::from_delta_json(&parsed).expect("well-formed delta");
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.sum, h.sum);
+        assert_eq!(back.counts, h.counts);
+        // The summary (what the fold renders) is byte-identical.
+        assert_eq!(back.summary_json().render(), h.summary_json().render());
+    }
+
+    #[test]
+    fn delta_json_rejects_malformed_documents() {
+        assert!(LogHistogram::from_delta_json(&JsonValue::Null).is_none());
+        let missing_sum = JsonValue::Object(vec![
+            ("n".to_string(), JsonValue::uint(1)),
+            ("min".to_string(), JsonValue::uint(1)),
+            ("max".to_string(), JsonValue::uint(1)),
+        ]);
+        assert!(LogHistogram::from_delta_json(&missing_sum).is_none());
     }
 
     #[test]

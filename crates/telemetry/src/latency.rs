@@ -42,6 +42,21 @@ impl LatencyHistograms {
         }
     }
 
+    /// A collector used purely as a fold accumulator: it never observes
+    /// events (so the phase gate is irrelevant), only
+    /// [`LatencyHistograms::absorb`]s drained windows and renders
+    /// [`LatencyHistograms::to_json`].
+    #[must_use]
+    pub fn accumulator(endpoints: usize) -> Self {
+        LatencyHistograms::new(
+            Phases::new(
+                asynoc_kernel::Duration::ZERO,
+                asynoc_kernel::Duration::from_ps(1),
+            ),
+            endpoints,
+        )
+    }
+
     /// The all-destinations histogram.
     #[must_use]
     pub fn overall(&self) -> &LogHistogram {
@@ -58,6 +73,65 @@ impl LatencyHistograms {
     #[must_use]
     pub fn per_hops(&self) -> &BTreeMap<u32, LogHistogram> {
         &self.per_hops
+    }
+
+    /// Number of destination slots the collector was built with.
+    #[must_use]
+    pub fn endpoints(&self) -> usize {
+        self.per_dest.len()
+    }
+
+    /// Drains the histograms accumulated since the last drain into a
+    /// [`LatencyWindow`] delta, leaving the collector empty but keeping
+    /// its persistent hop-count bookkeeping. Streaming sinks call this
+    /// at every window boundary; the drained deltas [`absorb`]ed back
+    /// in order reproduce the batch collector exactly (histogram merge
+    /// is associative and lossless).
+    ///
+    /// [`absorb`]: LatencyHistograms::absorb
+    #[must_use]
+    pub fn drain_window(&mut self) -> LatencyWindow {
+        let overall = std::mem::take(&mut self.overall);
+        let per_dest: Vec<(u64, LogHistogram)> = self
+            .per_dest
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(dest, h)| (dest as u64, std::mem::take(h)))
+            .collect();
+        let per_hops: Vec<(u32, LogHistogram)> =
+            std::mem::take(&mut self.per_hops).into_iter().collect();
+        LatencyWindow {
+            overall,
+            per_dest,
+            per_hops,
+        }
+    }
+
+    /// Folds a drained window delta back into the collector (the
+    /// inverse of [`LatencyHistograms::drain_window`], used by the
+    /// stream fold). Destinations outside the collector's range are
+    /// ignored.
+    pub fn absorb(&mut self, window: &LatencyWindow) {
+        self.overall.merge(&window.overall);
+        for (dest, h) in &window.per_dest {
+            if let Some(mine) = self.per_dest.get_mut(*dest as usize) {
+                mine.merge(h);
+            }
+        }
+        for (hops, h) in &window.per_hops {
+            self.per_hops.entry(*hops).or_default().merge(h);
+        }
+    }
+
+    /// Releases the hop-count bookkeeping of a completed packet. The
+    /// batch path never needs this (the map is dropped with the
+    /// collector); streaming sinks call it when a packet's last copy
+    /// leaves the network so that live memory stays proportional to
+    /// in-flight traffic, not run length. Behavior-neutral: a finished
+    /// packet generates no further events.
+    pub fn forget_packet(&mut self, packet: u64) {
+        self.header_forwards.remove(&packet);
     }
 
     /// The full latency section of the metrics report: the overall
@@ -95,6 +169,84 @@ impl LatencyHistograms {
         members.push(("per_dest".to_string(), JsonValue::Array(per_dest)));
         members.push(("per_hops".to_string(), JsonValue::Array(per_hops)));
         JsonValue::Object(members)
+    }
+}
+
+/// One window's worth of drained latency histograms: the overall delta
+/// plus only the destinations and hop counts that saw samples.
+///
+/// Serialized into `window` records of the `asynoc-stream-v1` NDJSON
+/// stream; parsing and [`LatencyHistograms::absorb`]ing every window of
+/// a run rebuilds the batch latency section byte-for-byte.
+#[derive(Debug, Default)]
+pub struct LatencyWindow {
+    /// Delta of the all-destinations histogram.
+    pub overall: LogHistogram,
+    /// Sparse per-destination deltas (`(dest, histogram)`).
+    pub per_dest: Vec<(u64, LogHistogram)>,
+    /// Sparse per-hop-count deltas (`(hops, histogram)`).
+    pub per_hops: Vec<(u32, LogHistogram)>,
+}
+
+impl LatencyWindow {
+    /// Returns `true` if the window recorded no samples at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.overall.count() == 0
+    }
+
+    /// The window's JSON form (sparse histograms keyed by destination
+    /// and hop count).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let keyed = |key: &str, id: u64, h: &LogHistogram| {
+            JsonValue::Object(vec![
+                (key.to_string(), JsonValue::uint(id)),
+                ("h".to_string(), h.to_delta_json()),
+            ])
+        };
+        JsonValue::Object(vec![
+            ("overall".to_string(), self.overall.to_delta_json()),
+            (
+                "per_dest".to_string(),
+                JsonValue::Array(
+                    self.per_dest
+                        .iter()
+                        .map(|(dest, h)| keyed("dest", *dest, h))
+                        .collect(),
+                ),
+            ),
+            (
+                "per_hops".to_string(),
+                JsonValue::Array(
+                    self.per_hops
+                        .iter()
+                        .map(|(hops, h)| keyed("hops", u64::from(*hops), h))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the JSON form back; `None` for a malformed document.
+    #[must_use]
+    pub fn from_json(json: &JsonValue) -> Option<LatencyWindow> {
+        let overall = LogHistogram::from_delta_json(json.get("overall")?)?;
+        let mut per_dest = Vec::new();
+        for entry in json.get("per_dest").and_then(JsonValue::as_array)? {
+            let dest = entry.get("dest").and_then(JsonValue::as_f64)? as u64;
+            per_dest.push((dest, LogHistogram::from_delta_json(entry.get("h")?)?));
+        }
+        let mut per_hops = Vec::new();
+        for entry in json.get("per_hops").and_then(JsonValue::as_array)? {
+            let hops = entry.get("hops").and_then(JsonValue::as_f64)? as u32;
+            per_hops.push((hops, LogHistogram::from_delta_json(entry.get("h")?)?));
+        }
+        Some(LatencyWindow {
+            overall,
+            per_dest,
+            per_hops,
+        })
     }
 }
 
@@ -191,6 +343,56 @@ mod tests {
         collector.on_event(Time::from_ps(151_000), true, &deliver);
         assert_eq!(collector.per_hops().len(), 1);
         assert_eq!(collector.per_hops()[&3].count(), 1);
+    }
+
+    #[test]
+    fn drained_windows_absorb_back_to_the_batch_document() {
+        // Run the same event stream through a batch collector and a
+        // windowed one (drained every few events); absorbing the drained
+        // windows into an accumulator must reproduce the batch JSON
+        // byte-for-byte.
+        let mut batch = LatencyHistograms::new(phases(), 8);
+        let mut windowed = LatencyHistograms::new(phases(), 8);
+        let mut accumulator = LatencyHistograms::accumulator(8);
+        let mut drained = Vec::new();
+        for k in 0..40u64 {
+            let flit = header(k, (k % 8) as usize, Time::from_ps(150_000 + k * 17));
+            let deliver: SimEvent<'_, usize> = SimEvent::Deliver {
+                dest: (k % 8) as usize,
+                flit: &flit,
+            };
+            let at = Time::from_ps(150_000 + k * 17 + 311 + (k % 5) * 37);
+            batch.on_event(at, true, &deliver);
+            windowed.on_event(at, true, &deliver);
+            if k % 7 == 6 {
+                drained.push(windowed.drain_window());
+            }
+        }
+        drained.push(windowed.drain_window());
+        for window in &drained {
+            // Serde round-trip on the way, as the stream would.
+            let parsed = JsonValue::parse(&window.to_json().render()).expect("valid JSON");
+            let back = LatencyWindow::from_json(&parsed).expect("well-formed window");
+            accumulator.absorb(&back);
+        }
+        assert_eq!(accumulator.to_json().render(), batch.to_json().render());
+    }
+
+    #[test]
+    fn forget_packet_releases_hop_bookkeeping() {
+        let mut collector = LatencyHistograms::new(phases(), 8);
+        let flit = header(9, 1, Time::from_ps(150_000));
+        let forward: SimEvent<'_, usize> = SimEvent::Forward {
+            node: 0,
+            flit: &flit,
+            info: asynoc_engine::ForwardInfo::Arbitrated { input: 0 },
+            copies: 1,
+            busy: Duration::from_ps(10),
+        };
+        collector.on_event(Time::from_ps(150_100), true, &forward);
+        assert_eq!(collector.header_forwards.len(), 1);
+        collector.forget_packet(9);
+        assert!(collector.header_forwards.is_empty());
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   NDJSON import/export shared by both substrates.
 //! - [`ChromeTraceObserver`] / [`ChromeTrace`] — Chrome trace-event
 //!   (Perfetto-loadable) export, with a [`validate_chrome`] checker.
+//! - [`StreamSink`] — bounded-memory live export: `asynoc-stream-v1`
+//!   NDJSON windows/traces/watchpoints flushed per simulated-time
+//!   window, with [`fold_stream`] reconstructing the batch
+//!   `asynoc-metrics-v1` document byte for byte from a finished stream.
 //!
 //! Registering none of these costs nothing: the engine's observer slice is
 //! simply empty (`benches/observer_overhead.rs` in `asynoc-bench` guards
@@ -34,6 +38,7 @@ pub mod fault_ledger;
 pub mod histogram;
 pub mod json;
 pub mod latency;
+pub mod stream;
 pub mod timeseries;
 pub mod trace;
 pub mod waste;
@@ -42,7 +47,11 @@ pub use chrome::{chrome_from_records, validate_chrome, ChromeTrace, ChromeTraceO
 pub use fault_ledger::FaultLedger;
 pub use histogram::LogHistogram;
 pub use json::{JsonError, JsonValue};
-pub use latency::LatencyHistograms;
+pub use latency::{LatencyHistograms, LatencyWindow};
+pub use stream::{
+    fold_stream, StreamConfig, StreamFoldError, StreamSink, StreamSummary, WatchConfig,
+    STREAM_SCHEMA,
+};
 pub use timeseries::{Bin, LevelSpec, TimeSeries};
 pub use trace::{
     parse_ndjson, parse_trace, parse_trace_lenient, render_ndjson, render_trace, TraceCollector,

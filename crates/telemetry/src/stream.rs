@@ -1,0 +1,1065 @@
+//! Streaming telemetry: bounded-memory NDJSON export of windowed
+//! metric deltas, with online invariant watchpoints.
+//!
+//! A [`StreamSink`] is an engine observer that writes an
+//! [`STREAM_SCHEMA`] NDJSON stream *while the run executes*: one `head`
+//! record describing the run, one `window` record per closed
+//! simulated-time window (latency histogram deltas and finalized
+//! time-series bins), optional per-event `trace` records, `watchpoint`
+//! records whenever an online invariant fires, and one `end` record
+//! carrying the run's scalar summary sections verbatim.
+//!
+//! Two properties anchor the design:
+//!
+//! - **Determinism.** The sink is driven purely by the observer event
+//!   stream, which the engine replays in exact serial order regardless
+//!   of shard count — so serial and sharded runs of the same spec
+//!   produce *byte-identical* streams.
+//! - **Concatenation.** Folding a metrics-grade stream back together
+//!   ([`fold_stream`]) reproduces the batch `asynoc-metrics-v1`
+//!   document byte-for-byte: latency deltas merge losslessly
+//!   ([`LatencyHistograms::absorb`]), window bins concatenate into the
+//!   batch `bins` array, and the scalar sections (waste, throughput,
+//!   power, counters) ride the `end` record unchanged.
+//!
+//! Live memory is bounded independent of event count: histogram deltas
+//! are drained every window, emitted bins are never revisited (the bin
+//! store itself is capped), the trace buffer is drained per window, and
+//! per-flit watchpoint bookkeeping is proportional to *in-flight*
+//! traffic, not run length.
+//!
+//! # Watchpoints
+//!
+//! Four online invariants are evaluated during the run, each firing a
+//! structured `watchpoint` record with causal context (site label,
+//! offending flit key, window):
+//!
+//! - `token_conservation` — a flit copy was consumed (delivered,
+//!   dropped) more times than it was produced (injected, forwarded).
+//! - `no_progress` — [`WatchConfig::stall_windows`] consecutive windows
+//!   closed with copies in flight but zero deliveries; names the oldest
+//!   in-flight flit and the site that last touched it. Also fired at
+//!   [`StreamSink::finish`] if the run ends with copies still in
+//!   flight.
+//! - `busy_watermark` — one node's accumulated busy time exceeded
+//!   [`WatchConfig::busy_ceiling`] of a window (fires once per node).
+//! - `waste_rate` — a window's throttle/forward ratio exceeded
+//!   [`WatchConfig::waste_ceiling`] (fires once per run; needs
+//!   [`WatchConfig::waste_min_forwards`] forwards to avoid small-sample
+//!   noise).
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufWriter, Write};
+use std::rc::Rc;
+
+use asynoc_engine::{NodeKey, Observer, SimEvent};
+use asynoc_kernel::{Duration, Time, WindowClock};
+use asynoc_stats::Phases;
+
+use crate::json::JsonValue;
+use crate::latency::{LatencyHistograms, LatencyWindow};
+use crate::timeseries::TimeSeries;
+use crate::trace::{SiteFn, TraceCollector};
+use crate::METRICS_SCHEMA;
+
+/// Schema tag of the streaming NDJSON format (the `schema` field of the
+/// leading `head` record). Bump when any record shape changes.
+pub const STREAM_SCHEMA: &str = "asynoc-stream-v1";
+
+/// Token-conservation violations reported per run before the sink goes
+/// quiet (the invariant keeps being *checked*; the cap only bounds
+/// output on a badly broken run).
+const MAX_CONSERVATION_RECORDS: u64 = 16;
+
+/// Thresholds for the online invariant watchpoints.
+#[derive(Clone, Debug)]
+pub struct WatchConfig {
+    /// Consecutive zero-delivery windows (with flits in flight) before
+    /// `no_progress` fires.
+    pub stall_windows: u64,
+    /// Per-node busy fraction of one window above which
+    /// `busy_watermark` fires.
+    pub busy_ceiling: f64,
+    /// Window throttle/forward ratio above which `waste_rate` fires.
+    pub waste_ceiling: f64,
+    /// Minimum forwards in a window before the waste ratio is
+    /// meaningful.
+    pub waste_min_forwards: u64,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            stall_windows: 8,
+            busy_ceiling: 0.98,
+            waste_ceiling: 0.75,
+            waste_min_forwards: 32,
+        }
+    }
+}
+
+/// Static description of a streamed run, written into the `head`
+/// record.
+pub struct StreamConfig {
+    /// Which fabric produced the stream (`"mot"` or `"mesh"`).
+    pub substrate: String,
+    /// The run's `config` section, verbatim as the batch metrics report
+    /// would carry it.
+    pub config: JsonValue,
+    /// Flush window width (must be a multiple of the time-series bin
+    /// width).
+    pub window: Duration,
+    /// Emit per-event `trace` records, at most this many per window.
+    pub trace_limit: Option<usize>,
+    /// Watchpoint thresholds.
+    pub watch: WatchConfig,
+}
+
+/// What a finished stream amounted to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Window records emitted (including the final partial window).
+    pub windows: u64,
+    /// Watchpoint records emitted.
+    pub watchpoints: u64,
+}
+
+/// Where a flit copy last was, for causal labels in watchpoint records.
+#[derive(Clone, Copy)]
+enum TokenSite<N> {
+    Source(usize),
+    Node(N),
+    Dest(usize),
+}
+
+impl<N: Copy> TokenSite<N> {
+    fn label(&self, site_of: &SiteFn<N>) -> String {
+        match self {
+            TokenSite::Source(s) => format!("src{s}"),
+            TokenSite::Node(n) => site_of(*n),
+            TokenSite::Dest(d) => format!("D{d}"),
+        }
+    }
+}
+
+/// Per-flit token ledger entry: outstanding copies, first-seen time,
+/// and the site that last touched it.
+struct FlitTrack<N> {
+    refs: i64,
+    created: Time,
+    site: TokenSite<N>,
+}
+
+/// The streaming observer. See the module docs for the record protocol.
+///
+/// Register it alongside (or instead of) the batch collectors; after
+/// the run, call [`StreamSink::finish`] with the scalar summary
+/// sections to close the stream.
+pub struct StreamSink<N> {
+    out: BufWriter<Box<dyn Write>>,
+    err: Option<std::io::Error>,
+    clock: WindowClock,
+    latency: LatencyHistograms,
+    series: TimeSeries<N>,
+    trace: Option<TraceCollector<N>>,
+    site_of: Rc<SiteFn<N>>,
+    watch: WatchConfig,
+    // Per-window counters, reset at every flush.
+    w_events: u64,
+    w_injected: u64,
+    w_delivered: u64,
+    w_dropped: u64,
+    w_forwards: u64,
+    node_busy: HashMap<u64, (N, u64)>,
+    // Run-wide state.
+    in_flight: i64,
+    emitted_bins: usize,
+    windows: u64,
+    registry: HashMap<(u64, u8), FlitTrack<N>>,
+    packet_refs: HashMap<u64, i64>,
+    watermark_fired: HashSet<u64>,
+    stall_run: u64,
+    stalled: bool,
+    conservation_fired: u64,
+    waste_fired: bool,
+    watchpoints: u64,
+}
+
+impl<N: Copy + NodeKey + 'static> StreamSink<N> {
+    /// Opens a stream over `out`: writes the `head` record and returns
+    /// the sink ready to observe events. `phases` gates latency
+    /// sampling exactly as the batch collector does; `endpoints` sizes
+    /// the per-destination breakdown; `series` supplies the bin width
+    /// and level grouping (build it exactly as the batch path would);
+    /// `site_of` labels nodes in trace and watchpoint records.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the `head` record cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window width is zero or not a multiple of the
+    /// series' bin width.
+    pub fn new(
+        out: Box<dyn Write>,
+        cfg: StreamConfig,
+        phases: Phases,
+        endpoints: usize,
+        series: TimeSeries<N>,
+        site_of: SiteFn<N>,
+    ) -> std::io::Result<StreamSink<N>> {
+        let bin = series.bin_width();
+        assert!(
+            !cfg.window.is_zero() && cfg.window.as_ps().is_multiple_of(bin.as_ps()),
+            "stream window ({}) must be a non-zero multiple of the bin width ({})",
+            cfg.window,
+            bin,
+        );
+        let site_of = Rc::new(site_of);
+        let trace = cfg.trace_limit.map(|limit| {
+            let shared = Rc::clone(&site_of);
+            TraceCollector::new(limit, Box::new(move |node| (shared)(node)))
+        });
+        let labels: Vec<JsonValue> = series
+            .level_labels()
+            .into_iter()
+            .map(JsonValue::str)
+            .collect();
+        let head = JsonValue::Object(vec![
+            ("schema".to_string(), JsonValue::str(STREAM_SCHEMA)),
+            ("type".to_string(), JsonValue::str("head")),
+            (
+                "substrate".to_string(),
+                JsonValue::str(cfg.substrate.clone()),
+            ),
+            ("config".to_string(), cfg.config.clone()),
+            ("window_ps".to_string(), JsonValue::uint(cfg.window.as_ps())),
+            ("bin_ps".to_string(), JsonValue::uint(bin.as_ps())),
+            ("levels".to_string(), JsonValue::Array(labels)),
+            ("endpoints".to_string(), JsonValue::uint(endpoints as u64)),
+            ("trace".to_string(), JsonValue::Bool(trace.is_some())),
+            (
+                "watch".to_string(),
+                JsonValue::Object(vec![
+                    (
+                        "stall_windows".to_string(),
+                        JsonValue::uint(cfg.watch.stall_windows),
+                    ),
+                    (
+                        "busy_ceiling".to_string(),
+                        JsonValue::Number(cfg.watch.busy_ceiling),
+                    ),
+                    (
+                        "waste_ceiling".to_string(),
+                        JsonValue::Number(cfg.watch.waste_ceiling),
+                    ),
+                    (
+                        "waste_min_forwards".to_string(),
+                        JsonValue::uint(cfg.watch.waste_min_forwards),
+                    ),
+                ]),
+            ),
+        ]);
+        let mut out = BufWriter::new(out);
+        let mut line = head.render();
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+        Ok(StreamSink {
+            out,
+            err: None,
+            clock: WindowClock::new(cfg.window),
+            latency: LatencyHistograms::new(phases, endpoints),
+            series,
+            trace,
+            site_of,
+            watch: cfg.watch,
+            w_events: 0,
+            w_injected: 0,
+            w_delivered: 0,
+            w_dropped: 0,
+            w_forwards: 0,
+            node_busy: HashMap::new(),
+            in_flight: 0,
+            emitted_bins: 0,
+            windows: 0,
+            registry: HashMap::new(),
+            packet_refs: HashMap::new(),
+            watermark_fired: HashSet::new(),
+            stall_run: 0,
+            stalled: false,
+            conservation_fired: 0,
+            waste_fired: false,
+            watchpoints: 0,
+        })
+    }
+
+    /// Watchpoint records emitted so far (drives `--watch-fatal`).
+    #[must_use]
+    pub fn watchpoints_fired(&self) -> u64 {
+        self.watchpoints
+    }
+
+    /// Flushes the final partial window, runs the end-of-run residue
+    /// check, and writes the `end` record carrying `sections` — the
+    /// scalar summary sections (`waste`, `throughput`, `power`,
+    /// `counters`) exactly as the batch metrics document orders them,
+    /// so [`fold_stream`] can splice them back verbatim. Pass an empty
+    /// object for streams that do not fold into a metrics report.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first I/O error encountered at any point of the
+    /// stream's life (the observer path itself cannot fail, so errors
+    /// are held until here).
+    pub fn finish(mut self, sections: JsonValue) -> std::io::Result<StreamSummary> {
+        if self.w_events > 0 || self.emitted_bins < self.series.len() {
+            self.flush_window(self.clock.next_seq(), false);
+        }
+        if self.in_flight > 0 && self.conservation_fired == 0 {
+            let copies = self.in_flight;
+            let oldest = self.oldest_in_flight();
+            let seq = self.clock.next_seq();
+            let t = self.clock.boundary_of(seq.saturating_sub(1));
+            self.watchpoint(
+                "no_progress",
+                seq,
+                t,
+                oldest.0,
+                oldest.1,
+                Some(copies as f64),
+                format!("run ended with {copies} copies still in flight"),
+            );
+        }
+        let end = JsonValue::Object(vec![
+            ("type".to_string(), JsonValue::str("end")),
+            ("windows".to_string(), JsonValue::uint(self.windows)),
+            ("watchpoints".to_string(), JsonValue::uint(self.watchpoints)),
+            ("sections".to_string(), sections),
+        ]);
+        self.write_value(&end);
+        if let Some(err) = self.err {
+            return Err(err);
+        }
+        self.out.flush()?;
+        Ok(StreamSummary {
+            windows: self.windows,
+            watchpoints: self.watchpoints,
+        })
+    }
+
+    fn write_value(&mut self, value: &JsonValue) {
+        if self.err.is_some() {
+            return;
+        }
+        let mut line = value.render();
+        line.push('\n');
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.err = Some(e);
+        }
+    }
+
+    /// Emits the `window` record for `seq` plus any trace records and
+    /// window-scoped watchpoints, then resets the per-window state.
+    /// `backfill` materializes gap bins up to the window boundary —
+    /// exactly the bins the batch collector would create when the event
+    /// that triggered this flush reaches it — and must be `false` only
+    /// for the final partial window (where no further event exists).
+    fn flush_window(&mut self, seq: u64, backfill: bool) {
+        let boundary = self.clock.boundary_of(seq);
+        if backfill {
+            self.series.backfill_before(boundary);
+        }
+        let bin_ps = self.series.bin_width().as_ps();
+        let target = usize::try_from(boundary.as_ps() / bin_ps)
+            .unwrap_or(usize::MAX)
+            .min(self.series.len());
+        let target = if backfill { target } else { self.series.len() };
+        let bins: Vec<JsonValue> = (self.emitted_bins..target)
+            .map(|i| self.series.bin_json(i))
+            .collect();
+        self.emitted_bins = target;
+        if let Some(trace) = &mut self.trace {
+            for record in trace.drain_records() {
+                let line = JsonValue::Object(vec![
+                    ("type".to_string(), JsonValue::str("trace")),
+                    ("seq".to_string(), JsonValue::uint(seq)),
+                    ("record".to_string(), record.to_json()),
+                ]);
+                self.write_value(&line);
+            }
+        }
+        let delta = self.latency.drain_window();
+        let latency = if delta.is_empty() {
+            JsonValue::Null
+        } else {
+            delta.to_json()
+        };
+        let window = JsonValue::Object(vec![
+            ("type".to_string(), JsonValue::str("window")),
+            ("seq".to_string(), JsonValue::uint(seq)),
+            (
+                "t_ps".to_string(),
+                JsonValue::uint(seq * self.clock.width().as_ps()),
+            ),
+            ("events".to_string(), JsonValue::uint(self.w_events)),
+            ("injected".to_string(), JsonValue::uint(self.w_injected)),
+            ("delivered".to_string(), JsonValue::uint(self.w_delivered)),
+            ("dropped".to_string(), JsonValue::uint(self.w_dropped)),
+            ("forwards".to_string(), JsonValue::uint(self.w_forwards)),
+            ("in_flight".to_string(), JsonValue::int(self.in_flight)),
+            ("latency".to_string(), latency),
+            ("bins".to_string(), JsonValue::Array(bins)),
+        ]);
+        self.write_value(&window);
+        self.windows += 1;
+        self.window_watchpoints(seq, boundary);
+        self.w_events = 0;
+        self.w_injected = 0;
+        self.w_delivered = 0;
+        self.w_dropped = 0;
+        self.w_forwards = 0;
+        self.node_busy.clear();
+    }
+
+    /// Evaluates the window-scoped invariants for the window that just
+    /// closed. Emission order is deterministic: busy watermarks sorted
+    /// by node key, then waste rate, then the stall check.
+    fn window_watchpoints(&mut self, seq: u64, boundary: Time) {
+        let window_ps = self.clock.width().as_ps();
+        let mut hot: Vec<(u64, N, u64)> = self
+            .node_busy
+            .iter()
+            .filter(|(key, (_, busy))| {
+                *busy as f64 / window_ps as f64 > self.watch.busy_ceiling
+                    && !self.watermark_fired.contains(*key)
+            })
+            .map(|(key, (node, busy))| (*key, *node, *busy))
+            .collect();
+        hot.sort_unstable_by_key(|(key, _, _)| *key);
+        for (key, node, busy) in hot {
+            self.watermark_fired.insert(key);
+            let site = (self.site_of)(node);
+            let value = busy as f64 / window_ps as f64;
+            self.watchpoint(
+                "busy_watermark",
+                seq,
+                boundary,
+                Some(site),
+                None,
+                Some(value),
+                format!("node busy {busy} ps of a {window_ps} ps window"),
+            );
+        }
+        if !self.waste_fired
+            && self.w_forwards >= self.watch.waste_min_forwards
+            && self.w_dropped as f64 / self.w_forwards as f64 > self.watch.waste_ceiling
+        {
+            self.waste_fired = true;
+            let value = self.w_dropped as f64 / self.w_forwards as f64;
+            let (dropped, forwards) = (self.w_dropped, self.w_forwards);
+            self.watchpoint(
+                "waste_rate",
+                seq,
+                boundary,
+                None,
+                None,
+                Some(value),
+                format!("{dropped} throttles against {forwards} forwards this window"),
+            );
+        }
+        if self.in_flight > 0 && self.w_delivered == 0 {
+            self.stall_run += 1;
+        } else {
+            self.stall_run = 0;
+        }
+        if self.stall_run >= self.watch.stall_windows && !self.stalled {
+            self.stalled = true;
+            let windows = self.stall_run;
+            let copies = self.in_flight;
+            let oldest = self.oldest_in_flight();
+            self.watchpoint(
+                "no_progress",
+                seq,
+                boundary,
+                oldest.0,
+                oldest.1,
+                Some(copies as f64),
+                format!("{windows} consecutive windows with {copies} copies in flight and zero deliveries"),
+            );
+        }
+    }
+
+    /// The oldest outstanding flit copy: its last site label and
+    /// `(packet, flit)` key. Ties break on the key, so the answer is
+    /// deterministic despite the hash map.
+    fn oldest_in_flight(&self) -> (Option<String>, Option<(u64, u8)>) {
+        self.registry
+            .iter()
+            .min_by_key(|(key, track)| (track.created, **key))
+            .map_or((None, None), |(key, track)| {
+                (Some(track.site.label(&self.site_of)), Some(*key))
+            })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn watchpoint(
+        &mut self,
+        kind: &str,
+        seq: u64,
+        at: Time,
+        site: Option<String>,
+        flit: Option<(u64, u8)>,
+        value: Option<f64>,
+        detail: String,
+    ) {
+        self.watchpoints += 1;
+        let record = JsonValue::Object(vec![
+            ("type".to_string(), JsonValue::str("watchpoint")),
+            ("kind".to_string(), JsonValue::str(kind)),
+            ("seq".to_string(), JsonValue::uint(seq)),
+            ("t_ps".to_string(), JsonValue::uint(at.as_ps())),
+            (
+                "site".to_string(),
+                site.map_or(JsonValue::Null, JsonValue::str),
+            ),
+            (
+                "packet".to_string(),
+                flit.map_or(JsonValue::Null, |(p, _)| JsonValue::uint(p)),
+            ),
+            (
+                "flit".to_string(),
+                flit.map_or(JsonValue::Null, |(_, f)| JsonValue::uint(u64::from(f))),
+            ),
+            (
+                "value".to_string(),
+                value.map_or(JsonValue::Null, JsonValue::Number),
+            ),
+            ("detail".to_string(), JsonValue::str(detail)),
+        ]);
+        self.write_value(&record);
+    }
+
+    /// Applies one event's token movement to the per-flit ledger and
+    /// fires `token_conservation` if a copy went negative.
+    fn track_tokens(&mut self, at: Time, key: (u64, u8), site: TokenSite<N>, delta: i64) {
+        let entry = self.registry.entry(key).or_insert(FlitTrack {
+            refs: 0,
+            created: at,
+            site,
+        });
+        entry.refs += delta;
+        entry.site = site;
+        let refs = entry.refs;
+        if refs <= 0 {
+            self.registry.remove(&key);
+        }
+        if refs < 0 && self.conservation_fired < MAX_CONSERVATION_RECORDS {
+            self.conservation_fired += 1;
+            let seq = self.clock.seq_of(at);
+            let label = site.label(&self.site_of);
+            self.watchpoint(
+                "token_conservation",
+                seq,
+                at,
+                Some(label),
+                Some(key),
+                Some(refs as f64),
+                format!("flit copy count went to {refs}"),
+            );
+        }
+        let packet = self.packet_refs.entry(key.0).or_insert(0);
+        *packet += delta;
+        if *packet <= 0 {
+            self.packet_refs.remove(&key.0);
+            self.latency.forget_packet(key.0);
+        }
+    }
+}
+
+impl<N: Copy + NodeKey + 'static> Observer<N> for StreamSink<N> {
+    fn on_event(&mut self, at: Time, in_window: bool, event: &SimEvent<'_, N>) {
+        if let Some(range) = self.clock.crossed(at) {
+            for seq in range {
+                self.flush_window(seq, true);
+            }
+        }
+        self.latency.on_event(at, in_window, event);
+        self.series.on_event(at, in_window, event);
+        if let Some(trace) = &mut self.trace {
+            trace.on_event(at, in_window, event);
+        }
+        self.w_events += 1;
+        match event {
+            SimEvent::Inject { source, flit } => {
+                self.w_injected += 1;
+                self.in_flight += 1;
+                let key = (flit.descriptor().id().as_u64(), flit.index());
+                self.track_tokens(at, key, TokenSite::Source(*source), 1);
+            }
+            SimEvent::Forward {
+                node,
+                flit,
+                copies,
+                busy,
+                ..
+            } => {
+                self.w_forwards += 1;
+                self.in_flight += i64::from(*copies) - 1;
+                let slot = self.node_busy.entry(node.node_key()).or_insert((*node, 0));
+                slot.1 += busy.as_ps();
+                let key = (flit.descriptor().id().as_u64(), flit.index());
+                self.track_tokens(at, key, TokenSite::Node(*node), i64::from(*copies) - 1);
+            }
+            SimEvent::Drop { node, flit, busy } => {
+                self.w_dropped += 1;
+                self.in_flight -= 1;
+                let slot = self.node_busy.entry(node.node_key()).or_insert((*node, 0));
+                slot.1 += busy.as_ps();
+                let key = (flit.descriptor().id().as_u64(), flit.index());
+                self.track_tokens(at, key, TokenSite::Node(*node), -1);
+            }
+            SimEvent::Deliver { dest, flit } => {
+                self.w_delivered += 1;
+                self.in_flight -= 1;
+                let key = (flit.descriptor().id().as_u64(), flit.index());
+                self.track_tokens(at, key, TokenSite::Dest(*dest), -1);
+            }
+            // Fault hooks fire alongside the flit's normal lifecycle
+            // events, so they move no tokens (see `TimeSeries`).
+            SimEvent::Fault { .. } => {}
+        }
+    }
+}
+
+/// A malformed stream document handed to [`fold_stream`]: the 1-based
+/// line number and what was wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamFoldError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for StreamFoldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for StreamFoldError {}
+
+/// Folds an [`STREAM_SCHEMA`] NDJSON document back into the batch
+/// metrics report it streamed from: latency window deltas are absorbed
+/// into one accumulator, window bins concatenate into the `timeseries`
+/// section, and the `end` record's scalar sections are spliced in
+/// verbatim. For a stream produced by `asynoc metrics --stream`, the
+/// result is byte-identical (after pretty-rendering) to the batch
+/// `asynoc-metrics-v1` document of the same run.
+///
+/// # Errors
+///
+/// Returns a [`StreamFoldError`] naming the first malformed line — a
+/// missing or mistyped `head`, unparsable JSON, or a window whose
+/// latency delta does not decode.
+pub fn fold_stream(text: &str) -> Result<JsonValue, StreamFoldError> {
+    let err = |line: usize, message: String| StreamFoldError { line, message };
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (head_index, head_line) = lines
+        .next()
+        .ok_or_else(|| err(1, "empty stream".to_string()))?;
+    let head = JsonValue::parse(head_line).map_err(|e| err(head_index + 1, e.message))?;
+    if head.get("schema").and_then(JsonValue::as_str) != Some(STREAM_SCHEMA)
+        || head.get("type").and_then(JsonValue::as_str) != Some("head")
+    {
+        return Err(err(
+            head_index + 1,
+            format!("expected a {STREAM_SCHEMA:?} head record"),
+        ));
+    }
+    let head_field = |key: &str| {
+        head.get(key)
+            .cloned()
+            .ok_or_else(|| err(head_index + 1, format!("head record missing {key:?}")))
+    };
+    let substrate = head_field("substrate")?;
+    let config = head_field("config")?;
+    let bin_ps = head_field("bin_ps")?;
+    let levels = head_field("levels")?;
+    let endpoints = head_field("endpoints")?.as_f64().ok_or_else(|| {
+        err(
+            head_index + 1,
+            "head \"endpoints\" is not a number".to_string(),
+        )
+    })? as usize;
+    let mut accumulator = LatencyHistograms::accumulator(endpoints);
+    let mut bins: Vec<JsonValue> = Vec::new();
+    let mut sections: Vec<(String, JsonValue)> = Vec::new();
+    for (index, line) in lines {
+        let value = JsonValue::parse(line).map_err(|e| err(index + 1, e.message))?;
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("window") => {
+                match value.get("latency") {
+                    None | Some(JsonValue::Null) => {}
+                    Some(delta) => {
+                        let window = LatencyWindow::from_json(delta).ok_or_else(|| {
+                            err(
+                                index + 1,
+                                "window latency delta does not decode".to_string(),
+                            )
+                        })?;
+                        accumulator.absorb(&window);
+                    }
+                }
+                if let Some(window_bins) = value.get("bins").and_then(JsonValue::as_array) {
+                    bins.extend(window_bins.iter().cloned());
+                }
+            }
+            Some("end") => {
+                if let Some(members) = value.get("sections").and_then(JsonValue::as_object) {
+                    sections = members.to_vec();
+                }
+            }
+            Some("trace" | "watchpoint" | "head") | None => {}
+            Some(other) => {
+                return Err(err(index + 1, format!("unknown record type {other:?}")));
+            }
+        }
+    }
+    let mut members = vec![
+        ("schema".to_string(), JsonValue::str(METRICS_SCHEMA)),
+        ("substrate".to_string(), substrate),
+        ("config".to_string(), config),
+        ("latency".to_string(), accumulator.to_json()),
+        (
+            "timeseries".to_string(),
+            JsonValue::Object(vec![
+                ("bin_ps".to_string(), bin_ps),
+                ("levels".to_string(), levels),
+                ("bins".to_string(), JsonValue::Array(bins)),
+            ]),
+        ),
+    ];
+    members.extend(sections);
+    Ok(JsonValue::Object(members))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    use asynoc_packet::{DestSet, Flit, PacketDescriptor, PacketId, RouteHeader};
+
+    /// A `Box<dyn Write>` target the test can read back.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.borrow().clone()).expect("utf-8 stream")
+        }
+    }
+
+    fn flit(id: u64, dest: usize, created: Time) -> Flit {
+        Flit::new(
+            Arc::new(PacketDescriptor::new(
+                PacketId::new(id),
+                0,
+                DestSet::unicast(dest),
+                RouteHeader::for_tree(8),
+                1,
+                created,
+            )),
+            0,
+        )
+    }
+
+    fn phases() -> Phases {
+        Phases::new(Duration::ZERO, Duration::from_ns(100))
+    }
+
+    fn make_sink(buf: &SharedBuf, watch: WatchConfig, trace: Option<usize>) -> StreamSink<usize> {
+        StreamSink::new(
+            Box::new(buf.clone()),
+            StreamConfig {
+                substrate: "mot".to_string(),
+                config: JsonValue::Object(vec![("seed".to_string(), JsonValue::uint(42))]),
+                window: Duration::from_ns(2),
+                trace_limit: trace,
+                watch,
+            },
+            phases(),
+            8,
+            TimeSeries::single_level(Duration::from_ns(1), "nodes", 4),
+            Box::new(|node: usize| format!("n{node}")),
+        )
+        .expect("head write succeeds")
+    }
+
+    fn inject(at: u64, f: &Flit) -> (Time, SimEvent<'_, usize>) {
+        (Time::from_ps(at), SimEvent::Inject { source: 0, flit: f })
+    }
+
+    fn deliver(at: u64, dest: usize, f: &Flit) -> (Time, SimEvent<'_, usize>) {
+        (Time::from_ps(at), SimEvent::Deliver { dest, flit: f })
+    }
+
+    fn forward(
+        at: u64,
+        node: usize,
+        copies: u8,
+        busy: u64,
+        f: &Flit,
+    ) -> (Time, SimEvent<'_, usize>) {
+        (
+            Time::from_ps(at),
+            SimEvent::Forward {
+                node,
+                flit: f,
+                info: asynoc_engine::ForwardInfo::Arbitrated { input: 0 },
+                copies,
+                busy: Duration::from_ps(busy),
+            },
+        )
+    }
+
+    #[test]
+    fn stream_folds_back_to_the_batch_sections() {
+        let buf = SharedBuf::default();
+        let mut sink = make_sink(&buf, WatchConfig::default(), None);
+        // The same events drive independent batch collectors.
+        let mut batch_latency = LatencyHistograms::new(phases(), 8);
+        let mut batch_series = TimeSeries::single_level(Duration::from_ns(1), "nodes", 4);
+        let flits: Vec<Flit> = (0..6)
+            .map(|k| flit(k, (k % 8) as usize, Time::from_ps(100 + k * 1_700)))
+            .collect();
+        for (k, f) in flits.iter().enumerate() {
+            let k = k as u64;
+            let events = [
+                inject(100 + k * 1_700, f),
+                forward(400 + k * 1_700, (k % 4) as usize, 1, 80, f),
+                deliver(900 + k * 1_700, (k % 8) as usize, f),
+            ];
+            for (at, event) in events {
+                sink.on_event(at, true, &event);
+                batch_latency.on_event(at, true, &event);
+                batch_series.on_event(at, true, &event);
+            }
+        }
+        let sections = JsonValue::Object(vec![
+            ("waste".to_string(), JsonValue::Null),
+            (
+                "counters".to_string(),
+                JsonValue::Object(vec![("delivered".to_string(), JsonValue::uint(6))]),
+            ),
+        ]);
+        let summary = sink.finish(sections).expect("stream closes");
+        assert!(summary.windows >= 4, "several windows closed");
+        assert_eq!(summary.watchpoints, 0, "clean run fires nothing");
+
+        let folded = fold_stream(&buf.text()).expect("stream folds");
+        assert_eq!(
+            folded.get("latency").unwrap().render(),
+            batch_latency.to_json().render(),
+            "latency deltas merge back to the batch section"
+        );
+        assert_eq!(
+            folded.get("timeseries").unwrap().render(),
+            batch_series.to_json().render(),
+            "window bins concatenate to the batch series"
+        );
+        assert_eq!(
+            folded.get("schema").and_then(JsonValue::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        assert_eq!(
+            folded.get("counters").unwrap().render(),
+            "{\"delivered\":6}",
+            "end sections splice in verbatim"
+        );
+        assert_eq!(folded.get("waste"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn streams_are_line_structured_and_headed() {
+        let buf = SharedBuf::default();
+        let mut sink = make_sink(&buf, WatchConfig::default(), Some(100));
+        let f = flit(1, 2, Time::from_ps(50));
+        let events = [inject(50, &f), deliver(2_500, 2, &f)];
+        for (at, event) in events {
+            sink.on_event(at, true, &event);
+        }
+        let _ = sink
+            .finish(JsonValue::Object(Vec::new()))
+            .expect("stream closes");
+        let text = buf.text();
+        let first = text.lines().next().expect("head line");
+        let head = JsonValue::parse(first).expect("head parses");
+        assert_eq!(
+            head.get("schema").and_then(JsonValue::as_str),
+            Some(STREAM_SCHEMA)
+        );
+        assert_eq!(head.get("trace"), Some(&JsonValue::Bool(true)));
+        assert!(
+            text.lines().any(|l| l.contains("\"type\":\"trace\"")),
+            "trace records stream with the windows"
+        );
+        for line in text.lines() {
+            let _ = JsonValue::parse(line).expect("every line is one JSON object");
+        }
+        assert!(
+            text.lines()
+                .last()
+                .expect("end line")
+                .contains("\"type\":\"end\""),
+            "the end record closes the stream"
+        );
+    }
+
+    #[test]
+    fn stall_watchpoint_names_the_oldest_flit() {
+        let buf = SharedBuf::default();
+        let watch = WatchConfig {
+            stall_windows: 3,
+            ..WatchConfig::default()
+        };
+        let mut sink = make_sink(&buf, watch, None);
+        let f = flit(7, 1, Time::from_ps(100));
+        let events = [
+            inject(100, &f),
+            forward(300, 2, 1, 50, &f),
+            // Nothing moves for many windows; the next event closes them
+            // all at once and the stall fires during the gap.
+            deliver(20_500, 1, &f),
+        ];
+        for (at, event) in events {
+            sink.on_event(at, true, &event);
+        }
+        let summary = sink
+            .finish(JsonValue::Object(Vec::new()))
+            .expect("stream closes");
+        assert_eq!(summary.watchpoints, 1);
+        let text = buf.text();
+        let alert = text
+            .lines()
+            .find(|l| l.contains("\"kind\":\"no_progress\""))
+            .expect("stall watchpoint fired");
+        let record = JsonValue::parse(alert).expect("watchpoint parses");
+        assert_eq!(
+            record.get("site").and_then(JsonValue::as_str),
+            Some("n2"),
+            "causal site is where the flit last was"
+        );
+        assert_eq!(record.get("packet").and_then(JsonValue::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn conservation_and_residue_watchpoints_fire() {
+        // A delivery that was never injected drives the ledger negative.
+        let buf = SharedBuf::default();
+        let mut sink = make_sink(&buf, WatchConfig::default(), None);
+        let f = flit(3, 1, Time::from_ps(100));
+        let (at, event) = deliver(100, 1, &f);
+        sink.on_event(at, true, &event);
+        let summary = sink
+            .finish(JsonValue::Object(Vec::new()))
+            .expect("stream closes");
+        assert_eq!(summary.watchpoints, 1);
+        assert!(buf.text().contains("\"kind\":\"token_conservation\""));
+
+        // A run that ends with copies in flight reports the residue.
+        let buf = SharedBuf::default();
+        let mut sink = make_sink(&buf, WatchConfig::default(), None);
+        let f = flit(4, 1, Time::from_ps(100));
+        let (at, event) = inject(100, &f);
+        sink.on_event(at, true, &event);
+        let summary = sink
+            .finish(JsonValue::Object(Vec::new()))
+            .expect("stream closes");
+        assert_eq!(summary.watchpoints, 1);
+        let text = buf.text();
+        assert!(text.contains("\"kind\":\"no_progress\""));
+        assert!(text.contains("still in flight"));
+    }
+
+    #[test]
+    fn busy_and_waste_watchpoints_fire_once() {
+        let buf = SharedBuf::default();
+        let watch = WatchConfig {
+            waste_min_forwards: 4,
+            ..WatchConfig::default()
+        };
+        let mut sink = make_sink(&buf, watch, None);
+        let f = flit(9, 1, Time::from_ps(10));
+        // Pump the copy count up so drops cannot go negative.
+        for k in 0..8 {
+            let (at, event) = inject(10 + k, &f);
+            sink.on_event(at, true, &event);
+        }
+        // Node 3 accumulates 1990 ps of busy inside a 2000 ps window.
+        let (at, event) = forward(500, 3, 1, 1_990, &f);
+        sink.on_event(at, true, &event);
+        for k in 0..4 {
+            let (at, event) = forward(600 + k, 1, 1, 10, &f);
+            sink.on_event(at, true, &event);
+        }
+        for k in 0..4 {
+            let (at, event) = (
+                Time::from_ps(700 + k),
+                SimEvent::Drop {
+                    node: 1usize,
+                    flit: &f,
+                    busy: Duration::from_ps(5),
+                },
+            );
+            sink.on_event(at, true, &event);
+        }
+        // Drain the rest so no residue alert fires, crossing a boundary.
+        for k in 0..4 {
+            let (at, event) = deliver(2_600 + k, 1, &f);
+            sink.on_event(at, true, &event);
+        }
+        let summary = sink
+            .finish(JsonValue::Object(Vec::new()))
+            .expect("stream closes");
+        let text = buf.text();
+        assert!(text.contains("\"kind\":\"busy_watermark\""));
+        assert!(text.contains("\"site\":\"n3\""));
+        assert!(text.contains("\"kind\":\"waste_rate\""));
+        assert_eq!(summary.watchpoints, 2, "each fires exactly once");
+    }
+
+    #[test]
+    fn fold_rejects_malformed_streams() {
+        let err = fold_stream("").unwrap_err();
+        assert!(err.message.contains("empty"));
+        let err = fold_stream("not json\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = fold_stream("{\"schema\":\"something-else\"}\n").unwrap_err();
+        assert!(err.message.contains("head"), "{err}");
+        let head = "{\"schema\":\"asynoc-stream-v1\",\"type\":\"head\",\
+                    \"substrate\":\"mot\",\"config\":{},\"window_ps\":1000,\
+                    \"bin_ps\":1000,\"levels\":[],\"endpoints\":4,\"trace\":false}";
+        let bad = format!("{head}\n{{\"type\":\"mystery\"}}\n");
+        let err = fold_stream(&bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("mystery"), "{err}");
+    }
+}

@@ -133,6 +133,64 @@ impl<N: Copy> TimeSeries<N> {
         }
     }
 
+    /// Number of bins materialized so far (bins exist lazily, up to the
+    /// latest event seen).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Returns `true` if no bins have been materialized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The level labels, in busy-fraction array order.
+    #[must_use]
+    pub fn level_labels(&self) -> Vec<String> {
+        self.levels.iter().map(|l| l.label.clone()).collect()
+    }
+
+    /// Materializes every bin covering instants strictly before `at`
+    /// (gap bins inherit the running in-flight level, exactly as a
+    /// later event would create them). Streaming sinks call this at a
+    /// window boundary so the bins below it are final and can be
+    /// emitted; batch collectors never need it because the triggering
+    /// event itself backfills the same bins.
+    pub fn backfill_before(&mut self, at: Time) {
+        if at == Time::ZERO {
+            return;
+        }
+        let _ = self.bin_at(Time::from_ps(at.as_ps() - 1));
+    }
+
+    /// One bin's JSON object, exactly as it appears in the batch
+    /// report's `bins` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn bin_json(&self, index: usize) -> JsonValue {
+        let bin = &self.bins[index];
+        let busy: Vec<JsonValue> = (0..self.levels.len())
+            .map(|level| JsonValue::Number(self.busy_fraction(index, level)))
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "t_ps".to_string(),
+                JsonValue::uint(index as u64 * self.bin.as_ps()),
+            ),
+            ("injected".to_string(), JsonValue::uint(bin.injected)),
+            ("delivered".to_string(), JsonValue::uint(bin.delivered)),
+            ("dropped".to_string(), JsonValue::uint(bin.dropped)),
+            ("forwards".to_string(), JsonValue::uint(bin.forwards)),
+            ("in_flight".to_string(), JsonValue::int(bin.in_flight)),
+            ("busy_fraction".to_string(), JsonValue::Array(busy)),
+        ])
+    }
+
     /// The time-series section of the metrics report: bin width, level
     /// labels, and one object per bin with counters and per-level busy
     /// fractions.
@@ -143,28 +201,7 @@ impl<N: Copy> TimeSeries<N> {
             .iter()
             .map(|l| JsonValue::str(l.label.clone()))
             .collect();
-        let bins: Vec<JsonValue> = self
-            .bins
-            .iter()
-            .enumerate()
-            .map(|(i, bin)| {
-                let busy: Vec<JsonValue> = (0..self.levels.len())
-                    .map(|level| JsonValue::Number(self.busy_fraction(i, level)))
-                    .collect();
-                JsonValue::Object(vec![
-                    (
-                        "t_ps".to_string(),
-                        JsonValue::uint(i as u64 * self.bin.as_ps()),
-                    ),
-                    ("injected".to_string(), JsonValue::uint(bin.injected)),
-                    ("delivered".to_string(), JsonValue::uint(bin.delivered)),
-                    ("dropped".to_string(), JsonValue::uint(bin.dropped)),
-                    ("forwards".to_string(), JsonValue::uint(bin.forwards)),
-                    ("in_flight".to_string(), JsonValue::int(bin.in_flight)),
-                    ("busy_fraction".to_string(), JsonValue::Array(busy)),
-                ])
-            })
-            .collect();
+        let bins: Vec<JsonValue> = (0..self.bins.len()).map(|i| self.bin_json(i)).collect();
         JsonValue::Object(vec![
             ("bin_ps".to_string(), JsonValue::uint(self.bin.as_ps())),
             ("levels".to_string(), JsonValue::Array(labels)),

@@ -63,6 +63,13 @@ impl TraceRecord {
     /// Renders the record as one NDJSON line (no trailing newline).
     #[must_use]
     pub fn to_ndjson(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// The record's JSON object form (embedded verbatim in `trace`
+    /// records of the streaming format).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![
             ("t_ps".to_string(), JsonValue::uint(self.t_ps)),
             ("packet".to_string(), JsonValue::uint(self.packet)),
@@ -80,7 +87,6 @@ impl TraceRecord {
             ),
             ("busy_ps".to_string(), JsonValue::uint(self.busy_ps)),
         ])
-        .render()
     }
 
     /// Parses one NDJSON line back into a record.
@@ -434,6 +440,14 @@ impl<N: Copy> TraceCollector<N> {
     #[must_use]
     pub fn into_records(self) -> Vec<TraceRecord> {
         self.records
+    }
+
+    /// Removes and returns the records buffered so far. A streaming
+    /// sink drains per window, which turns `limit` into a per-window
+    /// bound — the buffer never holds more than one window of records.
+    #[must_use]
+    pub fn drain_records(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
     }
 }
 

@@ -30,7 +30,12 @@
 # must not move a byte of stdout), and diffs of the `asynoc metrics` /
 # `asynoc analyze` / `asynoc faults` JSON report schemas plus the
 # asynoc-profile-v1 schema skeleton against the checked-in goldens so
-# report-format changes are always deliberate.
+# report-format changes are always deliberate. Streaming telemetry gets
+# two gates of its own: folding a `--stream` NDJSON file back through
+# `asynoc watch --fold` must reproduce the batch metrics document byte
+# for byte on both substrates at shards 1 and 2, and the memcheck
+# binary must show a streamed run's peak heap staying put when the run
+# gets 8x longer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -208,6 +213,38 @@ if [[ "$fast" -eq 0 ]]; then
             echo "  cargo run --release -p asynoc-bench --bin faults_schema > results/faults_schema.golden.json"
             exit 1
         }
+
+    echo "==> stream fold-back gate: folded stream == batch metrics, byte for byte (both substrates, shards 1/2)"
+    for sub in mot mesh; do
+        if [[ "$sub" == mot ]]; then
+            sub_args=(--arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3)
+        else
+            sub_args=(--substrate mesh --benchmark Uniform-random --rate 0.1 --size 4)
+        fi
+        for s in 1 2; do
+            cargo run -q --release -p asynoc-cli -- metrics "${sub_args[@]}" \
+                --warmup-ns 40 --measure-ns 400 --shards "$s" \
+                --metrics-out "$tmpdir/$sub-s$s-batch.json" \
+                --stream "$tmpdir/$sub-s$s-stream.ndjson" >/dev/null
+            cargo run -q --release -p asynoc-cli -- watch \
+                --stream-in "$tmpdir/$sub-s$s-stream.ndjson" --once \
+                --fold "$tmpdir/$sub-s$s-folded.json" >/dev/null
+            diff "$tmpdir/$sub-s$s-batch.json" "$tmpdir/$sub-s$s-folded.json" || {
+                echo "folded $sub stream diverged from the batch document at --shards $s"
+                exit 1
+            }
+        done
+        # Everything before the end record (whose counters section names
+        # the shard split) must be byte-identical across shard counts.
+        diff <(sed '$d' "$tmpdir/$sub-s1-stream.ndjson") \
+            <(sed '$d' "$tmpdir/$sub-s2-stream.ndjson") || {
+            echo "$sub stream records diverged between --shards 1 and 2"
+            exit 1
+        }
+    done
+
+    echo "==> bounded-memory gate: streamed peak heap independent of run length"
+    cargo run -q --release -p asynoc-bench --bin memcheck
 fi
 
 echo "OK: all tier-1 checks passed"
