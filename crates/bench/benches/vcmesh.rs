@@ -1,0 +1,67 @@
+//! The VC mesh substrate's cost guard: per-event wall-clock of the
+//! credit-based router under multicast load, one case per multicast
+//! scheme plus a unicast reference.
+//!
+//! The credit loop roughly doubles the event population of the plain
+//! mesh (every data launch eventually triggers a credit return), so
+//! this bench normalizes by the substrate's *own* event count — the
+//! guard holds the router's per-event cost, not the protocol's event
+//! volume.
+//!
+//! `--smoke` shrinks the window and sample count for CI. With
+//! `--json <path>` each case's *fastest* sample, normalized to ns per
+//! simulated event, is checked against the stored baseline record
+//! (seeded on first run, refreshed with `--update-baseline`).
+
+use asynoc_bench::baseline::{guard, parse_bench_args, BenchCase};
+use asynoc_bench::timing::Harness;
+use asynoc_kernel::Duration;
+use asynoc_mesh::MeshSize;
+use asynoc_stats::Phases;
+use asynoc_traffic::Benchmark;
+use asynoc_vcmesh::{McastScheme, VcMeshConfig, VcMeshNetwork};
+
+fn main() {
+    let args = parse_bench_args();
+    let (samples, measure_ns) = if args.smoke { (3, 200) } else { (15, 800) };
+    let harness = Harness::new(samples);
+    let phases = Phases::new(Duration::from_ns(40), Duration::from_ns(measure_ns));
+
+    let group = harness.group(&format!("vcmesh_4x4_{measure_ns}ns"));
+    let mut cases = Vec::new();
+    for (id, benchmark, mcast) in [
+        ("unicast_xy", Benchmark::UniformRandom, McastScheme::XyTree),
+        ("mcast_xy_tree", Benchmark::Multicast10, McastScheme::XyTree),
+        ("mcast_dpm", Benchmark::Multicast10, McastScheme::Dpm),
+    ] {
+        let network = VcMeshNetwork::new(
+            VcMeshConfig::new(MeshSize::new(4, 4).expect("valid size"))
+                .with_seed(3)
+                .with_mcast(mcast),
+        )
+        .expect("valid config");
+        // The run is deterministic, so one untimed pass fixes the event
+        // count every timed sample processes.
+        let events = network
+            .run(benchmark, 0.15, phases)
+            .expect("run succeeds")
+            .events_processed;
+        let fastest = group
+            .bench_stats(id, || {
+                network.run(benchmark, 0.15, phases).expect("run succeeds")
+            })
+            .min;
+        cases.push(BenchCase {
+            id: id.to_string(),
+            median: fastest,
+            events,
+        });
+    }
+
+    if let Some(path) = args.json {
+        if let Err(message) = guard("vcmesh", &path, &cases, args.update) {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

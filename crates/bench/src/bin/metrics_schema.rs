@@ -1,6 +1,7 @@
 //! Prints the *schema skeleton* of the `asynoc metrics` JSON report —
 //! every key with its value replaced by a type name, arrays reduced to
-//! their first element's shape. The check script diffs this against
+//! their first element's shape — for each substrate, keyed by substrate
+//! name. The check script diffs this against
 //! `results/metrics_schema.golden.json`, so any report-format change has
 //! to be made deliberately (regenerate with
 //! `cargo run -p asynoc-bench --bin metrics_schema > results/metrics_schema.golden.json`).
@@ -8,17 +9,43 @@
 use asynoc_cli::{execute, parse};
 use asynoc_telemetry::JsonValue;
 
-fn main() {
-    // Short windows keep this fast; the benchmark/architecture pair is
-    // chosen so every report section is populated (the hybrid network
-    // throttles redundant copies, filling the waste ledger).
-    let line = "metrics --arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 \
-                --warmup-ns 40 --measure-ns 400";
+fn skeleton(line: &str) -> JsonValue {
     let args: Vec<String> = line.split_whitespace().map(String::from).collect();
     let command = parse(&args).expect("valid invocation");
     let mut out = Vec::new();
     execute(&command, &mut out).expect("metrics run succeeds");
     let report =
         JsonValue::parse(&String::from_utf8(out).expect("utf8")).expect("valid JSON report");
-    print!("{}", report.schema().render_pretty());
+    report.schema()
+}
+
+fn main() {
+    // Short windows keep this fast; each invocation is chosen so every
+    // report section its substrate can populate is populated (the hybrid
+    // MoT throttles redundant copies, filling the waste ledger; the VC
+    // mesh multicasts, filling the per-VC occupancy section).
+    let document = JsonValue::Object(vec![
+        (
+            "mot".to_string(),
+            skeleton(
+                "metrics --arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 \
+                 --warmup-ns 40 --measure-ns 400",
+            ),
+        ),
+        (
+            "mesh".to_string(),
+            skeleton(
+                "metrics --substrate mesh --benchmark Uniform-random --rate 0.1 --size 4 \
+                 --warmup-ns 40 --measure-ns 400",
+            ),
+        ),
+        (
+            "vcmesh".to_string(),
+            skeleton(
+                "metrics --substrate vcmesh --mcast dpm --benchmark Multicast5 --rate 0.1 \
+                 --size 4 --warmup-ns 40 --measure-ns 400",
+            ),
+        ),
+    ]);
+    print!("{}", document.render_pretty());
 }

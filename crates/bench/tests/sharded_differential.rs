@@ -18,10 +18,11 @@
 use asynoc::{
     Architecture, Benchmark, Network, NetworkConfig, Observer, RunConfig, SimEvent, Time,
 };
-use asynoc_faults::{run_mesh_outcome, run_mot_outcome, FaultPlan};
+use asynoc_faults::{run_mesh_outcome, run_mot_outcome, run_vcmesh_outcome, FaultPlan};
 use asynoc_kernel::Duration;
 use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
 use asynoc_stats::Phases;
+use asynoc_vcmesh::{McastScheme, VcMeshConfig, VcMeshNetwork};
 use std::fmt::Write as _;
 
 /// Streaming FNV-1a fingerprint of the full event stream.
@@ -153,6 +154,60 @@ fn mesh_runs_are_identical_at_every_shard_count() {
     }
 }
 
+/// The VC mesh adds a second event population — credit returns — to the
+/// sharded engine, and its row-band partition must keep data launches,
+/// credit launches, and the atomic multicast fork in the same canonical
+/// order. Multicast traffic under DPM exercises the fork path hardest.
+#[test]
+fn vcmesh_runs_are_identical_at_every_shard_count() {
+    let phases = Phases::new(Duration::from_ns(80), Duration::from_ns(800));
+    for seed in SEEDS {
+        let mut outcomes = Vec::new();
+        for shards in SHARDS {
+            let config = VcMeshConfig::new(MeshSize::new(4, 4).expect("4x4 is valid"))
+                .with_seed(seed)
+                .with_mcast(McastScheme::Dpm)
+                .with_shards(shards);
+            let network = VcMeshNetwork::new(config).expect("4x4 VC mesh builds");
+            let mut stream = Fingerprint::new();
+            let report = network
+                .run_with_observers(Benchmark::Multicast10, 0.1, phases, &mut [&mut stream])
+                .expect("run succeeds");
+            assert_eq!(report.shards, shards, "seed {seed}: shard count echoed");
+            assert_eq!(
+                report.shard_events.iter().sum::<u64>(),
+                report.events_processed,
+                "seed {seed}: per-shard events must sum to the total"
+            );
+            outcomes.push((shards, stream.hash, stream.events, report));
+        }
+        let (_, serial_hash, serial_events, serial) = &outcomes[0];
+        for (shards, hash, events, sharded) in &outcomes[1..] {
+            assert_eq!(
+                serial_events, events,
+                "seed {seed} shards {shards}: event counts differ"
+            );
+            assert_eq!(
+                serial_hash, hash,
+                "seed {seed} shards {shards}: event streams diverged"
+            );
+            assert_eq!(serial.events_processed, sharded.events_processed);
+            assert_eq!(serial.packets_measured, sharded.packets_measured);
+            assert_eq!(serial.packets_incomplete, sharded.packets_incomplete);
+            assert_eq!(serial.throughput, sharded.throughput);
+            assert_eq!(serial.latency.count(), sharded.latency.count());
+            assert_eq!(serial.latency.mean(), sharded.latency.mean());
+            assert_eq!(serial.latency.min(), sharded.latency.min());
+            assert_eq!(serial.latency.max(), sharded.latency.max());
+            assert_eq!(serial.link_traversals, sharded.link_traversals);
+            assert_eq!(serial.vc_pushes, sharded.vc_pushes);
+            assert_eq!(serial.vc_peak, sharded.vc_peak);
+            assert!((serial.mean_hops - sharded.mean_hops).abs() == 0.0);
+        }
+        assert!(serial.packets_measured > 0, "seed {seed}: degenerate run");
+    }
+}
+
 /// Fault injection must survive sharding too: the armed-fault summary is
 /// accumulated per shard and folded back, and the delivery ledger the
 /// oracle judges is rebuilt from the same merged stream.
@@ -205,6 +260,39 @@ fn mesh_fault_outcomes_are_identical_at_every_shard_count() {
         .expect("4x4 mesh builds");
         let plan = FaultPlan::random(23, 0.02, &net.fault_domain());
         let outcome = run_mesh_outcome(&net, Benchmark::UniformRandom, 0.2, phases, Some(&plan))
+            .expect("faulted run succeeds");
+        outcomes.push((shards, outcome));
+    }
+    let (_, serial) = &outcomes[0];
+    for (shards, sharded) in &outcomes[1..] {
+        assert_eq!(
+            serial.deliveries, sharded.deliveries,
+            "shards {shards}: delivery log diverged"
+        );
+        assert_eq!(serial.mean_latency_ps, sharded.mean_latency_ps);
+        assert_eq!(serial.packets_incomplete, sharded.packets_incomplete);
+        assert_eq!(serial.summary, sharded.summary, "shards {shards}");
+        assert_eq!(serial.ledger.total(), sharded.ledger.total());
+    }
+}
+
+/// Stall faults on a VC mesh land on credit-return channels as well as
+/// data channels, so the sharded fold must reproduce the exact fault
+/// firing order too.
+#[test]
+fn vcmesh_fault_outcomes_are_identical_at_every_shard_count() {
+    let phases = Phases::new(Duration::from_ns(40), Duration::from_ns(400));
+    let mut outcomes = Vec::new();
+    for shards in SHARDS {
+        let net = VcMeshNetwork::new(
+            VcMeshConfig::new(MeshSize::new(4, 4).expect("4x4 is valid"))
+                .with_seed(23)
+                .with_mcast(McastScheme::XyTree)
+                .with_shards(shards),
+        )
+        .expect("4x4 VC mesh builds");
+        let plan = FaultPlan::random(23, 0.02, &net.fault_domain());
+        let outcome = run_vcmesh_outcome(&net, Benchmark::Multicast5, 0.2, phases, Some(&plan))
             .expect("faulted run succeeds");
         outcomes.push((shards, outcome));
     }

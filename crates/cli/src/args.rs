@@ -5,6 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use asynoc::{Architecture, Benchmark};
+use asynoc_vcmesh::McastScheme;
 
 /// The usage text printed by `asynoc help` and on parse errors.
 pub const USAGE: &str = "\
@@ -15,12 +16,14 @@ USAGE:
   asynoc saturate --arch <A> --benchmark <B> [--quick] [--probe-fan <K>] [common options]
   asynoc sweep    --arch <A> --benchmark <B> --from <R0> --to <R1> --steps <K> [common options]
   asynoc mesh     --benchmark <B> --rate <flits/ns> [--cols <C>] [--rows <R>] [common options]
-  asynoc metrics  --benchmark <B> --rate <flits/ns> [--arch <A>] [--substrate mot|mesh]
+  asynoc metrics  --benchmark <B> --rate <flits/ns> [--arch <A>]
+                  [--substrate mot|mesh|vcmesh] [--mcast xy-tree|dpm]
                   [--metrics-out <path>] [--trace-format ndjson|chrome] [--trace-out <path>]
                   [--trace-limit <K>] [--bin-ns <W>] [common options]
   asynoc analyze  --trace-in <path> [--report-out <path>] [--top <N>] [--heatmap] [--lenient]
                   [--profile <path>]
-  asynoc faults   --benchmark <B> --rate <flits/ns> [--arch <A>] [--substrate mot|mesh]
+  asynoc faults   --benchmark <B> --rate <flits/ns> [--arch <A>]
+                  [--substrate mot|mesh|vcmesh] [--mcast xy-tree|dpm]
                   [--plan <encoded>] [--fault-rate <D>] [--oracle] [--report-out <path>]
                   [common options]
   asynoc watch    --stream-in <path|-> [--fold <path|->] [--once] [--interval-ms <T>]
@@ -78,7 +81,10 @@ STREAMING OPTIONS (run, mesh, metrics, faults):
             deterministic, but K changes which rates are probed)
   metrics:  one instrumented run emitting a JSON report (latency
             percentiles, time-series, speculation-waste ledger, power).
-            --arch is required on the mot substrate; --trace-out exports
+            --arch is required on the mot substrate; the vcmesh substrate
+            (credit-based VC mesh with in-network multicast) takes
+            --mcast to pick its multicast scheme (xy-tree default, dpm =
+            Dynamic Partition Merging); --trace-out exports
             the flit trace (ndjson default, chrome is Perfetto-loadable);
             --bin-ns sets the time-series bin width (default 100)
   analyze:  offline causal analysis over an NDJSON flit trace (from
@@ -179,6 +185,8 @@ pub enum Command {
         rate: f64,
         /// Which fabric to instrument.
         substrate: Substrate,
+        /// Multicast scheme on the vcmesh substrate (unused elsewhere).
+        mcast: McastScheme,
         /// Time-series bin width, ns.
         bin_ns: u64,
         /// Write the JSON report here instead of stdout.
@@ -221,6 +229,8 @@ pub enum Command {
         rate: f64,
         /// Which fabric to inject into.
         substrate: Substrate,
+        /// Multicast scheme on the vcmesh substrate (unused elsewhere).
+        mcast: McastScheme,
         /// Encoded fault plan to replay (`None` = draw one from the
         /// seed and `fault_rate`).
         plan: Option<String>,
@@ -264,6 +274,8 @@ pub enum Substrate {
     Mot,
     /// The 2D-mesh comparison fabric.
     Mesh,
+    /// The credit-based virtual-channel mesh with in-network multicast.
+    Vcmesh,
 }
 
 impl std::str::FromStr for Substrate {
@@ -273,7 +285,10 @@ impl std::str::FromStr for Substrate {
         match s.to_ascii_lowercase().as_str() {
             "mot" => Ok(Substrate::Mot),
             "mesh" => Ok(Substrate::Mesh),
-            other => Err(format!("unknown substrate {other:?} (use mot or mesh)")),
+            "vcmesh" => Ok(Substrate::Vcmesh),
+            other => Err(format!(
+                "unknown substrate {other:?} (use mot, mesh, or vcmesh)"
+            )),
         }
     }
 }
@@ -527,6 +542,7 @@ fn with_common(extra: &[&str]) -> Vec<&'static str> {
             "seeds" => "seeds",
             "probe-fan" => "probe-fan",
             "substrate" => "substrate",
+            "mcast" => "mcast",
             "metrics-out" => "metrics-out",
             "trace-format" => "trace-format",
             "trace-out" => "trace-out",
@@ -544,6 +560,39 @@ fn with_common(extra: &[&str]) -> Vec<&'static str> {
         });
     }
     keys
+}
+
+/// Resolves the substrate-selection options shared by `metrics` and
+/// `faults`: the substrate itself, the multicast scheme (vcmesh-only),
+/// and the architecture (mot-only, but required there).
+fn substrate_options(
+    flags: &BTreeMap<String, String>,
+) -> Result<(Substrate, McastScheme, Option<Architecture>), ParseCliError> {
+    let substrate: Substrate = flags
+        .get("substrate")
+        .map(|raw| parse_value("substrate", raw))
+        .transpose()?
+        .unwrap_or(Substrate::Mot);
+    let mcast: McastScheme = flags
+        .get("mcast")
+        .map(|raw| parse_value("mcast", raw))
+        .transpose()?
+        .unwrap_or_default();
+    if flags.contains_key("mcast") && substrate != Substrate::Vcmesh {
+        return Err(ParseCliError::new(
+            "--mcast applies to the vcmesh substrate only (add --substrate vcmesh)",
+        ));
+    }
+    let arch = flags
+        .get("arch")
+        .map(|raw| parse_value::<Architecture>("arch", raw))
+        .transpose()?;
+    if substrate == Substrate::Mot && arch.is_none() {
+        return Err(ParseCliError::new(
+            "missing required option --arch (the mot substrate needs one)",
+        ));
+    }
+    Ok((substrate, mcast, arch))
 }
 
 /// Parses a full argument vector (excluding the program name).
@@ -659,6 +708,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 "benchmark",
                 "rate",
                 "substrate",
+                "mcast",
                 "metrics-out",
                 "trace-format",
                 "trace-out",
@@ -667,20 +717,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             ];
             extra.extend(STREAM_KEYS);
             let flags = collect_flags(rest, &with_common(&extra))?;
-            let substrate: Substrate = flags
-                .get("substrate")
-                .map(|raw| parse_value("substrate", raw))
-                .transpose()?
-                .unwrap_or(Substrate::Mot);
-            let arch = flags
-                .get("arch")
-                .map(|raw| parse_value::<Architecture>("arch", raw))
-                .transpose()?;
-            if substrate == Substrate::Mot && arch.is_none() {
-                return Err(ParseCliError::new(
-                    "missing required option --arch (the mot substrate needs one)",
-                ));
-            }
+            let (substrate, mcast, arch) = substrate_options(&flags)?;
             let explicit_format: Option<TraceFormat> = flags
                 .get("trace-format")
                 .map(|raw| parse_value("trace-format", raw))
@@ -720,6 +757,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
                 rate: parse_value("rate", required(&flags, "rate")?)?,
                 substrate,
+                mcast,
                 bin_ns,
                 metrics_out: flags.get("metrics-out").cloned(),
                 trace_format,
@@ -763,6 +801,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 "benchmark",
                 "rate",
                 "substrate",
+                "mcast",
                 "plan",
                 "fault-rate",
                 "oracle",
@@ -770,20 +809,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             ];
             extra.extend(STREAM_KEYS);
             let flags = collect_flags(rest, &with_common(&extra))?;
-            let substrate: Substrate = flags
-                .get("substrate")
-                .map(|raw| parse_value("substrate", raw))
-                .transpose()?
-                .unwrap_or(Substrate::Mot);
-            let arch = flags
-                .get("arch")
-                .map(|raw| parse_value::<Architecture>("arch", raw))
-                .transpose()?;
-            if substrate == Substrate::Mot && arch.is_none() {
-                return Err(ParseCliError::new(
-                    "missing required option --arch (the mot substrate needs one)",
-                ));
-            }
+            let (substrate, mcast, arch) = substrate_options(&flags)?;
             let fault_rate: f64 = flags
                 .get("fault-rate")
                 .map(|raw| parse_value("fault-rate", raw))
@@ -797,6 +823,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
                 rate: parse_value("rate", required(&flags, "rate")?)?,
                 substrate,
+                mcast,
                 plan: flags.get("plan").cloned(),
                 fault_rate,
                 oracle: flags.contains_key("oracle"),
@@ -1046,6 +1073,7 @@ mod tests {
                 benchmark: Benchmark::Multicast10,
                 rate: 0.3,
                 substrate: Substrate::Mot,
+                mcast: McastScheme::XyTree,
                 bin_ns: 100,
                 metrics_out: None,
                 trace_format: None,
@@ -1091,6 +1119,68 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn vcmesh_substrate_parses_with_and_without_mcast() {
+        let cmd = parse(&argv(
+            "metrics --substrate vcmesh --benchmark Multicast5 --rate 0.1",
+        ))
+        .expect("valid");
+        assert!(matches!(
+            cmd,
+            Command::Metrics {
+                substrate: Substrate::Vcmesh,
+                mcast: McastScheme::XyTree,
+                arch: None,
+                ..
+            }
+        ));
+        let cmd = parse(&argv(
+            "metrics --substrate vcmesh --mcast dpm --benchmark Multicast5 --rate 0.1",
+        ))
+        .expect("valid");
+        assert!(matches!(
+            cmd,
+            Command::Metrics {
+                substrate: Substrate::Vcmesh,
+                mcast: McastScheme::Dpm,
+                ..
+            }
+        ));
+        let cmd = parse(&argv(
+            "faults --substrate vcmesh --mcast xy-tree --benchmark Tornado --rate 0.1",
+        ))
+        .expect("valid");
+        assert!(matches!(
+            cmd,
+            Command::Faults {
+                substrate: Substrate::Vcmesh,
+                mcast: McastScheme::XyTree,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mcast_is_vcmesh_only_and_validated() {
+        // --mcast on a non-vcmesh substrate is rejected.
+        let err = parse(&argv(
+            "metrics --arch Baseline --benchmark Shuffle --rate 0.2 --mcast dpm",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("vcmesh"), "{err}");
+        let err = parse(&argv(
+            "faults --substrate mesh --benchmark Shuffle --rate 0.2 --mcast dpm",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("vcmesh"), "{err}");
+        // Unknown scheme names are named in the error.
+        let err = parse(&argv(
+            "metrics --substrate vcmesh --benchmark Shuffle --rate 0.2 --mcast steiner",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("steiner"), "{err}");
     }
 
     #[test]
@@ -1193,6 +1283,7 @@ mod tests {
                 benchmark: Benchmark::Shuffle,
                 rate: 0.2,
                 substrate: Substrate::Mot,
+                mcast: McastScheme::XyTree,
                 plan: None,
                 fault_rate: 0.15,
                 oracle: false,

@@ -504,6 +504,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             benchmark,
             rate,
             substrate,
+            mcast,
             bin_ns,
             metrics_out,
             trace_format,
@@ -516,6 +517,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 benchmark: *benchmark,
                 rate: *rate,
                 substrate: *substrate,
+                mcast: *mcast,
                 bin_ns: *bin_ns,
                 metrics_out: metrics_out.clone(),
                 trace_format: *trace_format,
@@ -548,6 +550,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             benchmark,
             rate,
             substrate,
+            mcast,
             plan,
             fault_rate,
             oracle,
@@ -559,6 +562,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 benchmark: *benchmark,
                 rate: *rate,
                 substrate: *substrate,
+                mcast: *mcast,
                 plan: plan.clone(),
                 fault_rate: *fault_rate,
                 oracle: *oracle,

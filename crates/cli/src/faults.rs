@@ -14,10 +14,11 @@ use std::io::Write;
 use asynoc::{Architecture, Benchmark};
 use asynoc_faults::{
     judge, mesh_network, replay_command, run_mesh_outcome, run_mesh_outcome_observed,
-    run_mot_outcome, run_mot_outcome_observed, FaultDomain, FaultPlan, OracleVerdict, RunOutcome,
-    FAULTS_SCHEMA,
+    run_mot_outcome, run_mot_outcome_observed, run_vcmesh_outcome, run_vcmesh_outcome_observed,
+    vcmesh_network, FaultDomain, FaultPlan, OracleVerdict, RunOutcome, FAULTS_SCHEMA,
 };
 use asynoc_telemetry::JsonValue;
+use asynoc_vcmesh::McastScheme;
 
 use crate::args::{CommonOptions, Substrate};
 use crate::commands::{network, phases_for, CliError};
@@ -32,6 +33,8 @@ pub struct FaultsRequest {
     pub rate: f64,
     /// Which fabric to inject into.
     pub substrate: Substrate,
+    /// Multicast scheme on the vcmesh substrate (unused elsewhere).
+    pub mcast: McastScheme,
     /// Encoded plan to replay (`None` = draw from seed and rate).
     pub plan: Option<String>,
     /// Random-plan density over the fault domain.
@@ -239,6 +242,65 @@ fn run_pair(
                 .map_err(|e| invalid(&e))?;
             Ok((domain, plan, faulted, clean, watchpoints))
         }
+        Substrate::Vcmesh => {
+            let net = vcmesh_network(
+                request.common.size,
+                request.common.seed,
+                request.common.flits,
+                request.common.shards,
+                request.mcast,
+            )
+            .map_err(|e| invalid(&e))?;
+            let net = if request.common.profile.is_some() || request.common.progress {
+                asynoc_vcmesh::VcMeshNetwork::new(
+                    net.config()
+                        .clone()
+                        .with_profile(request.common.profile.is_some())
+                        .with_progress(request.common.progress),
+                )
+                .map_err(|e| invalid(&e))?
+            } else {
+                net
+            };
+            let domain = net.fault_domain();
+            let plan = resolve_plan(request, &domain)?;
+            let phases = phases_for(request.benchmark, &request.common);
+            let (faulted, watchpoints) = match &request.common.stream {
+                Some(path) => {
+                    let mut sink = crate::stream::vcmesh_sink(
+                        path,
+                        &request.common,
+                        config_json(request),
+                        net.config().size().endpoints(),
+                        phases,
+                        None,
+                        crate::stream::DEFAULT_TRACE_LIMIT,
+                    )?;
+                    let faulted = run_vcmesh_outcome_observed(
+                        &net,
+                        request.benchmark,
+                        request.rate,
+                        phases,
+                        Some(&plan),
+                        &mut [&mut sink],
+                    )
+                    .map_err(|e| invalid(&e))?;
+                    let watchpoints = crate::stream::finish_sink(sink, JsonValue::Object(vec![]))?;
+                    (faulted, watchpoints)
+                }
+                None => (
+                    run_vcmesh_outcome(&net, request.benchmark, request.rate, phases, Some(&plan))
+                        .map_err(|e| invalid(&e))?,
+                    0,
+                ),
+            };
+            let clean = request
+                .oracle
+                .then(|| run_vcmesh_outcome(&net, request.benchmark, request.rate, phases, None))
+                .transpose()
+                .map_err(|e| invalid(&e))?;
+            Ok((domain, plan, faulted, clean, watchpoints))
+        }
     }
 }
 
@@ -280,6 +342,7 @@ pub fn execute_faults(request: &FaultsRequest, out: &mut dyn Write) -> Result<()
     let substrate = match request.substrate {
         Substrate::Mot => "mot",
         Substrate::Mesh => "mesh",
+        Substrate::Vcmesh => "vcmesh",
     };
     let doc = JsonValue::Object(vec![
         ("schema".to_string(), JsonValue::str(FAULTS_SCHEMA)),
@@ -318,7 +381,7 @@ pub fn execute_faults(request: &FaultsRequest, out: &mut dyn Write) -> Result<()
                 .iter()
                 .map(|c| format!("{}: {}", c.name, c.detail))
                 .collect();
-            let replay = replay_command(
+            let mut replay = replay_command(
                 substrate,
                 request.arch.map(|a| a.to_string()).as_deref(),
                 &request.benchmark.to_string(),
@@ -327,6 +390,11 @@ pub fn execute_faults(request: &FaultsRequest, out: &mut dyn Write) -> Result<()
                 request.common.seed,
                 &plan,
             );
+            // The shared replay line predates multicast schemes; a
+            // non-default one is part of the run's identity.
+            if request.substrate == Substrate::Vcmesh && request.mcast != McastScheme::default() {
+                replay.push_str(&format!(" --mcast {}", request.mcast));
+            }
             return Err(CliError::Invalid(format!(
                 "fault oracle violated:\n  {}\nreplay: {replay}",
                 failing.join("\n  ")
@@ -389,6 +457,26 @@ mod tests {
             doc.get("oracle").and_then(|o| o.get("pass")),
             Some(&JsonValue::Bool(true))
         );
+    }
+
+    #[test]
+    fn vcmesh_substrate_judges_the_same_contract() {
+        for mcast in ["xy-tree", "dpm"] {
+            let doc = JsonValue::parse(&run_cli(&format!(
+                "faults --substrate vcmesh --mcast {mcast} --benchmark Multicast5 --rate 0.1 \
+                 --size 4 --warmup-ns 20 --measure-ns 150 --oracle"
+            )))
+            .expect("fault report is valid JSON");
+            assert_eq!(
+                doc.get("substrate").and_then(JsonValue::as_str),
+                Some("vcmesh")
+            );
+            assert_eq!(
+                doc.get("oracle").and_then(|o| o.get("pass")),
+                Some(&JsonValue::Bool(true)),
+                "vcmesh ({mcast}) oracle must pass"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use asynoc_telemetry::{
     TimeSeries, TraceCollector, TraceMeta, METRICS_SCHEMA,
 };
 use asynoc_topology::{FaninNodeId, FanoutNodeId, MotSize};
+use asynoc_vcmesh::{McastScheme, VcMeshConfig, VcMeshNetwork, VcMeshReport};
 
 use crate::args::{CommonOptions, Substrate, TraceFormat};
 use crate::commands::{network, phases_for, CliError};
@@ -31,6 +32,8 @@ pub struct MetricsRequest {
     pub rate: f64,
     /// Which fabric to instrument.
     pub substrate: Substrate,
+    /// Multicast scheme on the vcmesh substrate (unused elsewhere).
+    pub mcast: McastScheme,
     /// Time-series bin width, ns.
     pub bin_ns: u64,
     /// JSON report destination (`None` = the command's output stream).
@@ -505,6 +508,150 @@ fn run_mesh(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
     Ok((doc, tracers.render(meta), engine_profile, watchpoints))
 }
 
+/// Runs the credit-based VC mesh substrate. Shape matches the mesh
+/// report (null `waste`/`power`) plus one extra `vcs` section with the
+/// multicast scheme and the shard-exact VC-plane counters — the
+/// serial-only credit-conservation ledger stays out of the document so
+/// `--shards N` reports remain byte-identical.
+fn run_vcmesh(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
+    let size = MeshSize::new(request.common.size, request.common.size)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let net = VcMeshNetwork::new(
+        VcMeshConfig::new(size)
+            .with_seed(request.common.seed)
+            .with_flits_per_packet(request.common.flits)
+            .with_mcast(request.mcast)
+            .with_shards(request.common.shards)
+            .with_profile(request.common.profile.is_some())
+            .with_progress(request.common.progress),
+    )
+    .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let phases = phases_for(request.benchmark, &request.common);
+    let endpoints = size.endpoints();
+
+    let mut latency = LatencyHistograms::new(phases, endpoints);
+    let mut timeseries: TimeSeries<usize> =
+        TimeSeries::single_level(Duration::from_ns(request.bin_ns), "router", endpoints);
+    let mut tracers = Tracers::new(
+        request.trace_format,
+        request.trace_limit,
+        |router: usize| format!("r{router}"),
+    );
+
+    let mut sink = match &request.common.stream {
+        Some(path) => Some(crate::stream::vcmesh_sink(
+            path,
+            &request.common,
+            config_json(
+                None,
+                request.benchmark,
+                request.rate,
+                request.common.size,
+                &request.common,
+            ),
+            endpoints,
+            phases,
+            Some(request.bin_ns),
+            request.trace_limit,
+        )?),
+        None => None,
+    };
+
+    let mut extra: Vec<&mut dyn Observer<usize>> = vec![&mut latency, &mut timeseries];
+    tracers.push_into(&mut extra);
+    if let Some(sink) = sink.as_mut() {
+        extra.push(sink);
+    }
+    let mut report: VcMeshReport = net
+        .run_with_observers(request.benchmark, request.rate, phases, &mut extra)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let engine_profile = report.profile.take();
+
+    let throughput_value = throughput_json(&report.throughput);
+    let counters_value = counters_json(
+        report.packets_measured,
+        report.packets_incomplete,
+        report.flits_throttled,
+        report.flits_delivered,
+        report.events_processed,
+        report.shards,
+        &report.shard_events,
+    );
+    let vcs_value = JsonValue::Object(vec![
+        (
+            "mcast".to_string(),
+            JsonValue::str(request.mcast.to_string()),
+        ),
+        (
+            "vc_pushes".to_string(),
+            JsonValue::Array(
+                report
+                    .vc_pushes
+                    .iter()
+                    .map(|&p| JsonValue::uint(p))
+                    .collect(),
+            ),
+        ),
+        (
+            "vc_peak".to_string(),
+            JsonValue::Array(report.vc_peak.iter().map(|&p| JsonValue::uint(p)).collect()),
+        ),
+        (
+            "link_traversals".to_string(),
+            JsonValue::uint(report.link_traversals),
+        ),
+        ("mean_hops".to_string(), JsonValue::Number(report.mean_hops)),
+    ]);
+    let watchpoints = match sink {
+        Some(sink) => crate::stream::finish_sink(
+            sink,
+            JsonValue::Object(vec![
+                ("waste".to_string(), JsonValue::Null),
+                ("throughput".to_string(), throughput_value.clone()),
+                ("power".to_string(), JsonValue::Null),
+                ("counters".to_string(), counters_value.clone()),
+                ("vcs".to_string(), vcs_value.clone()),
+            ]),
+        )?,
+        None => 0,
+    };
+    let doc = JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::str(METRICS_SCHEMA)),
+        ("substrate".to_string(), JsonValue::str("vcmesh")),
+        (
+            "config".to_string(),
+            config_json(
+                None,
+                request.benchmark,
+                request.rate,
+                request.common.size,
+                &request.common,
+            ),
+        ),
+        ("latency".to_string(), latency.to_json()),
+        ("timeseries".to_string(), timeseries.to_json()),
+        ("waste".to_string(), JsonValue::Null),
+        ("throughput".to_string(), throughput_value),
+        ("power".to_string(), JsonValue::Null),
+        ("counters".to_string(), counters_value),
+        ("vcs".to_string(), vcs_value),
+    ]);
+    let meta = TraceMeta {
+        substrate: "vcmesh".to_string(),
+        arch: None,
+        size: request.common.size as u64,
+        seed: request.common.seed,
+        flits: request.common.flits,
+        rate: request.rate,
+        warmup_ps: phases.warmup().as_ps(),
+        measure_ps: phases.measure().as_ps(),
+        wire_fj: None,
+        drop_fj: None,
+        dropped_events: 0,
+    };
+    Ok((doc, tracers.render(meta), engine_profile, watchpoints))
+}
+
 /// Executes a `metrics` command: runs the instrumented simulation, then
 /// writes the JSON report (to `--metrics-out` or `out`), the trace
 /// (to `--trace-out`, when requested), and the self-profile (to
@@ -518,6 +665,7 @@ pub fn execute_metrics(request: &MetricsRequest, out: &mut dyn Write) -> Result<
     let (doc, trace, engine_profile, watchpoints) = match request.substrate {
         Substrate::Mot => run_mot(request)?,
         Substrate::Mesh => run_mesh(request)?,
+        Substrate::Vcmesh => run_vcmesh(request)?,
     };
     let rendered = doc.render_pretty();
     match &request.metrics_out {
@@ -538,7 +686,7 @@ pub fn execute_metrics(request: &MetricsRequest, out: &mut dyn Write) -> Result<
         if let Some(engine_profile) = &engine_profile {
             let arch = match request.substrate {
                 Substrate::Mot => request.arch,
-                Substrate::Mesh => None,
+                Substrate::Mesh | Substrate::Vcmesh => None,
             };
             profiler.add_run(
                 config_json(
@@ -702,20 +850,121 @@ mod tests {
     }
 
     #[test]
+    fn vcmesh_report_carries_the_vc_section_and_is_shard_invariant() {
+        let base = "metrics --substrate vcmesh --benchmark Multicast10 --rate 0.1 --size 4 \
+                    --warmup-ns 40 --measure-ns 400";
+        let doc = metrics_doc(&format!("{base} --shards 1"));
+        assert_eq!(
+            doc.get("substrate").and_then(JsonValue::as_str),
+            Some("vcmesh")
+        );
+        assert_eq!(doc.get("power"), Some(&JsonValue::Null));
+        assert_eq!(doc.get("waste"), Some(&JsonValue::Null));
+        assert!(
+            doc.get("latency")
+                .and_then(|l| l.get("count"))
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let vcs = doc.get("vcs").expect("vcs section");
+        assert_eq!(
+            vcs.get("mcast").and_then(JsonValue::as_str),
+            Some("xy-tree")
+        );
+        let pushes = vcs.get("vc_pushes").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(pushes.len(), asynoc_vcmesh::VC_COUNT);
+        assert!(
+            pushes.iter().map(|p| p.as_f64().unwrap()).sum::<f64>() > 0.0,
+            "VC planes carried traffic"
+        );
+        assert!(
+            vcs.get("link_traversals")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        // The acceptance gate: the whole document — including every vcs
+        // counter — must be byte-identical across shard counts (only the
+        // counters section's shard layout legitimately differs, and it
+        // does so identically in batch and stream).
+        let serial = run_cli(&format!("{base} --shards 1"));
+        let sharded = run_cli(&format!("{base} --shards 2"));
+        let strip_layout = |text: &str| {
+            let JsonValue::Object(mut members) = JsonValue::parse(text).unwrap() else {
+                panic!("report is an object");
+            };
+            for (key, value) in &mut members {
+                if key == "counters" {
+                    let JsonValue::Object(counters) = value else {
+                        panic!("counters is an object");
+                    };
+                    counters.retain(|(k, _)| k != "shards" && k != "shard_events");
+                }
+            }
+            JsonValue::Object(members).render_pretty()
+        };
+        assert_eq!(
+            strip_layout(&serial),
+            strip_layout(&sharded),
+            "vcmesh metrics must be shard-invariant"
+        );
+    }
+
+    #[test]
+    fn dpm_report_uses_no_more_links_than_xy_tree() {
+        let base = "metrics --substrate vcmesh --benchmark Multicast10 --rate 0.1 --size 4 \
+                    --warmup-ns 40 --measure-ns 400";
+        let links = |doc: &JsonValue| {
+            doc.get("vcs")
+                .and_then(|v| v.get("link_traversals"))
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+        };
+        let tree = metrics_doc(&format!("{base} --mcast xy-tree"));
+        let dpm = metrics_doc(&format!("{base} --mcast dpm"));
+        assert_eq!(
+            dpm.get("vcs")
+                .and_then(|v| v.get("mcast"))
+                .and_then(JsonValue::as_str),
+            Some("dpm"),
+            "dpm doc is tagged with its scheme"
+        );
+        assert!(
+            links(&dpm) <= links(&tree),
+            "DPM must not use more links than the XY tree: {} vs {}",
+            links(&dpm),
+            links(&tree)
+        );
+        // Identical injection schedule: both schemes measure the same
+        // packet population.
+        assert_eq!(
+            dpm.get("counters").and_then(|c| c.get("packets_measured")),
+            tree.get("counters").and_then(|c| c.get("packets_measured")),
+        );
+    }
+
+    #[test]
     fn streamed_windows_fold_back_into_the_batch_document() {
         use asynoc_telemetry::fold_stream;
         // Both substrates, serial and sharded: the incremental stream
         // must fold into the exact batch report, and the event-record
         // prefix of the stream must be shard-invariant.
-        for substrate_args in [
-            "--arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 --bin-ns 50",
-            "--substrate mesh --benchmark Uniform-random --rate 0.1 --size 4 --bin-ns 50",
+        for (tag, substrate_args) in [
+            (
+                "mot",
+                "--arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3 --bin-ns 50",
+            ),
+            (
+                "mesh",
+                "--substrate mesh --benchmark Uniform-random --rate 0.1 --size 4 --bin-ns 50",
+            ),
+            (
+                "vcmesh",
+                "--substrate vcmesh --mcast dpm --benchmark Multicast5 --rate 0.1 --size 4 \
+                 --bin-ns 50",
+            ),
         ] {
-            let tag = if substrate_args.contains("mesh") {
-                "mesh"
-            } else {
-                "mot"
-            };
             let mut streams = Vec::new();
             for shards in [1usize, 2] {
                 let batch_path = temp_path(&format!("fold-batch-{tag}-{shards}.json"));

@@ -121,6 +121,35 @@ pub(crate) fn mesh_sink(
     )?)
 }
 
+/// Builds the streaming sink for a VC mesh run — identical grouping and
+/// labels to the mesh (one "router" level), under its own substrate tag.
+pub(crate) fn vcmesh_sink(
+    path: &str,
+    common: &CommonOptions,
+    config: JsonValue,
+    endpoints: usize,
+    phases: Phases,
+    bin_ns: Option<u64>,
+    trace_limit: usize,
+) -> Result<StreamSink<usize>, CliError> {
+    let (window, bin) = resolve_widths(common, bin_ns);
+    let series = TimeSeries::single_level(bin, "router", endpoints);
+    Ok(StreamSink::new(
+        open_out(path)?,
+        StreamConfig {
+            substrate: "vcmesh".to_string(),
+            config,
+            window,
+            trace_limit: common.stream_trace.then_some(trace_limit),
+            watch: WatchConfig::default(),
+        },
+        phases,
+        endpoints,
+        series,
+        Box::new(|router: usize| format!("r{router}")),
+    )?)
+}
+
 /// Closes the stream (final window flush, residue check, `end` record)
 /// and returns how many watchpoint records fired over its life.
 pub(crate) fn finish_sink<N: Copy + NodeKey + 'static>(

@@ -32,7 +32,8 @@ pub mod shrink;
 pub use oracle::{judge, OracleCheck, OracleVerdict};
 pub use outcome::{
     mesh_network, run_mesh_outcome, run_mesh_outcome_observed, run_mot_outcome,
-    run_mot_outcome_observed, DeliveryLog, DeliveryMultiset, RunOutcome,
+    run_mot_outcome_observed, run_vcmesh_outcome, run_vcmesh_outcome_observed, vcmesh_network,
+    DeliveryLog, DeliveryMultiset, RunOutcome,
 };
 pub use plan::{FaultEntry, FaultPlan, PlanError};
 pub use shrink::{replay_command, shrink_plan};

@@ -15,6 +15,7 @@ use asynoc_analysis::SpanForest;
 use asynoc_engine::FaultSummary;
 use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
 use asynoc_telemetry::{FaultLedger, TraceCollector};
+use asynoc_vcmesh::{McastScheme, VcMeshConfig, VcMeshNetwork};
 
 use crate::plan::FaultPlan;
 
@@ -241,6 +242,90 @@ pub fn run_mesh_outcome_observed(
         &forest,
         report.profile,
     ))
+}
+
+/// Runs the VC mesh substrate, faulted iff `plan` is non-empty, and
+/// distills the outcome.
+///
+/// # Errors
+///
+/// Returns the substrate's own error on an invalid run specification.
+pub fn run_vcmesh_outcome(
+    net: &VcMeshNetwork,
+    benchmark: Benchmark,
+    rate: f64,
+    phases: Phases,
+    plan: Option<&FaultPlan>,
+) -> Result<RunOutcome, asynoc_mesh::MeshError> {
+    run_vcmesh_outcome_observed(net, benchmark, rate, phases, plan, &mut [])
+}
+
+/// [`run_vcmesh_outcome`] with caller-supplied observers (e.g. a
+/// streaming sink) registered after the oracle's own. Extra observers
+/// see the identical, ungated event stream and cannot perturb the
+/// outcome — streamed fault runs stay oracle-clean.
+///
+/// # Errors
+///
+/// Returns the substrate's own error on an invalid run specification.
+pub fn run_vcmesh_outcome_observed(
+    net: &VcMeshNetwork,
+    benchmark: Benchmark,
+    rate: f64,
+    phases: Phases,
+    plan: Option<&FaultPlan>,
+    observers: &mut [&mut dyn Observer<usize>],
+) -> Result<RunOutcome, asynoc_mesh::MeshError> {
+    let mut log = DeliveryLog::new();
+    let mut ledger = FaultLedger::new();
+    let mut trace: TraceCollector<usize> = TraceCollector::generic(TRACE_CAPACITY);
+    let mut extras = Extras(observers);
+    let mut extra: Vec<&mut dyn Observer<usize>> =
+        vec![&mut log, &mut ledger, &mut trace, &mut extras];
+    let (report, summary) = match plan {
+        Some(plan) if !plan.entries.is_empty() => {
+            let mut armed = plan.arm();
+            let report = net.run_with_faults(benchmark, rate, phases, &mut armed, &mut extra)?;
+            (report, armed.summary())
+        }
+        _ => (
+            net.run_with_observers(benchmark, rate, phases, &mut extra)?,
+            FaultSummary::default(),
+        ),
+    };
+    let forest = SpanForest::build(trace.records());
+    Ok(distill(
+        log.into_deliveries(),
+        report.latency.mean().map(|d| d.as_ps()),
+        report.packets_incomplete,
+        ledger,
+        summary,
+        &forest,
+        report.profile,
+    ))
+}
+
+/// Convenience constructor for the standard differential VC mesh
+/// network.
+///
+/// # Errors
+///
+/// Returns the mesh's own error on a degenerate size.
+pub fn vcmesh_network(
+    side: usize,
+    seed: u64,
+    flits: u8,
+    shards: usize,
+    mcast: McastScheme,
+) -> Result<VcMeshNetwork, asynoc_mesh::MeshError> {
+    let size = MeshSize::new(side, side)?;
+    VcMeshNetwork::new(
+        VcMeshConfig::new(size)
+            .with_seed(seed)
+            .with_flits_per_packet(flits)
+            .with_shards(shards)
+            .with_mcast(mcast),
+    )
 }
 
 /// Convenience constructor for the standard differential mesh network.

@@ -9,6 +9,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::destset::DestSet;
 use crate::packet::PacketDescriptor;
 
 /// The role a flit plays within its packet.
@@ -86,6 +87,7 @@ pub struct Flit {
     descriptor: Arc<PacketDescriptor>,
     kind: FlitKind,
     index: u8,
+    branch: DestSet,
 }
 
 impl Flit {
@@ -110,10 +112,12 @@ impl Flit {
         } else {
             FlitKind::Body
         };
+        let branch = descriptor.dests();
         Flit {
             descriptor,
             kind,
             index,
+            branch,
         }
     }
 
@@ -146,6 +150,22 @@ impl Flit {
     #[must_use]
     pub fn index(&self) -> u8 {
         self.index
+    }
+
+    /// The subset of the packet's destinations this copy is responsible
+    /// for. Starts as the full destination set; substrates that fork a
+    /// packet in-network narrow it per branch with [`Flit::with_branch`].
+    #[must_use]
+    pub fn branch(&self) -> DestSet {
+        self.branch
+    }
+
+    /// Returns a copy of this flit carrying `branch` as its destination
+    /// subset, for replication at a multicast fork point.
+    #[must_use]
+    pub fn with_branch(mut self, branch: DestSet) -> Flit {
+        self.branch = branch;
+        self
     }
 }
 
@@ -239,5 +259,14 @@ mod tests {
     fn display_formats() {
         let flit = Flit::new(descriptor(5), 1);
         assert_eq!(flit.to_string(), "pkt9[1/5 body]");
+    }
+
+    #[test]
+    fn branch_starts_full_and_narrows_per_copy() {
+        let flit = Flit::new(descriptor(5), 0);
+        assert_eq!(flit.branch(), flit.descriptor().dests());
+        let narrowed = flit.clone().with_branch(DestSet::unicast(1));
+        assert_eq!(narrowed.branch(), DestSet::unicast(1));
+        assert_eq!(flit.branch(), flit.descriptor().dests());
     }
 }

@@ -1,0 +1,24 @@
+//! A credit-based virtual-channel 2-D mesh NoC with in-network
+//! multicast — the modern synchronous baseline the paper's speculative
+//! MoT competes against.
+//!
+//! Where the `asynoc-mesh` baseline serializes every multicast into
+//! unicast clones over single-flit handshaken links, this substrate
+//! models the reference router microarchitecture used by synchronous
+//! multicast studies: per-VC input FIFOs, credit-based flow control with
+//! credit return as first-class sim events, VC and switch allocation,
+//! and two competing in-network multicast schemes — tree-based XY
+//! (fork at divergence points) and Dynamic Partition Merging (Tiwari et
+//! al., arXiv 2108.00566), which merges partitions whose paths overlap.
+//!
+//! It runs on the same `asynoc-engine` event loop as the other two
+//! substrates, so every command, observer, fault plan, stream schema,
+//! and sharding mode applies unchanged.
+
+pub mod scheme;
+pub mod sim;
+
+pub use asynoc_kernel::SchedulerKind;
+pub use asynoc_mesh::{MeshError, MeshSize};
+pub use scheme::{DpmPlanner, McastScheme};
+pub use sim::{VcMeshConfig, VcMeshNetwork, VcMeshReport, VcMeshTiming, VC_COUNT, VC_DEPTH};

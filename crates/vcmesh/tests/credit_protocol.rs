@@ -1,0 +1,166 @@
+//! Credit-protocol property tests for the VC mesh substrate.
+//!
+//! Three invariants, each checked across ten seeds and both multicast
+//! schemes:
+//!
+//! 1. **Credits never go negative and are conserved.** The router's
+//!    serial-mode ledger audits every credit decrement against the
+//!    receiver's free-slot count; `credit_checks` counts the audits and
+//!    `credit_violations` the failures. (Debug builds also back this
+//!    with `debug_assert!`s inside the switch-allocation path, so a
+//!    violation aborts the test binary outright.)
+//! 2. **No VC deadlock under random multicast traffic.** Every injected
+//!    packet must finish draining before the engine's hard cap — a
+//!    cyclic VC dependency would strand flits and show up as
+//!    `packets_incomplete > 0`.
+//! 3. **Bounded progress.** A run observed through the streaming
+//!    telemetry watchdog must never trip the mid-run `no_progress`
+//!    watchpoint (consecutive delivery-free windows with copies still
+//!    in flight). The engine ends its drain once every measured
+//!    header has landed, so tail flits of the youngest worms may
+//!    legitimately remain at close — the close-time residue record is
+//!    tolerated, a mid-run stall is not.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+use asynoc_engine::Observer;
+use asynoc_kernel::Duration;
+use asynoc_mesh::MeshSize;
+use asynoc_stats::Phases;
+use asynoc_telemetry::{JsonValue, StreamConfig, StreamSink, TimeSeries, WatchConfig};
+use asynoc_traffic::Benchmark;
+use asynoc_vcmesh::{McastScheme, VcMeshConfig, VcMeshNetwork, VcMeshReport};
+
+/// Ten fixed seeds; Fibonacci so the spacing is irregular.
+const SEEDS: [u64; 10] = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+
+const SCHEMES: [McastScheme; 2] = [McastScheme::XyTree, McastScheme::Dpm];
+
+fn phases() -> Phases {
+    Phases::new(Duration::from_ns(80), Duration::from_ns(800))
+}
+
+fn network(seed: u64, mcast: McastScheme, shards: usize) -> VcMeshNetwork {
+    let size = MeshSize::new(4, 4).expect("4x4 is a valid mesh size");
+    VcMeshNetwork::new(
+        VcMeshConfig::new(size)
+            .with_seed(seed)
+            .with_mcast(mcast)
+            .with_shards(shards),
+    )
+    .expect("config is valid")
+}
+
+fn run(seed: u64, mcast: McastScheme, shards: usize) -> VcMeshReport {
+    network(seed, mcast, shards)
+        .run(Benchmark::Multicast10, 0.1, phases())
+        .expect("run succeeds")
+}
+
+/// Credits are audited on every grant in serial mode, and the audit
+/// never finds a negative or over-returned credit counter.
+#[test]
+fn credits_are_conserved_and_never_negative_across_seeds() {
+    for seed in SEEDS {
+        for mcast in SCHEMES {
+            let report = run(seed, mcast, 1);
+            assert!(
+                report.credit_checks > 0,
+                "seed {seed} {mcast}: the credit ledger never armed"
+            );
+            assert_eq!(
+                report.credit_violations, 0,
+                "seed {seed} {mcast}: {} credit conservation violation(s)",
+                report.credit_violations
+            );
+        }
+    }
+}
+
+/// Random multicast traffic drains completely under both schemes: no
+/// packet is stranded by a cyclic VC dependency.
+#[test]
+fn no_vc_deadlock_under_random_multicast_traffic() {
+    for seed in SEEDS {
+        for mcast in SCHEMES {
+            let report = run(seed, mcast, 1);
+            assert!(
+                report.packets_measured > 0,
+                "seed {seed} {mcast}: no packets measured — traffic never started"
+            );
+            assert_eq!(
+                report.packets_incomplete, 0,
+                "seed {seed} {mcast}: {} packet(s) stranded (VC deadlock?)",
+                report.packets_incomplete
+            );
+        }
+    }
+}
+
+/// Shared byte sink so the test can own the stream the sink writes.
+#[derive(Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The streaming watchdog sees bounded progress: no `no_progress`
+/// watchpoint fires mid-run, and the close-time residue check finds
+/// every flit delivered.
+#[test]
+fn progress_watchdog_stays_quiet_on_clean_multicast_runs() {
+    for seed in SEEDS {
+        let buf = SharedBuf::default();
+        let net = network(seed, McastScheme::Dpm, 1);
+        let endpoints = net.config().size().endpoints();
+        let mut sink = StreamSink::new(
+            Box::new(buf.clone()),
+            StreamConfig {
+                substrate: "vcmesh".to_string(),
+                config: JsonValue::Object(vec![]),
+                window: Duration::from_ns(100),
+                trace_limit: None,
+                watch: WatchConfig::default(),
+            },
+            phases(),
+            endpoints,
+            TimeSeries::single_level(Duration::from_ns(100), "router", endpoints),
+            Box::new(|router: usize| format!("r{router}")),
+        )
+        .expect("sink construction succeeds");
+        let report = {
+            let mut observers: [&mut dyn Observer<usize>; 1] = [&mut sink];
+            net.run_with_observers(Benchmark::Multicast10, 0.1, phases(), &mut observers)
+                .expect("run succeeds")
+        };
+        assert_eq!(
+            report.packets_incomplete, 0,
+            "seed {seed}: run did not drain"
+        );
+        sink.finish(JsonValue::Object(vec![]))
+            .expect("finish succeeds");
+        let text = String::from_utf8(buf.0.borrow().clone()).expect("stream is UTF-8");
+        for line in text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"watchpoint\""))
+        {
+            assert!(
+                line.contains("run ended with"),
+                "seed {seed}: mid-run watchpoint fired:\n{line}"
+            );
+        }
+        assert!(
+            !text.contains("consecutive windows"),
+            "seed {seed}: progress stalled mid-run"
+        );
+    }
+}

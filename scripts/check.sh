@@ -9,8 +9,9 @@
 #                               results/BENCH_observer_overhead.json,
 #                               results/BENCH_analyze.json,
 #                               results/BENCH_faults.json,
-#                               results/BENCH_scheduler.json, and
-#                               results/BENCH_sharded.json (seeded on
+#                               results/BENCH_scheduler.json,
+#                               results/BENCH_sharded.json, and
+#                               results/BENCH_vcmesh.json (seeded on
 #                               first run; >20% ns/event regression
 #                               fails with a per-case diff), then folds
 #                               them into results/BENCH_summary.json
@@ -20,22 +21,25 @@
 # formatting checks this repository holds itself to, smoke runs of the
 # guarded benches (the zero-observer fast path, the analysis pipeline,
 # the disarmed fault hooks, the calendar-vs-heap scheduler hold
-# model, and the serial halves of the sharded-engine bench must keep
-# their per-event cost), a sharded-vs-serial differential gate (the
-# same CLI run at --shards 1/2/4 must print byte-identical reports), a
-# metrics -> trace -> analyze round-trip on both substrates, a fault
-# oracle round-trip on both substrates (a violated oracle exits
-# non-zero), a profiled sharded round-trip on both substrates (the
+# model, the serial halves of the sharded-engine bench, and the
+# credit-based VC mesh router must keep their per-event cost), a
+# sharded-vs-serial differential gate (the same CLI run at
+# --shards 1/2/4 must print byte-identical reports; the VC mesh's
+# metrics document must match after dropping only the counters'
+# shard-layout fields), a metrics -> trace -> analyze round-trip on
+# every substrate, a fault oracle round-trip on every substrate (a
+# violated oracle exits non-zero), a profiled sharded round-trip (the
 # `--profile` document must carry the pinned asynoc-profile-v1 tag and
 # must not move a byte of stdout), and diffs of the `asynoc metrics` /
 # `asynoc analyze` / `asynoc faults` JSON report schemas plus the
 # asynoc-profile-v1 schema skeleton against the checked-in goldens so
-# report-format changes are always deliberate. Streaming telemetry gets
-# two gates of its own: folding a `--stream` NDJSON file back through
-# `asynoc watch --fold` must reproduce the batch metrics document byte
-# for byte on both substrates at shards 1 and 2, and the memcheck
-# binary must show a streamed run's peak heap staying put when the run
-# gets 8x longer.
+# report-format changes are always deliberate (the metrics golden pins
+# the mot, mesh, and vcmesh document shapes side by side). Streaming
+# telemetry gets two gates of its own: folding a `--stream` NDJSON file
+# back through `asynoc watch --fold` must reproduce the batch metrics
+# document byte for byte on every substrate at shards 1 and 2, and the
+# memcheck binary must show a streamed run's peak heap staying put when
+# the run gets 8x longer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,6 +68,9 @@ run_benches() {
     echo "==> sharded bench (smoke, baseline-guarded; speedup gate arms at >= 4 threads)"
     cargo bench -q -p asynoc-bench --bench sharded -- --smoke \
         --json "$PWD/results/BENCH_sharded.json"
+    echo "==> vcmesh bench (smoke, baseline-guarded: credit-loop per-event cost)"
+    cargo bench -q -p asynoc-bench --bench vcmesh -- --smoke \
+        --json "$PWD/results/BENCH_vcmesh.json"
     echo "==> folding bench records into results/BENCH_summary.json"
     scripts/bench_summary
 }
@@ -118,6 +125,14 @@ if [[ "$fast" -eq 0 ]]; then
     cargo run -q --release -p asynoc-cli -- analyze --trace-in "$tmpdir/mesh-trace.ndjson" \
         --report-out "$tmpdir/mesh-analysis.json" --top 5
 
+    echo "==> metrics -> trace -> analyze round-trip (vcmesh)"
+    cargo run -q --release -p asynoc-cli -- metrics --substrate vcmesh --mcast dpm \
+        --benchmark Multicast5 --rate 0.1 --size 4 --warmup-ns 40 --measure-ns 400 \
+        --trace-limit 200000 --metrics-out "$tmpdir/vcmesh-metrics.json" \
+        --trace-out "$tmpdir/vcmesh-trace.ndjson"
+    cargo run -q --release -p asynoc-cli -- analyze --trace-in "$tmpdir/vcmesh-trace.ndjson" \
+        --report-out "$tmpdir/vcmesh-analysis.json" --top 5
+
     echo "==> metrics report schema vs results/metrics_schema.golden.json"
     diff results/metrics_schema.golden.json \
         <(cargo run -q --release -p asynoc-bench --bin metrics_schema) \
@@ -156,6 +171,27 @@ if [[ "$fast" -eq 0 ]]; then
             --rate 0.1 --cols 8 --rows 8 --shards "$s" >"$tmpdir/mesh-sharded.txt"
         diff "$tmpdir/mesh-serial.txt" "$tmpdir/mesh-sharded.txt" || {
             echo "8x8 mesh report diverged at --shards $s"
+            exit 1
+        }
+    done
+
+    echo "==> sharded vs serial differential (vcmesh, 4x4): metrics at --shards 1/2/4 must agree"
+    # The metrics document's counters section records the shard layout
+    # itself (shards, shard_events), so the comparison drops exactly
+    # those fields; every other byte must match.
+    strip_shard_layout() {
+        sed -e '/"shard_events": \[/,/\]/d' -e '/"shards":/d' "$1"
+    }
+    cargo run -q --release -p asynoc-cli -- metrics --substrate vcmesh --mcast dpm \
+        --benchmark Multicast5 --rate 0.1 --size 4 --warmup-ns 40 --measure-ns 400 \
+        --shards 1 --metrics-out "$tmpdir/vcmesh-serial.json" >/dev/null
+    for s in 2 4; do
+        cargo run -q --release -p asynoc-cli -- metrics --substrate vcmesh --mcast dpm \
+            --benchmark Multicast5 --rate 0.1 --size 4 --warmup-ns 40 --measure-ns 400 \
+            --shards "$s" --metrics-out "$tmpdir/vcmesh-sharded.json" >/dev/null
+        diff <(strip_shard_layout "$tmpdir/vcmesh-serial.json") \
+            <(strip_shard_layout "$tmpdir/vcmesh-sharded.json") || {
+            echo "4x4 VC mesh metrics diverged at --shards $s"
             exit 1
         }
     done
@@ -205,6 +241,11 @@ if [[ "$fast" -eq 0 ]]; then
         --benchmark Uniform-random --rate 0.1 --size 4 --warmup-ns 20 --measure-ns 150 \
         --oracle --report-out "$tmpdir/mesh-faults.json"
 
+    echo "==> fault oracle round-trip (vcmesh): clean vs faulted under one seed"
+    cargo run -q --release -p asynoc-cli -- faults --substrate vcmesh --mcast dpm \
+        --benchmark Multicast5 --rate 0.1 --size 4 --warmup-ns 20 --measure-ns 150 \
+        --oracle --report-out "$tmpdir/vcmesh-faults.json"
+
     echo "==> faults report schema vs results/faults_schema.golden.json"
     diff results/faults_schema.golden.json \
         <(cargo run -q --release -p asynoc-bench --bin faults_schema) \
@@ -214,12 +255,14 @@ if [[ "$fast" -eq 0 ]]; then
             exit 1
         }
 
-    echo "==> stream fold-back gate: folded stream == batch metrics, byte for byte (both substrates, shards 1/2)"
-    for sub in mot mesh; do
+    echo "==> stream fold-back gate: folded stream == batch metrics, byte for byte (all substrates, shards 1/2)"
+    for sub in mot mesh vcmesh; do
         if [[ "$sub" == mot ]]; then
             sub_args=(--arch BasicHybridSpeculative --benchmark Multicast10 --rate 0.3)
-        else
+        elif [[ "$sub" == mesh ]]; then
             sub_args=(--substrate mesh --benchmark Uniform-random --rate 0.1 --size 4)
+        else
+            sub_args=(--substrate vcmesh --mcast dpm --benchmark Multicast5 --rate 0.1 --size 4)
         fi
         for s in 1 2; do
             cargo run -q --release -p asynoc-cli -- metrics "${sub_args[@]}" \

@@ -5,12 +5,16 @@
 use asynoc::{
     Architecture, Benchmark, Duration, MotSize, Network, NetworkConfig, Observer, Phases, RunConfig,
 };
-use asynoc_faults::{judge, mesh_network, run_mesh_outcome, run_mot_outcome, FaultPlan};
+use asynoc_faults::{
+    judge, mesh_network, run_mesh_outcome, run_mot_outcome, run_vcmesh_outcome, vcmesh_network,
+    FaultPlan,
+};
 use asynoc_gates::mousetrap::{SpeculativeFork, StageDelays};
 use asynoc_gates::{vcd, GateSim};
 use asynoc_kernel::Time;
 use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
 use asynoc_telemetry::{parse_ndjson, render_ndjson, TraceCollector, TraceRecord};
+use asynoc_vcmesh::{McastScheme, VcMeshConfig, VcMeshNetwork};
 
 #[test]
 fn mot_beats_mesh_at_equal_endpoint_count() {
@@ -148,8 +152,9 @@ fn both_substrates_emit_round_trippable_ndjson_traces() {
 fn one_recoverable_fault_plan_satisfies_the_oracle_on_both_substrates() {
     // The fault model is substrate-agnostic: the *same* textual plan,
     // under the *same* traffic, must satisfy the same differential
-    // contract on the MoT and on the mesh. Channel and source indices
-    // are chosen to exist in both fault domains.
+    // contract on the MoT, on the mesh, and on the credit-based VC
+    // mesh. Channel and source indices are chosen to exist in every
+    // fault domain.
     let phases = Phases::new(Duration::from_ns(20), Duration::from_ns(150));
     let plan = FaultPlan::parse("stall:0:2:300;stall:1:1:200;drop:1:0:1:500").expect("valid plan");
 
@@ -175,9 +180,18 @@ fn one_recoverable_fault_plan_satisfies_the_oracle_on_both_substrates() {
     let mesh_faulted = run_mesh_outcome(&mesh, Benchmark::UniformRandom, 0.1, phases, Some(&plan))
         .expect("faulted mesh run");
 
+    let vcmesh = vcmesh_network(4, 7, 5, 1, McastScheme::XyTree).expect("valid vcmesh");
+    let vcmesh_domain = vcmesh.fault_domain();
+    let vcmesh_clean = run_vcmesh_outcome(&vcmesh, Benchmark::UniformRandom, 0.1, phases, None)
+        .expect("clean vcmesh run");
+    let vcmesh_faulted =
+        run_vcmesh_outcome(&vcmesh, Benchmark::UniformRandom, 0.1, phases, Some(&plan))
+            .expect("faulted vcmesh run");
+
     for (substrate, clean, faulted, domain) in [
         ("mot", &mot_clean, &mot_faulted, &mot_domain),
         ("mesh", &mesh_clean, &mesh_faulted, &mesh_domain),
+        ("vcmesh", &vcmesh_clean, &vcmesh_faulted, &vcmesh_domain),
     ] {
         assert!(
             plan.recoverable(domain),
@@ -193,6 +207,81 @@ fn one_recoverable_fault_plan_satisfies_the_oracle_on_both_substrates() {
         assert_eq!(
             clean.deliveries, faulted.deliveries,
             "{substrate}: delivery multiset untouched"
+        );
+    }
+}
+
+#[test]
+fn dpm_never_uses_more_links_than_xy_tree() {
+    // Dynamic Partition Merging exists to shed redundant tree edges:
+    // for identical destination sets (same seed, same traffic stream)
+    // its total measured link traversals must never exceed the
+    // tree-based XY baseline's. Ten seeds, both well beyond noise.
+    let phases = Phases::new(Duration::from_ns(80), Duration::from_ns(800));
+    for seed in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89] {
+        let mut links = [0u64; 2];
+        let mut measured = [0usize; 2];
+        for (slot, mcast) in [McastScheme::XyTree, McastScheme::Dpm]
+            .into_iter()
+            .enumerate()
+        {
+            let net = VcMeshNetwork::new(
+                VcMeshConfig::new(MeshSize::new(4, 4).expect("valid"))
+                    .with_seed(seed)
+                    .with_mcast(mcast),
+            )
+            .expect("valid config");
+            let report = net
+                .run(Benchmark::Multicast10, 0.1, phases)
+                .expect("run succeeds");
+            links[slot] = report.link_traversals;
+            measured[slot] = report.packets_measured;
+        }
+        assert_eq!(
+            measured[0], measured[1],
+            "seed {seed}: schemes saw different traffic"
+        );
+        assert!(
+            links[1] <= links[0],
+            "seed {seed}: DPM used {} link traversals vs xy-tree's {}",
+            links[1],
+            links[0]
+        );
+    }
+}
+
+#[test]
+fn multicast_delivery_multisets_agree_across_substrates() {
+    // Scheme correctness, judged against the reference substrate: for
+    // the same traffic spec, tree-based XY multicast and DPM must
+    // deliver each logical packet's header to exactly the destination
+    // multiset the MoT's speculative replication delivers — no copy
+    // lost to a pruned branch, none duplicated by a merge.
+    let phases = Phases::new(Duration::from_ns(20), Duration::from_ns(150));
+    let mot = Network::new(
+        NetworkConfig::new(
+            MotSize::new(16).expect("valid"),
+            Architecture::BasicHybridSpeculative,
+        )
+        .with_seed(7),
+    )
+    .expect("valid config");
+    let run = RunConfig::new(Benchmark::Multicast5, 0.1)
+        .expect("positive rate")
+        .with_phases(phases);
+    let reference = run_mot_outcome(&mot, &run, None).expect("MoT run");
+    assert!(
+        reference.deliveries.keys().any(|(_, _)| true),
+        "reference run delivered nothing"
+    );
+
+    for mcast in [McastScheme::XyTree, McastScheme::Dpm] {
+        let net = vcmesh_network(4, 7, 5, 1, mcast).expect("valid vcmesh");
+        let outcome =
+            run_vcmesh_outcome(&net, Benchmark::Multicast5, 0.1, phases, None).expect("vcmesh run");
+        assert_eq!(
+            outcome.deliveries, reference.deliveries,
+            "{mcast}: delivery multiset diverged from the MoT reference"
         );
     }
 }
