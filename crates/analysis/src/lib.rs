@@ -29,6 +29,8 @@
 //! The CLI surface is `asynoc analyze`, which emits the whole thing as a
 //! pinned [`ANALYSIS_SCHEMA`] JSON report.
 
+#![deny(missing_docs)]
+
 pub mod attribution;
 pub mod heatmap;
 pub mod report;

@@ -1,0 +1,38 @@
+//! Prints the *schema skeleton* of the `asynoc explore` JSON report —
+//! every key with its value replaced by a type name, arrays reduced to
+//! their first element's shape — for the exhaustive and the truncated
+//! form, keyed by case name. The check script diffs this against
+//! `results/explore_schema.golden.json`, so any report-format change has
+//! to be made deliberately (regenerate with
+//! `cargo run -p asynoc-bench --bin explore_schema > results/explore_schema.golden.json`).
+
+use asynoc_cli::{execute, parse};
+use asynoc_telemetry::JsonValue;
+
+fn skeleton(line: &str) -> JsonValue {
+    let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let command = parse(&args).expect("valid invocation");
+    let mut out = Vec::new();
+    execute(&command, &mut out).expect("explore run succeeds");
+    let report =
+        JsonValue::parse(&String::from_utf8(out).expect("utf8")).expect("valid JSON report");
+    report.schema()
+}
+
+fn main() {
+    // 4x4 keeps this fast (9 placements). The exhaustive case keeps the
+    // default guard — tolerance 1.0 always holds, so the guard section is
+    // populated without ever failing the bin; the truncated case pins the
+    // `truncated: true` / `guard: null` shape.
+    let document = JsonValue::Object(vec![
+        (
+            "exhaustive".to_string(),
+            skeleton("explore --smoke --size 4 --tolerance 1.0"),
+        ),
+        (
+            "truncated".to_string(),
+            skeleton("explore --smoke --size 4 --max-points 3 --guard none"),
+        ),
+    ]);
+    print!("{}", document.render_pretty());
+}

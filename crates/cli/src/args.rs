@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+use asynoc::explore::Granularity;
 use asynoc::{Architecture, Benchmark};
 use asynoc_vcmesh::McastScheme;
 
@@ -12,20 +13,24 @@ pub const USAGE: &str = "\
 asynoc — asynchronous Mesh-of-Trees NoC simulator (DAC'16 local-speculation multicast)
 
 USAGE:
-  asynoc run      --arch <A> --benchmark <B> --rate <flits/ns> [--seeds <K>] [common options]
+  asynoc run      (--arch <A> | --spec-map <M>) --benchmark <B> --rate <flits/ns>
+                  [--seeds <K>] [common options]
   asynoc saturate --arch <A> --benchmark <B> [--quick] [--probe-fan <K>] [common options]
   asynoc sweep    --arch <A> --benchmark <B> --from <R0> --to <R1> --steps <K> [common options]
   asynoc mesh     --benchmark <B> --rate <flits/ns> [--cols <C>] [--rows <R>] [common options]
-  asynoc metrics  --benchmark <B> --rate <flits/ns> [--arch <A>]
+  asynoc metrics  --benchmark <B> --rate <flits/ns> [--arch <A> | --spec-map <M>]
                   [--substrate mot|mesh|vcmesh] [--mcast xy-tree|dpm]
                   [--metrics-out <path>] [--trace-format ndjson|chrome] [--trace-out <path>]
                   [--trace-limit <K>] [--bin-ns <W>] [common options]
   asynoc analyze  --trace-in <path> [--report-out <path>] [--top <N>] [--heatmap] [--lenient]
                   [--profile <path>]
-  asynoc faults   --benchmark <B> --rate <flits/ns> [--arch <A>]
+  asynoc faults   --benchmark <B> --rate <flits/ns> [--arch <A> | --spec-map <M>]
                   [--substrate mot|mesh|vcmesh] [--mcast xy-tree|dpm]
                   [--plan <encoded>] [--fault-rate <D>] [--oracle] [--report-out <path>]
                   [common options]
+  asynoc explore  [--benchmark <B>] [--rate <flits/ns>] [--granularity level|node]
+                  [--beam <K>] [--max-points <N>] [--guard <A|none>] [--tolerance <T>]
+                  [--report-out <path>] [--smoke] [common options]
   asynoc watch    --stream-in <path|-> [--fold <path|->] [--once] [--interval-ms <T>]
   asynoc info     [--arch <A>] [--size <N>]
   asynoc help
@@ -74,6 +79,27 @@ STREAMING OPTIONS (run, mesh, metrics, faults):
                           watchpoint (token-conservation violation, stall,
                           busy watermark, waste-rate ceiling) fired
 
+SPECULATION MAPS (run, metrics, faults — mot substrate only):
+  --spec-map <M>    an explicit speculation placement instead of a preset
+                    --arch (the two are mutually exclusive; exactly one is
+                    required on the mot substrate). Forms:
+                      ArchitectureName            a preset by name
+                      preset:ArchitectureName     same, explicit
+                      levels:sp,ns,ns             one kind per fanout level,
+                                                  root first (base, ns, sp,
+                                                  ons, osp)
+                      levels:...;node:T.L.I=kind  per-node overrides on top
+                                                  of the level kinds (tree T,
+                                                  level L, index I)
+                      @path                       JSON file: {\"preset\": ...}
+                                                  or {\"levels\": [...],
+                                                  \"nodes\": [{\"tree\",
+                                                  \"level\", \"index\",
+                                                  \"kind\"}]}
+                    Leaf-level nodes must be non-speculative (the fanin
+                    network cannot throttle), and the serial baseline kind
+                    cannot be mixed with parallel-multicast kinds.
+
   run:      --seeds <K> replicates the run over seeds S, S+1, … S+K−1
             (fanned across --jobs workers) and reports per-seed results
             plus mean ± sample std dev.
@@ -100,6 +126,22 @@ STREAMING OPTIONS (run, mesh, metrics, faults):
             0.15). --oracle pairs the run with a clean twin under the
             same seed and judges the conformance contract. --stream
             exports the faulted run only (the clean twin stays untouched)
+  explore:  search the speculation-placement design space and report the
+            Pareto front (p50/p99 latency, power, area) as an
+            asynoc-explore-v1 JSON document. --granularity level (default)
+            enumerates every per-level placement exhaustively; node runs a
+            deterministic beam search over per-node placements seeded with
+            the per-level front (--beam placements per round, default 4).
+            --max-points bounds the number of simulations; an exhausted
+            budget still reports the front over what was evaluated, with
+            \"truncated\": true. --guard (default OptHybridSpeculative;
+            none disables) asserts the preset lands on or within
+            --tolerance (default 0.05, relative per objective) of the
+            front, exiting non-zero otherwise. --smoke shrinks windows and
+            load for CI. Results are bit-identical at any --jobs value.
+            Fault injection, streaming, and profiling are per-run tools
+            and are rejected here; replay one placement with
+            `asynoc faults --spec-map` / `asynoc metrics --spec-map`
   watch:    tail an asynoc-stream-v1 NDJSON file (from --stream) and
             render a live dashboard: events/s, in-flight flits, per-level
             busy fractions, watchpoint alerts. --once reads what is there
@@ -122,8 +164,10 @@ BENCHMARKS:
 pub enum Command {
     /// One measurement run.
     Run {
-        /// Network architecture.
-        arch: Architecture,
+        /// Network architecture preset (exactly one of `arch`/`spec_map`).
+        arch: Option<Architecture>,
+        /// Explicit speculation placement (text form or `@path` JSON).
+        spec_map: Option<String>,
         /// Traffic benchmark.
         benchmark: Benchmark,
         /// Offered load, flits/ns per source.
@@ -176,9 +220,11 @@ pub enum Command {
     },
     /// One instrumented run emitting the JSON metrics report.
     Metrics {
-        /// Network architecture (required for the MoT substrate, unused
-        /// by the mesh).
+        /// Network architecture (MoT substrate only; exactly one of
+        /// `arch`/`spec_map` there, neither on the mesh substrates).
         arch: Option<Architecture>,
+        /// Explicit speculation placement (MoT substrate only).
+        spec_map: Option<String>,
         /// Traffic benchmark.
         benchmark: Benchmark,
         /// Offered load, flits/ns per source.
@@ -220,9 +266,11 @@ pub enum Command {
     /// One deterministic fault-injection run, optionally paired with a
     /// clean twin and judged by the conformance oracle.
     Faults {
-        /// Network architecture (required for the MoT substrate, unused
-        /// by the mesh).
+        /// Network architecture (MoT substrate only; exactly one of
+        /// `arch`/`spec_map` there, neither on the mesh substrates).
         arch: Option<Architecture>,
+        /// Explicit speculation placement (MoT substrate only).
+        spec_map: Option<String>,
         /// Traffic benchmark.
         benchmark: Benchmark,
         /// Offered load, flits/ns per source.
@@ -240,6 +288,31 @@ pub enum Command {
         oracle: bool,
         /// Write the JSON fault report here instead of stdout.
         report_out: Option<String>,
+        /// Shared options.
+        common: CommonOptions,
+    },
+    /// Design-space exploration over speculation placements, reporting
+    /// the Pareto front as an `asynoc-explore-v1` JSON document.
+    Explore {
+        /// Traffic benchmark (`None` = the explore default, Multicast10).
+        benchmark: Option<Benchmark>,
+        /// Offered load, flits/ns per source (`None` = the explore
+        /// default: 0.3, or 0.2 under `--smoke`).
+        rate: Option<f64>,
+        /// Search granularity.
+        granularity: Granularity,
+        /// Placements kept per beam round (node granularity only).
+        beam: usize,
+        /// Simulation budget (`None` = unbounded).
+        max_points: Option<usize>,
+        /// Preset asserted on/near the front (`None` = `--guard none`).
+        guard: Option<Architecture>,
+        /// Relative per-objective guard tolerance.
+        tolerance: f64,
+        /// Write the JSON report here instead of stdout.
+        report_out: Option<String>,
+        /// Shrink windows and load for CI smoke runs.
+        smoke: bool,
         /// Shared options.
         common: CommonOptions,
     },
@@ -416,8 +489,8 @@ fn collect_flags(
             return Err(ParseCliError::new(format!("unknown option --{key}")));
         }
         // `--quick`, `--heatmap`, `--lenient`, `--oracle`, `--progress`,
-        // `--stream-trace`, `--watch-fatal`, and `--once` are bare
-        // flags; everything else takes a value.
+        // `--stream-trace`, `--watch-fatal`, `--once`, and `--smoke` are
+        // bare flags; everything else takes a value.
         let value = if matches!(
             key,
             "quick"
@@ -428,6 +501,7 @@ fn collect_flags(
                 | "stream-trace"
                 | "watch-fatal"
                 | "once"
+                | "smoke"
         ) {
             "true".to_string()
         } else {
@@ -533,6 +607,7 @@ fn with_common(extra: &[&str]) -> Vec<&'static str> {
     for &key in extra {
         keys.push(match key {
             "arch" => "arch",
+            "spec-map" => "spec-map",
             "benchmark" => "benchmark",
             "rate" => "rate",
             "quick" => "quick",
@@ -562,12 +637,39 @@ fn with_common(extra: &[&str]) -> Vec<&'static str> {
     keys
 }
 
+/// Resolves the `--arch` / `--spec-map` placement pair: the two are
+/// mutually exclusive, and exactly one is required when the command runs
+/// on the MoT substrate.
+fn placement_options(
+    flags: &BTreeMap<String, String>,
+    required_here: bool,
+) -> Result<(Option<Architecture>, Option<String>), ParseCliError> {
+    let arch = flags
+        .get("arch")
+        .map(|raw| parse_value::<Architecture>("arch", raw))
+        .transpose()?;
+    let spec_map = flags.get("spec-map").cloned();
+    if arch.is_some() && spec_map.is_some() {
+        return Err(ParseCliError::new(
+            "--arch and --spec-map are mutually exclusive (a preset name is \
+             itself a valid --spec-map)",
+        ));
+    }
+    if required_here && arch.is_none() && spec_map.is_none() {
+        return Err(ParseCliError::new(
+            "missing required option --arch or --spec-map (the mot substrate \
+             needs a placement)",
+        ));
+    }
+    Ok((arch, spec_map))
+}
+
 /// Resolves the substrate-selection options shared by `metrics` and
 /// `faults`: the substrate itself, the multicast scheme (vcmesh-only),
-/// and the architecture (mot-only, but required there).
-fn substrate_options(
-    flags: &BTreeMap<String, String>,
-) -> Result<(Substrate, McastScheme, Option<Architecture>), ParseCliError> {
+/// and the placement (mot-only, but required there).
+type SubstrateOptions = (Substrate, McastScheme, Option<Architecture>, Option<String>);
+
+fn substrate_options(flags: &BTreeMap<String, String>) -> Result<SubstrateOptions, ParseCliError> {
     let substrate: Substrate = flags
         .get("substrate")
         .map(|raw| parse_value("substrate", raw))
@@ -583,16 +685,13 @@ fn substrate_options(
             "--mcast applies to the vcmesh substrate only (add --substrate vcmesh)",
         ));
     }
-    let arch = flags
-        .get("arch")
-        .map(|raw| parse_value::<Architecture>("arch", raw))
-        .transpose()?;
-    if substrate == Substrate::Mot && arch.is_none() {
+    let (arch, spec_map) = placement_options(flags, substrate == Substrate::Mot)?;
+    if substrate != Substrate::Mot && spec_map.is_some() {
         return Err(ParseCliError::new(
-            "missing required option --arch (the mot substrate needs one)",
+            "--spec-map applies to the mot substrate only",
         ));
     }
-    Ok((substrate, mcast, arch))
+    Ok((substrate, mcast, arch, spec_map))
 }
 
 /// Parses a full argument vector (excluding the program name).
@@ -608,7 +707,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "run" => {
-            let mut extra = vec!["arch", "benchmark", "rate", "seeds"];
+            let mut extra = vec!["arch", "spec-map", "benchmark", "rate", "seeds"];
             extra.extend(STREAM_KEYS);
             let flags = collect_flags(rest, &with_common(&extra))?;
             let seeds: usize = flags
@@ -625,8 +724,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                      stream a single seed instead)",
                 ));
             }
+            let (arch, spec_map) = placement_options(&flags, true)?;
             Ok(Command::Run {
-                arch: parse_value("arch", required(&flags, "arch")?)?,
+                arch,
+                spec_map,
                 benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
                 rate: parse_value("rate", required(&flags, "rate")?)?,
                 seeds,
@@ -705,6 +806,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
         "metrics" => {
             let mut extra = vec![
                 "arch",
+                "spec-map",
                 "benchmark",
                 "rate",
                 "substrate",
@@ -717,7 +819,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             ];
             extra.extend(STREAM_KEYS);
             let flags = collect_flags(rest, &with_common(&extra))?;
-            let (substrate, mcast, arch) = substrate_options(&flags)?;
+            let (substrate, mcast, arch, spec_map) = substrate_options(&flags)?;
             let explicit_format: Option<TraceFormat> = flags
                 .get("trace-format")
                 .map(|raw| parse_value("trace-format", raw))
@@ -754,6 +856,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 .unwrap_or(100_000);
             Ok(Command::Metrics {
                 arch,
+                spec_map,
                 benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
                 rate: parse_value("rate", required(&flags, "rate")?)?,
                 substrate,
@@ -798,6 +901,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
         "faults" => {
             let mut extra = vec![
                 "arch",
+                "spec-map",
                 "benchmark",
                 "rate",
                 "substrate",
@@ -809,7 +913,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             ];
             extra.extend(STREAM_KEYS);
             let flags = collect_flags(rest, &with_common(&extra))?;
-            let (substrate, mcast, arch) = substrate_options(&flags)?;
+            let (substrate, mcast, arch, spec_map) = substrate_options(&flags)?;
             let fault_rate: f64 = flags
                 .get("fault-rate")
                 .map(|raw| parse_value("fault-rate", raw))
@@ -820,6 +924,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
             }
             Ok(Command::Faults {
                 arch,
+                spec_map,
                 benchmark: parse_value("benchmark", required(&flags, "benchmark")?)?,
                 rate: parse_value("rate", required(&flags, "rate")?)?,
                 substrate,
@@ -828,6 +933,119 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
                 fault_rate,
                 oracle: flags.contains_key("oracle"),
                 report_out: flags.get("report-out").cloned(),
+                common: common_options(&flags)?,
+            })
+        }
+        "explore" => {
+            // The per-run-only keys are accepted by the collector solely
+            // so their rejection can explain the right alternative
+            // instead of a generic "unknown option".
+            let flags = collect_flags(
+                rest,
+                &[
+                    "size",
+                    "seed",
+                    "flits",
+                    "warmup-ns",
+                    "measure-ns",
+                    "jobs",
+                    "shards",
+                    "benchmark",
+                    "rate",
+                    "granularity",
+                    "beam",
+                    "max-points",
+                    "guard",
+                    "tolerance",
+                    "report-out",
+                    "smoke",
+                    "plan",
+                    "fault-rate",
+                    "oracle",
+                    "stream",
+                    "stream-window-ns",
+                    "stream-trace",
+                    "watch-fatal",
+                    "profile",
+                    "progress",
+                ],
+            )?;
+            for key in ["plan", "fault-rate", "oracle"] {
+                if flags.contains_key(key) {
+                    return Err(ParseCliError::new(format!(
+                        "explore scores fault-free runs; --{key} is not available \
+                         (replay one placement under faults with \
+                         `asynoc faults --spec-map <map>`)"
+                    )));
+                }
+            }
+            for key in ["stream", "stream-window-ns", "stream-trace", "watch-fatal"] {
+                if flags.contains_key(key) {
+                    return Err(ParseCliError::new(format!(
+                        "explore drives many runs through one invocation; --{key} is \
+                         not available (stream one placement with \
+                         `asynoc metrics --spec-map <map> --stream <path>`)"
+                    )));
+                }
+            }
+            for key in ["profile", "progress"] {
+                if flags.contains_key(key) {
+                    return Err(ParseCliError::new(format!(
+                        "explore drives many runs through one invocation; --{key} is \
+                         not available (profile one placement with \
+                         `asynoc run --spec-map <map> --profile <path>`)"
+                    )));
+                }
+            }
+            let granularity: Granularity = flags
+                .get("granularity")
+                .map(|raw| parse_value("granularity", raw))
+                .transpose()?
+                .unwrap_or(Granularity::Level);
+            let beam: usize = flags
+                .get("beam")
+                .map(|raw| parse_value("beam", raw))
+                .transpose()?
+                .unwrap_or(4);
+            if beam == 0 {
+                return Err(ParseCliError::new("--beam must be at least 1"));
+            }
+            let max_points: Option<usize> = flags
+                .get("max-points")
+                .map(|raw| parse_value("max-points", raw))
+                .transpose()?;
+            if max_points == Some(0) {
+                return Err(ParseCliError::new("--max-points must be at least 1"));
+            }
+            let guard = match flags.get("guard").map(String::as_str) {
+                None => Some(Architecture::OptHybridSpeculative),
+                Some("none") => None,
+                Some(raw) => Some(parse_value::<Architecture>("guard", raw)?),
+            };
+            let tolerance: f64 = flags
+                .get("tolerance")
+                .map(|raw| parse_value("tolerance", raw))
+                .transpose()?
+                .unwrap_or(0.05);
+            if tolerance.is_nan() || tolerance < 0.0 {
+                return Err(ParseCliError::new("--tolerance must be >= 0"));
+            }
+            Ok(Command::Explore {
+                benchmark: flags
+                    .get("benchmark")
+                    .map(|raw| parse_value("benchmark", raw))
+                    .transpose()?,
+                rate: flags
+                    .get("rate")
+                    .map(|raw| parse_value("rate", raw))
+                    .transpose()?,
+                granularity,
+                beam,
+                max_points,
+                guard,
+                tolerance,
+                report_out: flags.get("report-out").cloned(),
+                smoke: flags.contains_key("smoke"),
                 common: common_options(&flags)?,
             })
         }
@@ -891,7 +1109,8 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Run {
-                arch: Architecture::OptHybridSpeculative,
+                arch: Some(Architecture::OptHybridSpeculative),
+                spec_map: None,
                 benchmark: Benchmark::Multicast10,
                 rate: 0.4,
                 seeds: 1,
@@ -910,7 +1129,7 @@ mod tests {
         let Command::Run { arch, common, .. } = cmd else {
             panic!("expected run");
         };
-        assert_eq!(arch, Architecture::Baseline);
+        assert_eq!(arch, Some(Architecture::Baseline));
         assert_eq!(common.size, 16);
         assert_eq!(common.seed, 7);
         assert_eq!(common.flits, 3);
@@ -1070,6 +1289,7 @@ mod tests {
             cmd,
             Command::Metrics {
                 arch: Some(Architecture::BasicHybridSpeculative),
+                spec_map: None,
                 benchmark: Benchmark::Multicast10,
                 rate: 0.3,
                 substrate: Substrate::Mot,
@@ -1280,6 +1500,7 @@ mod tests {
             cmd,
             Command::Faults {
                 arch: Some(Architecture::Baseline),
+                spec_map: None,
                 benchmark: Benchmark::Shuffle,
                 rate: 0.2,
                 substrate: Substrate::Mot,
@@ -1427,6 +1648,143 @@ mod tests {
         ));
         let err = parse(&argv("watch")).unwrap_err();
         assert!(err.message().contains("--stream-in"), "{err}");
+    }
+
+    #[test]
+    fn spec_map_parses_on_run_metrics_and_faults() {
+        for line in [
+            "run --spec-map levels:sp,ns,ns --benchmark Multicast10 --rate 0.3",
+            "metrics --spec-map levels:sp,ns,ns --benchmark Multicast10 --rate 0.3",
+            "faults --spec-map levels:sp,ns,ns --benchmark Multicast10 --rate 0.3",
+        ] {
+            let cmd = parse(&argv(line)).expect("spec-map parses");
+            let (arch, spec_map) = match cmd {
+                Command::Run { arch, spec_map, .. }
+                | Command::Metrics { arch, spec_map, .. }
+                | Command::Faults { arch, spec_map, .. } => (arch, spec_map),
+                other => panic!("unexpected command {other:?}"),
+            };
+            assert_eq!(arch, None);
+            assert_eq!(spec_map, Some("levels:sp,ns,ns".to_string()));
+        }
+    }
+
+    #[test]
+    fn spec_map_and_arch_are_mutually_exclusive() {
+        for line in [
+            "run --arch Baseline --spec-map levels:ns,ns,ns --benchmark Shuffle --rate 0.2",
+            "metrics --arch Baseline --spec-map Baseline --benchmark Shuffle --rate 0.2",
+            "faults --arch Baseline --spec-map Baseline --benchmark Shuffle --rate 0.2",
+        ] {
+            let err = parse(&argv(line)).unwrap_err();
+            assert!(err.message().contains("mutually exclusive"), "{err}");
+        }
+        // Non-MoT substrates take neither.
+        let err = parse(&argv(
+            "metrics --substrate mesh --spec-map Baseline --benchmark Shuffle --rate 0.2",
+        ))
+        .unwrap_err();
+        assert!(err.message().contains("mot substrate only"), "{err}");
+        // The placement requirement names both spellings.
+        let err = parse(&argv("run --benchmark Shuffle --rate 0.2")).unwrap_err();
+        assert!(err.message().contains("--arch or --spec-map"), "{err}");
+    }
+
+    #[test]
+    fn explore_defaults_and_overrides() {
+        let cmd = parse(&argv("explore --smoke")).expect("valid invocation");
+        assert_eq!(
+            cmd,
+            Command::Explore {
+                benchmark: None,
+                rate: None,
+                granularity: Granularity::Level,
+                beam: 4,
+                max_points: None,
+                guard: Some(Architecture::OptHybridSpeculative),
+                tolerance: 0.05,
+                report_out: None,
+                smoke: true,
+                common: CommonOptions::default(),
+            }
+        );
+        let cmd = parse(&argv(
+            "explore --benchmark Multicast5 --rate 0.25 --granularity node --beam 2 \
+             --max-points 40 --guard OptNonSpeculative --tolerance 0.1 --report-out e.json \
+             --size 4 --jobs 2",
+        ))
+        .expect("valid invocation");
+        let Command::Explore {
+            benchmark,
+            rate,
+            granularity,
+            beam,
+            max_points,
+            guard,
+            tolerance,
+            report_out,
+            smoke,
+            common,
+        } = cmd
+        else {
+            panic!("expected explore");
+        };
+        assert_eq!(benchmark, Some(Benchmark::Multicast5));
+        assert_eq!(rate, Some(0.25));
+        assert_eq!(granularity, Granularity::Node);
+        assert_eq!(beam, 2);
+        assert_eq!(max_points, Some(40));
+        assert_eq!(guard, Some(Architecture::OptNonSpeculative));
+        assert!((tolerance - 0.1).abs() < 1e-12);
+        assert_eq!(report_out, Some("e.json".to_string()));
+        assert!(!smoke);
+        assert_eq!(common.size, 4);
+        assert_eq!(common.jobs, 2);
+        // --guard none disables the regression guard.
+        let cmd = parse(&argv("explore --guard none")).expect("valid invocation");
+        assert!(matches!(cmd, Command::Explore { guard: None, .. }));
+    }
+
+    #[test]
+    fn explore_rejects_per_run_flags_with_pointers() {
+        // Fault-campaign flags name the faults alternative.
+        for line in [
+            "explore --plan stall:3:1:200",
+            "explore --fault-rate 0.2",
+            "explore --oracle",
+        ] {
+            let err = parse(&argv(line)).unwrap_err();
+            assert!(err.message().contains("faults --spec-map"), "{err}");
+        }
+        // Streaming flags name the metrics alternative.
+        for line in [
+            "explore --stream s.ndjson",
+            "explore --stream-window-ns 500",
+            "explore --stream-trace",
+            "explore --watch-fatal",
+        ] {
+            let err = parse(&argv(line)).unwrap_err();
+            assert!(err.message().contains("metrics --spec-map"), "{err}");
+        }
+        // Host-side observability flags name the run alternative.
+        for line in ["explore --profile p.json", "explore --progress"] {
+            let err = parse(&argv(line)).unwrap_err();
+            assert!(err.message().contains("run --spec-map"), "{err}");
+        }
+    }
+
+    #[test]
+    fn explore_validation_errors() {
+        let err = parse(&argv("explore --beam 0")).unwrap_err();
+        assert!(err.message().contains("--beam"), "{err}");
+        let err = parse(&argv("explore --max-points 0")).unwrap_err();
+        assert!(err.message().contains("--max-points"), "{err}");
+        let err = parse(&argv("explore --tolerance -0.5")).unwrap_err();
+        assert!(err.message().contains("--tolerance"), "{err}");
+        let err = parse(&argv("explore --granularity tile")).unwrap_err();
+        assert!(err.message().contains("tile"), "{err}");
+        let err = parse(&argv("explore --guard Warp9")).unwrap_err();
+        assert!(err.message().contains("Warp9"), "{err}");
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::io::{self, Write};
 
 use asynoc::harness::{saturation_of, saturation_of_profiled, Quality};
 use asynoc::{
-    parallel_map, Architecture, Duration, MotNode, MotSize, Network, NetworkConfig, Observer,
-    Phases, RunConfig, SimError,
+    parallel_map, Architecture, Duration, FanoutKind, FanoutNodeId, MotNode, MotSize, Network,
+    NetworkConfig, Observer, Phases, RunConfig, SimError, SpecMap,
 };
 use asynoc_mesh::{MeshConfig, MeshNetwork, MeshSize};
 use asynoc_telemetry::JsonValue;
@@ -57,6 +57,107 @@ pub(crate) fn network(arch: Architecture, common: &CommonOptions) -> Result<Netw
     Ok(Network::new(config)?)
 }
 
+/// Resolves `--arch` / `--spec-map` into a validated [`SpecMap`] at the
+/// `--size` in effect. Accepts preset names, the `levels:`/`node:` text
+/// grammar, and `@path` JSON documents.
+pub(crate) fn resolve_spec_map(
+    arch: Option<Architecture>,
+    spec_map: Option<&String>,
+    common: &CommonOptions,
+) -> Result<SpecMap, CliError> {
+    let size = MotSize::new(common.size).map_err(|e| CliError::Invalid(format!("--size: {e}")))?;
+    match (arch, spec_map) {
+        (Some(arch), None) => Ok(SpecMap::preset(arch, size)),
+        (None, Some(raw)) => {
+            if let Some(path) = raw.strip_prefix('@') {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Invalid(format!("--spec-map {path}: {e}")))?;
+                let doc = JsonValue::parse(&text)
+                    .map_err(|e| CliError::Invalid(format!("--spec-map {path}: {e}")))?;
+                spec_map_from_json(size, &doc)
+                    .map_err(|detail| CliError::Invalid(format!("--spec-map {path}: {detail}")))
+            } else {
+                SpecMap::parse(size, raw).map_err(|e| CliError::Invalid(format!("--spec-map: {e}")))
+            }
+        }
+        // The parser enforces exactly-one; this covers direct Command construction.
+        _ => Err(CliError::Invalid(
+            "exactly one of --arch / --spec-map selects the placement".to_string(),
+        )),
+    }
+}
+
+/// The JSON `--spec-map @file` forms: `{"preset": "<Architecture>"}` or
+/// `{"levels": ["sp", ...], "nodes": [{"tree": 0, "level": 1, "index": 0,
+/// "kind": "ns"}, ...]}`.
+fn spec_map_from_json(size: MotSize, doc: &JsonValue) -> Result<SpecMap, String> {
+    if let Some(preset) = doc.get("preset") {
+        let name = preset
+            .as_str()
+            .ok_or_else(|| "\"preset\" must be an architecture name string".to_string())?;
+        let arch: Architecture = name.parse().map_err(|e| format!("\"preset\": {e}"))?;
+        return Ok(SpecMap::preset(arch, size));
+    }
+    let levels = doc
+        .get("levels")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "expected a \"preset\" string or a \"levels\" array".to_string())?;
+    let mut kinds = Vec::with_capacity(levels.len());
+    for (i, level) in levels.iter().enumerate() {
+        let token = level
+            .as_str()
+            .ok_or_else(|| format!("\"levels\"[{i}] must be a fanout-kind token string"))?;
+        kinds.push(
+            FanoutKind::parse_token(token)
+                .ok_or_else(|| format!("\"levels\"[{i}]: unknown fanout kind `{token}`"))?,
+        );
+    }
+    let mut map = SpecMap::from_levels(size, kinds).map_err(|e| e.to_string())?;
+    if let Some(nodes) = doc.get("nodes").and_then(JsonValue::as_array) {
+        for (i, node) in nodes.iter().enumerate() {
+            let field = |key: &str| -> Result<usize, String> {
+                node.get(key)
+                    .and_then(JsonValue::as_f64)
+                    .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+                    .map(|v| v as usize)
+                    .ok_or_else(|| format!("\"nodes\"[{i}].{key} must be a non-negative integer"))
+            };
+            let token = node
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("\"nodes\"[{i}].kind must be a fanout-kind token"))?;
+            let kind = FanoutKind::parse_token(token)
+                .ok_or_else(|| format!("\"nodes\"[{i}].kind: unknown fanout kind `{token}`"))?;
+            let id = FanoutNodeId {
+                tree: field("tree")?,
+                level: field("level")? as u32,
+                index: field("index")?,
+            };
+            map = map.with_node(id, kind).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(map)
+}
+
+/// The placement's identity string: the preset name when the map matches
+/// one of the paper's six architectures, the canonical `levels:` form
+/// otherwise. Recorded as `"arch"` in every report config so any run is
+/// reproducible from its own output.
+pub(crate) fn placement_id(map: &SpecMap) -> String {
+    map.label()
+        .map_or_else(|| map.to_string(), |arch| arch.to_string())
+}
+
+/// Builds a network realizing an arbitrary speculation placement.
+pub(crate) fn network_for(map: &SpecMap, common: &CommonOptions) -> Result<Network, CliError> {
+    let arch = map.label().unwrap_or(Architecture::OptHybridSpeculative);
+    let config = NetworkConfig::new(map.size(), arch)
+        .with_seed(common.seed)
+        .with_flits_per_packet(common.flits)
+        .with_spec_map(map)?;
+    Ok(Network::new(config)?)
+}
+
 pub(crate) fn phases_for(benchmark: asynoc::Benchmark, common: &CommonOptions) -> Phases {
     let default = Phases::paper_standard(benchmark == asynoc::Benchmark::MulticastStatic);
     let warmup = common.warmup_ns.map_or(default.warmup(), Duration::from_ns);
@@ -70,7 +171,8 @@ pub(crate) fn phases_for(benchmark: asynoc::Benchmark, common: &CommonOptions) -
 /// fanned across `--jobs` workers, and reports per-seed rows plus the
 /// mean ± sample standard deviation of the mean latency.
 fn run_across_seeds(
-    arch: Architecture,
+    map: &SpecMap,
+    identity: &str,
     benchmark: asynoc::Benchmark,
     rate: f64,
     seeds: usize,
@@ -84,7 +186,7 @@ fn run_across_seeds(
             seed,
             ..common.clone()
         };
-        let net = network(arch, &options)?;
+        let net = network_for(map, &options)?;
         let run = RunConfig::new(benchmark, rate)
             .map_err(CliError::from)?
             .with_phases(phases_for(benchmark, &options))
@@ -96,7 +198,7 @@ fn run_across_seeds(
 
     writeln!(
         out,
-        "{arch} ({0}x{0}) x {benchmark} @ {rate} flits/ns per source, {seeds} seeds",
+        "{identity} ({0}x{0}) x {benchmark} @ {rate} flits/ns per source, {seeds} seeds",
         common.size
     )?;
     writeln!(
@@ -113,7 +215,7 @@ fn run_across_seeds(
                 ..common.clone()
             };
             profiler.add_run(
-                crate::metrics::config_json(Some(arch), benchmark, rate, common.size, &options),
+                crate::metrics::config_json(Some(identity), benchmark, rate, common.size, &options),
                 profile,
             );
         }
@@ -163,16 +265,19 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         }
         Command::Run {
             arch,
+            spec_map,
             benchmark,
             rate,
             seeds,
             common,
         } => {
+            let map = resolve_spec_map(*arch, spec_map.as_ref(), common)?;
+            let identity = placement_id(&map);
             if *seeds > 1 {
-                return run_across_seeds(*arch, *benchmark, *rate, *seeds, common, out);
+                return run_across_seeds(&map, &identity, *benchmark, *rate, *seeds, common, out);
             }
             let mut profiler = ProfileWriter::when(common.profile.as_ref(), "run");
-            let net = network(*arch, common)?;
+            let net = network_for(&map, common)?;
             let phases = phases_for(*benchmark, common);
             let run = RunConfig::new(*benchmark, *rate)?
                 .with_phases(phases)
@@ -184,7 +289,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                     path,
                     common,
                     crate::metrics::config_json(
-                        Some(*arch),
+                        Some(&identity),
                         *benchmark,
                         *rate,
                         common.size,
@@ -207,7 +312,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             if let (Some(profiler), Some(profile)) = (profiler.as_mut(), &report.profile) {
                 profiler.add_run(
                     crate::metrics::config_json(
-                        Some(*arch),
+                        Some(&identity),
                         *benchmark,
                         *rate,
                         common.size,
@@ -218,7 +323,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             }
             writeln!(
                 out,
-                "{arch} ({}x{}) x {benchmark} @ {rate} flits/ns per source",
+                "{identity} ({}x{}) x {benchmark} @ {rate} flits/ns per source",
                 common.size, common.size
             )?;
             writeln!(out, "  packets measured : {}", report.packets_measured)?;
@@ -306,13 +411,14 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
             quality.shards = common.shards;
             // A profiled search collects one runs[] entry per bisection
             // probe (plus the plateau run), keyed by its offered rate.
+            let identity = arch.to_string();
             let point = match profiler.as_mut() {
                 Some(profiler) => {
                     let (point, profiles) = saturation_of_profiled(&net, *benchmark, &quality)?;
                     for (rate, profile) in &profiles {
                         profiler.add_run(
                             crate::metrics::config_json(
-                                Some(*arch),
+                                Some(&identity),
                                 *benchmark,
                                 *rate,
                                 common.size,
@@ -384,7 +490,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 if let (Some(profiler), Some(profile)) = (profiler.as_mut(), &profile) {
                     profiler.add_run(
                         crate::metrics::config_json(
-                            Some(*arch),
+                            Some(&arch.to_string()),
                             *benchmark,
                             rate,
                             common.size,
@@ -501,6 +607,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         }
         Command::Metrics {
             arch,
+            spec_map,
             benchmark,
             rate,
             substrate,
@@ -514,6 +621,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         } => crate::metrics::execute_metrics(
             &crate::metrics::MetricsRequest {
                 arch: *arch,
+                spec_map: spec_map.clone(),
                 benchmark: *benchmark,
                 rate: *rate,
                 substrate: *substrate,
@@ -547,6 +655,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         ),
         Command::Faults {
             arch,
+            spec_map,
             benchmark,
             rate,
             substrate,
@@ -559,6 +668,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         } => crate::faults::execute_faults(
             &crate::faults::FaultsRequest {
                 arch: *arch,
+                spec_map: spec_map.clone(),
                 benchmark: *benchmark,
                 rate: *rate,
                 substrate: *substrate,
@@ -567,6 +677,32 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
                 fault_rate: *fault_rate,
                 oracle: *oracle,
                 report_out: report_out.clone(),
+                common: common.clone(),
+            },
+            out,
+        ),
+        Command::Explore {
+            benchmark,
+            rate,
+            granularity,
+            beam,
+            max_points,
+            guard,
+            tolerance,
+            report_out,
+            smoke,
+            common,
+        } => crate::explore::execute_explore(
+            &crate::explore::ExploreRequest {
+                benchmark: *benchmark,
+                rate: *rate,
+                granularity: *granularity,
+                beam: *beam,
+                max_points: *max_points,
+                guard: *guard,
+                tolerance: *tolerance,
+                report_out: report_out.clone(),
+                smoke: *smoke,
                 common: common.clone(),
             },
             out,
@@ -879,6 +1015,107 @@ mod tests {
                 "{tag}: end sections carry the scalar summary"
             );
         }
+    }
+
+    #[test]
+    fn every_preset_run_is_bit_identical_to_its_map_form() {
+        // The tentpole equivalence proof at the CLI surface: expressing
+        // each of the paper's six architectures as an explicit speculation
+        // map must reproduce the preset run byte-for-byte — headers,
+        // percentiles, power, histogram, everything.
+        let size = asynoc::MotSize::new(8).unwrap();
+        let tail = "--benchmark Multicast5 --rate 0.2 --warmup-ns 40 --measure-ns 300";
+        for arch in Architecture::ALL {
+            let map = SpecMap::preset(arch, size).to_string();
+            let preset = run_cli(&format!("run --arch {arch} {tail}"));
+            let mapped = run_cli(&format!("run --spec-map {map} {tail}"));
+            assert_eq!(preset, mapped, "{arch}: map form must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn preset_named_spec_map_is_bit_identical_too() {
+        let tail = "--benchmark Shuffle --rate 0.2 --warmup-ns 40 --measure-ns 300";
+        let preset = run_cli(&format!("run --arch OptHybridSpeculative {tail}"));
+        for form in ["OptHybridSpeculative", "preset:OptHybridSpeculative"] {
+            let mapped = run_cli(&format!("run --spec-map {form} {tail}"));
+            assert_eq!(preset, mapped, "{form} must resolve to the preset run");
+        }
+    }
+
+    #[test]
+    fn custom_map_reports_its_canonical_identity_and_reproduces_itself() {
+        // A placement with a node override is not a preset: the report
+        // header carries the canonical map string, and feeding that string
+        // back reproduces the run — every report names its own recipe.
+        let tail = "--benchmark Multicast5 --rate 0.2 --warmup-ns 40 --measure-ns 300";
+        let custom = "levels:sp,ns,ns;node:0.1.0=ons";
+        let first = run_cli(&format!("run --spec-map {custom} {tail}"));
+        assert!(
+            first.starts_with(custom),
+            "header must carry the canonical map string:\n{first}"
+        );
+        let second = run_cli(&format!("run --spec-map {custom} {tail}"));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn json_spec_map_file_matches_the_text_form() {
+        let path =
+            std::env::temp_dir().join(format!("asynoc-spec-map-{}.json", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        std::fs::write(
+            &path,
+            r#"{"levels": ["sp", "ns", "ns"],
+                "nodes": [{"tree": 0, "level": 1, "index": 0, "kind": "ons"}]}"#,
+        )
+        .expect("spec-map file");
+        let tail = "--benchmark Multicast5 --rate 0.2 --warmup-ns 40 --measure-ns 300";
+        let text = run_cli(&format!(
+            "run --spec-map levels:sp,ns,ns;node:0.1.0=ons {tail}"
+        ));
+        let json = run_cli(&format!("run --spec-map @{path_str} {tail}"));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text, json, "@file JSON form must equal the text form");
+    }
+
+    #[test]
+    fn json_preset_spec_map_file_matches_the_preset() {
+        let path =
+            std::env::temp_dir().join(format!("asynoc-spec-preset-{}.json", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        std::fs::write(&path, r#"{"preset": "Baseline"}"#).expect("spec-map file");
+        let tail = "--benchmark Shuffle --rate 0.2 --warmup-ns 40 --measure-ns 300";
+        let preset = run_cli(&format!("run --arch Baseline {tail}"));
+        let json = run_cli(&format!("run --spec-map @{path_str} {tail}"));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(preset, json);
+    }
+
+    #[test]
+    fn invalid_spec_maps_are_rejected_with_the_validation_detail() {
+        let reject = |line: &str, needle: &str| {
+            let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+            let command = parse(&args).expect("parses");
+            let mut out = Vec::new();
+            let err = execute(&command, &mut out).unwrap_err().to_string();
+            assert!(err.contains(needle), "{line}: {err}");
+        };
+        let tail = "--benchmark Shuffle --rate 0.2";
+        // Wrong level count for an 8x8 (3 levels).
+        reject(&format!("run --spec-map levels:sp,ns {tail}"), "level");
+        // Speculating at the leaf level breaks delivery filtering.
+        reject(&format!("run --spec-map levels:ns,ns,sp {tail}"), "leaf");
+        // A speculative node whose children cannot throttle.
+        reject(
+            &format!("run --spec-map levels:ns,sp,ns;node:0.2.0=sp {tail}"),
+            "leaf",
+        );
+        // Node coordinates outside the fabric.
+        reject(
+            &format!("run --spec-map levels:ns,ns,ns;node:9.0.0=sp {tail}"),
+            "range",
+        );
     }
 
     #[test]

@@ -21,12 +21,14 @@ use asynoc_telemetry::JsonValue;
 use asynoc_vcmesh::McastScheme;
 
 use crate::args::{CommonOptions, Substrate};
-use crate::commands::{network, phases_for, CliError};
+use crate::commands::{network_for, phases_for, placement_id, resolve_spec_map, CliError};
 
 /// A fully-resolved `faults` invocation.
 pub struct FaultsRequest {
-    /// Network architecture (required on the MoT substrate).
+    /// Network architecture preset (MoT substrate; exclusive with `spec_map`).
     pub arch: Option<Architecture>,
+    /// Speculation-placement map (MoT substrate; exclusive with `arch`).
+    pub spec_map: Option<String>,
     /// Traffic benchmark.
     pub benchmark: Benchmark,
     /// Offered load, flits/ns per source.
@@ -47,13 +49,24 @@ pub struct FaultsRequest {
     pub common: CommonOptions,
 }
 
+/// The faulted run's placement identity string (preset name or canonical
+/// map form) — `None` off the MoT substrate.
+fn placement_identity(request: &FaultsRequest) -> Option<String> {
+    match request.substrate {
+        Substrate::Mot => {
+            resolve_spec_map(request.arch, request.spec_map.as_ref(), &request.common)
+                .ok()
+                .map(|map| placement_id(&map))
+        }
+        Substrate::Mesh | Substrate::Vcmesh => None,
+    }
+}
+
 fn config_json(request: &FaultsRequest) -> JsonValue {
     JsonValue::Object(vec![
         (
             "arch".to_string(),
-            request
-                .arch
-                .map_or(JsonValue::Null, |a| JsonValue::str(a.to_string())),
+            placement_identity(request).map_or(JsonValue::Null, JsonValue::str),
         ),
         (
             "benchmark".to_string(),
@@ -144,10 +157,8 @@ fn run_pair(
     let invalid = |e: &dyn std::fmt::Display| CliError::Invalid(e.to_string());
     match request.substrate {
         Substrate::Mot => {
-            let arch = request
-                .arch
-                .expect("parser guarantees --arch on the mot substrate");
-            let net = network(arch, &request.common)?;
+            let map = resolve_spec_map(request.arch, request.spec_map.as_ref(), &request.common)?;
+            let net = network_for(&map, &request.common)?;
             let domain = net.fault_domain();
             let plan = resolve_plan(request, &domain)?;
             let phases = phases_for(request.benchmark, &request.common);
@@ -381,15 +392,24 @@ pub fn execute_faults(request: &FaultsRequest, out: &mut dyn Write) -> Result<()
                 .iter()
                 .map(|c| format!("{}: {}", c.name, c.detail))
                 .collect();
+            let placement = placement_identity(request);
             let mut replay = replay_command(
                 substrate,
-                request.arch.map(|a| a.to_string()).as_deref(),
+                placement.as_deref(),
                 &request.benchmark.to_string(),
                 request.rate,
                 request.common.size,
                 request.common.seed,
                 &plan,
             );
+            // A custom placement is not a preset name, so the replay's
+            // placement flag must be `--spec-map`, not `--arch`.
+            if placement
+                .as_deref()
+                .is_some_and(|p| p.parse::<Architecture>().is_err())
+            {
+                replay = replay.replace(" --arch ", " --spec-map ");
+            }
             // The shared replay line predates multicast schemes; a
             // non-default one is part of the run's identity.
             if request.substrate == Substrate::Vcmesh && request.mcast != McastScheme::default() {

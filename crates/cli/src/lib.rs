@@ -10,6 +10,9 @@
 //! asynoc metrics  --arch BasicHybridSpeculative --benchmark Multicast10 \
 //!                 --rate 0.3 --trace-out trace.ndjson
 //! asynoc analyze  --trace-in trace.ndjson --top 5 --heatmap
+//! asynoc run      --spec-map 'levels:sp,ns,ns;node:0.1.0=ons' \
+//!                 --benchmark Multicast5 --rate 0.2
+//! asynoc explore  --jobs 4 --report-out explore.json
 //! asynoc info     --size 16
 //! ```
 //!
@@ -19,6 +22,7 @@
 pub mod analyze;
 pub mod args;
 pub mod commands;
+pub mod explore;
 pub mod faults;
 pub mod metrics;
 pub mod profile;

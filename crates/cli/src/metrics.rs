@@ -20,12 +20,14 @@ use asynoc_topology::{FaninNodeId, FanoutNodeId, MotSize};
 use asynoc_vcmesh::{McastScheme, VcMeshConfig, VcMeshNetwork, VcMeshReport};
 
 use crate::args::{CommonOptions, Substrate, TraceFormat};
-use crate::commands::{network, phases_for, CliError};
+use crate::commands::{network_for, phases_for, placement_id, resolve_spec_map, CliError};
 
 /// A fully-resolved `metrics` invocation.
 pub struct MetricsRequest {
-    /// Network architecture (required on the MoT substrate).
+    /// Network architecture preset (MoT substrate; exclusive with `spec_map`).
     pub arch: Option<Architecture>,
+    /// Speculation-placement map (MoT substrate; exclusive with `arch`).
+    pub spec_map: Option<String>,
     /// Traffic benchmark.
     pub benchmark: Benchmark,
     /// Offered load, flits/ns per source.
@@ -100,8 +102,13 @@ impl<N: Copy> Tracers<N> {
 
 /// The identity keys a run is reproducible from — shared by the metrics
 /// report's `config` section and the profile document's per-run `config`.
+///
+/// `arch` is the placement identity string: a preset name, or the
+/// canonical `levels:` map form for custom `--spec-map` placements
+/// (either is a valid `--spec-map` value, so any report reproduces its
+/// own run).
 pub(crate) fn config_json(
-    arch: Option<Architecture>,
+    arch: Option<&str>,
     benchmark: Benchmark,
     rate: f64,
     size: usize,
@@ -110,7 +117,7 @@ pub(crate) fn config_json(
     JsonValue::Object(vec![
         (
             "arch".to_string(),
-            arch.map_or(JsonValue::Null, |a| JsonValue::str(a.to_string())),
+            arch.map_or(JsonValue::Null, JsonValue::str),
         ),
         (
             "benchmark".to_string(),
@@ -251,10 +258,9 @@ type MetricsRun = (
 /// Runs the MoT substrate with the full telemetry stack and assembles
 /// the report document (plus the rendered trace, if requested).
 fn run_mot(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
-    let arch = request
-        .arch
-        .expect("parser guarantees --arch on the mot substrate");
-    let net = network(arch, &request.common)?;
+    let map = resolve_spec_map(request.arch, request.spec_map.as_ref(), &request.common)?;
+    let identity = placement_id(&map);
+    let net = network_for(&map, &request.common)?;
     let size = net.config().size();
     let (wire_fj, drop_fj) = {
         let timing = net.config().timing();
@@ -307,7 +313,7 @@ fn run_mot(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
             path,
             &request.common,
             config_json(
-                Some(arch),
+                Some(&identity),
                 request.benchmark,
                 request.rate,
                 request.common.size,
@@ -365,7 +371,7 @@ fn run_mot(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
         (
             "config".to_string(),
             config_json(
-                Some(arch),
+                Some(&identity),
                 request.benchmark,
                 request.rate,
                 request.common.size,
@@ -381,7 +387,7 @@ fn run_mot(request: &MetricsRequest) -> Result<MetricsRun, CliError> {
     ]);
     let meta = TraceMeta {
         substrate: "mot".to_string(),
-        arch: Some(arch.to_string()),
+        arch: Some(identity),
         size: request.common.size as u64,
         seed: request.common.seed,
         flits: request.common.flits,
@@ -684,13 +690,17 @@ pub fn execute_metrics(request: &MetricsRequest, out: &mut dyn Write) -> Result<
     }
     if let Some(mut profiler) = profiler {
         if let Some(engine_profile) = &engine_profile {
-            let arch = match request.substrate {
-                Substrate::Mot => request.arch,
+            let identity = match request.substrate {
+                Substrate::Mot => Some(placement_id(&resolve_spec_map(
+                    request.arch,
+                    request.spec_map.as_ref(),
+                    &request.common,
+                )?)),
                 Substrate::Mesh | Substrate::Vcmesh => None,
             };
             profiler.add_run(
                 config_json(
-                    arch,
+                    identity.as_deref(),
                     request.benchmark,
                     request.rate,
                     request.common.size,

@@ -3,7 +3,7 @@
 use asynoc_kernel::{Duration, SchedulerKind};
 use asynoc_nodes::TimingModel;
 use asynoc_stats::Phases;
-use asynoc_topology::{Architecture, MotSize, NodePlan, SpeculationMap};
+use asynoc_topology::{Architecture, MotSize, NodePlan, SpecMap, SpeculationMap, TopologyError};
 use asynoc_traffic::Benchmark;
 
 use crate::error::SimError;
@@ -69,6 +69,32 @@ impl NetworkConfig {
         );
         self.plan = NodePlan::from_speculation(map, optimized);
         self
+    }
+
+    /// Replaces the node plan with a validated speculation placement — the
+    /// first-class form behind the CLI's `--spec-map`. A [`SpecMap`] can
+    /// express every [`Architecture`] preset (and is then bit-identical to
+    /// the preset run) as well as arbitrary per-level/per-node placements.
+    /// When the map equals a preset the
+    /// [`architecture`](Self::architecture) label is updated to match;
+    /// otherwise the label of [`NetworkConfig::new`] is kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Topology`] if the map was built for a different
+    /// network size.
+    pub fn with_spec_map(mut self, map: &SpecMap) -> Result<Self, SimError> {
+        if map.size() != self.size {
+            return Err(SimError::Topology(TopologyError::LevelCountMismatch {
+                provided: map.size().levels() as usize,
+                required: self.size.levels() as usize,
+            }));
+        }
+        if let Some(arch) = map.label() {
+            self.architecture = arch;
+        }
+        self.plan = map.node_plan();
+        Ok(self)
     }
 
     /// The paper's evaluated 8×8 configuration.

@@ -100,7 +100,7 @@ impl Fabric {
         let mut source_out = Vec::with_capacity(n);
 
         for id in FanoutNodeId::all(size) {
-            fanout_kind.push(plan.kind(id.level));
+            fanout_kind.push(plan.kind_at(id));
             fanout_coords.push(id);
         }
 

@@ -47,6 +47,7 @@
 
 pub mod config;
 pub mod error;
+pub mod explore;
 pub mod fabric;
 pub mod harness;
 pub mod observers;
@@ -69,5 +70,8 @@ pub use asynoc_nodes::TimingModel;
 pub use asynoc_packet::DestSet;
 pub use asynoc_stats::Phases;
 pub use asynoc_telemetry as telemetry;
-pub use asynoc_topology::{Architecture, FanoutKind, MotSize, NodePlan, SpeculationMap};
+pub use asynoc_topology::{
+    Architecture, FanoutKind, FanoutNodeId, MotSize, NodePlan, SpecMap, SpeculationMap,
+    TopologyError,
+};
 pub use asynoc_traffic::Benchmark;

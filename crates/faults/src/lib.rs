@@ -24,6 +24,8 @@
 //! - [`shrink_plan`] / [`replay_command`] — failing plans bisect to a
 //!   minimal reproducer and print the exact `asynoc faults` replay line.
 
+#![deny(missing_docs)]
+
 pub mod oracle;
 pub mod outcome;
 pub mod plan;

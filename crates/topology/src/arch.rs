@@ -18,6 +18,7 @@ use std::fmt;
 use asynoc_packet::coding;
 
 use crate::error::TopologyError;
+use crate::ids::FanoutNodeId;
 use crate::size::MotSize;
 
 /// The behavioral variety of a fanout node (paper §4 plus the baseline).
@@ -55,6 +56,38 @@ impl FanoutKind {
             self,
             FanoutKind::OptNonSpeculative | FanoutKind::OptSpeculative
         )
+    }
+
+    /// All five kinds, in declaration order.
+    pub const ALL: [FanoutKind; 5] = [
+        FanoutKind::Baseline,
+        FanoutKind::NonSpeculative,
+        FanoutKind::Speculative,
+        FanoutKind::OptNonSpeculative,
+        FanoutKind::OptSpeculative,
+    ];
+
+    /// The canonical short token used by speculation-map text forms
+    /// (`base`, `ns`, `sp`, `ons`, `osp`).
+    #[must_use]
+    pub const fn token(self) -> &'static str {
+        match self {
+            FanoutKind::Baseline => "base",
+            FanoutKind::NonSpeculative => "ns",
+            FanoutKind::Speculative => "sp",
+            FanoutKind::OptNonSpeculative => "ons",
+            FanoutKind::OptSpeculative => "osp",
+        }
+    }
+
+    /// Parses a kind token: the canonical short form ([`token`](Self::token))
+    /// or the long [`Display`](fmt::Display) name, case-insensitively.
+    #[must_use]
+    pub fn parse_token(s: &str) -> Option<FanoutKind> {
+        let lowered = s.to_ascii_lowercase();
+        FanoutKind::ALL
+            .into_iter()
+            .find(|kind| kind.token() == lowered || kind.to_string() == lowered)
     }
 }
 
@@ -324,6 +357,10 @@ impl Architecture {
 pub struct NodePlan {
     size: MotSize,
     kinds: Vec<FanoutKind>,
+    /// Flat-indexed per-node kinds, present only when a speculation map
+    /// carries per-node overrides; `None` means every node of a level uses
+    /// the level's kind.
+    node_kinds: Option<Vec<FanoutKind>>,
     serializes_multicast: bool,
 }
 
@@ -336,7 +373,25 @@ impl NodePlan {
             kinds: (0..size.levels())
                 .map(|level| architecture.fanout_kind(size, level))
                 .collect(),
+            node_kinds: None,
             serializes_multicast: architecture.serializes_multicast(),
+        }
+    }
+
+    /// A plan with explicit per-node kinds (built by
+    /// [`SpecMap::node_plan`](crate::SpecMap::node_plan); callers normally
+    /// go through a validated speculation map rather than this).
+    pub(crate) fn per_node(
+        size: MotSize,
+        kinds: Vec<FanoutKind>,
+        node_kinds: Option<Vec<FanoutKind>>,
+        serializes_multicast: bool,
+    ) -> Self {
+        NodePlan {
+            size,
+            kinds,
+            node_kinds,
+            serializes_multicast,
         }
     }
 
@@ -358,6 +413,7 @@ impl NodePlan {
         NodePlan {
             size: map.size(),
             kinds,
+            node_kinds: None,
             serializes_multicast: false,
         }
     }
@@ -378,10 +434,33 @@ impl NodePlan {
         self.kinds[level as usize]
     }
 
-    /// All per-level kinds, root first.
+    /// All per-level kinds, root first. When the plan carries per-node
+    /// overrides this is the per-level *base* assignment;
+    /// [`kind_at`](Self::kind_at) is authoritative for individual nodes.
     #[must_use]
     pub fn kinds(&self) -> &[FanoutKind] {
         &self.kinds
+    }
+
+    /// The kind of one specific fanout node. For plans without per-node
+    /// overrides this equals [`kind`](Self::kind) of the node's level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is invalid for the plan's size.
+    #[must_use]
+    pub fn kind_at(&self, node: FanoutNodeId) -> FanoutKind {
+        match &self.node_kinds {
+            Some(per_node) => per_node[node.flat_index(self.size)],
+            None => self.kinds[node.level as usize],
+        }
+    }
+
+    /// Returns `true` if the plan carries per-node overrides (some node's
+    /// kind differs from its level's base kind).
+    #[must_use]
+    pub fn has_node_overrides(&self) -> bool {
+        self.node_kinds.is_some()
     }
 
     /// Returns `true` if multicasts must be serialized into unicast clones
@@ -398,12 +477,33 @@ impl NodePlan {
     }
 
     /// Address bits per packet header under this plan.
+    ///
+    /// With per-node overrides, trees may differ in how many symbol-obeying
+    /// nodes they contain; the header format is shared by every source, so
+    /// the width is the maximum over trees (2 bits per non-speculative
+    /// node, as in §5.2(d)).
     #[must_use]
     pub fn address_bits(&self) -> usize {
         if self.serializes_multicast {
-            asynoc_packet::coding::baseline_address_bits(self.size.n())
-        } else {
-            asynoc_packet::coding::network_address_bits(self.size.n(), &self.speculative_levels())
+            return asynoc_packet::coding::baseline_address_bits(self.size.n());
+        }
+        match &self.node_kinds {
+            None => asynoc_packet::coding::network_address_bits(
+                self.size.n(),
+                &self.speculative_levels(),
+            ),
+            Some(per_node) => {
+                let per_tree = self.size.fanout_nodes_per_tree();
+                (0..self.size.n())
+                    .map(|tree| {
+                        2 * per_node[tree * per_tree..(tree + 1) * per_tree]
+                            .iter()
+                            .filter(|kind| !kind.is_speculative())
+                            .count()
+                    })
+                    .max()
+                    .unwrap_or(0)
+            }
         }
     }
 }

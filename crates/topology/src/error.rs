@@ -37,6 +37,37 @@ pub enum TopologyError {
     },
     /// A packet was given an empty destination set.
     EmptyDestinationSet,
+    /// A per-node speculation override names a fanout node that does not
+    /// exist in the network.
+    NodeOutOfRange {
+        /// Source tree of the rejected node.
+        tree: usize,
+        /// Fanout level of the rejected node.
+        level: u32,
+        /// Index within the level of the rejected node.
+        index: usize,
+        /// The network size.
+        size: usize,
+    },
+    /// A speculation map left a leaf-level fanout node speculative. Leaf
+    /// nodes feed the fanin network directly, which cannot throttle
+    /// misrouted packets, so every leaf node must obey its route symbol.
+    NonThrottlingLeaf {
+        /// Source tree of the offending leaf node.
+        tree: usize,
+        /// Index within the leaf level of the offending node.
+        index: usize,
+    },
+    /// A speculation map mixed baseline (serial-multicast) nodes with
+    /// parallel-multicast node kinds. The baseline node has no replication
+    /// datapath, so it is only valid when every node in the network is
+    /// baseline.
+    MixedBaselineKind,
+    /// A speculation-map text or JSON form could not be parsed.
+    SpecMapSyntax {
+        /// Human-readable description of the syntax problem.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -63,6 +94,27 @@ impl fmt::Display for TopologyError {
                 write!(f, "source {source} out of range for {size}x{size} network")
             }
             TopologyError::EmptyDestinationSet => write!(f, "destination set is empty"),
+            TopologyError::NodeOutOfRange {
+                tree,
+                level,
+                index,
+                size,
+            } => write!(
+                f,
+                "fanout node s{tree}:{level}.{index} out of range for {size}x{size} network"
+            ),
+            TopologyError::NonThrottlingLeaf { tree, index } => write!(
+                f,
+                "leaf fanout node {index} of tree {tree} is speculative; leaf nodes must \
+                 obey route symbols because the fanin network cannot throttle"
+            ),
+            TopologyError::MixedBaselineKind => write!(
+                f,
+                "baseline (serial) nodes cannot be mixed with parallel-multicast node kinds"
+            ),
+            TopologyError::SpecMapSyntax { detail } => {
+                write!(f, "invalid speculation map: {detail}")
+            }
         }
     }
 }
@@ -86,6 +138,19 @@ mod tests {
             TopologyError::DestinationOutOfRange { dest: 9, size: 8 }.to_string(),
             TopologyError::SourceOutOfRange { source: 9, size: 8 }.to_string(),
             TopologyError::EmptyDestinationSet.to_string(),
+            TopologyError::NodeOutOfRange {
+                tree: 0,
+                level: 9,
+                index: 0,
+                size: 8,
+            }
+            .to_string(),
+            TopologyError::NonThrottlingLeaf { tree: 1, index: 2 }.to_string(),
+            TopologyError::MixedBaselineKind.to_string(),
+            TopologyError::SpecMapSyntax {
+                detail: "bad token".into(),
+            }
+            .to_string(),
         ];
         for msg in messages {
             assert!(!msg.is_empty());

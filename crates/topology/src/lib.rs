@@ -39,9 +39,11 @@ pub mod error;
 pub mod ids;
 pub mod route;
 pub mod size;
+pub mod spec;
 
 pub use arch::{Architecture, FanoutKind, NodePlan, SpeculationMap};
 pub use error::TopologyError;
 pub use ids::{FaninNodeId, FaninParent, FanoutChild, FanoutNodeId, OutputPort};
 pub use route::{multicast_route, multicast_route_into, unicast_route};
 pub use size::MotSize;
+pub use spec::SpecMap;

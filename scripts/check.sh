@@ -10,8 +10,9 @@
 #                               results/BENCH_analyze.json,
 #                               results/BENCH_faults.json,
 #                               results/BENCH_scheduler.json,
-#                               results/BENCH_sharded.json, and
-#                               results/BENCH_vcmesh.json (seeded on
+#                               results/BENCH_sharded.json,
+#                               results/BENCH_vcmesh.json, and
+#                               results/BENCH_explore.json (seeded on
 #                               first run; >20% ns/event regression
 #                               fails with a per-case diff), then folds
 #                               them into results/BENCH_summary.json
@@ -34,7 +35,13 @@
 # `asynoc analyze` / `asynoc faults` JSON report schemas plus the
 # asynoc-profile-v1 schema skeleton against the checked-in goldens so
 # report-format changes are always deliberate (the metrics golden pins
-# the mot, mesh, and vcmesh document shapes side by side). Streaming
+# the mot, mesh, and vcmesh document shapes side by side). The
+# exploration autotuner gets three gates: an `asynoc explore --smoke`
+# run on the default 8x8 whose built-in regression guard asserts
+# OptHybridSpeculative lands on (or within tolerance of) the Pareto
+# front, a --jobs 1 vs --jobs 2 byte-identity diff of the same report,
+# and a diff of the asynoc-explore-v1 schema skeleton against its
+# golden. Streaming
 # telemetry gets two gates of its own: folding a `--stream` NDJSON file
 # back through `asynoc watch --fold` must reproduce the batch metrics
 # document byte for byte on every substrate at shards 1 and 2, and the
@@ -71,6 +78,9 @@ run_benches() {
     echo "==> vcmesh bench (smoke, baseline-guarded: credit-loop per-event cost)"
     cargo bench -q -p asynoc-bench --bench vcmesh -- --smoke \
         --json "$PWD/results/BENCH_vcmesh.json"
+    echo "==> explore bench (smoke, baseline-guarded: scoring layer stays thin)"
+    cargo bench -q -p asynoc-bench --bench explore -- --smoke \
+        --json "$PWD/results/BENCH_explore.json"
     echo "==> folding bench records into results/BENCH_summary.json"
     scripts/bench_summary
 }
@@ -252,6 +262,33 @@ if [[ "$fast" -eq 0 ]]; then
         || {
             echo "faults schema drifted; if intentional, regenerate with"
             echo "  cargo run --release -p asynoc-bench --bin faults_schema > results/faults_schema.golden.json"
+            exit 1
+        }
+
+    echo "==> explore smoke + regression guard (8x8): OptHybridSpeculative must sit on the front"
+    # The command's built-in guard exits non-zero if the preset drifts
+    # off the tolerance envelope of the Pareto front.
+    cargo run -q --release -p asynoc-cli -- explore --smoke --jobs 1 \
+        >"$tmpdir/explore-j1.json"
+    grep -q '"schema": "asynoc-explore-v1"' "$tmpdir/explore-j1.json" || {
+        echo "exploration report is missing the asynoc-explore-v1 tag"
+        exit 1
+    }
+
+    echo "==> explore jobs differential: --jobs 1 vs --jobs 2 must agree byte-for-byte"
+    cargo run -q --release -p asynoc-cli -- explore --smoke --jobs 2 \
+        >"$tmpdir/explore-j2.json"
+    diff "$tmpdir/explore-j1.json" "$tmpdir/explore-j2.json" || {
+        echo "8x8 exploration report diverged between --jobs 1 and 2"
+        exit 1
+    }
+
+    echo "==> explore report schema vs results/explore_schema.golden.json"
+    diff results/explore_schema.golden.json \
+        <(cargo run -q --release -p asynoc-bench --bin explore_schema) \
+        || {
+            echo "explore schema drifted; if intentional, regenerate with"
+            echo "  cargo run --release -p asynoc-bench --bin explore_schema > results/explore_schema.golden.json"
             exit 1
         }
 
